@@ -1,0 +1,215 @@
+//! Anonymity metrics: `k`-anonymity degree and entropy of an attacker's
+//! belief, plus route-observability measures used in the evaluation.
+
+use alert_geom::Point;
+use alert_sim::NodeId;
+use std::collections::BTreeMap;
+
+/// Shannon entropy (bits) of an attacker's belief distribution over
+/// candidate nodes. A uniform belief over `k` candidates has entropy
+/// `log2 k` — the information-theoretic reading of `k`-anonymity.
+pub fn belief_entropy(belief: &BTreeMap<NodeId, f64>) -> f64 {
+    let total: f64 = belief.values().copied().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    belief
+        .values()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| {
+            let q = p / total;
+            -q * q.log2()
+        })
+        .sum()
+}
+
+/// The effective anonymity-set size implied by a belief: `2^entropy`.
+pub fn effective_anonymity_set(belief: &BTreeMap<NodeId, f64>) -> f64 {
+    2f64.powf(belief_entropy(belief))
+}
+
+/// A uniform belief over `candidates` (the classic `k`-anonymity case).
+pub fn uniform_belief(candidates: &[NodeId]) -> BTreeMap<NodeId, f64> {
+    let p = 1.0 / candidates.len().max(1) as f64;
+    candidates.iter().map(|&n| (n, p)).collect()
+}
+
+/// Route diversity between consecutive packets of one S–D pair: the
+/// Jaccard distance between participant sets. ALERT's randomized relays
+/// give high distances; a protocol repeating one shortest path gives ~0.
+pub fn route_jaccard_distance(a: &[NodeId], b: &[NodeId]) -> f64 {
+    use std::collections::BTreeSet;
+    let sa: BTreeSet<_> = a.iter().collect();
+    let sb: BTreeSet<_> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    1.0 - inter / union
+}
+
+/// Mean pairwise route distance across the packets of a session — the
+/// "unpredictable routing path" property of Section 3.1, as a number.
+pub fn mean_route_diversity(routes: &[Vec<NodeId>]) -> f64 {
+    if routes.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for i in 0..routes.len() {
+        for j in (i + 1)..routes.len() {
+            total += route_jaccard_distance(&routes[i], &routes[j]);
+            n += 1;
+        }
+    }
+    total / n as f64
+}
+
+/// The §3.1 unpredictability claim as a number: having observed the full
+/// relay set of packet `i`, what fraction of packet `i+1`'s relays did the
+/// attacker already know? Averaged over consecutive pairs. A protocol that
+/// repeats one path scores ~1; per-packet route randomization scores low.
+pub fn next_route_predictability(routes: &[Vec<NodeId>]) -> f64 {
+    use std::collections::BTreeSet;
+    if routes.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for w in routes.windows(2) {
+        let prev: BTreeSet<_> = w[0].iter().collect();
+        if w[1].is_empty() {
+            continue;
+        }
+        let hit = w[1].iter().filter(|r| prev.contains(r)).count();
+        total += hit as f64 / w[1].len() as f64;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// How concentrated traffic is in space: the mean distance of transmitter
+/// positions from their centroid. Shortest-path protocols concentrate
+/// transmissions along the S–D line; ALERT scatters them.
+pub fn spatial_spread(positions: &[Point]) -> f64 {
+    if positions.is_empty() {
+        return 0.0;
+    }
+    let n = positions.len() as f64;
+    let cx = positions.iter().map(|p| p.x).sum::<f64>() / n;
+    let cy = positions.iter().map(|p| p.y).sum::<f64>() / n;
+    let c = Point::new(cx, cy);
+    positions.iter().map(|p| p.distance(c)).sum::<f64>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(ids: &[usize]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn uniform_belief_entropy_is_log_k() {
+        let b = uniform_belief(&nodes(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert!((belief_entropy(&b) - 3.0).abs() < 1e-12);
+        assert!((effective_anonymity_set(&b) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentrated_belief_has_zero_entropy() {
+        let b = uniform_belief(&nodes(&[42]));
+        assert_eq!(belief_entropy(&b), 0.0);
+        assert_eq!(effective_anonymity_set(&b), 1.0);
+    }
+
+    #[test]
+    fn skewed_belief_between_extremes() {
+        let mut b = BTreeMap::new();
+        b.insert(NodeId(1), 0.9);
+        b.insert(NodeId(2), 0.1);
+        let h = belief_entropy(&b);
+        assert!(h > 0.0 && h < 1.0);
+    }
+
+    #[test]
+    fn entropy_handles_unnormalized_beliefs() {
+        let mut b = BTreeMap::new();
+        b.insert(NodeId(1), 2.0);
+        b.insert(NodeId(2), 2.0);
+        assert!((belief_entropy(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_belief_is_zero() {
+        assert_eq!(belief_entropy(&BTreeMap::new()), 0.0);
+    }
+
+    #[test]
+    fn jaccard_identical_routes() {
+        let r = nodes(&[1, 2, 3]);
+        assert_eq!(route_jaccard_distance(&r, &r), 0.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_routes() {
+        assert_eq!(route_jaccard_distance(&nodes(&[1, 2]), &nodes(&[3, 4])), 1.0);
+    }
+
+    #[test]
+    fn diversity_of_repeating_path_is_zero() {
+        let routes = vec![nodes(&[1, 2, 3]); 5];
+        assert_eq!(mean_route_diversity(&routes), 0.0);
+    }
+
+    #[test]
+    fn diversity_of_changing_paths_is_high() {
+        let routes = vec![nodes(&[1, 2]), nodes(&[3, 4]), nodes(&[5, 6])];
+        assert_eq!(mean_route_diversity(&routes), 1.0);
+    }
+
+    #[test]
+    fn predictability_of_fixed_path_is_one() {
+        let routes = vec![nodes(&[1, 2, 3]); 4];
+        assert_eq!(next_route_predictability(&routes), 1.0);
+    }
+
+    #[test]
+    fn predictability_of_disjoint_routes_is_zero() {
+        let routes = vec![nodes(&[1, 2]), nodes(&[3, 4]), nodes(&[5, 6])];
+        assert_eq!(next_route_predictability(&routes), 0.0);
+    }
+
+    #[test]
+    fn predictability_partial_overlap() {
+        let routes = vec![nodes(&[1, 2]), nodes(&[2, 3])];
+        assert_eq!(next_route_predictability(&routes), 0.5);
+    }
+
+    #[test]
+    fn predictability_needs_two_routes() {
+        assert_eq!(next_route_predictability(&[nodes(&[1])]), 0.0);
+        assert_eq!(next_route_predictability(&[]), 0.0);
+    }
+
+    #[test]
+    fn spread_zero_for_point_mass() {
+        let p = vec![Point::new(5.0, 5.0); 10];
+        assert_eq!(spatial_spread(&p), 0.0);
+    }
+
+    #[test]
+    fn spread_larger_for_scattered_traffic() {
+        let line: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        let scattered: Vec<Point> = (0..10)
+            .map(|i| Point::new(((i * 37) % 10) as f64 * 100.0, ((i * 59) % 10) as f64 * 100.0))
+            .collect();
+        assert!(spatial_spread(&scattered) > spatial_spread(&line));
+    }
+}

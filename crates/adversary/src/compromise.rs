@@ -1,0 +1,207 @@
+//! Node-compromise attacks (paper Sections 2.1 and 3.1).
+//!
+//! The attacker "can intrude on some specific vulnerable nodes to control
+//! their behavior, e.g., with denial-of-service attacks, which may cut the
+//! routing in existing anonymous geographic routing methods" (§2.1), and
+//! the paper claims ALERT resists this: "the communication of two nodes in
+//! ALERT cannot be completely stopped by compromising certain nodes
+//! because the number of possible participating nodes in each packet
+//! transmission is very large due to the dynamic route changes. In
+//! contrast, these attacks are easy to perform in geographic routing"
+//! (§3.1).
+//!
+//! [`Blackhole`] wraps *any* protocol: a compromised node participates in
+//! the control plane (beacons keep flowing — it looks legitimate) but
+//! silently drops every data-plane frame it should forward. The
+//! interception analysis measures the dual capability: how much of a
+//! session a stationary compromised relay gets to *see*.
+
+use alert_sim::{Api, DataRequest, Frame, Metrics, NodeId, ProtocolNode, SessionId, TimerToken};
+use std::collections::BTreeSet;
+
+/// Wraps a routing protocol; compromised instances drop every received
+/// frame instead of processing it (a blackhole / packet-interception
+/// node). Sources and destinations are never compromised in experiments —
+/// the attack targets *relays*.
+pub struct Blackhole<P> {
+    inner: P,
+    compromised: bool,
+}
+
+impl<P> Blackhole<P> {
+    /// Wraps `inner`; `compromised` nodes drop all traffic they receive.
+    pub fn new(inner: P, compromised: bool) -> Self {
+        Blackhole { inner, compromised }
+    }
+
+    /// Whether this node is under attacker control.
+    pub fn is_compromised(&self) -> bool {
+        self.compromised
+    }
+
+    /// Access to the wrapped protocol (e.g. ALERT's zone-delivery records).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: ProtocolNode> ProtocolNode for Blackhole<P> {
+    type Msg = P::Msg;
+
+    fn name() -> &'static str {
+        P::name()
+    }
+
+    fn on_start(&mut self, api: &mut Api<'_, Self::Msg>) {
+        // Compromised nodes still behave normally at startup (they must
+        // look legitimate to stay in neighbor tables).
+        self.inner.on_start(api);
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        self.inner.on_data_request(api, req);
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        if self.compromised {
+            api.mark_drop("blackhole_swallowed");
+            return;
+        }
+        self.inner.on_frame(api, frame);
+    }
+
+    fn on_timer(&mut self, api: &mut Api<'_, Self::Msg>, token: TimerToken) {
+        if self.compromised {
+            return; // a blackhole also stalls its own pending forwards
+        }
+        self.inner.on_timer(api, token);
+    }
+}
+
+/// Chooses `count` nodes to compromise, deterministically from `seed`,
+/// never touching the protected `endpoints` (the attack targets relays).
+pub fn choose_compromised(
+    total_nodes: usize,
+    count: usize,
+    endpoints: &BTreeSet<NodeId>,
+    seed: u64,
+) -> BTreeSet<NodeId> {
+    // Simple deterministic LCG shuffle — good enough for picking victims.
+    let mut order: Vec<usize> = (0..total_nodes).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    for i in (1..order.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+        .into_iter()
+        .map(NodeId)
+        .filter(|n| !endpoints.contains(n))
+        .take(count)
+        .collect()
+}
+
+/// Per-session interception analysis: the fraction of a session's packets
+/// that each compromised node carried (and could therefore read, delay,
+/// or drop). In a fixed-shortest-path protocol a well-placed relay sees
+/// *every* packet of a pair; under ALERT's route randomization it sees
+/// only a slice.
+pub fn interception_fraction(
+    metrics: &Metrics,
+    session: SessionId,
+    compromised: &BTreeSet<NodeId>,
+) -> f64 {
+    let packets: Vec<_> = metrics
+        .packets
+        .iter()
+        .filter(|p| p.session == session)
+        .collect();
+    if packets.is_empty() {
+        return 0.0;
+    }
+    compromised
+        .iter()
+        .map(|c| {
+            packets
+                .iter()
+                .filter(|p| p.participants.contains(c))
+                .count() as f64
+                / packets.len() as f64
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Result of one denial-of-service experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct DosOutcome {
+    /// Fraction of nodes compromised.
+    pub compromised_fraction: f64,
+    /// Delivery rate achieved despite the blackholes.
+    pub delivery_rate: f64,
+    /// Worst-case per-session interception by any single compromised node.
+    pub max_interception: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_sim::PacketId;
+
+    fn metrics_with_routes(routes: &[&[usize]]) -> Metrics {
+        let mut m = Metrics::default();
+        for (i, route) in routes.iter().enumerate() {
+            let id = m.register_packet(SessionId(0), i as u32, NodeId(0), NodeId(99), 0.0, 512);
+            for &n in *route {
+                m.record_hop(id, NodeId(n));
+            }
+            m.record_delivery(id, 1.0);
+            let _ = PacketId(0);
+        }
+        m
+    }
+
+    #[test]
+    fn interception_full_on_fixed_path() {
+        // Every packet crosses node 5: a compromised 5 sees 100%.
+        let m = metrics_with_routes(&[&[1, 5, 9], &[2, 5, 9], &[3, 5, 8]]);
+        let comp: BTreeSet<NodeId> = [NodeId(5)].into_iter().collect();
+        assert_eq!(interception_fraction(&m, SessionId(0), &comp), 1.0);
+    }
+
+    #[test]
+    fn interception_partial_on_random_paths() {
+        let m = metrics_with_routes(&[&[1, 5], &[2, 6], &[3, 7], &[4, 5]]);
+        let comp: BTreeSet<NodeId> = [NodeId(5), NodeId(6)].into_iter().collect();
+        // Node 5 carries 2/4, node 6 carries 1/4 -> max = 0.5.
+        assert_eq!(interception_fraction(&m, SessionId(0), &comp), 0.5);
+    }
+
+    #[test]
+    fn interception_empty_cases() {
+        let m = metrics_with_routes(&[]);
+        let comp: BTreeSet<NodeId> = [NodeId(5)].into_iter().collect();
+        assert_eq!(interception_fraction(&m, SessionId(0), &comp), 0.0);
+        let m = metrics_with_routes(&[&[1, 2]]);
+        assert_eq!(interception_fraction(&m, SessionId(0), &BTreeSet::new()), 0.0);
+    }
+
+    #[test]
+    fn choose_compromised_respects_endpoints() {
+        let endpoints: BTreeSet<NodeId> = [NodeId(0), NodeId(1)].into_iter().collect();
+        for seed in 0..20 {
+            let chosen = choose_compromised(50, 10, &endpoints, seed);
+            assert_eq!(chosen.len(), 10);
+            assert!(chosen.is_disjoint(&endpoints), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn choose_compromised_is_deterministic() {
+        let e = BTreeSet::new();
+        assert_eq!(choose_compromised(100, 7, &e, 42), choose_compromised(100, 7, &e, 42));
+        assert_ne!(choose_compromised(100, 7, &e, 42), choose_compromised(100, 7, &e, 43));
+    }
+}

@@ -1,0 +1,175 @@
+//! A passive eavesdropper: records every transmission on the channel.
+//!
+//! The paper's attacker model (Section 2.1) allows battery-powered nodes
+//! that "passively receive network packets and detect activities in their
+//! vicinity". [`TrafficLog`] is the omnipresent version of that attacker —
+//! per-transmission time, transmitter position, and frame size — which the
+//! timing and intersection analyzers consume. Restricting the view to a
+//! vicinity is a post-filter ([`TrafficCapture::within`]).
+
+use alert_geom::{Point, Rect};
+use alert_sim::{NodeId, Observer, PacketId, TrafficClass, TxEvent};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A delivery observation (ground truth; used to score attacks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveryEvent {
+    /// When the destination received the packet.
+    pub time: f64,
+    /// The receiving node.
+    pub node: NodeId,
+    /// Which packet.
+    pub packet: PacketId,
+}
+
+/// The recorded channel activity of one run.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficCapture {
+    /// Every transmission, in send order.
+    pub transmissions: Vec<TxEvent>,
+    /// Every delivery at a true destination.
+    pub deliveries: Vec<DeliveryEvent>,
+}
+
+impl TrafficCapture {
+    /// Transmissions whose sender was inside `area` — an attacker with
+    /// limited vicinity.
+    pub fn within(&self, area: &Rect) -> Vec<TxEvent> {
+        self.transmissions
+            .iter()
+            .filter(|t| area.contains(t.sender_pos))
+            .copied()
+            .collect()
+    }
+
+    /// Transmission times of a specific node (what a local eavesdropper
+    /// learns about one position).
+    pub fn send_times_of(&self, node: NodeId) -> Vec<f64> {
+        self.transmissions
+            .iter()
+            .filter(|t| t.sender == node)
+            .map(|t| t.time)
+            .collect()
+    }
+
+    /// Delivery times at a specific node.
+    pub fn delivery_times_of(&self, node: NodeId) -> Vec<f64> {
+        self.deliveries
+            .iter()
+            .filter(|d| d.node == node)
+            .map(|d| d.time)
+            .collect()
+    }
+
+    /// Ground-truth transmitter positions of one packet, in order — the
+    /// route an omniscient observer could reconstruct for that packet.
+    pub fn route_of(&self, packet: PacketId) -> Vec<(NodeId, Point)> {
+        self.transmissions
+            .iter()
+            .filter(|t| t.packet == Some(packet) && t.class == TrafficClass::Data)
+            .map(|t| (t.sender, t.sender_pos))
+            .collect()
+    }
+
+    /// Number of data transmissions.
+    pub fn data_transmissions(&self) -> usize {
+        self.transmissions
+            .iter()
+            .filter(|t| t.class == TrafficClass::Data)
+            .count()
+    }
+}
+
+/// Shared handle to a capture being filled by a [`TrafficLog`] observer.
+pub type CaptureHandle = Arc<Mutex<TrafficCapture>>;
+
+/// The [`Observer`] implementation to register with
+/// [`alert_sim::World::add_observer`].
+pub struct TrafficLog {
+    capture: CaptureHandle,
+}
+
+impl TrafficLog {
+    /// Creates a log and the handle to read it after the run.
+    pub fn new() -> (TrafficLog, CaptureHandle) {
+        let capture: CaptureHandle = Arc::new(Mutex::new(TrafficCapture::default()));
+        (
+            TrafficLog {
+                capture: capture.clone(),
+            },
+            capture,
+        )
+    }
+}
+
+impl Observer for TrafficLog {
+    fn on_transmission(&mut self, ev: &TxEvent) {
+        self.capture.lock().transmissions.push(*ev);
+    }
+
+    fn on_delivery(&mut self, time: f64, node: NodeId, packet: PacketId) {
+        self.capture.lock().deliveries.push(DeliveryEvent { time, node, packet });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_sim::TrafficClass;
+
+    fn tx(t: f64, sender: usize, x: f64, pkt: Option<u64>, class: TrafficClass) -> TxEvent {
+        TxEvent {
+            time: t,
+            sender: NodeId(sender),
+            sender_pos: Point::new(x, 0.0),
+            receiver: None,
+            bytes: 100,
+            class,
+            packet: pkt.map(PacketId),
+        }
+    }
+
+    #[test]
+    fn capture_collects_in_order() {
+        let (mut log, handle) = TrafficLog::new();
+        log.on_transmission(&tx(1.0, 1, 10.0, Some(0), TrafficClass::Data));
+        log.on_transmission(&tx(2.0, 2, 20.0, Some(0), TrafficClass::Data));
+        log.on_delivery(2.5, NodeId(3), PacketId(0));
+        let c = handle.lock();
+        assert_eq!(c.transmissions.len(), 2);
+        assert_eq!(c.deliveries.len(), 1);
+        assert_eq!(c.route_of(PacketId(0)).len(), 2);
+        assert_eq!(c.data_transmissions(), 2);
+    }
+
+    #[test]
+    fn vicinity_filter() {
+        let (mut log, handle) = TrafficLog::new();
+        log.on_transmission(&tx(1.0, 1, 10.0, None, TrafficClass::Control));
+        log.on_transmission(&tx(1.0, 2, 900.0, None, TrafficClass::Control));
+        let area = Rect::new(Point::new(0.0, -1.0), Point::new(100.0, 1.0));
+        assert_eq!(handle.lock().within(&area).len(), 1);
+    }
+
+    #[test]
+    fn per_node_timelines() {
+        let (mut log, handle) = TrafficLog::new();
+        log.on_transmission(&tx(1.0, 7, 0.0, None, TrafficClass::Data));
+        log.on_transmission(&tx(3.0, 7, 0.0, None, TrafficClass::Data));
+        log.on_transmission(&tx(2.0, 8, 0.0, None, TrafficClass::Data));
+        log.on_delivery(4.0, NodeId(9), PacketId(1));
+        let c = handle.lock();
+        assert_eq!(c.send_times_of(NodeId(7)), vec![1.0, 3.0]);
+        assert_eq!(c.delivery_times_of(NodeId(9)), vec![4.0]);
+        assert!(c.delivery_times_of(NodeId(7)).is_empty());
+    }
+
+    #[test]
+    fn route_excludes_control_frames() {
+        let (mut log, handle) = TrafficLog::new();
+        log.on_transmission(&tx(1.0, 1, 0.0, Some(5), TrafficClass::Data));
+        log.on_transmission(&tx(1.1, 2, 0.0, Some(5), TrafficClass::Control));
+        assert_eq!(handle.lock().route_of(PacketId(5)).len(), 1);
+    }
+}

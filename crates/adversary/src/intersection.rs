@@ -1,0 +1,162 @@
+//! The intersection attack of Section 3.3 (Fig. 5).
+//!
+//! The attacker repeatedly observes which nodes receive packets in the
+//! destination zone. Because the destination is present in *every* round
+//! while other members drift in and out, intersecting the rounds'
+//! recipient sets converges on the destination. ALERT's countermeasure
+//! makes the destination occasionally *absent* from the intended recipient
+//! set (it receives held packets a round late), so the intersection
+//! empties instead of converging.
+
+use alert_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One observation round: the set of nodes the attacker believes received
+/// a packet of the monitored session.
+pub type RecipientSet = BTreeSet<NodeId>;
+
+/// The attacker's evolving state across rounds.
+#[derive(Debug, Clone, Default)]
+pub struct IntersectionAttack {
+    /// Candidate destinations: the intersection of all observed rounds;
+    /// `None` before the first round.
+    candidates: Option<RecipientSet>,
+    /// |candidates| after each round, for plotting convergence.
+    pub history: Vec<usize>,
+    rounds: usize,
+}
+
+impl IntersectionAttack {
+    /// Creates an attacker with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one round of observed recipients.
+    pub fn observe(&mut self, recipients: &RecipientSet) {
+        self.rounds += 1;
+        self.candidates = Some(match self.candidates.take() {
+            None => recipients.clone(),
+            Some(prev) => prev.intersection(recipients).copied().collect(),
+        });
+        self.history
+            .push(self.candidates.as_ref().map_or(0, BTreeSet::len));
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Current candidate set (empty before any observation).
+    pub fn candidates(&self) -> RecipientSet {
+        self.candidates.clone().unwrap_or_default()
+    }
+
+    /// The attack succeeds when the candidates collapse to exactly the
+    /// destination.
+    pub fn identified(&self, destination: NodeId) -> bool {
+        match &self.candidates {
+            Some(c) => c.len() == 1 && c.contains(&destination),
+            None => false,
+        }
+    }
+
+    /// The defense wins when the destination has been *excluded* — it was
+    /// absent from at least one observed recipient set, so no amount of
+    /// further observation can ever identify it by intersection.
+    pub fn destination_excluded(&self, destination: NodeId) -> bool {
+        match &self.candidates {
+            Some(c) => !c.contains(&destination),
+            None => false,
+        }
+    }
+
+    /// Remaining anonymity degree: the paper's `k`-anonymity measured
+    /// against this attacker (candidate-set size).
+    pub fn anonymity_degree(&self) -> usize {
+        self.candidates.as_ref().map_or(usize::MAX, BTreeSet::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> RecipientSet {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn converges_on_always_present_destination() {
+        // Fig. 5a/5b: D (id 0) is in every round; others churn.
+        let mut atk = IntersectionAttack::new();
+        atk.observe(&set(&[0, 1, 2, 3, 4]));
+        atk.observe(&set(&[0, 3, 5, 6, 7]));
+        assert_eq!(atk.candidates(), set(&[0, 3]));
+        atk.observe(&set(&[0, 8, 9]));
+        assert!(atk.identified(NodeId(0)));
+        assert_eq!(atk.history, vec![5, 2, 1]);
+        assert_eq!(atk.anonymity_degree(), 1);
+    }
+
+    #[test]
+    fn defense_excludes_destination_permanently() {
+        // Fig. 5c: D misses one round's intended recipient set.
+        let mut atk = IntersectionAttack::new();
+        atk.observe(&set(&[0, 1, 2]));
+        atk.observe(&set(&[1, 3, 4])); // D (0) held over -> absent
+        assert!(atk.destination_excluded(NodeId(0)));
+        // Even if D reappears forever after, intersection can't recover.
+        for _ in 0..10 {
+            atk.observe(&set(&[0, 1]));
+        }
+        assert!(!atk.identified(NodeId(0)));
+        assert!(atk.destination_excluded(NodeId(0)));
+    }
+
+    #[test]
+    fn no_observation_no_conclusion() {
+        let atk = IntersectionAttack::new();
+        assert!(!atk.identified(NodeId(0)));
+        assert!(!atk.destination_excluded(NodeId(0)));
+        assert_eq!(atk.anonymity_degree(), usize::MAX);
+        assert_eq!(atk.rounds(), 0);
+    }
+
+    #[test]
+    fn intersection_can_empty_entirely() {
+        let mut atk = IntersectionAttack::new();
+        atk.observe(&set(&[1, 2]));
+        atk.observe(&set(&[3, 4]));
+        assert_eq!(atk.anonymity_degree(), 0);
+        assert!(atk.candidates().is_empty());
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let mut atk = IntersectionAttack::new();
+        atk.observe(&set(&[0, 1, 2, 3, 4, 5]));
+        atk.observe(&set(&[0, 1, 2, 3]));
+        atk.observe(&set(&[0, 1, 2, 3]));
+        atk.observe(&set(&[0, 2]));
+        for w in atk.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+}
+
+/// Summary of an intersection-attack experiment over a whole session
+/// (produced by the benchmark harness, printed for Fig. 5c).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntersectionOutcome {
+    /// Rounds the attacker observed.
+    pub rounds: usize,
+    /// Final candidate-set size.
+    pub final_candidates: usize,
+    /// Whether the attacker pinned the destination.
+    pub identified: bool,
+    /// Whether the defense excluded the destination permanently.
+    pub destination_excluded: bool,
+}

@@ -1,0 +1,135 @@
+//! The timing attack of Section 3.2.
+//!
+//! "Through packet departure and arrival times, an intruder can identify
+//! the packets transmitted between S and D": if node A's send times and
+//! node B's receive times exhibit a *fixed* lag (the paper's 5-second
+//! example), the pair is probably communicating. The correlator below
+//! scores a candidate (sender, receiver) pair by the fraction of sends
+//! whose nearest subsequent receive sits within a tolerance of the median
+//! lag. Geographic baselines with stable shortest paths score near 1;
+//! ALERT's per-packet route randomization spreads the lags and the score
+//! drops.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of correlating one (sender, receiver) candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingCorrelation {
+    /// The lag the attacker locks onto (median of observed lags), seconds.
+    pub lag_s: f64,
+    /// Spread of the lags (interquartile range), seconds.
+    pub lag_iqr_s: f64,
+    /// Fraction of sends matched by a receive within the tolerance of the
+    /// locked lag — the attacker's confidence.
+    pub score: f64,
+    /// Number of send events used.
+    pub samples: usize,
+}
+
+/// Correlates send times at a suspected source with receive times at a
+/// suspected destination.
+///
+/// `tolerance_s` is the attacker's timing precision (how much jitter it
+/// tolerates around the locked lag). Returns `None` when fewer than three
+/// sends have matching receives — not enough to lock a lag.
+pub fn correlate(sends: &[f64], receives: &[f64], tolerance_s: f64) -> Option<TimingCorrelation> {
+    if sends.is_empty() || receives.is_empty() {
+        return None;
+    }
+    // For each send, the nearest receive after it (candidate match).
+    let mut sorted_recv = receives.to_vec();
+    sorted_recv.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let mut lags: Vec<f64> = Vec::with_capacity(sends.len());
+    for &s in sends {
+        let idx = sorted_recv.partition_point(|&r| r < s);
+        if idx < sorted_recv.len() {
+            lags.push(sorted_recv[idx] - s);
+        }
+    }
+    if lags.len() < 3 {
+        return None;
+    }
+    let mut sorted_lags = lags.clone();
+    sorted_lags.sort_by(|a, b| a.partial_cmp(b).expect("finite lags"));
+    let median = sorted_lags[sorted_lags.len() / 2];
+    let q1 = sorted_lags[sorted_lags.len() / 4];
+    let q3 = sorted_lags[(sorted_lags.len() * 3) / 4];
+    let matched = lags
+        .iter()
+        .filter(|&&l| (l - median).abs() <= tolerance_s)
+        .count();
+    Some(TimingCorrelation {
+        lag_s: median,
+        lag_iqr_s: q3 - q1,
+        score: matched as f64 / sends.len() as f64,
+        samples: sends.len(),
+    })
+}
+
+/// Convenience verdict: does the attacker link the pair at this
+/// confidence threshold?
+pub fn links_pair(c: &TimingCorrelation, threshold: f64) -> bool {
+    c.score >= threshold && c.samples >= 5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_lag_scores_high() {
+        // The paper's example: a constant 5 s lag across observations.
+        let sends: Vec<f64> = (0..20).map(|i| i as f64 * 7.0).collect();
+        let recvs: Vec<f64> = sends.iter().map(|s| s + 5.0).collect();
+        let c = correlate(&sends, &recvs, 0.01).unwrap();
+        assert!((c.lag_s - 5.0).abs() < 1e-9);
+        assert_eq!(c.score, 1.0);
+        assert!(links_pair(&c, 0.8));
+    }
+
+    #[test]
+    fn jittered_lag_scores_low() {
+        // Deterministic pseudo-jitter in [0, 2) s, large relative to the
+        // 10 ms tolerance: the attacker cannot lock a lag.
+        let sends: Vec<f64> = (0..40).map(|i| i as f64 * 7.0).collect();
+        let recvs: Vec<f64> = sends
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s + 0.5 + ((i * 2654435761) % 2000) as f64 / 1000.0)
+            .collect();
+        let c = correlate(&sends, &recvs, 0.01).unwrap();
+        assert!(c.score < 0.3, "jittered score {} too high", c.score);
+        assert!(!links_pair(&c, 0.8));
+        assert!(c.lag_iqr_s > 0.2, "iqr {} should expose the jitter", c.lag_iqr_s);
+    }
+
+    #[test]
+    fn unrelated_streams_score_low() {
+        // Receiver fires on its own schedule, uncorrelated with sends.
+        let sends: Vec<f64> = (0..30).map(|i| i as f64 * 7.0).collect();
+        let recvs: Vec<f64> = (0..30)
+            .map(|i| 3.0 + i as f64 * 7.0 + ((i * 40503) % 4000) as f64 / 1000.0)
+            .collect();
+        let c = correlate(&sends, &recvs, 0.01).unwrap();
+        assert!(c.score < 0.4, "unrelated score {}", c.score);
+    }
+
+    #[test]
+    fn too_few_samples_is_none() {
+        assert!(correlate(&[1.0], &[2.0], 0.1).is_none());
+        assert!(correlate(&[], &[2.0], 0.1).is_none());
+        assert!(correlate(&[1.0, 2.0], &[], 0.1).is_none());
+        // Receives all before sends: no forward matches.
+        assert!(correlate(&[10.0, 20.0, 30.0, 40.0], &[1.0, 2.0], 0.1).is_none());
+    }
+
+    #[test]
+    fn partial_match_counts_fraction() {
+        // Half the sends have the fixed lag; the rest have no receive.
+        let sends: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
+        let recvs: Vec<f64> = sends.iter().take(5).map(|s| s + 1.0).collect();
+        let c = correlate(&sends, &recvs, 0.01).unwrap();
+        // Sends 5..9 have no subsequent receive; sends 0..4 match.
+        assert!((c.score - 0.5).abs() < 0.11, "score {}", c.score);
+    }
+}

@@ -1,0 +1,168 @@
+//! The Section 3.1 active-attack claims, end to end: compromised relays
+//! cannot stop ALERT communication the way they stop fixed-path
+//! geographic routing, and a stationary interceptor sees far less of an
+//! ALERT session.
+
+use alert_adversary::{choose_compromised, interception_fraction, Blackhole};
+use alert_core::{Alert, AlertConfig};
+use alert_protocols::Gpsr;
+use alert_sim::{Metrics, MobilityKind, NodeId, ScenarioConfig, SessionId, World};
+use std::collections::BTreeSet;
+
+/// Static topology: Section 3.1's claims are about *route stability* —
+/// node mobility would later shift even a fixed shortest path, diluting
+/// both the attack and the comparison.
+fn scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(200)
+        .with_duration(60.0)
+        .with_mobility(MobilityKind::Static);
+    cfg.traffic.pairs = 4;
+    cfg
+}
+
+/// Per-session delivery rates.
+fn session_rates(m: &Metrics) -> Vec<f64> {
+    (0..4)
+        .map(|s| {
+            let pk: Vec<_> = m
+                .packets
+                .iter()
+                .filter(|p| p.session == SessionId(s))
+                .collect();
+            pk.iter().filter(|p| p.delivered_at.is_some()).count() as f64 / pk.len().max(1) as f64
+        })
+        .collect()
+}
+
+/// Runs a protocol with `count` blackhole relays; returns `(metrics,
+/// compromised set)`. Endpoints are never compromised (the attack targets
+/// relays; a captured endpoint is a different threat model).
+fn run_with_blackholes<P, F>(count: usize, seed: u64, factory: F) -> (Metrics, BTreeSet<NodeId>)
+where
+    P: alert_sim::ProtocolNode,
+    F: Fn() -> P + Copy,
+{
+    // Derive the session endpoints with a dry build (same config + seed
+    // give identical sessions).
+    let probe = World::new(scenario(), seed, move |_, _| factory());
+    let endpoints: BTreeSet<NodeId> = probe
+        .sessions()
+        .iter()
+        .flat_map(|s| [s.src, s.dst])
+        .collect();
+    drop(probe);
+    let compromised = choose_compromised(200, count, &endpoints, seed ^ 0xBAD);
+    let comp = compromised.clone();
+    let mut w = World::new(scenario(), seed, move |id, _| {
+        Blackhole::new(factory(), comp.contains(&id))
+    });
+    w.run();
+    (w.metrics().clone(), compromised)
+}
+
+#[test]
+fn blackholes_swallow_traffic() {
+    // ALERT's randomized routes are guaranteed to cross some of the 30
+    // blackholes over a 60 s session (a fixed GPSR path might miss all of
+    // them on a lucky seed).
+    let (m, compromised) = run_with_blackholes(30, 1, || Alert::new(AlertConfig::default()));
+    assert_eq!(compromised.len(), 30);
+    assert!(
+        m.drops.get("blackhole_swallowed").copied().unwrap_or(0) > 0,
+        "blackholes never received anything to swallow"
+    );
+}
+
+#[test]
+fn compromise_cannot_completely_stop_alert_sessions() {
+    // The Section 3.1 claim verbatim: "the communication of two nodes in
+    // ALERT cannot be completely stopped by compromising certain nodes...
+    // In contrast, these attacks are easy to perform in geographic
+    // routing". With 15% of relays blackholed on a static topology, GPSR
+    // sessions are binary — a blackhole on the fixed shortest path kills
+    // the pair outright — while every ALERT session keeps delivering via
+    // per-packet route randomization.
+    let mut gpsr_dead = 0usize;
+    let mut alert_dead = 0usize;
+    let mut alert_min: f64 = 1.0;
+    for seed in 0..4 {
+        let (am, _) = run_with_blackholes(30, seed, || Alert::new(AlertConfig::default()));
+        let (gm, _) = run_with_blackholes(30, seed, Gpsr::default);
+        gpsr_dead += session_rates(&gm).iter().filter(|&&r| r < 0.05).count();
+        let ar = session_rates(&am);
+        alert_dead += ar.iter().filter(|&&r| r < 0.05).count();
+        alert_min = alert_min.min(ar.iter().copied().fold(1.0, f64::min));
+    }
+    assert!(
+        gpsr_dead >= 2,
+        "expected some GPSR pairs completely cut off, saw {gpsr_dead}"
+    );
+    assert_eq!(
+        alert_dead, 0,
+        "no ALERT session may be completely stopped (min session rate {alert_min:.2})"
+    );
+}
+
+#[test]
+fn interception_is_partial_under_alert_total_under_gpsr() {
+    // A stationary compromised relay on a GPSR shortest path sees every
+    // packet of that pair; under ALERT it sees a fraction. Static
+    // topology: mobility would shift GPSR's path on its own.
+    let seed = 7;
+    let mut w = World::new(scenario(), seed, |_, _| Alert::new(AlertConfig::default()));
+    w.run();
+    let am = w.metrics().clone();
+    let mut w = World::new(scenario(), seed, |_, _| Gpsr::default());
+    w.run();
+    let gm = w.metrics().clone();
+
+    // The "attacker" compromises, post hoc, the single best relay for
+    // each session — the strongest stationary interceptor.
+    let best_interception = |m: &Metrics, session: u32| -> f64 {
+        let endpoints: BTreeSet<NodeId> = m
+            .packets
+            .iter()
+            .filter(|p| p.session == SessionId(session))
+            .flat_map(|p| [p.src, p.dst])
+            .collect();
+        let all_relays: BTreeSet<NodeId> = m
+            .packets
+            .iter()
+            .filter(|p| p.session == SessionId(session))
+            .flat_map(|p| p.participants.iter().copied())
+            .filter(|n| !endpoints.contains(n))
+            .collect();
+        all_relays
+            .iter()
+            .map(|&r| {
+                interception_fraction(m, SessionId(session), &[r].into_iter().collect())
+            })
+            .fold(0.0, f64::max)
+    };
+
+    let mut alert_best = 0.0;
+    let mut gpsr_best = 0.0;
+    for s in 0..4 {
+        alert_best += best_interception(&am, s) / 4.0;
+        gpsr_best += best_interception(&gm, s) / 4.0;
+    }
+    assert!(
+        gpsr_best > 0.85,
+        "GPSR's best relay should see nearly everything, saw {gpsr_best:.2}"
+    );
+    assert!(
+        alert_best < gpsr_best - 0.15,
+        "ALERT's best relay ({alert_best:.2}) should see clearly less than GPSR's ({gpsr_best:.2})"
+    );
+}
+
+#[test]
+fn compromise_free_baseline_is_unaffected_by_wrapper() {
+    // The wrapper with zero compromised nodes must not change behavior.
+    let (wrapped, _) = run_with_blackholes(0, 4, Gpsr::default);
+    let mut w = World::new(scenario(), 4, |_, _| Gpsr::default());
+    w.run();
+    assert_eq!(wrapped.delivery_rate(), w.metrics().delivery_rate());
+    assert_eq!(wrapped.hops_per_packet(), w.metrics().hops_per_packet());
+}

@@ -1,0 +1,149 @@
+//! Destination anonymity over time (paper Section 4.3).
+//!
+//! Following ZAP \[13\], a node at speed `v` remains inside a circular zone
+//! of radius `r` after time `t` with probability `p_r(t) = exp(-t/beta)`,
+//! `beta = pi r / (2 v)` (Eqs. 11–12). ALERT's square destination zone of
+//! side `2 r'` is approximated by the equal-area circle `r = 2 r'/sqrt(pi)`
+//! (Eq. 13), giving `beta = sqrt(pi) r' / v` (Eq. 14) and the remaining
+//! population `N_r(t) = p_r(t) a(H, l_A) b(H, l_B) rho` (Eq. 15).
+
+use alert_geom::zone_side_lengths;
+
+/// Eqs. (12)–(14): the residence time constant `beta` for a square zone of
+/// side `2 r'` (i.e. `side_m = 2 r'`) and node speed `v` (m/s).
+///
+/// Returns `f64::INFINITY` for static nodes (they never leave).
+pub fn beta(side_m: f64, speed_mps: f64) -> f64 {
+    assert!(side_m > 0.0, "zone side must be positive");
+    if speed_mps <= 0.0 {
+        return f64::INFINITY;
+    }
+    let r_prime = side_m / 2.0;
+    std::f64::consts::PI.sqrt() * r_prime / speed_mps
+}
+
+/// Eq. (11): probability a node is still inside the zone after `t`
+/// seconds.
+pub fn residence_probability(side_m: f64, speed_mps: f64, t: f64) -> f64 {
+    let b = beta(side_m, speed_mps);
+    if b.is_infinite() {
+        1.0
+    } else {
+        (-t / b).exp()
+    }
+}
+
+/// Eq. (15): expected number of the original zone members still inside the
+/// destination zone after `t` seconds, for a field `l_a x l_b` partitioned
+/// `h` times with node density `rho` (nodes per square metre).
+///
+/// As in the paper, the square-zone approximation assumes an even number
+/// of partitions of a square field; for odd `h` we use the geometric mean
+/// of the two side lengths, which coincides for the even case.
+pub fn remaining_nodes(h: u32, l_a: f64, l_b: f64, density: f64, speed_mps: f64, t: f64) -> f64 {
+    let (a, b) = zone_side_lengths(h, l_a, l_b);
+    let side = (a * b).sqrt(); // equal-area square side
+    let initial = a * b * density;
+    residence_probability(side, speed_mps, t) * initial
+}
+
+/// Fig. 13b's inverse problem: the node density (nodes per square metre)
+/// required so that `target` nodes remain in the zone after `t` seconds at
+/// the given speed.
+pub fn required_density(
+    h: u32,
+    l_a: f64,
+    l_b: f64,
+    speed_mps: f64,
+    t: f64,
+    target: f64,
+) -> f64 {
+    let (a, b) = zone_side_lengths(h, l_a, l_b);
+    let side = (a * b).sqrt();
+    let p = residence_probability(side, speed_mps, t);
+    target / (p * a * b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: f64 = 1000.0;
+
+    #[test]
+    fn beta_matches_formula() {
+        // side 250 m -> r' = 125; beta = sqrt(pi) * 125 / 2.
+        let b = beta(250.0, 2.0);
+        assert!((b - std::f64::consts::PI.sqrt() * 62.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_nodes_never_leave() {
+        assert_eq!(residence_probability(250.0, 0.0, 1e9), 1.0);
+        let n0 = remaining_nodes(5, L, L, 200e-6, 0.0, 0.0);
+        let n_later = remaining_nodes(5, L, L, 200e-6, 0.0, 100.0);
+        assert_eq!(n0, n_later);
+    }
+
+    #[test]
+    fn initial_population_matches_zone_size() {
+        // H = 5, 200 nodes/km^2: zone holds 200 / 32 = 6.25 nodes at t=0.
+        let n0 = remaining_nodes(5, L, L, 200.0 / (L * L), 2.0, 0.0);
+        assert!((n0 - 6.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_is_exponential_in_time() {
+        let d = 200.0 / (L * L);
+        let n10 = remaining_nodes(5, L, L, d, 2.0, 10.0);
+        let n20 = remaining_nodes(5, L, L, d, 2.0, 20.0);
+        let n30 = remaining_nodes(5, L, L, d, 2.0, 30.0);
+        // Constant ratio between equal time steps.
+        assert!(((n20 / n10) - (n30 / n20)).abs() < 1e-9);
+        assert!(n10 > n20 && n20 > n30);
+    }
+
+    #[test]
+    fn faster_nodes_leave_sooner() {
+        // Fig. 9b: higher speed, fewer remaining nodes.
+        let d = 200.0 / (L * L);
+        let slow = remaining_nodes(5, L, L, d, 2.0, 20.0);
+        let fast = remaining_nodes(5, L, L, d, 8.0, 20.0);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn denser_networks_retain_more(){
+        // Fig. 9a: the three density curves are scalar multiples.
+        let n100 = remaining_nodes(5, L, L, 100.0 / (L * L), 2.0, 15.0);
+        let n400 = remaining_nodes(5, L, L, 400.0 / (L * L), 2.0, 15.0);
+        assert!((n400 / n100 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_partitions_bigger_zone_more_remaining() {
+        // Fig. 13a: H = 4 keeps more nodes than H = 5.
+        let d = 200.0 / (L * L);
+        let h4 = remaining_nodes(4, L, L, d, 2.0, 10.0);
+        let h5 = remaining_nodes(5, L, L, d, 2.0, 10.0);
+        assert!(h4 > h5);
+    }
+
+    #[test]
+    fn required_density_inverts_remaining_nodes() {
+        // Round-trip: density needed for `target` remaining -> plugging it
+        // back yields the target.
+        let (h, v, t, target) = (5, 4.0, 10.0, 5.0);
+        let rho = required_density(h, L, L, v, t, target);
+        let back = remaining_nodes(h, L, L, rho, v, t);
+        assert!((back - target).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_density_increases_with_speed() {
+        // Fig. 13b: faster movement demands denser networks.
+        let d2 = required_density(5, L, L, 2.0, 10.0, 5.0);
+        let d8 = required_density(5, L, L, 8.0, 10.0, 5.0);
+        assert!(d8 > d2);
+    }
+}

@@ -1,0 +1,102 @@
+//! The number of random forwarders (paper Section 4.2).
+//!
+//! Each of the `H - sigma` partition opportunities after the first
+//! separation flips a fair coin between an `RF+` choice (one more random
+//! forwarder) and an `RF-` choice, giving a Binomial distribution:
+//!
+//! * Eq. (8): `p_i(sigma, i) = C(H - sigma, i) (1/2)^(H - sigma)`;
+//! * Eq. (9): `N_RF(sigma) = sum_i i * p_i(sigma, i)`;
+//! * Eq. (10): `N_RF = sum_sigma N_RF(sigma) / 2^sigma`.
+
+use crate::binomial;
+
+/// Eq. (8): probability that an S–D routing with closeness `sigma` and
+/// `h` total partitions uses exactly `i` random forwarders.
+pub fn p_rf_count(h: u32, sigma: u32, i: u32) -> f64 {
+    assert!(sigma <= h, "closeness cannot exceed the partition count");
+    let n = h - sigma;
+    binomial(n, i) * 2f64.powi(-(n as i32))
+}
+
+/// Eq. (9): expected number of RFs given closeness `sigma`.
+pub fn expected_random_forwarders_given_sigma(h: u32, sigma: u32) -> f64 {
+    let n = h - sigma;
+    (1..=n).map(|i| f64::from(i) * p_rf_count(h, sigma, i)).sum()
+}
+
+/// Eq. (10): expected number of RFs over the closeness distribution.
+pub fn expected_random_forwarders(h: u32) -> f64 {
+    // `+ 0.0` normalizes the IEEE negative zero an empty inner sum can
+    // propagate (it would print as "-0.000").
+    (1..=h)
+        .map(|sigma| expected_random_forwarders_given_sigma(h, sigma) * 2f64.powi(-(sigma as i32)))
+        .sum::<f64>()
+        + 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rf_distribution_is_binomial_mean() {
+        // Binomial(n, 1/2) has mean n/2.
+        for h in 1..10 {
+            for sigma in 1..=h {
+                let mean = expected_random_forwarders_given_sigma(h, sigma);
+                assert!(
+                    (mean - f64::from(h - sigma) / 2.0).abs() < 1e-9,
+                    "h={h} sigma={sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rf_probabilities_sum_to_one() {
+        let (h, sigma) = (8, 2);
+        let total: f64 = (0..=(h - sigma)).map(|i| p_rf_count(h, sigma, i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grows_linearly_with_h() {
+        // Fig. 7b: the expected RF count is linear in the number of
+        // partitions. N_RF = sum_sigma ((H - sigma)/2) 2^-sigma
+        //            = H/2 * (1 - 2^-H) - (1 - (H+2) 2^-(H+1)) ... check
+        // linear spacing for the mid-range of H.
+        let d1 = expected_random_forwarders(6) - expected_random_forwarders(5);
+        let d2 = expected_random_forwarders(9) - expected_random_forwarders(8);
+        assert!((d1 - d2).abs() < 0.05, "spacing {d1} vs {d2} not ~constant");
+        // Asymptotic slope is 1/2 per extra partition.
+        assert!((d2 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn h5_value_matches_hand_computation() {
+        // H = 5 (the paper's default):
+        // N_RF = sum_{sigma=1}^{5} ((5 - sigma)/2) * 2^-sigma
+        //      = 2/2*1/2 + 3/2*1/4... explicitly:
+        let hand: f64 = (1..=5)
+            .map(|s| f64::from(5 - s) / 2.0 * 2f64.powi(-s))
+            .sum();
+        assert!((expected_random_forwarders(5) - hand).abs() < 1e-12);
+        assert!((hand - 1.53125).abs() < 1e-9, "hand value {hand}");
+    }
+
+    #[test]
+    fn zero_for_h1_when_pairs_always_split_once() {
+        // With H = 1, sigma = 1 leaves no further partitions: no RFs.
+        assert_eq!(expected_random_forwarders(1), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_h() {
+        let mut prev = -1.0;
+        for h in 1..12 {
+            let v = expected_random_forwarders(h);
+            assert!(v > prev, "not monotone at h={h}");
+            prev = v;
+        }
+    }
+}

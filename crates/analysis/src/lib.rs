@@ -1,0 +1,80 @@
+//! # alert-analysis
+//!
+//! The paper's closed-form theory (Section 4), used both to regenerate the
+//! analytical figures (Figs. 6–9) and to cross-validate the simulator:
+//!
+//! * [`participation`] — the expected number of *possible* participating
+//!   nodes (Eqs. 5–7, Fig. 7a);
+//! * [`forwarders`] — the expected number of random forwarders
+//!   (Eqs. 8–10, Fig. 7b);
+//! * [`destination`] — destination-zone residence dynamics
+//!   (Eqs. 11–15, Figs. 9a/9b) and the location-service overhead
+//!   condition (end of Section 4.3);
+//! * [`source_anonymity`] — quantified versions of the paper's prose
+//!   models: pseudonym brute-force cost (§2.2) and the notify-and-go
+//!   window tradeoff (§2.6).
+
+//! ## Example
+//!
+//! ```
+//! // The paper's default: H = 5 partitions.
+//! let rfs = alert_analysis::expected_random_forwarders(5);
+//! assert!((rfs - 1.53125).abs() < 1e-9);
+//! let remaining = alert_analysis::remaining_nodes(
+//!     5, 1000.0, 1000.0, 200e-6, 2.0, 20.0);
+//! assert!(remaining > 4.0 && remaining < 6.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod destination;
+pub mod forwarders;
+pub mod participation;
+pub mod source_anonymity;
+
+pub use destination::{beta, remaining_nodes, required_density, residence_probability};
+pub use forwarders::{expected_random_forwarders, expected_random_forwarders_given_sigma, p_rf_count};
+pub use participation::{
+    expected_participants, expected_participants_given_sigma, separation_probability,
+};
+pub use source_anonymity::{
+    minimal_t0_for_collision_target, notify_added_delay_s, notify_collision_probability,
+    pseudonym_bruteforce_hashes,
+};
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the small `n` the
+/// paper's formulas need).
+pub(crate) fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * f64::from(n - i) / f64::from(i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::binomial;
+
+    #[test]
+    fn binomial_matches_pascal() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 3), 120.0);
+        assert_eq!(binomial(3, 4), 0.0);
+    }
+
+    #[test]
+    fn binomial_row_sums_to_power_of_two() {
+        let n = 12;
+        let sum: f64 = (0..=n).map(|k| binomial(n, k)).sum();
+        assert!((sum - 2f64.powi(n as i32)).abs() < 1e-9);
+    }
+}

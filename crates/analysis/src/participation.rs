@@ -1,0 +1,118 @@
+//! The number of possible participating nodes (paper Section 4.1).
+//!
+//! A node can participate in an S–D routing if it lies in the zone a
+//! packet may traverse. With `sigma` the *closeness* — the number of
+//! partitions needed to separate S and D — the paper derives:
+//!
+//! * Eq. (5): `p_s(sigma) = 2^-sigma`, the probability a uniformly placed
+//!   destination needs exactly `sigma` partitions;
+//! * Eq. (6): `N_e(sigma) = a(sigma, l_A) * b(sigma, l_B) * rho`, the node
+//!   population of the `sigma`-th partitioned zone;
+//! * Eq. (7): `N_e = sum_sigma N_e(sigma) p_s(sigma)`.
+
+use alert_geom::zone_side_lengths;
+
+/// Eq. (5): probability that exactly `sigma` partitions separate a random
+/// S–D pair, for `1 <= sigma <= h`.
+pub fn separation_probability(sigma: u32) -> f64 {
+    assert!(sigma >= 1, "at least one partition is always performed");
+    2f64.powi(-(sigma as i32))
+}
+
+/// Eq. (6): expected number of nodes that can take part in the routing
+/// when S and D separate after `sigma` partitions: the population of the
+/// `sigma`-th partitioned zone.
+///
+/// `l_a`/`l_b` are the field side lengths in metres and `density` is in
+/// nodes per square metre.
+pub fn expected_participants_given_sigma(sigma: u32, l_a: f64, l_b: f64, density: f64) -> f64 {
+    let (a, b) = zone_side_lengths(sigma, l_a, l_b);
+    a * b * density
+}
+
+/// Eq. (7): expected number of possible participating nodes from a source
+/// to a uniformly random destination, with `h` total partitions.
+pub fn expected_participants(h: u32, l_a: f64, l_b: f64, density: f64) -> f64 {
+    (1..=h)
+        .map(|sigma| {
+            expected_participants_given_sigma(sigma, l_a, l_b, density)
+                * separation_probability(sigma)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: f64 = 1000.0;
+
+    fn density(n: f64) -> f64 {
+        n / (L * L)
+    }
+
+    #[test]
+    fn sigma_one_zone_is_half_the_field() {
+        // One partition halves the field: N_e(1) = N / 2.
+        let ne1 = expected_participants_given_sigma(1, L, L, density(200.0));
+        assert!((ne1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separation_probabilities_decay_geometrically() {
+        assert_eq!(separation_probability(1), 0.5);
+        assert_eq!(separation_probability(2), 0.25);
+        assert_eq!(separation_probability(5), 1.0 / 32.0);
+    }
+
+    #[test]
+    fn participants_saturate_near_quarter_of_population() {
+        // The paper observes the curve flattens around N/4 as H grows
+        // (Fig. 7a): sum_sigma (N / 2^sigma) * 2^-sigma -> N/3 * (1 - 4^-H)
+        // ... with the alternating side lengths the limit sits near N/4-N/3.
+        let n = 200.0;
+        let big_h = expected_participants(12, L, L, density(n));
+        assert!(
+            big_h > n / 5.0 && big_h < n / 2.5,
+            "saturation value {big_h} outside the paper's ~N/4 regime"
+        );
+        // ...and increments become negligible.
+        let h11 = expected_participants(11, L, L, density(n));
+        assert!(big_h - h11 < 0.01);
+    }
+
+    #[test]
+    fn fast_growth_from_h1_to_h2() {
+        // Fig. 7a: the sharpest increase happens from H = 1 to H = 2.
+        let n = density(200.0);
+        let deltas: Vec<f64> = (1..6)
+            .map(|h| expected_participants(h + 1, L, L, n) - expected_participants(h, L, L, n))
+            .collect();
+        assert!(
+            deltas[0] > deltas[1] && deltas[1] > deltas[2],
+            "increments should shrink: {deltas:?}"
+        );
+    }
+
+    #[test]
+    fn participants_scale_linearly_with_population() {
+        // Fig. 7a's three curves (100/200/400 nodes) are scalar multiples.
+        let h = 5;
+        let p100 = expected_participants(h, L, L, density(100.0));
+        let p200 = expected_participants(h, L, L, density(200.0));
+        let p400 = expected_participants(h, L, L, density(400.0));
+        assert!((p200 / p100 - 2.0).abs() < 1e-9);
+        assert!((p400 / p200 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_h() {
+        let n = density(200.0);
+        let mut prev = 0.0;
+        for h in 1..10 {
+            let v = expected_participants(h, L, L, n);
+            assert!(v >= prev, "not monotone at h={h}");
+            prev = v;
+        }
+    }
+}

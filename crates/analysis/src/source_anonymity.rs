@@ -1,0 +1,171 @@
+//! Source-anonymity models (paper Sections 2.2 and 2.6).
+//!
+//! Two quantitative discussions in the paper's prose are made computable
+//! here:
+//!
+//! * **Pseudonym brute-force cost (§2.2).** A pseudonym is
+//!   `SHA1(MAC || timestamp)` with the sub-second digits randomized. An
+//!   attacker who knows the MAC must enumerate the randomized digits —
+//!   "the attacker needs to compute, e.g., 10^5 times for one packet per
+//!   node" — across every candidate node it hears.
+//! * **"Notify and go" window (§2.6).** `t0` must be "long enough to
+//!   minimize interference" (simultaneous cover transmissions collide)
+//!   "and balance out the delay": collision probability falls with `t0`,
+//!   added latency grows as `t + t0/2`.
+
+/// Expected hash evaluations to brute-force one pseudonym observation:
+/// `candidates x randomization_space / 2` (half the space on average).
+///
+/// `timestamp_precision_s` is the clock precision kept in the hash input
+/// (the paper keeps 1 s); `randomized_resolution_s` is the granularity of
+/// the randomized digits (e.g. 10 µs -> 10^5 values per second).
+pub fn pseudonym_bruteforce_hashes(
+    candidates: u64,
+    timestamp_precision_s: f64,
+    randomized_resolution_s: f64,
+) -> f64 {
+    assert!(timestamp_precision_s > 0.0 && randomized_resolution_s > 0.0);
+    let space = (timestamp_precision_s / randomized_resolution_s).max(1.0);
+    candidates as f64 * space / 2.0
+}
+
+/// Probability that at least two of the `eta + 1` notify-and-go
+/// transmissions (the source plus `eta` covering neighbors) overlap in
+/// the air, given each transmission lasts `airtime_s` and start times are
+/// uniform over a window of length `t0_s`.
+///
+/// Uses the standard spacing bound: with `n` uniform arrivals in `[0, w]`,
+/// `P(no two within a) = max(0, 1 - (n-1) a / w)^n` (exact for the
+/// order-statistics gap model, clamped for short windows).
+pub fn notify_collision_probability(eta: usize, t0_s: f64, airtime_s: f64) -> f64 {
+    assert!(t0_s >= 0.0 && airtime_s >= 0.0);
+    let n = eta as f64 + 1.0;
+    if t0_s <= 0.0 {
+        return if n > 1.0 { 1.0 } else { 0.0 };
+    }
+    let free = (1.0 - (n - 1.0) * airtime_s / t0_s).max(0.0);
+    1.0 - free.powf(n)
+}
+
+/// Mean extra latency the notify-and-go back-off adds to the data packet:
+/// `t + t0 / 2` (§2.6: the source waits a uniform draw from `[t, t+t0]`).
+pub fn notify_added_delay_s(t_s: f64, t0_s: f64) -> f64 {
+    t_s + t0_s / 2.0
+}
+
+/// The smallest window `t0` keeping the collision probability below
+/// `target`, found by doubling + bisection. Returns `None` if even a
+/// window of `max_t0_s` cannot reach the target.
+pub fn minimal_t0_for_collision_target(
+    eta: usize,
+    airtime_s: f64,
+    target: f64,
+    max_t0_s: f64,
+) -> Option<f64> {
+    assert!((0.0..1.0).contains(&target));
+    if notify_collision_probability(eta, max_t0_s, airtime_s) > target {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0f64, max_t0_s);
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2.0;
+        if notify_collision_probability(eta, mid, airtime_s) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bruteforce_example() {
+        // §2.2's example: ~10^5 computations for one packet per node.
+        // 1 s precision randomized at 10 us resolution = 10^5 values;
+        // expected work for one candidate is half the space.
+        let work = pseudonym_bruteforce_hashes(1, 1.0, 1e-5);
+        assert!((work - 5e4).abs() < 1.0);
+        // "There may also be many nodes for an attacker to listen":
+        // 200 candidates push it to 10^7.
+        let many = pseudonym_bruteforce_hashes(200, 1.0, 1e-5);
+        assert!((many - 1e7).abs() < 1e3);
+    }
+
+    #[test]
+    fn finer_randomization_costs_more() {
+        let coarse = pseudonym_bruteforce_hashes(1, 1.0, 1e-3);
+        let fine = pseudonym_bruteforce_hashes(1, 1.0, 1e-9);
+        assert!(fine > coarse * 1e5);
+    }
+
+    #[test]
+    fn collision_probability_falls_with_t0() {
+        let airtime = 0.0007; // a 16-byte cover frame
+        let p_short = notify_collision_probability(20, 0.002, airtime);
+        let p_long = notify_collision_probability(20, 0.5, airtime);
+        assert!(p_short > p_long);
+        assert!(p_short > 0.99, "cramming 21 frames into 2 ms must collide");
+        assert!(p_long < 0.6, "21 frames over 500 ms rarely collide, p={p_long}");
+    }
+
+    #[test]
+    fn collision_edges() {
+        assert_eq!(notify_collision_probability(0, 0.01, 0.001), 0.0);
+        assert_eq!(notify_collision_probability(5, 0.0, 0.001), 1.0);
+        // Zero airtime never collides.
+        assert_eq!(notify_collision_probability(50, 0.01, 0.0), 0.0);
+    }
+
+    #[test]
+    fn collision_grows_with_eta() {
+        let airtime = 0.0007;
+        let p5 = notify_collision_probability(5, 0.02, airtime);
+        let p40 = notify_collision_probability(40, 0.02, airtime);
+        assert!(p40 > p5);
+    }
+
+    #[test]
+    fn added_delay_is_t_plus_half_window() {
+        assert!((notify_added_delay_s(0.001, 0.004) - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimal_t0_matches_direct_evaluation() {
+        let eta = 20;
+        let airtime = 0.0007;
+        let t0 = minimal_t0_for_collision_target(eta, airtime, 0.5, 10.0).unwrap();
+        let p = notify_collision_probability(eta, t0, airtime);
+        assert!(p <= 0.5 + 1e-6, "p at minimal t0 is {p}");
+        // Slightly smaller windows must violate the target.
+        let p_tighter = notify_collision_probability(eta, t0 * 0.9, airtime);
+        assert!(p_tighter > 0.5);
+    }
+
+    #[test]
+    fn impossible_target_is_none() {
+        // With an enormous eta and tiny max window, no t0 suffices.
+        assert!(minimal_t0_for_collision_target(10_000, 0.001, 0.01, 0.05).is_none());
+    }
+
+    #[test]
+    fn tradeoff_shape_matches_section_2_6() {
+        // "A long t0 may lead to a long transmission delay while a short
+        // t0 may result in interference": as t0 grows, collisions fall
+        // and delay rises — the knee is where both are acceptable.
+        let airtime = 0.0007;
+        let mut last_p = 1.0;
+        let mut last_d = 0.0;
+        for t0 in [0.001f64, 0.004, 0.016, 0.064] {
+            let p = notify_collision_probability(20, t0, airtime);
+            let d = notify_added_delay_s(0.001, t0);
+            assert!(p <= last_p + 1e-12);
+            assert!(d > last_d);
+            last_p = p;
+            last_d = d;
+        }
+    }
+}

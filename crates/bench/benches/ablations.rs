@@ -1,0 +1,66 @@
+//! Ablation benches for the design choices called out in DESIGN.md § 5:
+//! how ALERT's knobs change the cost of a run. (The metric-level effects —
+//! anonymity vs overhead — are asserted in `tests/ablation_metrics.rs`;
+//! these benches fence the *time* cost of each variant.)
+
+use alert_bench::{run_once, ProtocolChoice};
+use alert_core::AlertConfig;
+use alert_sim::ScenarioConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default().with_nodes(100).with_duration(20.0);
+    cfg.traffic.pairs = 5;
+    cfg
+}
+
+/// Notify-and-go multiplies control traffic by the neighborhood size eta;
+/// measure what that costs per run.
+fn bench_notify_and_go(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_notify_go");
+    group.sample_size(10);
+    for on in [false, true] {
+        let acfg = AlertConfig::default().with_notify_and_go(on);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if on { "on" } else { "off" }),
+            &acfg,
+            |b, acfg| b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)),
+        );
+    }
+    group.finish();
+}
+
+/// k (destination anonymity) trades zone size against broadcast cost;
+/// smaller k = more partitions = more RFs per packet.
+fn bench_k_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_k_tradeoff");
+    group.sample_size(10);
+    for k in [2.0f64, 6.25, 25.0] {
+        let acfg = AlertConfig::default().with_k(k);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &acfg, |b, acfg| {
+            b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7))
+        });
+    }
+    group.finish();
+}
+
+/// The intersection defense doubles the delivery steps in the zone.
+fn bench_intersection_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_intersection_m");
+    group.sample_size(10);
+    let off = AlertConfig::default();
+    group.bench_with_input(BenchmarkId::from_parameter("off"), &off, |b, acfg| {
+        b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7))
+    });
+    for m in [2usize, 4] {
+        let acfg = AlertConfig::default().with_intersection_defense(m);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("m{m}")), &acfg, |b, acfg| {
+            b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_notify_and_go, bench_k_tradeoff, bench_intersection_m);
+criterion_main!(benches);

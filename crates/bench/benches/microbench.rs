@@ -1,0 +1,102 @@
+//! Microbenchmarks of the hot algorithmic kernels: hierarchical zone
+//! partitioning, spatial-grid queries, geographic forwarding primitives,
+//! and the crypto substrate.
+
+use alert_crypto::{seal, sha1, KeyPair, SymmetricKey};
+use alert_geom::{destination_zone, separate, Axis, Point, Rect, SpatialGrid};
+use alert_protocols::forwarding::{gabriel_neighbors, greedy_next_hop};
+use alert_sim::NeighborEntry;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn field() -> Rect {
+    Rect::with_size(1000.0, 1000.0)
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let f = field();
+    let dest = Point::new(873.0, 911.0);
+    c.bench_function("geom/destination_zone_h5", |b| {
+        b.iter(|| destination_zone(black_box(&f), black_box(dest), 5, Axis::Vertical))
+    });
+    let zd = destination_zone(&f, dest, 5, Axis::Vertical);
+    let me = Point::new(120.0, 95.0);
+    c.bench_function("geom/separate_h5", |b| {
+        b.iter(|| separate(black_box(&f), black_box(me), black_box(&zd), Axis::Vertical, 5))
+    });
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("grid");
+    for n in [100usize, 200, 400] {
+        let pts: Vec<(usize, Point)> = (0..n)
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+                )
+            })
+            .collect();
+        let mut grid = SpatialGrid::new(field(), 250.0);
+        grid.rebuild(pts.iter().copied());
+        group.bench_with_input(BenchmarkId::new("range_query", n), &grid, |b, g| {
+            b.iter(|| g.query_range(black_box(Point::new(500.0, 500.0)), 250.0))
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &pts, |b, pts| {
+            let mut g = SpatialGrid::new(field(), 250.0);
+            b.iter(|| g.rebuild(pts.iter().copied()))
+        });
+    }
+    group.finish();
+}
+
+fn neighbor_table(n: usize, seed: u64) -> Vec<NeighborEntry> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kp = KeyPair::generate(&mut rng);
+    (0..n)
+        .map(|i| NeighborEntry {
+            pseudonym: alert_crypto::Pseudonym(i as u64),
+            position: Point::new(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0)),
+            public_key: kp.public,
+            heard_at: 0.0,
+        })
+        .collect()
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let table = neighbor_table(25, 3);
+    let me = Point::new(250.0, 250.0);
+    let target = Point::new(900.0, 900.0);
+    c.bench_function("forwarding/greedy_next_hop_25", |b| {
+        b.iter(|| greedy_next_hop(black_box(me), black_box(target), black_box(&table)))
+    });
+    c.bench_function("forwarding/gabriel_25", |b| {
+        b.iter(|| gabriel_neighbors(black_box(me), black_box(&table)))
+    });
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = vec![0xA5u8; 512];
+    c.bench_function("crypto/sha1_512B", |b| b.iter(|| sha1(black_box(&data))));
+    let key = SymmetricKey::random(&mut rng);
+    c.bench_function("crypto/stream_seal_512B", |b| {
+        b.iter(|| seal(black_box(&key), black_box(&data), &mut rng))
+    });
+    let kp = KeyPair::generate(&mut rng);
+    c.bench_function("crypto/pk_encrypt_16B", |b| {
+        b.iter(|| alert_crypto::pk_encrypt(black_box(&kp.public), black_box(&data[..16])))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_partition,
+    bench_grid,
+    bench_forwarding,
+    bench_crypto
+);
+criterion_main!(benches);

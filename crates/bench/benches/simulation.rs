@@ -1,0 +1,54 @@
+//! Whole-simulation throughput: how fast one seeded scenario runs per
+//! protocol. This is the cost of one Monte-Carlo sample in the
+//! reproduction sweeps, and doubles as a regression fence for the
+//! discrete-event engine.
+
+use alert_bench::{run_once, ProtocolChoice};
+use alert_core::AlertConfig;
+use alert_sim::ScenarioConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn small_scenario(nodes: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(20.0);
+    cfg.traffic.pairs = 5;
+    cfg
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_20s_100n");
+    group.sample_size(10);
+    let cfg = small_scenario(100);
+    for proto in [
+        ProtocolChoice::Alert(AlertConfig::default()),
+        ProtocolChoice::Gpsr,
+        ProtocolChoice::Alarm,
+        ProtocolChoice::Ao2p,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(proto.name()), &cfg, |b, cfg| {
+            b.iter(|| run_once(black_box(proto), cfg, 42))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_alert_scaling");
+    group.sample_size(10);
+    for nodes in [50usize, 100, 200, 400] {
+        let cfg = small_scenario(nodes);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_once(
+                    ProtocolChoice::Alert(AlertConfig::default()),
+                    black_box(cfg),
+                    42,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_scaling);
+criterion_main!(benches);

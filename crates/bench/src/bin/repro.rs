@@ -1,0 +1,127 @@
+//! `repro` — regenerates the ALERT paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment|all> [--runs N]
+//!
+//! experiments:
+//!   table1  fig5c  fig7a  fig7b  fig9a  fig9b
+//!   fig10a  fig10b fig11  fig12  fig13a fig13b
+//!   fig14a  fig14b fig15a fig15b fig16a fig16b fig17
+//! ```
+//!
+//! `--runs` controls the Monte-Carlo repetitions per data point (the
+//! paper averages 30 runs; the default here is 10 to keep a full `all`
+//! pass in minutes — pass `--runs 30` for the paper's setting).
+
+use alert_bench::figures::{analytic, attacks, claims, participants, performance, zone};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut runs = 10usize;
+    let mut csv_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--runs needs a positive integer"));
+            }
+            "--csv" => {
+                csv_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--csv needs a directory"))
+                        .clone(),
+                );
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
+    }
+    if targets.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    println!("# ALERT reproduction — {runs} runs per data point\n");
+    for t in &targets {
+        let start = Instant::now();
+        let out = render(t, runs).unwrap_or_else(|| die(&format!("unknown experiment '{t}'")));
+        match out {
+            Rendered::Text(text) => print!("{text}"),
+            Rendered::Table(table) => {
+                print!("{}", table.render());
+                if let Some(dir) = &csv_dir {
+                    let path = format!("{dir}/{t}.csv");
+                    std::fs::write(&path, table.to_csv())
+                        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                }
+            }
+        }
+        eprintln!("[{t}] done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+}
+
+/// A rendered experiment: a pre-formatted text block (Table 1) or a
+/// structured table (everything else, CSV-exportable).
+enum Rendered {
+    Text(String),
+    Table(alert_bench::FigureTable),
+}
+
+const ALL: [&str; 24] = [
+    "table1", "fig5c", "fig7a", "fig7b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12",
+    "fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b", "fig16a", "fig16b", "fig17",
+    "claim-dos", "claim-interception", "claim-defense-cost", "claim-energy", "panorama",
+];
+
+fn render(target: &str, runs: usize) -> Option<Rendered> {
+    Some(match target {
+        "table1" => Rendered::Text(attacks::table1()),
+        "fig5c" => Rendered::Table(attacks::fig5c(runs)),
+        "fig7a" => Rendered::Table(analytic::fig7a()),
+        "fig7b" => Rendered::Table(analytic::fig7b()),
+        "fig9a" => Rendered::Table(analytic::fig9a()),
+        "fig9b" => Rendered::Table(analytic::fig9b()),
+        "fig10a" => Rendered::Table(participants::fig10a(runs)),
+        "fig10b" => Rendered::Table(participants::fig10b(runs)),
+        "fig11" => Rendered::Table(participants::fig11(runs)),
+        "fig12" => Rendered::Table(zone::fig12(runs)),
+        "fig13a" => Rendered::Table(zone::fig13a(runs)),
+        "fig13b" => Rendered::Table(zone::fig13b(runs)),
+        "fig14a" => Rendered::Table(performance::fig14a(runs)),
+        "fig14b" => Rendered::Table(performance::fig14b(runs)),
+        "fig15a" => Rendered::Table(performance::fig15a(runs)),
+        "fig15b" => Rendered::Table(performance::fig15b(runs)),
+        "fig16a" => Rendered::Table(performance::fig16a(runs)),
+        "fig16b" => Rendered::Table(performance::fig16b(runs)),
+        "fig17" => Rendered::Table(performance::fig17(runs)),
+        "claim-dos" => Rendered::Table(claims::claim_dos(runs)),
+        "claim-interception" => Rendered::Table(claims::claim_interception(runs)),
+        "claim-defense-cost" => Rendered::Table(claims::claim_defense_cost(runs)),
+        "claim-energy" => Rendered::Table(claims::claim_energy(runs)),
+        "panorama" => Rendered::Table(claims::panorama(runs)),
+        _ => return None,
+    })
+}
+
+fn print_usage() {
+    eprintln!("usage: repro <experiment...|all> [--runs N] [--csv DIR]");
+    eprintln!("experiments: {}", ALL.join(" "));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,107 @@
+//! `simrun` — run one protocol on a scenario described by a JSON file
+//! (or the paper's default) and print the run summary.
+//!
+//! ```text
+//! simrun --protocol alert [--scenario scenario.json] [--seed 42] [--runs 5]
+//! simrun --emit-default-scenario > scenario.json
+//! ```
+//!
+//! Scenario files use the serde form of [`alert_sim::ScenarioConfig`]; see
+//! `--emit-default-scenario` for a template.
+
+use alert_bench::{run_once, sweep_point, ProtocolChoice};
+use alert_core::AlertConfig;
+use alert_sim::{Metrics, ScenarioConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut protocol = String::from("alert");
+    let mut scenario_path: Option<String> = None;
+    let mut seed = 42u64;
+    let mut runs = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--protocol" => protocol = it.next().unwrap_or_else(|| die("--protocol needs a value")).clone(),
+            "--scenario" => scenario_path = it.next().cloned(),
+            "--seed" => seed = parse(it.next(), "--seed"),
+            "--runs" => runs = parse(it.next(), "--runs"),
+            "--emit-default-scenario" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&ScenarioConfig::default())
+                        .expect("default scenario serializes")
+                );
+                return;
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let scenario: ScenarioConfig = match &scenario_path {
+        None => ScenarioConfig::default(),
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| die(&format!("cannot read {p}: {e}")));
+            serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("bad scenario {p}: {e}")))
+        }
+    };
+    if let Err(e) = scenario.validate() {
+        die(&format!("invalid scenario: {e}"));
+    }
+    let choice = match protocol.to_lowercase().as_str() {
+        "alert" => ProtocolChoice::Alert(AlertConfig::default()),
+        "gpsr" => ProtocolChoice::Gpsr,
+        "alarm" => ProtocolChoice::Alarm,
+        "ao2p" => ProtocolChoice::Ao2p,
+        "zap" => ProtocolChoice::Zap { growth: 1.0 },
+        "anodr" => ProtocolChoice::Anodr,
+        "prism" => ProtocolChoice::Prism,
+        "mask" => ProtocolChoice::Mask,
+        "mapcp" => ProtocolChoice::Mapcp,
+        other => die(&format!(
+            "unknown protocol '{other}' (alert|gpsr|alarm|ao2p|zap|anodr|prism|mask|mapcp)"
+        )),
+    };
+
+    println!(
+        "# {} on {} nodes, {:.0} s, seed {seed}, {runs} run(s)",
+        choice.name(),
+        scenario.nodes,
+        scenario.duration_s
+    );
+    if runs == 1 {
+        let m = run_once(choice, &scenario, seed);
+        println!("{}", m.summary());
+    } else {
+        let delivery = sweep_point(choice, &scenario, runs, Metrics::delivery_rate);
+        let latency = sweep_point(choice, &scenario, runs, |m: &Metrics| {
+            m.mean_latency().unwrap_or(f64::NAN) * 1000.0
+        });
+        let hops = sweep_point(choice, &scenario, runs, Metrics::hops_per_packet);
+        println!("delivery  {delivery:.3}");
+        println!("latency   {latency:.1} ms");
+        println!("hops/pkt  {hops:.2}");
+        println!("(single-run detail: rerun with --runs 1)");
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a numeric value")))
+}
+
+fn usage() {
+    eprintln!("usage: simrun [--protocol alert|gpsr|alarm|ao2p|zap|anodr|prism|mask|mapcp]");
+    eprintln!("              [--scenario file.json] [--seed N] [--runs N]");
+    eprintln!("       simrun --emit-default-scenario > scenario.json");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,78 @@
+//! The analytical figures (Section 4): Figs. 7a, 7b, 9a, 9b.
+
+use crate::table::FigureTable;
+use alert_analysis::{expected_participants, expected_random_forwarders, remaining_nodes};
+
+const L: f64 = 1000.0;
+
+/// Fig. 7a — estimated possible participating nodes vs number of
+/// partitions, for 100/200/400-node networks (Eq. 7).
+pub fn fig7a() -> FigureTable {
+    let mut t = FigureTable::new(
+        "Fig. 7a — estimated possible participating nodes (analytical, Eq. 7)",
+        "H",
+        vec!["N=100".into(), "N=200".into(), "N=400".into()],
+    );
+    for h in 1..=8u32 {
+        let vals: Vec<String> = [100.0, 200.0, 400.0]
+            .iter()
+            .map(|n| format!("{:.2}", expected_participants(h, L, L, n / (L * L))))
+            .collect();
+        t.row(h.to_string(), vals);
+    }
+    t.note("expected shape: fast rise H=1→2, then saturation near N/4 (paper Fig. 7a)");
+    t
+}
+
+/// Fig. 7b — estimated number of random forwarders vs partitions (Eq. 10).
+pub fn fig7b() -> FigureTable {
+    let mut t = FigureTable::new(
+        "Fig. 7b — estimated random forwarders (analytical, Eq. 10)",
+        "H",
+        vec!["E[RFs]".into()],
+    );
+    for h in 1..=10u32 {
+        t.row(h.to_string(), vec![format!("{:.3}", expected_random_forwarders(h))]);
+    }
+    t.note("expected shape: linear growth, asymptotic slope 1/2 per partition (paper Fig. 7b)");
+    t
+}
+
+/// Fig. 9a — analytical remaining nodes in the destination zone over
+/// time, densities 100/200/400 per km^2, v = 2 m/s, H = 5 (Eq. 15).
+pub fn fig9a() -> FigureTable {
+    let mut t = FigureTable::new(
+        "Fig. 9a — estimated remaining nodes vs time, v=2 m/s, H=5 (analytical, Eq. 15)",
+        "t (s)",
+        vec!["rho=100".into(), "rho=200".into(), "rho=400".into()],
+    );
+    for ti in (0..=40).step_by(5) {
+        let vals: Vec<String> = [100.0, 200.0, 400.0]
+            .iter()
+            .map(|n| format!("{:.2}", remaining_nodes(5, L, L, n / (L * L), 2.0, ti as f64)))
+            .collect();
+        t.row(ti.to_string(), vals);
+    }
+    t.note("expected shape: exponential decay; denser networks retain proportionally more (paper Fig. 9a)");
+    t
+}
+
+/// Fig. 9b — analytical remaining nodes over time for speeds 2/4/8 m/s at
+/// density 200 per km^2, H = 5 (Eq. 15).
+pub fn fig9b() -> FigureTable {
+    let mut t = FigureTable::new(
+        "Fig. 9b — estimated remaining nodes vs time, rho=200, H=5 (analytical, Eq. 15)",
+        "t (s)",
+        vec!["v=2".into(), "v=4".into(), "v=8".into()],
+    );
+    let d = 200.0 / (L * L);
+    for ti in (0..=40).step_by(5) {
+        let vals: Vec<String> = [2.0, 4.0, 8.0]
+            .iter()
+            .map(|v| format!("{:.2}", remaining_nodes(5, L, L, d, *v, ti as f64)))
+            .collect();
+        t.row(ti.to_string(), vals);
+    }
+    t.note("expected shape: faster nodes leave the zone sooner (paper Fig. 9b)");
+    t
+}

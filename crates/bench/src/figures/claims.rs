@@ -1,0 +1,359 @@
+//! Claim-level experiments that have no dedicated paper figure: the
+//! Section 3.1 denial-of-service / interception resistance claims.
+
+use crate::table::FigureTable;
+use alert_adversary::{choose_compromised, interception_fraction, Blackhole};
+use alert_core::{Alert, AlertConfig};
+use alert_protocols::Gpsr;
+use alert_sim::{Metrics, MobilityKind, NodeId, ProtocolNode, ScenarioConfig, SessionId, World};
+use rayon::prelude::*;
+use std::collections::BTreeSet;
+
+const PAIRS: usize = 4;
+
+fn scenario() -> ScenarioConfig {
+    // Static topology: the claim is about route stability under attack.
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(200)
+        .with_duration(60.0)
+        .with_mobility(MobilityKind::Static);
+    cfg.traffic.pairs = PAIRS;
+    cfg
+}
+
+fn session_rates(m: &Metrics) -> Vec<f64> {
+    (0..PAIRS as u32)
+        .map(|s| {
+            let pk: Vec<_> = m
+                .packets
+                .iter()
+                .filter(|p| p.session == SessionId(s))
+                .collect();
+            pk.iter().filter(|p| p.delivered_at.is_some()).count() as f64 / pk.len().max(1) as f64
+        })
+        .collect()
+}
+
+fn run_with_blackholes<P: ProtocolNode, F: Fn() -> P + Copy>(
+    count: usize,
+    seed: u64,
+    factory: F,
+) -> Metrics {
+    let probe = World::new(scenario(), seed, move |_, _| factory());
+    let endpoints: BTreeSet<NodeId> = probe
+        .sessions()
+        .iter()
+        .flat_map(|s| [s.src, s.dst])
+        .collect();
+    drop(probe);
+    let compromised = choose_compromised(200, count, &endpoints, seed ^ 0xBAD);
+    let mut w = World::new(scenario(), seed, move |id, _| {
+        Blackhole::new(factory(), compromised.contains(&id))
+    });
+    w.run();
+    w.metrics().clone()
+}
+
+/// §3.1 DoS claim — delivery and completely-cut sessions vs the number of
+/// compromised relay nodes, ALERT against GPSR.
+pub fn claim_dos(runs: usize) -> FigureTable {
+    let mut t = FigureTable::new(
+        "§3.1 claim — resilience to compromised (blackhole) relays, static topology",
+        "compromised",
+        vec![
+            "ALERT delivery".into(),
+            "GPSR delivery".into(),
+            "ALERT dead pairs %".into(),
+            "GPSR dead pairs %".into(),
+        ],
+    );
+    for count in [0usize, 10, 20, 30, 40] {
+        let outcomes: Vec<(f64, f64, usize, usize)> = (0..runs as u64)
+            .into_par_iter()
+            .map(|seed| {
+                let am = run_with_blackholes(count, seed, || Alert::new(AlertConfig::default()));
+                let gm = run_with_blackholes(count, seed, Gpsr::default);
+                let a_dead = session_rates(&am).iter().filter(|&&r| r < 0.05).count();
+                let g_dead = session_rates(&gm).iter().filter(|&&r| r < 0.05).count();
+                (am.delivery_rate(), gm.delivery_rate(), a_dead, g_dead)
+            })
+            .collect();
+        let n = outcomes.len() as f64;
+        let a_del = outcomes.iter().map(|o| o.0).sum::<f64>() / n;
+        let g_del = outcomes.iter().map(|o| o.1).sum::<f64>() / n;
+        let a_dead = outcomes.iter().map(|o| o.2).sum::<usize>() as f64 / (n * PAIRS as f64);
+        let g_dead = outcomes.iter().map(|o| o.3).sum::<usize>() as f64 / (n * PAIRS as f64);
+        t.row(
+            format!("{count} ({:.0}%)", count as f64 / 2.0),
+            vec![
+                format!("{a_del:.3}"),
+                format!("{g_del:.3}"),
+                format!("{:.0}", a_dead * 100.0),
+                format!("{:.0}", g_dead * 100.0),
+            ],
+        );
+    }
+    t.note("claim: 'communication in ALERT cannot be completely stopped by compromising certain");
+    t.note("nodes' while 'these attacks are easy to perform in geographic routing' — GPSR pairs die");
+    t.note("outright when a blackhole sits on their fixed path; ALERT pairs degrade but survive.");
+    t
+}
+
+/// §3.1 interception claim — how much of a session the single best-placed
+/// stationary relay carries under each protocol.
+pub fn claim_interception(runs: usize) -> FigureTable {
+    let mut t = FigureTable::new(
+        "§3.1 claim — best-relay interception fraction per session, static topology",
+        "protocol",
+        vec!["best-relay sees".into()],
+    );
+    let best = |m: &Metrics| -> f64 {
+        let mut acc = 0.0;
+        for s in 0..PAIRS as u32 {
+            let endpoints: BTreeSet<NodeId> = m
+                .packets
+                .iter()
+                .filter(|p| p.session == SessionId(s))
+                .flat_map(|p| [p.src, p.dst])
+                .collect();
+            let relays: BTreeSet<NodeId> = m
+                .packets
+                .iter()
+                .filter(|p| p.session == SessionId(s))
+                .flat_map(|p| p.participants.iter().copied())
+                .filter(|n| !endpoints.contains(n))
+                .collect();
+            acc += relays
+                .iter()
+                .map(|&r| interception_fraction(m, SessionId(s), &[r].into_iter().collect()))
+                .fold(0.0, f64::max)
+                / PAIRS as f64;
+        }
+        acc
+    };
+    let alert: f64 = (0..runs as u64)
+        .into_par_iter()
+        .map(|seed| {
+            let mut w = World::new(scenario(), seed, |_, _| Alert::new(AlertConfig::default()));
+            w.run();
+            best(w.metrics())
+        })
+        .sum::<f64>()
+        / runs as f64;
+    let gpsr: f64 = (0..runs as u64)
+        .into_par_iter()
+        .map(|seed| {
+            let mut w = World::new(scenario(), seed, |_, _| Gpsr::default());
+            w.run();
+            best(w.metrics())
+        })
+        .sum::<f64>()
+        / runs as f64;
+    t.row("ALERT", vec![format!("{:.0}% of packets", alert * 100.0)]);
+    t.row("GPSR", vec![format!("{:.0}% of packets", gpsr * 100.0)]);
+    t.note("claim: route randomization denies any fixed relay a full view of a session, defeating");
+    t.note("packet interception at a chosen point (Section 3.1).");
+    t
+}
+
+/// §3.3 — the cost of each intersection-attack countermeasure: ALERT's
+/// two-step delivery pays latency (held until the next packet); ZAP's
+/// zone enlargement pays bandwidth (ever-growing floods). Both defend the
+/// destination; the paper argues ALERT's trade is the cheaper one for
+/// long sessions.
+pub fn claim_defense_cost(runs: usize) -> FigureTable {
+    use crate::runner::{sweep_point, ProtocolChoice};
+    let mut t = FigureTable::new(
+        "§3.3 claim — cost of intersection countermeasures (60 s sessions)",
+        "scheme",
+        vec![
+            "delivery".into(),
+            "latency (ms)".into(),
+            "hops/packet".into(),
+        ],
+    );
+    let mut cfg = ScenarioConfig::default().with_duration(60.0);
+    cfg.traffic.pairs = 4;
+    let schemes = [
+        ("ALERT (no defense)", ProtocolChoice::Alert(AlertConfig::default())),
+        (
+            "ALERT two-step m=3",
+            ProtocolChoice::Alert(AlertConfig::default().with_intersection_defense(3)),
+        ),
+        ("ZAP (fixed zone)", ProtocolChoice::Zap { growth: 1.0 }),
+        ("ZAP growing zone +5%/pkt", ProtocolChoice::Zap { growth: 1.05 }),
+    ];
+    for (name, proto) in schemes {
+        let d = sweep_point(proto, &cfg, runs, Metrics::delivery_rate);
+        let l = sweep_point(proto, &cfg, runs, |m: &Metrics| {
+            m.mean_latency().map_or(f64::NAN, |v| v * 1000.0)
+        });
+        let h = sweep_point(proto, &cfg, runs, Metrics::hops_per_packet);
+        t.row(
+            name,
+            vec![
+                format!("{:.3}", d.mean),
+                format!("{:.0}", l.mean),
+                format!("{:.1}", h.mean),
+            ],
+        );
+    }
+    t.note("ALERT's defense costs latency (delivery waits for the next packet ~2 s); ZAP's zone");
+    t.note("enlargement costs bandwidth (flood hops grow every packet) — the Section 3.3 argument");
+    t.note("for preferring the two-step delivery in long-duration sessions.");
+    t
+}
+
+/// §5 summary claim — energy per delivered packet: "\[ALERT\] has
+/// significantly lower energy consumption compared to AO2P and ALARM, and
+/// provides comparable routing efficiency with ... GPSR". Radio energy
+/// (tx + rx airtime) plus crypto CPU energy under the paper's cost model.
+pub fn claim_energy(runs: usize) -> FigureTable {
+    use crate::runner::{sweep_point, ProtocolChoice};
+    use alert_crypto::CostModel;
+    let mut t = FigureTable::new(
+        "§5 claim — energy per delivered packet (radio + crypto CPU), joules",
+        "protocol",
+        vec![
+            "total J/pkt".into(),
+            "radio J/pkt".into(),
+            "crypto J/pkt".into(),
+        ],
+    );
+    let cfg = ScenarioConfig::default();
+    let cpu_watts = cfg.energy.cpu_watts;
+    let rows: [(&str, ProtocolChoice); 7] = [
+        ("ALERT", ProtocolChoice::Alert(AlertConfig::default())),
+        (
+            "ALERT (no notify&go)",
+            ProtocolChoice::Alert(AlertConfig::default().with_notify_and_go(false)),
+        ),
+        ("GPSR", ProtocolChoice::Gpsr),
+        ("ALARM", ProtocolChoice::Alarm),
+        ("AO2P", ProtocolChoice::Ao2p),
+        ("ZAP", ProtocolChoice::Zap { growth: 1.0 }),
+        ("ANODR", ProtocolChoice::Anodr),
+    ];
+    for (name, proto) in rows {
+        let total = sweep_point(proto, &cfg, runs, |m: &Metrics| {
+            m.energy_per_delivered_packet_j(&CostModel::PAPER_1_8GHZ, cpu_watts)
+        });
+        let radio = sweep_point(proto, &cfg, runs, |m: &Metrics| {
+            let delivered = m.packets.iter().filter(|p| p.delivered_at.is_some()).count();
+            if delivered == 0 {
+                f64::NAN
+            } else {
+                (m.energy_tx_j + m.energy_rx_j) / delivered as f64
+            }
+        });
+        let crypto = sweep_point(proto, &cfg, runs, |m: &Metrics| {
+            let delivered = m.packets.iter().filter(|p| p.delivered_at.is_some()).count();
+            if delivered == 0 {
+                f64::NAN
+            } else {
+                m.cpu_energy_j(&CostModel::PAPER_1_8GHZ, cpu_watts) / delivered as f64
+            }
+        });
+        t.row(
+            name,
+            vec![
+                format!("{:.3}", total.mean),
+                format!("{:.3}", radio.mean),
+                format!("{:.3}", crypto.mean),
+            ],
+        );
+    }
+    t.note("claim: ALERT's routed data path costs far less energy than the per-hop public-key");
+    t.note("protocols (their crypto CPU term dominates). REPRODUCTION FINDING: with notify-and-go");
+    t.note("enabled, the eta cover broadcasts per packet dominate ALERT's radio budget and exceed");
+    t.note("ALARM/AO2P's crypto energy — the paper's energy claim holds for the routing mechanism");
+    t.note("(see the no-notify&go row) but not once source-anonymity cover traffic is charged.");
+    t
+}
+
+/// Panorama — every implemented protocol on the paper's default scenario,
+/// across the dimensions the paper argues about. The one-table summary of
+/// the whole reproduction.
+pub fn panorama(runs: usize) -> FigureTable {
+    use crate::runner::{sweep_point, ProtocolChoice};
+    use alert_crypto::CostModel;
+    let mut t = FigureTable::new(
+        "Panorama — all protocols on the paper's default scenario",
+        "protocol",
+        vec![
+            "delivery".into(),
+            "latency ms".into(),
+            "hops/pkt".into(),
+            "hops+ctl".into(),
+            "route div.".into(),
+            "energy J/pkt".into(),
+        ],
+    );
+    let cfg = ScenarioConfig::default();
+    let cpu_watts = cfg.energy.cpu_watts;
+    let protos = [
+        ProtocolChoice::Alert(AlertConfig::default()),
+        ProtocolChoice::Gpsr,
+        ProtocolChoice::Alarm,
+        ProtocolChoice::Ao2p,
+        ProtocolChoice::Zap { growth: 1.0 },
+        ProtocolChoice::Anodr,
+        ProtocolChoice::Prism,
+        ProtocolChoice::Mask,
+        ProtocolChoice::Mapcp,
+    ];
+    for proto in protos {
+        let d = sweep_point(proto, &cfg, runs, Metrics::delivery_rate);
+        let l = sweep_point(proto, &cfg, runs, |m: &Metrics| {
+            m.mean_latency().map_or(f64::NAN, |v| v * 1000.0)
+        });
+        let h = sweep_point(proto, &cfg, runs, Metrics::hops_per_packet);
+        let hc = sweep_point(proto, &cfg, runs, Metrics::hops_per_packet_with_control);
+        let div = sweep_point(proto, &cfg, runs, |m: &Metrics| {
+            let mut acc = 0.0;
+            let sessions: std::collections::BTreeSet<SessionId> =
+                m.packets.iter().map(|p| p.session).collect();
+            for s in &sessions {
+                let routes: Vec<Vec<NodeId>> = m
+                    .packets
+                    .iter()
+                    .filter(|p| p.session == *s && p.delivered_at.is_some())
+                    .map(|p| p.participants.clone())
+                    .collect();
+                acc += alert_adversary::mean_route_diversity(&routes) / sessions.len() as f64;
+            }
+            acc
+        });
+        let e = sweep_point(proto, &cfg, runs, |m: &Metrics| {
+            m.energy_per_delivered_packet_j(&CostModel::PAPER_1_8GHZ, cpu_watts)
+        });
+        t.row(
+            proto.name(),
+            vec![
+                format!("{:.3}", d.mean),
+                format!("{:.0}", l.mean),
+                format!("{:.1}", h.mean),
+                format!("{:.1}", hc.mean),
+                format!("{:.2}", div.mean),
+                format!("{:.2}", e.mean),
+            ],
+        );
+    }
+    t.note("route div. = mean Jaccard distance between consecutive delivered routes per pair —");
+    t.note("the measurable face of route anonymity. ALERT is the only protocol combining high");
+    t.note("diversity with symmetric-only data-path crypto (Table 1's claim, quantified).");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dos_table_renders() {
+        // Smoke with 1 run: shape checks live in alert-adversary's tests.
+        let t = claim_dos(1);
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.render().contains("GPSR dead pairs"));
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per group of figures; every public function returns a
+//! rendered-ready [`crate::table::FigureTable`].
+
+pub mod analytic;
+pub mod attacks;
+pub mod claims;
+pub mod participants;
+pub mod performance;
+pub mod zone;

@@ -1,0 +1,108 @@
+//! Simulated participation figures: Figs. 10a, 10b, 11.
+
+use crate::runner::{mean_curve, sweep_metrics, sweep_point, ProtocolChoice, Stat};
+use crate::table::FigureTable;
+use alert_core::AlertConfig;
+use alert_sim::ScenarioConfig;
+
+fn scenario(nodes: usize) -> ScenarioConfig {
+    ScenarioConfig::default().with_nodes(nodes)
+}
+
+/// Fig. 10a — cumulative actual participating nodes vs packets
+/// transmitted, for ALERT and GPSR at 100 and 200 nodes. (ALARM and AO2P
+/// follow GPSR's greedy scheme; the paper lets GPSR represent all three.)
+pub fn fig10a(runs: usize) -> FigureTable {
+    let mut t = FigureTable::new(
+        "Fig. 10a — cumulative actual participating nodes per S-D pair (simulated)",
+        "packets",
+        vec![
+            "ALERT N=100".into(),
+            "ALERT N=200".into(),
+            "GPSR N=100".into(),
+            "GPSR N=200".into(),
+        ],
+    );
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for (proto, nodes) in [
+        (ProtocolChoice::Alert(AlertConfig::default()), 100),
+        (ProtocolChoice::Alert(AlertConfig::default()), 200),
+        (ProtocolChoice::Gpsr, 100),
+        (ProtocolChoice::Gpsr, 200),
+    ] {
+        let metrics = sweep_metrics(proto, &scenario(nodes), runs);
+        let per_run: Vec<Vec<f64>> = metrics
+            .iter()
+            .map(|m| m.mean_cumulative_participants())
+            .collect();
+        curves.push(mean_curve(&per_run));
+    }
+    let len = curves.iter().map(Vec::len).min().unwrap_or(0);
+    for i in (0..len).step_by(4) {
+        t.row(
+            (i + 1).to_string(),
+            curves.iter().map(|c| format!("{:.1}", c[i])).collect(),
+        );
+    }
+    t.note("expected shape: ALERT grows to tens of nodes; GPSR stays near the shortest path (paper Fig. 10a)");
+    t
+}
+
+/// Fig. 10b — actual participating nodes after 20 packets vs network
+/// size.
+pub fn fig10b(runs: usize) -> FigureTable {
+    let mut t = FigureTable::new(
+        "Fig. 10b — participating nodes after 20 packets vs network size (simulated)",
+        "nodes",
+        vec!["ALERT".into(), "GPSR".into()],
+    );
+    let at20 = |m: &alert_sim::Metrics| -> f64 {
+        let c = m.mean_cumulative_participants();
+        let idx = c.len().min(20);
+        if idx == 0 {
+            f64::NAN
+        } else {
+            c[idx - 1]
+        }
+    };
+    for nodes in [50usize, 100, 150, 200] {
+        let a = sweep_point(
+            ProtocolChoice::Alert(AlertConfig::default()),
+            &scenario(nodes),
+            runs,
+            at20,
+        );
+        let g = sweep_point(ProtocolChoice::Gpsr, &scenario(nodes), runs, at20);
+        t.row(nodes.to_string(), vec![format!("{a:.1}"), format!("{g:.1}")]);
+    }
+    t.note("expected shape: ALERT 13-20 and growing with N; GPSR flat at 2-3 (paper Fig. 10b)");
+    t
+}
+
+/// Fig. 11 — simulated number of random forwarders vs number of
+/// partitions `H`.
+pub fn fig11(runs: usize) -> FigureTable {
+    let mut t = FigureTable::new(
+        "Fig. 11 — random forwarders per packet vs partitions H (simulated)",
+        "H",
+        vec!["ALERT RFs".into(), "analytical E[RFs]".into()],
+    );
+    for h in 1..=7u32 {
+        let cfg = AlertConfig::default().with_h(h);
+        let s: Stat = sweep_point(
+            ProtocolChoice::Alert(cfg),
+            &scenario(200),
+            runs,
+            alert_sim::Metrics::mean_random_forwarders,
+        );
+        t.row(
+            h.to_string(),
+            vec![
+                format!("{s:.2}"),
+                format!("{:.2}", alert_analysis::expected_random_forwarders(h)),
+            ],
+        );
+    }
+    t.note("expected shape: approximately linear growth with H, consistent with Fig. 7b (paper Fig. 11)");
+    t
+}

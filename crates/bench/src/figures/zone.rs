@@ -1,0 +1,195 @@
+//! Destination-zone residence figures (simulated): Figs. 12, 13a, 13b.
+//!
+//! These experiments are pure mobility: populate the field, fix the
+//! destination zone of a random destination, and count how many of the
+//! original zone members remain inside over time — the simulated
+//! counterpart of Eqs. (11)–(15).
+
+use crate::runner::Stat;
+use crate::table::FigureTable;
+use alert_geom::{destination_zone, Axis, Rect};
+use alert_mobility::{Mobility, RandomWaypoint, RandomWaypointConfig, StaticField};
+use rayon::prelude::*;
+
+const L: f64 = 1000.0;
+
+/// Counts the original destination-zone members still in the zone at each
+/// sample time, for one seeded mobility run.
+fn remaining_series_once(nodes: usize, h: u32, speed: f64, times: &[f64], seed: u64) -> Vec<f64> {
+    let field = Rect::with_size(L, L);
+    let mut mobility: Box<dyn Mobility> = if speed > 0.0 {
+        Box::new(RandomWaypoint::new(
+            field,
+            RandomWaypointConfig::fixed_speed(nodes, speed),
+            seed,
+        ))
+    } else {
+        Box::new(StaticField::uniform(field, nodes, seed))
+    };
+    // Destination = node 0's starting position; Z_D derives from it.
+    let dest = mobility.position(0);
+    let zd = destination_zone(&field, dest, h, Axis::Vertical);
+    let members: Vec<usize> = (0..nodes)
+        .filter(|&i| zd.contains(mobility.position(i)))
+        .collect();
+    let mut out = Vec::with_capacity(times.len());
+    let mut now = 0.0;
+    for &t in times {
+        while now < t {
+            mobility.step(0.5);
+            now += 0.5;
+        }
+        let remaining = members
+            .iter()
+            .filter(|&&i| zd.contains(mobility.position(i)))
+            .count();
+        out.push(remaining as f64);
+    }
+    out
+}
+
+/// Mean remaining-node series across seeds.
+fn remaining_series(nodes: usize, h: u32, speed: f64, times: &[f64], runs: usize) -> Vec<Stat> {
+    let all: Vec<Vec<f64>> = (0..runs as u64)
+        .into_par_iter()
+        .map(|seed| remaining_series_once(nodes, h, speed, times, 0xD0_0D + seed * 6007))
+        .collect();
+    (0..times.len())
+        .map(|i| Stat::from_samples(&all.iter().map(|r| r[i]).collect::<Vec<_>>()))
+        .collect()
+}
+
+/// Fig. 12 — remaining nodes vs time for densities 100/150/200 per km^2,
+/// H = 5, v = 2 m/s.
+pub fn fig12(runs: usize) -> FigureTable {
+    let times: Vec<f64> = (0..=40).step_by(5).map(f64::from).collect();
+    let mut t = FigureTable::new(
+        "Fig. 12 — remaining nodes in the destination zone vs time, H=5, v=2 m/s (simulated)",
+        "t (s)",
+        vec!["rho=100".into(), "rho=150".into(), "rho=200".into()],
+    );
+    let series: Vec<Vec<Stat>> = [100usize, 150, 200]
+        .iter()
+        .map(|&n| remaining_series(n, 5, 2.0, &times, runs))
+        .collect();
+    for (i, ti) in times.iter().enumerate() {
+        t.row(
+            format!("{ti:.0}"),
+            series.iter().map(|s| format!("{:.2}", s[i])).collect(),
+        );
+    }
+    t.note("expected shape: decays with time, scales with density — matches the analytical Fig. 9a (paper Fig. 12)");
+    t
+}
+
+/// Fig. 13a — remaining nodes vs time for H in {4, 5} and speeds
+/// {0, 2, 4} m/s at 200 nodes.
+pub fn fig13a(runs: usize) -> FigureTable {
+    let times: Vec<f64> = (0..=40).step_by(10).map(f64::from).collect();
+    let mut t = FigureTable::new(
+        "Fig. 13a — remaining nodes vs time for H in {4,5}, v in {0,2,4} (simulated)",
+        "t (s)",
+        vec![
+            "H=4 v=0".into(),
+            "H=4 v=2".into(),
+            "H=4 v=4".into(),
+            "H=5 v=0".into(),
+            "H=5 v=2".into(),
+            "H=5 v=4".into(),
+        ],
+    );
+    let mut series: Vec<Vec<Stat>> = Vec::new();
+    for h in [4u32, 5] {
+        for v in [0.0f64, 2.0, 4.0] {
+            series.push(remaining_series(200, h, v, &times, runs));
+        }
+    }
+    for (i, ti) in times.iter().enumerate() {
+        t.row(
+            format!("{ti:.0}"),
+            series.iter().map(|s| format!("{:.1}", s[i].mean)).collect(),
+        );
+    }
+    t.note("expected shape: higher speed loses nodes faster; H=4 zones hold more than H=5 (paper Fig. 13a)");
+    t
+}
+
+/// Fig. 13b — node density required to keep a target number of original
+/// members in the zone after 10 s, vs node speed (H = 5).
+pub fn fig13b(runs: usize) -> FigureTable {
+    let target = 5.0; // nodes remaining after 10 s
+    let mut t = FigureTable::new(
+        "Fig. 13b — required density (nodes/km^2) for 5 remaining nodes at t=10 s, H=5 (simulated)",
+        "v (m/s)",
+        vec!["simulated".into(), "analytical (Eq. 15 inverse)".into()],
+    );
+    let times = [10.0];
+    for v in [2.0f64, 4.0, 6.0, 8.0] {
+        // Sweep densities and interpolate the crossing of `target`.
+        let grid: Vec<usize> = (2..=12).map(|k| k * 50).collect();
+        let mut remaining: Vec<(f64, f64)> = Vec::new();
+        for &n in &grid {
+            let s = remaining_series(n, 5, v, &times, runs);
+            remaining.push((n as f64, s[0].mean));
+        }
+        let sim = interpolate_crossing(&remaining, target);
+        let ana = alert_analysis::required_density(5, L, L, v, 10.0, target) * 1_000_000.0;
+        t.row(
+            format!("{v:.0}"),
+            vec![
+                sim.map_or("> grid".into(), |d| format!("{d:.0}")),
+                format!("{ana:.0}"),
+            ],
+        );
+    }
+    t.note("expected shape: faster movement requires higher density (paper Fig. 13b)");
+    t
+}
+
+/// Linear interpolation of the first x where the (increasing-in-x) series
+/// crosses `target`.
+fn interpolate_crossing(points: &[(f64, f64)], target: f64) -> Option<f64> {
+    for w in points.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if (y0 <= target && y1 >= target) || (y0 >= target && y1 <= target) {
+            if (y1 - y0).abs() < 1e-12 {
+                return Some(x0);
+            }
+            return Some(x0 + (target - y0) / (y1 - y0) * (x1 - x0));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_starts_at_zone_population_and_decays() {
+        let times = [0.0, 10.0, 20.0];
+        let s = remaining_series(200, 5, 2.0, &times, 8);
+        // Zone is 1/32 of the field: ~6.25 nodes initially on average.
+        assert!(
+            (s[0].mean - 6.25).abs() < 3.0,
+            "initial population {} far from 6.25",
+            s[0].mean
+        );
+        assert!(s[0].mean >= s[1].mean && s[1].mean >= s[2].mean);
+    }
+
+    #[test]
+    fn static_nodes_never_decay() {
+        let times = [0.0, 20.0];
+        let s = remaining_series(200, 5, 0.0, &times, 4);
+        assert_eq!(s[0].mean, s[1].mean);
+    }
+
+    #[test]
+    fn interpolation_finds_crossing() {
+        let pts = [(100.0, 2.0), (200.0, 4.0), (300.0, 6.0)];
+        let x = interpolate_crossing(&pts, 5.0).unwrap();
+        assert!((x - 250.0).abs() < 1e-9);
+        assert!(interpolate_crossing(&pts, 10.0).is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! # alert-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! ALERT paper's evaluation (Section 5) plus the analytical figures of
+//! Section 4. See DESIGN.md § 4 for the per-experiment index.
+//!
+//! Use the `repro` binary:
+//!
+//! ```text
+//! cargo run -p alert-bench --release --bin repro -- all --runs 30
+//! cargo run -p alert-bench --release --bin repro -- fig14a
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+pub use runner::{mean_curve, run_once, sweep_metrics, sweep_point, ProtocolChoice, Stat};
+pub use table::FigureTable;

@@ -1,0 +1,232 @@
+//! Monte-Carlo sweep infrastructure: run `(protocol, scenario)` across
+//! seeds in parallel (Rayon) and reduce per-run metrics into
+//! mean ± 95% CI — the paper's "average of results of 30 runs" with
+//! confidence intervals (Section 5.2).
+
+use alert_core::{Alert, AlertConfig};
+use alert_protocols::{Alarm, Anodr, Ao2p, Gpsr, Mapcp, Mask, Prism, Zap};
+use alert_sim::{Metrics, ScenarioConfig, World};
+use rayon::prelude::*;
+
+/// Which routing protocol a sweep point runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolChoice {
+    /// ALERT with the given parameters.
+    Alert(AlertConfig),
+    /// The GPSR baseline.
+    Gpsr,
+    /// The ALARM comparison protocol.
+    Alarm,
+    /// The AO2P comparison protocol.
+    Ao2p,
+    /// The ZAP destination-cloaking protocol, with its zone-growth factor
+    /// (1.0 = countermeasure off).
+    Zap {
+        /// Per-packet anonymity-zone growth factor.
+        growth: f64,
+    },
+    /// The ANODR topological onion-routing baseline.
+    Anodr,
+    /// The PRISM reactive geographic baseline.
+    Prism,
+    /// The MASK anonymous-neighborhood topological baseline.
+    Mask,
+    /// The MAPCP gossip middleware.
+    Mapcp,
+}
+
+impl ProtocolChoice {
+    /// Display name for table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolChoice::Alert(_) => "ALERT",
+            ProtocolChoice::Gpsr => "GPSR",
+            ProtocolChoice::Alarm => "ALARM",
+            ProtocolChoice::Ao2p => "AO2P",
+            ProtocolChoice::Zap { .. } => "ZAP",
+            ProtocolChoice::Anodr => "ANODR",
+            ProtocolChoice::Prism => "PRISM",
+            ProtocolChoice::Mask => "MASK",
+            ProtocolChoice::Mapcp => "MAPCP",
+        }
+    }
+}
+
+/// Runs one simulation to completion and returns its metrics.
+pub fn run_once(protocol: ProtocolChoice, cfg: &ScenarioConfig, seed: u64) -> Metrics {
+    match protocol {
+        ProtocolChoice::Alert(a) => {
+            let mut w = World::new(cfg.clone(), seed, move |_, _| Alert::new(a));
+            w.run();
+            w.metrics().clone()
+        }
+        ProtocolChoice::Gpsr => {
+            let mut w = World::new(cfg.clone(), seed, |_, _| Gpsr::default());
+            w.run();
+            w.metrics().clone()
+        }
+        ProtocolChoice::Alarm => {
+            let mut w = World::new(cfg.clone(), seed, |_, _| Alarm::default());
+            w.run();
+            w.metrics().clone()
+        }
+        ProtocolChoice::Ao2p => {
+            let mut w = World::new(cfg.clone(), seed, |_, _| Ao2p::default());
+            w.run();
+            w.metrics().clone()
+        }
+        ProtocolChoice::Zap { growth } => {
+            let mut w = World::new(cfg.clone(), seed, move |_, _| Zap::with_growth(growth));
+            w.run();
+            w.metrics().clone()
+        }
+        ProtocolChoice::Anodr => {
+            let mut w = World::new(cfg.clone(), seed, |_, _| Anodr::default());
+            w.run();
+            w.metrics().clone()
+        }
+        ProtocolChoice::Prism => {
+            let mut w = World::new(cfg.clone(), seed, |_, _| Prism::default());
+            w.run();
+            w.metrics().clone()
+        }
+        ProtocolChoice::Mask => {
+            let mut w = World::new(cfg.clone(), seed, |_, _| Mask::default());
+            w.run();
+            w.metrics().clone()
+        }
+        ProtocolChoice::Mapcp => {
+            let mut w = World::new(cfg.clone(), seed, |_, _| Mapcp::default());
+            w.run();
+            w.metrics().clone()
+        }
+    }
+}
+
+/// A sample mean with its 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// 95% confidence half-width (`1.96 s / sqrt(n)`).
+    pub ci95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stat {
+    /// Reduces raw samples to mean ± CI. NaN samples are discarded.
+    pub fn from_samples(samples: &[f64]) -> Stat {
+        let clean: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        let n = clean.len();
+        if n == 0 {
+            return Stat {
+                mean: f64::NAN,
+                ci95: f64::NAN,
+                n: 0,
+            };
+        }
+        let mean = clean.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Stat { mean, ci95: 0.0, n };
+        }
+        let var = clean.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        Stat {
+            mean,
+            ci95: 1.96 * (var / n as f64).sqrt(),
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for Stat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.p$} ±{:.p$}", self.mean, self.ci95, p = prec)
+        } else {
+            write!(f, "{:.3} ±{:.3}", self.mean, self.ci95)
+        }
+    }
+}
+
+/// Runs `runs` seeded simulations in parallel and reduces `extract` over
+/// their metrics.
+pub fn sweep_point<F>(protocol: ProtocolChoice, cfg: &ScenarioConfig, runs: usize, extract: F) -> Stat
+where
+    F: Fn(&Metrics) -> f64 + Sync,
+{
+    let samples: Vec<f64> = (0..runs as u64)
+        .into_par_iter()
+        .map(|seed| extract(&run_once(protocol, cfg, 0xA1E7 + seed * 7919)))
+        .collect();
+    Stat::from_samples(&samples)
+}
+
+/// Runs `runs` seeded simulations in parallel and returns the full
+/// metrics of each (for curve-valued reductions).
+pub fn sweep_metrics(protocol: ProtocolChoice, cfg: &ScenarioConfig, runs: usize) -> Vec<Metrics> {
+    (0..runs as u64)
+        .into_par_iter()
+        .map(|seed| run_once(protocol, cfg, 0xA1E7 + seed * 7919))
+        .collect()
+}
+
+/// Element-wise mean of several equally-meaningful curves, truncated to
+/// the shortest.
+pub fn mean_curve(curves: &[Vec<f64>]) -> Vec<f64> {
+    let n = curves.iter().map(Vec::len).min().unwrap_or(0);
+    (0..n)
+        .map(|i| curves.iter().map(|c| c[i]).sum::<f64>() / curves.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_of_constant_samples() {
+        let s = Stat::from_samples(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.n, 4);
+    }
+
+    #[test]
+    fn stat_discards_nan() {
+        let s = Stat::from_samples(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.n, 2);
+    }
+
+    #[test]
+    fn stat_ci_shrinks_with_n() {
+        let few = Stat::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64).collect();
+        let many = Stat::from_samples(&many);
+        assert!(many.ci95 < few.ci95);
+    }
+
+    #[test]
+    fn stat_empty_is_nan() {
+        let s = Stat::from_samples(&[]);
+        assert!(s.mean.is_nan());
+        assert_eq!(s.n, 0);
+    }
+
+    #[test]
+    fn mean_curve_truncates() {
+        let curves = vec![vec![1.0, 2.0, 3.0], vec![3.0, 4.0]];
+        assert_eq!(mean_curve(&curves), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn sweep_point_is_deterministic() {
+        let mut cfg = ScenarioConfig::default().with_nodes(60).with_duration(10.0);
+        cfg.traffic.pairs = 3;
+        let a = sweep_point(ProtocolChoice::Gpsr, &cfg, 3, Metrics::delivery_rate);
+        let b = sweep_point(ProtocolChoice::Gpsr, &cfg, 3, Metrics::delivery_rate);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.n, 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-text table rendering for the `repro` harness output.
+
+/// A titled table of labelled series: one row per x value, one column per
+/// series — the text equivalent of one paper figure.
+#[derive(Debug, Clone)]
+pub struct FigureTable {
+    /// Figure identifier and caption, e.g. "Fig. 14a — latency per packet".
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Series labels (column headers).
+    pub series: Vec<String>,
+    /// Rows: `(x, values)` with one value per series (NaN = missing).
+    pub rows: Vec<(String, Vec<String>)>,
+    /// Free-form notes (expected shape, paper reference).
+    pub notes: Vec<String>,
+}
+
+impl FigureTable {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        series: Vec<String>,
+    ) -> Self {
+        FigureTable {
+            title: title.into(),
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, x: impl Into<String>, values: Vec<String>) {
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "row width must match series count"
+        );
+        self.rows.push((x.into(), values));
+    }
+
+    /// Appends a note line printed under the table.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the table as CSV (header row + data rows; notes omitted).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&esc(&self.x_label));
+        for col in &self.series {
+            out.push(',');
+            out.push_str(&esc(col));
+        }
+        out.push('\n');
+        for (x, values) in &self.rows {
+            out.push_str(&esc(x));
+            for v in values {
+                out.push(',');
+                out.push_str(&esc(v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = Vec::with_capacity(self.series.len() + 1);
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(x, _)| x.len())
+                .chain(std::iter::once(self.x_label.len()))
+                .max()
+                .unwrap_or(0),
+        );
+        for (i, s) in self.series.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, v)| v[i].len())
+                .chain(std::iter::once(s.len()))
+                .max()
+                .unwrap_or(0);
+            widths.push(w);
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        out.push_str(&format!("{:<w$}", self.x_label, w = widths[0]));
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", s, w = widths[i + 1]));
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * self.series.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for (x, values) in &self.rows {
+            out.push_str(&format!("{:<w$}", x, w = widths[0]));
+            for (i, v) in values.iter().enumerate() {
+                out.push_str(&format!("  {:>w$}", v, w = widths[i + 1]));
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = FigureTable::new(
+            "Fig. X — demo",
+            "nodes",
+            vec!["ALERT".into(), "GPSR".into()],
+        );
+        t.row("50", vec!["1.23 ±0.04".into(), "0.98 ±0.01".into()]);
+        t.row("200", vec!["1.10 ±0.02".into(), "0.99 ±0.00".into()]);
+        t.note("expected: ALERT above GPSR");
+        let text = t.render();
+        assert!(text.contains("## Fig. X — demo"));
+        assert!(text.contains("ALERT"));
+        assert!(text.contains("note: expected"));
+        // Every data line has the same width.
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains('±')).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn csv_roundtrips_columns() {
+        let mut t = FigureTable::new("t", "x", vec!["a,b".into(), "c".into()]);
+        t.row("1", vec!["1.0".into(), "quo\"te".into()]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "x,\"a,b\",c");
+        assert_eq!(lines.next().unwrap(), "1,1.0,\"quo\"\"te\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = FigureTable::new("t", "x", vec!["a".into(), "b".into()]);
+        t.row("1", vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Metric-level ablations for the design choices DESIGN.md § 5 calls out:
+//! each knob must actually move the tradeoff it claims to control.
+//! (The wall-clock cost of the same variants is fenced by
+//! `benches/ablations.rs`.)
+
+use alert_bench::{sweep_point, ProtocolChoice};
+use alert_core::AlertConfig;
+use alert_sim::{Metrics, ScenarioConfig};
+
+fn scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default().with_nodes(200).with_duration(40.0);
+    cfg.traffic.pairs = 5;
+    cfg
+}
+
+const RUNS: usize = 4;
+
+/// k trades destination anonymity (zone population) against routing cost:
+/// smaller k means more partitions, more RFs, longer paths.
+#[test]
+fn ablation_k_tradeoff() {
+    let small_k = ProtocolChoice::Alert(AlertConfig::default().with_k(2.0)); // H = 7
+    let large_k = ProtocolChoice::Alert(AlertConfig::default().with_k(25.0)); // H = 3
+    let cfg = scenario();
+    let rf_small = sweep_point(small_k, &cfg, RUNS, Metrics::mean_random_forwarders).mean;
+    let rf_large = sweep_point(large_k, &cfg, RUNS, Metrics::mean_random_forwarders).mean;
+    assert!(
+        rf_small > rf_large + 0.8,
+        "smaller k must buy more RFs: k=2 -> {rf_small:.2}, k=25 -> {rf_large:.2}"
+    );
+    // Both still deliver.
+    for p in [small_k, large_k] {
+        let d = sweep_point(p, &cfg, RUNS, Metrics::delivery_rate).mean;
+        assert!(d > 0.9, "{}: delivery {d}", p.name());
+    }
+}
+
+/// Notify-and-go buys eta-anonymity with cover traffic, at negligible
+/// latency cost when t/t0 are small.
+#[test]
+fn ablation_notify_and_go() {
+    let on = ProtocolChoice::Alert(AlertConfig::default());
+    let off = ProtocolChoice::Alert(AlertConfig::default().with_notify_and_go(false));
+    let cfg = scenario();
+    let cover_on = sweep_point(on, &cfg, RUNS, |m| m.cover_frames as f64).mean;
+    let cover_off = sweep_point(off, &cfg, RUNS, |m| m.cover_frames as f64).mean;
+    assert!(cover_on > 1000.0, "cover traffic missing: {cover_on}");
+    assert_eq!(cover_off, 0.0);
+    let lat_on = sweep_point(on, &cfg, RUNS, |m| m.mean_latency().unwrap_or(f64::NAN)).mean;
+    let lat_off = sweep_point(off, &cfg, RUNS, |m| m.mean_latency().unwrap_or(f64::NAN)).mean;
+    assert!(
+        (lat_on - lat_off).abs() < 0.015,
+        "notify-and-go latency cost too high: {:.1} ms",
+        (lat_on - lat_off) * 1000.0
+    );
+}
+
+/// A longer notify window t0 spreads the cover burst (less interference)
+/// but delays the data packet proportionally.
+#[test]
+fn ablation_notify_window() {
+    let slow = AlertConfig {
+        notify_t0_s: 0.050,
+        ..AlertConfig::default()
+    };
+    let fast = ProtocolChoice::Alert(AlertConfig::default()); // t0 = 4 ms
+    let slow = ProtocolChoice::Alert(slow);
+    let cfg = scenario();
+    let lat_fast = sweep_point(fast, &cfg, RUNS, |m| m.mean_latency().unwrap_or(f64::NAN)).mean;
+    let lat_slow = sweep_point(slow, &cfg, RUNS, |m| m.mean_latency().unwrap_or(f64::NAN)).mean;
+    let delta_ms = (lat_slow - lat_fast) * 1000.0;
+    // Mean extra back-off is (50 - 4)/2 = 23 ms.
+    assert!(
+        (10.0..45.0).contains(&delta_ms),
+        "t0=50ms should add ~23 ms, added {delta_ms:.1} ms"
+    );
+}
+
+/// The intersection defense trades delivery latency (held until the next
+/// packet) for destination unobservability; larger m covers the zone at
+/// more multicast cost.
+#[test]
+fn ablation_intersection_m() {
+    let cfg = scenario();
+    let plain = ProtocolChoice::Alert(AlertConfig::default());
+    let m2 = ProtocolChoice::Alert(AlertConfig::default().with_intersection_defense(2));
+    let lat_plain = sweep_point(plain, &cfg, RUNS, |m| m.mean_latency().unwrap_or(f64::NAN)).mean;
+    let lat_def = sweep_point(m2, &cfg, RUNS, |m| m.mean_latency().unwrap_or(f64::NAN)).mean;
+    assert!(
+        lat_def > lat_plain + 0.5,
+        "defense must delay delivery to the next packet arrival: {lat_plain:.3}s -> {lat_def:.3}s"
+    );
+    // The closed-form coverage model agrees on direction: more holders,
+    // more coverage.
+    let c2 = alert_core::coverage_percent(2, 6, 0.6);
+    let c4 = alert_core::coverage_percent(4, 6, 0.6);
+    assert!(c4 > c2);
+}
+
+/// Confirmation + retransmission buys delivery under channel loss at the
+/// cost of duplicate data traffic. (Against *stale locations* a
+/// retransmission reuses the same stale destination zone and rescues
+/// little — measured +2% — which is why the zone-edge handover exists;
+/// transient channel losses are where the retransmit earns its keep.)
+#[test]
+fn ablation_retransmission() {
+    let mut cfg = scenario();
+    cfg.mac.loss_probability = 0.04; // ~4% per-frame loss
+    let no_retx = AlertConfig {
+        confirm_and_retransmit: false,
+        ..AlertConfig::default()
+    };
+    let with = ProtocolChoice::Alert(AlertConfig::default());
+    let without = ProtocolChoice::Alert(no_retx);
+    let d_with = sweep_point(with, &cfg, RUNS, Metrics::delivery_rate).mean;
+    let d_without = sweep_point(without, &cfg, RUNS, Metrics::delivery_rate).mean;
+    assert!(
+        d_with > d_without + 0.05,
+        "retransmission should rescue channel losses: {d_without:.3} -> {d_with:.3}"
+    );
+    assert!(d_with > 0.9, "rescued delivery {d_with:.3} still too low");
+}

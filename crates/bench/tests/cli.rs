@@ -1,0 +1,90 @@
+//! Integration tests of the two command-line tools, run as real
+//! subprocesses via `CARGO_BIN_EXE_*`.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn simrun() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simrun"))
+}
+
+#[test]
+fn repro_renders_an_analytic_figure() {
+    let out = repro().args(["fig7b"]).output().expect("spawn repro");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Fig. 7b"));
+    assert!(text.contains("E[RFs]"));
+    // Ten data rows for H = 1..10.
+    assert_eq!(text.lines().filter(|l| l.trim().starts_with(char::is_numeric)).count(), 10);
+}
+
+#[test]
+fn repro_rejects_unknown_experiment() {
+    let out = repro().args(["fig99"]).output().expect("spawn repro");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown experiment"));
+}
+
+#[test]
+fn repro_writes_csv() {
+    let dir = std::env::temp_dir().join(format!("alert_csv_{}", std::process::id()));
+    let out = repro()
+        .args(["fig9a", "--csv", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(dir.join("fig9a.csv")).expect("csv written");
+    assert!(csv.starts_with("t (s),"));
+    assert!(csv.lines().count() > 5);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn simrun_emits_a_valid_default_scenario_and_reruns_it() {
+    let out = simrun()
+        .args(["--emit-default-scenario"])
+        .output()
+        .expect("spawn simrun");
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"nodes\": 200"));
+
+    // Round-trip: feed the emitted scenario back in (shrunk for speed).
+    let shrunk = json
+        .replace("\"nodes\": 200", "\"nodes\": 60")
+        .replace("\"duration_s\": 100.0", "\"duration_s\": 8.0")
+        .replace("\"pairs\": 10", "\"pairs\": 2");
+    let path = std::env::temp_dir().join(format!("alert_scenario_{}.json", std::process::id()));
+    std::fs::write(&path, shrunk).unwrap();
+    let out = simrun()
+        .args(["--protocol", "gpsr", "--scenario", path.to_str().unwrap(), "--seed", "3"])
+        .output()
+        .expect("spawn simrun");
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("GPSR on 60 nodes"));
+    assert!(text.contains("delivery"));
+}
+
+#[test]
+fn simrun_rejects_bad_protocol_and_bad_scenario() {
+    let out = simrun().args(["--protocol", "ospf"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown protocol"));
+
+    let path = std::env::temp_dir().join(format!("alert_bad_{}.json", std::process::id()));
+    std::fs::write(&path, "{ not json").unwrap();
+    let out = simrun()
+        .args(["--scenario", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("bad scenario"));
+}

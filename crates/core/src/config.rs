@@ -1,0 +1,139 @@
+//! ALERT protocol parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the ALERT protocol (Sections 2.3–2.6, 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlertConfig {
+    /// Destination anonymity parameter `k`: the target number of nodes in
+    /// the destination zone. Together with node density it determines the
+    /// number of partitions `H = log2(rho G / k)` (Section 2.4).
+    pub k: f64,
+    /// Overrides the computed `H` when set (the paper sweeps `H` directly
+    /// in Figs. 11 and 13a).
+    pub h_override: Option<u32>,
+    /// Hop budget for each GPSR leg between random forwarders.
+    pub leg_ttl: u32,
+    /// Total hop budget per packet attempt (bounds pathological routing
+    /// geometries; cf. the IP TTL).
+    pub packet_ttl: u32,
+    /// Enable the "notify and go" source-anonymity mechanism (Section 2.6).
+    pub notify_and_go: bool,
+    /// "Notify and go" minimum back-off `t`, seconds ("a small value that
+    /// does not affect the transmission latency").
+    pub notify_t_s: f64,
+    /// "Notify and go" back-off window `t0`, seconds (long enough to
+    /// minimize interference, short enough not to delay traffic).
+    pub notify_t0_s: f64,
+    /// Size of a cover packet in bytes ("only several bytes of random
+    /// data just in order to cover the traffic of the source").
+    pub cover_bytes: usize,
+    /// Enable the intersection-attack countermeasure (Section 3.3):
+    /// the last random forwarder multicasts to `m` of the `k` zone nodes,
+    /// which release the packet on the next packet's arrival.
+    pub intersection_defense: bool,
+    /// The `m` of the countermeasure: how many zone nodes receive each
+    /// packet in the first step.
+    pub intersection_m: usize,
+    /// Destination confirms receipt and the source retransmits
+    /// unconfirmed packets (Section 2.3). Confirmations are control
+    /// traffic; retransmissions re-enter the data path.
+    pub confirm_and_retransmit: bool,
+    /// How long the source waits for a confirmation before resending.
+    pub retransmit_timeout_s: f64,
+    /// Maximum retransmissions per packet.
+    pub max_retransmits: u32,
+}
+
+impl Default for AlertConfig {
+    /// The paper's evaluation defaults: `k` chosen so the default scenario
+    /// (200 nodes / km^2) yields `H = 5`; notify-and-go on with a
+    /// latency-neutral window; intersection defense off (it is evaluated
+    /// separately); confirmation/retransmission on.
+    fn default() -> Self {
+        AlertConfig {
+            k: 6.25,
+            h_override: None,
+            leg_ttl: 10,
+            packet_ttl: 64,
+            notify_and_go: true,
+            notify_t_s: 0.001,
+            notify_t0_s: 0.004,
+            cover_bytes: 16,
+            intersection_defense: false,
+            intersection_m: 3,
+            confirm_and_retransmit: true,
+            retransmit_timeout_s: 0.8,
+            max_retransmits: 1,
+        }
+    }
+}
+
+impl AlertConfig {
+    /// The number of hierarchical partitions for a given scenario density
+    /// and field area: the override if set, else `log2(rho G / k)`.
+    pub fn partitions(&self, density: f64, area: f64) -> u32 {
+        self.h_override
+            .unwrap_or_else(|| alert_geom::required_partitions(density, area, self.k))
+    }
+
+    /// Builder-style `H` override.
+    pub fn with_h(mut self, h: u32) -> Self {
+        self.h_override = Some(h);
+        self
+    }
+
+    /// Builder-style `k`.
+    pub fn with_k(mut self, k: f64) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Builder-style intersection-defense toggle.
+    pub fn with_intersection_defense(mut self, m: usize) -> Self {
+        self.intersection_defense = true;
+        self.intersection_m = m;
+        self
+    }
+
+    /// Builder-style notify-and-go toggle.
+    pub fn with_notify_and_go(mut self, on: bool) -> Self {
+        self.notify_and_go = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_yields_h_5_at_paper_density() {
+        let cfg = AlertConfig::default();
+        // 200 nodes in 1 km^2, k = 6.25 -> log2(32) = 5 (Section 4: "We
+        // set H = 5 to ensure a reasonable number of nodes are in a
+        // destination zone").
+        assert_eq!(cfg.partitions(200.0 / 1_000_000.0, 1_000_000.0), 5);
+    }
+
+    #[test]
+    fn override_wins() {
+        let cfg = AlertConfig::default().with_h(3);
+        assert_eq!(cfg.partitions(200.0 / 1_000_000.0, 1_000_000.0), 3);
+    }
+
+    #[test]
+    fn k_scales_partitions_inversely() {
+        let dense = AlertConfig::default().with_k(2.0);
+        let sparse = AlertConfig::default().with_k(50.0);
+        let d = 200.0 / 1_000_000.0;
+        assert!(dense.partitions(d, 1_000_000.0) > sparse.partitions(d, 1_000_000.0));
+    }
+
+    #[test]
+    fn intersection_builder() {
+        let cfg = AlertConfig::default().with_intersection_defense(4);
+        assert!(cfg.intersection_defense);
+        assert_eq!(cfg.intersection_m, 4);
+    }
+}

@@ -1,0 +1,135 @@
+//! The Section 3.3 coverage model of the intersection-attack
+//! countermeasure.
+//!
+//! When the last RF multicasts to `m` of the `k` zone nodes and those `m`
+//! nodes later one-hop-broadcast, the fraction of zone nodes that receive
+//! the packet is
+//!
+//! ```text
+//! coverage = m/k + (1 - m/k) * p_c  =  p_c + m * (1 - p_c) / k
+//! ```
+//!
+//! where `p_c` is the fraction of the remaining `k - m` nodes reached by
+//! the holders' broadcasts. "To ensure that D receives the packet, p_c
+//! should equal 1. p_c = 1 can be achieved by a moderate value of m
+//! considering node transmission range. A lower transmission range leads
+//! to a higher value of m and vice versa."
+
+/// The coverage fraction of the two-step delivery (both of the paper's
+/// equivalent forms, asserted equal in tests).
+pub fn coverage_percent(m: usize, k: usize, p_c: f64) -> f64 {
+    assert!(k > 0, "zone population must be positive");
+    assert!((0.0..=1.0).contains(&p_c), "p_c is a probability");
+    let m = m.min(k) as f64;
+    let k = k as f64;
+    p_c + m * (1.0 - p_c) / k
+}
+
+/// A simple geometric model for `p_c`: the probability that a uniformly
+/// placed zone node falls within radio range of at least one of `m`
+/// uniformly placed holders, for a square zone of side `side_m` and range
+/// `range_m`. One holder covers `min(1, pi r^2 / side^2)` of the zone in
+/// expectation (ignoring edge effects); `m` independent holders miss a
+/// node with probability `(1 - single)^m`.
+pub fn estimate_p_c(m: usize, side_m: f64, range_m: f64) -> f64 {
+    assert!(side_m > 0.0 && range_m > 0.0);
+    let single = (std::f64::consts::PI * range_m * range_m / (side_m * side_m)).min(1.0);
+    1.0 - (1.0 - single).powi(m as i32)
+}
+
+/// The smallest `m` achieving full expected coverage (`coverage >= 0.999`)
+/// for a given zone geometry — the paper's "moderate value of m
+/// considering node transmission range".
+pub fn minimal_m_for_full_coverage(k: usize, side_m: f64, range_m: f64) -> usize {
+    for m in 1..=k {
+        let p_c = estimate_p_c(m, side_m, range_m);
+        if coverage_percent(m, k, p_c) >= 0.999 {
+            return m;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paper_forms_agree() {
+        // m/k + (1 - m/k) p_c == p_c + m (1 - p_c)/k for all inputs.
+        for m in 0..=10usize {
+            for k in 1..=10usize {
+                if m > k {
+                    continue;
+                }
+                for pc10 in 0..=10 {
+                    let p_c = pc10 as f64 / 10.0;
+                    let lhs = m as f64 / k as f64 + (1.0 - m as f64 / k as f64) * p_c;
+                    let rhs = coverage_percent(m, k, p_c);
+                    assert!((lhs - rhs).abs() < 1e-12, "m={m} k={k} p_c={p_c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_pc_means_full_coverage() {
+        // "To ensure that D receives the packet, p_c should equal 1."
+        for m in 1..6 {
+            assert_eq!(coverage_percent(m, 6, 1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_pc_covers_only_the_holders() {
+        assert!((coverage_percent(3, 6, 0.0) - 0.5).abs() < 1e-12);
+        assert!((coverage_percent(6, 6, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_monotone_in_m_and_pc() {
+        for k in [4usize, 8, 16] {
+            let mut prev = 0.0;
+            for m in 0..=k {
+                let c = coverage_percent(m, k, 0.5);
+                assert!(c >= prev);
+                prev = c;
+            }
+        }
+        assert!(coverage_percent(2, 8, 0.9) > coverage_percent(2, 8, 0.3));
+    }
+
+    #[test]
+    fn lower_range_needs_larger_m() {
+        // "A lower transmission range leads to a higher value of m."
+        let zone_side = 250.0;
+        let m_long = minimal_m_for_full_coverage(10, zone_side, 250.0);
+        let m_short = minimal_m_for_full_coverage(10, zone_side, 120.0);
+        assert!(
+            m_short >= m_long,
+            "short range m={m_short} should need at least long range m={m_long}"
+        );
+    }
+
+    #[test]
+    fn paper_default_geometry_needs_small_m() {
+        // H = 5 zone (~125 x 250 m -> equal-area side ~177 m) with 250 m
+        // range: one holder covers the whole zone; m = 1 or 2 suffices.
+        let m = minimal_m_for_full_coverage(6, 177.0, 250.0);
+        assert!(m <= 2, "m = {m} should be moderate for the default geometry");
+    }
+
+    #[test]
+    fn pc_estimate_saturates() {
+        assert_eq!(estimate_p_c(5, 100.0, 200.0), 1.0); // range covers zone
+        let p1 = estimate_p_c(1, 500.0, 100.0);
+        let p4 = estimate_p_c(4, 500.0, 100.0);
+        assert!(p1 < p4 && p4 < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zone population")]
+    fn rejects_empty_zone() {
+        coverage_percent(1, 0, 0.5);
+    }
+}

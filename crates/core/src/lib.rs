@@ -1,0 +1,41 @@
+//! # alert-core
+//!
+//! ALERT — the **A**nonymous **L**ocation-based **E**fficient **R**outing
+//! pro**T**ocol of Shen & Zhao (ICPP 2011 / IEEE TMC 2012) — implemented
+//! over the [`alert_sim`] MANET substrate.
+//!
+//! The protocol's pieces map to modules as follows:
+//!
+//! * [`AlertConfig`] — `k`, `H`, notify-and-go, intersection defense,
+//!   confirmation/retransmission knobs;
+//! * [`packet`] — the Fig. 4 universal RREQ/RREP/NAK packet format;
+//! * [`protocol`] — the routing state machine: hierarchical zone
+//!   partition, temporary destinations, random forwarders, `k`-anonymity
+//!   zone delivery, "notify and go", and the Section 3.3
+//!   intersection-attack countermeasure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use alert_core::{Alert, AlertConfig};
+//! use alert_sim::{ScenarioConfig, World};
+//!
+//! let mut scenario = ScenarioConfig::default().with_nodes(100).with_duration(10.0);
+//! scenario.traffic.pairs = 3;
+//! let mut world = World::new(scenario, 42, |_, _| Alert::new(AlertConfig::default()));
+//! world.run();
+//! assert!(world.metrics().delivery_rate() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod intersection;
+pub mod packet;
+pub mod protocol;
+
+pub use config::AlertConfig;
+pub use intersection::{coverage_percent, estimate_p_c, minimal_m_for_full_coverage};
+pub use packet::{AlertMsg, AlertPacket, PacketRole, RoutePhase, ALERT_FIXED_HEADER_BYTES};
+pub use protocol::{alert_factory, Alert, ZoneDeliveryRecord};

@@ -1,0 +1,208 @@
+//! The ALERT packet format (paper Fig. 4).
+//!
+//! One universal layout serves RREQ / RREP / NAK: pseudonyms of the
+//! endpoints, the positions of the `H`-th partitioned source and
+//! destination zones (the source zone encrypted under the destination's
+//! public key), the current temporary destination, the partition counters
+//! `h` / `H`, the direction bit, the wrapped session key, the encrypted
+//! TTL of "notify and go", and the intersection-attack `Bitmap`.
+
+use alert_crypto::{PkSealed, Pseudonym};
+use alert_geom::{Axis, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Packet role (the first field of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketRole {
+    /// Request / data from source towards destination.
+    Rreq,
+    /// Response (here: the destination's delivery confirmation).
+    Rrep,
+    /// Negative acknowledgement of a lost packet.
+    Nak,
+}
+
+/// Where the packet currently is in ALERT's routing state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutePhase {
+    /// En route to the current temporary destination via greedy
+    /// geographic forwarding; the node that cannot find a neighbor closer
+    /// to the TD becomes the next random forwarder (Section 2.3).
+    ToTd {
+        /// The temporary destination coordinate (`L_TD` in Fig. 4).
+        td: Point,
+        /// The zone the packet is being routed into — the next random
+        /// forwarder resumes the hierarchical partition from here, so the
+        /// cumulative partition count `h` stays consistent.
+        zone: Rect,
+    },
+    /// Local broadcast inside the destination zone (the `k`-anonymity
+    /// delivery step).
+    ZoneBroadcast,
+    /// Intersection-defense step 1: multicast to `m` holders (Section 3.3).
+    /// Carried as a one-hop broadcast whose payload only the listed
+    /// holders accept (link-layer multicast); other zone nodes hear the
+    /// frame — which is what triggers them to release packets they hold —
+    /// but cannot read it.
+    ZoneHold {
+        /// The pseudonyms of the `m` chosen holders.
+        holders: Vec<Pseudonym>,
+    },
+    /// Intersection-defense step 2: holders release to the whole zone.
+    ZoneRelease,
+}
+
+/// The ALERT packet header (Fig. 4) plus simulation bookkeeping.
+#[derive(Debug, Clone)]
+pub struct AlertPacket {
+    /// RREQ / RREP / NAK.
+    pub role: PacketRole,
+    /// Instrumentation id of the application packet this header carries.
+    pub packet: alert_sim::PacketId,
+    /// The S–D session, used by the source/destination for key lookup.
+    pub session: alert_sim::SessionId,
+    /// Application sequence number within the session.
+    pub seq: u32,
+    /// `P_S`: the source's pseudonym (for the confirmation path).
+    pub ps: Pseudonym,
+    /// `P_D`: the destination's pseudonym.
+    pub pd: Pseudonym,
+    /// `L_ZS` encrypted under `K_pub^D`: the source zone position, only
+    /// decryptable by the destination (Fig. 4 item 2).
+    pub zs_sealed: PkSealed,
+    /// `L_ZD`: the destination zone position (in the clear — a zone, not
+    /// a point, which is the whole idea).
+    pub zd: Rect,
+    /// `h`: partitions performed so far.
+    pub h: u32,
+    /// `H`: the maximum number of partitions.
+    pub h_max: u32,
+    /// The direction bit: the axis the next forwarder splits first.
+    pub axis: Axis,
+    /// Routing phase (encodes `L_TD` when en route).
+    pub phase: RoutePhase,
+    /// Remaining hop budget of the current GPSR leg.
+    pub leg_ttl: u32,
+    /// Remaining total hop budget of this packet attempt. Legs, random-
+    /// forwarder recoveries and zone steering all reset `leg_ttl`, so this
+    /// global budget is what bounds pathological geometries (two nodes
+    /// alternately believing the other is closer to freshly-drawn TDs);
+    /// a retransmission starts a fresh attempt.
+    pub total_ttl: u32,
+    /// Application payload size in bytes (contents are simulated).
+    pub payload_bytes: usize,
+    /// Intersection-defense bit-alteration tag: the random mask the last
+    /// forwarder applied, conceptually carried encrypted as
+    /// `(Bitmap)_{K_pub^D}` (Section 3.3).
+    pub bitmap_tag: Option<u64>,
+}
+
+/// Fixed header overhead on the wire, bytes: role(1) + h(1) + H(1) +
+/// axis bit(1) + P_S(8) + P_D(8) + L_ZD(16) + L_TD(8) + leg TTL(1) +
+/// wrapped K_s (36) + encrypted TTL (12) + framing (4).
+pub const ALERT_FIXED_HEADER_BYTES: usize = 97;
+
+impl AlertPacket {
+    /// Total wire size: fixed header + sealed source zone + bitmap +
+    /// payload.
+    pub fn wire_bytes(&self) -> usize {
+        ALERT_FIXED_HEADER_BYTES
+            + self.zs_sealed.wire_len()
+            + if self.bitmap_tag.is_some() { 12 } else { 0 }
+            + self.payload_bytes
+    }
+
+    /// Remaining partition budget `H - h`.
+    pub fn remaining_partitions(&self) -> u32 {
+        self.h_max.saturating_sub(self.h)
+    }
+}
+
+/// ALERT wire messages: the data/confirmation packets plus the
+/// "notify and go" control traffic (Section 2.6).
+#[derive(Debug, Clone)]
+pub enum AlertMsg {
+    /// A routed packet (RREQ data, RREP confirmation, or NAK).
+    Packet(AlertPacket),
+    /// "Notify" phase: the sender will transmit shortly; neighbors draw a
+    /// back-off from `[t, t + t0]` and emit cover traffic.
+    Notify {
+        /// Minimum back-off, seconds.
+        t: f64,
+        /// Back-off window length, seconds.
+        t0: f64,
+    },
+    /// A cover packet: random bytes with an encrypted TTL of zero; only a
+    /// real next relay could decrypt a valid TTL, everyone else drops it.
+    Cover,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_crypto::{pk_encrypt, KeyPair};
+    use alert_sim::{PacketId, SessionId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_packet(payload: usize, bitmap: Option<u64>) -> AlertPacket {
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = KeyPair::generate(&mut rng);
+        let zs = Rect::new(Point::new(0.0, 0.0), Point::new(125.0, 250.0));
+        let sealed = pk_encrypt(&kp.public, &encode_rect(&zs));
+        AlertPacket {
+            role: PacketRole::Rreq,
+            packet: PacketId(0),
+            session: SessionId(0),
+            seq: 0,
+            ps: Pseudonym(1),
+            pd: Pseudonym(2),
+            zs_sealed: sealed,
+            zd: Rect::new(Point::new(875.0, 750.0), Point::new(1000.0, 1000.0)),
+            h: 1,
+            h_max: 5,
+            axis: Axis::Vertical,
+            phase: RoutePhase::ToTd {
+                td: Point::new(700.0, 700.0),
+                zone: Rect::new(Point::new(500.0, 500.0), Point::new(1000.0, 1000.0)),
+            },
+            leg_ttl: 10,
+            total_ttl: 64,
+            payload_bytes: payload,
+            bitmap_tag: bitmap,
+        }
+    }
+
+    fn encode_rect(r: &Rect) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16);
+        for f in [r.min.x as f32, r.min.y as f32, r.max.x as f32, r.max.y as f32] {
+            v.extend_from_slice(&f.to_be_bytes());
+        }
+        v
+    }
+
+    #[test]
+    fn wire_size_includes_all_fields() {
+        let p = sample_packet(512, None);
+        // 16-byte rect -> 4 RSA blocks -> 4 + 32 bytes sealed.
+        assert_eq!(p.wire_bytes(), ALERT_FIXED_HEADER_BYTES + 36 + 512);
+        let with_bitmap = sample_packet(512, Some(7));
+        assert_eq!(with_bitmap.wire_bytes(), p.wire_bytes() + 12);
+    }
+
+    #[test]
+    fn header_dominated_by_crypto_fields_not_positions() {
+        // Anonymity costs bytes: the header must stay well under the
+        // payload for 512-byte packets (overhead < 30%).
+        let p = sample_packet(512, Some(1));
+        let overhead = p.wire_bytes() - 512;
+        assert!(overhead < 160, "header overhead {overhead} too large");
+    }
+
+    #[test]
+    fn remaining_partitions_saturates() {
+        let mut p = sample_packet(0, None);
+        p.h = 7; // more than h_max (can't happen in routing, but saturate)
+        assert_eq!(p.remaining_partitions(), 0);
+    }
+}

@@ -1,0 +1,711 @@
+//! The ALERT routing protocol (paper Section 2).
+//!
+//! Per packet, each data holder:
+//! 1. checks whether it is inside the destination zone `Z_D`; if so it
+//!    performs the `k`-anonymity zone delivery (broadcast, or the
+//!    two-step intersection-defense multicast of Section 3.3);
+//! 2. otherwise it resumes the hierarchical zone partition from its
+//!    working zone until it is separated from `Z_D`, draws a random
+//!    *temporary destination* (TD) in the half where `Z_D` lies, and
+//!    greedily forwards towards the TD; the node that cannot find a
+//!    neighbor closer to the TD becomes the next *random forwarder* (RF)
+//!    and repeats step 2.
+//!
+//! Source anonymity is reinforced by "notify and go" (Section 2.6);
+//! reliability by destination confirmations, retransmission, and NAKs
+//! (Sections 2.3, 2.5).
+
+use crate::config::AlertConfig;
+use crate::packet::{AlertMsg, AlertPacket, PacketRole, RoutePhase};
+use alert_crypto::{pk_decrypt, pk_encrypt, PkSealed, Pseudonym, SymmetricKey};
+use alert_geom::{destination_zone, separate, Axis, Point, Rect, SeparateOutcome};
+use alert_protocols::forwarding::greedy_next_hop;
+use alert_sim::{
+    Api, DataRequest, Frame, PacketId, ProtocolNode, SessionId, TimerToken, TrafficClass,
+};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Deferred actions keyed by timer token.
+#[derive(Debug, Clone)]
+enum Delayed {
+    /// "Go" phase of notify-and-go: route the packet now.
+    SendPacket(Box<AlertPacket>),
+    /// Emit one cover packet (a notified neighbor).
+    SendCover,
+    /// Check whether a sent packet was confirmed; retransmit otherwise.
+    RetransmitCheck(PacketId),
+}
+
+/// A packet held under the intersection defense, waiting for the next
+/// packet's arrival before release (Section 3.3).
+#[derive(Debug, Clone)]
+struct HeldPacket {
+    packet: AlertPacket,
+    held_since_seq: u32,
+}
+
+/// Record of one zone-delivery round, kept for the intersection-attack
+/// analysis (who was in the *intended* recipient set of each packet).
+#[derive(Debug, Clone)]
+pub struct ZoneDeliveryRecord {
+    /// Session the packet belongs to.
+    pub session: SessionId,
+    /// Application sequence number.
+    pub seq: u32,
+    /// Time of the zone delivery.
+    pub time: f64,
+    /// The destination zone the delivery targeted.
+    pub zd: Rect,
+    /// Intended recipients: the `m` holders under the defense, or `None`
+    /// for a plain zone broadcast (every zone member receives).
+    pub holders: Option<Vec<Pseudonym>>,
+}
+
+/// Per-node ALERT instance.
+pub struct Alert {
+    /// Protocol parameters.
+    pub cfg: AlertConfig,
+    /// Session keys this node established as a source.
+    src_keys: HashMap<SessionId, SymmetricKey>,
+    /// Sessions this node has already paid the per-session public-key
+    /// handshake for, as a destination.
+    dst_sessions: HashSet<SessionId>,
+    /// Unconfirmed packets sent by this node as a source.
+    pending_confirm: HashMap<PacketId, (AlertPacket, u32)>,
+    /// Deferred actions.
+    delayed: HashMap<TimerToken, Delayed>,
+    next_token: TimerToken,
+    /// Packets already delivered/absorbed here (dedup of zone broadcasts).
+    absorbed: HashSet<PacketId>,
+    /// Intersection-defense holder state.
+    held: Vec<HeldPacket>,
+    /// Highest sequence seen per session (as destination), for NAKs.
+    highest_seq: HashMap<SessionId, u32>,
+    /// Zone broadcasts this node has already relayed (scoped-flood dedup).
+    relayed: HashSet<PacketId>,
+    /// Zone-delivery rounds this node initiated as last RF (analysis).
+    pub zone_deliveries: Vec<ZoneDeliveryRecord>,
+}
+
+impl Alert {
+    /// Creates a node instance with the given parameters.
+    pub fn new(cfg: AlertConfig) -> Self {
+        Alert {
+            cfg,
+            src_keys: HashMap::new(),
+            dst_sessions: HashSet::new(),
+            pending_confirm: HashMap::new(),
+            delayed: HashMap::new(),
+            next_token: 64,
+            absorbed: HashSet::new(),
+            held: Vec::new(),
+            highest_seq: HashMap::new(),
+            relayed: HashSet::new(),
+            zone_deliveries: Vec::new(),
+        }
+    }
+
+    fn token(&mut self) -> TimerToken {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn defer(&mut self, api: &mut Api<'_, AlertMsg>, delay_s: f64, action: Delayed) {
+        let token = self.token();
+        self.delayed.insert(token, action);
+        api.set_timer(delay_s, token);
+    }
+
+    /// Serializes a zone rectangle for the `L_ZS` public-key sealing.
+    fn encode_rect(r: &Rect) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16);
+        for f in [r.min.x as f32, r.min.y as f32, r.max.x as f32, r.max.y as f32] {
+            v.extend_from_slice(&f.to_be_bytes());
+        }
+        v
+    }
+
+    fn decode_rect(bytes: &[u8]) -> Option<Rect> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let f = |i: usize| {
+            f64::from(f32::from_be_bytes(
+                bytes[i * 4..i * 4 + 4].try_into().expect("16 bytes"),
+            ))
+        };
+        Some(Rect::new(Point::new(f(0), f(1)), Point::new(f(2), f(3))))
+    }
+
+    /// Traffic class and hop accounting are data-plane only for RREQs;
+    /// RREP/NAK travel as control traffic.
+    fn class_of(role: PacketRole) -> TrafficClass {
+        match role {
+            PacketRole::Rreq => TrafficClass::Data,
+            _ => TrafficClass::Control,
+        }
+    }
+
+    fn mark_tx(api: &mut Api<'_, AlertMsg>, pkt: &AlertPacket) {
+        if pkt.role == PacketRole::Rreq {
+            api.mark_hop(pkt.packet);
+        }
+    }
+
+    /// Step 2 of the algorithm: partition until separated from `Z_D`,
+    /// draw a TD, and start a greedy leg. Runs at the source and at every
+    /// random forwarder.
+    fn route_step(&mut self, api: &mut Api<'_, AlertMsg>, mut pkt: AlertPacket, working_zone: Rect) {
+        let me = api.my_pos();
+        if pkt.zd.contains(me) {
+            self.zone_delivery(api, pkt);
+            return;
+        }
+        let budget = pkt.remaining_partitions().max(1);
+        match separate(&working_zone, me, &pkt.zd, pkt.axis, budget) {
+            SeparateOutcome::InDestinationZone => {
+                // Partition budget exhausted or co-located at zone
+                // resolution: deliver from here (the broadcast may still
+                // reach the zone if it is adjacent).
+                self.zone_delivery(api, pkt);
+            }
+            SeparateOutcome::Separated(sep) => {
+                let td = sep.td_zone.random_point(api.rng());
+                pkt.h += sep.splits;
+                pkt.axis = sep.next_axis;
+                pkt.leg_ttl = self.cfg.leg_ttl;
+                pkt.phase = RoutePhase::ToTd {
+                    td,
+                    zone: sep.td_zone,
+                };
+                self.forward_leg(api, pkt);
+            }
+        }
+    }
+
+    /// One greedy hop towards the current TD. The relay that cannot make
+    /// progress is, by definition, the next random forwarder — but that
+    /// decision is taken at *receive* time; here we only transmit.
+    fn forward_leg(&mut self, api: &mut Api<'_, AlertMsg>, mut pkt: AlertPacket) {
+        let RoutePhase::ToTd { td, .. } = pkt.phase else {
+            debug_assert!(false, "forward_leg outside ToTd");
+            return;
+        };
+        if pkt.leg_ttl == 0 {
+            // Leg budget exhausted (a long zigzag towards a distant TD):
+            // recover by re-partitioning from here instead of dropping.
+            // This consumes partition budget, so it terminates.
+            api.mark_drop("leg_ttl_exhausted");
+            let zone = match pkt.phase {
+                RoutePhase::ToTd { zone, .. } => zone,
+                _ => api.field(),
+            };
+            if pkt.remaining_partitions() == 0 {
+                pkt.h += 1; // spend budget so repeated recovery terminates
+                self.zone_delivery(api, pkt);
+            } else {
+                pkt.h += 1;
+                self.route_step(api, pkt, zone);
+            }
+            return;
+        }
+        if pkt.total_ttl == 0 {
+            api.mark_drop("packet_ttl_exhausted");
+            return;
+        }
+        pkt.total_ttl -= 1;
+        pkt.leg_ttl -= 1;
+        let me = api.my_pos();
+        let neighbors = api.neighbors();
+        match greedy_next_hop(me, td, &neighbors) {
+            Some(n) => {
+                let wire = pkt.wire_bytes();
+                let class = Self::class_of(pkt.role);
+                let id = pkt.packet;
+                Self::mark_tx(api, &pkt);
+                api.send_unicast(n.pseudonym, AlertMsg::Packet(pkt), wire, class, Some(id));
+            }
+            None => {
+                // We are already the closest node to this TD: act as the
+                // random forwarder immediately and re-partition.
+                if pkt.role == PacketRole::Rreq {
+                    api.mark_random_forwarder(pkt.packet);
+                }
+                let zone = match pkt.phase {
+                    RoutePhase::ToTd { zone, .. } => zone,
+                    _ => api.field(),
+                };
+                if pkt.remaining_partitions() == 0 {
+                    self.zone_delivery(api, pkt);
+                } else {
+                    self.route_step(api, pkt, zone);
+                }
+            }
+        }
+    }
+
+    /// The `k`-anonymity delivery inside `Z_D` (or the two-step
+    /// intersection defense of Section 3.3), performed by the last RF.
+    fn zone_delivery(&mut self, api: &mut Api<'_, AlertMsg>, mut pkt: AlertPacket) {
+        let class = Self::class_of(pkt.role);
+        let id = pkt.packet;
+        // The broadcast step presumes the broadcaster resides in Z_D and
+        // that its one-hop broadcast reaches "the k nodes in Z_D"
+        // (Section 2.3). If this node is outside the zone (partition
+        // budget exhausted early) or sits at a zone corner whose far side
+        // exceeds radio range, push the packet greedily towards the zone
+        // centre first; greedy progress is monotone, so this terminates.
+        let me = api.my_pos();
+        let covers_zone =
+            pkt.zd.contains(me) && pkt.zd.max_corner_distance(me) <= api.config().mac.range_m;
+        if !covers_zone {
+            let center = pkt.zd.center();
+            if greedy_next_hop(me, center, &api.neighbors()).is_some() {
+                pkt.leg_ttl = self.cfg.leg_ttl;
+                pkt.phase = RoutePhase::ToTd {
+                    td: center,
+                    zone: pkt.zd,
+                };
+                self.forward_leg(api, pkt);
+                return;
+            }
+            // No progress possible: best-effort broadcast from here.
+        }
+        if self.cfg.intersection_defense && pkt.role == PacketRole::Rreq {
+            // Choose m holders among zone-resident neighbors.
+            let zd = pkt.zd;
+            let mut candidates: Vec<Pseudonym> = api
+                .neighbors()
+                .iter()
+                .filter(|n| zd.contains(n.position))
+                .map(|n| n.pseudonym)
+                .collect();
+            if !candidates.is_empty() {
+                // Deterministic partial Fisher-Yates sample of size m.
+                let m = self.cfg.intersection_m.min(candidates.len());
+                for i in 0..m {
+                    let j = api.rng().gen_range(i..candidates.len());
+                    candidates.swap(i, j);
+                }
+                candidates.truncate(m);
+                self.zone_deliveries.push(ZoneDeliveryRecord {
+                    session: pkt.session,
+                    seq: pkt.seq,
+                    time: api.now(),
+                    zd: pkt.zd,
+                    holders: Some(candidates.clone()),
+                });
+                pkt.phase = RoutePhase::ZoneHold {
+                    holders: candidates,
+                };
+                let wire = pkt.wire_bytes();
+                Self::mark_tx(api, &pkt);
+                // The defense cannot hide a packet from its own carrier:
+                // a destination acting as the last RF accepts it locally.
+                if pkt.pd == api.my_pseudonym() || api.is_true_destination(pkt.packet) {
+                    self.absorb(api, &pkt);
+                }
+                api.send_broadcast(AlertMsg::Packet(pkt), wire, class, Some(id));
+                return;
+            }
+            // No zone neighbors to hold: fall through to plain broadcast.
+        }
+        if pkt.role == PacketRole::Rreq {
+            self.zone_deliveries.push(ZoneDeliveryRecord {
+                session: pkt.session,
+                seq: pkt.seq,
+                time: api.now(),
+                zd: pkt.zd,
+                holders: None,
+            });
+        }
+        pkt.phase = RoutePhase::ZoneBroadcast;
+        let wire = pkt.wire_bytes();
+        Self::mark_tx(api, &pkt);
+        // A broadcaster does not hear its own transmission; if this last
+        // RF happens to be the destination (or the source of a reply), it
+        // already possesses the packet and accepts it locally.
+        let mine = pkt.pd == api.my_pseudonym()
+            || (pkt.role == PacketRole::Rreq && api.is_true_destination(pkt.packet));
+        if mine {
+            self.absorb(api, &pkt);
+        }
+        api.send_broadcast(AlertMsg::Packet(pkt), wire, class, Some(id));
+    }
+
+    /// Final acceptance at this node: decrypt, record delivery, confirm.
+    fn absorb(&mut self, api: &mut Api<'_, AlertMsg>, pkt: &AlertPacket) {
+        if !self.absorbed.insert(pkt.packet) {
+            return;
+        }
+        match pkt.role {
+            PacketRole::Rreq => {
+                // Symmetric decryption of the payload; the per-session
+                // public-key handshake (unwrapping K_s, decrypting L_ZS)
+                // is charged once per session.
+                api.charge_symmetric(1);
+                if pkt.bitmap_tag.is_some() {
+                    // Recover the altered bits via the encrypted Bitmap.
+                    api.charge_symmetric(1);
+                }
+                api.mark_delivered(pkt.packet);
+                // The per-session handshake (unwrapping K_s and L_ZS with
+                // the private key) happens once and is not part of any
+                // individual packet's forwarding latency.
+                let first_of_session = self.dst_sessions.insert(pkt.session);
+                if first_of_session {
+                    api.charge_pk_decrypt(1);
+                }
+                // NAK any gap in the sequence numbers (Section 2.5).
+                let highest = self.highest_seq.entry(pkt.session).or_insert(pkt.seq);
+                let gap = pkt.seq > *highest + 1;
+                if pkt.seq > *highest {
+                    *highest = pkt.seq;
+                }
+                if self.cfg.confirm_and_retransmit {
+                    self.send_reverse(api, pkt, PacketRole::Rrep);
+                    if gap {
+                        self.send_reverse(api, pkt, PacketRole::Nak);
+                    }
+                }
+            }
+            PacketRole::Rrep => {
+                // Confirmation reached the source: stop the retransmit
+                // clock for this packet.
+                self.pending_confirm.remove(&pkt.packet);
+            }
+            PacketRole::Nak => {
+                // A loss report: retransmit the referenced packet if it is
+                // still pending (its confirm timer will also fire, so this
+                // is an accelerator, not the only path).
+                if let Some((stored, _)) = self.pending_confirm.get(&pkt.packet) {
+                    let mut fresh = stored.clone();
+                    fresh.total_ttl = self.cfg.packet_ttl;
+                    fresh.h = 0;
+                    let field = api.field();
+                    self.route_step(api, fresh, field);
+                }
+            }
+        }
+    }
+
+    /// Routes a confirmation or NAK back towards the source's zone `Z_S`
+    /// (decrypted from the packet), using the same anonymous machinery in
+    /// reverse.
+    fn send_reverse(&mut self, api: &mut Api<'_, AlertMsg>, pkt: &AlertPacket, role: PacketRole) {
+        let keys = api.my_keys();
+        let Some(zs_bytes) = pk_decrypt(&keys.private, &pkt.zs_sealed) else {
+            return;
+        };
+        let Some(zs) = Self::decode_rect(&zs_bytes) else {
+            return;
+        };
+        let reply = AlertPacket {
+            role,
+            packet: pkt.packet,
+            session: pkt.session,
+            seq: pkt.seq,
+            ps: api.my_pseudonym(),
+            pd: pkt.ps,
+            zs_sealed: PkSealed {
+                plain_len: 0,
+                blocks: Vec::new(),
+            },
+            zd: zs,
+            h: 0,
+            h_max: pkt.h_max,
+            axis: if api.rng().gen_bool(0.5) {
+                Axis::Vertical
+            } else {
+                Axis::Horizontal
+            },
+            phase: RoutePhase::ZoneBroadcast, // set properly by route_step
+            leg_ttl: self.cfg.leg_ttl,
+            total_ttl: self.cfg.packet_ttl,
+            payload_bytes: 16,
+            bitmap_tag: None,
+        };
+        let field = api.field();
+        self.route_step(api, reply, field);
+    }
+
+    /// Handles a routed packet arriving at this node.
+    fn on_packet(&mut self, api: &mut Api<'_, AlertMsg>, pkt: AlertPacket) {
+        let me = api.my_pos();
+        let mine = pkt.pd == api.my_pseudonym()
+            || (pkt.role == PacketRole::Rreq && api.is_true_destination(pkt.packet));
+        match &pkt.phase {
+            RoutePhase::ZoneBroadcast => {
+                // A newer zone transmission releases held packets first,
+                // so a destination that is also a holder still triggers
+                // the two-step release.
+                self.release_held(api, pkt.session, pkt.seq);
+                // k-anonymity delivery: every zone node receives; only the
+                // true destination can make sense of the payload.
+                if mine {
+                    self.absorb(api, &pkt);
+                    return;
+                }
+                // Zone-edge handover: P_D is already in the packet header
+                // (Fig. 4), so a zone member that currently hears the
+                // destination as a neighbor *outside* Z_D (it drifted away
+                // since the stale location lookup) relays the packet one
+                // hop to it. This is the mechanism behind the paper's
+                // observation that the final local broadcast "increases
+                // the possibility of packet delivery when the destination
+                // is not too far away" (Fig. 16); it costs hops only in
+                // the drift case and reveals nothing beyond the hello
+                // exchange already did.
+                if let Some(d) = alert_protocols::forwarding::neighbor_by_pseudonym(
+                    &api.neighbors(),
+                    pkt.pd,
+                ) {
+                    if !pkt.zd.contains(d.position) && self.relayed.insert(pkt.packet) {
+                        let wire = pkt.wire_bytes();
+                        let class = Self::class_of(pkt.role);
+                        let id = pkt.packet;
+                        Self::mark_tx(api, &pkt);
+                        api.send_unicast(d.pseudonym, AlertMsg::Packet(pkt.clone()), wire, class, Some(id));
+                    }
+                }
+                // Scoped relay: when the zone is too large for any single
+                // broadcast to cover (half-diagonal beyond radio range),
+                // zone residents relay the broadcast once so all k nodes
+                // receive it ("the data are broadcasted to k nodes in
+                // Z_D").
+                let half_diag = pkt.zd.min.distance(pkt.zd.max) * 0.5;
+                if pkt.zd.contains(me)
+                    && half_diag > api.config().mac.range_m
+                    && self.relayed.insert(pkt.packet)
+                {
+                    let wire = pkt.wire_bytes();
+                    let class = Self::class_of(pkt.role);
+                    let id = pkt.packet;
+                    Self::mark_tx(api, &pkt);
+                    api.send_broadcast(AlertMsg::Packet(pkt), wire, class, Some(id));
+                }
+            }
+            RoutePhase::ZoneHold { holders } => {
+                let i_hold = holders.contains(&api.my_pseudonym());
+                // Hearing a newer hold-round releases older held packets.
+                self.release_held(api, pkt.session, pkt.seq);
+                if i_hold {
+                    self.held.push(HeldPacket {
+                        held_since_seq: pkt.seq,
+                        packet: pkt,
+                    });
+                }
+                // Non-holders cannot read the multicast (link-layer
+                // addressing); even the true destination waits for the
+                // release step — that is the entire point of Section 3.3.
+            }
+            RoutePhase::ZoneRelease => {
+                if mine {
+                    self.absorb(api, &pkt);
+                }
+            }
+            RoutePhase::ToTd { td, zone } => {
+                if mine && pkt.role != PacketRole::Rreq {
+                    // Control replies can terminate en route at their
+                    // target (the source recognizes its pseudonym).
+                    self.absorb(api, &pkt);
+                    return;
+                }
+                let (td, zone) = (*td, *zone);
+                if pkt.zd.contains(me) {
+                    // Entered the destination zone: this node is the last
+                    // RF — unless this is already an in-zone steering leg
+                    // towards the zone centre (td == centre), whose relays
+                    // are plain forwarders, not random forwarders.
+                    let steering = td == pkt.zd.center();
+                    if pkt.role == PacketRole::Rreq && !steering {
+                        api.mark_random_forwarder(pkt.packet);
+                    }
+                    self.zone_delivery(api, pkt);
+                    return;
+                }
+                let neighbors = api.neighbors();
+                if greedy_next_hop(me, td, &neighbors).is_none() {
+                    // No neighbor closer to the TD: this node is the RF.
+                    if pkt.role == PacketRole::Rreq {
+                        api.mark_random_forwarder(pkt.packet);
+                    }
+                    if pkt.remaining_partitions() == 0 {
+                        self.zone_delivery(api, pkt);
+                    } else {
+                        self.route_step(api, pkt, zone);
+                    }
+                } else {
+                    self.forward_leg(api, pkt);
+                }
+            }
+        }
+    }
+
+    /// Broadcasts held packets after observing a newer zone transmission
+    /// (step 2 of the intersection defense).
+    fn release_held(&mut self, api: &mut Api<'_, AlertMsg>, session: SessionId, newer_seq: u32) {
+        if self.held.is_empty() {
+            return;
+        }
+        let to_release: Vec<HeldPacket> = {
+            let (rel, keep): (Vec<_>, Vec<_>) = self
+                .held
+                .drain(..)
+                .partition(|h| h.packet.session == session && h.held_since_seq < newer_seq);
+            self.held = keep;
+            rel
+        };
+        for mut h in to_release {
+            // Alter bits and record them in the encrypted Bitmap so the
+            // on-air ciphertext differs from the first step's (Section 3.3).
+            h.packet.bitmap_tag = Some(api.rng().gen());
+            api.charge_symmetric(1);
+            h.packet.phase = RoutePhase::ZoneRelease;
+            let wire = h.packet.wire_bytes();
+            let class = Self::class_of(h.packet.role);
+            let id = h.packet.packet;
+            Self::mark_tx(api, &h.packet);
+            api.send_broadcast(AlertMsg::Packet(h.packet), wire, class, Some(id));
+        }
+    }
+}
+
+impl ProtocolNode for Alert {
+    type Msg = AlertMsg;
+
+    fn name() -> &'static str {
+        "ALERT"
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        let Some(info) = api.lookup(req.dst) else {
+            api.mark_drop("location_lookup_failed");
+            return;
+        };
+        let field = api.field();
+        let density = api.config().density();
+        let h_max = self.cfg.partitions(density, field.area());
+        let first_axis = if api.rng().gen_bool(0.5) {
+            Axis::Vertical
+        } else {
+            Axis::Horizontal
+        };
+        let zd = destination_zone(&field, field.clamp(info.position), h_max, first_axis);
+        let zs = destination_zone(&field, field.clamp(api.my_pos()), h_max, first_axis);
+
+        // Session key establishment: one public-key wrap per session; the
+        // data itself travels under the symmetric key (Section 2.5).
+        let session_is_new = !self.src_keys.contains_key(&req.session);
+        if session_is_new {
+            let key = SymmetricKey::random(api.rng());
+            self.src_keys.insert(req.session, key);
+            api.charge_pk_encrypt(1);
+        }
+        api.charge_symmetric(1); // payload encryption under K_s
+
+        let zs_sealed = pk_encrypt(&info.public_key, &Self::encode_rect(&zs));
+        let pkt = AlertPacket {
+            role: PacketRole::Rreq,
+            packet: req.packet,
+            session: req.session,
+            seq: req.seq,
+            ps: api.my_pseudonym(),
+            pd: info.pseudonym,
+            zs_sealed,
+            zd,
+            h: 0,
+            h_max,
+            axis: first_axis,
+            phase: RoutePhase::ZoneBroadcast, // set properly by route_step
+            leg_ttl: self.cfg.leg_ttl,
+            total_ttl: self.cfg.packet_ttl,
+            payload_bytes: req.bytes,
+            bitmap_tag: None,
+        };
+
+        if self.cfg.confirm_and_retransmit {
+            self.pending_confirm.insert(req.packet, (pkt.clone(), 0));
+            self.defer(
+                api,
+                self.cfg.retransmit_timeout_s,
+                Delayed::RetransmitCheck(req.packet),
+            );
+        }
+
+        if self.cfg.notify_and_go {
+            // "Notify": tell the neighborhood a transmission is imminent.
+            api.send_broadcast(
+                AlertMsg::Notify {
+                    t: self.cfg.notify_t_s,
+                    t0: self.cfg.notify_t0_s,
+                },
+                8,
+                TrafficClass::Control,
+                None,
+            );
+            // "Go": the source waits its own random back-off like everyone.
+            let backoff = self.cfg.notify_t_s + api.rng().gen_range(0.0..self.cfg.notify_t0_s);
+            self.defer(api, backoff, Delayed::SendPacket(Box::new(pkt)));
+        } else {
+            self.route_step(api, pkt, field);
+        }
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        match frame.msg {
+            AlertMsg::Packet(pkt) => self.on_packet(api, pkt),
+            AlertMsg::Notify { t, t0 } => {
+                // Participate in the camouflage: schedule one cover packet.
+                let backoff = t + api.rng().gen_range(0.0..t0.max(1e-6));
+                self.defer(api, backoff, Delayed::SendCover);
+            }
+            AlertMsg::Cover => {
+                // Cannot decrypt a valid TTL with our private key: drop.
+                // (Cost of the attempted decryption is sub-millisecond and
+                // charged as a hash-class operation.)
+                api.charge_hash(1);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut Api<'_, Self::Msg>, token: TimerToken) {
+        match self.delayed.remove(&token) {
+            Some(Delayed::SendPacket(pkt)) => {
+                let field = api.field();
+                self.route_step(api, *pkt, field);
+            }
+            Some(Delayed::SendCover) => {
+                api.send_broadcast(AlertMsg::Cover, self.cfg.cover_bytes, TrafficClass::Cover, None);
+            }
+            Some(Delayed::RetransmitCheck(id)) => {
+                if let Some((mut pkt, retries)) = self.pending_confirm.get(&id).cloned() {
+                    if retries < self.cfg.max_retransmits {
+                        self.pending_confirm.insert(id, (pkt.clone(), retries + 1));
+                        pkt.total_ttl = self.cfg.packet_ttl;
+                        pkt.h = 0;
+                        let field = api.field();
+                        self.route_step(api, pkt, field);
+                        self.defer(
+                            api,
+                            self.cfg.retransmit_timeout_s,
+                            Delayed::RetransmitCheck(id),
+                        );
+                    } else {
+                        self.pending_confirm.remove(&id);
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+/// Factory for [`alert_sim::World::new`] with a shared configuration.
+pub fn alert_factory(
+    cfg: AlertConfig,
+) -> impl FnMut(alert_sim::NodeId, &alert_sim::ScenarioConfig) -> Alert {
+    move |_, _| Alert::new(cfg)
+}

@@ -1,0 +1,81 @@
+//! Run-level diagnostics, ignored by default. Dumps per-packet latency /
+//! hop distributions and drop reasons for one seeded ALERT run — the tool
+//! that found the destination-as-last-RF and routing-loop bugs during
+//! calibration.
+//!
+//! ```text
+//! DIAG_NODES=100 DIAG_SEED=1 cargo test --release -p alert-core \
+//!     --test diag -- --ignored --nocapture
+//! ```
+
+use alert_core::{Alert, AlertConfig};
+use alert_sim::{ScenarioConfig, World};
+
+#[test]
+#[ignore = "diagnostic dump, run explicitly with --ignored --nocapture"]
+fn diag() {
+    let nodes: usize = std::env::var("DIAG_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let seed: u64 = std::env::var("DIAG_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(100.0);
+    cfg.traffic.pairs = 10;
+    let mut w = World::new(cfg, seed, |_, _| Alert::new(AlertConfig::default()));
+    w.run();
+    let m = w.metrics();
+    println!(
+        "sent={} rate={:.3} lat={:?} hops/pkt={:.2} rf/pkt={:.2}",
+        m.packets_sent(),
+        m.delivery_rate(),
+        m.mean_latency(),
+        m.hops_per_packet(),
+        m.mean_random_forwarders()
+    );
+    let mut lats: Vec<f64> = m.packets.iter().filter_map(|p| p.latency()).collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if !lats.is_empty() {
+        println!(
+            "lat p50={:.4} p90={:.4} p99={:.4} max={:.4}",
+            lats[lats.len() / 2],
+            lats[lats.len() * 9 / 10],
+            lats[lats.len() * 99 / 100],
+            lats.last().unwrap()
+        );
+    }
+    let slow = m
+        .packets
+        .iter()
+        .filter(|p| p.latency().is_some_and(|l| l > 0.1))
+        .count();
+    let undelivered = m.packets.iter().filter(|p| p.delivered_at.is_none()).count();
+    println!("slow(>100ms)={slow} undelivered={undelivered}");
+    let mut hops: Vec<u32> = m.packets.iter().map(|p| p.hops).collect();
+    hops.sort_unstable();
+    println!(
+        "hops p50={} p90={} max={}",
+        hops[hops.len() / 2],
+        hops[hops.len() * 9 / 10],
+        hops.last().unwrap()
+    );
+    println!("drops: {:?}", m.drops);
+    println!("worst packets:");
+    for p in m
+        .packets
+        .iter()
+        .filter(|p| p.latency().is_none_or(|l| l > 0.1))
+        .take(12)
+    {
+        println!(
+            "  s{}#{} hops={} rf={} lat={:?}",
+            p.session.0,
+            p.seq,
+            p.hops,
+            p.random_forwarders,
+            p.latency()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests of the ALERT packet format (Fig. 4).
+
+use alert_core::{AlertPacket, PacketRole, RoutePhase, ALERT_FIXED_HEADER_BYTES};
+use alert_crypto::{pk_encrypt, KeyPair, Pseudonym};
+use alert_geom::{Axis, Point, Rect};
+use alert_sim::{PacketId, SessionId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn packet(payload: usize, zs_len: usize, bitmap: Option<u64>, h: u32, h_max: u32) -> AlertPacket {
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = KeyPair::generate(&mut rng);
+    AlertPacket {
+        role: PacketRole::Rreq,
+        packet: PacketId(0),
+        session: SessionId(0),
+        seq: 0,
+        ps: Pseudonym(1),
+        pd: Pseudonym(2),
+        zs_sealed: pk_encrypt(&kp.public, &vec![0u8; zs_len]),
+        zd: Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+        h,
+        h_max,
+        axis: Axis::Vertical,
+        phase: RoutePhase::ZoneBroadcast,
+        leg_ttl: 10,
+        total_ttl: 64,
+        payload_bytes: payload,
+        bitmap_tag: bitmap,
+    }
+}
+
+proptest! {
+    /// Wire size is monotone in payload and always covers the header.
+    #[test]
+    fn wire_size_monotone(p1 in 0usize..4096, p2 in 0usize..4096, zs in 0usize..64) {
+        let a = packet(p1, zs, None, 0, 5).wire_bytes();
+        let b = packet(p2, zs, None, 0, 5).wire_bytes();
+        prop_assert!(a >= ALERT_FIXED_HEADER_BYTES + p1);
+        if p1 <= p2 {
+            prop_assert!(a <= b);
+        }
+    }
+
+    /// The bitmap adds a fixed-size field, independent of everything else.
+    #[test]
+    fn bitmap_cost_is_constant(payload in 0usize..2048, zs in 0usize..64, tag in any::<u64>()) {
+        let without = packet(payload, zs, None, 0, 5).wire_bytes();
+        let with = packet(payload, zs, Some(tag), 0, 5).wire_bytes();
+        prop_assert_eq!(with - without, 12);
+    }
+
+    /// Partition budget arithmetic never underflows.
+    #[test]
+    fn remaining_partitions_saturate(h in 0u32..20, h_max in 0u32..10) {
+        let p = packet(0, 16, None, h, h_max);
+        prop_assert_eq!(p.remaining_partitions(), h_max.saturating_sub(h));
+    }
+
+    /// The sealed source zone grows with its plaintext in 4-byte blocks.
+    #[test]
+    fn sealed_zone_block_coding(zs in 0usize..64) {
+        let p = packet(0, zs, None, 0, 5);
+        prop_assert_eq!(p.zs_sealed.wire_len(), 4 + zs.div_ceil(4) * 8);
+    }
+}

@@ -1,0 +1,120 @@
+//! Fuzz-style property tests: ALERT must stay panic-free and respect its
+//! global invariants across arbitrary (small) scenarios — densities from
+//! near-empty to dense, any speed, any anonymity parameters.
+
+use alert_core::{Alert, AlertConfig};
+use alert_sim::{MobilityKind, ScenarioConfig, World};
+use proptest::prelude::*;
+
+fn arb_mobility() -> impl Strategy<Value = MobilityKind> {
+    prop_oneof![
+        Just(MobilityKind::RandomWaypoint),
+        Just(MobilityKind::Static),
+        (2usize..6, 100.0f64..300.0)
+            .prop_map(|(groups, range)| MobilityKind::Group { groups, range }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any scenario ALERT can be configured with runs to completion with
+    /// coherent metrics.
+    #[test]
+    fn alert_never_panics_and_metrics_are_coherent(
+        nodes in 12usize..80,
+        speed in 0.0f64..10.0,
+        k in 1.0f64..40.0,
+        pairs in 1usize..5,
+        mobility in arb_mobility(),
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(nodes)
+            .with_speed(speed)
+            .with_duration(12.0)
+            .with_mobility(mobility);
+        cfg.traffic.pairs = pairs.min(nodes / 2);
+        let acfg = AlertConfig::default().with_k(k);
+        let mut w = World::new(cfg, seed, move |_, _| Alert::new(acfg));
+        w.run();
+        let m = w.metrics();
+        prop_assert!((0.0..=1.0).contains(&m.delivery_rate()));
+        // Every delivery is causal and within the run (plus grace).
+        for p in &m.packets {
+            if let Some(d) = p.delivered_at {
+                prop_assert!(d >= p.sent_at, "delivery before send");
+                prop_assert!(d <= 13.5, "delivery after the grace window");
+            }
+            // Hop budgeting: the per-attempt total TTL bounds hops even
+            // across a retransmission (2 attempts by default).
+            prop_assert!(
+                p.hops <= 2 * (acfg.packet_ttl + 8),
+                "packet hops {} exceed budget",
+                p.hops
+            );
+            // Participants are distinct nodes.
+            let mut sorted = p.participants.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), p.participants.len());
+        }
+        // Latency percentiles are monotone when defined.
+        if let (Some(p50), Some(p90)) = (m.latency_percentile(50.0), m.latency_percentile(90.0)) {
+            prop_assert!(p90 >= p50);
+        }
+    }
+
+    /// Crypto accounting: public-key operations stay per-session, never
+    /// per-packet, under any load.
+    #[test]
+    fn pk_ops_bounded_by_sessions(
+        nodes in 20usize..60,
+        pairs in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(16.0);
+        cfg.traffic.pairs = pairs.min(nodes / 2);
+        let mut w = World::new(cfg, seed, |_, _| Alert::new(AlertConfig::default()));
+        w.run();
+        let c = w.metrics().crypto;
+        let sessions = pairs.min(nodes / 2) as u64;
+        prop_assert!(
+            c.pk_encrypt <= sessions + 2,
+            "pk_encrypt {} for {} sessions",
+            c.pk_encrypt,
+            sessions
+        );
+        prop_assert!(
+            c.pk_decrypt <= sessions + 2,
+            "pk_decrypt {} for {} sessions",
+            c.pk_decrypt,
+            sessions
+        );
+    }
+
+    /// Determinism holds for arbitrary configurations, not just defaults.
+    #[test]
+    fn determinism_under_arbitrary_configs(
+        nodes in 12usize..50,
+        speed in 0.0f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(nodes)
+            .with_speed(speed)
+            .with_duration(8.0);
+        cfg.traffic.pairs = 2.min(nodes / 2);
+        let run = |cfg: ScenarioConfig| {
+            let mut w = World::new(cfg, seed, |_, _| Alert::new(AlertConfig::default()));
+            w.run();
+            (
+                w.metrics().delivery_rate(),
+                w.metrics().hops_per_packet(),
+                w.metrics().crypto,
+                w.metrics().control_frames,
+            )
+        };
+        prop_assert_eq!(run(cfg.clone()), run(cfg));
+    }
+}

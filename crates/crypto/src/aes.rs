@@ -1,0 +1,315 @@
+//! AES-128 (FIPS-197), implemented from scratch, plus CTR mode.
+//!
+//! The paper's symmetric data path is AES (Section 5.2). The default
+//! simulation cipher is the cheaper SHA-1 keystream in [`crate::cipher`];
+//! this module provides the real thing for users who want bit-faithful
+//! AES framing, validated against the FIPS-197 and NIST SP 800-38A test
+//! vectors.
+//!
+//! Implementation notes: 8-bit table-free S-box computation is replaced by
+//! a precomputed S-box table (the standard practice); MixColumns uses
+//! xtime chains. This is a straightforward, readable implementation — not
+//! constant-time, which is irrelevant inside a simulator (see the crate
+//! docs' security note).
+
+use crate::cipher::SymmetricKey;
+
+/// The AES S-box (FIPS-197 Fig. 7).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse S-box (FIPS-197 Fig. 14).
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+/// Round constants for key expansion.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply by x in GF(2^8) with the AES polynomial 0x11b.
+#[inline]
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (((a >> 7) & 1) * 0x1b)
+}
+
+/// General GF(2^8) multiplication (used by InvMixColumns).
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// An expanded AES-128 key schedule (11 round keys).
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key (FIPS-197 §5.2).
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1); // RotWord
+                for b in &mut temp {
+                    *b = SBOX[*b as usize]; // SubWord
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Derives the schedule from the simulator's [`SymmetricKey`].
+    pub fn from_key(key: &SymmetricKey) -> Self {
+        Aes128::new(&key.0)
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
+    }
+
+    /// ShiftRows on the column-major state (state[r + 4c]).
+    fn shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + r) % 4];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + 4 - r) % 4];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = &mut state[4 * c..4 * c + 4];
+            let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+            col[0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+            col[1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+            col[2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+            col[3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = &mut state[4 * c..4 * c + 4];
+            let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+            col[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
+            col[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
+            col[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
+            col[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            Self::sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        Self::sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[10]);
+        Self::inv_shift_rows(block);
+        Self::inv_sub_bytes(block);
+        for round in (1..10).rev() {
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+            Self::inv_shift_rows(block);
+            Self::inv_sub_bytes(block);
+        }
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// CTR-mode keystream application (encrypt == decrypt): XORs the
+    /// keystream for (`nonce`, counter…) into `data` in place
+    /// (SP 800-38A §6.5 with a 64-bit nonce ‖ 64-bit counter block).
+    pub fn ctr_apply(&self, nonce: &[u8; 8], data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            let mut block = [0u8; 16];
+            block[..8].copy_from_slice(nonce);
+            block[8..].copy_from_slice(&(i as u64).to_be_bytes());
+            self.encrypt_block(&mut block);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// FIPS-197 Appendix B: the worked example.
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let mut block: [u8; 16] = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3243f6a8885a308d313198a2e0370734"));
+    }
+
+    /// FIPS-197 Appendix C.1: AES-128 known-answer test.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    /// NIST SP 800-38A F.1.1: ECB-AES128 encrypt vectors (all four blocks).
+    #[test]
+    fn sp800_38a_ecb_vectors() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let cases = [
+            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+            ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+            ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+        ];
+        for (pt, ct) in cases {
+            let mut block: [u8; 16] = hex(pt).try_into().unwrap();
+            aes.encrypt_block(&mut block);
+            assert_eq!(block.to_vec(), hex(ct), "plaintext {pt}");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block.to_vec(), hex(pt));
+        }
+    }
+
+    #[test]
+    fn ctr_roundtrip_arbitrary_lengths() {
+        let aes = Aes128::new(&[7u8; 16]);
+        for len in [0usize, 1, 15, 16, 17, 100, 512] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+            let mut data = original.clone();
+            aes.ctr_apply(&[1, 2, 3, 4, 5, 6, 7, 8], &mut data);
+            if len > 0 {
+                assert_ne!(data, original, "len {len}");
+            }
+            aes.ctr_apply(&[1, 2, 3, 4, 5, 6, 7, 8], &mut data);
+            assert_eq!(data, original, "len {len}");
+        }
+    }
+
+    #[test]
+    fn ctr_nonce_separation() {
+        let aes = Aes128::new(&[9u8; 16]);
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        aes.ctr_apply(&[0; 8], &mut a);
+        aes.ctr_apply(&[1, 0, 0, 0, 0, 0, 0, 0], &mut b);
+        assert_ne!(a, b, "different nonces must give different keystreams");
+    }
+
+    #[test]
+    fn inv_sbox_is_inverse() {
+        for i in 0..256 {
+            assert_eq!(INV_SBOX[SBOX[i] as usize] as usize, i);
+            assert_eq!(SBOX[INV_SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn gf_multiplication_basics() {
+        assert_eq!(gmul(0x57, 0x02), 0xae); // xtime example from FIPS-197
+        assert_eq!(gmul(0x57, 0x13), 0xfe); // §4.2.1 worked example
+        assert_eq!(gmul(1, 0xab), 0xab);
+        assert_eq!(gmul(0, 0xff), 0);
+    }
+
+    #[test]
+    fn key_schedule_first_and_last_words() {
+        // FIPS-197 Appendix A.1 key expansion check points.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.round_keys[0].to_vec(), hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        assert_eq!(aes.round_keys[10].to_vec(), hex("d014f9a8c9ee2589e13f0cc8b6630ca6"));
+    }
+}

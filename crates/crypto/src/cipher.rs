@@ -1,0 +1,169 @@
+//! Functional symmetric encryption: a SHA-1-based stream cipher.
+//!
+//! The paper uses AES for the symmetric data path (Section 5.2). We stand
+//! in a keystream cipher built from our from-scratch SHA-1 in counter mode:
+//! `keystream_block(i) = SHA1(key || nonce || i)`. This is *functionally*
+//! a real cipher (ciphertext is unintelligible without the key, decryption
+//! round-trips, tampering is detectable via the MAC helper) while keeping
+//! the workspace dependency-free. It is NOT a security claim — the
+//! simulation charges the latency of real AES via the cost model instead.
+
+use crate::sha1::{sha1, Sha1};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 128-bit symmetric key (the paper's `K_s`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SymmetricKey(pub [u8; 16]);
+
+impl SymmetricKey {
+    /// Draws a uniformly random key.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut k = [0u8; 16];
+        rng.fill(&mut k);
+        SymmetricKey(k)
+    }
+
+    /// Derives a key deterministically from a label (tests, fixtures).
+    pub fn derive(label: &[u8]) -> Self {
+        let d = sha1(label);
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&d.0[..16]);
+        SymmetricKey(k)
+    }
+}
+
+/// A sealed message: nonce plus ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SealedBytes {
+    /// Per-message nonce; never reuse with the same key.
+    pub nonce: [u8; 8],
+    /// XOR-keystream ciphertext, same length as the plaintext.
+    pub ciphertext: Vec<u8>,
+}
+
+impl SealedBytes {
+    /// Total wire size contribution in bytes.
+    pub fn wire_len(&self) -> usize {
+        8 + self.ciphertext.len()
+    }
+}
+
+fn keystream_block(key: &SymmetricKey, nonce: &[u8; 8], counter: u64) -> [u8; 20] {
+    let mut h = Sha1::new();
+    h.update(&key.0);
+    h.update(nonce);
+    h.update(&counter.to_be_bytes());
+    h.finalize().0
+}
+
+fn apply_keystream(key: &SymmetricKey, nonce: &[u8; 8], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(20).enumerate() {
+        let ks = keystream_block(key, nonce, i as u64);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Encrypts `plaintext` under `key` with a random nonce.
+pub fn seal<R: Rng + ?Sized>(key: &SymmetricKey, plaintext: &[u8], rng: &mut R) -> SealedBytes {
+    let mut nonce = [0u8; 8];
+    rng.fill(&mut nonce);
+    let mut ciphertext = plaintext.to_vec();
+    apply_keystream(key, &nonce, &mut ciphertext);
+    SealedBytes { nonce, ciphertext }
+}
+
+/// Decrypts a sealed message. Stream ciphers cannot fail structurally, so
+/// this always returns the XOR inverse; pair with [`mac`] when integrity
+/// matters.
+pub fn open(key: &SymmetricKey, sealed: &SealedBytes) -> Vec<u8> {
+    let mut plaintext = sealed.ciphertext.clone();
+    apply_keystream(key, &sealed.nonce, &mut plaintext);
+    plaintext
+}
+
+/// Keyed message authentication tag: `SHA1(key || data)` truncated to
+/// 8 bytes. (HMAC would be the hardened construction; the length-extension
+/// weakness of plain keyed hashing is irrelevant to the simulation.)
+pub fn mac(key: &SymmetricKey, data: &[u8]) -> [u8; 8] {
+    let mut h = Sha1::new();
+    h.update(&key.0);
+    h.update(data);
+    let d = h.finalize();
+    d.0[..8].try_into().expect("digest has 20 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = SymmetricKey::random(&mut rng);
+        let msg = b"anonymous location-based efficient routing".to_vec();
+        let sealed = seal(&key, &msg, &mut rng);
+        assert_ne!(sealed.ciphertext, msg, "ciphertext must differ");
+        assert_eq!(open(&key, &sealed), msg);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_long() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = SymmetricKey::random(&mut rng);
+        for len in [0usize, 1, 19, 20, 21, 512, 4096] {
+            let msg: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let sealed = seal(&key, &msg, &mut rng);
+            assert_eq!(open(&key, &sealed), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let k1 = SymmetricKey::random(&mut rng);
+        let k2 = SymmetricKey::random(&mut rng);
+        let msg = vec![7u8; 64];
+        let sealed = seal(&k1, &msg, &mut rng);
+        assert_ne!(open(&k2, &sealed), msg);
+    }
+
+    #[test]
+    fn nonce_uniqueness_changes_ciphertext() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let key = SymmetricKey::random(&mut rng);
+        let msg = vec![0u8; 32];
+        let s1 = seal(&key, &msg, &mut rng);
+        let s2 = seal(&key, &msg, &mut rng);
+        assert_ne!(s1.nonce, s2.nonce);
+        assert_ne!(s1.ciphertext, s2.ciphertext);
+    }
+
+    #[test]
+    fn mac_detects_tamper() {
+        let key = SymmetricKey::derive(b"mac-key");
+        let data = b"packet payload";
+        let tag = mac(&key, data);
+        assert_eq!(tag, mac(&key, data));
+        assert_ne!(tag, mac(&key, b"packet paylo4d"));
+        assert_ne!(tag, mac(&SymmetricKey::derive(b"other"), data));
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        assert_eq!(SymmetricKey::derive(b"x"), SymmetricKey::derive(b"x"));
+        assert_ne!(SymmetricKey::derive(b"x"), SymmetricKey::derive(b"y"));
+    }
+
+    #[test]
+    fn wire_len_accounts_for_nonce() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = SymmetricKey::random(&mut rng);
+        let sealed = seal(&key, &[0u8; 100], &mut rng);
+        assert_eq!(sealed.wire_len(), 108);
+    }
+}

@@ -1,0 +1,176 @@
+//! The crypto latency cost model (paper Section 5.2).
+//!
+//! The paper's latency evaluation charges the wall-clock cost of crypto on
+//! a 1.8 GHz single-threaded CPU: "a typical symmetric encryption costs
+//! several milliseconds while a public key encryption operation costs 2-3
+//! hundred milliseconds". The comparison between ALERT (one symmetric
+//! encryption per packet) and ALARM / AO2P (per-hop public-key work) hinges
+//! entirely on these constants, so they are explicit, configurable inputs
+//! to the simulation rather than buried magic numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation processing delays, in seconds of simulated node CPU time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// One symmetric encryption or decryption of a data packet (AES-class).
+    pub symmetric_s: f64,
+    /// One public-key encryption (RSA-class).
+    pub pk_encrypt_s: f64,
+    /// One public-key decryption / signing (RSA private-key op; typically
+    /// the expensive direction).
+    pub pk_decrypt_s: f64,
+    /// One signature verification (RSA public-key op, cheap exponent).
+    pub pk_verify_s: f64,
+    /// One hash evaluation (pseudonym computation); negligible but nonzero.
+    pub hash_s: f64,
+}
+
+impl CostModel {
+    /// The paper's measured costs (Section 5.2): symmetric ≈ 3 ms,
+    /// public-key ≈ 250 ms (encrypt) / 250 ms (decrypt), verify ≈ 15 ms,
+    /// hash ≈ 10 µs.
+    pub const PAPER_1_8GHZ: CostModel = CostModel {
+        symmetric_s: 0.003,
+        pk_encrypt_s: 0.250,
+        pk_decrypt_s: 0.250,
+        pk_verify_s: 0.015,
+        hash_s: 0.000_01,
+    };
+
+    /// A zero-cost model: isolates pure routing latency from crypto cost
+    /// (used in ablation benches).
+    pub const FREE: CostModel = CostModel {
+        symmetric_s: 0.0,
+        pk_encrypt_s: 0.0,
+        pk_decrypt_s: 0.0,
+        pk_verify_s: 0.0,
+        hash_s: 0.0,
+    };
+
+    /// Scales every cost by `factor` (e.g. to model a faster CPU).
+    pub fn scaled(&self, factor: f64) -> CostModel {
+        CostModel {
+            symmetric_s: self.symmetric_s * factor,
+            pk_encrypt_s: self.pk_encrypt_s * factor,
+            pk_decrypt_s: self.pk_decrypt_s * factor,
+            pk_verify_s: self.pk_verify_s * factor,
+            hash_s: self.hash_s * factor,
+        }
+    }
+
+    /// The paper's headline ratio: public-key work costs "hundreds of
+    /// times" a symmetric operation \[26\].
+    pub fn pk_to_symmetric_ratio(&self) -> f64 {
+        if self.symmetric_s == 0.0 {
+            f64::INFINITY
+        } else {
+            self.pk_encrypt_s / self.symmetric_s
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::PAPER_1_8GHZ
+    }
+}
+
+/// Running tally of crypto operations performed by a node or a whole run.
+/// The simulator uses this to attribute latency and to report the
+/// "computing cost" comparisons of Section 5.6.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CryptoOps {
+    /// Symmetric encryptions + decryptions.
+    pub symmetric: u64,
+    /// Public-key encryptions.
+    pub pk_encrypt: u64,
+    /// Public-key decryptions / signatures.
+    pub pk_decrypt: u64,
+    /// Signature verifications.
+    pub pk_verify: u64,
+    /// Hash evaluations.
+    pub hash: u64,
+}
+
+impl CryptoOps {
+    /// Total simulated CPU seconds these operations cost under `model`.
+    pub fn total_seconds(&self, model: &CostModel) -> f64 {
+        self.symmetric as f64 * model.symmetric_s
+            + self.pk_encrypt as f64 * model.pk_encrypt_s
+            + self.pk_decrypt as f64 * model.pk_decrypt_s
+            + self.pk_verify as f64 * model.pk_verify_s
+            + self.hash as f64 * model.hash_s
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &CryptoOps) {
+        self.symmetric += other.symmetric;
+        self.pk_encrypt += other.pk_encrypt;
+        self.pk_decrypt += other.pk_decrypt;
+        self.pk_verify += other.pk_verify;
+        self.hash += other.hash;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_has_pk_hundreds_of_times_symmetric() {
+        let m = CostModel::PAPER_1_8GHZ;
+        let ratio = m.pk_to_symmetric_ratio();
+        assert!(
+            (50.0..1000.0).contains(&ratio),
+            "ratio {ratio} should be 'hundreds of times' per [26]"
+        );
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        let ops = CryptoOps {
+            symmetric: 100,
+            pk_encrypt: 100,
+            pk_decrypt: 100,
+            pk_verify: 100,
+            hash: 100,
+        };
+        assert_eq!(ops.total_seconds(&CostModel::FREE), 0.0);
+    }
+
+    #[test]
+    fn total_seconds_is_linear() {
+        let m = CostModel::PAPER_1_8GHZ;
+        let ops = CryptoOps {
+            symmetric: 2,
+            pk_encrypt: 1,
+            ..CryptoOps::default()
+        };
+        let expected = 2.0 * m.symmetric_s + m.pk_encrypt_s;
+        assert!((ops.total_seconds(&m) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_halves_costs() {
+        let m = CostModel::PAPER_1_8GHZ.scaled(0.5);
+        assert!((m.pk_encrypt_s - 0.125).abs() < 1e-12);
+        assert!((m.symmetric_s - 0.0015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = CryptoOps {
+            symmetric: 1,
+            ..CryptoOps::default()
+        };
+        let b = CryptoOps {
+            symmetric: 2,
+            pk_verify: 3,
+            ..CryptoOps::default()
+        };
+        a.add(&b);
+        assert_eq!(a.symmetric, 3);
+        assert_eq!(a.pk_verify, 3);
+    }
+}

@@ -1,0 +1,298 @@
+//! SHA-1, implemented from scratch (FIPS 180-1).
+//!
+//! The paper derives node pseudonyms with "a collision-resistant hash
+//! function, such as SHA-1" (Section 2.2). SHA-1 is cryptographically
+//! broken for adversarial collision resistance today, but we reproduce the
+//! paper's construction faithfully; nothing in the simulation depends on
+//! collision hardness beyond accidental-collision avoidance, for which
+//! SHA-1's 160-bit output is ample.
+
+/// A 160-bit SHA-1 digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 20]);
+
+impl Digest {
+    /// Renders the digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            use std::fmt::Write;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// The first 8 bytes as a big-endian integer — a convenient short
+    /// pseudonym form for hash-map keys.
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("digest has 20 bytes"))
+    }
+}
+
+/// Streaming SHA-1 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    len_bits: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the standard initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len_bits: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len_bits = self.len_bits.wrapping_add((data.len() as u64) * 8);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("split_at(64)"));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Finishes the hash and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let len_bits = self.len_bits;
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update_padding_byte();
+        while self.buf_len != 56 {
+            self.update_zero_byte();
+        }
+        let mut len_block = [0u8; 8];
+        len_block.copy_from_slice(&len_bits.to_be_bytes());
+        self.buf[56..64].copy_from_slice(&len_block);
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn update_padding_byte(&mut self) {
+        self.buf[self.buf_len] = 0x80;
+        self.buf_len += 1;
+        if self.buf_len == 64 {
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+    }
+
+    fn update_zero_byte(&mut self) {
+        self.buf[self.buf_len] = 0;
+        self.buf_len += 1;
+        if self.buf_len == 64 {
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("chunks_exact(4)"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// HMAC-SHA1 (RFC 2104): the hardened keyed MAC, validated against the
+/// RFC 2202 test vectors. The simulator's fast path uses the cheaper
+/// prefix-MAC in [`crate::cipher::mac`]; this is the construction a
+/// deployment would use.
+pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Digest {
+    const BLOCK: usize = 64;
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        key_block[..20].copy_from_slice(&sha1(key).0);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha1::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha1::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest.0);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-1 / RFC 3174 test vectors.
+    #[test]
+    fn empty_string() {
+        assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(sha1(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut h = Sha1::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), sha1(data));
+        assert_eq!(
+            sha1(data).to_hex(),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Exercise padding around the 55/56/63/64-byte block boundaries.
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 127, 128, 129] {
+            let data = vec![0xA5u8; len];
+            let once = sha1(&data);
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), once, "len {len}");
+        }
+    }
+
+    /// RFC 2202 test cases 1-3 and 6 (short key, "Jefe", 0xaa key, long key).
+    #[test]
+    fn hmac_rfc2202_vectors() {
+        assert_eq!(
+            hmac_sha1(&[0x0b; 20], b"Hi There").to_hex(),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        assert_eq!(
+            hmac_sha1(b"Jefe", b"what do ya want for nothing?").to_hex(),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+        assert_eq!(
+            hmac_sha1(&[0xaa; 20], &[0xdd; 50]).to_hex(),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+        let long_key = [0xaa; 80];
+        assert_eq!(
+            hmac_sha1(&long_key, b"Test Using Larger Than Block-Size Key - Hash Key First").to_hex(),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn hmac_key_sensitivity() {
+        let a = hmac_sha1(b"key-a", b"data");
+        let b = hmac_sha1(b"key-b", b"data");
+        assert_ne!(a, b);
+        assert_eq!(hmac_sha1(b"key-a", b"data"), a);
+    }
+
+    #[test]
+    fn prefix_u64_is_big_endian_prefix() {
+        let d = sha1(b"abc");
+        assert_eq!(d.prefix_u64(), 0xa9993e364706816a);
+    }
+
+    #[test]
+    fn digests_differ_on_single_bit_flip() {
+        let a = sha1(b"pseudonym-input-0");
+        let b = sha1(b"pseudonym-input-1");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests of the crypto substrate.
+
+use alert_crypto::{
+    mac, open, pk_decrypt, pk_encrypt, pk_sign, pk_verify, seal, sha1, KeyPair, Sha1,
+    SymmetricKey,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Stream cipher round-trips for arbitrary payloads and keys.
+    #[test]
+    fn cipher_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048), key_seed in any::<u64>(), nonce_seed in any::<u64>()) {
+        let key = SymmetricKey::derive(&key_seed.to_be_bytes());
+        let mut rng = StdRng::seed_from_u64(nonce_seed);
+        let sealed = seal(&key, &data, &mut rng);
+        prop_assert_eq!(open(&key, &sealed), data);
+    }
+
+    /// Non-trivial plaintexts never appear verbatim in the ciphertext.
+    #[test]
+    fn ciphertext_differs_from_plaintext(data in proptest::collection::vec(any::<u8>(), 16..512), seed in any::<u64>()) {
+        let key = SymmetricKey::derive(b"fixed");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sealed = seal(&key, &data, &mut rng);
+        prop_assert_ne!(sealed.ciphertext, data);
+    }
+
+    /// Incremental SHA-1 equals one-shot regardless of chunking.
+    #[test]
+    fn sha1_chunking_invariance(data in proptest::collection::vec(any::<u8>(), 0..1024), chunk in 1usize..64) {
+        let mut h = Sha1::new();
+        for c in data.chunks(chunk) {
+            h.update(c);
+        }
+        prop_assert_eq!(h.finalize(), sha1(&data));
+    }
+
+    /// MAC is deterministic per (key, data) and key-sensitive.
+    #[test]
+    fn mac_properties(data in proptest::collection::vec(any::<u8>(), 0..256), k1 in any::<u64>(), k2 in any::<u64>()) {
+        prop_assume!(k1 != k2);
+        let key1 = SymmetricKey::derive(&k1.to_be_bytes());
+        let key2 = SymmetricKey::derive(&k2.to_be_bytes());
+        prop_assert_eq!(mac(&key1, &data), mac(&key1, &data));
+        prop_assert_ne!(mac(&key1, &data), mac(&key2, &data));
+    }
+
+    /// RSA block coding round-trips arbitrary byte strings.
+    #[test]
+    fn pk_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..128), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&mut rng);
+        let sealed = pk_encrypt(&kp.public, &data);
+        prop_assert_eq!(pk_decrypt(&kp.private, &sealed).expect("own key decrypts"), data);
+    }
+
+    /// Signatures verify under the right key and fail under a flipped
+    /// digest bit.
+    #[test]
+    fn signature_soundness(digest in any::<[u8; 8]>(), bit in 0usize..64, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = pk_sign(&kp.private, &digest);
+        prop_assert!(pk_verify(&kp.public, &digest, &sig));
+        let mut tampered = digest;
+        tampered[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(!pk_verify(&kp.public, &tampered, &sig));
+    }
+}

@@ -1,0 +1,303 @@
+//! A uniform spatial hash grid for radio-range neighbor queries.
+//!
+//! The simulator asks, for every transmission, "which nodes are within
+//! 250 m of the sender?". A linear scan over `N` nodes per transmission
+//! makes the whole simulation `O(N^2)`; bucketing positions into cells of
+//! the query radius reduces each query to the 3x3 cell neighborhood. This
+//! is the standard cell-list technique from particle simulation.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A rebuildable spatial index over indexed points.
+///
+/// Items are identified by their `usize` id (the simulator's node id). The
+/// grid is rebuilt once per mobility step — rebuilds are cheap (one pass)
+/// and keep the structure allocation-free in steady state because cell
+/// vectors retain their capacity.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    bounds: Rect,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<(usize, Point)>>,
+    len: usize,
+}
+
+impl SpatialGrid {
+    /// Creates a grid covering `bounds` with cells of side `cell_size`
+    /// (use the radio range for O(1)-neighborhood range queries).
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive or `bounds` is
+    /// degenerate.
+    pub fn new(bounds: Rect, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        assert!(
+            bounds.width() > 0.0 && bounds.height() > 0.0,
+            "grid bounds must have positive area"
+        );
+        let cols = (bounds.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (bounds.height() / cell_size).ceil().max(1.0) as usize;
+        SpatialGrid {
+            bounds,
+            cell: cell_size,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            len: 0,
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The covered area.
+    pub fn bounds(&self) -> &Rect {
+        &self.bounds
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        // Clamp so positions on (or marginally past) the boundary index the
+        // edge cells instead of panicking.
+        let cx = (((p.x - self.bounds.min.x) / self.cell) as isize).clamp(0, self.cols as isize - 1);
+        let cy = (((p.y - self.bounds.min.y) / self.cell) as isize).clamp(0, self.rows as isize - 1);
+        (cx as usize, cy as usize)
+    }
+
+    /// Removes every item, keeping cell capacity.
+    pub fn clear(&mut self) {
+        for c in &mut self.cells {
+            c.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Indexes item `id` at `pos`.
+    pub fn insert(&mut self, id: usize, pos: Point) {
+        let (cx, cy) = self.cell_of(pos);
+        self.cells[cy * self.cols + cx].push((id, pos));
+        self.len += 1;
+    }
+
+    /// Rebuilds the grid from an iterator of `(id, position)` pairs.
+    pub fn rebuild<I: IntoIterator<Item = (usize, Point)>>(&mut self, items: I) {
+        self.clear();
+        for (id, p) in items {
+            self.insert(id, p);
+        }
+    }
+
+    /// Calls `f(id, position)` for every item within `radius` of `center`
+    /// (inclusive), including an item exactly at `center`.
+    pub fn for_each_in_range<F: FnMut(usize, Point)>(&self, center: Point, radius: f64, mut f: F) {
+        let r2 = radius * radius;
+        let span = (radius / self.cell).ceil() as isize;
+        let (ccx, ccy) = self.cell_of(center);
+        let (ccx, ccy) = (ccx as isize, ccy as isize);
+        for cy in (ccy - span).max(0)..=(ccy + span).min(self.rows as isize - 1) {
+            for cx in (ccx - span).max(0)..=(ccx + span).min(self.cols as isize - 1) {
+                for &(id, p) in &self.cells[cy as usize * self.cols + cx as usize] {
+                    if p.distance_sq(center) <= r2 {
+                        f(id, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the ids of all items within `radius` of `center`.
+    pub fn query_range(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_in_range(center, radius, |id, _| out.push(id));
+        out
+    }
+
+    /// Collects the ids of all items inside `rect` (boundaries inclusive).
+    pub fn query_rect(&self, rect: &Rect) -> Vec<usize> {
+        let mut out = Vec::new();
+        let (minx, miny) = self.cell_of(rect.min);
+        let (maxx, maxy) = self.cell_of(rect.max);
+        for cy in miny..=maxy {
+            for cx in minx..=maxx {
+                for &(id, p) in &self.cells[cy * self.cols + cx] {
+                    if rect.contains(p) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the id and position of the indexed item closest to `target`,
+    /// or `None` when the grid is empty. Ties break towards the lower id so
+    /// results are deterministic across runs.
+    pub fn nearest(&self, target: Point) -> Option<(usize, Point)> {
+        // Expanding ring search: check the cells at Chebyshev distance `ring`
+        // from the target cell; once a candidate is found, one further ring
+        // suffices to rule out closer points in diagonal cells.
+        let (tcx, tcy) = self.cell_of(target);
+        let (tcx, tcy) = (tcx as isize, tcy as isize);
+        let max_ring = self.cols.max(self.rows) as isize;
+        let mut best: Option<(usize, Point, f64)> = None;
+        let mut found_ring: Option<isize> = None;
+        for ring in 0..=max_ring {
+            if let Some(fr) = found_ring {
+                if ring > fr + 1 {
+                    break;
+                }
+            }
+            let mut any_cell = false;
+            for cy in (tcy - ring).max(0)..=(tcy + ring).min(self.rows as isize - 1) {
+                for cx in (tcx - ring).max(0)..=(tcx + ring).min(self.cols as isize - 1) {
+                    // Only the ring perimeter; the interior was already seen.
+                    if (cy - tcy).abs() != ring && (cx - tcx).abs() != ring {
+                        continue;
+                    }
+                    any_cell = true;
+                    for &(id, p) in &self.cells[cy as usize * self.cols + cx as usize] {
+                        let d = p.distance_sq(target);
+                        let better = match best {
+                            None => true,
+                            Some((bid, _, bd)) => d < bd || (d == bd && id < bid),
+                        };
+                        if better {
+                            best = Some((id, p, d));
+                        }
+                    }
+                }
+            }
+            if best.is_some() && found_ring.is_none() {
+                found_ring = Some(ring);
+            }
+            if !any_cell && ring > 0 && found_ring.is_some() {
+                break;
+            }
+        }
+        best.map(|(id, p, _)| (id, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid_with(points: &[(usize, Point)]) -> SpatialGrid {
+        let mut g = SpatialGrid::new(Rect::with_size(1000.0, 1000.0), 250.0);
+        g.rebuild(points.iter().copied());
+        g
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pts: Vec<(usize, Point)> = (0..500)
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+                )
+            })
+            .collect();
+        let g = grid_with(&pts);
+        for _ in 0..50 {
+            let c = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            let r = rng.gen_range(10.0..400.0);
+            let mut got = g.query_range(c, r);
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .filter(|(_, p)| p.distance(c) <= r)
+                .map(|(i, _)| *i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn rect_query_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let pts: Vec<(usize, Point)> = (0..300)
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+                )
+            })
+            .collect();
+        let g = grid_with(&pts);
+        let zone = Rect::new(Point::new(125.0, 250.0), Point::new(375.0, 500.0));
+        let mut got = g.query_rect(&zone);
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .filter(|(_, p)| zone.contains(*p))
+            .map(|(i, _)| *i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let pts: Vec<(usize, Point)> = (0..200)
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+                )
+            })
+            .collect();
+        let g = grid_with(&pts);
+        for _ in 0..100 {
+            let t = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+            let got = g.nearest(t).unwrap();
+            let want = pts
+                .iter()
+                .min_by(|(ia, a), (ib, b)| {
+                    a.distance_sq(t)
+                        .partial_cmp(&b.distance_sq(t))
+                        .unwrap()
+                        .then(ia.cmp(ib))
+                })
+                .unwrap();
+            assert_eq!(got.0, want.0, "target {t}");
+        }
+    }
+
+    #[test]
+    fn nearest_on_empty_grid_is_none() {
+        let g = SpatialGrid::new(Rect::with_size(100.0, 100.0), 10.0);
+        assert!(g.nearest(Point::new(5.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn positions_outside_bounds_are_clamped_not_lost() {
+        let mut g = SpatialGrid::new(Rect::with_size(100.0, 100.0), 10.0);
+        g.insert(7, Point::new(150.0, -20.0)); // strayed node
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.nearest(Point::new(99.0, 1.0)).unwrap().0, 7);
+    }
+
+    #[test]
+    fn clear_retains_nothing() {
+        let mut g = grid_with(&[(0, Point::new(1.0, 1.0)), (1, Point::new(2.0, 2.0))]);
+        assert_eq!(g.len(), 2);
+        g.clear();
+        assert!(g.is_empty());
+        assert!(g.query_range(Point::new(1.0, 1.0), 50.0).is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! Hierarchical zone partitioning (paper Sections 2.3 and 2.4).
+//!
+//! ALERT consecutively splits the smallest zone in an alternating
+//! horizontal / vertical manner. Two computations are built on top of it:
+//!
+//! * [`destination_zone`] — the source computes the position of `Z_D`, the
+//!   `H`-th partitioned zone around the destination, by recursively
+//!   descending from the whole field and keeping the half that contains the
+//!   destination (Section 2.4).
+//! * [`separate`] — each data holder (source or random forwarder) splits its
+//!   current zone until it is separated from `Z_D`, then picks a temporary
+//!   destination in the half where `Z_D` resides (Section 2.3).
+
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a partition line.
+///
+/// The paper encodes this as a single bit in the packet header (Fig. 4,
+/// item 4), flipped by each random forwarder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// A vertical line: splits the x extent (the zone's width).
+    Vertical,
+    /// A horizontal line: splits the y extent (the zone's height).
+    Horizontal,
+}
+
+impl Axis {
+    /// The alternating-partition rule: each split flips the axis.
+    #[inline]
+    pub fn flip(self) -> Axis {
+        match self {
+            Axis::Vertical => Axis::Horizontal,
+            Axis::Horizontal => Axis::Vertical,
+        }
+    }
+
+    /// Packet-header encoding (Fig. 4): vertical = 0, horizontal = 1.
+    #[inline]
+    pub fn to_bit(self) -> u8 {
+        match self {
+            Axis::Vertical => 0,
+            Axis::Horizontal => 1,
+        }
+    }
+
+    /// Decodes the packet-header bit; any non-zero value is horizontal.
+    #[inline]
+    pub fn from_bit(bit: u8) -> Axis {
+        if bit == 0 {
+            Axis::Vertical
+        } else {
+            Axis::Horizontal
+        }
+    }
+
+    /// Splits `zone` along this axis into its two equal halves.
+    #[inline]
+    pub fn split(self, zone: &Rect) -> (Rect, Rect) {
+        match self {
+            Axis::Vertical => zone.split_vertical(),
+            Axis::Horizontal => zone.split_horizontal(),
+        }
+    }
+}
+
+/// Number of partitions `H` needed so the destination zone holds about `k`
+/// nodes: `H = log2(rho * G / k)` (Section 2.4), clamped at zero and rounded
+/// to the nearest integer.
+///
+/// `density` is nodes per square metre, `area` is the field area `G` in
+/// square metres, and `k` is the destination anonymity parameter.
+pub fn required_partitions(density: f64, area: f64, k: f64) -> u32 {
+    assert!(density > 0.0 && area > 0.0 && k > 0.0, "parameters must be positive");
+    let h = (density * area / k).log2();
+    if h <= 0.0 {
+        0
+    } else {
+        h.round() as u32
+    }
+}
+
+/// Side lengths of the `h`-th partitioned zone of a field with side lengths
+/// `(l_first, l_second)`, where `l_first` is the side split by the *first*
+/// partition (paper Eqs. (1)–(2)).
+///
+/// The first axis receives `ceil(h/2)` splits and the other `floor(h/2)`.
+pub fn zone_side_lengths(h: u32, l_first: f64, l_second: f64) -> (f64, f64) {
+    let first_splits = h.div_ceil(2);
+    let second_splits = h / 2;
+    (
+        l_first / f64::from(1u32 << first_splits.min(52)),
+        l_second / f64::from(1u32 << second_splits.min(52)),
+    )
+}
+
+/// Computes the zone position of `Z_D`: the `h_total`-th hierarchical
+/// partition of `field` containing `dest`, splitting along `first_axis`
+/// first and alternating thereafter (Section 2.4).
+///
+/// # Panics
+/// Panics when `dest` lies outside `field`; the location service never
+/// reports positions outside the configured network area.
+pub fn destination_zone(field: &Rect, dest: Point, h_total: u32, first_axis: Axis) -> Rect {
+    assert!(
+        field.contains(dest),
+        "destination {dest} outside network field {field}"
+    );
+    let mut zone = *field;
+    let mut axis = first_axis;
+    for _ in 0..h_total {
+        let (lo, hi) = axis.split(&zone);
+        // Inclusive boundaries put a destination exactly on the split line
+        // into the low half deterministically.
+        zone = if lo.contains(dest) { lo } else { hi };
+        axis = axis.flip();
+    }
+    zone
+}
+
+/// Result of a data holder separating itself from the destination zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Separation {
+    /// The half containing `Z_D`; the temporary destination is drawn
+    /// uniformly from this zone.
+    pub td_zone: Rect,
+    /// The half containing the data holder itself.
+    pub my_zone: Rect,
+    /// How many splits this holder performed (`>= 1`).
+    pub splits: u32,
+    /// The axis the *next* random forwarder should split first
+    /// (the flip of the last axis used, per the alternating rule).
+    pub next_axis: Axis,
+}
+
+/// Outcome of [`separate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeparateOutcome {
+    /// The holder separated itself from `Z_D` after some splits.
+    Separated(Separation),
+    /// The holder already resides inside `Z_D`: time to broadcast to the
+    /// `k` nodes of the destination zone (Section 2.3 termination rule).
+    InDestinationZone,
+}
+
+/// Executes the per-hop hierarchical zone partition of Section 2.3.
+///
+/// Starting from `start_zone` (the whole field for the source; the zone a
+/// random forwarder was routed into for later hops), the holder at `me`
+/// alternately splits the zone starting along `axis` until it and `Z_D`
+/// fall into different halves. Separation is decided by the *centre* of
+/// `Z_D`, which keeps the algorithm well-defined even when the holder's
+/// partition pattern is not aligned with the grid that produced `Z_D`
+/// (the paper explicitly allows different partition patterns per packet,
+/// Fig. 1).
+///
+/// `max_splits` bounds the loop (use the packet's remaining `H - h`
+/// budget); if the bound is reached without separation the holder is, for
+/// routing purposes, co-located with `Z_D` and should proceed to the
+/// destination-zone broadcast, so `InDestinationZone` is returned.
+pub fn separate(
+    start_zone: &Rect,
+    me: Point,
+    zd: &Rect,
+    axis: Axis,
+    max_splits: u32,
+) -> SeparateOutcome {
+    if zd.contains(me) {
+        return SeparateOutcome::InDestinationZone;
+    }
+    // A holder pushed outside its nominal zone by GPSR detours restarts
+    // from a zone that actually contains both it and Z_D: splitting a zone
+    // that excludes either endpoint cannot separate the pair.
+    let target = zd.center();
+    let mut zone = *start_zone;
+    if !zone.contains(me) {
+        zone = grow_to_contain(&zone, me);
+    }
+    if !zone.contains(target) {
+        zone = grow_to_contain(&zone, target);
+    }
+    let mut axis = axis;
+    for split_no in 1..=max_splits.max(1) {
+        let (lo, hi) = axis.split(&zone);
+        let me_low = lo.contains(me);
+        let target_low = lo.contains(target);
+        axis = axis.flip();
+        match (me_low, target_low) {
+            (true, true) => zone = lo,
+            (false, false) => zone = hi,
+            (me_in_low, _) => {
+                let (my_zone, td_zone) = if me_in_low { (lo, hi) } else { (hi, lo) };
+                return SeparateOutcome::Separated(Separation {
+                    td_zone,
+                    my_zone,
+                    splits: split_no,
+                    next_axis: axis,
+                });
+            }
+        }
+        // Once the working zone is no bigger than Z_D further splitting
+        // cannot separate the pair meaningfully.
+        if zone.area() <= zd.area() {
+            break;
+        }
+    }
+    SeparateOutcome::InDestinationZone
+}
+
+/// Smallest power-of-two enlargement of `zone` (about its own origin) that
+/// contains `p`. Used to recover when GPSR carried a packet outside the
+/// nominal working zone.
+fn grow_to_contain(zone: &Rect, p: Point) -> Rect {
+    let mut z = *zone;
+    for _ in 0..64 {
+        if z.contains(p) {
+            return z;
+        }
+        let w = z.width().max(f64::EPSILON);
+        let h = z.height().max(f64::EPSILON);
+        // Double away from the point's side to approach it.
+        let min = Point::new(
+            if p.x < z.min.x { z.min.x - w } else { z.min.x },
+            if p.y < z.min.y { z.min.y - h } else { z.min.y },
+        );
+        let max = Point::new(
+            if p.x > z.max.x { z.max.x + w } else { z.max.x },
+            if p.y > z.max.y { z.max.y + h } else { z.max.y },
+        );
+        z = Rect::new(min, max);
+    }
+    Rect::new(
+        Point::new(z.min.x.min(p.x), z.min.y.min(p.y)),
+        Point::new(z.max.x.max(p.x), z.max.y.max(p.y)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn km_field() -> Rect {
+        Rect::with_size(1000.0, 1000.0)
+    }
+
+    /// The worked example at the end of Section 2.4: a field of size G = 8
+    /// with corners (0,0) and (4,2), H = 3, destination at (0.5, 0.8),
+    /// vertical-first partitioning, yields Z_D = (0,0)..(1,1) with area 1.
+    #[test]
+    fn worked_example_section_2_4() {
+        let field = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0));
+        let zd = destination_zone(&field, Point::new(0.5, 0.8), 3, Axis::Vertical);
+        assert_eq!(zd, Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        assert_eq!(zd.area(), field.area() / 2f64.powi(3));
+    }
+
+    #[test]
+    fn required_partitions_matches_formula() {
+        // rho * G = 200 nodes, k = 6.25 -> H = log2(32) = 5.
+        let density = 200.0 / 1_000_000.0;
+        assert_eq!(required_partitions(density, 1_000_000.0, 6.25), 5);
+        // k equal to the population -> no partitioning needed.
+        assert_eq!(required_partitions(density, 1_000_000.0, 200.0), 0);
+        // k larger than the population clamps at zero.
+        assert_eq!(required_partitions(density, 1_000_000.0, 400.0), 0);
+    }
+
+    #[test]
+    fn zone_side_lengths_match_eqs_1_and_2() {
+        // Paper Eqs. (3)-(4): three partitions halve the first side twice
+        // (ceil(3/2) = 2) and the second side once.
+        let (first, second) = zone_side_lengths(3, 4.0, 2.0);
+        assert_eq!(first, 1.0);
+        assert_eq!(second, 1.0);
+        let (a, b) = zone_side_lengths(5, 1000.0, 1000.0);
+        assert_eq!(a, 125.0); // 1000 / 2^3
+        assert_eq!(b, 250.0); // 1000 / 2^2
+        assert_eq!(zone_side_lengths(0, 7.0, 9.0), (7.0, 9.0));
+    }
+
+    #[test]
+    fn destination_zone_always_contains_destination() {
+        let field = km_field();
+        let dest = Point::new(733.0, 12.5);
+        for h in 0..10 {
+            for axis in [Axis::Vertical, Axis::Horizontal] {
+                let zd = destination_zone(&field, dest, h, axis);
+                assert!(zd.contains(dest), "h={h} axis={axis:?}");
+                assert!((zd.area() - field.area() / 2f64.powi(h as i32)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside network field")]
+    fn destination_zone_rejects_outside_destination() {
+        destination_zone(&km_field(), Point::new(2000.0, 0.0), 5, Axis::Vertical);
+    }
+
+    #[test]
+    fn separate_splits_until_apart() {
+        let field = km_field();
+        let dest = Point::new(900.0, 900.0);
+        let zd = destination_zone(&field, dest, 5, Axis::Vertical);
+        let me = Point::new(100.0, 100.0);
+        match separate(&field, me, &zd, Axis::Vertical, 5) {
+            SeparateOutcome::Separated(s) => {
+                assert_eq!(s.splits, 1, "far-apart pair separates on first split");
+                assert!(s.td_zone.contains(zd.center()));
+                assert!(s.my_zone.contains(me));
+                assert!(!s.td_zone.contains(me));
+                assert_eq!(s.next_axis, Axis::Horizontal);
+            }
+            other => panic!("expected separation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn separate_reports_in_destination_zone() {
+        let field = km_field();
+        let dest = Point::new(900.0, 900.0);
+        let zd = destination_zone(&field, dest, 5, Axis::Vertical);
+        let me = zd.center();
+        assert_eq!(
+            separate(&field, me, &zd, Axis::Vertical, 5),
+            SeparateOutcome::InDestinationZone
+        );
+    }
+
+    #[test]
+    fn separate_needs_more_splits_for_close_pairs() {
+        let field = km_field();
+        // Both in the north-east quadrant but in different 1/32 zones.
+        let dest = Point::new(980.0, 980.0);
+        let zd = destination_zone(&field, dest, 5, Axis::Vertical);
+        let me = Point::new(550.0, 550.0);
+        match separate(&field, me, &zd, Axis::Vertical, 5) {
+            SeparateOutcome::Separated(s) => {
+                assert!(s.splits >= 2, "close pair needs several splits, got {}", s.splits);
+                assert!(s.td_zone.contains(zd.center()));
+            }
+            other => panic!("expected separation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn separate_alternates_axes() {
+        let field = km_field();
+        // Same x-half as the destination, different y-half: a vertical-first
+        // partition cannot separate them, the horizontal follow-up does.
+        let dest = Point::new(900.0, 900.0);
+        let zd = destination_zone(&field, dest, 5, Axis::Vertical);
+        let me = Point::new(880.0, 100.0);
+        match separate(&field, me, &zd, Axis::Vertical, 5) {
+            SeparateOutcome::Separated(s) => {
+                assert_eq!(s.splits, 2);
+                assert_eq!(s.next_axis, Axis::Vertical);
+            }
+            other => panic!("expected separation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn separate_recovers_when_holder_left_its_zone() {
+        let field = km_field();
+        let dest = Point::new(900.0, 900.0);
+        let zd = destination_zone(&field, dest, 5, Axis::Vertical);
+        // The nominal working zone excludes the holder entirely.
+        let stale_zone = Rect::new(Point::new(0.0, 0.0), Point::new(250.0, 250.0));
+        let me = Point::new(600.0, 100.0);
+        match separate(&stale_zone, me, &zd, Axis::Horizontal, 5) {
+            SeparateOutcome::Separated(s) => {
+                assert!(s.my_zone.contains(me));
+                assert!(s.td_zone.contains(zd.center()));
+            }
+            other => panic!("expected separation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn axis_bit_roundtrip() {
+        for axis in [Axis::Vertical, Axis::Horizontal] {
+            assert_eq!(Axis::from_bit(axis.to_bit()), axis);
+            assert_eq!(axis.flip().flip(), axis);
+            assert_ne!(axis.flip(), axis);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! 2-D points and vectors on the simulated network field.
+//!
+//! The field is a Euclidean plane measured in metres, matching the paper's
+//! 1,000 m x 1,000 m evaluation area. All coordinates are `f64`; the
+//! simulator never needs sub-millimetre precision, but `f64` keeps the
+//! mobility integration numerically stable over long runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point (or position vector) on the network field, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting coordinate in metres.
+    pub x: f64,
+    /// Northing coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::distance`] in comparisons: it avoids the
+    /// square root on the hot neighbor-selection path.
+    #[inline]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Length of this position vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(&self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Returns the unit vector pointing from `self` towards `to`.
+    ///
+    /// Returns the zero vector when the points coincide, so callers never
+    /// divide by zero when a node sits exactly on its waypoint.
+    #[inline]
+    pub fn direction_to(&self, to: Point) -> Point {
+        let d = *self - to;
+        let len = d.norm();
+        if len == 0.0 {
+            Point::ORIGIN
+        } else {
+            Point::new((to.x - self.x) / len, (to.y - self.y) / len)
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `to` at `t = 1`.
+    #[inline]
+    pub fn lerp(&self, to: Point, t: f64) -> Point {
+        Point::new(self.x + (to.x - self.x) * t, self.y + (to.y - self.y) * t)
+    }
+
+    /// Moves `dist` metres from `self` towards `to`, never overshooting.
+    #[inline]
+    pub fn advance_towards(&self, to: Point, dist: f64) -> Point {
+        let total = self.distance(to);
+        if total <= dist || total == 0.0 {
+            to
+        } else {
+            self.lerp(to, dist / total)
+        }
+    }
+
+    /// Angle of the vector from `self` to `to`, in radians in `(-pi, pi]`.
+    #[inline]
+    pub fn bearing_to(&self, to: Point) -> f64 {
+        (to.y - self.y).atan2(to.x - self.x)
+    }
+
+    /// True when every coordinate is finite (not NaN / infinite).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(12.5, -7.0);
+        let b = Point::new(-3.0, 44.0);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn advance_towards_does_not_overshoot() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(a.advance_towards(b, 4.0), Point::new(4.0, 0.0));
+        assert_eq!(a.advance_towards(b, 15.0), b);
+    }
+
+    #[test]
+    fn advance_towards_handles_coincident_points() {
+        let a = Point::new(5.0, 5.0);
+        assert_eq!(a.advance_towards(a, 3.0), a);
+    }
+
+    #[test]
+    fn direction_to_is_unit_length() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        let d = a.direction_to(b);
+        assert!((d.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_to_self_is_zero() {
+        let a = Point::new(1.0, 2.0);
+        assert_eq!(a.direction_to(a), Point::ORIGIN);
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let east = Point::new(1.0, 0.0);
+        let north = Point::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0);
+        assert!(north.cross(east) < 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(-1.0, -1.0);
+        let b = Point::new(3.0, 7.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -4.0);
+        assert_eq!(a + b, Point::new(4.0, -2.0));
+        assert_eq!(a - b, Point::new(-2.0, 6.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -2.0));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn bearing_to_cardinal_directions() {
+        let o = Point::ORIGIN;
+        assert!((o.bearing_to(Point::new(1.0, 0.0)) - 0.0).abs() < 1e-12);
+        let quarter = std::f64::consts::FRAC_PI_2;
+        assert!((o.bearing_to(Point::new(0.0, 1.0)) - quarter).abs() < 1e-12);
+    }
+}

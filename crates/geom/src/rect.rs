@@ -1,0 +1,290 @@
+//! Axis-aligned rectangles ("zones" in the paper's terminology).
+//!
+//! ALERT identifies a zone by its *zone position*: the upper-left and
+//! bottom-right coordinates (Section 2.4). We store the min and max corners
+//! instead, which is equivalent and avoids carrying the y-axis orientation
+//! through every computation.
+
+use crate::point::Point;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle on the network field.
+///
+/// Invariant: `min.x <= max.x && min.y <= max.y`. Constructors normalize
+/// their inputs so the invariant always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Corner with the smallest coordinates.
+    pub min: Point,
+    /// Corner with the largest coordinates.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from any two opposite corners.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle anchored at the origin with the given side lengths.
+    #[inline]
+    pub fn with_size(width: f64, height: f64) -> Self {
+        Rect::new(Point::ORIGIN, Point::new(width, height))
+    }
+
+    /// Side length along the x axis.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Side length along the y axis.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square metres (the paper's `G` for the whole field).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre of the rectangle.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
+    }
+
+    /// True when `p` lies inside the rectangle (boundaries inclusive).
+    ///
+    /// Inclusive boundaries keep a node that sits exactly on a partition
+    /// line in *some* zone rather than in none.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when `other` lies entirely inside `self` (boundaries inclusive).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains(other.min) && self.contains(other.max)
+    }
+
+    /// True when the two rectangles share any area (not merely an edge).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x < other.max.x
+            && other.min.x < self.max.x
+            && self.min.y < other.max.y
+            && other.min.y < self.max.y
+    }
+
+    /// Splits the rectangle into two equal halves with a vertical line
+    /// (i.e., partitions the x extent).
+    #[inline]
+    pub fn split_vertical(&self) -> (Rect, Rect) {
+        let mid = (self.min.x + self.max.x) * 0.5;
+        (
+            Rect::new(self.min, Point::new(mid, self.max.y)),
+            Rect::new(Point::new(mid, self.min.y), self.max),
+        )
+    }
+
+    /// Splits the rectangle into two equal halves with a horizontal line
+    /// (i.e., partitions the y extent).
+    #[inline]
+    pub fn split_horizontal(&self) -> (Rect, Rect) {
+        let mid = (self.min.y + self.max.y) * 0.5;
+        (
+            Rect::new(self.min, Point::new(self.max.x, mid)),
+            Rect::new(Point::new(self.min.x, mid), self.max),
+        )
+    }
+
+    /// Clamps a point into the rectangle.
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Draws a point uniformly at random inside the rectangle.
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        // `gen_range` panics on an empty range; degenerate (zero-extent)
+        // rectangles still produce their single point.
+        let x = if self.width() > 0.0 {
+            rng.gen_range(self.min.x..self.max.x)
+        } else {
+            self.min.x
+        };
+        let y = if self.height() > 0.0 {
+            rng.gen_range(self.min.y..self.max.y)
+        } else {
+            self.min.y
+        };
+        Point::new(x, y)
+    }
+
+    /// Distance from `p` to the closest point of the rectangle
+    /// (zero when `p` is inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.clamp(p).distance(p)
+    }
+
+    /// The four corners, counter-clockwise from `min`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Distance from `p` to the farthest corner (the broadcast-coverage
+    /// radius a transmitter at `p` needs to reach the whole rectangle).
+    pub fn max_corner_distance(&self, p: Point) -> f64 {
+        self.corners()
+            .into_iter()
+            .map(|c| p.distance(c))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit_km() -> Rect {
+        Rect::with_size(1000.0, 1000.0)
+    }
+
+    #[test]
+    fn constructor_normalizes_corners() {
+        let r = Rect::new(Point::new(5.0, -1.0), Point::new(-2.0, 4.0));
+        assert_eq!(r.min, Point::new(-2.0, -1.0));
+        assert_eq!(r.max, Point::new(5.0, 4.0));
+    }
+
+    #[test]
+    fn dimensions_and_area() {
+        let r = unit_km();
+        assert_eq!(r.width(), 1000.0);
+        assert_eq!(r.height(), 1000.0);
+        assert_eq!(r.area(), 1_000_000.0);
+        assert_eq!(r.center(), Point::new(500.0, 500.0));
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let r = unit_km();
+        assert!(r.contains(Point::ORIGIN));
+        assert!(r.contains(Point::new(1000.0, 1000.0)));
+        assert!(r.contains(Point::new(500.0, 0.0)));
+        assert!(!r.contains(Point::new(-0.001, 500.0)));
+        assert!(!r.contains(Point::new(500.0, 1000.001)));
+    }
+
+    #[test]
+    fn vertical_split_halves_width() {
+        let (lo, hi) = unit_km().split_vertical();
+        assert_eq!(lo.max.x, 500.0);
+        assert_eq!(hi.min.x, 500.0);
+        assert_eq!(lo.area() + hi.area(), 1_000_000.0);
+        assert_eq!(lo.height(), 1000.0);
+    }
+
+    #[test]
+    fn horizontal_split_halves_height() {
+        let (lo, hi) = unit_km().split_horizontal();
+        assert_eq!(lo.max.y, 500.0);
+        assert_eq!(hi.min.y, 500.0);
+        assert_eq!(lo.width(), 1000.0);
+    }
+
+    #[test]
+    fn split_halves_tile_the_parent() {
+        let r = unit_km();
+        let (lo, hi) = r.split_vertical();
+        assert!(r.contains_rect(&lo));
+        assert!(r.contains_rect(&hi));
+        assert!(!lo.intersects(&hi)); // halves share an edge, not area
+    }
+
+    #[test]
+    fn random_points_stay_inside() {
+        let r = Rect::new(Point::new(10.0, 20.0), Point::new(30.0, 25.0));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(r.contains(r.random_point(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn random_point_in_degenerate_rect() {
+        let p = Point::new(4.0, 9.0);
+        let r = Rect::new(p, p);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(r.random_point(&mut rng), p);
+    }
+
+    #[test]
+    fn distance_to_point_zero_inside() {
+        let r = unit_km();
+        assert_eq!(r.distance_to_point(Point::new(400.0, 400.0)), 0.0);
+        assert_eq!(r.distance_to_point(Point::new(-3.0, 0.0)), 3.0);
+        assert!((r.distance_to_point(Point::new(1003.0, 1004.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corners_are_ccw_and_contained() {
+        let r = Rect::new(Point::new(1.0, 2.0), Point::new(5.0, 8.0));
+        let c = r.corners();
+        assert_eq!(c[0], Point::new(1.0, 2.0));
+        assert_eq!(c[1], Point::new(5.0, 2.0));
+        assert_eq!(c[2], Point::new(5.0, 8.0));
+        assert_eq!(c[3], Point::new(1.0, 8.0));
+        for p in c {
+            assert!(r.contains(p));
+        }
+    }
+
+    #[test]
+    fn max_corner_distance_from_center_is_half_diagonal() {
+        let r = Rect::with_size(6.0, 8.0);
+        let d = r.max_corner_distance(r.center());
+        assert!((d - 5.0).abs() < 1e-12);
+        // From a corner it is the full diagonal.
+        assert!((r.max_corner_distance(Point::ORIGIN) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersects_requires_shared_area() {
+        let a = Rect::with_size(10.0, 10.0);
+        let b = Rect::new(Point::new(10.0, 0.0), Point::new(20.0, 10.0));
+        let c = Rect::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0));
+        assert!(!a.intersects(&b)); // edge-adjacent only
+        assert!(a.intersects(&c));
+        assert!(c.intersects(&a));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the hierarchical zone partition invariants.
+
+use alert_geom::{
+    destination_zone, required_partitions, separate, zone_side_lengths, Axis, Point, Rect,
+    SeparateOutcome,
+};
+use proptest::prelude::*;
+
+const FIELD_W: f64 = 1000.0;
+const FIELD_H: f64 = 1000.0;
+
+fn field() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(FIELD_W, FIELD_H))
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0..FIELD_W, 0.0..FIELD_H).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_axis() -> impl Strategy<Value = Axis> {
+    prop_oneof![Just(Axis::Vertical), Just(Axis::Horizontal)]
+}
+
+proptest! {
+    /// Z_D always contains the destination it was derived from.
+    #[test]
+    fn destination_zone_contains_destination(d in arb_point(), h in 0u32..12, axis in arb_axis()) {
+        let zd = destination_zone(&field(), d, h, axis);
+        prop_assert!(zd.contains(d));
+    }
+
+    /// The size of the destination zone is G / 2^H (Section 2.4).
+    #[test]
+    fn destination_zone_area_is_g_over_2_pow_h(d in arb_point(), h in 0u32..12, axis in arb_axis()) {
+        let zd = destination_zone(&field(), d, h, axis);
+        let expected = field().area() / 2f64.powi(h as i32);
+        prop_assert!((zd.area() - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    /// Z_D stays inside the field, and its side lengths match Eqs. (1)-(2).
+    #[test]
+    fn destination_zone_side_lengths(d in arb_point(), h in 0u32..12, axis in arb_axis()) {
+        let zd = destination_zone(&field(), d, h, axis);
+        prop_assert!(field().contains_rect(&zd));
+        let (first, second) = zone_side_lengths(h, FIELD_W, FIELD_H);
+        let (w, hgt) = match axis {
+            Axis::Vertical => (first, second),
+            Axis::Horizontal => (second, first),
+        };
+        prop_assert!((zd.width() - w).abs() < 1e-9, "width {} != {}", zd.width(), w);
+        prop_assert!((zd.height() - hgt).abs() < 1e-9);
+    }
+
+    /// Two destinations in the same zone produce the identical zone; the
+    /// partition is a (deterministic) function of position only.
+    #[test]
+    fn destination_zone_is_a_partition(d1 in arb_point(), d2 in arb_point(), h in 0u32..10, axis in arb_axis()) {
+        let z1 = destination_zone(&field(), d1, h, axis);
+        let z2 = destination_zone(&field(), d2, h, axis);
+        if z1.contains(d2) && z2.contains(d1) {
+            prop_assert_eq!(z1, z2);
+        }
+        // Zones of equal depth either coincide or do not overlap in area.
+        // (Inclusive containment of a boundary point can make zones contain
+        // each other's corners; centers disambiguate.)
+        let disjoint_or_equal =
+            z1 == z2 || !z1.intersects(&z2)
+            || z1.contains(z2.center()) == z2.contains(z1.center());
+        prop_assert!(disjoint_or_equal);
+    }
+
+    /// `separate` never puts the holder in the TD zone, always keeps the
+    /// Z_D centre in the TD zone, and performs at least one split.
+    #[test]
+    fn separate_invariants(me in arb_point(), d in arb_point(), h in 1u32..10, axis in arb_axis()) {
+        let zd = destination_zone(&field(), d, h, axis);
+        match separate(&field(), me, &zd, axis, h) {
+            SeparateOutcome::Separated(s) => {
+                prop_assert!(!zd.contains(me));
+                prop_assert!(s.splits >= 1 && s.splits <= h.max(1));
+                prop_assert!(s.td_zone.contains(zd.center()));
+                prop_assert!(s.my_zone.contains(me));
+                prop_assert!(!s.td_zone.contains(me) || !s.my_zone.contains(zd.center()));
+                // The two halves tile their parent: equal areas.
+                prop_assert!((s.td_zone.area() - s.my_zone.area()).abs() < 1e-6);
+            }
+            SeparateOutcome::InDestinationZone => {
+                // Termination claim: the holder really is in (or co-located
+                // with) the destination zone at the working resolution.
+                let my_zone = destination_zone(&field(), me, h, axis);
+                prop_assert!(
+                    zd.contains(me) || my_zone.intersects(&zd) || my_zone == zd,
+                    "holder {me} reported in-zone but its zone {my_zone} is far from {zd}"
+                );
+            }
+        }
+    }
+
+    /// The TD zone from a separation shrinks (weakly) as the pair gets
+    /// closer in the hierarchy: it is never larger than half the field.
+    #[test]
+    fn separate_td_zone_bounded(me in arb_point(), d in arb_point(), h in 1u32..10, axis in arb_axis()) {
+        let zd = destination_zone(&field(), d, h, axis);
+        if let SeparateOutcome::Separated(s) = separate(&field(), me, &zd, axis, h) {
+            prop_assert!(s.td_zone.area() <= field().area() / 2.0 + 1e-9);
+        }
+    }
+
+    /// H = log2(rho G / k) is monotone decreasing in k.
+    #[test]
+    fn required_partitions_monotone_in_k(k1 in 1.0f64..64.0, k2 in 1.0f64..64.0) {
+        let density = 200.0 / 1_000_000.0;
+        let (h1, h2) = (
+            required_partitions(density, 1_000_000.0, k1),
+            required_partitions(density, 1_000_000.0, k2),
+        );
+        if k1 <= k2 {
+            prop_assert!(h1 >= h2);
+        } else {
+            prop_assert!(h1 <= h2);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Reference-point group mobility (Hong, Gerla, Pei & Chiang \[18\]).
+//!
+//! Nodes are organized into groups. Each group has a *logical centre* that
+//! itself performs random waypoint motion over the field; each member owns
+//! a fixed *reference point* (an offset from the centre within the group's
+//! movement range) and wanders randomly in a small disc around that
+//! reference point. The paper evaluates 10 groups with a 150 m range and
+//! 5 groups with a 200 m range (Section 5.1, Fig. 17).
+
+use crate::{random_speed, Mobility};
+use alert_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`GroupMobility`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupMobilityConfig {
+    /// Total number of nodes, divided as evenly as possible among groups.
+    pub nodes: usize,
+    /// Number of groups.
+    pub groups: usize,
+    /// Movement range of each group: members keep within this distance of
+    /// the group centre (the paper's 150 m / 200 m parameter).
+    pub group_range: f64,
+    /// Group-centre speed range in m/s.
+    pub speed_min: f64,
+    /// Group-centre speed range in m/s.
+    pub speed_max: f64,
+    /// Member wander radius around the reference point, as a fraction of
+    /// `group_range` (the classic RPGM "random motion vector").
+    pub wander_fraction: f64,
+    /// Member wander speed relative to the group speed.
+    pub wander_speed_fraction: f64,
+}
+
+impl GroupMobilityConfig {
+    /// The paper's Fig. 17 setting: `groups` groups of `nodes` total with
+    /// movement range `group_range`, centres moving at fixed `speed`.
+    pub fn paper(nodes: usize, groups: usize, group_range: f64, speed: f64) -> Self {
+        GroupMobilityConfig {
+            nodes,
+            groups,
+            group_range,
+            speed_min: speed,
+            speed_max: speed,
+            wander_fraction: 0.3,
+            wander_speed_fraction: 0.5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupState {
+    center: Point,
+    waypoint: Point,
+    speed: f64,
+}
+
+#[derive(Debug, Clone)]
+struct MemberState {
+    group: usize,
+    /// Offset of the reference point from the group centre.
+    ref_offset: Point,
+    /// Current wander offset from the reference point.
+    wander: Point,
+    /// Wander target offset the member is drifting towards.
+    wander_target: Point,
+}
+
+/// Reference-point group mobility over a rectangular field.
+#[derive(Debug, Clone)]
+pub struct GroupMobility {
+    bounds: Rect,
+    config: GroupMobilityConfig,
+    groups: Vec<GroupState>,
+    members: Vec<MemberState>,
+    rng: StdRng,
+}
+
+impl GroupMobility {
+    /// Creates the model. Group centres start uniformly at random (inset by
+    /// the group range so the whole group starts in-field); members receive
+    /// random reference offsets within the group range.
+    pub fn new(bounds: Rect, config: GroupMobilityConfig, seed: u64) -> Self {
+        assert!(config.groups > 0, "need at least one group");
+        assert!(config.group_range > 0.0, "group range must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Group centres roam the whole field (member positions clamp to
+        // the field boundary); insetting the centres would shrink the
+        // effective deployment area and bias S-D distances downwards.
+        let inner = inset(&bounds, 0.0);
+        let groups: Vec<GroupState> = (0..config.groups)
+            .map(|_| GroupState {
+                center: inner.random_point(&mut rng),
+                waypoint: inner.random_point(&mut rng),
+                speed: random_speed(&mut rng, config.speed_min, config.speed_max),
+            })
+            .collect();
+        let ref_radius = config.group_range * (1.0 - config.wander_fraction);
+        let members = (0..config.nodes)
+            .map(|i| {
+                let group = i % config.groups;
+                MemberState {
+                    group,
+                    ref_offset: random_in_disc(&mut rng, ref_radius),
+                    wander: Point::ORIGIN,
+                    wander_target: random_in_disc(
+                        &mut rng,
+                        config.group_range * config.wander_fraction,
+                    ),
+                }
+            })
+            .collect();
+        GroupMobility {
+            bounds,
+            config,
+            groups,
+            members,
+            rng,
+        }
+    }
+
+    /// Index of the group node `id` belongs to.
+    pub fn group_of(&self, id: usize) -> usize {
+        self.members[id].group
+    }
+
+    /// Current centre of group `g`.
+    pub fn group_center(&self, g: usize) -> Point {
+        self.groups[g].center
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &GroupMobilityConfig {
+        &self.config
+    }
+}
+
+fn inset(r: &Rect, by: f64) -> Rect {
+    let by = by.max(0.0).min(r.width() / 2.0).min(r.height() / 2.0);
+    Rect::new(
+        Point::new(r.min.x + by, r.min.y + by),
+        Point::new(r.max.x - by, r.max.y - by),
+    )
+}
+
+fn random_in_disc<R: Rng + ?Sized>(rng: &mut R, radius: f64) -> Point {
+    if radius <= 0.0 {
+        return Point::ORIGIN;
+    }
+    // Rejection sampling: uniform over the disc, at most ~1.27 tries each.
+    loop {
+        let p = Point::new(
+            rng.gen_range(-radius..radius),
+            rng.gen_range(-radius..radius),
+        );
+        if p.norm() <= radius {
+            return p;
+        }
+    }
+}
+
+impl Mobility for GroupMobility {
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn position(&self, id: usize) -> Point {
+        let m = &self.members[id];
+        let raw = self.groups[m.group].center + m.ref_offset + m.wander;
+        self.bounds.clamp(raw)
+    }
+
+    fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    fn step(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        let inner = inset(&self.bounds, 0.0);
+        // Advance group centres (random waypoint over the inset field).
+        for g in &mut self.groups {
+            let travel = g.speed * dt;
+            let to_wp = g.center.distance(g.waypoint);
+            if travel < to_wp {
+                g.center = g.center.advance_towards(g.waypoint, travel);
+            } else {
+                g.center = g.waypoint;
+                g.waypoint = inner.random_point(&mut self.rng);
+                g.speed = random_speed(&mut self.rng, self.config.speed_min, self.config.speed_max);
+            }
+        }
+        // Advance member wander within the small disc around the reference
+        // point.
+        let wander_radius = self.config.group_range * self.config.wander_fraction;
+        let wander_speed = self.config.speed_max.max(self.config.speed_min)
+            * self.config.wander_speed_fraction;
+        for m in &mut self.members {
+            let travel = wander_speed * dt;
+            let to_target = m.wander.distance(m.wander_target);
+            if travel < to_target {
+                m.wander = m.wander.advance_towards(m.wander_target, travel);
+            } else {
+                m.wander = m.wander_target;
+                m.wander_target = random_in_disc(&mut self.rng, wander_radius);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn km() -> Rect {
+        Rect::with_size(1000.0, 1000.0)
+    }
+
+    #[test]
+    fn members_stay_within_group_range() {
+        let cfg = GroupMobilityConfig::paper(50, 10, 150.0, 2.0);
+        let mut m = GroupMobility::new(km(), cfg, 1);
+        for _ in 0..500 {
+            m.step(1.0);
+            for i in 0..m.len() {
+                let c = m.group_center(m.group_of(i));
+                let d = m.position(i).distance(c);
+                assert!(
+                    d <= cfg.group_range + 1e-6,
+                    "node {i} strayed {d} m from its group centre"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_stay_in_bounds() {
+        let cfg = GroupMobilityConfig::paper(40, 5, 200.0, 8.0);
+        let mut m = GroupMobility::new(km(), cfg, 2);
+        for _ in 0..1000 {
+            m.step(0.5);
+        }
+        for i in 0..m.len() {
+            assert!(km().contains(m.position(i)));
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_population_evenly() {
+        let cfg = GroupMobilityConfig::paper(23, 5, 150.0, 2.0);
+        let m = GroupMobility::new(km(), cfg, 3);
+        let mut counts = vec![0usize; 5];
+        for i in 0..m.len() {
+            counts[m.group_of(i)] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 23);
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "groups unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn group_members_cluster_relative_to_strangers() {
+        // Average intra-group distance must be well below the average
+        // inter-group distance: the defining property of group mobility.
+        let cfg = GroupMobilityConfig::paper(60, 6, 150.0, 2.0);
+        let mut m = GroupMobility::new(km(), cfg, 4);
+        for _ in 0..100 {
+            m.step(1.0);
+        }
+        let (mut intra, mut intra_n, mut inter, mut inter_n) = (0.0, 0u32, 0.0, 0u32);
+        for i in 0..m.len() {
+            for j in (i + 1)..m.len() {
+                let d = m.position(i).distance(m.position(j));
+                if m.group_of(i) == m.group_of(j) {
+                    intra += d;
+                    intra_n += 1;
+                } else {
+                    inter += d;
+                    inter_n += 1;
+                }
+            }
+        }
+        let (intra, inter) = (intra / intra_n as f64, inter / inter_n as f64);
+        assert!(
+            intra < inter * 0.8,
+            "intra {intra:.1} m not clearly below inter {inter:.1} m"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GroupMobilityConfig::paper(30, 5, 200.0, 2.0);
+        let run = |seed| {
+            let mut m = GroupMobility::new(km(), cfg, seed);
+            for _ in 0..50 {
+                m.step(1.0);
+            }
+            m.positions()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn centers_actually_move() {
+        let cfg = GroupMobilityConfig::paper(10, 2, 150.0, 5.0);
+        let mut m = GroupMobility::new(km(), cfg, 7);
+        let c0 = m.group_center(0);
+        for _ in 0..200 {
+            m.step(1.0);
+        }
+        assert!(m.group_center(0).distance(c0) > 10.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! # alert-mobility
+//!
+//! Node mobility models for the MANET simulator, matching the two models
+//! the paper evaluates (Section 5.1): the **random waypoint** model \[17\]
+//! and the **reference-point group mobility** model \[18\], plus a static
+//! model for controlled experiments.
+//!
+//! Models are deterministic given their construction seed: the simulator
+//! steps them on a fixed tick and reads back positions, so a whole run is
+//! reproducible from `(config, seed)`.
+
+//! ## Example
+//!
+//! ```
+//! use alert_geom::Rect;
+//! use alert_mobility::{Mobility, RandomWaypoint, RandomWaypointConfig};
+//!
+//! let field = Rect::with_size(1000.0, 1000.0);
+//! let mut model = RandomWaypoint::new(field, RandomWaypointConfig::fixed_speed(50, 2.0), 42);
+//! model.step(10.0);
+//! assert!(field.contains(model.position(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod group;
+mod waypoint;
+
+pub use group::{GroupMobility, GroupMobilityConfig};
+pub use waypoint::{RandomWaypoint, RandomWaypointConfig};
+
+use alert_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A mobility model: owns every node's kinematic state and advances it in
+/// discrete time steps.
+pub trait Mobility {
+    /// Number of nodes governed by the model.
+    fn len(&self) -> usize;
+
+    /// True when the model governs no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current position of node `id`.
+    fn position(&self, id: usize) -> Point;
+
+    /// Advances every node by `dt` seconds.
+    fn step(&mut self, dt: f64);
+
+    /// The field nodes are confined to.
+    fn bounds(&self) -> Rect;
+
+    /// Snapshot of all positions (allocates; prefer [`Mobility::position`]
+    /// in hot paths).
+    fn positions(&self) -> Vec<Point> {
+        (0..self.len()).map(|i| self.position(i)).collect()
+    }
+}
+
+/// Nodes that never move. Used for controlled anonymity experiments
+/// (e.g. the paper's `v = 0` series in Fig. 13a) and as a base case in
+/// tests.
+#[derive(Debug, Clone)]
+pub struct StaticField {
+    bounds: Rect,
+    positions: Vec<Point>,
+}
+
+impl StaticField {
+    /// Places `n` nodes uniformly at random in `bounds`.
+    pub fn uniform(bounds: Rect, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions = (0..n).map(|_| bounds.random_point(&mut rng)).collect();
+        StaticField { bounds, positions }
+    }
+
+    /// Places nodes at the given positions.
+    pub fn at(bounds: Rect, positions: Vec<Point>) -> Self {
+        assert!(
+            positions.iter().all(|p| bounds.contains(*p)),
+            "all positions must lie inside the field"
+        );
+        StaticField { bounds, positions }
+    }
+}
+
+impl Mobility for StaticField {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn position(&self, id: usize) -> Point {
+        self.positions[id]
+    }
+
+    fn step(&mut self, _dt: f64) {}
+
+    fn bounds(&self) -> Rect {
+        self.bounds
+    }
+}
+
+/// Draws a random speed in `[lo, hi]`, degenerate ranges allowed.
+pub(crate) fn random_speed<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi > lo {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_field_never_moves() {
+        let bounds = Rect::with_size(100.0, 100.0);
+        let mut m = StaticField::uniform(bounds, 10, 3);
+        let before = m.positions();
+        for _ in 0..100 {
+            m.step(1.0);
+        }
+        assert_eq!(m.positions(), before);
+        assert_eq!(m.len(), 10);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn static_uniform_is_seeded() {
+        let bounds = Rect::with_size(100.0, 100.0);
+        let a = StaticField::uniform(bounds, 20, 9);
+        let b = StaticField::uniform(bounds, 20, 9);
+        let c = StaticField::uniform(bounds, 20, 10);
+        assert_eq!(a.positions(), b.positions());
+        assert_ne!(a.positions(), c.positions());
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the field")]
+    fn static_at_rejects_out_of_bounds() {
+        StaticField::at(Rect::with_size(10.0, 10.0), vec![Point::new(50.0, 0.0)]);
+    }
+}

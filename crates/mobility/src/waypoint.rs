@@ -1,0 +1,236 @@
+//! The random waypoint model (Camp, Boleng & Davies \[17\]).
+//!
+//! Each node repeatedly: picks a uniformly random waypoint in the field,
+//! travels towards it in a straight line at a (possibly random) speed, and
+//! optionally pauses on arrival before choosing the next waypoint. The
+//! paper's default is 200 nodes at a fixed 2 m/s with no pause.
+
+use crate::{random_speed, Mobility};
+use alert_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`RandomWaypoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypointConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Minimum travel speed in m/s.
+    pub speed_min: f64,
+    /// Maximum travel speed in m/s (equal to `speed_min` for fixed speed).
+    pub speed_max: f64,
+    /// Pause duration at each waypoint, in seconds.
+    pub pause_s: f64,
+}
+
+impl RandomWaypointConfig {
+    /// The paper's default: fixed speed, no pause.
+    pub fn fixed_speed(nodes: usize, speed: f64) -> Self {
+        RandomWaypointConfig {
+            nodes,
+            speed_min: speed,
+            speed_max: speed,
+            pause_s: 0.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    pos: Point,
+    waypoint: Point,
+    speed: f64,
+    /// Remaining pause time; the node moves only when this is zero.
+    pause_left: f64,
+}
+
+/// Random waypoint mobility over a rectangular field.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    bounds: Rect,
+    config: RandomWaypointConfig,
+    nodes: Vec<NodeState>,
+    rng: StdRng,
+}
+
+impl RandomWaypoint {
+    /// Creates the model with uniformly random initial positions and
+    /// waypoints. Deterministic in `seed`.
+    pub fn new(bounds: Rect, config: RandomWaypointConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = (0..config.nodes)
+            .map(|_| {
+                let pos = bounds.random_point(&mut rng);
+                let waypoint = bounds.random_point(&mut rng);
+                let speed = random_speed(&mut rng, config.speed_min, config.speed_max);
+                NodeState {
+                    pos,
+                    waypoint,
+                    speed,
+                    pause_left: 0.0,
+                }
+            })
+            .collect();
+        RandomWaypoint {
+            bounds,
+            config,
+            nodes,
+            rng,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &RandomWaypointConfig {
+        &self.config
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn position(&self, id: usize) -> Point {
+        self.nodes[id].pos
+    }
+
+    fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    fn step(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        for node in &mut self.nodes {
+            let mut budget = dt;
+            // A node may pause, arrive, and re-depart within one tick; loop
+            // until the time budget for this tick is exhausted.
+            while budget > 0.0 {
+                if node.pause_left > 0.0 {
+                    let wait = node.pause_left.min(budget);
+                    node.pause_left -= wait;
+                    budget -= wait;
+                    continue;
+                }
+                if node.speed <= 0.0 {
+                    break;
+                }
+                let to_waypoint = node.pos.distance(node.waypoint);
+                let travel = node.speed * budget;
+                if travel < to_waypoint {
+                    node.pos = node.pos.advance_towards(node.waypoint, travel);
+                    budget = 0.0;
+                } else {
+                    // Arrive, pause, then pick the next leg.
+                    node.pos = node.waypoint;
+                    budget -= if node.speed > 0.0 {
+                        to_waypoint / node.speed
+                    } else {
+                        budget
+                    };
+                    node.pause_left = self.config.pause_s;
+                    node.waypoint = self.bounds.random_point(&mut self.rng);
+                    node.speed =
+                        random_speed(&mut self.rng, self.config.speed_min, self.config.speed_max);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn km() -> Rect {
+        Rect::with_size(1000.0, 1000.0)
+    }
+
+    #[test]
+    fn nodes_stay_in_bounds() {
+        let mut m = RandomWaypoint::new(km(), RandomWaypointConfig::fixed_speed(50, 8.0), 1);
+        for _ in 0..2000 {
+            m.step(0.5);
+        }
+        for i in 0..m.len() {
+            assert!(km().contains(m.position(i)), "node {i} escaped");
+        }
+    }
+
+    #[test]
+    fn displacement_bounded_by_speed() {
+        let speed = 2.0;
+        let mut m = RandomWaypoint::new(km(), RandomWaypointConfig::fixed_speed(30, speed), 2);
+        let before = m.positions();
+        let dt = 3.0;
+        m.step(dt);
+        for (i, after) in m.positions().iter().enumerate() {
+            let d = before[i].distance(*after);
+            // Straight-line displacement can only be <= speed * dt (equality
+            // when no waypoint turn happened mid-step).
+            assert!(d <= speed * dt + 1e-9, "node {i} moved {d} m");
+        }
+    }
+
+    #[test]
+    fn fixed_speed_moves_exactly_at_speed_between_waypoints() {
+        let mut m = RandomWaypoint::new(km(), RandomWaypointConfig::fixed_speed(1, 2.0), 3);
+        // Make sure the first leg is long enough not to turn this step.
+        let before = m.position(0);
+        m.step(0.25);
+        let moved = before.distance(m.position(0));
+        assert!((moved - 0.5).abs() < 1e-9, "moved {moved}, expected 0.5");
+    }
+
+    #[test]
+    fn zero_speed_is_static() {
+        let mut m = RandomWaypoint::new(km(), RandomWaypointConfig::fixed_speed(10, 0.0), 4);
+        let before = m.positions();
+        for _ in 0..10 {
+            m.step(1.0);
+        }
+        assert_eq!(m.positions(), before);
+    }
+
+    #[test]
+    fn pause_delays_departure() {
+        let cfg = RandomWaypointConfig {
+            nodes: 1,
+            speed_min: 1000.0, // reach first waypoint almost immediately
+            speed_max: 1000.0,
+            pause_s: 100.0,
+        };
+        let mut m = RandomWaypoint::new(km(), cfg, 5);
+        m.step(5.0); // arrives and starts pausing within this step
+        let paused_at = m.position(0);
+        m.step(10.0); // still pausing (pause is 100 s)
+        assert_eq!(m.position(0), paused_at);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = |seed| {
+            let mut m = RandomWaypoint::new(km(), RandomWaypointConfig::fixed_speed(20, 2.0), seed);
+            for _ in 0..100 {
+                m.step(1.0);
+            }
+            m.positions()
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn long_run_mixes_positions() {
+        // After a long time the node should be far from where it started
+        // with overwhelming probability (sanity that it doesn't stall).
+        let mut m = RandomWaypoint::new(km(), RandomWaypointConfig::fixed_speed(5, 10.0), 6);
+        let start = m.position(0);
+        let mut max_d: f64 = 0.0;
+        for _ in 0..500 {
+            m.step(1.0);
+            max_d = max_d.max(start.distance(m.position(0)));
+        }
+        assert!(max_d > 100.0, "node barely moved: {max_d} m");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the mobility models' safety invariants.
+
+use alert_geom::Rect;
+use alert_mobility::{
+    GroupMobility, GroupMobilityConfig, Mobility, RandomWaypoint, RandomWaypointConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random waypoint never leaves the field, for arbitrary speeds, node
+    /// counts, tick sizes, and seeds.
+    #[test]
+    fn rwp_stays_in_bounds(
+        nodes in 1usize..60,
+        speed in 0.0f64..20.0,
+        dt in 0.05f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let field = Rect::with_size(800.0, 600.0);
+        let mut m = RandomWaypoint::new(field, RandomWaypointConfig::fixed_speed(nodes, speed), seed);
+        for _ in 0..200 {
+            m.step(dt);
+        }
+        for i in 0..m.len() {
+            prop_assert!(field.contains(m.position(i)), "node {i} escaped");
+        }
+    }
+
+    /// Per-step displacement never exceeds speed x dt.
+    #[test]
+    fn rwp_speed_bound(
+        speed in 0.1f64..15.0,
+        dt in 0.1f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let field = Rect::with_size(1000.0, 1000.0);
+        let mut m = RandomWaypoint::new(field, RandomWaypointConfig::fixed_speed(8, speed), seed);
+        for _ in 0..50 {
+            let before: Vec<_> = m.positions();
+            m.step(dt);
+            for (i, after) in m.positions().iter().enumerate() {
+                prop_assert!(
+                    before[i].distance(*after) <= speed * dt + 1e-9,
+                    "node {i} teleported"
+                );
+            }
+        }
+    }
+
+    /// Group members never stray beyond the configured group range, for
+    /// arbitrary group geometry.
+    #[test]
+    fn group_range_respected(
+        groups in 1usize..8,
+        range in 50.0f64..300.0,
+        speed in 0.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let field = Rect::with_size(1000.0, 1000.0);
+        let cfg = GroupMobilityConfig::paper(24, groups, range, speed);
+        let mut m = GroupMobility::new(field, cfg, seed);
+        for _ in 0..100 {
+            m.step(0.5);
+        }
+        for i in 0..m.len() {
+            let c = m.group_center(m.group_of(i));
+            // Positions clamp to the field, which can only bring a member
+            // *closer* to its centre than the raw offset.
+            let d = m.position(i).distance(field.clamp(c));
+            prop_assert!(
+                d <= range + range + 1e-6,
+                "node {i} at {d} m from its (clamped) centre, range {range}"
+            );
+        }
+    }
+
+    /// Mobility is a pure function of the seed: same seed, same orbit.
+    #[test]
+    fn rwp_determinism(seed in any::<u64>(), steps in 1usize..50) {
+        let field = Rect::with_size(500.0, 500.0);
+        let run = |s| {
+            let mut m = RandomWaypoint::new(field, RandomWaypointConfig::fixed_speed(5, 3.0), s);
+            for _ in 0..steps {
+                m.step(0.7);
+            }
+            m.positions()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,413 @@
+//! ANODR — ANonymous On-Demand Routing (Kong, Hong & Gerla \[33\]), the
+//! classic *topological* anonymous routing protocol the ALERT paper cites
+//! as the exemplar of high-cost hop-by-hop onion routing.
+//!
+//! Mechanics reproduced here (simplified but structurally faithful):
+//!
+//! 1. **Anonymous route discovery.** The source floods an RREQ carrying a
+//!    *trapdoor* only the destination can open, and a *trapdoor boomerang
+//!    onion* (TBO): every forwarder wraps the onion in one more layer
+//!    keyed by a random nonce only it can recognize, and remembers the
+//!    upstream neighbor it heard the RREQ from.
+//! 2. **Route pinning.** The destination returns an RREP that travels the
+//!    reverse path; each relay peels its own onion layer, installs a pair
+//!    of *link pseudonyms* (random tags shared only with its immediate
+//!    neighbors), and forwards. No node learns the endpoints or the full
+//!    route — each knows only its two link tags.
+//! 3. **Data forwarding.** Packets carry only the downstream link tag;
+//!    every relay swaps tags and re-encrypts (one symmetric operation per
+//!    hop — the TBO's cost the paper contrasts with ALERT's single
+//!    encryption).
+//!
+//! The flood per discovery is the "redundant traffic" cost of Table 1's
+//! topological class: N broadcasts buy a route that mobility then breaks,
+//! forcing periodic re-discovery.
+
+use alert_crypto::Pseudonym;
+use alert_sim::{
+    Api, DataRequest, Frame, PacketId, ProtocolNode, SessionId, TimerToken, TrafficClass,
+};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Wire overhead of an RREQ (trapdoor + onion layer per hop, ~16 B each,
+/// accounted as a flat average).
+const RREQ_BYTES: usize = 96;
+/// Wire overhead of an RREP.
+const RREP_BYTES: usize = 64;
+/// Extra header on data packets (link tag + re-encryption framing).
+const ANODR_HEADER_BYTES: usize = 24;
+/// RREQ floods are scoped by this hop budget.
+const FLOOD_TTL: u32 = 12;
+/// Timer token for periodic route refresh.
+const REDISCOVER_TIMER: TimerToken = 2;
+
+/// A link pseudonym: a random tag shared by two adjacent relays on a
+/// pinned route.
+pub type LinkTag = u64;
+
+/// One onion layer: the forwarder's secret nonce (conceptually the layer
+/// key; carrying it in the clear models the *mechanics*, the cost model
+/// carries the crypto price).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnionLayer {
+    owner_nonce: u64,
+}
+
+/// ANODR wire messages.
+#[derive(Debug, Clone)]
+pub enum AnodrMsg {
+    /// Anonymous route request (network-wide scoped flood).
+    Rreq {
+        /// Flood identifier (dedup).
+        flood: u64,
+        /// Session being discovered (the trapdoor's content; only the
+        /// destination acts on it).
+        session: SessionId,
+        /// Destination pseudonym sealed in the trapdoor.
+        trapdoor: Pseudonym,
+        /// The boomerang onion accumulated so far.
+        onion: Vec<OnionLayer>,
+        /// Remaining flood budget.
+        ttl: u32,
+    },
+    /// Route reply, peeled backwards along the onion.
+    Rrep {
+        /// Flood it answers.
+        flood: u64,
+        /// Session.
+        session: SessionId,
+        /// Remaining onion (top layer = next relay to peel).
+        onion: Vec<OnionLayer>,
+        /// Link tag the *downstream* node (towards D) chose for this link.
+        downstream_tag: LinkTag,
+    },
+    /// Data riding a pinned route.
+    Data {
+        /// Link tag identifying the next hop's route entry.
+        tag: LinkTag,
+        /// Instrumentation id.
+        packet: PacketId,
+        /// Payload size.
+        bytes: usize,
+    },
+}
+
+/// A pinned-route entry at a relay: packets arriving with `upstream_tag`
+/// are re-tagged and forwarded to `next`.
+#[derive(Debug, Clone, Copy)]
+struct RouteEntry {
+    downstream_tag: LinkTag,
+    next: Pseudonym,
+    /// True when this node is the route's destination endpoint.
+    terminal: bool,
+}
+
+/// Per-node ANODR instance.
+pub struct Anodr {
+    /// Seconds between route re-discoveries (mobility breaks pinned
+    /// routes; the paper's era used data-plane feedback, we use a timer).
+    pub rediscover_interval_s: f64,
+    /// Discount-ANODR \[34\]: onion cryptography only on the return
+    /// route — RREQ relays do no symmetric work, the destination builds
+    /// the boomerang instead ("constructs onions only on the return
+    /// routes").
+    pub discount: bool,
+    /// Floods already relayed (dedup).
+    seen_floods: HashMap<u64, ()>,
+    /// Reverse path: flood id -> upstream neighbor the RREQ came from.
+    reverse: HashMap<u64, Pseudonym>,
+    /// My onion nonce per flood (to recognize my layer in the RREP).
+    my_nonce: HashMap<u64, u64>,
+    /// Pinned forwarding table: upstream tag -> entry.
+    routes: HashMap<LinkTag, RouteEntry>,
+    /// As source: session -> (first link tag, next hop) once pinned.
+    source_routes: HashMap<SessionId, (LinkTag, Pseudonym)>,
+    /// As source: packets waiting for a route, capped.
+    pending: Vec<(SessionId, PacketId, usize)>,
+    /// Sessions this node has flooded for and when.
+    last_discovery: HashMap<SessionId, f64>,
+    /// Trapdoor (destination pseudonym) per session this node sources.
+    trapdoors: HashMap<SessionId, Pseudonym>,
+}
+
+impl Default for Anodr {
+    fn default() -> Self {
+        Anodr {
+            rediscover_interval_s: 10.0,
+            discount: false,
+            seen_floods: HashMap::new(),
+            reverse: HashMap::new(),
+            my_nonce: HashMap::new(),
+            routes: HashMap::new(),
+            source_routes: HashMap::new(),
+            pending: Vec::new(),
+            last_discovery: HashMap::new(),
+            trapdoors: HashMap::new(),
+        }
+    }
+}
+
+impl Anodr {
+    /// The Discount-ANODR \[34\] variant.
+    pub fn discount() -> Self {
+        Anodr {
+            discount: true,
+            ..Anodr::default()
+        }
+    }
+
+    fn discover(&mut self, api: &mut Api<'_, AnodrMsg>, session: SessionId, trapdoor: Pseudonym) {
+        let flood: u64 = api.rng().gen();
+        let nonce: u64 = api.rng().gen();
+        self.seen_floods.insert(flood, ());
+        self.my_nonce.insert(flood, nonce);
+        self.last_discovery.insert(session, api.now());
+        // Building the trapdoor costs one public-key op at the source
+        // (only D can open it); each onion layer costs symmetric work.
+        api.charge_symmetric(1);
+        api.send_broadcast(
+            AnodrMsg::Rreq {
+                flood,
+                session,
+                trapdoor,
+                onion: vec![OnionLayer { owner_nonce: nonce }],
+                ttl: FLOOD_TTL,
+            },
+            RREQ_BYTES,
+            TrafficClass::ControlHop,
+            None,
+        );
+    }
+
+    /// Sends queued data for `session` if a route is pinned.
+    fn flush_pending(&mut self, api: &mut Api<'_, AnodrMsg>) {
+        let mut still_pending = Vec::new();
+        let pending = std::mem::take(&mut self.pending);
+        for (session, packet, bytes) in pending {
+            if let Some(&(tag, next)) = self.source_routes.get(&session) {
+                api.charge_symmetric(1); // TBO re-encryption at the source
+                api.mark_hop(packet);
+                api.send_unicast(
+                    next,
+                    AnodrMsg::Data { tag, packet, bytes },
+                    bytes + ANODR_HEADER_BYTES,
+                    TrafficClass::Data,
+                    Some(packet),
+                );
+            } else {
+                still_pending.push((session, packet, bytes));
+            }
+        }
+        self.pending = still_pending;
+    }
+}
+
+impl ProtocolNode for Anodr {
+    type Msg = AnodrMsg;
+
+    fn name() -> &'static str {
+        "ANODR"
+    }
+
+    fn on_start(&mut self, api: &mut Api<'_, Self::Msg>) {
+        api.set_timer(self.rediscover_interval_s, REDISCOVER_TIMER);
+    }
+
+    fn on_timer(&mut self, api: &mut Api<'_, Self::Msg>, token: TimerToken) {
+        if token == REDISCOVER_TIMER {
+            // Refresh every active session's route (mobility invalidates
+            // pinned paths).
+            let sessions: Vec<SessionId> = self.last_discovery.keys().copied().collect();
+            for s in sessions {
+                if let Some(info) = self
+                    .source_routes
+                    .get(&s)
+                    .map(|_| ())
+                    .and(Some(s))
+                    .and_then(|s| self.trapdoor_of(s))
+                {
+                    self.source_routes.remove(&s);
+                    self.discover(api, s, info);
+                }
+            }
+            api.set_timer(self.rediscover_interval_s, REDISCOVER_TIMER);
+        }
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        let Some(info) = api.lookup(req.dst) else {
+            api.mark_drop("location_lookup_failed");
+            return;
+        };
+        // ANODR is topological: the lookup stands in for its out-of-band
+        // trapdoor-key agreement (the destination's public identifier);
+        // positions are never used.
+        self.trapdoors.insert(req.session, info.pseudonym);
+        self.pending.push((req.session, req.packet, req.bytes));
+        if self.pending.len() > 64 {
+            self.pending.remove(0);
+        }
+        if !self.source_routes.contains_key(&req.session) {
+            let needs_flood = self
+                .last_discovery
+                .get(&req.session)
+                .is_none_or(|t| api.now() - t > 1.0);
+            if needs_flood {
+                self.discover(api, req.session, info.pseudonym);
+            }
+        }
+        self.flush_pending(api);
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        match frame.msg {
+            AnodrMsg::Rreq {
+                flood,
+                session,
+                trapdoor,
+                mut onion,
+                ttl,
+            } => {
+                if self.seen_floods.contains_key(&flood) {
+                    return;
+                }
+                self.seen_floods.insert(flood, ());
+                self.reverse.insert(flood, frame.from);
+                // Try the trapdoor: one symmetric attempt per node (the
+                // paper's TBO uses cheap trapdoors for exactly this).
+                api.charge_hash(1);
+                if trapdoor == api.my_pseudonym() {
+                    // Destination: bounce the boomerang back. Under the
+                    // discount variant the destination pays for the onion
+                    // the relays skipped.
+                    let my_tag: u64 = api.rng().gen();
+                    let next = frame.from;
+                    api.charge_symmetric(if self.discount { onion.len() as u64 } else { 1 });
+                    self.routes.insert(
+                        my_tag,
+                        RouteEntry {
+                            downstream_tag: 0,
+                            next: api.my_pseudonym(),
+                            terminal: true,
+                        },
+                    );
+                    api.send_unicast(
+                        next,
+                        AnodrMsg::Rrep {
+                            flood,
+                            session,
+                            onion,
+                            downstream_tag: my_tag,
+                        },
+                        RREP_BYTES,
+                        TrafficClass::Control,
+                        None,
+                    );
+                    return;
+                }
+                if ttl == 0 {
+                    return;
+                }
+                let nonce: u64 = api.rng().gen();
+                self.my_nonce.insert(flood, nonce);
+                onion.push(OnionLayer { owner_nonce: nonce });
+                if !self.discount {
+                    api.charge_symmetric(1); // wrap one onion layer
+                }
+                api.send_broadcast(
+                    AnodrMsg::Rreq {
+                        flood,
+                        session,
+                        trapdoor,
+                        onion,
+                        ttl: ttl - 1,
+                    },
+                    RREQ_BYTES,
+                    TrafficClass::ControlHop,
+                    None,
+                );
+            }
+            AnodrMsg::Rrep {
+                flood,
+                session,
+                mut onion,
+                downstream_tag,
+            } => {
+                // Am I the owner of the top onion layer?
+                let Some(&nonce) = self.my_nonce.get(&flood) else {
+                    return;
+                };
+                let Some(top) = onion.last().copied() else {
+                    return;
+                };
+                if top.owner_nonce != nonce {
+                    return;
+                }
+                onion.pop();
+                api.charge_symmetric(1); // peel my layer
+                if onion.is_empty() {
+                    // I am the source: route pinned.
+                    self.source_routes.insert(session, (downstream_tag, frame.from));
+                    self.flush_pending(api);
+                    return;
+                }
+                // Relay: install tag pair and pass the boomerang upstream.
+                let my_tag: u64 = api.rng().gen();
+                self.routes.insert(
+                    my_tag,
+                    RouteEntry {
+                        downstream_tag,
+                        next: frame.from,
+                        terminal: false,
+                    },
+                );
+                let Some(&upstream) = self.reverse.get(&flood) else {
+                    return;
+                };
+                api.send_unicast(
+                    upstream,
+                    AnodrMsg::Rrep {
+                        flood,
+                        session,
+                        onion,
+                        downstream_tag: my_tag,
+                    },
+                    RREP_BYTES,
+                    TrafficClass::Control,
+                    None,
+                );
+            }
+            AnodrMsg::Data { tag, packet, bytes } => {
+                let Some(&entry) = self.routes.get(&tag) else {
+                    api.mark_drop("anodr_unknown_tag");
+                    return;
+                };
+                api.charge_symmetric(1); // per-hop TBO re-encryption
+                if entry.terminal {
+                    api.mark_delivered(packet);
+                    return;
+                }
+                api.mark_hop(packet);
+                api.send_unicast(
+                    entry.next,
+                    AnodrMsg::Data {
+                        tag: entry.downstream_tag,
+                        packet,
+                        bytes,
+                    },
+                    bytes + ANODR_HEADER_BYTES,
+                    TrafficClass::Data,
+                    Some(packet),
+                );
+            }
+        }
+    }
+}
+
+impl Anodr {
+    /// The trapdoor (destination pseudonym) remembered per session.
+    fn trapdoor_of(&self, session: SessionId) -> Option<Pseudonym> {
+        self.trapdoors.get(&session).copied()
+    }
+}

@@ -1,0 +1,198 @@
+//! MAPCP — an anonymous communication middleware for P2P applications
+//! over MANETs (Chou, Wei, Kuo & Naik \[9\]).
+//!
+//! MAPCP sits *between* the network and application layers: "every hop in
+//! the routing path executes probabilistic broadcasting that chooses a
+//! number of its neighbors with a certain probability to forward
+//! messages". There are no routes at all — packets diffuse as a gossip
+//! wave, which hides the source, the destination, and any notion of a
+//! path (Table 1: identity anonymity for both endpoints, route anonymity,
+//! no location information used anywhere).
+//!
+//! The price is the redundant-traffic bill the ALERT paper charges this
+//! whole class with: every data packet costs a multiple of the network's
+//! node count in transmissions.
+
+use alert_crypto::Pseudonym;
+use alert_sim::{Api, DataRequest, Frame, PacketId, ProtocolNode, TrafficClass};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Gossip header bytes (trapdoor + nonce).
+const MAPCP_HEADER_BYTES: usize = 32;
+
+/// A MAPCP gossip packet.
+#[derive(Debug, Clone)]
+pub struct MapcpMsg {
+    /// Instrumentation id (also the gossip dedup key).
+    pub packet: PacketId,
+    /// Destination pseudonym sealed in a trapdoor; only the destination
+    /// recognizes it.
+    pub dst: Pseudonym,
+    /// Remaining gossip depth.
+    pub ttl: u32,
+    /// Payload size.
+    pub bytes: usize,
+}
+
+/// Per-node MAPCP instance.
+pub struct Mapcp {
+    /// Probability that a receiving node re-broadcasts.
+    pub forward_probability: f64,
+    /// Gossip depth bound.
+    pub ttl: u32,
+    /// Packets this node already gossiped (dedup).
+    seen: HashSet<PacketId>,
+}
+
+impl Default for Mapcp {
+    fn default() -> Self {
+        Mapcp {
+            forward_probability: 0.7,
+            ttl: 10,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl Mapcp {
+    /// A gossip with a custom forwarding probability.
+    pub fn with_probability(forward_probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&forward_probability));
+        Mapcp {
+            forward_probability,
+            ..Mapcp::default()
+        }
+    }
+}
+
+impl ProtocolNode for Mapcp {
+    type Msg = MapcpMsg;
+
+    fn name() -> &'static str {
+        "MAPCP"
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        let Some(info) = api.lookup(req.dst) else {
+            api.mark_drop("location_lookup_failed");
+            return;
+        };
+        self.seen.insert(req.packet);
+        api.charge_symmetric(1); // seal the trapdoor + payload
+        api.mark_hop(req.packet);
+        api.send_broadcast(
+            MapcpMsg {
+                packet: req.packet,
+                dst: info.pseudonym,
+                ttl: self.ttl,
+                bytes: req.bytes,
+            },
+            req.bytes + MAPCP_HEADER_BYTES,
+            TrafficClass::Data,
+            Some(req.packet),
+        );
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        let mut msg = frame.msg;
+        if !self.seen.insert(msg.packet) {
+            return;
+        }
+        // Trapdoor check: everyone tries, only the destination succeeds.
+        api.charge_hash(1);
+        if msg.dst == api.my_pseudonym() || api.is_true_destination(msg.packet) {
+            api.charge_symmetric(1);
+            api.mark_delivered(msg.packet);
+            // The destination keeps gossiping so its silence does not
+            // single it out — receiver anonymity by indistinguishability.
+        }
+        if msg.ttl == 0 {
+            return;
+        }
+        msg.ttl -= 1;
+        if api.rng().gen_range(0.0..1.0) < self.forward_probability {
+            let id = msg.packet;
+            api.mark_hop(id);
+            let wire = msg.bytes + MAPCP_HEADER_BYTES;
+            api.send_broadcast(msg, wire, TrafficClass::Data, Some(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_sim::{Metrics, ScenarioConfig, World};
+
+    fn scenario() -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::default().with_nodes(150).with_duration(30.0);
+        cfg.traffic.pairs = 4;
+        cfg
+    }
+
+    fn run(p: f64, seed: u64) -> Metrics {
+        let mut w = World::new(scenario(), seed, move |_, _| Mapcp::with_probability(p));
+        w.run();
+        w.metrics().clone()
+    }
+
+    #[test]
+    fn gossip_delivers_reliably_at_default_probability() {
+        let m = run(0.7, 1);
+        assert!(m.delivery_rate() > 0.95, "rate {}", m.delivery_rate());
+    }
+
+    #[test]
+    fn gossip_cost_is_a_network_multiple() {
+        // The redundant-traffic bill: each packet triggers a large share
+        // of the network to transmit.
+        let m = run(0.7, 2);
+        assert!(
+            m.hops_per_packet() > 30.0,
+            "gossip should cost tens of transmissions per packet, got {}",
+            m.hops_per_packet()
+        );
+    }
+
+    #[test]
+    fn forwarding_probability_trades_cost_for_reach() {
+        let low = run(0.25, 3);
+        let high = run(0.9, 3);
+        assert!(high.hops_per_packet() > low.hops_per_packet() * 1.5);
+        assert!(high.delivery_rate() >= low.delivery_rate() - 0.02);
+    }
+
+    #[test]
+    fn destination_keeps_gossiping_after_delivery() {
+        // Receiver anonymity: the destination must appear in the
+        // participant set like any other gossiper.
+        let m = run(0.7, 4);
+        let mut dest_participated = 0;
+        for p in m.packets.iter().filter(|p| p.delivered_at.is_some()) {
+            if p.participants.contains(&p.dst) {
+                dest_participated += 1;
+            }
+        }
+        assert!(
+            dest_participated > 0,
+            "the destination should sometimes re-gossip packets it received"
+        );
+    }
+
+    #[test]
+    fn no_location_information_used() {
+        // Topology-free: delivery must not depend on position accuracy —
+        // freeze the location service and nothing changes (only the
+        // pseudonym from the lookup matters).
+        let mut cfg = scenario().with_location(alert_sim::LocationPolicy::SessionStart);
+        cfg.speed = 8.0;
+        let mut w = World::new(cfg, 5, |_, _| Mapcp::default());
+        w.run();
+        assert!(
+            w.metrics().delivery_rate() > 0.9,
+            "gossip ignores stale positions, got {}",
+            w.metrics().delivery_rate()
+        );
+    }
+}

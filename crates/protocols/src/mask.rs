@@ -1,0 +1,427 @@
+//! MASK — Anonymous Communications in Mobile Ad Hoc Networks (Zhang, Liu
+//! & Luo \[32\]).
+//!
+//! MASK's signature mechanism is the **anonymous neighborhood
+//! handshake**: whenever two nodes become neighbors they run a
+//! pairing-based authentication that yields shared *link identifiers* —
+//! pseudonymous labels meaningful only to the two endpoints. Route
+//! discovery is then an AODV-style flood over authenticated links,
+//! carrying the destination's identity; data follows the pinned path hop
+//! by hop. Per Table 1, MASK protects the source identity and the route,
+//! but not locations (topology routing) and not the destination identity
+//! (it travels in the RREQ).
+//!
+//! Its distinctive cost is mobility-driven: every *new* neighbor relation
+//! triggers a handshake (pairing operations, charged as public-key
+//! verification work), so the control burden scales with topology churn —
+//! a behavior neither ALARM (periodic) nor ANODR (per-discovery)
+//! exhibits. The `handshakes` counter and the churn test below make that
+//! visible.
+
+use alert_crypto::Pseudonym;
+use alert_sim::{
+    Api, DataRequest, Frame, PacketId, ProtocolNode, SessionId, TimerToken, TrafficClass,
+};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Handshake message size (pairing material).
+const HANDSHAKE_BYTES: usize = 64;
+/// RREQ size.
+const RREQ_BYTES: usize = 72;
+/// RREP size.
+const RREP_BYTES: usize = 56;
+/// Data header.
+const MASK_HEADER_BYTES: usize = 24;
+/// Flood budget.
+const FLOOD_TTL: u32 = 12;
+/// Neighborhood scan timer.
+const SCAN_TIMER: TimerToken = 4;
+/// Route refresh timer.
+const REFRESH_TIMER: TimerToken = 5;
+
+/// MASK wire messages.
+#[derive(Debug, Clone)]
+pub enum MaskMsg {
+    /// Anonymous neighborhood handshake (one per *new* neighbor relation).
+    Handshake,
+    /// AODV-style anonymous route request.
+    Rreq {
+        /// Flood id (dedup).
+        id: u64,
+        /// Session being discovered.
+        session: SessionId,
+        /// Destination pseudonym (MASK does not hide the destination).
+        dst: Pseudonym,
+        /// Remaining budget.
+        ttl: u32,
+    },
+    /// Route reply, pinning link identifiers hop by hop.
+    Rrep {
+        /// Flood it answers.
+        id: u64,
+        /// Session.
+        session: SessionId,
+        /// Link id the downstream node allocated for this hop.
+        link: u64,
+    },
+    /// Data riding the pinned link-id chain.
+    Data {
+        /// Link id naming the receiving hop's route entry.
+        link: u64,
+        /// Instrumentation id.
+        packet: PacketId,
+        /// Payload size.
+        bytes: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkRoute {
+    next_link: u64,
+    next_hop: Pseudonym,
+    terminal: bool,
+}
+
+/// Per-node MASK instance.
+pub struct Mask {
+    /// Seconds between neighborhood scans (new neighbors -> handshakes).
+    pub scan_interval_s: f64,
+    /// Seconds between route refreshes.
+    pub refresh_interval_s: f64,
+    /// Count of handshakes this node initiated (cost visibility).
+    pub handshakes: u64,
+    /// Neighbors already authenticated.
+    authenticated: HashSet<Pseudonym>,
+    /// Flood dedup.
+    seen: HashSet<u64>,
+    /// Reverse path per flood.
+    reverse: HashMap<u64, Pseudonym>,
+    /// Pinned forwarding: incoming link id -> route.
+    routes: HashMap<u64, LinkRoute>,
+    /// As source: session -> (first link id, next hop).
+    source_routes: HashMap<SessionId, (u64, Pseudonym)>,
+    /// Queued packets awaiting routes.
+    pending: Vec<(SessionId, PacketId, usize)>,
+    /// Sessions this node sources: destination pseudonym + last discovery.
+    my_sessions: HashMap<SessionId, (Pseudonym, f64)>,
+}
+
+impl Default for Mask {
+    fn default() -> Self {
+        Mask {
+            scan_interval_s: 1.0,
+            refresh_interval_s: 10.0,
+            handshakes: 0,
+            authenticated: HashSet::new(),
+            seen: HashSet::new(),
+            reverse: HashMap::new(),
+            routes: HashMap::new(),
+            source_routes: HashMap::new(),
+            pending: Vec::new(),
+            my_sessions: HashMap::new(),
+        }
+    }
+}
+
+impl Mask {
+    /// Scans the neighbor table and handshakes with anyone new. The
+    /// pairing-based authentication is charged as public-key work on both
+    /// sides (initiator here, responder in `on_frame`).
+    fn scan_neighborhood(&mut self, api: &mut Api<'_, MaskMsg>) {
+        let new: Vec<Pseudonym> = api
+            .neighbors()
+            .iter()
+            .map(|n| n.pseudonym)
+            .filter(|p| !self.authenticated.contains(p))
+            .collect();
+        for p in new {
+            self.authenticated.insert(p);
+            self.handshakes += 1;
+            api.charge_pk_verify(1); // one pairing evaluation
+            api.send_unicast(p, MaskMsg::Handshake, HANDSHAKE_BYTES, TrafficClass::Control, None);
+        }
+    }
+
+    fn discover(&mut self, api: &mut Api<'_, MaskMsg>, session: SessionId, dst: Pseudonym) {
+        let id: u64 = api.rng().gen();
+        self.seen.insert(id);
+        self.my_sessions.insert(session, (dst, api.now()));
+        api.send_broadcast(
+            MaskMsg::Rreq {
+                id,
+                session,
+                dst,
+                ttl: FLOOD_TTL,
+            },
+            RREQ_BYTES,
+            TrafficClass::ControlHop,
+            None,
+        );
+    }
+
+    fn flush(&mut self, api: &mut Api<'_, MaskMsg>) {
+        let pending = std::mem::take(&mut self.pending);
+        let mut keep = Vec::new();
+        for (session, packet, bytes) in pending {
+            if let Some(&(link, next)) = self.source_routes.get(&session) {
+                api.charge_symmetric(1);
+                api.mark_hop(packet);
+                api.send_unicast(
+                    next,
+                    MaskMsg::Data { link, packet, bytes },
+                    bytes + MASK_HEADER_BYTES,
+                    TrafficClass::Data,
+                    Some(packet),
+                );
+            } else {
+                keep.push((session, packet, bytes));
+            }
+        }
+        self.pending = keep;
+    }
+}
+
+impl ProtocolNode for Mask {
+    type Msg = MaskMsg;
+
+    fn name() -> &'static str {
+        "MASK"
+    }
+
+    fn on_start(&mut self, api: &mut Api<'_, Self::Msg>) {
+        self.scan_neighborhood(api);
+        api.set_timer(self.scan_interval_s, SCAN_TIMER);
+        api.set_timer(self.refresh_interval_s, REFRESH_TIMER);
+    }
+
+    fn on_timer(&mut self, api: &mut Api<'_, Self::Msg>, token: TimerToken) {
+        match token {
+            SCAN_TIMER => {
+                self.scan_neighborhood(api);
+                api.set_timer(self.scan_interval_s, SCAN_TIMER);
+            }
+            REFRESH_TIMER => {
+                let sessions: Vec<(SessionId, Pseudonym)> = self
+                    .my_sessions
+                    .iter()
+                    .map(|(s, (d, _))| (*s, *d))
+                    .collect();
+                for (s, d) in sessions {
+                    self.source_routes.remove(&s);
+                    self.discover(api, s, d);
+                }
+                api.set_timer(self.refresh_interval_s, REFRESH_TIMER);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        let Some(info) = api.lookup(req.dst) else {
+            api.mark_drop("location_lookup_failed");
+            return;
+        };
+        self.pending.push((req.session, req.packet, req.bytes));
+        if self.pending.len() > 64 {
+            self.pending.remove(0);
+        }
+        let needs = !self.source_routes.contains_key(&req.session)
+            && self
+                .my_sessions
+                .get(&req.session)
+                .is_none_or(|(_, t)| api.now() - t > 1.0);
+        if needs {
+            self.discover(api, req.session, info.pseudonym);
+        }
+        self.flush(api);
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        match frame.msg {
+            MaskMsg::Handshake => {
+                // Responder side of the pairing.
+                api.charge_pk_verify(1);
+                self.authenticated.insert(frame.from);
+            }
+            MaskMsg::Rreq { id, session, dst, ttl } => {
+                if self.seen.contains(&id) {
+                    return;
+                }
+                self.seen.insert(id);
+                self.reverse.insert(id, frame.from);
+                if dst == api.my_pseudonym() {
+                    let link: u64 = api.rng().gen();
+                    self.routes.insert(
+                        link,
+                        LinkRoute {
+                            next_link: 0,
+                            next_hop: api.my_pseudonym(),
+                            terminal: true,
+                        },
+                    );
+                    api.send_unicast(
+                        frame.from,
+                        MaskMsg::Rrep { id, session, link },
+                        RREP_BYTES,
+                        TrafficClass::Control,
+                        None,
+                    );
+                    return;
+                }
+                if ttl == 0 {
+                    return;
+                }
+                api.send_broadcast(
+                    MaskMsg::Rreq {
+                        id,
+                        session,
+                        dst,
+                        ttl: ttl - 1,
+                    },
+                    RREQ_BYTES,
+                    TrafficClass::ControlHop,
+                    None,
+                );
+            }
+            MaskMsg::Rrep { id, session, link } => {
+                if self.my_sessions.contains_key(&session) {
+                    // Source: pin and drain. (The RREP's sender is our
+                    // first hop; `link` names its route entry. The source
+                    // has no reverse entry — it originated the flood.)
+                    self.source_routes.insert(session, (link, frame.from));
+                    self.flush(api);
+                    return;
+                }
+                // Only a relay the RREQ traversed knows this flood.
+                let Some(&upstream) = self.reverse.get(&id) else {
+                    return;
+                };
+                let my_link: u64 = api.rng().gen();
+                self.routes.insert(
+                    my_link,
+                    LinkRoute {
+                        next_link: link,
+                        next_hop: frame.from,
+                        terminal: false,
+                    },
+                );
+                api.send_unicast(
+                    upstream,
+                    MaskMsg::Rrep {
+                        id,
+                        session,
+                        link: my_link,
+                    },
+                    RREP_BYTES,
+                    TrafficClass::Control,
+                    None,
+                );
+            }
+            MaskMsg::Data { link, packet, bytes } => {
+                let Some(&route) = self.routes.get(&link) else {
+                    api.mark_drop("mask_unknown_link");
+                    return;
+                };
+                api.charge_symmetric(1);
+                if route.terminal {
+                    api.mark_delivered(packet);
+                    return;
+                }
+                api.mark_hop(packet);
+                api.send_unicast(
+                    route.next_hop,
+                    MaskMsg::Data {
+                        link: route.next_link,
+                        packet,
+                        bytes,
+                    },
+                    bytes + MASK_HEADER_BYTES,
+                    TrafficClass::Data,
+                    Some(packet),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_sim::{Metrics, NodeId, ScenarioConfig, World};
+
+    fn scenario() -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::default().with_nodes(200).with_duration(40.0);
+        cfg.traffic.pairs = 5;
+        cfg
+    }
+
+    fn run(cfg: ScenarioConfig, seed: u64) -> World<Mask> {
+        let mut w = World::new(cfg, seed, |_, _| Mask::default());
+        w.run();
+        w
+    }
+
+    #[test]
+    fn delivers_on_dense_network() {
+        let w = run(scenario(), 1);
+        assert!(
+            w.metrics().delivery_rate() > 0.8,
+            "rate {}",
+            w.metrics().delivery_rate()
+        );
+    }
+
+    #[test]
+    fn handshake_cost_scales_with_mobility() {
+        // MASK's distinctive behavior: faster nodes churn neighbor tables,
+        // triggering more pairing handshakes.
+        let total_handshakes = |speed: f64, seed: u64| -> u64 {
+            let mut cfg = scenario();
+            cfg.speed = speed;
+            let w = run(cfg, seed);
+            (0..200).map(|i| w.protocol(NodeId(i)).handshakes).sum()
+        };
+        let slow: u64 = (0..3).map(|s| total_handshakes(1.0, s)).sum();
+        let fast: u64 = (0..3).map(|s| total_handshakes(8.0, s)).sum();
+        assert!(
+            fast as f64 > slow as f64 * 1.3,
+            "8 m/s should trigger clearly more handshakes than 1 m/s: {slow} -> {fast}"
+        );
+    }
+
+    #[test]
+    fn static_network_handshakes_once_per_link() {
+        let cfg = scenario().with_mobility(alert_sim::MobilityKind::Static);
+        let w = run(cfg, 2);
+        let handshakes: u64 = (0..200).map(|i| w.protocol(NodeId(i)).handshakes).sum();
+        // Every directed neighbor relation handshakes exactly once.
+        let m: &Metrics = w.metrics();
+        assert!(handshakes > 0);
+        // No churn: pk_verify ops = 2 per initiated handshake (initiator +
+        // responder), bounded by twice the handshake count.
+        assert!(
+            m.crypto.pk_verify <= handshakes * 2,
+            "verify ops {} exceed 2x handshakes {}",
+            m.crypto.pk_verify,
+            handshakes
+        );
+    }
+
+    #[test]
+    fn data_path_is_symmetric_only() {
+        let w = run(scenario(), 3);
+        let c = w.metrics().crypto;
+        assert!(c.symmetric > 0);
+        assert_eq!(c.pk_encrypt, 0, "MASK's data path uses no public-key work");
+    }
+
+    #[test]
+    fn flood_overhead_visible_in_control_hops() {
+        let w = run(scenario(), 4);
+        assert!(
+            w.metrics().control_hops > 100,
+            "discovery floods should dominate control hops"
+        );
+    }
+}

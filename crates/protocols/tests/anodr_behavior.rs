@@ -1,0 +1,123 @@
+//! Behavioural tests of the ANODR baseline.
+
+use alert_protocols::{Anodr, Gpsr};
+use alert_sim::{Metrics, ScenarioConfig, World};
+
+fn scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default().with_nodes(200).with_duration(40.0);
+    cfg.traffic.pairs = 5;
+    cfg
+}
+
+fn run(seed: u64) -> Metrics {
+    let mut w = World::new(scenario(), seed, |_, _| Anodr::default());
+    w.run();
+    w.metrics().clone()
+}
+
+#[test]
+fn pins_routes_and_delivers() {
+    let m = run(1);
+    assert!(
+        m.delivery_rate() > 0.8,
+        "ANODR delivery {} too low",
+        m.delivery_rate()
+    );
+}
+
+#[test]
+fn discovery_floods_dominate_control_overhead() {
+    // Each route discovery floods the network: control hops per delivered
+    // packet dwarf the data-path hops — the "redundant traffic" cost the
+    // paper attributes to topological anonymous routing.
+    let m = run(2);
+    assert!(
+        m.control_hops as f64 > m.packets_sent() as f64 * 2.0,
+        "expected heavy flood overhead, got {} control hops for {} packets",
+        m.control_hops,
+        m.packets_sent()
+    );
+    assert!(
+        m.hops_per_packet_with_control() > m.hops_per_packet() * 2.0,
+        "dissemination-inclusive hop metric should be much larger"
+    );
+}
+
+#[test]
+fn data_path_is_short_once_pinned() {
+    // After pinning, data follows the discovered path: per-packet data
+    // hops comparable to GPSR's shortest path (floods are control-plane).
+    let m = run(3);
+    let mut w = World::new(scenario(), 3, |_, _| Gpsr::default());
+    w.run();
+    let g = w.metrics().clone();
+    assert!(
+        m.hops_per_packet() < g.hops_per_packet() * 2.5,
+        "ANODR data path {} hops vs GPSR {}",
+        m.hops_per_packet(),
+        g.hops_per_packet()
+    );
+}
+
+#[test]
+fn per_hop_symmetric_crypto() {
+    // One TBO re-encryption per data hop plus onion work per discovery:
+    // symmetric ops well above one per packet, no public-key on the data
+    // path.
+    let m = run(4);
+    assert!(
+        m.crypto.symmetric as f64 > m.packets_sent() as f64,
+        "per-hop symmetric work missing: {} ops for {} packets",
+        m.crypto.symmetric,
+        m.packets_sent()
+    );
+}
+
+#[test]
+fn latency_between_gpsr_and_pk_protocols() {
+    // Symmetric-only crypto keeps ANODR's latency in the tens of ms —
+    // far below ALARM/AO2P, above plain GPSR (discovery stalls the first
+    // packets of each session).
+    let m = run(5);
+    let lat = m.mean_latency().expect("deliveries");
+    assert!(
+        lat < 0.4,
+        "ANODR latency {lat}s should be far below the pk protocols"
+    );
+}
+
+#[test]
+fn survives_mobility_via_rediscovery() {
+    let mut cfg = scenario().with_duration(60.0);
+    cfg.speed = 6.0;
+    let mut w = World::new(cfg, 6, |_, _| Anodr::default());
+    w.run();
+    let rate = w.metrics().delivery_rate();
+    assert!(
+        rate > 0.5,
+        "rediscovery should keep routes alive under mobility, got {rate}"
+    );
+}
+
+#[test]
+fn discount_variant_moves_crypto_off_the_flood() {
+    // Discount-ANODR: same delivery, far fewer symmetric operations per
+    // discovery because flood relays skip the onion work.
+    let mut plain_w = World::new(scenario(), 7, |_, _| Anodr::default());
+    plain_w.run();
+    let mut disc_w = World::new(scenario(), 7, |_, _| Anodr::discount());
+    disc_w.run();
+    let (plain, disc) = (plain_w.metrics().clone(), disc_w.metrics().clone());
+    assert!(
+        (disc.crypto.symmetric as f64) < plain.crypto.symmetric as f64 * 0.6,
+        "discount should cut symmetric ops: {} -> {}",
+        plain.crypto.symmetric,
+        disc.crypto.symmetric
+    );
+    assert!(
+        disc.delivery_rate() > plain.delivery_rate() - 0.1,
+        "discount must not hurt delivery: {} vs {}",
+        disc.delivery_rate(),
+        plain.delivery_rate()
+    );
+}

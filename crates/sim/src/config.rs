@@ -1,0 +1,315 @@
+//! Scenario configuration: every knob of the paper's evaluation setup
+//! (Section 5.2) in one serializable struct.
+
+use alert_crypto::CostModel;
+use alert_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Which mobility model drives the nodes (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MobilityKind {
+    /// Random waypoint \[17\] at a fixed speed — the paper's default.
+    RandomWaypoint,
+    /// Reference-point group mobility \[18\] with `groups` groups confined to
+    /// `range` metres each (the paper uses 10 groups / 150 m and
+    /// 5 groups / 200 m).
+    Group {
+        /// Number of groups.
+        groups: usize,
+        /// Movement range of each group in metres.
+        range: f64,
+    },
+    /// No movement (controlled experiments, `v = 0` series).
+    Static,
+}
+
+/// How the location service reports a destination's position during a
+/// transmission session (Section 5.6 "with/without destination update").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LocationPolicy {
+    /// Positions are refreshed every `interval_s` seconds — the "with
+    /// destination update" condition.
+    Periodic {
+        /// Refresh interval in seconds.
+        interval_s: f64,
+    },
+    /// Positions are frozen at the value registered when the node last
+    /// updated before the session began — the "without destination update"
+    /// condition.
+    SessionStart,
+}
+
+/// 802.11-style MAC and channel model parameters.
+///
+/// This is a stochastic abstraction of the DCF, not a bit-accurate model:
+/// per-frame airtime = `base_overhead_s` (DIFS + PHY preamble + SIFS + ACK)
+/// plus a uniform random backoff scaled by local contention, plus the
+/// payload serialization time at `bitrate_bps` (see DESIGN.md § 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacConfig {
+    /// Radio transmission range in metres (unit-disk model).
+    pub range_m: f64,
+    /// Channel bitrate in bits/second (802.11b: 2 Mb/s).
+    pub bitrate_bps: f64,
+    /// Fixed per-frame MAC/PHY overhead in seconds.
+    pub base_overhead_s: f64,
+    /// Maximum random backoff in seconds (drawn uniformly).
+    pub max_backoff_s: f64,
+    /// Extra backoff per contending neighbor, in seconds.
+    pub contention_per_neighbor_s: f64,
+    /// Probability that any individual frame reception fails.
+    pub loss_probability: f64,
+    /// When true, each node owns a half-duplex transmitter: a frame's
+    /// airtime starts only after the node's previous transmission ended,
+    /// so bursts (e.g. notify-and-go cover storms) serialize instead of
+    /// overlapping. Off by default to match the calibrated figures; turn
+    /// on for MAC-fidelity studies.
+    pub serialize_tx: bool,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            range_m: 250.0,
+            bitrate_bps: 2_000_000.0,
+            base_overhead_s: 0.000_8,
+            max_backoff_s: 0.001,
+            contention_per_neighbor_s: 0.000_02,
+            loss_probability: 0.0,
+            serialize_tx: false,
+        }
+    }
+}
+
+/// Radio and CPU power draw for the energy accounting (defaults follow
+/// the classic WaveLAN measurements used by NS-2-era MANET studies).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyConfig {
+    /// Power drawn while transmitting, watts.
+    pub tx_watts: f64,
+    /// Power drawn while receiving, watts.
+    pub rx_watts: f64,
+    /// CPU power drawn during cryptographic processing, watts.
+    pub cpu_watts: f64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            tx_watts: 1.65,
+            rx_watts: 1.40,
+            cpu_watts: 1.0,
+        }
+    }
+}
+
+/// Constant-bit-rate traffic description: `pairs` random source–destination
+/// pairs each sending a `packet_bytes` packet every `interval_s` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Number of S–D pairs (paper: 10).
+    pub pairs: usize,
+    /// Seconds between consecutive packets of a pair (paper: 2 s).
+    pub interval_s: f64,
+    /// Application payload size in bytes (paper: 512).
+    pub packet_bytes: usize,
+    /// Session start time in seconds (lets neighbor tables warm up).
+    pub start_s: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            pairs: 10,
+            interval_s: 2.0,
+            packet_bytes: 512,
+            start_s: 1.0,
+        }
+    }
+}
+
+/// Complete description of one simulation scenario. A run is a pure
+/// function of `(ScenarioConfig, seed)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Field width in metres.
+    pub field_w: f64,
+    /// Field height in metres.
+    pub field_h: f64,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Node speed in m/s (fixed, per the paper).
+    pub speed: f64,
+    /// Mobility model.
+    pub mobility: MobilityKind,
+    /// MAC and channel parameters.
+    pub mac: MacConfig,
+    /// CBR traffic.
+    pub traffic: TrafficConfig,
+    /// Simulated duration in seconds (paper: 100 s).
+    pub duration_s: f64,
+    /// Crypto latency model.
+    pub crypto_cost: CostModel,
+    /// Location service freshness policy.
+    pub location: LocationPolicy,
+    /// Interval of "hello" neighbor beacons in seconds.
+    pub hello_interval_s: f64,
+    /// Mobility integration step in seconds.
+    pub mobility_tick_s: f64,
+    /// Pseudonym validity period in seconds (Section 2.2).
+    pub pseudonym_lifetime_s: f64,
+    /// Radio/CPU power model for energy accounting.
+    pub energy: EnergyConfig,
+}
+
+impl Default for ScenarioConfig {
+    /// The paper's default setup: 1,000 m x 1,000 m, 200 nodes at 2 m/s
+    /// (random waypoint), 250 m range, 512-byte CBR every 2 s over
+    /// 10 pairs, 100 s duration.
+    fn default() -> Self {
+        ScenarioConfig {
+            field_w: 1000.0,
+            field_h: 1000.0,
+            nodes: 200,
+            speed: 2.0,
+            mobility: MobilityKind::RandomWaypoint,
+            mac: MacConfig::default(),
+            traffic: TrafficConfig::default(),
+            duration_s: 100.0,
+            crypto_cost: CostModel::PAPER_1_8GHZ,
+            location: LocationPolicy::Periodic { interval_s: 1.0 },
+            hello_interval_s: 1.0,
+            mobility_tick_s: 0.5,
+            pseudonym_lifetime_s: 30.0,
+            energy: EnergyConfig::default(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The network field as a rectangle anchored at the origin.
+    pub fn field(&self) -> Rect {
+        Rect::with_size(self.field_w, self.field_h)
+    }
+
+    /// Node density in nodes per square metre (the paper's `rho`).
+    pub fn density(&self) -> f64 {
+        self.nodes as f64 / (self.field_w * self.field_h)
+    }
+
+    /// Builder-style override of the node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Builder-style override of the node speed.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Builder-style override of the simulated duration.
+    pub fn with_duration(mut self, duration_s: f64) -> Self {
+        self.duration_s = duration_s;
+        self
+    }
+
+    /// Builder-style override of the location policy.
+    pub fn with_location(mut self, location: LocationPolicy) -> Self {
+        self.location = location;
+        self
+    }
+
+    /// Builder-style override of the mobility model.
+    pub fn with_mobility(mut self, mobility: MobilityKind) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Basic sanity checks; call before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("scenario needs at least one node".into());
+        }
+        if self.field_w <= 0.0 || self.field_h <= 0.0 {
+            return Err("field must have positive area".into());
+        }
+        if self.mac.range_m <= 0.0 {
+            return Err("radio range must be positive".into());
+        }
+        if self.duration_s <= 0.0 {
+            return Err("duration must be positive".into());
+        }
+        if self.traffic.pairs * 2 > self.nodes {
+            return Err(format!(
+                "{} S-D pairs need {} distinct nodes but only {} exist",
+                self.traffic.pairs,
+                self.traffic.pairs * 2,
+                self.nodes
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.mac.loss_probability) {
+            return Err("loss probability must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_section_5_2() {
+        let c = ScenarioConfig::default();
+        assert_eq!(c.field_w, 1000.0);
+        assert_eq!(c.field_h, 1000.0);
+        assert_eq!(c.nodes, 200);
+        assert_eq!(c.speed, 2.0);
+        assert_eq!(c.mac.range_m, 250.0);
+        assert_eq!(c.traffic.packet_bytes, 512);
+        assert_eq!(c.traffic.interval_s, 2.0);
+        assert_eq!(c.traffic.pairs, 10);
+        assert_eq!(c.duration_s, 100.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn density_is_nodes_per_square_metre() {
+        let c = ScenarioConfig::default();
+        assert!((c.density() - 200.0 / 1_000_000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        assert!(ScenarioConfig::default().with_nodes(0).validate().is_err());
+        assert!(ScenarioConfig::default()
+            .with_nodes(5) // 10 pairs need 20 nodes
+            .validate()
+            .is_err());
+        let mut c = ScenarioConfig::default();
+        c.mac.loss_probability = 1.5;
+        assert!(c.validate().is_err());
+        let c = ScenarioConfig {
+            duration_s: 0.0,
+            ..ScenarioConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = ScenarioConfig::default()
+            .with_nodes(100)
+            .with_speed(8.0)
+            .with_duration(50.0)
+            .with_location(LocationPolicy::SessionStart)
+            .with_mobility(MobilityKind::Static);
+        assert_eq!(c.nodes, 100);
+        assert_eq!(c.speed, 8.0);
+        assert_eq!(c.duration_s, 50.0);
+        assert_eq!(c.location, LocationPolicy::SessionStart);
+        assert_eq!(c.mobility, MobilityKind::Static);
+    }
+}

@@ -1,0 +1,43 @@
+//! # alert-sim
+//!
+//! A deterministic discrete-event MANET simulator — the substrate the
+//! paper ran on NS-2.29 (Section 5.2), rebuilt from scratch in Rust (see
+//! DESIGN.md § 1 for the substitution argument).
+//!
+//! Components:
+//!
+//! * [`EventQueue`] — the future event list (time-ordered, FIFO ties);
+//! * [`ScenarioConfig`] — every evaluation knob in one struct, defaulting
+//!   to the paper's setup;
+//! * [`World`] — the runtime: mobility + spatial index + wireless channel
+//!   (unit disk, stochastic 802.11-style MAC) + hello beacons and neighbor
+//!   tables + pseudonym rotation + location service + CBR traffic;
+//! * [`ProtocolNode`] / [`Api`] — the trait a routing protocol implements
+//!   and the capability surface it sees (own position, neighbor table,
+//!   location service, unicast/broadcast, timers, crypto cost charging);
+//! * [`Metrics`] — ground-truth instrumentation for the paper's six
+//!   metrics;
+//! * [`Observer`] / [`TxEvent`] — the eavesdropper's view of the channel,
+//!   consumed by the adversary analyzers.
+//!
+//! A run is a pure function of `(ScenarioConfig, seed)`: events tie-break
+//! by schedule order and all randomness flows from one seeded generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+mod config;
+mod engine;
+mod ids;
+mod location;
+mod metrics;
+mod runtime;
+
+pub use api::{Api, DataRequest, Frame, FrameKind, NeighborEntry, ProtocolNode, TrafficClass};
+pub use config::{EnergyConfig, LocationPolicy, MacConfig, MobilityKind, ScenarioConfig, TrafficConfig};
+pub use engine::EventQueue;
+pub use ids::{NodeId, PacketId, SessionId, TimerToken};
+pub use location::{LocationInfo, LocationService};
+pub use metrics::{Metrics, PacketRecord};
+pub use runtime::{Observer, Session, TxEvent, World};

@@ -1,0 +1,202 @@
+//! The (secure) location service (paper Section 2.2).
+//!
+//! The paper assumes trusted location servers that map a node's *identity*
+//! to its current position, public key, and pseudonym; sources query it
+//! once per session, and nodes periodically update their position. The
+//! evaluation's "with/without destination update" conditions (Figs. 14–16)
+//! toggle whether positions keep refreshing during a session.
+//!
+//! We model the service as ground-truth state filtered through a freshness
+//! policy, plus message accounting for the overhead analysis at the end of
+//! Section 4.3.
+
+use crate::config::LocationPolicy;
+use crate::ids::NodeId;
+use alert_crypto::{Pseudonym, PublicKey};
+use alert_geom::Point;
+use serde::{Deserialize, Serialize};
+
+/// What a lookup returns: everything the paper lets a source learn about a
+/// destination (Section 2.2: "the public key and location of the
+/// destination ... can be known by others, but its real identity requires
+/// protection").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocationInfo {
+    /// Destination position as registered at the server (possibly stale).
+    pub position: Point,
+    /// Time the position was registered.
+    pub registered_at: f64,
+    /// The node's public key.
+    pub public_key: PublicKey,
+    /// The node's current pseudonym.
+    pub pseudonym: Pseudonym,
+}
+
+#[derive(Debug, Clone)]
+struct Registration {
+    position: Point,
+    registered_at: f64,
+    public_key: PublicKey,
+    pseudonym: Pseudonym,
+    /// Position frozen at session start under `LocationPolicy::SessionStart`.
+    frozen: Option<Point>,
+}
+
+/// The location service for one simulation run.
+#[derive(Debug, Clone)]
+pub struct LocationService {
+    policy: LocationPolicy,
+    entries: Vec<Option<Registration>>,
+    /// Messages exchanged with the service (updates + 2 per lookup).
+    pub messages: u64,
+    /// Number of replicated location servers (`N_L` in Section 4.3);
+    /// only used for the overhead accounting model.
+    pub servers: usize,
+}
+
+impl LocationService {
+    /// Creates an empty service for `nodes` nodes. `servers` defaults to
+    /// `sqrt(nodes)` per the paper's feasibility argument (Section 4.3).
+    pub fn new(nodes: usize, policy: LocationPolicy) -> Self {
+        LocationService {
+            policy,
+            entries: vec![None; nodes],
+            messages: 0,
+            servers: (nodes as f64).sqrt().round().max(1.0) as usize,
+        }
+    }
+
+    /// The freshness policy in force.
+    pub fn policy(&self) -> LocationPolicy {
+        self.policy
+    }
+
+    /// Registers or refreshes a node's record (the periodic position
+    /// update every node sends to its server). Under `SessionStart`, the
+    /// *served* position stays frozen once [`LocationService::freeze`] has
+    /// been called, but key/pseudonym refreshes still propagate.
+    pub fn update(
+        &mut self,
+        node: NodeId,
+        position: Point,
+        public_key: PublicKey,
+        pseudonym: Pseudonym,
+        now: f64,
+    ) {
+        self.messages += 1;
+        let frozen = self.entries[node.0].as_ref().and_then(|r| r.frozen);
+        self.entries[node.0] = Some(Registration {
+            position,
+            registered_at: now,
+            public_key,
+            pseudonym,
+            frozen,
+        });
+    }
+
+    /// Freezes the served position of `node` at its current registration
+    /// (called at session start under the "without destination update"
+    /// condition).
+    pub fn freeze(&mut self, node: NodeId) {
+        if let Some(r) = self.entries[node.0].as_mut() {
+            r.frozen = Some(r.position);
+        }
+    }
+
+    /// Queries the service for `node`. Counts two messages (request and
+    /// encrypted response, Section 2.2).
+    pub fn lookup(&mut self, node: NodeId) -> Option<LocationInfo> {
+        self.messages += 2;
+        let r = self.entries[node.0].as_ref()?;
+        let position = match self.policy {
+            LocationPolicy::Periodic { .. } => r.position,
+            LocationPolicy::SessionStart => r.frozen.unwrap_or(r.position),
+        };
+        Some(LocationInfo {
+            position,
+            registered_at: r.registered_at,
+            public_key: r.public_key,
+            pseudonym: r.pseudonym,
+        })
+    }
+
+    /// The overhead ratio of Section 4.3:
+    /// `(N_L (N_L - 1) f + N f) / (N F)` — the fraction of total traffic
+    /// spent on the location service, which must be `<< 1` for ALERT to be
+    /// usable. `f` is the update frequency and `F` the regular
+    /// communication frequency, both in Hz.
+    pub fn overhead_ratio(&self, nodes: usize, f_updates_hz: f64, f_comm_hz: f64) -> f64 {
+        let n = nodes as f64;
+        let nl = self.servers as f64;
+        (nl * (nl - 1.0) * f_updates_hz + n * f_updates_hz) / (n * f_comm_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_crypto::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pk() -> PublicKey {
+        let mut rng = StdRng::seed_from_u64(1);
+        KeyPair::generate(&mut rng).public
+    }
+
+    #[test]
+    fn lookup_before_registration_is_none() {
+        let mut s = LocationService::new(4, LocationPolicy::SessionStart);
+        assert!(s.lookup(NodeId(2)).is_none());
+        assert_eq!(s.messages, 2, "failed lookups still cost messages");
+    }
+
+    #[test]
+    fn periodic_policy_serves_latest_position() {
+        let mut s = LocationService::new(2, LocationPolicy::Periodic { interval_s: 1.0 });
+        let key = pk();
+        s.update(NodeId(0), Point::new(1.0, 1.0), key, Pseudonym(7), 0.0);
+        s.update(NodeId(0), Point::new(9.0, 9.0), key, Pseudonym(8), 5.0);
+        let info = s.lookup(NodeId(0)).unwrap();
+        assert_eq!(info.position, Point::new(9.0, 9.0));
+        assert_eq!(info.pseudonym, Pseudonym(8));
+        assert_eq!(info.registered_at, 5.0);
+    }
+
+    #[test]
+    fn session_start_policy_freezes_position_not_pseudonym() {
+        let mut s = LocationService::new(2, LocationPolicy::SessionStart);
+        let key = pk();
+        s.update(NodeId(0), Point::new(1.0, 1.0), key, Pseudonym(7), 0.0);
+        s.freeze(NodeId(0));
+        s.update(NodeId(0), Point::new(9.0, 9.0), key, Pseudonym(8), 5.0);
+        let info = s.lookup(NodeId(0)).unwrap();
+        assert_eq!(info.position, Point::new(1.0, 1.0), "position frozen");
+        assert_eq!(info.pseudonym, Pseudonym(8), "pseudonym still fresh");
+    }
+
+    #[test]
+    fn unfrozen_session_start_serves_registration() {
+        let mut s = LocationService::new(1, LocationPolicy::SessionStart);
+        s.update(NodeId(0), Point::new(3.0, 4.0), pk(), Pseudonym(1), 0.0);
+        assert_eq!(s.lookup(NodeId(0)).unwrap().position, Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn message_accounting() {
+        let mut s = LocationService::new(2, LocationPolicy::SessionStart);
+        s.update(NodeId(0), Point::ORIGIN, pk(), Pseudonym(1), 0.0); // 1
+        s.lookup(NodeId(0)); // 2
+        s.lookup(NodeId(1)); // 2
+        assert_eq!(s.messages, 5);
+    }
+
+    #[test]
+    fn overhead_ratio_is_small_when_nl_is_sqrt_n() {
+        // Section 4.3: with N_L ~ sqrt(N) and f << F the ratio must be << 1.
+        let s = LocationService::new(200, LocationPolicy::SessionStart);
+        assert_eq!(s.servers, 14); // sqrt(200) rounded
+        let ratio = s.overhead_ratio(200, 0.1, 10.0);
+        assert!(ratio < 0.05, "overhead ratio {ratio} not << 1");
+    }
+}

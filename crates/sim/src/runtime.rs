@@ -1,0 +1,695 @@
+//! The simulation world: ties the event queue, mobility, channel model,
+//! node registry, location service, traffic generator and metrics together
+//! around a pluggable routing protocol.
+
+use crate::api::{Api, DataRequest, Frame, FrameKind, ProtocolNode, TrafficClass};
+use crate::config::{LocationPolicy, MobilityKind, ScenarioConfig};
+use crate::engine::EventQueue;
+use crate::ids::{NodeId, PacketId, SessionId, TimerToken};
+use crate::location::LocationService;
+use crate::metrics::Metrics;
+use alert_crypto::{KeyPair, MacAddress, Pseudonym, PseudonymGenerator};
+use alert_geom::{Point, Rect, SpatialGrid};
+use alert_mobility::{
+    GroupMobility, GroupMobilityConfig, Mobility, RandomWaypoint, RandomWaypointConfig,
+    StaticField,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Wire size of a hello beacon (pseudonym + position + public key + MAC
+/// framing), bytes.
+const HELLO_BYTES: usize = 48;
+
+/// One observed wireless transmission — what a physical-layer eavesdropper
+/// can capture: time, transmitter position, frame size, and (ground truth
+/// for the experimenter) the resolved receiver and packet id.
+#[derive(Debug, Clone, Copy)]
+pub struct TxEvent {
+    /// Transmission start time.
+    pub time: f64,
+    /// Transmitting node (ground truth; an attacker sees only a position).
+    pub sender: NodeId,
+    /// Transmitter position.
+    pub sender_pos: Point,
+    /// Resolved unicast receiver, if any (ground truth).
+    pub receiver: Option<NodeId>,
+    /// Frame size in bytes (visible on air).
+    pub bytes: usize,
+    /// Traffic class (ground truth; on air everything is ciphertext).
+    pub class: TrafficClass,
+    /// Application packet id (ground truth).
+    pub packet: Option<PacketId>,
+}
+
+/// A passive observer of all channel activity; the adversary analyzers
+/// implement this.
+pub trait Observer {
+    /// Called for every transmission, at send time.
+    fn on_transmission(&mut self, ev: &TxEvent);
+    /// Called when the true destination receives an application packet.
+    fn on_delivery(&mut self, _time: f64, _node: NodeId, _packet: PacketId) {}
+}
+
+/// Internal event type.
+#[derive(Debug)]
+pub(crate) enum Event<M> {
+    Deliver { to: NodeId, frame: Frame<M> },
+    Timer { node: NodeId, token: TimerToken },
+    AppSend { session: SessionId, seq: u32 },
+    MobilityTick,
+    HelloTick,
+    LocationTick,
+}
+
+pub(crate) enum TxDest {
+    Unicast(Pseudonym),
+    Broadcast,
+}
+
+/// Per-node bookkeeping owned by the runtime.
+pub(crate) struct NodeInfo {
+    pub(crate) keypair: KeyPair,
+    pub(crate) pseudonyms: PseudonymHistory,
+    pub(crate) neighbors: Vec<crate::api::NeighborEntry>,
+    /// End time of this node's in-flight transmission (used only under
+    /// `MacConfig::serialize_tx`).
+    pub(crate) tx_busy_until: f64,
+}
+
+/// A node's current pseudonym plus one predecessor, kept so in-flight
+/// frames addressed just before a rotation still resolve (grace window).
+pub(crate) struct PseudonymHistory {
+    generator: PseudonymGenerator,
+    previous: Option<Pseudonym>,
+}
+
+impl PseudonymHistory {
+    fn new(generator: PseudonymGenerator) -> Self {
+        PseudonymHistory {
+            generator,
+            previous: None,
+        }
+    }
+
+    pub(crate) fn current(&self) -> Pseudonym {
+        self.generator.peek()
+    }
+
+    /// Rotates if expired; returns `Some(new)` when a rotation happened.
+    fn maybe_rotate(&mut self, now: f64, rng: &mut StdRng) -> Option<Pseudonym> {
+        let old = self.generator.peek();
+        let (p, rotated) = self.generator.current(now, rng);
+        if rotated {
+            self.previous = Some(old);
+            Some(p)
+        } else {
+            None
+        }
+    }
+}
+
+/// One CBR session (an S–D pair).
+#[derive(Debug, Clone, Copy)]
+pub struct Session {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// Everything in the world except the protocol instances (split so a
+/// protocol callback can borrow its own state and the world mutably at the
+/// same time).
+pub(crate) struct WorldCore<M> {
+    pub(crate) cfg: ScenarioConfig,
+    pub(crate) queue: EventQueue<Event<M>>,
+    pub(crate) mobility: Box<dyn Mobility>,
+    pub(crate) grid: SpatialGrid,
+    pub(crate) nodes: Vec<NodeInfo>,
+    pub(crate) pseudonym_map: HashMap<Pseudonym, NodeId>,
+    pub(crate) location: LocationService,
+    pub(crate) sessions: Vec<Session>,
+    pub(crate) metrics: Metrics,
+    pub(crate) rng: StdRng,
+    pub(crate) observers: Vec<Box<dyn Observer>>,
+}
+
+impl<M: Clone + std::fmt::Debug> WorldCore<M> {
+    pub(crate) fn position(&self, node: NodeId) -> Point {
+        self.mobility.position(node.0)
+    }
+
+    /// The channel model: computes airtime, resolves receivers, applies
+    /// loss, schedules deliveries and notifies observers.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn transmit(
+        &mut self,
+        from: NodeId,
+        dest: TxDest,
+        msg: M,
+        bytes: usize,
+        extra_delay: f64,
+        class: TrafficClass,
+        packet: Option<PacketId>,
+    ) {
+        let mac = self.cfg.mac;
+        let from_pos = self.position(from);
+        let contention = self.nodes[from.0].neighbors.len() as f64;
+        let backoff = if mac.max_backoff_s > 0.0 {
+            self.rng.gen_range(0.0..mac.max_backoff_s)
+        } else {
+            0.0
+        };
+        let airtime = mac.base_overhead_s
+            + backoff
+            + contention * mac.contention_per_neighbor_s
+            + bytes as f64 * 8.0 / mac.bitrate_bps;
+        let mut start = self.queue.now() + extra_delay;
+        if mac.serialize_tx {
+            // Half-duplex transmitter: wait out our own previous frame.
+            start = start.max(self.nodes[from.0].tx_busy_until);
+            self.nodes[from.0].tx_busy_until = start + airtime;
+        }
+        let at = start + airtime;
+        let from_pseudonym = self.nodes[from.0].pseudonyms.current();
+        self.metrics.energy_tx_j += airtime * self.cfg.energy.tx_watts;
+
+        // Overhead accounting by class.
+        match class {
+            TrafficClass::Data => {}
+            TrafficClass::Control => {
+                self.metrics.control_frames += 1;
+                self.metrics.control_bytes += bytes as u64;
+            }
+            TrafficClass::ControlHop => {
+                self.metrics.control_frames += 1;
+                self.metrics.control_bytes += bytes as u64;
+                self.metrics.control_hops += 1;
+            }
+            TrafficClass::Cover => {
+                self.metrics.cover_frames += 1;
+            }
+        }
+
+        let mut receiver = None;
+        match dest {
+            TxDest::Unicast(p) => {
+                if let Some(&to) = self.pseudonym_map.get(&p) {
+                    let in_range =
+                        self.position(to).distance(from_pos) <= mac.range_m && to != from;
+                    let lost = mac.loss_probability > 0.0
+                        && self.rng.gen_range(0.0..1.0) < mac.loss_probability;
+                    if !in_range {
+                        self.metrics.record_drop("unicast_out_of_range");
+                    } else if lost {
+                        self.metrics.record_drop("unicast_channel_loss");
+                    }
+                    if in_range && !lost {
+                        receiver = Some(to);
+                        self.metrics.energy_rx_j += airtime * self.cfg.energy.rx_watts;
+                        self.queue.schedule(
+                            at,
+                            Event::Deliver {
+                                to,
+                                frame: Frame {
+                                    from: from_pseudonym,
+                                    kind: FrameKind::Unicast,
+                                    bytes,
+                                    msg,
+                                },
+                            },
+                        );
+                    }
+                } else {
+                    self.metrics.record_drop("unicast_unknown_pseudonym");
+                }
+            }
+            TxDest::Broadcast => {
+                let mut targets = Vec::new();
+                self.grid.for_each_in_range(from_pos, mac.range_m, |id, _| {
+                    if id != from.0 {
+                        targets.push(NodeId(id));
+                    }
+                });
+                // Grid positions are one mobility tick stale; that models
+                // real beacon staleness and keeps the query O(1).
+                for to in targets {
+                    let lost = mac.loss_probability > 0.0
+                        && self.rng.gen_range(0.0..1.0) < mac.loss_probability;
+                    if !lost {
+                        self.metrics.energy_rx_j += airtime * self.cfg.energy.rx_watts;
+                        self.queue.schedule(
+                            at,
+                            Event::Deliver {
+                                to,
+                                frame: Frame {
+                                    from: from_pseudonym,
+                                    kind: FrameKind::Broadcast,
+                                    bytes,
+                                    msg: msg.clone(),
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        let ev = TxEvent {
+            time: self.queue.now(),
+            sender: from,
+            sender_pos: from_pos,
+            receiver,
+            bytes,
+            class,
+            packet,
+        };
+        for obs in &mut self.observers {
+            obs.on_transmission(&ev);
+        }
+    }
+
+    fn rebuild_grid(&mut self) {
+        let n = self.mobility.len();
+        let positions = (0..n).map(|i| (i, self.mobility.position(i)));
+        self.grid.rebuild(positions);
+    }
+
+    /// Hello tick: rotate expired pseudonyms, rebuild every node's
+    /// neighbor table from current geometry, and account beacon overhead.
+    fn hello_tick(&mut self) {
+        let now = self.queue.now();
+        // Pseudonym rotation first so tables carry fresh pseudonyms.
+        for i in 0..self.nodes.len() {
+            let maybe_new = self.nodes[i].pseudonyms.maybe_rotate(now, &mut self.rng);
+            if let Some(p) = maybe_new {
+                // Drop mapping older than the grace predecessor.
+                self.pseudonym_map.retain(|_, v| *v != NodeId(i));
+                if let Some(prev) = self.nodes[i].pseudonyms.previous {
+                    self.pseudonym_map.insert(prev, NodeId(i));
+                }
+                self.pseudonym_map.insert(p, NodeId(i));
+            }
+        }
+        // Neighbor-table eligibility margin: a link is only advertised if
+        // it stays within radio range until the next hello even when both
+        // endpoints move apart at full speed. This models the link-quality
+        // filtering every practical beacon protocol applies and avoids
+        // committing unicasts to edge-of-range neighbors.
+        let range = (self.cfg.mac.range_m
+            - 2.0 * self.cfg.speed * self.cfg.hello_interval_s)
+            .max(self.cfg.mac.range_m * 0.5);
+        for i in 0..self.nodes.len() {
+            let me = self.mobility.position(i);
+            let mut table = std::mem::take(&mut self.nodes[i].neighbors);
+            table.clear();
+            let mut ids = Vec::new();
+            self.grid.for_each_in_range(me, range, |id, pos| {
+                if id != i {
+                    ids.push((id, pos));
+                }
+            });
+            for (id, pos) in ids {
+                table.push(crate::api::NeighborEntry {
+                    pseudonym: self.nodes[id].pseudonyms.current(),
+                    position: pos,
+                    public_key: self.nodes[id].keypair.public,
+                    heard_at: now,
+                });
+            }
+            self.nodes[i].neighbors = table;
+        }
+        // Each node broadcast one beacon this interval; charge the beacon
+        // airtime (tx once per node, rx once per neighbor-table entry).
+        self.metrics.control_frames += self.nodes.len() as u64;
+        self.metrics.control_bytes += (self.nodes.len() * HELLO_BYTES) as u64;
+        let beacon_airtime =
+            self.cfg.mac.base_overhead_s + HELLO_BYTES as f64 * 8.0 / self.cfg.mac.bitrate_bps;
+        let entries: usize = self.nodes.iter().map(|n| n.neighbors.len()).sum();
+        self.metrics.energy_tx_j +=
+            beacon_airtime * self.cfg.energy.tx_watts * self.nodes.len() as f64;
+        self.metrics.energy_rx_j += beacon_airtime * self.cfg.energy.rx_watts * entries as f64;
+    }
+
+    fn location_tick(&mut self) {
+        let now = self.queue.now();
+        for i in 0..self.nodes.len() {
+            let pos = self.mobility.position(i);
+            let key = self.nodes[i].keypair.public;
+            let pseudo = self.nodes[i].pseudonyms.current();
+            self.location.update(NodeId(i), pos, key, pseudo, now);
+        }
+        self.metrics.location_messages = self.location.messages;
+    }
+}
+
+/// The simulation world, generic over the routing protocol.
+pub struct World<P: ProtocolNode> {
+    core: WorldCore<P::Msg>,
+    protos: Vec<Option<P>>,
+    started_sessions: Vec<bool>,
+}
+
+impl<P: ProtocolNode> World<P> {
+    /// Builds a world from a scenario and seed; `factory(id)` constructs
+    /// the protocol instance for each node.
+    ///
+    /// # Panics
+    /// Panics when the scenario fails [`ScenarioConfig::validate`].
+    pub fn new(
+        cfg: ScenarioConfig,
+        seed: u64,
+        factory: impl FnMut(NodeId, &ScenarioConfig) -> P,
+    ) -> Self {
+        match Self::try_new(cfg, seed, factory) {
+            Ok(w) => w,
+            Err(e) => panic!("invalid scenario: {e}"),
+        }
+    }
+
+    /// Non-panicking constructor: returns the validation error instead.
+    pub fn try_new(
+        cfg: ScenarioConfig,
+        seed: u64,
+        factory: impl FnMut(NodeId, &ScenarioConfig) -> P,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        let field = cfg.field();
+        let mobility: Box<dyn Mobility> = match cfg.mobility {
+            MobilityKind::RandomWaypoint => Box::new(RandomWaypoint::new(
+                field,
+                RandomWaypointConfig::fixed_speed(cfg.nodes, cfg.speed),
+                seed ^ 0x0B0B_5EED,
+            )),
+            MobilityKind::Group { groups, range } => Box::new(GroupMobility::new(
+                field,
+                GroupMobilityConfig::paper(cfg.nodes, groups, range, cfg.speed),
+                seed ^ 0x0B0B_5EED,
+            )),
+            MobilityKind::Static => Box::new(StaticField::uniform(field, cfg.nodes, seed ^ 0x0B0B_5EED)),
+        };
+        Ok(Self::with_mobility(cfg, seed, mobility, None, factory))
+    }
+
+    /// Builds a world over an explicit static topology with explicit
+    /// sessions — the researcher's API for crafted-geometry experiments
+    /// (voids, corridors, adversarial placements). `cfg.nodes` is
+    /// overridden by `positions.len()`; `cfg.mobility` is ignored.
+    pub fn with_topology(
+        mut cfg: ScenarioConfig,
+        seed: u64,
+        positions: Vec<Point>,
+        sessions: Vec<Session>,
+        factory: impl FnMut(NodeId, &ScenarioConfig) -> P,
+    ) -> Self {
+        cfg.nodes = positions.len();
+        cfg.mobility = MobilityKind::Static;
+        cfg.traffic.pairs = sessions.len();
+        let field = cfg.field();
+        let mobility: Box<dyn Mobility> = Box::new(StaticField::at(field, positions));
+        Self::with_mobility(cfg, seed, mobility, Some(sessions), factory)
+    }
+
+    fn with_mobility(
+        cfg: ScenarioConfig,
+        seed: u64,
+        mobility: Box<dyn Mobility>,
+        sessions_override: Option<Vec<Session>>,
+        mut factory: impl FnMut(NodeId, &ScenarioConfig) -> P,
+    ) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_A1E7);
+        let field = cfg.field();
+        let _ = field;
+
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        let mut pseudonym_map = HashMap::with_capacity(cfg.nodes * 2);
+        for i in 0..cfg.nodes {
+            let keypair = KeyPair::generate(&mut rng);
+            let generator = PseudonymGenerator::new(
+                MacAddress::from_index(i as u64),
+                cfg.pseudonym_lifetime_s,
+                0.0,
+                &mut rng,
+            );
+            let history = PseudonymHistory::new(generator);
+            pseudonym_map.insert(history.current(), NodeId(i));
+            nodes.push(NodeInfo {
+                keypair,
+                pseudonyms: history,
+                neighbors: Vec::new(),
+                tx_busy_until: 0.0,
+            });
+        }
+
+        // Random distinct S-D pairs, unless explicit sessions were given.
+        let sessions: Vec<Session> = match sessions_override {
+            Some(s) => {
+                assert!(
+                    s.iter().all(|x| x.src.0 < cfg.nodes && x.dst.0 < cfg.nodes),
+                    "session endpoints out of range"
+                );
+                s
+            }
+            None => {
+                let mut ids: Vec<usize> = (0..cfg.nodes).collect();
+                for i in (1..ids.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    ids.swap(i, j);
+                }
+                (0..cfg.traffic.pairs)
+                    .map(|p| Session {
+                        src: NodeId(ids[2 * p]),
+                        dst: NodeId(ids[2 * p + 1]),
+                    })
+                    .collect()
+            }
+        };
+
+        let mut core = WorldCore {
+            grid: SpatialGrid::new(field, cfg.mac.range_m),
+            location: LocationService::new(cfg.nodes, cfg.location),
+            queue: EventQueue::new(),
+            mobility,
+            nodes,
+            pseudonym_map,
+            sessions,
+            metrics: Metrics::default(),
+            rng,
+            observers: Vec::new(),
+            cfg,
+        };
+        core.rebuild_grid();
+        core.hello_tick();
+        core.location_tick();
+
+        // Periodic machinery.
+        let cfg = &core.cfg;
+        core.queue.schedule(cfg.mobility_tick_s, Event::MobilityTick);
+        core.queue.schedule(cfg.hello_interval_s, Event::HelloTick);
+        let loc_interval = match cfg.location {
+            LocationPolicy::Periodic { interval_s } => interval_s,
+            LocationPolicy::SessionStart => 1.0,
+        };
+        core.queue.schedule(loc_interval, Event::LocationTick);
+        for (s, _) in core.sessions.iter().enumerate() {
+            // Small deterministic stagger decorrelates the pairs.
+            let start = cfg.traffic.start_s + s as f64 * 0.037;
+            core.queue.schedule(
+                start,
+                Event::AppSend {
+                    session: SessionId(s as u32),
+                    seq: 0,
+                },
+            );
+        }
+
+        let protos: Vec<Option<P>> = (0..core.cfg.nodes)
+            .map(|i| Some(factory(NodeId(i), &core.cfg)))
+            .collect();
+        let started_sessions = vec![false; core.sessions.len()];
+        let mut world = World {
+            core,
+            protos,
+            started_sessions,
+        };
+        for i in 0..world.core.cfg.nodes {
+            world.with_proto(NodeId(i), |p, api| p.on_start(api));
+        }
+        world
+    }
+
+    /// Registers a channel observer (adversary analyzers).
+    pub fn add_observer(&mut self, obs: Box<dyn Observer>) {
+        self.core.observers.push(obs);
+    }
+
+    /// Removes and returns all observers (to inspect after a run).
+    pub fn take_observers(&mut self) -> Vec<Box<dyn Observer>> {
+        std::mem::take(&mut self.core.observers)
+    }
+
+    fn with_proto(&mut self, node: NodeId, f: impl FnOnce(&mut P, &mut Api<'_, P::Msg>)) {
+        let mut proto = self.protos[node.0].take().expect("protocol re-entered");
+        let mut api = Api {
+            core: &mut self.core,
+            node,
+            pending_delay: 0.0,
+        };
+        f(&mut proto, &mut api);
+        self.protos[node.0] = Some(proto);
+    }
+
+    fn dispatch(&mut self, event: Event<P::Msg>) {
+        match event {
+            Event::Deliver { to, frame } => {
+                self.with_proto(to, |p, api| p.on_frame(api, frame));
+            }
+            Event::Timer { node, token } => {
+                self.with_proto(node, |p, api| p.on_timer(api, token));
+            }
+            Event::AppSend { session, seq } => {
+                let s = self.core.sessions[session.0 as usize];
+                let now = self.core.queue.now();
+                // Under the no-update condition, the destination's served
+                // position freezes when its session first sends.
+                if !self.started_sessions[session.0 as usize] {
+                    self.started_sessions[session.0 as usize] = true;
+                    if self.core.cfg.location == LocationPolicy::SessionStart {
+                        self.core.location.freeze(s.dst);
+                    }
+                }
+                let bytes = self.core.cfg.traffic.packet_bytes;
+                let pkt = self
+                    .core
+                    .metrics
+                    .register_packet(session, seq, s.src, s.dst, now, bytes);
+                let req = DataRequest {
+                    packet: pkt,
+                    session,
+                    seq,
+                    dst: s.dst,
+                    bytes,
+                };
+                self.with_proto(s.src, |p, api| p.on_data_request(api, &req));
+                let next = now + self.core.cfg.traffic.interval_s;
+                if next < self.core.cfg.duration_s {
+                    self.core
+                        .queue
+                        .schedule(next, Event::AppSend { session, seq: seq + 1 });
+                }
+            }
+            Event::MobilityTick => {
+                let dt = self.core.cfg.mobility_tick_s;
+                self.core.mobility.step(dt);
+                self.core.rebuild_grid();
+                if self.core.queue.now() + dt <= self.core.cfg.duration_s {
+                    self.core.queue.schedule_in(dt, Event::MobilityTick);
+                }
+            }
+            Event::HelloTick => {
+                self.core.hello_tick();
+                let dt = self.core.cfg.hello_interval_s;
+                if self.core.queue.now() + dt <= self.core.cfg.duration_s {
+                    self.core.queue.schedule_in(dt, Event::HelloTick);
+                }
+            }
+            Event::LocationTick => {
+                self.core.location_tick();
+                let dt = match self.core.cfg.location {
+                    LocationPolicy::Periodic { interval_s } => interval_s,
+                    LocationPolicy::SessionStart => 1.0,
+                };
+                if self.core.queue.now() + dt <= self.core.cfg.duration_s {
+                    self.core.queue.schedule_in(dt, Event::LocationTick);
+                }
+            }
+        }
+    }
+
+    /// Processes events up to simulated time `t` (capped at the scenario
+    /// duration plus a grace second for in-flight frames). Returns `false`
+    /// when the event queue has drained.
+    pub fn run_until(&mut self, t: f64) -> bool {
+        let horizon = t.min(self.core.cfg.duration_s + 1.0);
+        while let Some(next) = self.core.queue.peek_time() {
+            if next > horizon {
+                return true;
+            }
+            let (_, ev) = self.core.queue.pop().expect("peeked");
+            self.dispatch(ev);
+        }
+        false
+    }
+
+    /// Runs the scenario to completion (duration plus in-flight grace).
+    pub fn run(&mut self) {
+        self.run_until(f64::INFINITY);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.core.queue.now()
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// The S–D sessions of this run.
+    pub fn sessions(&self) -> &[Session] {
+        &self.core.sessions
+    }
+
+    /// Ground-truth position of a node (experimenter access).
+    pub fn position(&self, node: NodeId) -> Point {
+        self.core.position(node)
+    }
+
+    /// Ground-truth ids of all nodes within `radius` metres of `center`
+    /// (e.g. the physical recipients of a broadcast from that point).
+    pub fn nodes_within(&self, center: Point, radius: f64) -> Vec<NodeId> {
+        (0..self.core.cfg.nodes)
+            .filter(|&i| self.core.mobility.position(i).distance(center) <= radius)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Ground-truth ids of all nodes currently inside `zone`.
+    pub fn nodes_in_zone(&self, zone: &Rect) -> Vec<NodeId> {
+        (0..self.core.cfg.nodes)
+            .filter(|&i| zone.contains(self.core.mobility.position(i)))
+            .map(NodeId)
+            .collect()
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.core.cfg
+    }
+
+    /// The location service (message accounting, policy).
+    pub fn location(&self) -> &LocationService {
+        &self.core.location
+    }
+
+    /// Read access to a node's protocol instance (experiment analysis).
+    pub fn protocol(&self, node: NodeId) -> &P {
+        self.protos[node.0].as_ref().expect("protocol in flight")
+    }
+
+    /// A node's current pseudonym (experimenter access).
+    pub fn node_pseudonym(&self, node: NodeId) -> Pseudonym {
+        self.core.nodes[node.0].pseudonyms.current()
+    }
+
+    /// Resolves a pseudonym (current or grace predecessor) to its owner.
+    pub fn pseudonym_owner(&self, pseudonym: Pseudonym) -> Option<NodeId> {
+        self.core.pseudonym_map.get(&pseudonym).copied()
+    }
+}

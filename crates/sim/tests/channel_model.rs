@@ -1,0 +1,167 @@
+//! Channel-model behavior: the stochastic MAC abstraction must respond to
+//! its knobs the way a real 802.11 channel responds to load, loss, and
+//! bitrate — these are the mechanisms behind the paper's density and
+//! efficiency trends.
+
+use alert_sim::{
+    Api, DataRequest, Frame, NodeId, ProtocolNode, ScenarioConfig, Session, TrafficClass, World,
+};
+use alert_geom::Point;
+
+/// Single-hop relay chain protocol: forwards along a fixed next-node
+/// chain (node i -> node i+1) until the destination. Lets us measure
+/// per-hop channel behavior without routing noise.
+struct Chain;
+
+#[derive(Debug, Clone)]
+struct ChainMsg {
+    packet: alert_sim::PacketId,
+    bytes: usize,
+    hop: usize,
+}
+
+impl ProtocolNode for Chain {
+    type Msg = ChainMsg;
+    fn name() -> &'static str {
+        "CHAIN"
+    }
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        let me = api.my_id().0;
+        // Next node in the chain is my id + 1; resolve via neighbor table
+        // order is unreliable, so the test topology spaces nodes within
+        // range and we address by position match.
+        let next = api
+            .neighbors()
+            .into_iter()
+            .find(|n| n.position.x > api.my_pos().x + 1.0);
+        if let Some(n) = next {
+            api.mark_hop(req.packet);
+            api.send_unicast(
+                n.pseudonym,
+                ChainMsg {
+                    packet: req.packet,
+                    bytes: req.bytes,
+                    hop: me + 1,
+                },
+                req.bytes,
+                TrafficClass::Data,
+                Some(req.packet),
+            );
+        }
+    }
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        let m = frame.msg;
+        if api.is_true_destination(m.packet) {
+            api.mark_delivered(m.packet);
+            return;
+        }
+        let next = api
+            .neighbors()
+            .into_iter()
+            .find(|n| n.position.x > api.my_pos().x + 1.0);
+        if let Some(n) = next {
+            api.mark_hop(m.packet);
+            api.send_unicast(
+                n.pseudonym,
+                ChainMsg {
+                    packet: m.packet,
+                    bytes: m.bytes,
+                    hop: m.hop + 1,
+                },
+                m.bytes,
+                TrafficClass::Data,
+                Some(m.packet),
+            );
+        }
+    }
+}
+
+/// A 5-node west-to-east chain, 200 m spacing (radio range 250 m: each
+/// node reaches exactly its chain neighbors).
+fn chain_world(mut cfg: ScenarioConfig, seed: u64) -> World<Chain> {
+    let positions: Vec<Point> = (0..5).map(|i| Point::new(60.0 + 200.0 * i as f64, 500.0)).collect();
+    cfg.duration_s = 20.0;
+    let sessions = vec![Session {
+        src: NodeId(0),
+        dst: NodeId(4),
+    }];
+    World::with_topology(cfg, seed, positions, sessions, |_, _| Chain)
+}
+
+#[test]
+fn chain_delivers_over_four_hops() {
+    let mut w = chain_world(ScenarioConfig::default(), 1);
+    w.run();
+    let m = w.metrics();
+    assert!(m.delivery_rate() > 0.99, "rate {}", m.delivery_rate());
+    assert!((m.hops_per_packet() - 4.0).abs() < 0.01, "hops {}", m.hops_per_packet());
+}
+
+#[test]
+fn latency_scales_with_payload_at_fixed_bitrate() {
+    // Double the payload: per-hop serialization time doubles its share.
+    let mut small_cfg = ScenarioConfig::default();
+    small_cfg.traffic.packet_bytes = 256;
+    let mut big_cfg = ScenarioConfig::default();
+    big_cfg.traffic.packet_bytes = 2048;
+    let mut small = chain_world(small_cfg, 2);
+    small.run();
+    let mut big = chain_world(big_cfg, 2);
+    big.run();
+    let (ls, lb) = (
+        small.metrics().mean_latency().unwrap(),
+        big.metrics().mean_latency().unwrap(),
+    );
+    // 4 hops x (2048-256)*8/2e6 = ~28.7 ms extra.
+    let extra_ms = (lb - ls) * 1000.0;
+    assert!(
+        (20.0..40.0).contains(&extra_ms),
+        "payload scaling off: +{extra_ms:.1} ms"
+    );
+}
+
+#[test]
+fn higher_bitrate_cuts_latency() {
+    let slow = ScenarioConfig::default(); // 2 Mb/s
+    let mut fast = ScenarioConfig::default();
+    fast.mac.bitrate_bps = 11_000_000.0;
+    let mut w_slow = chain_world(slow, 3);
+    w_slow.run();
+    let mut w_fast = chain_world(fast, 3);
+    w_fast.run();
+    assert!(
+        w_fast.metrics().mean_latency().unwrap() < w_slow.metrics().mean_latency().unwrap(),
+        "11 Mb/s must beat 2 Mb/s"
+    );
+}
+
+#[test]
+fn channel_loss_kills_chain_delivery_geometrically() {
+    // Four hops at per-frame loss p: delivery ~ (1-p)^4 without recovery.
+    let mut lossy = ScenarioConfig::default();
+    lossy.mac.loss_probability = 0.2;
+    let mut w = chain_world(lossy, 4);
+    w.run();
+    let rate = w.metrics().delivery_rate();
+    let expected = 0.8f64.powi(4); // ~0.41
+    assert!(
+        (rate - expected).abs() < 0.2,
+        "4-hop delivery under 20% loss should be near {expected:.2}, got {rate:.2}"
+    );
+    assert!(
+        w.metrics().drops.contains_key("unicast_channel_loss"),
+        "loss drops must be accounted"
+    );
+}
+
+#[test]
+fn zero_duration_grace_lets_in_flight_frames_land() {
+    // Frames sent just before the duration boundary still deliver within
+    // the grace second.
+    let mut cfg = ScenarioConfig::default();
+    cfg.traffic.start_s = 19.9; // single send right at the end
+    cfg.traffic.interval_s = 100.0;
+    let mut w = chain_world(cfg, 5);
+    w.run();
+    assert!(w.metrics().delivery_rate() > 0.99);
+}

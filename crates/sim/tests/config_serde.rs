@@ -1,0 +1,41 @@
+//! Scenario configurations are the unit of experiment description; they
+//! must survive serialization round-trips bit for bit so experiment specs
+//! can be stored and replayed.
+
+use alert_sim::{LocationPolicy, MobilityKind, ScenarioConfig};
+
+fn roundtrip(cfg: &ScenarioConfig) -> ScenarioConfig {
+    let json = serde_json::to_string(cfg).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn default_scenario_roundtrips() {
+    let cfg = ScenarioConfig::default();
+    assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn exotic_scenario_roundtrips() {
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(321)
+        .with_speed(7.25)
+        .with_duration(12.5)
+        .with_location(LocationPolicy::SessionStart)
+        .with_mobility(MobilityKind::Group {
+            groups: 7,
+            range: 123.0,
+        });
+    cfg.mac.loss_probability = 0.03;
+    cfg.traffic.packet_bytes = 1024;
+    cfg.pseudonym_lifetime_s = 12.0;
+    assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn serialized_form_is_human_editable() {
+    let json = serde_json::to_string_pretty(&ScenarioConfig::default()).unwrap();
+    for field in ["field_w", "nodes", "speed", "mobility", "range_m", "duration_s"] {
+        assert!(json.contains(field), "missing field {field} in\n{json}");
+    }
+}

@@ -1,0 +1,118 @@
+//! The crypto cost model must actually delay frames: a protocol that
+//! charges public-key work before transmitting sees the charge on the
+//! wire, and a destination's decryption delays the recorded delivery.
+
+use alert_sim::{
+    Api, DataRequest, Frame, NodeId, ProtocolNode, ScenarioConfig, Session, TrafficClass, World,
+};
+use alert_geom::Point;
+
+/// Sender charges `PK_OPS` public-key encryptions before each send;
+/// receiver delivers immediately.
+struct Charged {
+    pk_ops: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Msg {
+    packet: alert_sim::PacketId,
+    #[allow(dead_code)] // models the payload; only its wire size matters
+    bytes: usize,
+}
+
+impl ProtocolNode for Charged {
+    type Msg = Msg;
+    fn name() -> &'static str {
+        "CHARGED"
+    }
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        api.charge_pk_encrypt(self.pk_ops);
+        let next = api.neighbors()[0].pseudonym;
+        api.mark_hop(req.packet);
+        api.send_unicast(
+            next,
+            Msg {
+                packet: req.packet,
+                bytes: req.bytes,
+            },
+            req.bytes,
+            TrafficClass::Data,
+            Some(req.packet),
+        );
+    }
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        if api.is_true_destination(frame.msg.packet) {
+            api.mark_delivered(frame.msg.packet);
+        }
+    }
+}
+
+fn latency_with(pk_ops: u64) -> f64 {
+    let mut cfg = ScenarioConfig::default().with_duration(10.0);
+    cfg.traffic.interval_s = 100.0;
+    let positions = vec![Point::new(100.0, 500.0), Point::new(300.0, 500.0)];
+    let sessions = vec![Session {
+        src: NodeId(0),
+        dst: NodeId(1),
+    }];
+    let mut w = World::with_topology(cfg, 1, positions, sessions, |_, _| Charged { pk_ops });
+    w.run();
+    w.metrics().mean_latency().expect("delivered")
+}
+
+#[test]
+fn charged_crypto_delays_the_wire() {
+    let base = latency_with(0);
+    let one = latency_with(1);
+    let four = latency_with(4);
+    // Each pk op is 250 ms under the paper model.
+    assert!((one - base - 0.25).abs() < 0.01, "one op added {:.3}s", one - base);
+    assert!((four - base - 1.0).abs() < 0.02, "four ops added {:.3}s", four - base);
+}
+
+#[test]
+fn receiver_side_charge_delays_delivery_timestamp() {
+    struct SlowReceiver;
+    impl ProtocolNode for SlowReceiver {
+        type Msg = Msg;
+        fn name() -> &'static str {
+            "SLOWRX"
+        }
+        fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+            let next = api.neighbors()[0].pseudonym;
+            api.mark_hop(req.packet);
+            api.send_unicast(
+                next,
+                Msg {
+                    packet: req.packet,
+                    bytes: req.bytes,
+                },
+                req.bytes,
+                TrafficClass::Data,
+                Some(req.packet),
+            );
+        }
+        fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+            if api.is_true_destination(frame.msg.packet) {
+                // Decrypt before accepting: the latency metric must
+                // include this processing time.
+                api.charge_pk_decrypt(1);
+                api.mark_delivered(frame.msg.packet);
+            }
+        }
+    }
+    let mut cfg = ScenarioConfig::default().with_duration(10.0);
+    cfg.traffic.interval_s = 100.0;
+    let positions = vec![Point::new(100.0, 500.0), Point::new(300.0, 500.0)];
+    let sessions = vec![Session {
+        src: NodeId(0),
+        dst: NodeId(1),
+    }];
+    let mut w = World::with_topology(cfg, 1, positions, sessions, |_, _| SlowReceiver);
+    w.run();
+    let lat = w.metrics().mean_latency().unwrap();
+    assert!(
+        lat > 0.25,
+        "receiver decryption (250 ms) must land in the latency, got {lat:.3}s"
+    );
+}

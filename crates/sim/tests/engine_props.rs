@@ -1,0 +1,71 @@
+//! Property-based tests of the event queue's determinism contract.
+
+use alert_sim::EventQueue;
+use proptest::prelude::*;
+
+proptest! {
+    /// Pops always come out in nondecreasing time order.
+    #[test]
+    fn pops_are_time_ordered(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(*t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Events at identical timestamps preserve insertion order (FIFO).
+    #[test]
+    fn equal_times_fifo(groups in proptest::collection::vec((0.0f64..100.0, 1usize..10), 1..20)) {
+        let mut q = EventQueue::new();
+        let mut id = 0usize;
+        for (t, n) in &groups {
+            for _ in 0..*n {
+                q.schedule(*t, (*t, id));
+                id += 1;
+            }
+        }
+        let mut seen_per_time: std::collections::HashMap<u64, usize> = Default::default();
+        while let Some((t, (_, eid))) = q.pop() {
+            // Within one timestamp, ids must be increasing.
+            let key = t.to_bits();
+            if let Some(prev) = seen_per_time.get(&key) {
+                prop_assert!(eid > *prev, "FIFO violated at t={t}");
+            }
+            seen_per_time.insert(key, eid);
+        }
+    }
+
+    /// Every scheduled event is eventually popped exactly once.
+    #[test]
+    fn conservation(times in proptest::collection::vec(0.0f64..1e3, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(*t, i);
+        }
+        let mut popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// Interleaving schedules with pops never reorders the past: an event
+    /// scheduled with a delay lands at or after the current clock.
+    #[test]
+    fn no_time_travel(ops in proptest::collection::vec((0.0f64..100.0, any::<bool>()), 1..100)) {
+        let mut q = EventQueue::new();
+        let mut clock = 0.0f64;
+        for (t, do_pop) in ops {
+            q.schedule_in(t, ());
+            if do_pop {
+                if let Some((at, ())) = q.pop() {
+                    prop_assert!(at >= clock);
+                    clock = at;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end exercises of the simulator runtime with a minimal flooding
+//! protocol — validates delivery, determinism, metrics plumbing, the
+//! location service, and the observer hook before any real routing
+//! protocol exists on top.
+
+use alert_sim::{
+    Api, DataRequest, Frame, LocationPolicy, MobilityKind, NodeId, Observer, PacketId,
+    ProtocolNode, ScenarioConfig, TrafficClass, TxEvent, World,
+};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Controlled flooding: every node rebroadcasts each packet once, with a
+/// hop budget. Dumb but delivery-complete on a connected network.
+#[derive(Default)]
+struct Flood {
+    seen: HashSet<(PacketId, u32)>,
+}
+
+#[derive(Debug, Clone)]
+struct FloodMsg {
+    packet: PacketId,
+    ttl: u32,
+    bytes: usize,
+}
+
+impl ProtocolNode for Flood {
+    type Msg = FloodMsg;
+
+    fn name() -> &'static str {
+        "FLOOD"
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        api.mark_hop(req.packet);
+        api.send_broadcast(
+            FloodMsg {
+                packet: req.packet,
+                ttl: 8,
+                bytes: req.bytes,
+            },
+            req.bytes,
+            TrafficClass::Data,
+            Some(req.packet),
+        );
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        let m = frame.msg;
+        if !self.seen.insert((m.packet, 0)) {
+            return;
+        }
+        if api.is_true_destination(m.packet) {
+            api.mark_delivered(m.packet);
+            return;
+        }
+        if m.ttl > 0 {
+            api.mark_hop(m.packet);
+            api.send_broadcast(
+                FloodMsg {
+                    packet: m.packet,
+                    ttl: m.ttl - 1,
+                    bytes: m.bytes,
+                },
+                m.bytes,
+                TrafficClass::Data,
+                Some(m.packet),
+            );
+        }
+    }
+}
+
+fn small_scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(60)
+        .with_duration(20.0);
+    cfg.traffic.pairs = 4;
+    cfg
+}
+
+fn run_flood(cfg: ScenarioConfig, seed: u64) -> World<Flood> {
+    let mut w = World::new(cfg, seed, |_, _| Flood::default());
+    w.run();
+    w
+}
+
+#[test]
+fn flooding_delivers_on_dense_network() {
+    let w = run_flood(small_scenario(), 1);
+    let m = w.metrics();
+    assert!(m.packets_sent() > 0, "traffic generator produced packets");
+    let rate = m.delivery_rate();
+    assert!(rate > 0.9, "flooding on a dense field must deliver, got {rate}");
+    let latency = m.mean_latency().expect("some deliveries");
+    assert!(latency > 0.0 && latency < 1.0, "latency {latency}s out of range");
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let a = run_flood(small_scenario(), 7);
+    let b = run_flood(small_scenario(), 7);
+    assert_eq!(a.metrics().packets_sent(), b.metrics().packets_sent());
+    assert_eq!(a.metrics().delivery_rate(), b.metrics().delivery_rate());
+    assert_eq!(a.metrics().mean_latency(), b.metrics().mean_latency());
+    assert_eq!(a.metrics().hops_per_packet(), b.metrics().hops_per_packet());
+    assert_eq!(a.metrics().control_frames, b.metrics().control_frames);
+    let c = run_flood(small_scenario(), 8);
+    // Different seed: placements differ, so at minimum hop counts differ.
+    assert!(
+        a.metrics().hops_per_packet() != c.metrics().hops_per_packet()
+            || a.metrics().mean_latency() != c.metrics().mean_latency(),
+        "seeds 7 and 8 produced identical runs"
+    );
+}
+
+#[test]
+fn sessions_use_distinct_endpoints() {
+    let w = run_flood(small_scenario(), 3);
+    let mut seen = HashSet::new();
+    for s in w.sessions() {
+        assert_ne!(s.src, s.dst);
+        assert!(seen.insert(s.src), "source reused");
+        assert!(seen.insert(s.dst), "destination reused");
+    }
+}
+
+#[test]
+fn hello_overhead_is_accounted() {
+    let w = run_flood(small_scenario(), 4);
+    let m = w.metrics();
+    // 60 nodes, 20 s, 1 s hello interval -> at least 60 * 20 beacons.
+    assert!(
+        m.control_frames >= 60 * 20,
+        "expected >= 1200 hello beacons, got {}",
+        m.control_frames
+    );
+    assert!(m.control_bytes > 0);
+}
+
+#[test]
+fn location_service_policy_freezes_destinations() {
+    let mut cfg = small_scenario().with_location(LocationPolicy::SessionStart);
+    cfg.speed = 8.0;
+    let w = run_flood(cfg, 5);
+    assert!(w.location().messages > 0);
+}
+
+#[test]
+fn observer_sees_all_transmissions() {
+    struct Counter(Arc<AtomicU64>);
+    impl Observer for Counter {
+        fn on_transmission(&mut self, _ev: &TxEvent) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let count = Arc::new(AtomicU64::new(0));
+    let mut w = World::new(small_scenario(), 6, |_, _| Flood::default());
+    w.add_observer(Box::new(Counter(count.clone())));
+    w.run();
+    let seen = count.load(Ordering::Relaxed);
+    // Every data frame is a transmission; hellos are implicit (not frames),
+    // so the observer count tracks protocol transmissions only.
+    let hops: u64 = w.metrics().packets.iter().map(|p| u64::from(p.hops)).sum();
+    assert_eq!(seen, hops, "observer must see exactly the data transmissions");
+}
+
+#[test]
+fn static_mobility_keeps_positions() {
+    let cfg = small_scenario().with_mobility(MobilityKind::Static);
+    let mut w = World::new(cfg, 9, |_, _| Flood::default());
+    let p0: Vec<_> = (0..10).map(|i| w.position(NodeId(i))).collect();
+    w.run();
+    let p1: Vec<_> = (0..10).map(|i| w.position(NodeId(i))).collect();
+    assert_eq!(p0, p1);
+}
+
+#[test]
+fn group_mobility_runs() {
+    // Groups wide enough to keep the sparse 60-node field connected; the
+    // tight-cluster partition case is exercised by Fig. 17.
+    let cfg = small_scenario().with_mobility(MobilityKind::Group {
+        groups: 6,
+        range: 300.0,
+    });
+    let w = run_flood(cfg, 10);
+    assert!(w.metrics().delivery_rate() > 0.5);
+}
+
+#[test]
+fn run_until_supports_time_slicing() {
+    let mut w = World::new(small_scenario(), 11, |_, _| Flood::default());
+    let mut steps = 0;
+    let mut t = 0.0;
+    while t < 20.0 {
+        t += 2.0;
+        w.run_until(t);
+        assert!(w.now() <= t + 1e-9);
+        steps += 1;
+    }
+    assert_eq!(steps, 10);
+    w.run();
+    assert!(w.metrics().delivery_rate() > 0.9);
+}
+
+#[test]
+fn nodes_in_zone_matches_positions() {
+    let w = run_flood(small_scenario(), 12);
+    let zone = alert_geom::Rect::new(
+        alert_geom::Point::new(0.0, 0.0),
+        alert_geom::Point::new(500.0, 500.0),
+    );
+    for id in w.nodes_in_zone(&zone) {
+        assert!(zone.contains(w.position(id)));
+    }
+}

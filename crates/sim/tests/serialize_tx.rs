@@ -1,0 +1,65 @@
+//! The half-duplex transmitter option: back-to-back sends from one node
+//! must serialize when `serialize_tx` is on and may overlap when off.
+
+use alert_sim::{Api, DataRequest, Frame, ProtocolNode, ScenarioConfig, TrafficClass, World};
+use std::sync::{Arc, Mutex};
+
+/// Sends a burst of 10 broadcasts per data request; receivers record
+/// frame arrival times into a shared log.
+struct Burst {
+    arrivals: Arc<Mutex<Vec<f64>>>,
+}
+
+impl ProtocolNode for Burst {
+    type Msg = u32;
+    fn name() -> &'static str {
+        "BURST"
+    }
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        for i in 0..10 {
+            api.send_broadcast(i, req.bytes, TrafficClass::Data, Some(req.packet));
+            api.mark_hop(req.packet);
+        }
+    }
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, _frame: Frame<Self::Msg>) {
+        self.arrivals.lock().unwrap().push(api.now());
+    }
+}
+
+/// Returns the span between the first and last frame arrival.
+fn run(serialize: bool) -> f64 {
+    let mut cfg = ScenarioConfig::default().with_nodes(20).with_duration(5.0);
+    cfg.traffic.pairs = 1;
+    cfg.traffic.interval_s = 100.0; // single burst
+    cfg.mac.serialize_tx = serialize;
+    let arrivals: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let handle = arrivals.clone();
+    let mut w = World::new(cfg, 3, move |_, _| Burst {
+        arrivals: handle.clone(),
+    });
+    w.run();
+    let log = arrivals.lock().unwrap();
+    assert!(!log.is_empty(), "burst reached nobody");
+    let (min, max) = log
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &t| {
+            (lo.min(t), hi.max(t))
+        });
+    max - min
+}
+
+#[test]
+fn serialization_stretches_bursts() {
+    let overlapped = run(false);
+    let serialized = run(true);
+    assert!(
+        serialized > overlapped + 0.01,
+        "10-frame burst arrival span should stretch under half-duplex: \
+{overlapped:.4}s -> {serialized:.4}s"
+    );
+}
+
+#[test]
+fn default_mac_does_not_serialize() {
+    assert!(!ScenarioConfig::default().mac.serialize_tx);
+}

@@ -1,0 +1,114 @@
+//! Anonymity audit: subject one ALERT deployment to the paper's three
+//! attack classes (Sections 3.1–3.3) and print a report.
+//!
+//! ```text
+//! cargo run --release --example anonymity_audit
+//! cargo run --release --example anonymity_audit -- --defense
+//! ```
+
+use alert::adversary::{
+    belief_entropy, correlate, uniform_belief, IntersectionAttack, RecipientSet, TrafficLog,
+};
+use alert::prelude::*;
+
+fn main() {
+    let defense = std::env::args().any(|a| a == "--defense");
+    let mut scenario = ScenarioConfig::default().with_duration(60.0);
+    scenario.speed = 4.0;
+    scenario.traffic.pairs = 1; // one monitored channel
+    let acfg = if defense {
+        AlertConfig::default().with_intersection_defense(3)
+    } else {
+        AlertConfig::default()
+    };
+
+    println!(
+        "Auditing ALERT ({}) — one S-D channel under full passive observation\n",
+        if defense {
+            "intersection defense ON"
+        } else {
+            "intersection defense OFF"
+        }
+    );
+
+    let (log, capture) = TrafficLog::new();
+    let mut world = World::new(scenario, 99, move |_, _| Alert::new(acfg));
+    world.add_observer(Box::new(log));
+    let session = world.sessions()[0];
+    let (src, dst) = (session.src, session.dst);
+
+    // Drive the run in slices so the intersection attacker can observe
+    // each zone-delivery round as it happens.
+    let mut attack = IntersectionAttack::new();
+    let nodes = world.config().nodes;
+    let range = world.config().mac.range_m;
+    let mut seen = vec![0usize; nodes];
+    let mut t = 0.0;
+    while t < 60.0 {
+        t += 0.5;
+        world.run_until(t);
+        #[allow(clippy::needless_range_loop)] // i doubles as the NodeId
+        for i in 0..nodes {
+            let records = &world.protocol(NodeId(i)).zone_deliveries;
+            for rec in records.iter().skip(seen[i]) {
+                let recipients: RecipientSet = match &rec.holders {
+                    Some(hs) => hs.iter().filter_map(|p| world.pseudonym_owner(*p)).collect(),
+                    None => world
+                        .nodes_within(world.position(NodeId(i)), range)
+                        .into_iter()
+                        .collect(),
+                };
+                if !recipients.is_empty() {
+                    attack.observe(&recipients);
+                }
+            }
+            seen[i] = records.len();
+        }
+    }
+    world.run();
+
+    let m = world.metrics();
+    let cap = capture.lock();
+
+    println!("== Traffic (what the attacker captured) ==");
+    println!("  data transmissions : {}", cap.data_transmissions());
+    println!("  cover packets      : {}", m.cover_frames);
+    println!("  delivery rate      : {:.3}", m.delivery_rate());
+
+    println!("\n== Source anonymity (Section 2.6) ==");
+    // The attacker sees the notify-and-go burst: every notified neighbor
+    // transmits, so the source hides among eta + 1 transmitters.
+    let eta = m.cover_frames as f64 / m.packets_sent().max(1) as f64;
+    let candidates: Vec<NodeId> = (0..=eta as usize).map(NodeId).collect();
+    let belief = uniform_belief(&candidates);
+    println!(
+        "  cover transmitters per send : {eta:.1} (eta-anonymity, entropy {:.1} bits)",
+        belief_entropy(&belief)
+    );
+
+    println!("\n== Timing attack (Section 3.2) ==");
+    let sends = cap.send_times_of(src);
+    let recvs = cap.delivery_times_of(dst);
+    match correlate(&sends, &recvs, 0.003) {
+        Some(c) => println!(
+            "  lag lock {:.0} ms +/- IQR {:.0} ms, confidence {:.0}% over {} sends",
+            c.lag_s * 1000.0,
+            c.lag_iqr_s * 1000.0,
+            c.score * 100.0,
+            c.samples
+        ),
+        None => println!("  attacker could not lock a lag"),
+    }
+
+    println!("\n== Intersection attack (Section 3.3) ==");
+    println!("  observation rounds : {}", attack.rounds());
+    println!("  candidate set      : {:?} nodes", attack.anonymity_degree());
+    println!("  history            : {:?}", attack.history);
+    if attack.identified(dst) {
+        println!("  VERDICT: destination IDENTIFIED — anonymity broken");
+    } else if attack.destination_excluded(dst) {
+        println!("  VERDICT: destination EXCLUDED from the intersection — attack foiled for good");
+    } else {
+        println!("  VERDICT: destination still hidden among the candidates");
+    }
+}

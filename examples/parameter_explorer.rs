@@ -1,0 +1,55 @@
+//! Parameter explorer: sweep ALERT's anonymity knob `k` and print the
+//! anonymity-vs-cost tradeoff the paper analyzes in Sections 4.1–4.2
+//! ("it is important to discover an optimal tradeoff point for H and k").
+//!
+//! ```text
+//! cargo run --release --example parameter_explorer [-- <runs>]
+//! ```
+
+use alert::prelude::*;
+use alert_bench::{sweep_point, ProtocolChoice};
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let cfg = ScenarioConfig::default();
+    let density = cfg.density();
+    let area = cfg.field().area();
+
+    println!("ALERT k-sweep on the paper's default scenario ({runs} runs per point)\n");
+    println!(
+        "{:>6} {:>3} {:>10} {:>9} {:>12} {:>12} {:>10}",
+        "k", "H", "zone pop", "RFs/pkt", "latency(ms)", "hops/pkt", "delivery"
+    );
+    for k in [2.0f64, 4.0, 6.25, 12.5, 25.0, 50.0] {
+        let acfg = AlertConfig::default().with_k(k);
+        let h = acfg.partitions(density, area);
+        let zone_pop = density * area / 2f64.powi(h as i32);
+        let proto = ProtocolChoice::Alert(acfg);
+        let rf = sweep_point(proto, &cfg, runs, Metrics::mean_random_forwarders);
+        let lat = sweep_point(proto, &cfg, runs, |m: &Metrics| {
+            m.mean_latency().unwrap_or(f64::NAN) * 1000.0
+        });
+        let hops = sweep_point(proto, &cfg, runs, Metrics::hops_per_packet);
+        let del = sweep_point(proto, &cfg, runs, Metrics::delivery_rate);
+        println!(
+            "{:>6.2} {:>3} {:>10.1} {:>9.2} {:>12.1} {:>12.2} {:>10.3}",
+            k, h, zone_pop, rf.mean, lat.mean, hops.mean, del.mean
+        );
+    }
+    println!();
+    println!("Reading the tradeoff (paper §4.1-4.2):");
+    println!(" - small k  => many partitions H => more random forwarders (route anonymity)");
+    println!("   but a tiny destination zone (weak k-anonymity) and longer paths;");
+    println!(" - large k  => few partitions => strong destination anonymity, cheap routes,");
+    println!("   but few RFs to hide the route. The paper picks k ~ 6 (H = 5) as the knee.");
+
+    // The theory side of the same curve, for comparison.
+    println!("\nAnalytical E[RFs] (Eq. 10): ");
+    for h in 1..=8u32 {
+        print!("  H={h}: {:.2}", alert::analysis::expected_random_forwarders(h));
+    }
+    println!();
+}

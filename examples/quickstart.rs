@@ -1,0 +1,57 @@
+//! Quickstart: run ALERT on the paper's default scenario and print the
+//! evaluation metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use alert::prelude::*;
+
+fn main() {
+    // The paper's Section 5.2 setup: 1,000 m x 1,000 m, 200 nodes moving
+    // at 2 m/s (random waypoint), 250 m radio range, 10 S-D pairs sending
+    // a 512-byte packet every 2 s for 100 s.
+    let scenario = ScenarioConfig::default();
+    println!(
+        "scenario: {} nodes on {:.0} m x {:.0} m, {} S-D pairs, {:.0} s",
+        scenario.nodes,
+        scenario.field_w,
+        scenario.field_h,
+        scenario.traffic.pairs,
+        scenario.duration_s
+    );
+
+    // ALERT with the paper's parameters: k = 6.25 so that H = 5.
+    let config = AlertConfig::default();
+    let h = config.partitions(scenario.density(), scenario.field().area());
+    println!("ALERT: k = {}, H = {h} partitions\n", config.k);
+
+    let mut world = World::new(scenario, 42, move |_, _| Alert::new(config));
+    world.run();
+
+    let m = world.metrics();
+    println!("packets sent           : {}", m.packets_sent());
+    println!("delivery rate          : {:.3}", m.delivery_rate());
+    println!(
+        "mean latency           : {:.1} ms",
+        m.mean_latency().unwrap_or(f64::NAN) * 1000.0
+    );
+    println!("hops per packet        : {:.2}", m.hops_per_packet());
+    println!("random forwarders/pkt  : {:.2}", m.mean_random_forwarders());
+    println!("cover packets (n&g)    : {}", m.cover_frames);
+    println!(
+        "crypto ops             : {} symmetric, {} pk (per-session handshakes)",
+        m.crypto.symmetric,
+        m.crypto.pk_encrypt + m.crypto.pk_decrypt
+    );
+
+    // The route-anonymity headline: how many distinct nodes ended up
+    // carrying traffic for each S-D pair (Fig. 10).
+    let curve = m.mean_cumulative_participants();
+    if let (Some(first), Some(last)) = (curve.first(), curve.last()) {
+        println!(
+            "participating nodes    : {first:.1} after 1 packet -> {last:.1} after {} packets",
+            curve.len()
+        );
+    }
+}

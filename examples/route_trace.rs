@@ -1,0 +1,150 @@
+//! Route trace: render the actual paths three consecutive packets take
+//! from one source to one destination, under GPSR and under ALERT, as
+//! ASCII maps — the visual version of the paper's Fig. 2.
+//!
+//! ```text
+//! cargo run --release --example route_trace [-- <seed>]
+//! ```
+
+use alert::adversary::TrafficLog;
+use alert::geom::{destination_zone, Axis};
+use alert::prelude::*;
+use alert::sim::PacketId;
+
+const COLS: usize = 60;
+const ROWS: usize = 24;
+
+fn scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(200)
+        .with_duration(8.0)
+        .with_mobility(MobilityKind::Static); // a still map is readable
+    cfg.traffic.pairs = 1;
+    cfg
+}
+
+struct Canvas {
+    cells: Vec<Vec<char>>,
+}
+
+impl Canvas {
+    fn new() -> Self {
+        Canvas {
+            cells: vec![vec![' '; COLS]; ROWS],
+        }
+    }
+
+    fn cell(&mut self, p: Point) -> &mut char {
+        let c = ((p.x / 1000.0) * (COLS as f64 - 1.0)).round() as usize;
+        let r = ((1.0 - p.y / 1000.0) * (ROWS as f64 - 1.0)).round() as usize;
+        &mut self.cells[r.min(ROWS - 1)][c.min(COLS - 1)]
+    }
+
+    fn draw(&mut self, p: Point, ch: char) {
+        let cell = self.cell(p);
+        // Never overdraw the endpoints.
+        if *cell != 'S' && *cell != 'D' {
+            *cell = ch;
+        }
+    }
+
+    fn draw_zone(&mut self, zone: &Rect) {
+        let steps = 40;
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            let top = Point::new(zone.min.x + zone.width() * t, zone.max.y);
+            let bottom = Point::new(zone.min.x + zone.width() * t, zone.min.y);
+            let left = Point::new(zone.min.x, zone.min.y + zone.height() * t);
+            let right = Point::new(zone.max.x, zone.min.y + zone.height() * t);
+            for p in [top, bottom, left, right] {
+                let cell = self.cell(p);
+                if *cell == ' ' || *cell == '.' {
+                    *cell = '#';
+                }
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push('+');
+        out.push_str(&"-".repeat(COLS));
+        out.push_str("+\n");
+        for row in &self.cells {
+            out.push('|');
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(COLS));
+        out.push_str("+\n");
+        out
+    }
+}
+
+/// Runs one protocol and renders the routes of its first three packets.
+fn trace<P, F>(title: &str, seed: u64, zone: Option<Rect>, factory: F) -> String
+where
+    P: alert::sim::ProtocolNode,
+    F: FnMut(NodeId, &ScenarioConfig) -> P,
+{
+    let (log, capture) = TrafficLog::new();
+    let mut world = World::new(scenario(), seed, factory);
+    world.add_observer(Box::new(log));
+    let s = world.sessions()[0];
+    let (src_pos, dst_pos) = (world.position(s.src), world.position(s.dst));
+    world.run();
+
+    let mut canvas = Canvas::new();
+    // Background: every node as a dot.
+    for i in 0..200 {
+        canvas.draw(world.position(NodeId(i)), '.');
+    }
+    if let Some(z) = zone {
+        canvas.draw_zone(&z);
+    }
+    // Routes of packets 0..3, numbered by packet.
+    let cap = capture.lock();
+    for pkt in 0..3u64 {
+        let glyph = char::from_digit(pkt as u32 + 1, 10).unwrap();
+        for (_, pos) in cap.route_of(PacketId(pkt)) {
+            canvas.draw(pos, glyph);
+        }
+    }
+    *canvas.cell(src_pos) = 'S';
+    *canvas.cell(dst_pos) = 'D';
+
+    let m = world.metrics();
+    format!(
+        "{title}\n{}hops/packet {:.1}, routes of packets 1-3 drawn as '1','2','3'\n",
+        canvas.render(),
+        m.hops_per_packet()
+    )
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(17);
+
+    // Derive the destination zone ALERT will use (H = 5 around D).
+    let probe: World<Gpsr> = World::new(scenario(), seed, |_, _| Gpsr::default());
+    let d_pos = probe.position(probe.sessions()[0].dst);
+    let zd = destination_zone(&Rect::with_size(1000.0, 1000.0), d_pos, 5, Axis::Vertical);
+    drop(probe);
+
+    println!("Field 1000 m x 1000 m, 200 static nodes ('.'), S -> D, seed {seed}");
+    println!("'#' outlines ALERT's destination zone Z_D (k-anonymity region)\n");
+    print!("{}", trace("== GPSR: every packet takes the same shortest path ==", seed, None, |_, _| Gpsr::default()));
+    println!();
+    print!(
+        "{}",
+        trace(
+            "== ALERT: every packet takes a fresh random-forwarder route ==",
+            seed,
+            Some(zd),
+            |_, _| Alert::new(AlertConfig::default()),
+        )
+    );
+}

@@ -1,0 +1,61 @@
+//! # alert
+//!
+//! A from-scratch Rust reproduction of **ALERT: An Anonymous
+//! Location-Based Efficient Routing Protocol in MANETs** (Shen & Zhao,
+//! ICPP 2011 / IEEE TMC 2012): the protocol, the discrete-event MANET
+//! simulator it runs on, the GPSR / ALARM / AO2P comparison baselines, the
+//! adversary analyzers, and the paper's closed-form theory.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geom`] | `alert-geom` | points, zones, hierarchical partition, spatial grid |
+//! | [`crypto`] | `alert-crypto` | SHA-1, ciphers, pseudonyms, crypto cost model |
+//! | [`mobility`] | `alert-mobility` | random waypoint, RPGM group mobility |
+//! | [`sim`] | `alert-sim` | event engine, channel/MAC, node runtime, metrics |
+//! | [`protocols`] | `alert-protocols` | GPSR, ALARM, AO2P, forwarding primitives |
+//! | [`core`] | `alert-core` | **the ALERT protocol** |
+//! | [`adversary`] | `alert-adversary` | eavesdropping, timing & intersection attacks |
+//! | [`analysis`] | `alert-analysis` | Eqs. (1)–(15) closed forms |
+//! | [`viz`] | (this crate) | dependency-free SVG rendering of fields, zones and routes |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use alert::prelude::*;
+//!
+//! // The paper's default scenario, scaled down for a doc test.
+//! let mut scenario = ScenarioConfig::default().with_nodes(80).with_duration(10.0);
+//! scenario.traffic.pairs = 3;
+//! let mut world = World::new(scenario, 7, |_, _| Alert::new(AlertConfig::default()));
+//! world.run();
+//! let m = world.metrics();
+//! assert!(m.delivery_rate() > 0.5);
+//! assert!(m.mean_random_forwarders() > 0.0, "anonymity comes from RFs");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod viz;
+
+pub use alert_adversary as adversary;
+pub use alert_analysis as analysis;
+pub use alert_core as core;
+pub use alert_crypto as crypto;
+pub use alert_geom as geom;
+pub use alert_mobility as mobility;
+pub use alert_protocols as protocols;
+pub use alert_sim as sim;
+
+/// The most common imports for driving an ALERT simulation.
+pub mod prelude {
+    pub use alert_adversary::{IntersectionAttack, TrafficLog};
+    pub use alert_core::{Alert, AlertConfig};
+    pub use alert_geom::{destination_zone, Axis, Point, Rect};
+    pub use alert_protocols::{Alarm, Anodr, Ao2p, Gpsr, Mapcp, Mask, Prism, Zap};
+    pub use alert_sim::{
+        LocationPolicy, Metrics, MobilityKind, NodeId, ScenarioConfig, SessionId, World,
+    };
+}

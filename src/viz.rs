@@ -1,0 +1,189 @@
+//! Minimal SVG rendering of simulation geometry: the field, node
+//! positions, destination zones, and per-packet routes — the publishable
+//! version of the `route_trace` example's ASCII maps. No dependencies;
+//! emits plain SVG 1.1.
+
+use alert_geom::{Point, Rect};
+
+/// An SVG scene over a network field.
+pub struct SvgScene {
+    field: Rect,
+    width_px: f64,
+    body: String,
+}
+
+impl SvgScene {
+    /// Creates a scene for `field`, rendered `width_px` wide (height
+    /// follows the field's aspect ratio).
+    pub fn new(field: Rect, width_px: f64) -> Self {
+        assert!(width_px > 0.0 && field.area() > 0.0);
+        SvgScene {
+            field,
+            width_px,
+            body: String::new(),
+        }
+    }
+
+    fn sx(&self, x: f64) -> f64 {
+        (x - self.field.min.x) / self.field.width() * self.width_px
+    }
+
+    fn sy(&self, y: f64) -> f64 {
+        // SVG y grows downward; field y grows upward.
+        let h = self.height_px();
+        h - (y - self.field.min.y) / self.field.height() * h
+    }
+
+    /// Rendered height in pixels.
+    pub fn height_px(&self) -> f64 {
+        self.width_px * self.field.height() / self.field.width()
+    }
+
+    /// Draws every node as a small dot.
+    pub fn nodes(&mut self, positions: &[Point], color: &str) -> &mut Self {
+        for p in positions {
+            self.body.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2" fill="{color}"/>"#,
+                self.sx(p.x),
+                self.sy(p.y)
+            ));
+            self.body.push('\n');
+        }
+        self
+    }
+
+    /// Draws a labelled marker (e.g. S or D).
+    pub fn marker(&mut self, p: Point, label: &str, color: &str) -> &mut Self {
+        self.body.push_str(&format!(
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="6" fill="{color}"/><text x="{tx:.1}" y="{ty:.1}" font-size="14" font-family="monospace" fill="{color}">{label}</text>"#,
+            x = self.sx(p.x),
+            y = self.sy(p.y),
+            tx = self.sx(p.x) + 8.0,
+            ty = self.sy(p.y) - 8.0,
+        ));
+        self.body.push('\n');
+        self
+    }
+
+    /// Outlines a zone rectangle (e.g. `Z_D`).
+    pub fn zone(&mut self, zone: &Rect, color: &str) -> &mut Self {
+        self.body.push_str(&format!(
+            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="{color}" stroke-width="1.5" stroke-dasharray="6 3"/>"#,
+            self.sx(zone.min.x),
+            self.sy(zone.max.y),
+            zone.width() / self.field.width() * self.width_px,
+            zone.height() / self.field.height() * self.height_px(),
+        ));
+        self.body.push('\n');
+        self
+    }
+
+    /// Draws a route as a polyline through the given positions.
+    pub fn route(&mut self, hops: &[Point], color: &str) -> &mut Self {
+        if hops.len() < 2 {
+            return self;
+        }
+        let points: Vec<String> = hops
+            .iter()
+            .map(|p| format!("{:.1},{:.1}", self.sx(p.x), self.sy(p.y)))
+            .collect();
+        self.body.push_str(&format!(
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2" opacity="0.8"/>"#,
+            points.join(" ")
+        ));
+        self.body.push('\n');
+        self
+    }
+
+    /// Adds a caption line under the top edge.
+    pub fn caption(&mut self, text: &str) -> &mut Self {
+        self.body.push_str(&format!(
+            r##"<text x="8" y="18" font-size="14" font-family="monospace" fill="#333">{}</text>"##,
+            text.replace('&', "&amp;").replace('<', "&lt;")
+        ));
+        self.body.push('\n');
+        self
+    }
+
+    /// Finishes the document.
+    pub fn render(&self) -> String {
+        format!(
+            concat!(
+                r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" "#,
+                r#"viewBox="0 0 {w:.0} {h:.0}">"#,
+                "\n<rect width=\"100%\" height=\"100%\" fill=\"#fcfcf8\"/>\n{body}</svg>\n"
+            ),
+            w = self.width_px,
+            h = self.height_px(),
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Rect {
+        Rect::with_size(1000.0, 500.0)
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut s = SvgScene::new(field(), 800.0);
+        s.caption("test");
+        let svg = s.render();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains(r#"width="800""#));
+        assert!(svg.contains(r#"height="400""#), "aspect ratio preserved");
+    }
+
+    #[test]
+    fn coordinates_map_correctly() {
+        let mut s = SvgScene::new(field(), 1000.0);
+        // Field origin (0,0) is bottom-left -> SVG (0, height).
+        s.marker(Point::new(0.0, 0.0), "O", "#000");
+        let svg = s.render();
+        assert!(svg.contains(r#"cx="0.0" cy="500.0""#), "{svg}");
+        let mut s = SvgScene::new(field(), 1000.0);
+        s.marker(Point::new(1000.0, 500.0), "T", "#000");
+        assert!(s.render().contains(r#"cx="1000.0" cy="0.0""#));
+    }
+
+    #[test]
+    fn routes_become_polylines() {
+        let mut s = SvgScene::new(field(), 1000.0);
+        s.route(
+            &[Point::new(0.0, 0.0), Point::new(500.0, 250.0), Point::new(1000.0, 500.0)],
+            "#c00",
+        );
+        let svg = s.render();
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("0.0,500.0 500.0,250.0 1000.0,0.0"));
+    }
+
+    #[test]
+    fn single_point_route_is_dropped() {
+        let mut s = SvgScene::new(field(), 100.0);
+        s.route(&[Point::new(1.0, 1.0)], "#c00");
+        assert!(!s.render().contains("polyline"));
+    }
+
+    #[test]
+    fn captions_escape_markup() {
+        let mut s = SvgScene::new(field(), 100.0);
+        s.caption("a < b & c");
+        let svg = s.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn zones_render_as_dashed_rects() {
+        let mut s = SvgScene::new(field(), 1000.0);
+        s.zone(&Rect::new(Point::new(500.0, 0.0), Point::new(1000.0, 250.0)), "#06c");
+        let svg = s.render();
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains(r#"x="500.0" y="250.0" width="500.0" height="250.0""#), "{svg}");
+    }
+}

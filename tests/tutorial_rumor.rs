@@ -1,0 +1,129 @@
+//! The assembled code of `docs/TUTORIAL.md`: rumor (random-walk) routing
+//! built on the public API, instrumented like the paper's evaluation.
+//! Kept passing so the tutorial cannot rot.
+
+use alert::adversary::{mean_route_diversity, TrafficLog};
+use alert::crypto::Pseudonym;
+use alert::prelude::*;
+use alert::sim::{Api, DataRequest, Frame, PacketId, ProtocolNode, TrafficClass};
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct RumorMsg {
+    packet: PacketId,
+    dst: Pseudonym,
+    ttl: u32,
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Rumor;
+
+fn walk(api: &mut Api<'_, RumorMsg>, mut msg: RumorMsg) {
+    if msg.ttl == 0 {
+        api.mark_drop("rumor_ttl");
+        return;
+    }
+    msg.ttl -= 1;
+    let neighbors = api.neighbors();
+    if neighbors.is_empty() {
+        return;
+    }
+    let pick = neighbors[api.rng().gen_range(0..neighbors.len())];
+    api.mark_hop(msg.packet);
+    let wire = msg.bytes + 24;
+    api.send_unicast(pick.pseudonym, msg.clone(), wire, TrafficClass::Data, Some(msg.packet));
+}
+
+impl ProtocolNode for Rumor {
+    type Msg = RumorMsg;
+
+    fn name() -> &'static str {
+        "RUMOR"
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        let Some(info) = api.lookup(req.dst) else {
+            return;
+        };
+        walk(
+            api,
+            RumorMsg {
+                packet: req.packet,
+                dst: info.pseudonym,
+                ttl: 64,
+                bytes: req.bytes,
+            },
+        );
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        let msg = frame.msg;
+        if msg.dst == api.my_pseudonym() || api.is_true_destination(msg.packet) {
+            api.mark_delivered(msg.packet);
+            return;
+        }
+        walk(api, msg);
+    }
+}
+
+fn scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default().with_nodes(120).with_duration(30.0);
+    cfg.traffic.pairs = 3;
+    cfg
+}
+
+#[test]
+fn rumor_routing_runs_and_sometimes_delivers() {
+    let mut world = World::new(scenario(), 7, |_, _| Rumor);
+    world.run();
+    let m = world.metrics();
+    // A 64-step random walk on a 120-node graph finds the destination
+    // often but not reliably — that's the tutorial's lesson.
+    let rate = m.delivery_rate();
+    assert!(rate > 0.2, "random walk too weak: {rate}");
+    assert!(rate < 1.0, "a random walk should not be perfect");
+    assert!(m.drops.contains_key("rumor_ttl"), "some walks must die");
+}
+
+#[test]
+fn rumor_diversity_is_high_but_efficiency_is_poor() {
+    let (log, _capture) = TrafficLog::new();
+    let mut world = World::new(scenario(), 8, |_, _| Rumor);
+    world.add_observer(Box::new(log));
+    world.run();
+    let m = world.metrics();
+
+    // High route diversity (every packet wanders differently)...
+    let mut div = 0.0;
+    for s in 0..3u32 {
+        let routes: Vec<Vec<NodeId>> = m
+            .packets
+            .iter()
+            .filter(|p| p.session == SessionId(s) && p.delivered_at.is_some())
+            .map(|p| p.participants.clone())
+            .collect();
+        div += mean_route_diversity(&routes) / 3.0;
+    }
+    assert!(div > 0.5, "random walks should diversify routes, got {div:.2}");
+
+    // ...at hopeless efficiency: far more hops than a greedy baseline.
+    let mut gpsr = World::new(scenario(), 8, |_, _| Gpsr::default());
+    gpsr.run();
+    assert!(
+        m.hops_per_packet() > gpsr.metrics().hops_per_packet() * 3.0,
+        "rumor hops {} vs GPSR {}",
+        m.hops_per_packet(),
+        gpsr.metrics().hops_per_packet()
+    );
+}
+
+#[test]
+fn rumor_is_deterministic_like_everything_else() {
+    let run = |seed| {
+        let mut w = World::new(scenario(), seed, |_, _| Rumor);
+        w.run();
+        (w.metrics().delivery_rate(), w.metrics().hops_per_packet())
+    };
+    assert_eq!(run(9), run(9));
+}
