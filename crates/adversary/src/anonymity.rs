@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn jaccard_disjoint_routes() {
-        assert_eq!(route_jaccard_distance(&nodes(&[1, 2]), &nodes(&[3, 4])), 1.0);
+        assert_eq!(
+            route_jaccard_distance(&nodes(&[1, 2]), &nodes(&[3, 4])),
+            1.0
+        );
     }
 
     #[test]
@@ -208,7 +211,12 @@ mod tests {
     fn spread_larger_for_scattered_traffic() {
         let line: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
         let scattered: Vec<Point> = (0..10)
-            .map(|i| Point::new(((i * 37) % 10) as f64 * 100.0, ((i * 59) % 10) as f64 * 100.0))
+            .map(|i| {
+                Point::new(
+                    ((i * 37) % 10) as f64 * 100.0,
+                    ((i * 59) % 10) as f64 * 100.0,
+                )
+            })
             .collect();
         assert!(spatial_spread(&scattered) > spatial_spread(&line));
     }

@@ -88,7 +88,9 @@ pub fn choose_compromised(
 ) -> BTreeSet<NodeId> {
     // Simple deterministic LCG shuffle — good enough for picking victims.
     let mut order: Vec<usize> = (0..total_nodes).collect();
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     for i in (1..order.len()).rev() {
         state = state
             .wrapping_mul(6364136223846793005)
@@ -185,7 +187,10 @@ mod tests {
         let comp: BTreeSet<NodeId> = [NodeId(5)].into_iter().collect();
         assert_eq!(interception_fraction(&m, SessionId(0), &comp), 0.0);
         let m = metrics_with_routes(&[&[1, 2]]);
-        assert_eq!(interception_fraction(&m, SessionId(0), &BTreeSet::new()), 0.0);
+        assert_eq!(
+            interception_fraction(&m, SessionId(0), &BTreeSet::new()),
+            0.0
+        );
     }
 
     #[test]
@@ -201,7 +206,13 @@ mod tests {
     #[test]
     fn choose_compromised_is_deterministic() {
         let e = BTreeSet::new();
-        assert_eq!(choose_compromised(100, 7, &e, 42), choose_compromised(100, 7, &e, 42));
-        assert_ne!(choose_compromised(100, 7, &e, 42), choose_compromised(100, 7, &e, 43));
+        assert_eq!(
+            choose_compromised(100, 7, &e, 42),
+            choose_compromised(100, 7, &e, 42)
+        );
+        assert_ne!(
+            choose_compromised(100, 7, &e, 42),
+            choose_compromised(100, 7, &e, 43)
+        );
     }
 }

@@ -109,7 +109,10 @@ impl Observer for TrafficLog {
     }
 
     fn on_delivery(&mut self, time: f64, node: NodeId, packet: PacketId) {
-        self.capture.lock().deliveries.push(DeliveryEvent { time, node, packet });
+        self.capture
+            .lock()
+            .deliveries
+            .push(DeliveryEvent { time, node, packet });
     }
 }
 

@@ -100,7 +100,11 @@ mod tests {
         let c = correlate(&sends, &recvs, 0.01).unwrap();
         assert!(c.score < 0.3, "jittered score {} too high", c.score);
         assert!(!links_pair(&c, 0.8));
-        assert!(c.lag_iqr_s > 0.2, "iqr {} should expose the jitter", c.lag_iqr_s);
+        assert!(
+            c.lag_iqr_s > 0.2,
+            "iqr {} should expose the jitter",
+            c.lag_iqr_s
+        );
     }
 
     #[test]

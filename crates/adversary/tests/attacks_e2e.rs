@@ -2,15 +2,17 @@
 //! ALERT and GPSR runs — the qualitative claims of Sections 3.1–3.3.
 
 use alert_adversary::{
-    correlate, mean_route_diversity, next_route_predictability, spatial_spread,
-    IntersectionAttack, RecipientSet, TrafficLog,
+    correlate, mean_route_diversity, next_route_predictability, spatial_spread, IntersectionAttack,
+    RecipientSet, TrafficLog,
 };
 use alert_core::{Alert, AlertConfig};
 use alert_protocols::Gpsr;
 use alert_sim::{NodeId, ScenarioConfig, SessionId, World};
 
 fn scenario() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default().with_nodes(200).with_duration(60.0);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(200)
+        .with_duration(60.0);
     cfg.traffic.pairs = 4;
     cfg
 }

@@ -135,9 +135,7 @@ fn interception_is_partial_under_alert_total_under_gpsr() {
             .collect();
         all_relays
             .iter()
-            .map(|&r| {
-                interception_fraction(m, SessionId(session), &[r].into_iter().collect())
-            })
+            .map(|&r| interception_fraction(m, SessionId(session), &[r].into_iter().collect()))
             .fold(0.0, f64::max)
     };
 

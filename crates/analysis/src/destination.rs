@@ -50,14 +50,7 @@ pub fn remaining_nodes(h: u32, l_a: f64, l_b: f64, density: f64, speed_mps: f64,
 /// Fig. 13b's inverse problem: the node density (nodes per square metre)
 /// required so that `target` nodes remain in the zone after `t` seconds at
 /// the given speed.
-pub fn required_density(
-    h: u32,
-    l_a: f64,
-    l_b: f64,
-    speed_mps: f64,
-    t: f64,
-    target: f64,
-) -> f64 {
+pub fn required_density(h: u32, l_a: f64, l_b: f64, speed_mps: f64, t: f64, target: f64) -> f64 {
     let (a, b) = zone_side_lengths(h, l_a, l_b);
     let side = (a * b).sqrt();
     let p = residence_probability(side, speed_mps, t);
@@ -113,7 +106,7 @@ mod tests {
     }
 
     #[test]
-    fn denser_networks_retain_more(){
+    fn denser_networks_retain_more() {
         // Fig. 9a: the three density curves are scalar multiples.
         let n100 = remaining_nodes(5, L, L, 100.0 / (L * L), 2.0, 15.0);
         let n400 = remaining_nodes(5, L, L, 400.0 / (L * L), 2.0, 15.0);

@@ -21,7 +21,9 @@ pub fn p_rf_count(h: u32, sigma: u32, i: u32) -> f64 {
 /// Eq. (9): expected number of RFs given closeness `sigma`.
 pub fn expected_random_forwarders_given_sigma(h: u32, sigma: u32) -> f64 {
     let n = h - sigma;
-    (1..=n).map(|i| f64::from(i) * p_rf_count(h, sigma, i)).sum()
+    (1..=n)
+        .map(|i| f64::from(i) * p_rf_count(h, sigma, i))
+        .sum()
 }
 
 /// Eq. (10): expected number of RFs over the closeness distribution.

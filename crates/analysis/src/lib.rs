@@ -34,7 +34,9 @@ pub mod participation;
 pub mod source_anonymity;
 
 pub use destination::{beta, remaining_nodes, required_density, residence_probability};
-pub use forwarders::{expected_random_forwarders, expected_random_forwarders_given_sigma, p_rf_count};
+pub use forwarders::{
+    expected_random_forwarders, expected_random_forwarders_given_sigma, p_rf_count,
+};
 pub use participation::{
     expected_participants, expected_participants_given_sigma, separation_probability,
 };

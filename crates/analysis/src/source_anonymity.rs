@@ -109,7 +109,10 @@ mod tests {
         let p_long = notify_collision_probability(20, 0.5, airtime);
         assert!(p_short > p_long);
         assert!(p_short > 0.99, "cramming 21 frames into 2 ms must collide");
-        assert!(p_long < 0.6, "21 frames over 500 ms rarely collide, p={p_long}");
+        assert!(
+            p_long < 0.6,
+            "21 frames over 500 ms rarely collide, p={p_long}"
+        );
     }
 
     #[test]

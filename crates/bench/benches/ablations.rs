@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn scenario() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default().with_nodes(100).with_duration(20.0);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(100)
+        .with_duration(20.0);
     cfg.traffic.pairs = 5;
     cfg
 }
@@ -38,9 +40,11 @@ fn bench_k_tradeoff(c: &mut Criterion) {
     group.sample_size(10);
     for k in [2.0f64, 6.25, 25.0] {
         let acfg = AlertConfig::default().with_k(k);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &acfg, |b, acfg| {
-            b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}")),
+            &acfg,
+            |b, acfg| b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)),
+        );
     }
     group.finish();
 }
@@ -55,12 +59,19 @@ fn bench_intersection_m(c: &mut Criterion) {
     });
     for m in [2usize, 4] {
         let acfg = AlertConfig::default().with_intersection_defense(m);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("m{m}")), &acfg, |b, acfg| {
-            b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}")),
+            &acfg,
+            |b, acfg| b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_notify_and_go, bench_k_tradeoff, bench_intersection_m);
+criterion_group!(
+    benches,
+    bench_notify_and_go,
+    bench_k_tradeoff,
+    bench_intersection_m
+);
 criterion_main!(benches);

@@ -24,7 +24,15 @@ fn bench_partition(c: &mut Criterion) {
     let zd = destination_zone(&f, dest, 5, Axis::Vertical);
     let me = Point::new(120.0, 95.0);
     c.bench_function("geom/separate_h5", |b| {
-        b.iter(|| separate(black_box(&f), black_box(me), black_box(&zd), Axis::Vertical, 5))
+        b.iter(|| {
+            separate(
+                black_box(&f),
+                black_box(me),
+                black_box(&zd),
+                Axis::Vertical,
+                5,
+            )
+        })
     });
 }
 

@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn small_scenario(nodes: usize) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(20.0);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(nodes)
+        .with_duration(20.0);
     cfg.traffic.pairs = 5;
     cfg
 }

@@ -12,6 +12,9 @@
 //! `--runs` controls the Monte-Carlo repetitions per data point (the
 //! paper averages 30 runs; the default here is 10 to keep a full `all`
 //! pass in minutes — pass `--runs 30` for the paper's setting).
+//! `--progress` prints one `[progress]` line per data point on stderr
+//! (protocol, run count, wall-clock seconds) so long sweeps are
+//! watchable.
 
 use alert_bench::figures::{analytic, attacks, claims, participants, performance, zone};
 use std::time::Instant;
@@ -37,6 +40,7 @@ fn main() {
                         .clone(),
                 );
             }
+            "--progress" => alert_bench::set_progress(true),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -81,9 +85,30 @@ enum Rendered {
 }
 
 const ALL: [&str; 24] = [
-    "table1", "fig5c", "fig7a", "fig7b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "fig12",
-    "fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b", "fig16a", "fig16b", "fig17",
-    "claim-dos", "claim-interception", "claim-defense-cost", "claim-energy", "panorama",
+    "table1",
+    "fig5c",
+    "fig7a",
+    "fig7b",
+    "fig9a",
+    "fig9b",
+    "fig10a",
+    "fig10b",
+    "fig11",
+    "fig12",
+    "fig13a",
+    "fig13b",
+    "fig14a",
+    "fig14b",
+    "fig15a",
+    "fig15b",
+    "fig16a",
+    "fig16b",
+    "fig17",
+    "claim-dos",
+    "claim-interception",
+    "claim-defense-cost",
+    "claim-energy",
+    "panorama",
 ];
 
 fn render(target: &str, runs: usize) -> Option<Rendered> {
@@ -117,7 +142,7 @@ fn render(target: &str, runs: usize) -> Option<Rendered> {
 }
 
 fn print_usage() {
-    eprintln!("usage: repro <experiment...|all> [--runs N] [--csv DIR]");
+    eprintln!("usage: repro <experiment...|all> [--runs N] [--csv DIR] [--progress]");
     eprintln!("experiments: {}", ALL.join(" "));
 }
 

@@ -3,15 +3,21 @@
 //!
 //! ```text
 //! simrun --protocol alert [--scenario scenario.json] [--seed 42] [--runs 5]
+//! simrun --protocol gpsr --nodes 60 --pairs 3 --duration 20 \
+//!        --trace /tmp/t.jsonl --profile profile.json
 //! simrun --emit-default-scenario > scenario.json
 //! ```
 //!
 //! Scenario files use the serde form of [`alert_sim::ScenarioConfig`]; see
-//! `--emit-default-scenario` for a template.
+//! `--emit-default-scenario` for a template. `--nodes/--pairs/--duration`
+//! override the (file or default) scenario, so small smoke scenarios need
+//! no file. `--trace` streams the structured JSONL event trace;
+//! `--profile` writes the [`alert_sim::RunProfile`] JSON (pass `-` for
+//! stdout). Both imply a single instrumented run.
 
-use alert_bench::{run_once, sweep_point, ProtocolChoice};
+use alert_bench::{run_instrumented, sweep_point, ProtocolChoice, RunOptions};
 use alert_core::AlertConfig;
-use alert_sim::{Metrics, ScenarioConfig};
+use alert_sim::{JsonlSink, Metrics, ScenarioConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,13 +25,40 @@ fn main() {
     let mut scenario_path: Option<String> = None;
     let mut seed = 42u64;
     let mut runs = 1usize;
+    let mut trace_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
+    let mut nodes: Option<usize> = None;
+    let mut pairs: Option<usize> = None;
+    let mut duration: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--protocol" => protocol = it.next().unwrap_or_else(|| die("--protocol needs a value")).clone(),
+            "--protocol" => {
+                protocol = it
+                    .next()
+                    .unwrap_or_else(|| die("--protocol needs a value"))
+                    .clone()
+            }
             "--scenario" => scenario_path = it.next().cloned(),
             "--seed" => seed = parse(it.next(), "--seed"),
             "--runs" => runs = parse(it.next(), "--runs"),
+            "--trace" => {
+                trace_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--trace needs a path"))
+                        .clone(),
+                );
+            }
+            "--profile" => {
+                profile_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--profile needs a path (or -)"))
+                        .clone(),
+                );
+            }
+            "--nodes" => nodes = Some(parse(it.next(), "--nodes")),
+            "--pairs" => pairs = Some(parse(it.next(), "--pairs")),
+            "--duration" => duration = Some(parse(it.next(), "--duration")),
             "--emit-default-scenario" => {
                 println!(
                     "{}",
@@ -42,7 +75,7 @@ fn main() {
         }
     }
 
-    let scenario: ScenarioConfig = match &scenario_path {
+    let mut scenario: ScenarioConfig = match &scenario_path {
         None => ScenarioConfig::default(),
         Some(p) => {
             let text = std::fs::read_to_string(p)
@@ -50,6 +83,15 @@ fn main() {
             serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("bad scenario {p}: {e}")))
         }
     };
+    if let Some(n) = nodes {
+        scenario = scenario.with_nodes(n);
+    }
+    if let Some(p) = pairs {
+        scenario.traffic.pairs = p;
+    }
+    if let Some(d) = duration {
+        scenario = scenario.with_duration(d);
+    }
     if let Err(e) = scenario.validate() {
         die(&format!("invalid scenario: {e}"));
     }
@@ -74,9 +116,35 @@ fn main() {
         scenario.nodes,
         scenario.duration_s
     );
+    let instrumented = trace_path.is_some() || profile_path.is_some();
+    if instrumented && runs != 1 {
+        die("--trace/--profile instrument a single run; drop --runs or set it to 1");
+    }
     if runs == 1 {
-        let m = run_once(choice, &scenario, seed);
-        println!("{}", m.summary());
+        let opts = RunOptions {
+            trace: trace_path.as_ref().map(|p| {
+                let sink = JsonlSink::create(p)
+                    .unwrap_or_else(|e| die(&format!("cannot create trace file {p}: {e}")));
+                Box::new(sink) as _
+            }),
+            profile: profile_path.is_some(),
+        };
+        let out = run_instrumented(choice, &scenario, seed, opts)
+            .unwrap_or_else(|e| die(&format!("invalid scenario: {e}")));
+        println!("{}", out.metrics.summary());
+        if let Some(p) = &profile_path {
+            let json = serde_json::to_string_pretty(&out.profile).expect("run profile serializes");
+            if p == "-" {
+                println!("{json}");
+            } else {
+                std::fs::write(p, json + "\n")
+                    .unwrap_or_else(|e| die(&format!("cannot write profile {p}: {e}")));
+                eprintln!("profile written to {p}");
+            }
+        }
+        if let Some(p) = &trace_path {
+            eprintln!("trace written to {p}");
+        }
     } else {
         let delivery = sweep_point(choice, &scenario, runs, Metrics::delivery_rate);
         let latency = sweep_point(choice, &scenario, runs, |m: &Metrics| {
@@ -98,6 +166,8 @@ fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
 fn usage() {
     eprintln!("usage: simrun [--protocol alert|gpsr|alarm|ao2p|zap|anodr|prism|mask|mapcp]");
     eprintln!("              [--scenario file.json] [--seed N] [--runs N]");
+    eprintln!("              [--nodes N] [--pairs N] [--duration SECS]");
+    eprintln!("              [--trace trace.jsonl] [--profile profile.json|-]");
     eprintln!("       simrun --emit-default-scenario > scenario.json");
 }
 

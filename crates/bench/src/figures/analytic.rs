@@ -32,7 +32,10 @@ pub fn fig7b() -> FigureTable {
         vec!["E[RFs]".into()],
     );
     for h in 1..=10u32 {
-        t.row(h.to_string(), vec![format!("{:.3}", expected_random_forwarders(h))]);
+        t.row(
+            h.to_string(),
+            vec![format!("{:.3}", expected_random_forwarders(h))],
+        );
     }
     t.note("expected shape: linear growth, asymptotic slope 1/2 per partition (paper Fig. 7b)");
     t
@@ -49,7 +52,12 @@ pub fn fig9a() -> FigureTable {
     for ti in (0..=40).step_by(5) {
         let vals: Vec<String> = [100.0, 200.0, 400.0]
             .iter()
-            .map(|n| format!("{:.2}", remaining_nodes(5, L, L, n / (L * L), 2.0, ti as f64)))
+            .map(|n| {
+                format!(
+                    "{:.2}",
+                    remaining_nodes(5, L, L, n / (L * L), 2.0, ti as f64)
+                )
+            })
             .collect();
         t.row(ti.to_string(), vals);
     }

@@ -51,7 +51,9 @@ pub fn intersection_outcome(defense: bool, seed: u64) -> IntersectionOutcome {
                         if !delivered_now {
                             continue;
                         }
-                        w.nodes_within(w.position(node), range).into_iter().collect()
+                        w.nodes_within(w.position(node), range)
+                            .into_iter()
+                            .collect()
                     }
                 };
                 if !recipients.is_empty() {
@@ -97,7 +99,11 @@ pub fn fig5c(runs: usize) -> FigureTable {
         let ident = outcomes.iter().filter(|o| o.identified).count() as f64 / n * 100.0;
         let excl = outcomes.iter().filter(|o| o.destination_excluded).count() as f64 / n * 100.0;
         t.row(
-            if defense { "two-step (m=3)" } else { "plain broadcast" },
+            if defense {
+                "two-step (m=3)"
+            } else {
+                "plain broadcast"
+            },
             vec![
                 format!("{rounds:.0}"),
                 format!("{cands:.1}"),
@@ -106,7 +112,9 @@ pub fn fig5c(runs: usize) -> FigureTable {
             ],
         );
     }
-    t.note("expected shape: plain broadcast converges towards identifying D; the defense excludes D");
+    t.note(
+        "expected shape: plain broadcast converges towards identifying D; the defense excludes D",
+    );
     t.note("from some round's intended recipients, permanently foiling the intersection (paper Fig. 5)");
     t
 }

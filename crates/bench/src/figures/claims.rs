@@ -94,7 +94,9 @@ pub fn claim_dos(runs: usize) -> FigureTable {
         );
     }
     t.note("claim: 'communication in ALERT cannot be completely stopped by compromising certain");
-    t.note("nodes' while 'these attacks are easy to perform in geographic routing' — GPSR pairs die");
+    t.note(
+        "nodes' while 'these attacks are easy to perform in geographic routing' — GPSR pairs die",
+    );
     t.note("outright when a blackhole sits on their fixed path; ALERT pairs degrade but survive.");
     t
 }
@@ -175,13 +177,19 @@ pub fn claim_defense_cost(runs: usize) -> FigureTable {
     let mut cfg = ScenarioConfig::default().with_duration(60.0);
     cfg.traffic.pairs = 4;
     let schemes = [
-        ("ALERT (no defense)", ProtocolChoice::Alert(AlertConfig::default())),
+        (
+            "ALERT (no defense)",
+            ProtocolChoice::Alert(AlertConfig::default()),
+        ),
         (
             "ALERT two-step m=3",
             ProtocolChoice::Alert(AlertConfig::default().with_intersection_defense(3)),
         ),
         ("ZAP (fixed zone)", ProtocolChoice::Zap { growth: 1.0 }),
-        ("ZAP growing zone +5%/pkt", ProtocolChoice::Zap { growth: 1.05 }),
+        (
+            "ZAP growing zone +5%/pkt",
+            ProtocolChoice::Zap { growth: 1.05 },
+        ),
     ];
     for (name, proto) in schemes {
         let d = sweep_point(proto, &cfg, runs, Metrics::delivery_rate);
@@ -239,7 +247,11 @@ pub fn claim_energy(runs: usize) -> FigureTable {
             m.energy_per_delivered_packet_j(&CostModel::PAPER_1_8GHZ, cpu_watts)
         });
         let radio = sweep_point(proto, &cfg, runs, |m: &Metrics| {
-            let delivered = m.packets.iter().filter(|p| p.delivered_at.is_some()).count();
+            let delivered = m
+                .packets
+                .iter()
+                .filter(|p| p.delivered_at.is_some())
+                .count();
             if delivered == 0 {
                 f64::NAN
             } else {
@@ -247,7 +259,11 @@ pub fn claim_energy(runs: usize) -> FigureTable {
             }
         });
         let crypto = sweep_point(proto, &cfg, runs, |m: &Metrics| {
-            let delivered = m.packets.iter().filter(|p| p.delivered_at.is_some()).count();
+            let delivered = m
+                .packets
+                .iter()
+                .filter(|p| p.delivered_at.is_some())
+                .count();
             if delivered == 0 {
                 f64::NAN
             } else {

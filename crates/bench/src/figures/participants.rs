@@ -73,7 +73,10 @@ pub fn fig10b(runs: usize) -> FigureTable {
             at20,
         );
         let g = sweep_point(ProtocolChoice::Gpsr, &scenario(nodes), runs, at20);
-        t.row(nodes.to_string(), vec![format!("{a:.1}"), format!("{g:.1}")]);
+        t.row(
+            nodes.to_string(),
+            vec![format!("{a:.1}"), format!("{g:.1}")],
+        );
     }
     t.note("expected shape: ALERT 13-20 and growing with N; GPSR flat at 2-3 (paper Fig. 10b)");
     t

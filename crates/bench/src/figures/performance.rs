@@ -27,7 +27,10 @@ pub fn fig14a(runs: usize) -> FigureTable {
     let mut t = FigureTable::new(
         "Fig. 14a — latency per packet (ms) vs number of nodes (simulated)",
         "nodes",
-        all_protocols().iter().map(|p| p.name().to_owned()).collect(),
+        all_protocols()
+            .iter()
+            .map(|p| p.name().to_owned())
+            .collect(),
     );
     for nodes in NODE_SWEEP {
         let cfg = ScenarioConfig::default().with_nodes(nodes);
@@ -65,10 +68,22 @@ pub fn fig14b(runs: usize) -> FigureTable {
         let vals = vec![
             format!("{:.1}", sweep_point(alert, &upd, runs, latency_ms)),
             format!("{:.1}", sweep_point(alert, &noupd, runs, latency_ms)),
-            format!("{:.1}", sweep_point(ProtocolChoice::Gpsr, &upd, runs, latency_ms)),
-            format!("{:.1}", sweep_point(ProtocolChoice::Gpsr, &noupd, runs, latency_ms)),
-            format!("{:.1}", sweep_point(ProtocolChoice::Alarm, &upd, runs, latency_ms)),
-            format!("{:.1}", sweep_point(ProtocolChoice::Ao2p, &upd, runs, latency_ms)),
+            format!(
+                "{:.1}",
+                sweep_point(ProtocolChoice::Gpsr, &upd, runs, latency_ms)
+            ),
+            format!(
+                "{:.1}",
+                sweep_point(ProtocolChoice::Gpsr, &noupd, runs, latency_ms)
+            ),
+            format!(
+                "{:.1}",
+                sweep_point(ProtocolChoice::Alarm, &upd, runs, latency_ms)
+            ),
+            format!(
+                "{:.1}",
+                sweep_point(ProtocolChoice::Ao2p, &upd, runs, latency_ms)
+            ),
         ];
         t.row(format!("{v:.0}"), vals);
     }
@@ -94,7 +109,12 @@ pub fn fig15a(runs: usize) -> FigureTable {
         let cfg = ScenarioConfig::default().with_nodes(nodes);
         let mut vals: Vec<String> = all_protocols()
             .iter()
-            .map(|p| format!("{:.2}", sweep_point(*p, &cfg, runs, Metrics::hops_per_packet)))
+            .map(|p| {
+                format!(
+                    "{:.2}",
+                    sweep_point(*p, &cfg, runs, Metrics::hops_per_packet)
+                )
+            })
             .collect();
         // Reorder: ALERT, GPSR, ALARM, AO2P already; append ALARM+dissem.
         let with_dissem = sweep_point(
@@ -106,7 +126,9 @@ pub fn fig15a(runs: usize) -> FigureTable {
         vals.push(format!("{with_dissem:.2}"));
         t.row(nodes.to_string(), vals);
     }
-    t.note("expected shape: ALERT a few hops above the greedy baselines; ALARM+dissemination roughly");
+    t.note(
+        "expected shape: ALERT a few hops above the greedy baselines; ALARM+dissemination roughly",
+    );
     t.note("double ALERT's hop count (paper Fig. 15a)");
     t
 }
@@ -130,13 +152,30 @@ pub fn fig15b(runs: usize) -> FigureTable {
         let noupd = upd.clone().with_location(LocationPolicy::SessionStart);
         let alert = ProtocolChoice::Alert(AlertConfig::default());
         let vals = vec![
-            format!("{:.2}", sweep_point(alert, &upd, runs, Metrics::hops_per_packet)),
-            format!("{:.2}", sweep_point(alert, &noupd, runs, Metrics::hops_per_packet)),
-            format!("{:.2}", sweep_point(ProtocolChoice::Gpsr, &upd, runs, Metrics::hops_per_packet)),
-            format!("{:.2}", sweep_point(ProtocolChoice::Gpsr, &noupd, runs, Metrics::hops_per_packet)),
             format!(
                 "{:.2}",
-                sweep_point(ProtocolChoice::Alarm, &upd, runs, Metrics::hops_per_packet_with_control)
+                sweep_point(alert, &upd, runs, Metrics::hops_per_packet)
+            ),
+            format!(
+                "{:.2}",
+                sweep_point(alert, &noupd, runs, Metrics::hops_per_packet)
+            ),
+            format!(
+                "{:.2}",
+                sweep_point(ProtocolChoice::Gpsr, &upd, runs, Metrics::hops_per_packet)
+            ),
+            format!(
+                "{:.2}",
+                sweep_point(ProtocolChoice::Gpsr, &noupd, runs, Metrics::hops_per_packet)
+            ),
+            format!(
+                "{:.2}",
+                sweep_point(
+                    ProtocolChoice::Alarm,
+                    &upd,
+                    runs,
+                    Metrics::hops_per_packet_with_control
+                )
             ),
         ];
         t.row(format!("{v:.0}"), vals);
@@ -150,7 +189,10 @@ pub fn fig16a(runs: usize) -> FigureTable {
     let mut t = FigureTable::new(
         "Fig. 16a — delivery rate vs number of nodes, with destination update (simulated)",
         "nodes",
-        all_protocols().iter().map(|p| p.name().to_owned()).collect(),
+        all_protocols()
+            .iter()
+            .map(|p| p.name().to_owned())
+            .collect(),
     );
     for nodes in NODE_SWEEP {
         let cfg = ScenarioConfig::default().with_nodes(nodes);
@@ -182,10 +224,22 @@ pub fn fig16b(runs: usize) -> FigureTable {
         let noupd = upd.clone().with_location(LocationPolicy::SessionStart);
         let alert = ProtocolChoice::Alert(AlertConfig::default());
         let vals = vec![
-            format!("{:.3}", sweep_point(alert, &upd, runs, Metrics::delivery_rate)),
-            format!("{:.3}", sweep_point(alert, &noupd, runs, Metrics::delivery_rate)),
-            format!("{:.3}", sweep_point(ProtocolChoice::Gpsr, &upd, runs, Metrics::delivery_rate)),
-            format!("{:.3}", sweep_point(ProtocolChoice::Gpsr, &noupd, runs, Metrics::delivery_rate)),
+            format!(
+                "{:.3}",
+                sweep_point(alert, &upd, runs, Metrics::delivery_rate)
+            ),
+            format!(
+                "{:.3}",
+                sweep_point(alert, &noupd, runs, Metrics::delivery_rate)
+            ),
+            format!(
+                "{:.3}",
+                sweep_point(ProtocolChoice::Gpsr, &upd, runs, Metrics::delivery_rate)
+            ),
+            format!(
+                "{:.3}",
+                sweep_point(ProtocolChoice::Gpsr, &noupd, runs, Metrics::delivery_rate)
+            ),
         ];
         t.row(format!("{v:.0}"), vals);
     }
@@ -229,16 +283,32 @@ pub fn fig17(runs: usize) -> FigureTable {
             format!("{:.1}", sweep_point(alert, &rwp, runs, latency_ms)),
             format!("{:.1}", sweep_point(alert, &g10, runs, latency_ms)),
             format!("{:.1}", sweep_point(alert, &g5, runs, latency_ms)),
-            format!("{:.1}", sweep_point(alert, &rwp, runs, Metrics::hops_per_packet).mean),
-            format!("{:.1}", sweep_point(alert, &g10, runs, Metrics::hops_per_packet).mean),
-            format!("{:.1}", sweep_point(alert, &g5, runs, Metrics::hops_per_packet).mean),
-            format!("{:.2}", sweep_point(alert, &g5, runs, Metrics::delivery_rate).mean),
+            format!(
+                "{:.1}",
+                sweep_point(alert, &rwp, runs, Metrics::hops_per_packet).mean
+            ),
+            format!(
+                "{:.1}",
+                sweep_point(alert, &g10, runs, Metrics::hops_per_packet).mean
+            ),
+            format!(
+                "{:.1}",
+                sweep_point(alert, &g5, runs, Metrics::hops_per_packet).mean
+            ),
+            format!(
+                "{:.2}",
+                sweep_point(alert, &g5, runs, Metrics::delivery_rate).mean
+            ),
         ];
         t.row(format!("{v:.0}"), vals);
     }
     t.note("expected shape: group mobility costs more than random waypoint, 5 groups more than 10");
-    t.note("(paper Fig. 17); the hop columns show it directly. The 5-group latency column is biased");
-    t.note("low because persistently disconnected inter-cluster pairs register as losses (delivery");
+    t.note(
+        "(paper Fig. 17); the hop columns show it directly. The 5-group latency column is biased",
+    );
+    t.note(
+        "low because persistently disconnected inter-cluster pairs register as losses (delivery",
+    );
     t.note("column) instead of extreme delays under our bounded retransmission window.");
     t
 }

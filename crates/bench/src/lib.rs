@@ -18,5 +18,8 @@ pub mod figures;
 pub mod runner;
 pub mod table;
 
-pub use runner::{mean_curve, run_once, sweep_metrics, sweep_point, ProtocolChoice, Stat};
+pub use runner::{
+    mean_curve, progress_enabled, run_instrumented, run_once, set_progress, sweep_metrics,
+    sweep_point, try_run_once, ProtocolChoice, RunOptions, RunOutput, Stat,
+};
 pub use table::FigureTable;

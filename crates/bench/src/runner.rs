@@ -5,8 +5,25 @@
 
 use alert_core::{Alert, AlertConfig};
 use alert_protocols::{Alarm, Anodr, Ao2p, Gpsr, Mapcp, Mask, Prism, Zap};
-use alert_sim::{Metrics, ScenarioConfig, World};
+use alert_sim::{
+    Metrics, NodeId, ProtocolNode, RunProfile, ScenarioConfig, ScenarioError, TraceSink, World,
+};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global toggle for `repro --progress`-style per-data-point lines on
+/// stderr. Off by default so sweep output stays machine-parsable.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables per-data-point progress lines on stderr.
+pub fn set_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether progress lines are currently enabled.
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
 
 /// Which routing protocol a sweep point runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,55 +69,110 @@ impl ProtocolChoice {
     }
 }
 
-/// Runs one simulation to completion and returns its metrics.
-pub fn run_once(protocol: ProtocolChoice, cfg: &ScenarioConfig, seed: u64) -> Metrics {
-    match protocol {
-        ProtocolChoice::Alert(a) => {
-            let mut w = World::new(cfg.clone(), seed, move |_, _| Alert::new(a));
-            w.run();
-            w.metrics().clone()
-        }
-        ProtocolChoice::Gpsr => {
-            let mut w = World::new(cfg.clone(), seed, |_, _| Gpsr::default());
-            w.run();
-            w.metrics().clone()
-        }
-        ProtocolChoice::Alarm => {
-            let mut w = World::new(cfg.clone(), seed, |_, _| Alarm::default());
-            w.run();
-            w.metrics().clone()
-        }
-        ProtocolChoice::Ao2p => {
-            let mut w = World::new(cfg.clone(), seed, |_, _| Ao2p::default());
-            w.run();
-            w.metrics().clone()
-        }
-        ProtocolChoice::Zap { growth } => {
-            let mut w = World::new(cfg.clone(), seed, move |_, _| Zap::with_growth(growth));
-            w.run();
-            w.metrics().clone()
-        }
-        ProtocolChoice::Anodr => {
-            let mut w = World::new(cfg.clone(), seed, |_, _| Anodr::default());
-            w.run();
-            w.metrics().clone()
-        }
-        ProtocolChoice::Prism => {
-            let mut w = World::new(cfg.clone(), seed, |_, _| Prism::default());
-            w.run();
-            w.metrics().clone()
-        }
-        ProtocolChoice::Mask => {
-            let mut w = World::new(cfg.clone(), seed, |_, _| Mask::default());
-            w.run();
-            w.metrics().clone()
-        }
-        ProtocolChoice::Mapcp => {
-            let mut w = World::new(cfg.clone(), seed, |_, _| Mapcp::default());
-            w.run();
-            w.metrics().clone()
+/// Observability knobs for [`run_instrumented`]: where (if anywhere) to
+/// stream the structured trace, and whether to time the dispatch loop.
+#[derive(Default)]
+pub struct RunOptions {
+    /// Trace sink to attach before the run; `None` keeps tracing at its
+    /// zero-cost disabled default.
+    pub trace: Option<Box<dyn TraceSink>>,
+    /// Collect wall-clock dispatch statistics into the [`RunProfile`].
+    pub profile: bool,
+}
+
+impl RunOptions {
+    /// Options with a trace sink attached.
+    pub fn with_trace(sink: Box<dyn TraceSink>) -> RunOptions {
+        RunOptions {
+            trace: Some(sink),
+            profile: false,
         }
     }
+}
+
+/// Everything an instrumented run produces: the simulation metrics plus
+/// the engine-level [`RunProfile`] (events dispatched, FEL high-water
+/// mark, wall-clock rates — zeros for the timing fields unless
+/// [`RunOptions::profile`] was set).
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Per-run simulation metrics.
+    pub metrics: Metrics,
+    /// Engine profile for the same run.
+    pub profile: RunProfile,
+}
+
+/// Builds the world for one protocol choice, applies the observability
+/// options, and runs to completion. Single choke point for all nine
+/// protocol arms so instrumentation cannot drift between them.
+fn drive<P, F>(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    opts: RunOptions,
+    factory: F,
+) -> Result<RunOutput, ScenarioError>
+where
+    P: ProtocolNode,
+    F: FnMut(NodeId, &ScenarioConfig) -> P,
+{
+    let mut w = World::try_new(cfg.clone(), seed, factory)?;
+    if let Some(sink) = opts.trace {
+        w.set_trace_sink(sink);
+    }
+    if opts.profile {
+        w.enable_profiling();
+    }
+    w.run();
+    // Detach (and thereby flush) the sink before reading results out.
+    drop(w.take_trace_sink());
+    let profile = w.run_profile();
+    Ok(RunOutput {
+        metrics: w.metrics().clone(),
+        profile,
+    })
+}
+
+/// Runs one simulation to completion with the given observability
+/// options. Errors on an invalid scenario instead of panicking.
+pub fn run_instrumented(
+    protocol: ProtocolChoice,
+    cfg: &ScenarioConfig,
+    seed: u64,
+    opts: RunOptions,
+) -> Result<RunOutput, ScenarioError> {
+    match protocol {
+        ProtocolChoice::Alert(a) => drive(cfg, seed, opts, move |_, _| Alert::new(a)),
+        ProtocolChoice::Gpsr => drive(cfg, seed, opts, |_, _| Gpsr::default()),
+        ProtocolChoice::Alarm => drive(cfg, seed, opts, |_, _| Alarm::default()),
+        ProtocolChoice::Ao2p => drive(cfg, seed, opts, |_, _| Ao2p::default()),
+        ProtocolChoice::Zap { growth } => {
+            drive(cfg, seed, opts, move |_, _| Zap::with_growth(growth))
+        }
+        ProtocolChoice::Anodr => drive(cfg, seed, opts, |_, _| Anodr::default()),
+        ProtocolChoice::Prism => drive(cfg, seed, opts, |_, _| Prism::default()),
+        ProtocolChoice::Mask => drive(cfg, seed, opts, |_, _| Mask::default()),
+        ProtocolChoice::Mapcp => drive(cfg, seed, opts, |_, _| Mapcp::default()),
+    }
+}
+
+/// Runs one plain (untraced, unprofiled) simulation, reporting scenario
+/// problems as a typed error.
+pub fn try_run_once(
+    protocol: ProtocolChoice,
+    cfg: &ScenarioConfig,
+    seed: u64,
+) -> Result<Metrics, ScenarioError> {
+    run_instrumented(protocol, cfg, seed, RunOptions::default()).map(|out| out.metrics)
+}
+
+/// Runs one simulation to completion and returns its metrics.
+///
+/// # Panics
+///
+/// Panics on an invalid scenario; use [`try_run_once`] to handle that
+/// case gracefully.
+pub fn run_once(protocol: ProtocolChoice, cfg: &ScenarioConfig, seed: u64) -> Metrics {
+    try_run_once(protocol, cfg, seed).unwrap_or_else(|e| panic!("invalid scenario: {e}"))
 }
 
 /// A sample mean with its 95% confidence half-width.
@@ -151,24 +223,53 @@ impl std::fmt::Display for Stat {
 
 /// Runs `runs` seeded simulations in parallel and reduces `extract` over
 /// their metrics.
-pub fn sweep_point<F>(protocol: ProtocolChoice, cfg: &ScenarioConfig, runs: usize, extract: F) -> Stat
+pub fn sweep_point<F>(
+    protocol: ProtocolChoice,
+    cfg: &ScenarioConfig,
+    runs: usize,
+    extract: F,
+) -> Stat
 where
     F: Fn(&Metrics) -> f64 + Sync,
 {
+    let start = std::time::Instant::now();
     let samples: Vec<f64> = (0..runs as u64)
         .into_par_iter()
         .map(|seed| extract(&run_once(protocol, cfg, 0xA1E7 + seed * 7919)))
         .collect();
-    Stat::from_samples(&samples)
+    let stat = Stat::from_samples(&samples);
+    if progress_enabled() {
+        eprintln!(
+            "[progress] {} n={} runs={} wall={:.2}s value={:.4} ±{:.4}",
+            protocol.name(),
+            cfg.nodes,
+            runs,
+            start.elapsed().as_secs_f64(),
+            stat.mean,
+            stat.ci95,
+        );
+    }
+    stat
 }
 
 /// Runs `runs` seeded simulations in parallel and returns the full
 /// metrics of each (for curve-valued reductions).
 pub fn sweep_metrics(protocol: ProtocolChoice, cfg: &ScenarioConfig, runs: usize) -> Vec<Metrics> {
-    (0..runs as u64)
+    let start = std::time::Instant::now();
+    let metrics: Vec<Metrics> = (0..runs as u64)
         .into_par_iter()
         .map(|seed| run_once(protocol, cfg, 0xA1E7 + seed * 7919))
-        .collect()
+        .collect();
+    if progress_enabled() {
+        eprintln!(
+            "[progress] {} n={} runs={} wall={:.2}s (full metrics)",
+            protocol.name(),
+            cfg.nodes,
+            runs,
+            start.elapsed().as_secs_f64(),
+        );
+    }
+    metrics
 }
 
 /// Element-wise mean of several equally-meaningful curves, truncated to
@@ -218,6 +319,33 @@ mod tests {
     fn mean_curve_truncates() {
         let curves = vec![vec![1.0, 2.0, 3.0], vec![3.0, 4.0]];
         assert_eq!(mean_curve(&curves), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn try_run_once_reports_invalid_scenario() {
+        let cfg = ScenarioConfig::default().with_nodes(0);
+        let err = try_run_once(ProtocolChoice::Gpsr, &cfg, 1).unwrap_err();
+        assert_eq!(err, ScenarioError::NoNodes);
+    }
+
+    #[test]
+    fn run_instrumented_profiles_and_traces() {
+        use alert_sim::{JsonlSink, SharedBuf};
+        let mut cfg = ScenarioConfig::default().with_nodes(40).with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        let buf = SharedBuf::default();
+        let opts = RunOptions {
+            trace: Some(Box::new(JsonlSink::new(buf.clone()))),
+            profile: true,
+        };
+        let out = run_instrumented(ProtocolChoice::Gpsr, &cfg, 9, opts).unwrap();
+        assert!(out.profile.events_dispatched > 0);
+        assert!(out.profile.wall_clock_s > 0.0);
+        assert!(out.profile.fel_high_water > 0);
+        assert!(!buf.contents().is_empty(), "trace sink received events");
+        // The untraced path returns the same metrics for the same seed.
+        let plain = try_run_once(ProtocolChoice::Gpsr, &cfg, 9).unwrap();
+        assert_eq!(out.metrics.delivery_rate(), plain.delivery_rate());
     }
 
     #[test]

@@ -18,11 +18,7 @@ pub struct FigureTable {
 
 impl FigureTable {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        series: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, series: Vec<String>) -> Self {
         FigureTable {
             title: title.into(),
             x_label: x_label.into(),

@@ -19,7 +19,12 @@ fn repro_renders_an_analytic_figure() {
     assert!(text.contains("Fig. 7b"));
     assert!(text.contains("E[RFs]"));
     // Ten data rows for H = 1..10.
-    assert_eq!(text.lines().filter(|l| l.trim().starts_with(char::is_numeric)).count(), 10);
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.trim().starts_with(char::is_numeric))
+            .count(),
+        10
+    );
 }
 
 #[test]
@@ -62,11 +67,22 @@ fn simrun_emits_a_valid_default_scenario_and_reruns_it() {
     let path = std::env::temp_dir().join(format!("alert_scenario_{}.json", std::process::id()));
     std::fs::write(&path, shrunk).unwrap();
     let out = simrun()
-        .args(["--protocol", "gpsr", "--scenario", path.to_str().unwrap(), "--seed", "3"])
+        .args([
+            "--protocol",
+            "gpsr",
+            "--scenario",
+            path.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
         .output()
         .expect("spawn simrun");
     let _ = std::fs::remove_file(&path);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("GPSR on 60 nodes"));
     assert!(text.contains("delivery"));
@@ -76,7 +92,9 @@ fn simrun_emits_a_valid_default_scenario_and_reruns_it() {
 fn simrun_rejects_bad_protocol_and_bad_scenario() {
     let out = simrun().args(["--protocol", "ospf"]).output().unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown protocol"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown protocol"));
 
     let path = std::env::temp_dir().join(format!("alert_bad_{}.json", std::process::id()));
     std::fs::write(&path, "{ not json").unwrap();
@@ -86,5 +104,7 @@ fn simrun_rejects_bad_protocol_and_bad_scenario() {
         .unwrap();
     let _ = std::fs::remove_file(&path);
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("bad scenario"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("bad scenario"));
 }

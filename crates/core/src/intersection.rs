@@ -116,7 +116,10 @@ mod tests {
         // H = 5 zone (~125 x 250 m -> equal-area side ~177 m) with 250 m
         // range: one holder covers the whole zone; m = 1 or 2 suffices.
         let m = minimal_m_for_full_coverage(6, 177.0, 250.0);
-        assert!(m <= 2, "m = {m} should be moderate for the default geometry");
+        assert!(
+            m <= 2,
+            "m = {m} should be moderate for the default geometry"
+        );
     }
 
     #[test]

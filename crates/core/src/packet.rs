@@ -175,7 +175,12 @@ mod tests {
 
     fn encode_rect(r: &Rect) -> Vec<u8> {
         let mut v = Vec::with_capacity(16);
-        for f in [r.min.x as f32, r.min.y as f32, r.max.x as f32, r.max.y as f32] {
+        for f in [
+            r.min.x as f32,
+            r.min.y as f32,
+            r.max.x as f32,
+            r.max.y as f32,
+        ] {
             v.extend_from_slice(&f.to_be_bytes());
         }
         v

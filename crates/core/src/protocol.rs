@@ -19,7 +19,7 @@ use crate::config::AlertConfig;
 use crate::packet::{AlertMsg, AlertPacket, PacketRole, RoutePhase};
 use alert_crypto::{pk_decrypt, pk_encrypt, PkSealed, Pseudonym, SymmetricKey};
 use alert_geom::{destination_zone, separate, Axis, Point, Rect, SeparateOutcome};
-use alert_protocols::forwarding::greedy_next_hop;
+use alert_protocols::forwarding::{greedy_next_hop, greedy_next_hop_traced};
 use alert_sim::{
     Api, DataRequest, Frame, PacketId, ProtocolNode, SessionId, TimerToken, TrafficClass,
 };
@@ -121,7 +121,12 @@ impl Alert {
     /// Serializes a zone rectangle for the `L_ZS` public-key sealing.
     fn encode_rect(r: &Rect) -> Vec<u8> {
         let mut v = Vec::with_capacity(16);
-        for f in [r.min.x as f32, r.min.y as f32, r.max.x as f32, r.max.y as f32] {
+        for f in [
+            r.min.x as f32,
+            r.min.y as f32,
+            r.max.x as f32,
+            r.max.y as f32,
+        ] {
             v.extend_from_slice(&f.to_be_bytes());
         }
         v
@@ -157,7 +162,12 @@ impl Alert {
     /// Step 2 of the algorithm: partition until separated from `Z_D`,
     /// draw a TD, and start a greedy leg. Runs at the source and at every
     /// random forwarder.
-    fn route_step(&mut self, api: &mut Api<'_, AlertMsg>, mut pkt: AlertPacket, working_zone: Rect) {
+    fn route_step(
+        &mut self,
+        api: &mut Api<'_, AlertMsg>,
+        mut pkt: AlertPacket,
+        working_zone: Rect,
+    ) {
         let me = api.my_pos();
         if pkt.zd.contains(me) {
             self.zone_delivery(api, pkt);
@@ -173,6 +183,7 @@ impl Alert {
             }
             SeparateOutcome::Separated(sep) => {
                 let td = sep.td_zone.random_point(api.rng());
+                api.trace_zone_partition(pkt.packet, sep.splits, td);
                 pkt.h += sep.splits;
                 pkt.axis = sep.next_axis;
                 pkt.leg_ttl = self.cfg.leg_ttl;
@@ -197,7 +208,7 @@ impl Alert {
             // Leg budget exhausted (a long zigzag towards a distant TD):
             // recover by re-partitioning from here instead of dropping.
             // This consumes partition budget, so it terminates.
-            api.mark_drop("leg_ttl_exhausted");
+            api.mark_packet_drop("leg_ttl_exhausted", pkt.packet);
             let zone = match pkt.phase {
                 RoutePhase::ToTd { zone, .. } => zone,
                 _ => api.field(),
@@ -212,14 +223,13 @@ impl Alert {
             return;
         }
         if pkt.total_ttl == 0 {
-            api.mark_drop("packet_ttl_exhausted");
+            api.mark_packet_drop("packet_ttl_exhausted", pkt.packet);
             return;
         }
         pkt.total_ttl -= 1;
         pkt.leg_ttl -= 1;
-        let me = api.my_pos();
         let neighbors = api.neighbors();
-        match greedy_next_hop(me, td, &neighbors) {
+        match greedy_next_hop_traced(api, td, &neighbors, Some(pkt.packet)) {
             Some(n) => {
                 let wire = pkt.wire_bytes();
                 let class = Self::class_of(pkt.role);
@@ -458,16 +468,21 @@ impl Alert {
                 // is not too far away" (Fig. 16); it costs hops only in
                 // the drift case and reveals nothing beyond the hello
                 // exchange already did.
-                if let Some(d) = alert_protocols::forwarding::neighbor_by_pseudonym(
-                    &api.neighbors(),
-                    pkt.pd,
-                ) {
+                if let Some(d) =
+                    alert_protocols::forwarding::neighbor_by_pseudonym(&api.neighbors(), pkt.pd)
+                {
                     if !pkt.zd.contains(d.position) && self.relayed.insert(pkt.packet) {
                         let wire = pkt.wire_bytes();
                         let class = Self::class_of(pkt.role);
                         let id = pkt.packet;
                         Self::mark_tx(api, &pkt);
-                        api.send_unicast(d.pseudonym, AlertMsg::Packet(pkt.clone()), wire, class, Some(id));
+                        api.send_unicast(
+                            d.pseudonym,
+                            AlertMsg::Packet(pkt.clone()),
+                            wire,
+                            class,
+                            Some(id),
+                        );
                     }
                 }
                 // Scoped relay: when the zone is too large for any single
@@ -582,7 +597,7 @@ impl ProtocolNode for Alert {
 
     fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
         let Some(info) = api.lookup(req.dst) else {
-            api.mark_drop("location_lookup_failed");
+            api.mark_packet_drop("location_lookup_failed", req.packet);
             return;
         };
         let field = api.field();
@@ -678,7 +693,12 @@ impl ProtocolNode for Alert {
                 self.route_step(api, *pkt, field);
             }
             Some(Delayed::SendCover) => {
-                api.send_broadcast(AlertMsg::Cover, self.cfg.cover_bytes, TrafficClass::Cover, None);
+                api.send_broadcast(
+                    AlertMsg::Cover,
+                    self.cfg.cover_bytes,
+                    TrafficClass::Cover,
+                    None,
+                );
             }
             Some(Delayed::RetransmitCheck(id)) => {
                 if let Some((mut pkt, retries)) = self.pending_confirm.get(&id).cloned() {

@@ -4,7 +4,9 @@ use alert_core::{Alert, AlertConfig};
 use alert_sim::{LocationPolicy, ScenarioConfig, World};
 
 fn scenario(nodes: usize, duration: f64) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(duration);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(nodes)
+        .with_duration(duration);
     cfg.traffic.pairs = 5;
     cfg
 }
@@ -29,7 +31,12 @@ fn latency_in_the_paper_regime() {
     // the notify-and-go back-off. The typical (median) packet must be in
     // the low tens of ms; the mean may include a few retransmission
     // rescues but must stay far below the ALARM/AO2P regime (~1 s).
-    let mut lats: Vec<f64> = w.metrics().packets.iter().filter_map(|p| p.latency()).collect();
+    let mut lats: Vec<f64> = w
+        .metrics()
+        .packets
+        .iter()
+        .filter_map(|p| p.latency())
+        .collect();
     lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = lats[lats.len() / 2];
     assert!(
@@ -186,7 +193,10 @@ fn zone_deliveries_are_recorded_for_analysis() {
     let total: usize = (0..200)
         .map(|i| w.protocol(alert_sim::NodeId(i)).zone_deliveries.len())
         .sum();
-    assert!(total > 0, "no zone-delivery records for the adversary analysis");
+    assert!(
+        total > 0,
+        "no zone-delivery records for the adversary analysis"
+    );
 }
 
 #[test]

@@ -22,7 +22,9 @@ fn diag() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2);
-    let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(100.0);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(nodes)
+        .with_duration(100.0);
     cfg.traffic.pairs = 10;
     let mut w = World::new(cfg, seed, |_, _| Alert::new(AlertConfig::default()));
     w.run();
@@ -51,7 +53,11 @@ fn diag() {
         .iter()
         .filter(|p| p.latency().is_some_and(|l| l > 0.1))
         .count();
-    let undelivered = m.packets.iter().filter(|p| p.delivered_at.is_none()).count();
+    let undelivered = m
+        .packets
+        .iter()
+        .filter(|p| p.delivered_at.is_none())
+        .count();
     println!("slow(>100ms)={slow} undelivered={undelivered}");
     let mut hops: Vec<u32> = m.packets.iter().map(|p| p.hops).collect();
     hops.sort_unstable();

@@ -249,10 +249,22 @@ mod tests {
         let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
         let aes = Aes128::new(&key);
         let cases = [
-            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
-            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
-            ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
-            ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+            (
+                "6bc1bee22e409f96e93d7e117393172a",
+                "3ad77bb40d7a3660a89ecaf32466ef97",
+            ),
+            (
+                "ae2d8a571e03ac9c9eb76fac45af8e51",
+                "f5d3d58503b9699de785895a96fdbaaf",
+            ),
+            (
+                "30c81c46a35ce411e5fbc1191a0a52ef",
+                "43b1cd7f598ece23881b00e3ed030688",
+            ),
+            (
+                "f69f2445df4f9b17ad2b417be66c3710",
+                "7b0c785e27e8ad3f8223207104725dd4",
+            ),
         ];
         for (pt, ct) in cases {
             let mut block: [u8; 16] = hex(pt).try_into().unwrap();
@@ -309,7 +321,13 @@ mod tests {
         // FIPS-197 Appendix A.1 key expansion check points.
         let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
         let aes = Aes128::new(&key);
-        assert_eq!(aes.round_keys[0].to_vec(), hex("2b7e151628aed2a6abf7158809cf4f3c"));
-        assert_eq!(aes.round_keys[10].to_vec(), hex("d014f9a8c9ee2589e13f0cc8b6630ca6"));
+        assert_eq!(
+            aes.round_keys[0].to_vec(),
+            hex("2b7e151628aed2a6abf7158809cf4f3c")
+        );
+        assert_eq!(
+            aes.round_keys[10].to_vec(),
+            hex("d014f9a8c9ee2589e13f0cc8b6630ca6")
+        );
     }
 }

@@ -51,5 +51,7 @@ pub use aes::Aes128;
 pub use cipher::{mac, open, seal, SealedBytes, SymmetricKey};
 pub use cost::{CostModel, CryptoOps};
 pub use pseudonym::{compute_pseudonym, MacAddress, Pseudonym, PseudonymGenerator};
-pub use pubkey::{pk_decrypt, pk_encrypt, pk_sign, pk_verify, KeyPair, PkSealed, PrivateKey, PublicKey};
+pub use pubkey::{
+    pk_decrypt, pk_encrypt, pk_sign, pk_verify, KeyPair, PkSealed, PrivateKey, PublicKey,
+};
 pub use sha1::{hmac_sha1, sha1, Digest, Sha1};

@@ -202,15 +202,23 @@ pub fn pk_decrypt(sk: &PrivateKey, sealed: &PkSealed) -> Option<Vec<u8>> {
 /// Signs `digest8` (an 8-byte message digest) with the private key:
 /// split into two blocks, "decrypt" each.
 pub fn pk_sign(sk: &PrivateKey, digest8: &[u8; 8]) -> [u64; 2] {
-    let lo = u64::from(u32::from_be_bytes(digest8[..4].try_into().expect("8 bytes")));
-    let hi = u64::from(u32::from_be_bytes(digest8[4..].try_into().expect("8 bytes")));
+    let lo = u64::from(u32::from_be_bytes(
+        digest8[..4].try_into().expect("8 bytes"),
+    ));
+    let hi = u64::from(u32::from_be_bytes(
+        digest8[4..].try_into().expect("8 bytes"),
+    ));
     [pow_mod(lo, sk.d, sk.n), pow_mod(hi, sk.d, sk.n)]
 }
 
 /// Verifies a signature produced by [`pk_sign`].
 pub fn pk_verify(pk: &PublicKey, digest8: &[u8; 8], sig: &[u64; 2]) -> bool {
-    let lo = u64::from(u32::from_be_bytes(digest8[..4].try_into().expect("8 bytes")));
-    let hi = u64::from(u32::from_be_bytes(digest8[4..].try_into().expect("8 bytes")));
+    let lo = u64::from(u32::from_be_bytes(
+        digest8[..4].try_into().expect("8 bytes"),
+    ));
+    let hi = u64::from(u32::from_be_bytes(
+        digest8[4..].try_into().expect("8 bytes"),
+    ));
     pow_mod(sig[0], pk.e, pk.n) == lo && pow_mod(sig[1], pk.e, pk.n) == hi
 }
 

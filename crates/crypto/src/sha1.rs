@@ -196,12 +196,18 @@ mod tests {
     // FIPS 180-1 / RFC 3174 test vectors.
     #[test]
     fn empty_string() {
-        assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            sha1(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn abc() {
-        assert_eq!(sha1(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            sha1(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -270,7 +276,11 @@ mod tests {
         );
         let long_key = [0xaa; 80];
         assert_eq!(
-            hmac_sha1(&long_key, b"Test Using Larger Than Block-Size Key - Hash Key First").to_hex(),
+            hmac_sha1(
+                &long_key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )
+            .to_hex(),
             "aa4ae5e15272d00e95705637ce8a3b55ed402112"
         );
     }

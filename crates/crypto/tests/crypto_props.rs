@@ -1,8 +1,7 @@
 //! Property-based tests of the crypto substrate.
 
 use alert_crypto::{
-    mac, open, pk_decrypt, pk_encrypt, pk_sign, pk_verify, seal, sha1, KeyPair, Sha1,
-    SymmetricKey,
+    mac, open, pk_decrypt, pk_encrypt, pk_sign, pk_verify, seal, sha1, KeyPair, Sha1, SymmetricKey,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

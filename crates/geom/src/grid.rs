@@ -68,8 +68,10 @@ impl SpatialGrid {
     fn cell_of(&self, p: Point) -> (usize, usize) {
         // Clamp so positions on (or marginally past) the boundary index the
         // edge cells instead of panicking.
-        let cx = (((p.x - self.bounds.min.x) / self.cell) as isize).clamp(0, self.cols as isize - 1);
-        let cy = (((p.y - self.bounds.min.y) / self.cell) as isize).clamp(0, self.rows as isize - 1);
+        let cx =
+            (((p.x - self.bounds.min.x) / self.cell) as isize).clamp(0, self.cols as isize - 1);
+        let cy =
+            (((p.y - self.bounds.min.y) / self.cell) as isize).clamp(0, self.rows as isize - 1);
         (cx as usize, cy as usize)
     }
 

@@ -73,7 +73,10 @@ impl Axis {
 /// `density` is nodes per square metre, `area` is the field area `G` in
 /// square metres, and `k` is the destination anonymity parameter.
 pub fn required_partitions(density: f64, area: f64, k: f64) -> u32 {
-    assert!(density > 0.0 && area > 0.0 && k > 0.0, "parameters must be positive");
+    assert!(
+        density > 0.0 && area > 0.0 && k > 0.0,
+        "parameters must be positive"
+    );
     let h = (density * area / k).log2();
     if h <= 0.0 {
         0
@@ -338,7 +341,11 @@ mod tests {
         let me = Point::new(550.0, 550.0);
         match separate(&field, me, &zd, Axis::Vertical, 5) {
             SeparateOutcome::Separated(s) => {
-                assert!(s.splits >= 2, "close pair needs several splits, got {}", s.splits);
+                assert!(
+                    s.splits >= 2,
+                    "close pair needs several splits, got {}",
+                    s.splits
+                );
                 assert!(s.td_zone.contains(zd.center()));
             }
             other => panic!("expected separation, got {other:?}"),

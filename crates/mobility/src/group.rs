@@ -194,8 +194,8 @@ impl Mobility for GroupMobility {
         // Advance member wander within the small disc around the reference
         // point.
         let wander_radius = self.config.group_range * self.config.wander_fraction;
-        let wander_speed = self.config.speed_max.max(self.config.speed_min)
-            * self.config.wander_speed_fraction;
+        let wander_speed =
+            self.config.speed_max.max(self.config.speed_min) * self.config.wander_speed_fraction;
         for m in &mut self.members {
             let travel = wander_speed * dt;
             let to_target = m.wander.distance(m.wander_target);

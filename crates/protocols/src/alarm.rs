@@ -17,7 +17,9 @@
 use crate::forwarding::{greedy_next_hop, neighbor_by_pseudonym};
 use alert_crypto::Pseudonym;
 use alert_geom::Point;
-use alert_sim::{Api, DataRequest, Frame, NodeId, PacketId, ProtocolNode, TimerToken, TrafficClass};
+use alert_sim::{
+    Api, DataRequest, Frame, NodeId, PacketId, ProtocolNode, TimerToken, TrafficClass,
+};
 
 /// Wire size of a Location Announcement Message: identity certificate,
 /// signed timestamped coordinates (per the ALARM paper, ~ 100 bytes).
@@ -92,7 +94,15 @@ impl Alarm {
         api.set_timer(self.dissemination_period_s, LAM_TIMER);
     }
 
-    fn forward(&self, api: &mut Api<'_, AlarmMsg>, packet: PacketId, bytes: usize, target: Point, dst: Pseudonym, ttl: u32) {
+    fn forward(
+        &self,
+        api: &mut Api<'_, AlarmMsg>,
+        packet: PacketId,
+        bytes: usize,
+        target: Point,
+        dst: Pseudonym,
+        ttl: u32,
+    ) {
         if ttl == 0 {
             return;
         }
@@ -209,7 +219,9 @@ mod tests {
     use alert_sim::{ScenarioConfig, World};
 
     fn scenario(nodes: usize) -> ScenarioConfig {
-        let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(30.0);
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(nodes)
+            .with_duration(30.0);
         cfg.traffic.pairs = 5;
         cfg
     }

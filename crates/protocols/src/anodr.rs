@@ -348,7 +348,8 @@ impl ProtocolNode for Anodr {
                 api.charge_symmetric(1); // peel my layer
                 if onion.is_empty() {
                     // I am the source: route pinned.
-                    self.source_routes.insert(session, (downstream_tag, frame.from));
+                    self.source_routes
+                        .insert(session, (downstream_tag, frame.from));
                     self.flush_pending(api);
                     return;
                 }

@@ -98,7 +98,13 @@ impl Ao2p {
             // Hop-by-hop encryption for the winning next hop.
             api.charge_pk_encrypt(1);
             api.mark_hop(msg.packet);
-            api.send_unicast(n.pseudonym, msg.clone(), wire, TrafficClass::Data, Some(msg.packet));
+            api.send_unicast(
+                n.pseudonym,
+                msg.clone(),
+                wire,
+                TrafficClass::Data,
+                Some(msg.packet),
+            );
         }
     }
 }
@@ -160,7 +166,9 @@ mod tests {
     use alert_sim::{ScenarioConfig, World};
 
     fn scenario(nodes: usize) -> ScenarioConfig {
-        let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(30.0);
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(nodes)
+            .with_duration(30.0);
         cfg.traffic.pairs = 5;
         cfg
     }
@@ -174,7 +182,11 @@ mod tests {
     #[test]
     fn delivers_on_dense_network() {
         let w = run(scenario(200), 1);
-        assert!(w.metrics().delivery_rate() > 0.85, "rate {}", w.metrics().delivery_rate());
+        assert!(
+            w.metrics().delivery_rate() > 0.85,
+            "rate {}",
+            w.metrics().delivery_rate()
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! (Section 2.3) — are built on.
 
 use alert_geom::Point;
-use alert_sim::NeighborEntry;
+use alert_sim::{Api, NeighborEntry, PacketId};
 
 /// Picks the neighbor strictly closer to `target` than `me`, minimizing
 /// the remaining distance (greedy mode). Ties break towards the earlier
@@ -30,6 +30,22 @@ pub fn greedy_next_hop(
     best.map(|(_, n)| n)
 }
 
+/// [`greedy_next_hop`] with observability: emits a
+/// `forwarder_select` trace event (target position plus whether any
+/// neighbor made progress) through the node's [`Api`]. Use this on
+/// data-plane forwarding decisions where "where did greedy get stuck?"
+/// matters for trace analysis; identical routing behavior otherwise.
+pub fn greedy_next_hop_traced<M: Clone + std::fmt::Debug>(
+    api: &mut Api<'_, M>,
+    target: Point,
+    neighbors: &[NeighborEntry],
+    packet: Option<PacketId>,
+) -> Option<NeighborEntry> {
+    let hop = greedy_next_hop(api.my_pos(), target, neighbors);
+    api.trace_forwarder_selection(packet, target, hop.is_some());
+    hop
+}
+
 /// Filters `neighbors` down to the Gabriel-graph edges of `me`: the edge
 /// `(me, v)` survives when no other neighbor `w` lies strictly inside the
 /// circle whose diameter is `me–v`. The Gabriel graph is planar and
@@ -40,9 +56,9 @@ pub fn gabriel_neighbors(me: Point, neighbors: &[NeighborEntry]) -> Vec<Neighbor
         .filter(|v| {
             let mid = Point::new((me.x + v.position.x) * 0.5, (me.y + v.position.y) * 0.5);
             let r_sq = me.distance_sq(v.position) * 0.25;
-            !neighbors.iter().any(|w| {
-                w.pseudonym != v.pseudonym && w.position.distance_sq(mid) < r_sq - 1e-12
-            })
+            !neighbors
+                .iter()
+                .any(|w| w.pseudonym != v.pseudonym && w.position.distance_sq(mid) < r_sq - 1e-12)
         })
         .copied()
         .collect()
@@ -114,8 +130,15 @@ mod tests {
     fn greedy_picks_closest_progressing_neighbor() {
         let me = Point::new(0.0, 0.0);
         let target = Point::new(100.0, 0.0);
-        let ns = vec![entry(1, 10.0, 0.0), entry(2, 40.0, 0.0), entry(3, -5.0, 0.0)];
-        assert_eq!(greedy_next_hop(me, target, &ns).unwrap().pseudonym, Pseudonym(2));
+        let ns = vec![
+            entry(1, 10.0, 0.0),
+            entry(2, 40.0, 0.0),
+            entry(3, -5.0, 0.0),
+        ];
+        assert_eq!(
+            greedy_next_hop(me, target, &ns).unwrap().pseudonym,
+            Pseudonym(2)
+        );
     }
 
     #[test]
@@ -146,7 +169,11 @@ mod tests {
     #[test]
     fn gabriel_keeps_independent_edges() {
         let me = Point::new(0.0, 0.0);
-        let ns = vec![entry(1, 10.0, 0.0), entry(2, 0.0, 10.0), entry(3, -10.0, 0.0)];
+        let ns = vec![
+            entry(1, 10.0, 0.0),
+            entry(2, 0.0, 10.0),
+            entry(3, -10.0, 0.0),
+        ];
         let planar = gabriel_neighbors(me, &ns);
         assert_eq!(planar.len(), 3, "orthogonal edges are all Gabriel edges");
     }
@@ -170,7 +197,10 @@ mod tests {
         let prev = Point::new(-10.0, 0.0);
         // Only the previous hop is available: must return it (backtrack).
         let ns = vec![entry(1, -10.0, 0.0)];
-        assert_eq!(right_hand_next(me, prev, &ns).unwrap().pseudonym, Pseudonym(1));
+        assert_eq!(
+            right_hand_next(me, prev, &ns).unwrap().pseudonym,
+            Pseudonym(1)
+        );
     }
 
     #[test]

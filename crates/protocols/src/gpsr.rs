@@ -8,7 +8,9 @@
 //! the paper uses it as the efficiency yardstick and the anonymity
 //! anti-pattern.
 
-use crate::forwarding::{gabriel_neighbors, greedy_next_hop, neighbor_by_pseudonym, right_hand_next};
+use crate::forwarding::{
+    gabriel_neighbors, greedy_next_hop, neighbor_by_pseudonym, right_hand_next,
+};
 use alert_crypto::Pseudonym;
 use alert_geom::Point;
 use alert_sim::{Api, DataRequest, Frame, PacketId, ProtocolNode, TrafficClass};
@@ -80,7 +82,13 @@ impl Gpsr {
         // Destination in range: hand the packet straight over.
         if let Some(d) = neighbor_by_pseudonym(&neighbors, msg.dst) {
             api.mark_hop(msg.packet);
-            api.send_unicast(d.pseudonym, msg.clone(), wire, TrafficClass::Data, Some(msg.packet));
+            api.send_unicast(
+                d.pseudonym,
+                msg.clone(),
+                wire,
+                TrafficClass::Data,
+                Some(msg.packet),
+            );
             return;
         }
 
@@ -184,7 +192,9 @@ mod tests {
     use alert_sim::{MobilityKind, ScenarioConfig, World};
 
     fn scenario(nodes: usize) -> ScenarioConfig {
-        let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(30.0);
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(nodes)
+            .with_duration(30.0);
         cfg.traffic.pairs = 5;
         cfg
     }

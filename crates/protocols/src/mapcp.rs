@@ -126,7 +126,9 @@ mod tests {
     use alert_sim::{Metrics, ScenarioConfig, World};
 
     fn scenario() -> ScenarioConfig {
-        let mut cfg = ScenarioConfig::default().with_nodes(150).with_duration(30.0);
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(150)
+            .with_duration(30.0);
         cfg.traffic.pairs = 4;
         cfg
     }

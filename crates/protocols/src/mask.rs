@@ -139,7 +139,13 @@ impl Mask {
             self.authenticated.insert(p);
             self.handshakes += 1;
             api.charge_pk_verify(1); // one pairing evaluation
-            api.send_unicast(p, MaskMsg::Handshake, HANDSHAKE_BYTES, TrafficClass::Control, None);
+            api.send_unicast(
+                p,
+                MaskMsg::Handshake,
+                HANDSHAKE_BYTES,
+                TrafficClass::Control,
+                None,
+            );
         }
     }
 
@@ -169,7 +175,11 @@ impl Mask {
                 api.mark_hop(packet);
                 api.send_unicast(
                     next,
-                    MaskMsg::Data { link, packet, bytes },
+                    MaskMsg::Data {
+                        link,
+                        packet,
+                        bytes,
+                    },
                     bytes + MASK_HEADER_BYTES,
                     TrafficClass::Data,
                     Some(packet),
@@ -244,7 +254,12 @@ impl ProtocolNode for Mask {
                 api.charge_pk_verify(1);
                 self.authenticated.insert(frame.from);
             }
-            MaskMsg::Rreq { id, session, dst, ttl } => {
+            MaskMsg::Rreq {
+                id,
+                session,
+                dst,
+                ttl,
+            } => {
                 if self.seen.contains(&id) {
                     return;
                 }
@@ -318,7 +333,11 @@ impl ProtocolNode for Mask {
                     None,
                 );
             }
-            MaskMsg::Data { link, packet, bytes } => {
+            MaskMsg::Data {
+                link,
+                packet,
+                bytes,
+            } => {
                 let Some(&route) = self.routes.get(&link) else {
                     api.mark_drop("mask_unknown_link");
                     return;
@@ -351,7 +370,9 @@ mod tests {
     use alert_sim::{Metrics, NodeId, ScenarioConfig, World};
 
     fn scenario() -> ScenarioConfig {
-        let mut cfg = ScenarioConfig::default().with_nodes(200).with_duration(40.0);
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(200)
+            .with_duration(40.0);
         cfg.traffic.pairs = 5;
         cfg
     }

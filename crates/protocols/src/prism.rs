@@ -104,7 +104,13 @@ impl Default for Prism {
 }
 
 impl Prism {
-    fn discover(&mut self, api: &mut Api<'_, PrismMsg>, session: SessionId, dst: Pseudonym, target: Point) {
+    fn discover(
+        &mut self,
+        api: &mut Api<'_, PrismMsg>,
+        session: SessionId,
+        dst: Pseudonym,
+        target: Point,
+    ) {
         let id: u64 = api.rng().gen();
         self.seen.insert(id, ());
         self.my_sessions.insert(session, (dst, target, api.now()));
@@ -182,7 +188,8 @@ impl ProtocolNode for Prism {
             api.mark_drop("location_lookup_failed");
             return;
         };
-        self.pending.push((req.session, req.packet, req.bytes, info.pseudonym));
+        self.pending
+            .push((req.session, req.packet, req.bytes, info.pseudonym));
         if self.pending.len() > 64 {
             self.pending.remove(0);
         }
@@ -314,7 +321,9 @@ mod tests {
     use alert_sim::{Metrics, ScenarioConfig, World};
 
     fn scenario() -> ScenarioConfig {
-        let mut cfg = ScenarioConfig::default().with_nodes(200).with_duration(40.0);
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(200)
+            .with_duration(40.0);
         cfg.traffic.pairs = 5;
         cfg
     }

@@ -120,7 +120,13 @@ impl Zap {
         match greedy_next_hop(me, msg.zone.center(), &api.neighbors()) {
             Some(n) => {
                 api.mark_hop(msg.packet);
-                api.send_unicast(n.pseudonym, msg.clone(), wire, TrafficClass::Data, Some(msg.packet));
+                api.send_unicast(
+                    n.pseudonym,
+                    msg.clone(),
+                    wire,
+                    TrafficClass::Data,
+                    Some(msg.packet),
+                );
             }
             None => api.mark_drop("zap_greedy_stuck"),
         }
@@ -182,7 +188,9 @@ mod tests {
     use alert_sim::{Metrics, ScenarioConfig, World};
 
     fn scenario() -> ScenarioConfig {
-        let mut cfg = ScenarioConfig::default().with_nodes(200).with_duration(30.0);
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(200)
+            .with_duration(30.0);
         cfg.traffic.pairs = 5;
         cfg
     }

@@ -4,7 +4,9 @@ use alert_protocols::{Anodr, Gpsr};
 use alert_sim::{Metrics, ScenarioConfig, World};
 
 fn scenario() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default().with_nodes(200).with_duration(40.0);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(200)
+        .with_duration(40.0);
     cfg.traffic.pairs = 5;
     cfg
 }

@@ -4,6 +4,66 @@
 use alert_crypto::CostModel;
 use alert_geom::Rect;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a [`ScenarioConfig`] cannot be simulated.
+///
+/// Returned by [`ScenarioConfig::validate`] and the fallible `World`
+/// constructors instead of the old `panic!("invalid scenario: …")`
+/// paths, so callers (the CLIs, tests, sweeps) can report or recover.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// `nodes == 0`.
+    NoNodes,
+    /// `field_w` or `field_h` is not positive.
+    EmptyField,
+    /// `mac.range_m` is not positive.
+    NonPositiveRange,
+    /// `duration_s` is not positive.
+    NonPositiveDuration,
+    /// More S–D pairs than the node population can supply.
+    TooManyPairs {
+        /// Requested number of S–D pairs.
+        pairs: usize,
+        /// Available nodes.
+        nodes: usize,
+    },
+    /// `mac.loss_probability` is outside `[0, 1]`.
+    InvalidLossProbability(f64),
+    /// A pre-built session references a node id outside the population.
+    SessionEndpointOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Available nodes.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NoNodes => write!(f, "scenario needs at least one node"),
+            ScenarioError::EmptyField => write!(f, "field must have positive area"),
+            ScenarioError::NonPositiveRange => write!(f, "radio range must be positive"),
+            ScenarioError::NonPositiveDuration => write!(f, "duration must be positive"),
+            ScenarioError::TooManyPairs { pairs, nodes } => write!(
+                f,
+                "{} S-D pairs need {} distinct nodes but only {} exist",
+                pairs,
+                pairs * 2,
+                nodes
+            ),
+            ScenarioError::InvalidLossProbability(p) => {
+                write!(f, "loss probability must be in [0, 1], got {p}")
+            }
+            ScenarioError::SessionEndpointOutOfRange { node, nodes } => {
+                write!(f, "session endpoint {node} out of range for {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// Which mobility model drives the nodes (Section 5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -228,29 +288,29 @@ impl ScenarioConfig {
     }
 
     /// Basic sanity checks; call before running.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ScenarioError> {
         if self.nodes == 0 {
-            return Err("scenario needs at least one node".into());
+            return Err(ScenarioError::NoNodes);
         }
         if self.field_w <= 0.0 || self.field_h <= 0.0 {
-            return Err("field must have positive area".into());
+            return Err(ScenarioError::EmptyField);
         }
         if self.mac.range_m <= 0.0 {
-            return Err("radio range must be positive".into());
+            return Err(ScenarioError::NonPositiveRange);
         }
         if self.duration_s <= 0.0 {
-            return Err("duration must be positive".into());
+            return Err(ScenarioError::NonPositiveDuration);
         }
         if self.traffic.pairs * 2 > self.nodes {
-            return Err(format!(
-                "{} S-D pairs need {} distinct nodes but only {} exist",
-                self.traffic.pairs,
-                self.traffic.pairs * 2,
-                self.nodes
-            ));
+            return Err(ScenarioError::TooManyPairs {
+                pairs: self.traffic.pairs,
+                nodes: self.nodes,
+            });
         }
         if !(0.0..=1.0).contains(&self.mac.loss_probability) {
-            return Err("loss probability must be in [0, 1]".into());
+            return Err(ScenarioError::InvalidLossProbability(
+                self.mac.loss_probability,
+            ));
         }
         Ok(())
     }
@@ -283,19 +343,46 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        assert!(ScenarioConfig::default().with_nodes(0).validate().is_err());
-        assert!(ScenarioConfig::default()
-            .with_nodes(5) // 10 pairs need 20 nodes
-            .validate()
-            .is_err());
+        assert_eq!(
+            ScenarioConfig::default().with_nodes(0).validate(),
+            Err(ScenarioError::NoNodes)
+        );
+        assert_eq!(
+            ScenarioConfig::default()
+                .with_nodes(5) // 10 pairs need 20 nodes
+                .validate(),
+            Err(ScenarioError::TooManyPairs {
+                pairs: 10,
+                nodes: 5
+            })
+        );
         let mut c = ScenarioConfig::default();
         c.mac.loss_probability = 1.5;
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ScenarioError::InvalidLossProbability(1.5))
+        );
         let c = ScenarioConfig {
             duration_s: 0.0,
             ..ScenarioConfig::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ScenarioError::NonPositiveDuration));
+    }
+
+    #[test]
+    fn scenario_error_messages_are_stable() {
+        assert_eq!(
+            ScenarioError::TooManyPairs {
+                pairs: 10,
+                nodes: 5
+            }
+            .to_string(),
+            "10 S-D pairs need 20 distinct nodes but only 5 exist"
+        );
+        assert_eq!(
+            ScenarioError::NoNodes.to_string(),
+            "scenario needs at least one node"
+        );
     }
 
     #[test]

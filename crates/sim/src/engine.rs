@@ -55,6 +55,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: f64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -70,6 +71,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: 0.0,
+            high_water: 0,
         }
     }
 
@@ -88,17 +90,31 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// The largest number of events that were ever pending at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedules `event` at absolute time `time`.
     ///
     /// Scheduling in the past (a delay computed as a tiny negative float)
     /// is clamped to `now`; the event still runs after already-queued
     /// events at `now`, preserving causality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or infinite. `Scheduled::cmp` falls back to
+    /// `Ordering::Equal` for incomparable floats, so admitting a NaN would
+    /// silently corrupt the heap order instead of failing here.
     pub fn schedule(&mut self, time: f64, event: E) {
-        debug_assert!(time.is_finite(), "event time must be finite");
+        assert!(time.is_finite(), "event time must be finite, got {time}");
         let time = if time < self.now { self.now } else { time };
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, event });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Schedules `event` after a relative delay from the current clock.
@@ -191,5 +207,33 @@ mod tests {
         q.schedule(7.0, ());
         assert_eq!(q.peek_time(), Some(7.0));
         assert_eq!(q.now(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn nan_times_are_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn infinite_times_are_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        q.schedule(3.0, ());
+        q.pop();
+        q.pop();
+        q.schedule(4.0, ());
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.len(), 2);
     }
 }

@@ -35,9 +35,19 @@ mod metrics;
 mod runtime;
 
 pub use api::{Api, DataRequest, Frame, FrameKind, NeighborEntry, ProtocolNode, TrafficClass};
-pub use config::{EnergyConfig, LocationPolicy, MacConfig, MobilityKind, ScenarioConfig, TrafficConfig};
+pub use config::{
+    EnergyConfig, LocationPolicy, MacConfig, MobilityKind, ScenarioConfig, ScenarioError,
+    TrafficConfig,
+};
 pub use engine::EventQueue;
 pub use ids::{NodeId, PacketId, SessionId, TimerToken};
 pub use location::{LocationInfo, LocationService};
 pub use metrics::{Metrics, PacketRecord};
 pub use runtime::{Observer, Session, TxEvent, World};
+
+// Re-export the observability vocabulary so downstream crates (bench,
+// examples, tests) can speak it without a separate alert-trace dependency.
+pub use alert_trace::{
+    DropReason, JsonlSink, NullSink, RegistrySnapshot, RingBufferSink, RunProfile, SharedBuf,
+    TraceEvent, TraceSink,
+};

@@ -5,6 +5,7 @@
 
 use crate::ids::{NodeId, PacketId, SessionId};
 use alert_crypto::CryptoOps;
+use alert_trace::DropReason;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -133,7 +134,11 @@ impl Metrics {
         if self.packets.is_empty() {
             return 0.0;
         }
-        let delivered = self.packets.iter().filter(|p| p.delivered_at.is_some()).count();
+        let delivered = self
+            .packets
+            .iter()
+            .filter(|p| p.delivered_at.is_some())
+            .count();
         delivered as f64 / self.packets.len() as f64
     }
 
@@ -186,8 +191,11 @@ impl Metrics {
     pub fn cumulative_participants(&self, session: SessionId) -> Vec<usize> {
         let mut union: BTreeSet<NodeId> = BTreeSet::new();
         let mut out = Vec::new();
-        let mut pkts: Vec<&PacketRecord> =
-            self.packets.iter().filter(|p| p.session == session).collect();
+        let mut pkts: Vec<&PacketRecord> = self
+            .packets
+            .iter()
+            .filter(|p| p.session == session)
+            .collect();
         pkts.sort_by_key(|a| a.seq);
         for p in pkts {
             union.extend(p.participants.iter().copied());
@@ -220,8 +228,20 @@ impl Metrics {
     }
 
     /// Records a drop event under `reason`.
-    pub fn record_drop(&mut self, reason: &str) {
-        *self.drops.entry(reason.to_owned()).or_insert(0) += 1;
+    ///
+    /// Accepts the typed [`DropReason`] or a `&'static str` (canonicalised
+    /// through [`DropReason::from`]); both produce the same stable string
+    /// keys in [`Metrics::drops`].
+    pub fn record_drop(&mut self, reason: impl Into<DropReason>) {
+        *self
+            .drops
+            .entry(reason.into().as_str().to_owned())
+            .or_insert(0) += 1;
+    }
+
+    /// The number of drops recorded under `reason` (0 if none).
+    pub fn drop_count(&self, reason: impl Into<DropReason>) -> u64 {
+        self.drops.get(reason.into().as_str()).copied().unwrap_or(0)
     }
 
     /// The `p`-th percentile of end-to-end latency over delivered packets
@@ -293,7 +313,14 @@ mod tests {
     use super::*;
 
     fn pid(m: &mut Metrics, session: u32, seq: u32) -> PacketId {
-        m.register_packet(SessionId(session), seq, NodeId(0), NodeId(1), seq as f64, 512)
+        m.register_packet(
+            SessionId(session),
+            seq,
+            NodeId(0),
+            NodeId(1),
+            seq as f64,
+            512,
+        )
     }
 
     #[test]
@@ -397,6 +424,18 @@ mod tests {
         let text = m.summary();
         assert!(text.contains("delivery 1.000"));
         assert!(text.contains("p50"));
+    }
+
+    #[test]
+    fn typed_and_string_drops_share_keys() {
+        let mut m = Metrics::default();
+        m.record_drop("unicast_out_of_range");
+        m.record_drop(DropReason::UnicastOutOfRange);
+        m.record_drop("custom_protocol_reason");
+        assert_eq!(m.drops["unicast_out_of_range"], 2);
+        assert_eq!(m.drop_count(DropReason::UnicastOutOfRange), 2);
+        assert_eq!(m.drop_count("custom_protocol_reason"), 1);
+        assert_eq!(m.drop_count("never_seen"), 0);
     }
 
     #[test]

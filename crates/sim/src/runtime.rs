@@ -3,7 +3,7 @@
 //! around a pluggable routing protocol.
 
 use crate::api::{Api, DataRequest, Frame, FrameKind, ProtocolNode, TrafficClass};
-use crate::config::{LocationPolicy, MobilityKind, ScenarioConfig};
+use crate::config::{LocationPolicy, MobilityKind, ScenarioConfig, ScenarioError};
 use crate::engine::EventQueue;
 use crate::ids::{NodeId, PacketId, SessionId, TimerToken};
 use crate::location::LocationService;
@@ -11,8 +11,11 @@ use crate::metrics::Metrics;
 use alert_crypto::{KeyPair, MacAddress, Pseudonym, PseudonymGenerator};
 use alert_geom::{Point, Rect, SpatialGrid};
 use alert_mobility::{
-    GroupMobility, GroupMobilityConfig, Mobility, RandomWaypoint, RandomWaypointConfig,
-    StaticField,
+    GroupMobility, GroupMobilityConfig, Mobility, RandomWaypoint, RandomWaypointConfig, StaticField,
+};
+use alert_trace::{
+    CounterHandle, DropReason, HistogramHandle, Registry, RegistrySnapshot, RunProfile, TickKind,
+    TraceEvent, TraceSink, Tracer, TrafficKind, TxKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,6 +64,96 @@ pub(crate) enum Event<M> {
     MobilityTick,
     HelloTick,
     LocationTick,
+}
+
+impl<M> Event<M> {
+    /// Stable class name used as the per-callback profiling key.
+    pub(crate) fn kind_name(&self) -> &'static str {
+        match self {
+            Event::Deliver { .. } => "deliver",
+            Event::Timer { .. } => "timer",
+            Event::AppSend { .. } => "app_send",
+            Event::MobilityTick => "mobility_tick",
+            Event::HelloTick => "hello_tick",
+            Event::LocationTick => "location_tick",
+        }
+    }
+}
+
+/// The runtime's counter/histogram registry plus pre-resolved handles, so
+/// hot-path updates are plain array increments.
+pub(crate) struct SimStats {
+    pub(crate) registry: Registry,
+    pub(crate) tx_frames: CounterHandle,
+    pub(crate) tx_unicast: CounterHandle,
+    pub(crate) tx_broadcast: CounterHandle,
+    pub(crate) tx_bytes: CounterHandle,
+    pub(crate) rx_frames: CounterHandle,
+    pub(crate) drops: CounterHandle,
+    pub(crate) timer_fired: CounterHandle,
+    pub(crate) app_packets: CounterHandle,
+    pub(crate) delivered: CounterHandle,
+    pub(crate) pseudonym_rotations: CounterHandle,
+    pub(crate) location_lookups: CounterHandle,
+    pub(crate) zone_partitions: CounterHandle,
+    pub(crate) random_forwarders: CounterHandle,
+    pub(crate) crypto_ops: CounterHandle,
+    pub(crate) latency_s: HistogramHandle,
+    pub(crate) hops: HistogramHandle,
+    pub(crate) mac_backoff_s: HistogramHandle,
+}
+
+impl SimStats {
+    fn new() -> Self {
+        let mut registry = Registry::new();
+        let tx_frames = registry.counter("tx.frames");
+        let tx_unicast = registry.counter("tx.unicast");
+        let tx_broadcast = registry.counter("tx.broadcast");
+        let tx_bytes = registry.counter("tx.bytes");
+        let rx_frames = registry.counter("rx.frames");
+        let drops = registry.counter("drops");
+        let timer_fired = registry.counter("timer.fired");
+        let app_packets = registry.counter("app.packets");
+        let delivered = registry.counter("delivered");
+        let pseudonym_rotations = registry.counter("pseudonym.rotations");
+        let location_lookups = registry.counter("location.lookups");
+        let zone_partitions = registry.counter("zone.partitions");
+        let random_forwarders = registry.counter("random.forwarders");
+        let crypto_ops = registry.counter("crypto.ops");
+        let latency_s = registry.histogram("latency_s");
+        let hops = registry.histogram("hops");
+        let mac_backoff_s = registry.histogram("mac_backoff_s");
+        SimStats {
+            registry,
+            tx_frames,
+            tx_unicast,
+            tx_broadcast,
+            tx_bytes,
+            rx_frames,
+            drops,
+            timer_fired,
+            app_packets,
+            delivered,
+            pseudonym_rotations,
+            location_lookups,
+            zone_partitions,
+            random_forwarders,
+            crypto_ops,
+            latency_s,
+            hops,
+            mac_backoff_s,
+        }
+    }
+}
+
+/// Maps the runtime's traffic class onto the trace vocabulary.
+fn class_kind(class: TrafficClass) -> TrafficKind {
+    match class {
+        TrafficClass::Data => TrafficKind::Data,
+        TrafficClass::Control => TrafficKind::Control,
+        TrafficClass::ControlHop => TrafficKind::ControlHop,
+        TrafficClass::Cover => TrafficKind::Cover,
+    }
 }
 
 pub(crate) enum TxDest {
@@ -134,11 +227,32 @@ pub(crate) struct WorldCore<M> {
     pub(crate) metrics: Metrics,
     pub(crate) rng: StdRng,
     pub(crate) observers: Vec<Box<dyn Observer>>,
+    pub(crate) tracer: Tracer,
+    pub(crate) stats: SimStats,
 }
 
 impl<M: Clone + std::fmt::Debug> WorldCore<M> {
     pub(crate) fn position(&self, node: NodeId) -> Point {
         self.mobility.position(node.0)
+    }
+
+    /// Central drop bookkeeping: legacy `Metrics.drops` string map, the
+    /// typed registry counter, and a trace event, all in one place.
+    pub(crate) fn drop_frame(
+        &mut self,
+        node: NodeId,
+        reason: DropReason,
+        packet: Option<PacketId>,
+    ) {
+        self.metrics.record_drop(reason);
+        self.stats.registry.inc(self.stats.drops);
+        let time = self.queue.now();
+        self.tracer.emit_with(|| TraceEvent::Drop {
+            time,
+            node: node.0 as u64,
+            reason: reason.as_str().to_owned(),
+            packet: packet.map(|p| p.0),
+        });
     }
 
     /// The channel model: computes airtime, resolves receivers, applies
@@ -176,6 +290,29 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         let from_pseudonym = self.nodes[from.0].pseudonyms.current();
         self.metrics.energy_tx_j += airtime * self.cfg.energy.tx_watts;
 
+        let tx_kind = match dest {
+            TxDest::Unicast(_) => TxKind::Unicast,
+            TxDest::Broadcast => TxKind::Broadcast,
+        };
+        self.stats.registry.inc(self.stats.tx_frames);
+        self.stats.registry.inc(match tx_kind {
+            TxKind::Unicast => self.stats.tx_unicast,
+            TxKind::Broadcast => self.stats.tx_broadcast,
+        });
+        self.stats.registry.add(self.stats.tx_bytes, bytes as u64);
+        self.stats
+            .registry
+            .observe(self.stats.mac_backoff_s, backoff);
+        let now = self.queue.now();
+        self.tracer.emit_with(|| TraceEvent::Tx {
+            time: now,
+            node: from.0 as u64,
+            kind: tx_kind,
+            class: class_kind(class),
+            bytes: bytes as u64,
+            packet: packet.map(|p| p.0),
+        });
+
         // Overhead accounting by class.
         match class {
             TrafficClass::Data => {}
@@ -202,13 +339,21 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                     let lost = mac.loss_probability > 0.0
                         && self.rng.gen_range(0.0..1.0) < mac.loss_probability;
                     if !in_range {
-                        self.metrics.record_drop("unicast_out_of_range");
+                        self.drop_frame(from, DropReason::UnicastOutOfRange, packet);
                     } else if lost {
-                        self.metrics.record_drop("unicast_channel_loss");
+                        self.drop_frame(from, DropReason::UnicastChannelLoss, packet);
                     }
                     if in_range && !lost {
                         receiver = Some(to);
                         self.metrics.energy_rx_j += airtime * self.cfg.energy.rx_watts;
+                        self.stats.registry.inc(self.stats.rx_frames);
+                        self.tracer.emit_with(|| TraceEvent::Rx {
+                            time: now,
+                            node: to.0 as u64,
+                            kind: TxKind::Unicast,
+                            bytes: bytes as u64,
+                            at,
+                        });
                         self.queue.schedule(
                             at,
                             Event::Deliver {
@@ -223,7 +368,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                         );
                     }
                 } else {
-                    self.metrics.record_drop("unicast_unknown_pseudonym");
+                    self.drop_frame(from, DropReason::UnicastUnknownPseudonym, packet);
                 }
             }
             TxDest::Broadcast => {
@@ -240,6 +385,14 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                         && self.rng.gen_range(0.0..1.0) < mac.loss_probability;
                     if !lost {
                         self.metrics.energy_rx_j += airtime * self.cfg.energy.rx_watts;
+                        self.stats.registry.inc(self.stats.rx_frames);
+                        self.tracer.emit_with(|| TraceEvent::Rx {
+                            time: now,
+                            node: to.0 as u64,
+                            kind: TxKind::Broadcast,
+                            bytes: bytes as u64,
+                            at,
+                        });
                         self.queue.schedule(
                             at,
                             Event::Deliver {
@@ -291,6 +444,11 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                     self.pseudonym_map.insert(prev, NodeId(i));
                 }
                 self.pseudonym_map.insert(p, NodeId(i));
+                self.stats.registry.inc(self.stats.pseudonym_rotations);
+                self.tracer.emit_with(|| TraceEvent::PseudonymRotation {
+                    time: now,
+                    node: i as u64,
+                });
             }
         }
         // Neighbor-table eligibility margin: a link is only advertised if
@@ -298,8 +456,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         // endpoints move apart at full speed. This models the link-quality
         // filtering every practical beacon protocol applies and avoids
         // committing unicasts to edge-of-range neighbors.
-        let range = (self.cfg.mac.range_m
-            - 2.0 * self.cfg.speed * self.cfg.hello_interval_s)
+        let range = (self.cfg.mac.range_m - 2.0 * self.cfg.speed * self.cfg.hello_interval_s)
             .max(self.cfg.mac.range_m * 0.5);
         for i in 0..self.nodes.len() {
             let me = self.mobility.position(i);
@@ -350,6 +507,10 @@ pub struct World<P: ProtocolNode> {
     core: WorldCore<P::Msg>,
     protos: Vec<Option<P>>,
     started_sessions: Vec<bool>,
+    events_dispatched: u64,
+    profile_enabled: bool,
+    profile_wall_s: f64,
+    profile_callbacks: std::collections::BTreeMap<String, alert_trace::CallbackProfile>,
 }
 
 impl<P: ProtocolNode> World<P> {
@@ -374,7 +535,7 @@ impl<P: ProtocolNode> World<P> {
         cfg: ScenarioConfig,
         seed: u64,
         factory: impl FnMut(NodeId, &ScenarioConfig) -> P,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, ScenarioError> {
         cfg.validate()?;
         let field = cfg.field();
         let mobility: Box<dyn Mobility> = match cfg.mobility {
@@ -388,22 +549,43 @@ impl<P: ProtocolNode> World<P> {
                 GroupMobilityConfig::paper(cfg.nodes, groups, range, cfg.speed),
                 seed ^ 0x0B0B_5EED,
             )),
-            MobilityKind::Static => Box::new(StaticField::uniform(field, cfg.nodes, seed ^ 0x0B0B_5EED)),
+            MobilityKind::Static => {
+                Box::new(StaticField::uniform(field, cfg.nodes, seed ^ 0x0B0B_5EED))
+            }
         };
-        Ok(Self::with_mobility(cfg, seed, mobility, None, factory))
+        Self::with_mobility(cfg, seed, mobility, None, factory)
     }
 
     /// Builds a world over an explicit static topology with explicit
     /// sessions — the researcher's API for crafted-geometry experiments
     /// (voids, corridors, adversarial placements). `cfg.nodes` is
     /// overridden by `positions.len()`; `cfg.mobility` is ignored.
+    ///
+    /// # Panics
+    /// Panics when the derived scenario fails validation; see
+    /// [`World::try_with_topology`] for the fallible variant.
     pub fn with_topology(
-        mut cfg: ScenarioConfig,
+        cfg: ScenarioConfig,
         seed: u64,
         positions: Vec<Point>,
         sessions: Vec<Session>,
         factory: impl FnMut(NodeId, &ScenarioConfig) -> P,
     ) -> Self {
+        match Self::try_with_topology(cfg, seed, positions, sessions, factory) {
+            Ok(w) => w,
+            Err(e) => panic!("invalid scenario: {e}"),
+        }
+    }
+
+    /// Non-panicking [`World::with_topology`]: returns the validation
+    /// error (including out-of-range session endpoints) instead.
+    pub fn try_with_topology(
+        mut cfg: ScenarioConfig,
+        seed: u64,
+        positions: Vec<Point>,
+        sessions: Vec<Session>,
+        factory: impl FnMut(NodeId, &ScenarioConfig) -> P,
+    ) -> Result<Self, ScenarioError> {
         cfg.nodes = positions.len();
         cfg.mobility = MobilityKind::Static;
         cfg.traffic.pairs = sessions.len();
@@ -418,9 +600,19 @@ impl<P: ProtocolNode> World<P> {
         mobility: Box<dyn Mobility>,
         sessions_override: Option<Vec<Session>>,
         mut factory: impl FnMut(NodeId, &ScenarioConfig) -> P,
-    ) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid scenario: {e}");
+    ) -> Result<Self, ScenarioError> {
+        cfg.validate()?;
+        if let Some(s) = &sessions_override {
+            if let Some(bad) = s
+                .iter()
+                .flat_map(|x| [x.src.0, x.dst.0])
+                .find(|&n| n >= cfg.nodes)
+            {
+                return Err(ScenarioError::SessionEndpointOutOfRange {
+                    node: bad,
+                    nodes: cfg.nodes,
+                });
+            }
         }
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_A1E7);
         let field = cfg.field();
@@ -448,13 +640,7 @@ impl<P: ProtocolNode> World<P> {
 
         // Random distinct S-D pairs, unless explicit sessions were given.
         let sessions: Vec<Session> = match sessions_override {
-            Some(s) => {
-                assert!(
-                    s.iter().all(|x| x.src.0 < cfg.nodes && x.dst.0 < cfg.nodes),
-                    "session endpoints out of range"
-                );
-                s
-            }
+            Some(s) => s,
             None => {
                 let mut ids: Vec<usize> = (0..cfg.nodes).collect();
                 for i in (1..ids.len()).rev() {
@@ -481,6 +667,8 @@ impl<P: ProtocolNode> World<P> {
             metrics: Metrics::default(),
             rng,
             observers: Vec::new(),
+            tracer: Tracer::disabled(),
+            stats: SimStats::new(),
             cfg,
         };
         core.rebuild_grid();
@@ -489,7 +677,8 @@ impl<P: ProtocolNode> World<P> {
 
         // Periodic machinery.
         let cfg = &core.cfg;
-        core.queue.schedule(cfg.mobility_tick_s, Event::MobilityTick);
+        core.queue
+            .schedule(cfg.mobility_tick_s, Event::MobilityTick);
         core.queue.schedule(cfg.hello_interval_s, Event::HelloTick);
         let loc_interval = match cfg.location {
             LocationPolicy::Periodic { interval_s } => interval_s,
@@ -516,11 +705,15 @@ impl<P: ProtocolNode> World<P> {
             core,
             protos,
             started_sessions,
+            events_dispatched: 0,
+            profile_enabled: false,
+            profile_wall_s: 0.0,
+            profile_callbacks: std::collections::BTreeMap::new(),
         };
         for i in 0..world.core.cfg.nodes {
             world.with_proto(NodeId(i), |p, api| p.on_start(api));
         }
-        world
+        Ok(world)
     }
 
     /// Registers a channel observer (adversary analyzers).
@@ -550,6 +743,13 @@ impl<P: ProtocolNode> World<P> {
                 self.with_proto(to, |p, api| p.on_frame(api, frame));
             }
             Event::Timer { node, token } => {
+                self.core.stats.registry.inc(self.core.stats.timer_fired);
+                let now = self.core.queue.now();
+                self.core.tracer.emit_with(|| TraceEvent::TimerFire {
+                    time: now,
+                    node: node.0 as u64,
+                    token,
+                });
                 self.with_proto(node, |p, api| p.on_timer(api, token));
             }
             Event::AppSend { session, seq } => {
@@ -568,6 +768,15 @@ impl<P: ProtocolNode> World<P> {
                     .core
                     .metrics
                     .register_packet(session, seq, s.src, s.dst, now, bytes);
+                self.core.stats.registry.inc(self.core.stats.app_packets);
+                self.core.tracer.emit_with(|| TraceEvent::AppSend {
+                    time: now,
+                    packet: pkt.0,
+                    session: u64::from(session.0),
+                    seq: u64::from(seq),
+                    src: s.src.0 as u64,
+                    dst: s.dst.0 as u64,
+                });
                 let req = DataRequest {
                     packet: pkt,
                     session,
@@ -578,12 +787,17 @@ impl<P: ProtocolNode> World<P> {
                 self.with_proto(s.src, |p, api| p.on_data_request(api, &req));
                 let next = now + self.core.cfg.traffic.interval_s;
                 if next < self.core.cfg.duration_s {
-                    self.core
-                        .queue
-                        .schedule(next, Event::AppSend { session, seq: seq + 1 });
+                    self.core.queue.schedule(
+                        next,
+                        Event::AppSend {
+                            session,
+                            seq: seq + 1,
+                        },
+                    );
                 }
             }
             Event::MobilityTick => {
+                self.emit_tick(TickKind::Mobility);
                 let dt = self.core.cfg.mobility_tick_s;
                 self.core.mobility.step(dt);
                 self.core.rebuild_grid();
@@ -592,6 +806,7 @@ impl<P: ProtocolNode> World<P> {
                 }
             }
             Event::HelloTick => {
+                self.emit_tick(TickKind::Hello);
                 self.core.hello_tick();
                 let dt = self.core.cfg.hello_interval_s;
                 if self.core.queue.now() + dt <= self.core.cfg.duration_s {
@@ -599,6 +814,7 @@ impl<P: ProtocolNode> World<P> {
                 }
             }
             Event::LocationTick => {
+                self.emit_tick(TickKind::Location);
                 self.core.location_tick();
                 let dt = match self.core.cfg.location {
                     LocationPolicy::Periodic { interval_s } => interval_s,
@@ -611,6 +827,13 @@ impl<P: ProtocolNode> World<P> {
         }
     }
 
+    fn emit_tick(&mut self, kind: TickKind) {
+        let time = self.core.queue.now();
+        self.core
+            .tracer
+            .emit_with(|| TraceEvent::Tick { time, kind });
+    }
+
     /// Processes events up to simulated time `t` (capped at the scenario
     /// duration plus a grace second for in-flight frames). Returns `false`
     /// when the event queue has drained.
@@ -621,8 +844,21 @@ impl<P: ProtocolNode> World<P> {
                 return true;
             }
             let (_, ev) = self.core.queue.pop().expect("peeked");
-            self.dispatch(ev);
+            self.events_dispatched += 1;
+            if self.profile_enabled {
+                let kind = ev.kind_name();
+                let start = std::time::Instant::now();
+                self.dispatch(ev);
+                let dt = start.elapsed().as_secs_f64();
+                self.profile_wall_s += dt;
+                let entry = self.profile_callbacks.entry(kind.to_owned()).or_default();
+                entry.count += 1;
+                entry.seconds += dt;
+            } else {
+                self.dispatch(ev);
+            }
         }
+        self.core.tracer.flush();
         false
     }
 
@@ -691,5 +927,66 @@ impl<P: ProtocolNode> World<P> {
     /// Resolves a pseudonym (current or grace predecessor) to its owner.
     pub fn pseudonym_owner(&self, pseudonym: Pseudonym) -> Option<NodeId> {
         self.core.pseudonym_map.get(&pseudonym).copied()
+    }
+
+    /// Installs a trace sink; every subsequent simulator step emits
+    /// [`TraceEvent`]s into it. Returns the previous sink, if any.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+        self.core.tracer.set(sink)
+    }
+
+    /// Flushes and removes the trace sink, disabling tracing.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.core.tracer.flush();
+        self.core.tracer.take()
+    }
+
+    /// Whether a trace sink is currently installed.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.tracer.is_enabled()
+    }
+
+    /// Turns on wall-clock profiling of the dispatch loop (small per-event
+    /// overhead; off by default).
+    pub fn enable_profiling(&mut self) {
+        self.profile_enabled = true;
+    }
+
+    /// Total events popped from the future event list so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Peak number of simultaneously pending events (FEL high-water mark).
+    pub fn fel_high_water(&self) -> usize {
+        self.core.queue.high_water()
+    }
+
+    /// Snapshot of the run's typed counters and histograms.
+    pub fn registry_snapshot(&self) -> RegistrySnapshot {
+        self.core.stats.registry.snapshot()
+    }
+
+    /// Current value of a registry counter by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.core.stats.registry.counter_value(name)
+    }
+
+    /// Builds the run's [`RunProfile`]. Wall-clock fields are only
+    /// populated when [`World::enable_profiling`] was called before the
+    /// run; the deterministic fields (event counts, FEL high-water mark,
+    /// registry) are always filled.
+    pub fn run_profile(&self) -> RunProfile {
+        let mut p = RunProfile {
+            wall_clock_s: self.profile_wall_s,
+            sim_time_s: self.core.queue.now(),
+            events_dispatched: self.events_dispatched,
+            events_per_sec: 0.0,
+            fel_high_water: self.core.queue.high_water() as u64,
+            callbacks: self.profile_callbacks.clone(),
+            registry: self.core.stats.registry.snapshot(),
+        };
+        p.finalize();
+        p
     }
 }

@@ -3,10 +3,10 @@
 //! bitrate — these are the mechanisms behind the paper's density and
 //! efficiency trends.
 
+use alert_geom::Point;
 use alert_sim::{
     Api, DataRequest, Frame, NodeId, ProtocolNode, ScenarioConfig, Session, TrafficClass, World,
 };
-use alert_geom::Point;
 
 /// Single-hop relay chain protocol: forwards along a fixed next-node
 /// chain (node i -> node i+1) until the destination. Lets us measure
@@ -79,7 +79,9 @@ impl ProtocolNode for Chain {
 /// A 5-node west-to-east chain, 200 m spacing (radio range 250 m: each
 /// node reaches exactly its chain neighbors).
 fn chain_world(mut cfg: ScenarioConfig, seed: u64) -> World<Chain> {
-    let positions: Vec<Point> = (0..5).map(|i| Point::new(60.0 + 200.0 * i as f64, 500.0)).collect();
+    let positions: Vec<Point> = (0..5)
+        .map(|i| Point::new(60.0 + 200.0 * i as f64, 500.0))
+        .collect();
     cfg.duration_s = 20.0;
     let sessions = vec![Session {
         src: NodeId(0),
@@ -94,7 +96,11 @@ fn chain_delivers_over_four_hops() {
     w.run();
     let m = w.metrics();
     assert!(m.delivery_rate() > 0.99, "rate {}", m.delivery_rate());
-    assert!((m.hops_per_packet() - 4.0).abs() < 0.01, "hops {}", m.hops_per_packet());
+    assert!(
+        (m.hops_per_packet() - 4.0).abs() < 0.01,
+        "hops {}",
+        m.hops_per_packet()
+    );
 }
 
 #[test]

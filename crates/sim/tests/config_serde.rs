@@ -35,7 +35,14 @@ fn exotic_scenario_roundtrips() {
 #[test]
 fn serialized_form_is_human_editable() {
     let json = serde_json::to_string_pretty(&ScenarioConfig::default()).unwrap();
-    for field in ["field_w", "nodes", "speed", "mobility", "range_m", "duration_s"] {
+    for field in [
+        "field_w",
+        "nodes",
+        "speed",
+        "mobility",
+        "range_m",
+        "duration_s",
+    ] {
         assert!(json.contains(field), "missing field {field} in\n{json}");
     }
 }

@@ -2,10 +2,10 @@
 //! charges public-key work before transmitting sees the charge on the
 //! wire, and a destination's decryption delays the recorded delivery.
 
+use alert_geom::Point;
 use alert_sim::{
     Api, DataRequest, Frame, NodeId, ProtocolNode, ScenarioConfig, Session, TrafficClass, World,
 };
-use alert_geom::Point;
 
 /// Sender charges `PK_OPS` public-key encryptions before each send;
 /// receiver delivers immediately.
@@ -66,8 +66,16 @@ fn charged_crypto_delays_the_wire() {
     let one = latency_with(1);
     let four = latency_with(4);
     // Each pk op is 250 ms under the paper model.
-    assert!((one - base - 0.25).abs() < 0.01, "one op added {:.3}s", one - base);
-    assert!((four - base - 1.0).abs() < 0.02, "four ops added {:.3}s", four - base);
+    assert!(
+        (one - base - 0.25).abs() < 0.01,
+        "one op added {:.3}s",
+        one - base
+    );
+    assert!(
+        (four - base - 1.0).abs() < 0.02,
+        "four ops added {:.3}s",
+        four - base
+    );
 }
 
 #[test]

@@ -2,9 +2,7 @@
 //! "significantly lower energy consumption" claim.
 
 use alert_crypto::CostModel;
-use alert_sim::{
-    Api, DataRequest, Frame, ProtocolNode, ScenarioConfig, TrafficClass, World,
-};
+use alert_sim::{Api, DataRequest, Frame, ProtocolNode, ScenarioConfig, TrafficClass, World};
 
 /// One-shot protocol: the source broadcasts each packet once; receivers do
 /// nothing. Gives exactly one transmission per data request.

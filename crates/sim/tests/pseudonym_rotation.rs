@@ -3,11 +3,11 @@
 //! one-generation grace window, and routing must keep working across
 //! rotations.
 
+use alert_crypto::Pseudonym;
+use alert_geom::Point;
 use alert_sim::{
     Api, DataRequest, Frame, NodeId, ProtocolNode, ScenarioConfig, Session, TrafficClass, World,
 };
-use alert_crypto::Pseudonym;
-use alert_geom::Point;
 
 /// Captures the destination's pseudonym at start and keeps unicasting to
 /// that (increasingly stale) pseudonym for every packet.
@@ -29,7 +29,13 @@ impl ProtocolNode for StaleAddresser {
             api.lookup(req.dst).expect("registered").pseudonym
         });
         api.mark_hop(req.packet);
-        api.send_unicast(dst, Msg(req.packet), req.bytes, TrafficClass::Data, Some(req.packet));
+        api.send_unicast(
+            dst,
+            Msg(req.packet),
+            req.bytes,
+            TrafficClass::Data,
+            Some(req.packet),
+        );
     }
     fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
         if api.is_true_destination(frame.msg.0) {
@@ -95,7 +101,13 @@ fn fresh_lookups_survive_rotations() {
         fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
             let dst = api.lookup(req.dst).expect("registered").pseudonym;
             api.mark_hop(req.packet);
-            api.send_unicast(dst, Msg(req.packet), req.bytes, TrafficClass::Data, Some(req.packet));
+            api.send_unicast(
+                dst,
+                Msg(req.packet),
+                req.bytes,
+                TrafficClass::Data,
+                Some(req.packet),
+            );
         }
         fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
             if api.is_true_destination(frame.msg.0) {

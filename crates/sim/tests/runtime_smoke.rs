@@ -72,9 +72,7 @@ impl ProtocolNode for Flood {
 }
 
 fn small_scenario() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default()
-        .with_nodes(60)
-        .with_duration(20.0);
+    let mut cfg = ScenarioConfig::default().with_nodes(60).with_duration(20.0);
     cfg.traffic.pairs = 4;
     cfg
 }
@@ -91,9 +89,15 @@ fn flooding_delivers_on_dense_network() {
     let m = w.metrics();
     assert!(m.packets_sent() > 0, "traffic generator produced packets");
     let rate = m.delivery_rate();
-    assert!(rate > 0.9, "flooding on a dense field must deliver, got {rate}");
+    assert!(
+        rate > 0.9,
+        "flooding on a dense field must deliver, got {rate}"
+    );
     let latency = m.mean_latency().expect("some deliveries");
-    assert!(latency > 0.0 && latency < 1.0, "latency {latency}s out of range");
+    assert!(
+        latency > 0.0 && latency < 1.0,
+        "latency {latency}s out of range"
+    );
 }
 
 #[test]
@@ -162,7 +166,10 @@ fn observer_sees_all_transmissions() {
     // Every data frame is a transmission; hellos are implicit (not frames),
     // so the observer count tracks protocol transmissions only.
     let hops: u64 = w.metrics().packets.iter().map(|p| u64::from(p.hops)).sum();
-    assert_eq!(seen, hops, "observer must see exactly the data transmissions");
+    assert_eq!(
+        seen, hops,
+        "observer must see exactly the data transmissions"
+    );
 }
 
 #[test]

@@ -1,0 +1,179 @@
+//! Determinism and consistency guarantees of the trace layer: the same
+//! `(ScenarioConfig, seed)` must produce byte-identical JSONL traces, and
+//! every aggregate derivable from the trace must agree with the
+//! simulator's own `Metrics` bookkeeping.
+
+use alert_sim::{
+    Api, DataRequest, Frame, JsonlSink, PacketId, ProtocolNode, ScenarioConfig, SharedBuf,
+    TrafficClass, World,
+};
+use alert_trace::{parse_trace, trace_stats};
+use std::collections::HashSet;
+
+/// Minimal flooding protocol (same shape as `runtime_smoke.rs`), enough
+/// to generate hops, deliveries, drops, and broadcasts.
+#[derive(Default)]
+struct Flood {
+    seen: HashSet<PacketId>,
+}
+
+#[derive(Debug, Clone)]
+struct FloodMsg {
+    packet: PacketId,
+    ttl: u32,
+    bytes: usize,
+}
+
+impl ProtocolNode for Flood {
+    type Msg = FloodMsg;
+
+    fn name() -> &'static str {
+        "FLOOD"
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        api.mark_hop(req.packet);
+        api.send_broadcast(
+            FloodMsg {
+                packet: req.packet,
+                ttl: 8,
+                bytes: req.bytes,
+            },
+            req.bytes,
+            TrafficClass::Data,
+            Some(req.packet),
+        );
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        let m = frame.msg;
+        if !self.seen.insert(m.packet) {
+            return;
+        }
+        if api.is_true_destination(m.packet) {
+            api.mark_delivered(m.packet);
+            return;
+        }
+        if m.ttl > 0 {
+            api.mark_hop(m.packet);
+            api.send_broadcast(
+                FloodMsg {
+                    packet: m.packet,
+                    ttl: m.ttl - 1,
+                    bytes: m.bytes,
+                },
+                m.bytes,
+                TrafficClass::Data,
+                Some(m.packet),
+            );
+        } else {
+            api.mark_packet_drop("flood_ttl_exhausted", m.packet);
+        }
+    }
+}
+
+fn small_scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default().with_nodes(60).with_duration(20.0);
+    cfg.traffic.pairs = 4;
+    cfg
+}
+
+/// Runs the flood scenario with a JSONL sink attached; returns the world
+/// and the raw trace text.
+fn traced_run(seed: u64) -> (World<Flood>, String) {
+    let buf = SharedBuf::new();
+    let mut w = World::new(small_scenario(), seed, |_, _| Flood::default());
+    w.set_trace_sink(Box::new(JsonlSink::new(buf.clone())));
+    w.run();
+    w.take_trace_sink();
+    (w, buf.contents())
+}
+
+#[test]
+fn same_seed_produces_byte_identical_traces() {
+    let (_, a) = traced_run(7);
+    let (_, b) = traced_run(7);
+    assert!(!a.is_empty(), "trace must not be empty");
+    assert_eq!(a, b, "same (scenario, seed) must trace identically");
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let (_, a) = traced_run(7);
+    let (_, c) = traced_run(8);
+    assert_ne!(a, c, "different seeds must not trace identically");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let (traced, _) = traced_run(11);
+    let mut plain = World::new(small_scenario(), 11, |_, _| Flood::default());
+    plain.run();
+    assert_eq!(
+        traced.metrics().packets_sent(),
+        plain.metrics().packets_sent()
+    );
+    assert_eq!(
+        traced.metrics().delivery_rate(),
+        plain.metrics().delivery_rate()
+    );
+    assert_eq!(
+        traced.metrics().hops_per_packet(),
+        plain.metrics().hops_per_packet()
+    );
+    assert_eq!(traced.metrics().drops, plain.metrics().drops);
+}
+
+#[test]
+fn trace_counters_agree_with_metrics_and_registry() {
+    let (w, text) = traced_run(5);
+    let events = parse_trace(&text).expect("emitted trace parses");
+    let stats = trace_stats(&events);
+    let m = w.metrics();
+
+    assert_eq!(stats.app_packets, m.packets_sent() as u64);
+    assert_eq!(stats.drops_by_reason, m.drops);
+    let delivered = m
+        .packets
+        .iter()
+        .filter(|p| p.delivered_at.is_some())
+        .count();
+    assert_eq!(stats.delivered_packets, delivered as u64);
+
+    // The typed registry and the trace are two independent observers of
+    // the same run; they must agree exactly.
+    assert_eq!(stats.tx_frames, w.counter("tx.frames"));
+    assert_eq!(stats.rx_frames, w.counter("rx.frames"));
+    assert_eq!(stats.app_packets, w.counter("app.packets"));
+    assert_eq!(stats.delivered_packets, w.counter("delivered"));
+    assert_eq!(stats.timer_fires, w.counter("timer.fired"));
+    assert_eq!(
+        stats.drops_by_reason.values().sum::<u64>(),
+        w.counter("drops")
+    );
+}
+
+#[test]
+fn trace_hops_match_metrics_hops() {
+    let (w, text) = traced_run(3);
+    let events = parse_trace(&text).expect("emitted trace parses");
+    let packets = alert_trace::reconstruct_packets(&events);
+    let m = w.metrics();
+    assert_eq!(packets.len(), m.packets_sent());
+    for (id, rec) in m.packets.iter().enumerate() {
+        let p = packets
+            .get(&(id as u64))
+            .unwrap_or_else(|| panic!("packet {id} missing from trace"));
+        assert_eq!(p.hops, u64::from(rec.hops), "hop count for packet {id}");
+        let participants: Vec<u64> = rec.participants.iter().map(|n| n.0 as u64).collect();
+        assert_eq!(p.participants, participants, "participants for packet {id}");
+        assert_eq!(p.delivered_at.is_some(), rec.delivered_at.is_some());
+    }
+}
+
+#[test]
+fn registry_snapshot_is_deterministic() {
+    let (a, _) = traced_run(9);
+    let (b, _) = traced_run(9);
+    assert_eq!(a.registry_snapshot(), b.registry_snapshot());
+}

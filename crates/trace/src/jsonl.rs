@@ -1,0 +1,750 @@
+//! The deterministic JSONL codec.
+//!
+//! Every event encodes to exactly one JSON object per line with a fixed
+//! field order (`"t"`, `"ev"`, then variant fields in declaration order)
+//! and shortest-round-trip float formatting, so the byte-identical-trace
+//! guarantee holds without depending on an external serializer. The
+//! parser accepts exactly the flat objects the encoder produces (plus
+//! arbitrary field order and whitespace, for hand-edited fixtures).
+
+use crate::event::{CryptoOp, TickKind, TraceEvent, TrafficKind, TxKind};
+use std::fmt;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn push_f64(out: &mut String, v: f64) {
+    // `{:?}` is Rust's shortest representation that round-trips; finite
+    // values are always valid JSON numbers.
+    debug_assert!(v.is_finite(), "trace times/values must be finite");
+    let _ = write!(out, "{v:?}");
+}
+
+fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn field_u64(out: &mut String, key: &str, v: u64) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn field_f64(out: &mut String, key: &str, v: f64) {
+    let _ = write!(out, ",\"{key}\":");
+    push_f64(out, v);
+}
+
+fn field_str(out: &mut String, key: &str, v: &str) {
+    let _ = write!(out, ",\"{key}\":");
+    push_str_escaped(out, v);
+}
+
+fn field_bool(out: &mut String, key: &str, v: bool) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn field_opt_u64(out: &mut String, key: &str, v: Option<u64>) {
+    if let Some(v) = v {
+        field_u64(out, key, v);
+    }
+}
+
+impl TraceEvent {
+    /// Appends the event's canonical JSONL encoding (without the trailing
+    /// newline) to `out`.
+    pub fn write_jsonl(&self, out: &mut String) {
+        out.push_str("{\"t\":");
+        push_f64(out, self.time());
+        let _ = write!(out, ",\"ev\":\"{}\"", self.kind());
+        match self {
+            TraceEvent::Tick { kind, .. } => field_str(out, "kind", kind.as_str()),
+            TraceEvent::AppSend {
+                packet,
+                session,
+                seq,
+                src,
+                dst,
+                ..
+            } => {
+                field_u64(out, "packet", *packet);
+                field_u64(out, "session", *session);
+                field_u64(out, "seq", *seq);
+                field_u64(out, "src", *src);
+                field_u64(out, "dst", *dst);
+            }
+            TraceEvent::Tx {
+                node,
+                kind,
+                class,
+                bytes,
+                packet,
+                ..
+            } => {
+                field_u64(out, "node", *node);
+                field_str(out, "kind", kind.as_str());
+                field_str(out, "class", class.as_str());
+                field_u64(out, "bytes", *bytes);
+                field_opt_u64(out, "packet", *packet);
+            }
+            TraceEvent::Rx {
+                node,
+                kind,
+                bytes,
+                at,
+                ..
+            } => {
+                field_u64(out, "node", *node);
+                field_str(out, "kind", kind.as_str());
+                field_u64(out, "bytes", *bytes);
+                field_f64(out, "at", *at);
+            }
+            TraceEvent::Drop {
+                node,
+                reason,
+                packet,
+                ..
+            } => {
+                field_u64(out, "node", *node);
+                field_str(out, "reason", reason);
+                field_opt_u64(out, "packet", *packet);
+            }
+            TraceEvent::TimerFire { node, token, .. } => {
+                field_u64(out, "node", *node);
+                field_u64(out, "token", *token);
+            }
+            TraceEvent::LocationLookup {
+                node,
+                target,
+                found,
+                ..
+            } => {
+                field_u64(out, "node", *node);
+                field_u64(out, "target", *target);
+                field_bool(out, "found", *found);
+            }
+            TraceEvent::CryptoCharge { node, op, n, .. } => {
+                field_u64(out, "node", *node);
+                field_str(out, "op", op.as_str());
+                field_u64(out, "n", *n);
+            }
+            TraceEvent::PseudonymRotation { node, .. } => {
+                field_u64(out, "node", *node);
+            }
+            TraceEvent::ZonePartition {
+                node,
+                packet,
+                splits,
+                td_x,
+                td_y,
+                ..
+            } => {
+                field_u64(out, "node", *node);
+                field_u64(out, "packet", *packet);
+                field_u64(out, "splits", *splits);
+                field_f64(out, "td_x", *td_x);
+                field_f64(out, "td_y", *td_y);
+            }
+            TraceEvent::ForwarderSelect {
+                node,
+                packet,
+                target_x,
+                target_y,
+                progress,
+                ..
+            } => {
+                field_u64(out, "node", *node);
+                field_opt_u64(out, "packet", *packet);
+                field_f64(out, "target_x", *target_x);
+                field_f64(out, "target_y", *target_y);
+                field_bool(out, "progress", *progress);
+            }
+            TraceEvent::Hop { node, packet, .. }
+            | TraceEvent::RandomForwarder { node, packet, .. } => {
+                field_u64(out, "node", *node);
+                field_u64(out, "packet", *packet);
+            }
+            TraceEvent::Delivered {
+                node,
+                packet,
+                latency,
+                ..
+            } => {
+                field_u64(out, "node", *node);
+                field_u64(out, "packet", *packet);
+                field_f64(out, "latency", *latency);
+            }
+        }
+        out.push('}');
+    }
+
+    /// The event's canonical JSONL encoding (without the trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_jsonl(&mut s);
+        s
+    }
+
+    /// Parses one JSONL line back into an event.
+    pub fn from_jsonl(line: &str) -> Result<Self, ParseError> {
+        parse_line(line, 0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Error from [`parse_trace`] / [`TraceEvent::from_jsonl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for single-line parses).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "trace line {}: {}", self.line, self.msg)
+        } else {
+            write!(f, "trace: {}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole JSONL document (blank lines skipped) into events.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// A parsed flat-JSON value. Numbers keep their raw text so integer
+/// fields survive beyond f64's 53-bit mantissa.
+enum Val {
+    Num(String),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Tokenizes one flat JSON object (`{"k":v,...}`, no nesting) into pairs.
+fn parse_object(line: &str, lno: usize) -> Result<Vec<(String, Val)>, ParseError> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields = Vec::new();
+
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>| {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    };
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+        lno: usize,
+    ) -> Result<String, ParseError> {
+        let mut s = String::new();
+        loop {
+            let (_, c) = chars
+                .next()
+                .ok_or_else(|| err(lno, "unterminated string"))?;
+            match c {
+                '"' => return Ok(s),
+                '\\' => {
+                    let (_, e) = chars.next().ok_or_else(|| err(lno, "dangling escape"))?;
+                    match e {
+                        '"' => s.push('"'),
+                        '\\' => s.push('\\'),
+                        '/' => s.push('/'),
+                        'n' => s.push('\n'),
+                        'r' => s.push('\r'),
+                        't' => s.push('\t'),
+                        'b' => s.push('\u{8}'),
+                        'f' => s.push('\u{c}'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) =
+                                    chars.next().ok_or_else(|| err(lno, "short \\u escape"))?;
+                                code = code * 16
+                                    + h.to_digit(16).ok_or_else(|| err(lno, "bad \\u escape"))?;
+                            }
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| err(lno, "invalid \\u code point"))?,
+                            );
+                        }
+                        other => return Err(err(lno, format!("bad escape '\\{other}'"))),
+                    }
+                }
+                c => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err(err(lno, "expected '{'")),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(err(lno, "expected field name")),
+        }
+        let key = parse_string(&mut chars, lno)?;
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(err(lno, "expected ':'")),
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek().copied() {
+            Some((_, '"')) => {
+                chars.next();
+                Val::Str(parse_string(&mut chars, lno)?)
+            }
+            Some((_, 't')) => {
+                for expect in "true".chars() {
+                    match chars.next() {
+                        Some((_, c)) if c == expect => {}
+                        _ => return Err(err(lno, "bad literal")),
+                    }
+                }
+                Val::Bool(true)
+            }
+            Some((_, 'f')) => {
+                for expect in "false".chars() {
+                    match chars.next() {
+                        Some((_, c)) if c == expect => {}
+                        _ => return Err(err(lno, "bad literal")),
+                    }
+                }
+                Val::Bool(false)
+            }
+            Some((_, 'n')) => {
+                for expect in "null".chars() {
+                    match chars.next() {
+                        Some((_, c)) if c == expect => {}
+                        _ => return Err(err(lno, "bad literal")),
+                    }
+                }
+                Val::Null
+            }
+            Some((_, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut raw = String::new();
+                while let Some((_, c)) = chars.peek().copied() {
+                    if c == '-'
+                        || c == '+'
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c.is_ascii_digit()
+                    {
+                        raw.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                Val::Num(raw)
+            }
+            _ => return Err(err(lno, "expected value")),
+        };
+        fields.push((key, val));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            _ => return Err(err(lno, "expected ',' or '}'")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err(err(lno, "trailing characters after object"));
+    }
+    Ok(fields)
+}
+
+struct Fields<'a> {
+    map: Vec<(String, Val)>,
+    lno: usize,
+    marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Fields<'_> {
+    fn get(&self, key: &str) -> Option<&Val> {
+        self.map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, ParseError> {
+        match self.get(key) {
+            Some(Val::Num(raw)) => raw
+                .parse()
+                .map_err(|_| err(self.lno, format!("field '{key}' is not a number"))),
+            _ => Err(err(self.lno, format!("missing numeric field '{key}'"))),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ParseError> {
+        match self.get(key) {
+            Some(Val::Num(raw)) => raw
+                .parse()
+                .map_err(|_| err(self.lno, format!("field '{key}' is not an integer"))),
+            _ => Err(err(self.lno, format!("missing integer field '{key}'"))),
+        }
+    }
+
+    fn opt_u64(&self, key: &str) -> Result<Option<u64>, ParseError> {
+        match self.get(key) {
+            None | Some(Val::Null) => Ok(None),
+            Some(_) => self.u64(key).map(Some),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, ParseError> {
+        match self.get(key) {
+            Some(Val::Str(s)) => Ok(s),
+            _ => Err(err(self.lno, format!("missing string field '{key}'"))),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, ParseError> {
+        match self.get(key) {
+            Some(Val::Bool(b)) => Ok(*b),
+            _ => Err(err(self.lno, format!("missing boolean field '{key}'"))),
+        }
+    }
+}
+
+fn parse_line(line: &str, lno: usize) -> Result<TraceEvent, ParseError> {
+    let f = Fields {
+        map: parse_object(line, lno)?,
+        lno,
+        marker: std::marker::PhantomData,
+    };
+    let time = f.f64("t")?;
+    let ev = f.str("ev")?;
+    let event = match ev {
+        "tick" => TraceEvent::Tick {
+            time,
+            kind: TickKind::from_str_opt(f.str("kind")?)
+                .ok_or_else(|| err(lno, "unknown tick kind"))?,
+        },
+        "app_send" => TraceEvent::AppSend {
+            time,
+            packet: f.u64("packet")?,
+            session: f.u64("session")?,
+            seq: f.u64("seq")?,
+            src: f.u64("src")?,
+            dst: f.u64("dst")?,
+        },
+        "tx" => TraceEvent::Tx {
+            time,
+            node: f.u64("node")?,
+            kind: TxKind::from_str_opt(f.str("kind")?)
+                .ok_or_else(|| err(lno, "unknown tx kind"))?,
+            class: TrafficKind::from_str_opt(f.str("class")?)
+                .ok_or_else(|| err(lno, "unknown traffic class"))?,
+            bytes: f.u64("bytes")?,
+            packet: f.opt_u64("packet")?,
+        },
+        "rx" => TraceEvent::Rx {
+            time,
+            node: f.u64("node")?,
+            kind: TxKind::from_str_opt(f.str("kind")?)
+                .ok_or_else(|| err(lno, "unknown tx kind"))?,
+            bytes: f.u64("bytes")?,
+            at: f.f64("at")?,
+        },
+        "drop" => TraceEvent::Drop {
+            time,
+            node: f.u64("node")?,
+            reason: f.str("reason")?.to_owned(),
+            packet: f.opt_u64("packet")?,
+        },
+        "timer" => TraceEvent::TimerFire {
+            time,
+            node: f.u64("node")?,
+            token: f.u64("token")?,
+        },
+        "loc_lookup" => TraceEvent::LocationLookup {
+            time,
+            node: f.u64("node")?,
+            target: f.u64("target")?,
+            found: f.bool("found")?,
+        },
+        "crypto" => TraceEvent::CryptoCharge {
+            time,
+            node: f.u64("node")?,
+            op: CryptoOp::from_str_opt(f.str("op")?)
+                .ok_or_else(|| err(lno, "unknown crypto op"))?,
+            n: f.u64("n")?,
+        },
+        "pseudonym_rotation" => TraceEvent::PseudonymRotation {
+            time,
+            node: f.u64("node")?,
+        },
+        "zone_partition" => TraceEvent::ZonePartition {
+            time,
+            node: f.u64("node")?,
+            packet: f.u64("packet")?,
+            splits: f.u64("splits")?,
+            td_x: f.f64("td_x")?,
+            td_y: f.f64("td_y")?,
+        },
+        "forwarder_select" => TraceEvent::ForwarderSelect {
+            time,
+            node: f.u64("node")?,
+            packet: f.opt_u64("packet")?,
+            target_x: f.f64("target_x")?,
+            target_y: f.f64("target_y")?,
+            progress: f.bool("progress")?,
+        },
+        "hop" => TraceEvent::Hop {
+            time,
+            node: f.u64("node")?,
+            packet: f.u64("packet")?,
+        },
+        "rf" => TraceEvent::RandomForwarder {
+            time,
+            node: f.u64("node")?,
+            packet: f.u64("packet")?,
+        },
+        "delivered" => TraceEvent::Delivered {
+            time,
+            node: f.u64("node")?,
+            packet: f.u64("packet")?,
+            latency: f.f64("latency")?,
+        },
+        other => return Err(err(lno, format!("unknown event kind '{other}'"))),
+    };
+    Ok(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+
+    fn all_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Tick {
+                time: 0.5,
+                kind: TickKind::Mobility,
+            },
+            TraceEvent::AppSend {
+                time: 1.0,
+                packet: 0,
+                session: 2,
+                seq: 3,
+                src: 4,
+                dst: 5,
+            },
+            TraceEvent::Tx {
+                time: 1.25,
+                node: 4,
+                kind: TxKind::Unicast,
+                class: TrafficKind::Data,
+                bytes: 532,
+                packet: Some(0),
+            },
+            TraceEvent::Tx {
+                time: 1.25,
+                node: 4,
+                kind: TxKind::Broadcast,
+                class: TrafficKind::Cover,
+                bytes: 24,
+                packet: None,
+            },
+            TraceEvent::Rx {
+                time: 1.25,
+                node: 7,
+                kind: TxKind::Unicast,
+                bytes: 532,
+                at: 1.2533,
+            },
+            TraceEvent::Drop {
+                time: 2.0,
+                node: 4,
+                reason: DropReason::UnicastOutOfRange.as_str().to_owned(),
+                packet: Some(0),
+            },
+            TraceEvent::TimerFire {
+                time: 2.5,
+                node: 9,
+                token: 64,
+            },
+            TraceEvent::LocationLookup {
+                time: 3.0,
+                node: 4,
+                target: 5,
+                found: true,
+            },
+            TraceEvent::CryptoCharge {
+                time: 3.0,
+                node: 4,
+                op: CryptoOp::PkEncrypt,
+                n: 1,
+            },
+            TraceEvent::PseudonymRotation {
+                time: 30.0,
+                node: 8,
+            },
+            TraceEvent::ZonePartition {
+                time: 1.25,
+                node: 4,
+                packet: 0,
+                splits: 3,
+                td_x: 612.5,
+                td_y: 88.0625,
+            },
+            TraceEvent::ForwarderSelect {
+                time: 1.3,
+                node: 6,
+                packet: Some(0),
+                target_x: 612.5,
+                target_y: 88.0625,
+                progress: false,
+            },
+            TraceEvent::Hop {
+                time: 1.3,
+                node: 6,
+                packet: 0,
+            },
+            TraceEvent::RandomForwarder {
+                time: 1.3,
+                node: 6,
+                packet: 0,
+            },
+            TraceEvent::Delivered {
+                time: 1.4,
+                node: 5,
+                packet: 0,
+                latency: 0.4,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for e in all_events() {
+            let line = e.to_jsonl();
+            let back = TraceEvent::from_jsonl(&line).unwrap_or_else(|err| {
+                panic!("parse failed for {line}: {err}");
+            });
+            assert_eq!(back, e, "round trip of {line}");
+        }
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let events = all_events();
+        let mut doc = String::new();
+        for e in &events {
+            e.write_jsonl(&mut doc);
+            doc.push('\n');
+        }
+        assert_eq!(parse_trace(&doc).unwrap(), events);
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        let e = TraceEvent::Tx {
+            time: 1.25,
+            node: 4,
+            kind: TxKind::Unicast,
+            class: TrafficKind::Data,
+            bytes: 532,
+            packet: Some(7),
+        };
+        assert_eq!(
+            e.to_jsonl(),
+            "{\"t\":1.25,\"ev\":\"tx\",\"node\":4,\"kind\":\"unicast\",\"class\":\"data\",\"bytes\":532,\"packet\":7}"
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let e = TraceEvent::Drop {
+            time: 0.0,
+            node: 0,
+            reason: "weird \"reason\"\nwith\tescapes\\".to_owned(),
+            packet: None,
+        };
+        let line = e.to_jsonl();
+        assert_eq!(TraceEvent::from_jsonl(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn large_u64_fields_survive() {
+        let e = TraceEvent::TimerFire {
+            time: 0.0,
+            node: 1,
+            token: u64::MAX,
+        };
+        assert_eq!(TraceEvent::from_jsonl(&e.to_jsonl()).unwrap(), e);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceEvent::from_jsonl("not json").is_err());
+        assert!(TraceEvent::from_jsonl("{\"t\":1.0}").is_err());
+        assert!(TraceEvent::from_jsonl("{\"t\":1.0,\"ev\":\"martian\"}").is_err());
+        assert!(
+            TraceEvent::from_jsonl("{\"t\":1.0,\"ev\":\"hop\",\"node\":1,\"packet\":2}x").is_err()
+        );
+        let bad = parse_trace("{\"t\":1.0,\"ev\":\"hop\",\"node\":1}\n");
+        assert_eq!(bad.unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn parse_accepts_reordered_fields_and_blank_lines() {
+        let doc = "\n{\"ev\":\"hop\",\"packet\":2,\"node\":1,\"t\":1.5}\n\n";
+        assert_eq!(
+            parse_trace(doc).unwrap(),
+            vec![TraceEvent::Hop {
+                time: 1.5,
+                node: 1,
+                packet: 2
+            }]
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # alert-trace
+//!
+//! Deterministic observability for the ALERT simulator, in three pillars:
+//!
+//! * **Structured event tracing** — [`TraceEvent`] covers every observable
+//!   step of a run (transmissions, receptions, drops with typed reasons,
+//!   timer fires, location-service lookups, crypto charges, pseudonym
+//!   rotations, and the ALERT-specific zone-partition / random-forwarder
+//!   selection steps). Events flow through a [`TraceSink`]: [`NullSink`]
+//!   discards them for free, [`JsonlSink`] streams one JSON object per
+//!   line, and [`RingBufferSink`] keeps the last *N* events for post-mortem
+//!   dumps. Every event is keyed by simulated time, so two runs with the
+//!   same `(scenario, seed)` produce **byte-identical** JSONL traces.
+//! * **A counter/histogram registry** — [`Registry`] holds monotonic `u64`
+//!   counters and log-bucketed [`LogHistogram`]s behind `Copy` handles
+//!   (O(1) array updates on the hot path), snapshotted to the serde-ready
+//!   [`RegistrySnapshot`].
+//! * **Run profiling** — [`RunProfile`] captures wall-clock events/sec,
+//!   total events dispatched, the future-event-list high-water mark, and
+//!   per-callback CPU time, establishing the performance trajectory for
+//!   optimisation work.
+//!
+//! The [`replay`](crate::reconstruct_packets) API folds a trace back into
+//! per-packet hop paths, which the simulator's tests compare against the
+//! ground-truth `Metrics` — the trace layer doubles as a correctness
+//! oracle.
+//!
+//! The crate is dependency-free except for `serde` (derives on the
+//! snapshot/profile structs); the JSONL codec is hand-rolled so the
+//! byte-identical guarantee does not hinge on an external serializer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod jsonl;
+mod profile;
+mod registry;
+mod replay;
+mod sink;
+
+pub use event::{CryptoOp, DropReason, TickKind, TraceEvent, TrafficKind, TxKind};
+pub use jsonl::{parse_trace, ParseError};
+pub use profile::{CallbackProfile, RunProfile};
+pub use registry::{
+    CounterHandle, HistogramBucket, HistogramHandle, HistogramSnapshot, LogHistogram, Registry,
+    RegistrySnapshot,
+};
+pub use replay::{reconstruct_packets, trace_stats, PacketTrace, TraceStats};
+pub use sink::{
+    JsonlSink, NullSink, RingBufferHandle, RingBufferSink, SharedBuf, TraceSink, Tracer,
+};

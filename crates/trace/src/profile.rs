@@ -1,0 +1,87 @@
+//! Run profiles: where wall-clock time and event volume went.
+//!
+//! A [`RunProfile`] is what `simrun --profile` writes and what future
+//! optimisation PRs compare `BENCH_*.json` trajectories against. Only
+//! wall-clock fields vary between same-seed runs; everything derived
+//! from the simulation itself (event counts, FEL high-water mark,
+//! registry counters) is deterministic.
+
+use crate::registry::RegistrySnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Time spent inside one class of event callback.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CallbackProfile {
+    /// Number of events of this class dispatched.
+    pub count: u64,
+    /// Total wall-clock seconds spent in the callback.
+    pub seconds: f64,
+}
+
+/// Performance summary of one simulator run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Wall-clock duration of the `run_until` loop, in seconds.
+    pub wall_clock_s: f64,
+    /// Simulated time covered by the run, in seconds.
+    pub sim_time_s: f64,
+    /// Total events popped from the future event list.
+    pub events_dispatched: u64,
+    /// Events dispatched per wall-clock second (0 if instantaneous).
+    pub events_per_sec: f64,
+    /// Maximum number of events simultaneously pending in the FEL.
+    pub fel_high_water: u64,
+    /// Wall-clock accounting per event class ("deliver", "timer", …).
+    pub callbacks: BTreeMap<String, CallbackProfile>,
+    /// Snapshot of the run's counter/histogram registry.
+    pub registry: RegistrySnapshot,
+}
+
+impl RunProfile {
+    /// Fills in `events_per_sec` from the dispatch count and wall clock.
+    pub fn finalize(&mut self) {
+        self.events_per_sec = if self.wall_clock_s > 0.0 {
+            self.events_dispatched as f64 / self.wall_clock_s
+        } else {
+            0.0
+        };
+    }
+
+    /// Adds one dispatched event of class `kind` taking `seconds`.
+    pub fn record_callback(&mut self, kind: &str, seconds: f64) {
+        let entry = self.callbacks.entry(kind.to_owned()).or_default();
+        entry.count += 1;
+        entry.seconds += seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_computes_rate() {
+        let mut p = RunProfile {
+            wall_clock_s: 2.0,
+            events_dispatched: 1000,
+            ..RunProfile::default()
+        };
+        p.finalize();
+        assert_eq!(p.events_per_sec, 500.0);
+        p.wall_clock_s = 0.0;
+        p.finalize();
+        assert_eq!(p.events_per_sec, 0.0);
+    }
+
+    #[test]
+    fn callbacks_accumulate() {
+        let mut p = RunProfile::default();
+        p.record_callback("deliver", 0.25);
+        p.record_callback("deliver", 0.75);
+        p.record_callback("timer", 0.5);
+        assert_eq!(p.callbacks["deliver"].count, 2);
+        assert_eq!(p.callbacks["deliver"].seconds, 1.0);
+        assert_eq!(p.callbacks["timer"].count, 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! The counter/histogram registry.
+//!
+//! Names are resolved once at setup time into `Copy` handles that index
+//! straight into flat vectors, so hot-path updates are a bounds-checked
+//! array increment — no string hashing per event. Snapshots are plain
+//! serde structs suitable for embedding in a [`RunProfile`]
+//! (crate::RunProfile) or dumping standalone.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: one underflow bucket plus powers of two
+/// from 2^[`MIN_EXP`] upward.
+const BUCKETS: usize = 64;
+/// Exponent of the smallest bucket boundary (2^-20 ≈ 0.95 µs for values
+/// measured in seconds).
+const MIN_EXP: i32 = -20;
+
+/// Opaque index of a counter inside a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
+/// Opaque index of a histogram inside a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramHandle(usize);
+
+/// A log-bucketed histogram for non-negative `f64` samples.
+///
+/// Bucket `i > 0` covers `[2^(MIN_EXP+i-1), 2^(MIN_EXP+i))`; bucket 0
+/// is the underflow bucket (samples below `2^MIN_EXP`, including zero).
+/// Exact count/sum/min/max are tracked alongside, so means are exact and
+/// only quantiles are approximate (nearest rank, geometric bucket
+/// midpoint).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        let exp = v.log2().floor() as i64;
+        let idx = exp - i64::from(MIN_EXP) + 1;
+        idx.clamp(0, BUCKETS as i64 - 1) as usize
+    }
+
+    /// Records one sample. Non-finite or negative samples land in the
+    /// underflow bucket and are excluded from sum/min/max.
+    pub fn record(&mut self, v: f64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        if v.is_finite() && v >= 0.0 {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of the (finite, non-negative) samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) via nearest-rank over
+    /// the buckets, using each bucket's geometric midpoint, clamped to
+    /// the exact observed min/max. Returns 0 if empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let mid = if i == 0 {
+                    (2f64).powi(MIN_EXP) / 2.0
+                } else {
+                    // geometric midpoint of [2^(e), 2^(e+1))
+                    (2f64).powi(MIN_EXP + i as i32 - 1) * std::f64::consts::SQRT_2
+                };
+                return mid.clamp(
+                    if self.min.is_finite() { self.min } else { 0.0 },
+                    if self.max.is_finite() { self.max } else { mid },
+                );
+            }
+        }
+        if self.max.is_finite() {
+            self.max
+        } else {
+            0.0
+        }
+    }
+
+    /// Snapshot with only the non-empty buckets materialised.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| HistogramBucket {
+                le: if i == BUCKETS - 1 {
+                    f64::INFINITY
+                } else {
+                    (2f64).powi(MIN_EXP + i as i32)
+                },
+                count: n,
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.min.is_finite() { self.min } else { 0.0 },
+            max: if self.max.is_finite() { self.max } else { 0.0 },
+            mean: self.mean(),
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket in a [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Upper bound (exclusive) of the bucket; `inf` for the last bucket.
+    pub le: f64,
+    /// Number of samples in the bucket.
+    pub count: u64,
+}
+
+/// Serializable summary of a [`LogHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: f64,
+    /// Exact minimum sample (0 if empty).
+    pub min: f64,
+    /// Exact maximum sample (0 if empty).
+    pub max: f64,
+    /// Exact mean (0 if empty).
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+    /// Non-empty buckets, ascending.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// Serializable snapshot of a whole [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// A registry of named monotonic counters and log-bucketed histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counter_names: Vec<&'static str>,
+    counters: Vec<u64>,
+    hist_names: Vec<&'static str>,
+    hists: Vec<LogHistogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the handle for counter `name`, creating it at zero if new.
+    pub fn counter(&mut self, name: &'static str) -> CounterHandle {
+        if let Some(i) = self.counter_names.iter().position(|&n| n == name) {
+            return CounterHandle(i);
+        }
+        self.counter_names.push(name);
+        self.counters.push(0);
+        CounterHandle(self.counters.len() - 1)
+    }
+
+    /// Returns the handle for histogram `name`, creating it empty if new.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramHandle {
+        if let Some(i) = self.hist_names.iter().position(|&n| n == name) {
+            return HistogramHandle(i);
+        }
+        self.hist_names.push(name);
+        self.hists.push(LogHistogram::new());
+        HistogramHandle(self.hists.len() - 1)
+    }
+
+    /// Adds `n` to a counter. O(1).
+    #[inline]
+    pub fn add(&mut self, h: CounterHandle, n: u64) {
+        self.counters[h.0] += n;
+    }
+
+    /// Increments a counter by one. O(1).
+    #[inline]
+    pub fn inc(&mut self, h: CounterHandle) {
+        self.counters[h.0] += 1;
+    }
+
+    /// Records a histogram sample. O(1).
+    #[inline]
+    pub fn observe(&mut self, h: HistogramHandle, v: f64) {
+        self.hists[h.0].record(v);
+    }
+
+    /// Current value of a counter handle.
+    pub fn value(&self, h: CounterHandle) -> u64 {
+        self.counters[h.0]
+    }
+
+    /// Current value of a counter by name (0 if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counter_names
+            .iter()
+            .position(|&n| n == name)
+            .map_or(0, |i| self.counters[i])
+    }
+
+    /// The histogram behind a handle.
+    pub fn histogram_ref(&self, h: HistogramHandle) -> &LogHistogram {
+        &self.hists[h.0]
+    }
+
+    /// Snapshot of every counter and histogram, keyed by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counter_names
+                .iter()
+                .zip(&self.counters)
+                .map(|(&n, &v)| (n.to_owned(), v))
+                .collect(),
+            histograms: self
+                .hist_names
+                .iter()
+                .zip(&self.hists)
+                .map(|(&n, h)| (n.to_owned(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_named() {
+        let mut r = Registry::new();
+        let a = r.counter("tx.frames");
+        let b = r.counter("rx.frames");
+        let a2 = r.counter("tx.frames");
+        assert_eq!(a, a2);
+        r.inc(a);
+        r.add(a, 4);
+        r.inc(b);
+        assert_eq!(r.value(a), 5);
+        assert_eq!(r.counter_value("tx.frames"), 5);
+        assert_eq!(r.counter_value("rx.frames"), 1);
+        assert_eq!(r.counter_value("missing"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["tx.frames"], 5);
+        assert_eq!(snap.counters["rx.frames"], 1);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_stats() {
+        let mut h = LogHistogram::new();
+        for v in [0.5, 1.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 7.5).abs() < 1e-12);
+        assert!((h.mean() - 1.875).abs() < 1e-12);
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 0.5);
+        assert_eq!(snap.max, 4.0);
+        assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_sane() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(1.0);
+        }
+        h.record(1024.0);
+        let p50 = h.quantile(0.5);
+        assert!((0.5..=2.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.995);
+        assert!(p99 > 100.0, "p99 = {p99}");
+        assert!(p99 <= 1024.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_samples() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 0.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 0.0);
+        assert_eq!(snap.max, 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let snap = LogHistogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50, 0.0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn tiny_values_land_in_underflow_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(1e-9);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.len(), 1);
+        assert_eq!(snap.buckets[0].count, 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Trace replay: fold an event stream back into per-packet journeys and
+//! aggregate counters.
+//!
+//! This is the correctness oracle half of the trace layer: the
+//! simulator's tests reconstruct each packet's hop path from the trace
+//! and assert it matches the ground-truth `Metrics` bookkeeping, so any
+//! divergence between what the simulator *did* and what it *reported*
+//! fails loudly.
+
+use crate::event::TraceEvent;
+use std::collections::BTreeMap;
+
+/// One packet's journey reconstructed from a trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PacketTrace {
+    /// Session the packet belongs to (from `app_send`).
+    pub session: Option<u64>,
+    /// Source node (from `app_send`).
+    pub src: Option<u64>,
+    /// Destination node (from `app_send`).
+    pub dst: Option<u64>,
+    /// Sim time the application emitted the packet.
+    pub sent_at: Option<f64>,
+    /// Nodes that transmitted the packet (`hop`/`rf` events), in
+    /// first-touch order, deduplicated — exactly the semantics of
+    /// `Metrics.packets[].participants`.
+    pub participants: Vec<u64>,
+    /// Total hop events (including repeat visits).
+    pub hops: u64,
+    /// Number of random-forwarder selections on the path.
+    pub random_forwarders: u64,
+    /// Zone-partition decisions made while routing this packet.
+    pub zone_partitions: u64,
+    /// Sim time of first delivery, if the packet arrived.
+    pub delivered_at: Option<f64>,
+    /// First-delivery latency reported in the trace, if any.
+    pub latency: Option<f64>,
+    /// Drop reasons recorded against this packet.
+    pub drops: Vec<String>,
+}
+
+impl PacketTrace {
+    fn touch(&mut self, node: u64) {
+        if !self.participants.contains(&node) {
+            self.participants.push(node);
+        }
+    }
+}
+
+/// Folds a trace into per-packet journeys, keyed by packet id.
+///
+/// Only events carrying a packet id contribute; `tx`/`drop` events with
+/// `packet: None` (control traffic) are ignored here.
+pub fn reconstruct_packets(events: &[TraceEvent]) -> BTreeMap<u64, PacketTrace> {
+    let mut packets: BTreeMap<u64, PacketTrace> = BTreeMap::new();
+    for ev in events {
+        match ev {
+            TraceEvent::AppSend {
+                time,
+                packet,
+                session,
+                src,
+                dst,
+                ..
+            } => {
+                let p = packets.entry(*packet).or_default();
+                p.session = Some(*session);
+                p.src = Some(*src);
+                p.dst = Some(*dst);
+                p.sent_at = Some(*time);
+            }
+            TraceEvent::Hop { node, packet, .. } => {
+                let p = packets.entry(*packet).or_default();
+                p.hops += 1;
+                p.touch(*node);
+            }
+            TraceEvent::RandomForwarder { node, packet, .. } => {
+                let p = packets.entry(*packet).or_default();
+                p.random_forwarders += 1;
+                p.touch(*node);
+            }
+            TraceEvent::ZonePartition { packet, .. } => {
+                packets.entry(*packet).or_default().zone_partitions += 1;
+            }
+            TraceEvent::Delivered {
+                time,
+                packet,
+                latency,
+                ..
+            } => {
+                // The destination *receives*; it only joins `participants`
+                // if it also transmitted (a `hop` event) — mirroring the
+                // ground-truth `Metrics` semantics.
+                let p = packets.entry(*packet).or_default();
+                if p.delivered_at.is_none() {
+                    p.delivered_at = Some(*time);
+                    p.latency = Some(*latency);
+                }
+            }
+            TraceEvent::Drop {
+                packet: Some(packet),
+                reason,
+                ..
+            } => {
+                packets
+                    .entry(*packet)
+                    .or_default()
+                    .drops
+                    .push(reason.clone());
+            }
+            _ => {}
+        }
+    }
+    packets
+}
+
+/// Aggregate counters derived purely from a trace, for cross-checking
+/// against the simulator's own `Metrics`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceStats {
+    /// Total `tx` events (frames put on the air).
+    pub tx_frames: u64,
+    /// Total `rx` events (frames received).
+    pub rx_frames: u64,
+    /// Application packets emitted (`app_send` events).
+    pub app_packets: u64,
+    /// Packets with at least one `delivered` event.
+    pub delivered_packets: u64,
+    /// Drop counts keyed by reason string.
+    pub drops_by_reason: BTreeMap<String, u64>,
+    /// Timer fires.
+    pub timer_fires: u64,
+    /// Pseudonym rotations.
+    pub pseudonym_rotations: u64,
+    /// Location-service lookups (hit or miss).
+    pub location_lookups: u64,
+}
+
+/// Computes [`TraceStats`] over a trace.
+pub fn trace_stats(events: &[TraceEvent]) -> TraceStats {
+    let mut s = TraceStats::default();
+    let mut delivered = std::collections::BTreeSet::new();
+    for ev in events {
+        match ev {
+            TraceEvent::Tx { .. } => s.tx_frames += 1,
+            TraceEvent::Rx { .. } => s.rx_frames += 1,
+            TraceEvent::AppSend { .. } => s.app_packets += 1,
+            TraceEvent::Delivered { packet, .. } => {
+                delivered.insert(*packet);
+            }
+            TraceEvent::Drop { reason, .. } => {
+                *s.drops_by_reason.entry(reason.clone()).or_insert(0) += 1;
+            }
+            TraceEvent::TimerFire { .. } => s.timer_fires += 1,
+            TraceEvent::PseudonymRotation { .. } => s.pseudonym_rotations += 1,
+            TraceEvent::LocationLookup { .. } => s.location_lookups += 1,
+            _ => {}
+        }
+    }
+    s.delivered_packets = delivered.len() as u64;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TrafficKind, TxKind};
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::AppSend {
+                time: 1.0,
+                packet: 0,
+                session: 0,
+                seq: 0,
+                src: 3,
+                dst: 9,
+            },
+            TraceEvent::Tx {
+                time: 1.0,
+                node: 3,
+                kind: TxKind::Unicast,
+                class: TrafficKind::Data,
+                bytes: 532,
+                packet: Some(0),
+            },
+            TraceEvent::Hop {
+                time: 1.01,
+                node: 5,
+                packet: 0,
+            },
+            TraceEvent::Rx {
+                time: 1.01,
+                node: 5,
+                kind: TxKind::Unicast,
+                bytes: 532,
+                at: 1.01,
+            },
+            TraceEvent::RandomForwarder {
+                time: 1.01,
+                node: 5,
+                packet: 0,
+            },
+            TraceEvent::ZonePartition {
+                time: 1.01,
+                node: 5,
+                packet: 0,
+                splits: 2,
+                td_x: 10.0,
+                td_y: 20.0,
+            },
+            TraceEvent::Hop {
+                time: 1.02,
+                node: 5,
+                packet: 0,
+            },
+            TraceEvent::Delivered {
+                time: 1.03,
+                node: 9,
+                packet: 0,
+                latency: 0.03,
+            },
+            // duplicate delivery must not overwrite the first
+            TraceEvent::Delivered {
+                time: 2.0,
+                node: 9,
+                packet: 0,
+                latency: 1.0,
+            },
+            TraceEvent::AppSend {
+                time: 1.5,
+                packet: 1,
+                session: 1,
+                seq: 0,
+                src: 4,
+                dst: 8,
+            },
+            TraceEvent::Drop {
+                time: 1.6,
+                node: 4,
+                reason: "leg_ttl_exhausted".to_owned(),
+                packet: Some(1),
+            },
+            TraceEvent::Drop {
+                time: 1.7,
+                node: 7,
+                reason: "unicast_channel_loss".to_owned(),
+                packet: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn reconstructs_packet_journeys() {
+        let packets = reconstruct_packets(&sample_trace());
+        assert_eq!(packets.len(), 2);
+        let p0 = &packets[&0];
+        assert_eq!(p0.src, Some(3));
+        assert_eq!(p0.dst, Some(9));
+        assert_eq!(p0.session, Some(0));
+        assert_eq!(p0.sent_at, Some(1.0));
+        assert_eq!(p0.participants, vec![5]);
+        assert_eq!(p0.hops, 2);
+        assert_eq!(p0.random_forwarders, 1);
+        assert_eq!(p0.zone_partitions, 1);
+        assert_eq!(p0.delivered_at, Some(1.03));
+        assert_eq!(p0.latency, Some(0.03));
+        let p1 = &packets[&1];
+        assert_eq!(p1.delivered_at, None);
+        assert_eq!(p1.drops, vec!["leg_ttl_exhausted".to_owned()]);
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let s = trace_stats(&sample_trace());
+        assert_eq!(s.tx_frames, 1);
+        assert_eq!(s.rx_frames, 1);
+        assert_eq!(s.app_packets, 2);
+        assert_eq!(s.delivered_packets, 1);
+        assert_eq!(s.drops_by_reason["leg_ttl_exhausted"], 1);
+        assert_eq!(s.drops_by_reason["unicast_channel_loss"], 1);
+    }
+}

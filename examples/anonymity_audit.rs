@@ -52,7 +52,10 @@ fn main() {
             let records = &world.protocol(NodeId(i)).zone_deliveries;
             for rec in records.iter().skip(seen[i]) {
                 let recipients: RecipientSet = match &rec.holders {
-                    Some(hs) => hs.iter().filter_map(|p| world.pseudonym_owner(*p)).collect(),
+                    Some(hs) => hs
+                        .iter()
+                        .filter_map(|p| world.pseudonym_owner(*p))
+                        .collect(),
                     None => world
                         .nodes_within(world.position(NodeId(i)), range)
                         .into_iter()
@@ -102,7 +105,10 @@ fn main() {
 
     println!("\n== Intersection attack (Section 3.3) ==");
     println!("  observation rounds : {}", attack.rounds());
-    println!("  candidate set      : {:?} nodes", attack.anonymity_degree());
+    println!(
+        "  candidate set      : {:?} nodes",
+        attack.anonymity_degree()
+    );
     println!("  history            : {:?}", attack.history);
     if attack.identified(dst) {
         println!("  VERDICT: destination IDENTIFIED — anonymity broken");

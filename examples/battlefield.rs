@@ -37,7 +37,11 @@ struct Debrief {
     timing_score: f64,
 }
 
-fn analyze(metrics: &Metrics, capture: &alert::adversary::TrafficCapture, sessions: &[alert::sim::Session]) -> Debrief {
+fn analyze(
+    metrics: &Metrics,
+    capture: &alert::adversary::TrafficCapture,
+    sessions: &[alert::sim::Session],
+) -> Debrief {
     // Route diversity across each channel's delivered packets.
     let mut diversity = 0.0;
     let mut timing = 0.0;
@@ -58,7 +62,11 @@ fn analyze(metrics: &Metrics, capture: &alert::adversary::TrafficCapture, sessio
         }
     }
     diversity /= sessions.len() as f64;
-    let timing_score = if timing_n > 0.0 { timing / timing_n } else { 0.0 };
+    let timing_score = if timing_n > 0.0 {
+        timing / timing_n
+    } else {
+        0.0
+    };
 
     // Spatial footprint of the data traffic the enemy can observe.
     let positions: Vec<Point> = (0..metrics.packets.len() as u64)
@@ -95,11 +103,7 @@ fn main() {
     let mut gpsr_world = World::new(mission(), 1337, |_, _| Gpsr::default());
     gpsr_world.add_observer(Box::new(log));
     gpsr_world.run();
-    let gpsr = analyze(
-        gpsr_world.metrics(),
-        &capture.lock(),
-        gpsr_world.sessions(),
-    );
+    let gpsr = analyze(gpsr_world.metrics(), &capture.lock(), gpsr_world.sessions());
 
     // Same mission over ALERT.
     let (log, capture) = TrafficLog::new();

@@ -49,7 +49,10 @@ fn main() {
     // The theory side of the same curve, for comparison.
     println!("\nAnalytical E[RFs] (Eq. 10): ");
     for h in 1..=8u32 {
-        print!("  H={h}: {:.2}", alert::analysis::expected_random_forwarders(h));
+        print!(
+            "  H={h}: {:.2}",
+            alert::analysis::expected_random_forwarders(h)
+        );
     }
     println!();
 }

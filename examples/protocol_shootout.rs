@@ -37,7 +37,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let nodes: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(200);
     let speed: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(2.0);
-    let scenario = ScenarioConfig::default().with_nodes(nodes).with_speed(speed);
+    let scenario = ScenarioConfig::default()
+        .with_nodes(nodes)
+        .with_speed(speed);
     println!(
         "Shootout: {nodes} nodes at {speed} m/s, {} s, seed 7\n",
         scenario.duration_s
@@ -45,7 +47,9 @@ fn main() {
 
     let mut rows = Vec::new();
     {
-        let mut w = World::new(scenario.clone(), 7, |_, _| Alert::new(AlertConfig::default()));
+        let mut w = World::new(scenario.clone(), 7, |_, _| {
+            Alert::new(AlertConfig::default())
+        });
         w.run();
         rows.push(row("ALERT", w.metrics()));
     }
@@ -77,7 +81,9 @@ fn main() {
     }
 
     println!("\nReading the table like the paper does:");
-    println!(" - participants: ALERT recruits many more distinct relays => route anonymity (Fig. 10)");
+    println!(
+        " - participants: ALERT recruits many more distinct relays => route anonymity (Fig. 10)"
+    );
     println!(" - latency: hop-by-hop public-key protocols pay 100s of ms (Fig. 14)");
     println!(" - hops: ALERT pays a few extra hops for its random forwarders (Fig. 15)");
     println!(" - crypto: ALERT is symmetric per packet, public-key only per session (Section 2.5)");

@@ -67,9 +67,12 @@ fn main() {
     let zd = destination_zone(&Rect::with_size(1000.0, 1000.0), d_pos, 5, Axis::Vertical);
     drop(probe);
 
-    let gpsr = draw("GPSR: three packets, one shortest path", seed, None, |_, _| {
-        Gpsr::default()
-    });
+    let gpsr = draw(
+        "GPSR: three packets, one shortest path",
+        seed,
+        None,
+        |_, _| Gpsr::default(),
+    );
     let alert = draw(
         "ALERT: three packets, three random-forwarder routes",
         seed,

@@ -136,7 +136,15 @@ fn main() {
 
     println!("Field 1000 m x 1000 m, 200 static nodes ('.'), S -> D, seed {seed}");
     println!("'#' outlines ALERT's destination zone Z_D (k-anonymity region)\n");
-    print!("{}", trace("== GPSR: every packet takes the same shortest path ==", seed, None, |_, _| Gpsr::default()));
+    print!(
+        "{}",
+        trace(
+            "== GPSR: every packet takes the same shortest path ==",
+            seed,
+            None,
+            |_, _| Gpsr::default()
+        )
+    );
     println!();
     print!(
         "{}",

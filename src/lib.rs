@@ -14,6 +14,7 @@
 //! | [`crypto`] | `alert-crypto` | SHA-1, ciphers, pseudonyms, crypto cost model |
 //! | [`mobility`] | `alert-mobility` | random waypoint, RPGM group mobility |
 //! | [`sim`] | `alert-sim` | event engine, channel/MAC, node runtime, metrics |
+//! | [`trace`] | `alert-trace` | trace events & sinks, counter/histogram registry, run profiles |
 //! | [`protocols`] | `alert-protocols` | GPSR, ALARM, AO2P, forwarding primitives |
 //! | [`core`] | `alert-core` | **the ALERT protocol** |
 //! | [`adversary`] | `alert-adversary` | eavesdropping, timing & intersection attacks |
@@ -48,6 +49,7 @@ pub use alert_geom as geom;
 pub use alert_mobility as mobility;
 pub use alert_protocols as protocols;
 pub use alert_sim as sim;
+pub use alert_trace as trace;
 
 /// The most common imports for driving an ALERT simulation.
 pub mod prelude {

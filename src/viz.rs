@@ -155,7 +155,11 @@ mod tests {
     fn routes_become_polylines() {
         let mut s = SvgScene::new(field(), 1000.0);
         s.route(
-            &[Point::new(0.0, 0.0), Point::new(500.0, 250.0), Point::new(1000.0, 500.0)],
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(500.0, 250.0),
+                Point::new(1000.0, 500.0),
+            ],
             "#c00",
         );
         let svg = s.render();
@@ -181,9 +185,15 @@ mod tests {
     #[test]
     fn zones_render_as_dashed_rects() {
         let mut s = SvgScene::new(field(), 1000.0);
-        s.zone(&Rect::new(Point::new(500.0, 0.0), Point::new(1000.0, 250.0)), "#06c");
+        s.zone(
+            &Rect::new(Point::new(500.0, 0.0), Point::new(1000.0, 250.0)),
+            "#06c",
+        );
         let svg = s.render();
         assert!(svg.contains("stroke-dasharray"));
-        assert!(svg.contains(r#"x="500.0" y="250.0" width="500.0" height="250.0""#), "{svg}");
+        assert!(
+            svg.contains(r#"x="500.0" y="250.0" width="500.0" height="250.0""#),
+            "{svg}"
+        );
     }
 }

@@ -5,7 +5,9 @@ use alert::adversary::TrafficLog;
 use alert::prelude::*;
 
 fn scenario() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default().with_nodes(120).with_duration(30.0);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(120)
+        .with_duration(30.0);
     cfg.traffic.pairs = 4;
     cfg
 }

@@ -4,8 +4,8 @@
 //! fence — any calibration change that silently flips a comparison fails
 //! here.
 
-use alert::prelude::*;
 use alert::crypto::CostModel;
+use alert::prelude::*;
 
 struct Row {
     name: &'static str,
@@ -60,7 +60,9 @@ fn paper_orderings_hold_simultaneously() {
     let avg = |name: &str, f: fn(&Row) -> f64| (f(get(&a, name)) + f(get(&b, name))) / 2.0;
 
     // 1. Everyone delivers on the paper's dense default.
-    for name in ["ALERT", "GPSR", "ALARM", "AO2P", "ZAP", "ANODR", "PRISM", "MASK"] {
+    for name in [
+        "ALERT", "GPSR", "ALARM", "AO2P", "ZAP", "ANODR", "PRISM", "MASK",
+    ] {
         let d = avg(name, |r| r.delivery);
         assert!(d > 0.8, "{name} delivery {d:.3}");
     }
@@ -69,7 +71,10 @@ fn paper_orderings_hold_simultaneously() {
     let (gpsr_l, alert_l) = (avg("GPSR", |r| r.latency), avg("ALERT", |r| r.latency));
     let (alarm_l, ao2p_l) = (avg("ALARM", |r| r.latency), avg("AO2P", |r| r.latency));
     assert!(gpsr_l < alert_l, "GPSR {gpsr_l:.3} < ALERT {alert_l:.3}");
-    assert!(alert_l * 5.0 < alarm_l, "ALERT {alert_l:.3} << ALARM {alarm_l:.3}");
+    assert!(
+        alert_l * 5.0 < alarm_l,
+        "ALERT {alert_l:.3} << ALARM {alarm_l:.3}"
+    );
     assert!(alarm_l < ao2p_l, "ALARM {alarm_l:.3} < AO2P {ao2p_l:.3}");
 
     // 3. Hops: greedy protocols take near-shortest paths; ALERT pays its
@@ -77,7 +82,10 @@ fn paper_orderings_hold_simultaneously() {
     let alert_h = avg("ALERT", |r| r.hops);
     for name in ["GPSR", "ALARM", "AO2P", "ANODR", "PRISM", "MASK"] {
         let h = avg(name, |r| r.hops);
-        assert!(h < alert_h, "{name} hops {h:.2} must be below ALERT {alert_h:.2}");
+        assert!(
+            h < alert_h,
+            "{name} hops {h:.2} must be below ALERT {alert_h:.2}"
+        );
     }
 
     // 4. Public-key work per packet: hop-by-hop protocols pay per hop,
@@ -93,8 +101,14 @@ fn paper_orderings_hold_simultaneously() {
     let alert_e = avg("ALERT", |r| r.energy);
     let anodr_e = avg("ANODR", |r| r.energy);
     let prism_e = avg("PRISM", |r| r.energy);
-    assert!(alert_e < anodr_e, "ALERT {alert_e:.1} J < ANODR {anodr_e:.1} J");
-    assert!(alert_e < prism_e, "ALERT {alert_e:.1} J < PRISM {prism_e:.1} J");
+    assert!(
+        alert_e < anodr_e,
+        "ALERT {alert_e:.1} J < ANODR {anodr_e:.1} J"
+    );
+    assert!(
+        alert_e < prism_e,
+        "ALERT {alert_e:.1} J < PRISM {prism_e:.1} J"
+    );
     let gpsr_e = avg("GPSR", |r| r.energy);
     assert!(gpsr_e < alert_e, "GPSR {gpsr_e:.1} J is the floor");
 }

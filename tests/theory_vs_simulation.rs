@@ -68,7 +68,10 @@ fn zone_residence_matches_eq_15() {
             m.step(0.5);
             t += 0.5;
         }
-        remaining_acc += members.iter().filter(|&&i| zd.contains(m.position(i))).count() as f64;
+        remaining_acc += members
+            .iter()
+            .filter(|&&i| zd.contains(m.position(i)))
+            .count() as f64;
     }
     let simulated = remaining_acc / runs as f64;
     let predicted = analysis::remaining_nodes(h, L, L, nodes as f64 / (L * L), speed, t_probe);
@@ -100,7 +103,10 @@ fn participation_theory_is_an_upper_envelope_per_packet() {
         per_packet < ceiling,
         "one packet recruits {per_packet:.1} nodes, above the possible-participant mean {ceiling:.1}"
     );
-    assert!(per_packet > 2.0, "suspiciously few participants: {per_packet:.1}");
+    assert!(
+        per_packet > 2.0,
+        "suspiciously few participants: {per_packet:.1}"
+    );
 }
 
 /// The location-service overhead condition at the end of Section 4.3:
@@ -116,7 +122,10 @@ fn location_service_overhead_is_negligible() {
     // transmissions (per hop) are the "regular communication messages".
     let data_hops: u64 = w.metrics().packets.iter().map(|p| u64::from(p.hops)).sum();
     let ratio_model = w.location().overhead_ratio(200, 1.0, 5.0);
-    assert!(ratio_model < 1.0, "Section 4.3 condition violated: {ratio_model}");
+    assert!(
+        ratio_model < 1.0,
+        "Section 4.3 condition violated: {ratio_model}"
+    );
     // And the realized accounting is the same order of magnitude.
     assert!(service_msgs > 0.0 && data_hops > 0);
 }

@@ -32,7 +32,13 @@ fn walk(api: &mut Api<'_, RumorMsg>, mut msg: RumorMsg) {
     let pick = neighbors[api.rng().gen_range(0..neighbors.len())];
     api.mark_hop(msg.packet);
     let wire = msg.bytes + 24;
-    api.send_unicast(pick.pseudonym, msg.clone(), wire, TrafficClass::Data, Some(msg.packet));
+    api.send_unicast(
+        pick.pseudonym,
+        msg.clone(),
+        wire,
+        TrafficClass::Data,
+        Some(msg.packet),
+    );
 }
 
 impl ProtocolNode for Rumor {
@@ -68,7 +74,9 @@ impl ProtocolNode for Rumor {
 }
 
 fn scenario() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default().with_nodes(120).with_duration(30.0);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(120)
+        .with_duration(30.0);
     cfg.traffic.pairs = 3;
     cfg
 }
@@ -105,7 +113,10 @@ fn rumor_diversity_is_high_but_efficiency_is_poor() {
             .collect();
         div += mean_route_diversity(&routes) / 3.0;
     }
-    assert!(div > 0.5, "random walks should diversify routes, got {div:.2}");
+    assert!(
+        div > 0.5,
+        "random walks should diversify routes, got {div:.2}"
+    );
 
     // ...at hopeless efficiency: far more hops than a greedy baseline.
     let mut gpsr = World::new(scenario(), 8, |_, _| Gpsr::default());

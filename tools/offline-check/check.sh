@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Offline type-check of the whole workspace with `rustc --emit=metadata`.
+#
+# The CI runners fetch crates.io normally; this script exists for
+# air-gapped development boxes where `cargo build` cannot resolve the
+# registry. It compiles tiny stub crates (see stubs/) for the external
+# dependencies and then type-checks every workspace crate, binary,
+# example, and the non-proptest integration tests in dependency order.
+#
+# Usage: tools/offline-check/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+ROOT="$PWD"
+OUT="$ROOT/target/offline-check"
+STUBS="$ROOT/tools/offline-check/stubs"
+mkdir -p "$OUT"
+
+RUSTC_FLAGS=(--edition 2021 --out-dir "$OUT" -L "dependency=$OUT" -Dwarnings -Aunused)
+
+ex() { # ex <crate> ... -> "--extern <crate>=<rmeta path>" for each crate
+    for c in "$@"; do
+        printf -- "--extern\n%s=%s/lib%s.rmeta\n" "$c" "$OUT" "$c"
+    done
+}
+
+stub() { # stub <name> [extra rustc args...]
+    echo "stub  $1"
+    rustc "${RUSTC_FLAGS[@]}" --crate-type lib --crate-name "$1" \
+        --emit=metadata "$STUBS/$1.rs" "${@:2}"
+}
+
+lib() { # lib <crate_name> <src> [extra rustc args...]
+    echo "lib   $1"
+    rustc "${RUSTC_FLAGS[@]}" --crate-type lib --crate-name "$1" \
+        --emit=metadata "$2" "${@:3}"
+}
+
+check_bin() { # check_bin <name> <src> [extra rustc args...]
+    echo "bin   $1"
+    rustc "${RUSTC_FLAGS[@]}" --crate-type bin --crate-name "$1" \
+        --emit=metadata "$2" "${@:3}"
+}
+
+check_test() { # check_test <name> <src> [extra rustc args...]
+    echo "test  $1"
+    rustc "${RUSTC_FLAGS[@]}" --test --crate-name "$1" \
+        --emit=metadata "$2" "${@:3}"
+}
+
+# --- external-dependency stubs -------------------------------------------
+echo "proc  serde_derive"
+rustc --edition 2021 --crate-type proc-macro --crate-name serde_derive \
+    --out-dir "$OUT" "$STUBS/serde_derive.rs"
+DERIVE=(--extern "serde_derive=$OUT/libserde_derive.so")
+stub serde "${DERIVE[@]}"
+stub serde_json $(ex serde)
+stub rand
+stub rayon
+stub parking_lot
+
+E_SERDE=($(ex serde) "${DERIVE[@]}")
+
+# --- workspace crates, dependency order ----------------------------------
+lib alert_trace crates/trace/src/lib.rs "${E_SERDE[@]}"
+lib alert_geom crates/geom/src/lib.rs "${E_SERDE[@]}" $(ex rand)
+lib alert_crypto crates/crypto/src/lib.rs "${E_SERDE[@]}" $(ex rand)
+lib alert_mobility crates/mobility/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom)
+lib alert_analysis crates/analysis/src/lib.rs "${E_SERDE[@]}" $(ex alert_geom)
+lib alert_sim crates/sim/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace)
+lib alert_protocols crates/protocols/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_sim)
+lib alert_core crates/core/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_sim alert_protocols)
+lib alert_adversary crates/adversary/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand parking_lot alert_geom alert_crypto alert_sim alert_core alert_protocols)
+E_ALL=("${E_SERDE[@]}" $(ex rand rayon serde_json alert_geom alert_crypto \
+    alert_mobility alert_trace alert_sim alert_protocols alert_core \
+    alert_adversary alert_analysis))
+lib alert_bench crates/bench/src/lib.rs "${E_ALL[@]}"
+lib alert src/lib.rs "${E_ALL[@]}"
+
+# --- binaries ------------------------------------------------------------
+check_bin repro crates/bench/src/bin/repro.rs "${E_ALL[@]}" $(ex alert_bench)
+check_bin simrun crates/bench/src/bin/simrun.rs "${E_ALL[@]}" $(ex alert_bench)
+
+# --- examples ------------------------------------------------------------
+for exf in examples/*.rs; do
+    name="$(basename "$exf" .rs)"
+    check_bin "example_$name" "$exf" "${E_ALL[@]}" $(ex alert alert_bench)
+done
+
+# --- unit tests (lib targets with #[cfg(test)]) --------------------------
+check_test alert_trace_unit crates/trace/src/lib.rs "${E_SERDE[@]}"
+check_test alert_geom_unit crates/geom/src/lib.rs "${E_SERDE[@]}" $(ex rand)
+check_test alert_crypto_unit crates/crypto/src/lib.rs "${E_SERDE[@]}" $(ex rand)
+check_test alert_mobility_unit crates/mobility/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom)
+check_test alert_analysis_unit crates/analysis/src/lib.rs "${E_SERDE[@]}" \
+    $(ex alert_geom)
+check_test alert_sim_unit crates/sim/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace)
+check_test alert_protocols_unit crates/protocols/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_sim)
+check_test alert_core_unit crates/core/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_sim alert_protocols)
+check_test alert_adversary_unit crates/adversary/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand parking_lot alert_geom alert_crypto alert_sim alert_core alert_protocols)
+check_test alert_bench_unit crates/bench/src/lib.rs "${E_ALL[@]}"
+
+# --- integration tests that need no proptest -----------------------------
+check_test runtime_smoke crates/sim/tests/runtime_smoke.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test trace_determinism crates/sim/tests/trace_determinism.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test observability tests/observability.rs "${E_ALL[@]}" \
+    $(ex alert alert_bench)
+check_test full_pipeline tests/full_pipeline.rs "${E_ALL[@]}" \
+    $(ex alert alert_bench)
+
+echo "offline check OK"

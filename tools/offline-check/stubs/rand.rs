@@ -1,0 +1,57 @@
+//! Offline stub for `rand` 0.8: just enough surface (StdRng,
+//! SeedableRng, Rng with gen/gen_range/gen_bool/fill) for the workspace
+//! to type-check. Type-check only; see ../README.md.
+
+/// Stand-in for `rand::RngCore` (no methods needed for type-checking).
+pub trait RngCore {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {}
+
+/// Ranges a value of type `T` can be sampled from.
+pub trait SampleRange<T> {}
+
+impl<T> SampleRange<T> for std::ops::Range<T> {}
+impl<T> SampleRange<T> for std::ops::RangeInclusive<T> {}
+
+/// Stand-in for `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a uniform value.
+    fn gen<T>(&mut self) -> T {
+        unimplemented!("rand stub")
+    }
+
+    /// Sample from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, _range: R) -> T {
+        unimplemented!("rand stub")
+    }
+
+    /// Bernoulli draw.
+    fn gen_bool(&mut self, _p: f64) -> bool {
+        unimplemented!("rand stub")
+    }
+
+    /// Fill a buffer with random data.
+    fn fill<T: ?Sized>(&mut self, _dest: &mut T) {
+        unimplemented!("rand stub")
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Stand-in for `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed from a `u64`.
+    fn seed_from_u64(_state: u64) -> Self {
+        unimplemented!("rand stub")
+    }
+}
+
+/// Concrete RNG types.
+pub mod rngs {
+    /// Stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng;
+
+    impl super::RngCore for StdRng {}
+    impl super::SeedableRng for StdRng {}
+}

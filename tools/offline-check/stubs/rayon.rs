@@ -1,0 +1,26 @@
+//! Offline stub for `rayon`: `into_par_iter` degrades to the sequential
+//! iterator so all the std `Iterator` adapters type-check identically.
+//! Type-check only; see ../README.md.
+
+/// Stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// The (sequential, in this stub) iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// "Parallel" iterator — sequential fallback.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// Stand-in prelude.
+pub mod prelude {
+    pub use super::IntoParallelIterator;
+}

@@ -1,0 +1,40 @@
+//! Offline stub for `serde_derive`: emits trivial marker-trait impls so
+//! the workspace can be *type-checked* without the real crates.io
+//! dependency graph. See ../README.md. Never used by real builds.
+//!
+//! Limitations (sufficient for this workspace): the deriving type must
+//! not be generic, and `#[serde(...)]` helper attributes are ignored.
+
+extern crate proc_macro;
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

@@ -1,0 +1,31 @@
+//! Offline stub for `serde_json`. Type-check only; see ../README.md.
+
+/// Stand-in for `serde_json::Error`.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stand-in result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Signature-compatible stand-in for `serde_json::to_string_pretty`.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    unimplemented!("serde_json stub")
+}
+
+/// Signature-compatible stand-in for `serde_json::to_string`.
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    unimplemented!("serde_json stub")
+}
+
+/// Signature-compatible stand-in for `serde_json::from_str`.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    unimplemented!("serde_json stub")
+}
