@@ -76,6 +76,17 @@ impl<P: ProtocolNode> ProtocolNode for Blackhole<P> {
         }
         self.inner.on_timer(api, token);
     }
+
+    fn on_neighbor_lost(
+        &mut self,
+        api: &mut Api<'_, Self::Msg>,
+        neighbor: &alert_sim::NeighborEntry,
+    ) {
+        if self.compromised {
+            return; // a blackhole repairs nothing
+        }
+        self.inner.on_neighbor_lost(api, neighbor);
+    }
 }
 
 /// Chooses `count` nodes to compromise, deterministically from `seed`,

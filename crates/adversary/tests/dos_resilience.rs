@@ -6,7 +6,7 @@
 use alert_adversary::{choose_compromised, interception_fraction, Blackhole};
 use alert_core::{Alert, AlertConfig};
 use alert_protocols::Gpsr;
-use alert_sim::{Metrics, MobilityKind, NodeId, ScenarioConfig, SessionId, World};
+use alert_sim::{FaultPlan, Metrics, MobilityKind, NodeId, ScenarioConfig, SessionId, World};
 use std::collections::BTreeSet;
 
 /// Static topology: Section 3.1's claims are about *route stability* —
@@ -153,6 +153,59 @@ fn interception_is_partial_under_alert_total_under_gpsr() {
         alert_best < gpsr_best - 0.15,
         "ALERT's best relay ({alert_best:.2}) should see clearly less than GPSR's ({gpsr_best:.2})"
     );
+}
+
+/// ALERT delivery with `count` blackholes on top of a churn fault plan
+/// crashing `crash_fraction` of the population, averaged over seeds.
+fn alert_delivery_under_churn(crash_fraction: f64, count: usize, seeds: u64) -> f64 {
+    let mut total = 0.0;
+    for seed in 0..seeds {
+        let mut cfg = scenario();
+        cfg.faults = FaultPlan::churn(cfg.nodes, crash_fraction, cfg.duration_s, 0xFA17);
+        let probe = World::new(cfg.clone(), seed, |_, _| Alert::new(AlertConfig::default()));
+        let endpoints: BTreeSet<NodeId> = probe
+            .sessions()
+            .iter()
+            .flat_map(|s| [s.src, s.dst])
+            .collect();
+        drop(probe);
+        let comp = choose_compromised(cfg.nodes, count, &endpoints, seed ^ 0xBAD);
+        let mut w = World::new(cfg, seed, move |id, _| {
+            Blackhole::new(Alert::new(AlertConfig::default()), comp.contains(&id))
+        });
+        w.run();
+        total += w.metrics().delivery_rate();
+    }
+    total / seeds as f64
+}
+
+#[test]
+fn blackholes_plus_churn_degrade_alert_monotonically_without_panics() {
+    // Combined-fault robustness: churn stacked on a blackhole compromise
+    // must degrade ALERT's delivery gracefully. The churn schedule nests
+    // (a higher crash rate downs a superset of a lower rate's victims,
+    // see FaultPlan::churn), so delivery is monotone non-increasing up to
+    // a small stochastic slack.
+    let seeds = 2;
+    let rates: Vec<f64> = [0.0, 0.15, 0.3]
+        .iter()
+        .map(|&f| alert_delivery_under_churn(f, 20, seeds))
+        .collect();
+    for r in &rates {
+        assert!((0.0..=1.0).contains(r), "delivery rate {r} out of range");
+    }
+    assert!(
+        rates[0] > 0.3,
+        "blackholed but churn-free ALERT still delivers, saw {:.2}",
+        rates[0]
+    );
+    const SLACK: f64 = 0.02;
+    for w in rates.windows(2) {
+        assert!(
+            w[1] <= w[0] + SLACK,
+            "delivery must not improve as crash rate rises: {rates:?}"
+        );
+    }
 }
 
 #[test]

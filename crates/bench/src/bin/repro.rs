@@ -7,6 +7,8 @@
 //!   table1  fig5c  fig7a  fig7b  fig9a  fig9b
 //!   fig10a  fig10b fig11  fig12  fig13a fig13b
 //!   fig14a  fig14b fig15a fig15b fig16a fig16b fig17
+//!   claim-dos claim-interception claim-defense-cost claim-energy
+//!   panorama churn
 //! ```
 //!
 //! `--runs` controls the Monte-Carlo repetitions per data point (the
@@ -16,7 +18,7 @@
 //! (protocol, run count, wall-clock seconds) so long sweeps are
 //! watchable.
 
-use alert_bench::figures::{analytic, attacks, claims, participants, performance, zone};
+use alert_bench::figures::{analytic, attacks, claims, faults, participants, performance, zone};
 use std::time::Instant;
 
 fn main() {
@@ -84,7 +86,7 @@ enum Rendered {
     Table(alert_bench::FigureTable),
 }
 
-const ALL: [&str; 24] = [
+const ALL: [&str; 25] = [
     "table1",
     "fig5c",
     "fig7a",
@@ -109,6 +111,7 @@ const ALL: [&str; 24] = [
     "claim-defense-cost",
     "claim-energy",
     "panorama",
+    "churn",
 ];
 
 fn render(target: &str, runs: usize) -> Option<Rendered> {
@@ -137,6 +140,7 @@ fn render(target: &str, runs: usize) -> Option<Rendered> {
         "claim-defense-cost" => Rendered::Table(claims::claim_defense_cost(runs)),
         "claim-energy" => Rendered::Table(claims::claim_energy(runs)),
         "panorama" => Rendered::Table(claims::panorama(runs)),
+        "churn" => Rendered::Table(faults::churn_sweep(runs)),
         _ => return None,
     })
 }

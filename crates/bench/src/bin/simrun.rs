@@ -13,11 +13,14 @@
 //! override the (file or default) scenario, so small smoke scenarios need
 //! no file. `--trace` streams the structured JSONL event trace;
 //! `--profile` writes the [`alert_sim::RunProfile`] JSON (pass `-` for
-//! stdout). Both imply a single instrumented run.
+//! stdout). `--faults` loads an [`alert_sim::FaultPlan`] JSON into the
+//! scenario; `--report` writes the graceful-degradation report (delivery,
+//! latency, node downs/ups, ARQ retries, drops by reason). All imply a
+//! single instrumented run.
 
-use alert_bench::{run_instrumented, sweep_point, ProtocolChoice, RunOptions};
+use alert_bench::{run_instrumented, sweep_point, ProtocolChoice, RunOptions, RunOutput};
 use alert_core::AlertConfig;
-use alert_sim::{JsonlSink, Metrics, ScenarioConfig};
+use alert_sim::{FaultPlan, JsonlSink, Metrics, ScenarioConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +30,8 @@ fn main() {
     let mut runs = 1usize;
     let mut trace_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
+    let mut faults_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut nodes: Option<usize> = None;
     let mut pairs: Option<usize> = None;
     let mut duration: Option<f64> = None;
@@ -53,6 +58,20 @@ fn main() {
                 profile_path = Some(
                     it.next()
                         .unwrap_or_else(|| die("--profile needs a path (or -)"))
+                        .clone(),
+                );
+            }
+            "--faults" => {
+                faults_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--faults needs a plan.json path"))
+                        .clone(),
+                );
+            }
+            "--report" => {
+                report_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--report needs a path (or -)"))
                         .clone(),
                 );
             }
@@ -92,6 +111,13 @@ fn main() {
     if let Some(d) = duration {
         scenario = scenario.with_duration(d);
     }
+    if let Some(p) = &faults_path {
+        let text =
+            std::fs::read_to_string(p).unwrap_or_else(|e| die(&format!("cannot read {p}: {e}")));
+        let plan: FaultPlan = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("bad fault plan {p}: {e}")));
+        scenario.faults = plan;
+    }
     if let Err(e) = scenario.validate() {
         die(&format!("invalid scenario: {e}"));
     }
@@ -116,9 +142,9 @@ fn main() {
         scenario.nodes,
         scenario.duration_s
     );
-    let instrumented = trace_path.is_some() || profile_path.is_some();
+    let instrumented = trace_path.is_some() || profile_path.is_some() || report_path.is_some();
     if instrumented && runs != 1 {
-        die("--trace/--profile instrument a single run; drop --runs or set it to 1");
+        die("--trace/--profile/--report instrument a single run; drop --runs or set it to 1");
     }
     if runs == 1 {
         let opts = RunOptions {
@@ -145,6 +171,16 @@ fn main() {
         if let Some(p) = &trace_path {
             eprintln!("trace written to {p}");
         }
+        if let Some(p) = &report_path {
+            let json = degradation_report(choice.name(), seed, &scenario, &out);
+            if p == "-" {
+                println!("{json}");
+            } else {
+                std::fs::write(p, json + "\n")
+                    .unwrap_or_else(|e| die(&format!("cannot write report {p}: {e}")));
+                eprintln!("degradation report written to {p}");
+            }
+        }
     } else {
         let delivery = sweep_point(choice, &scenario, runs, Metrics::delivery_rate);
         let latency = sweep_point(choice, &scenario, runs, |m: &Metrics| {
@@ -158,6 +194,58 @@ fn main() {
     }
 }
 
+/// The graceful-degradation report: how the run fared under the injected
+/// faults, as one JSON object. Hand-formatted (like the trace codec) so
+/// key order — and therefore diffs between runs — is stable.
+fn degradation_report(
+    protocol: &str,
+    seed: u64,
+    scenario: &ScenarioConfig,
+    out: &RunOutput,
+) -> String {
+    let m = &out.metrics;
+    let counter = |name: &str| out.registry.counters.get(name).copied().unwrap_or(0);
+    let retries = out
+        .registry
+        .histograms
+        .get("link.retries")
+        .map_or(0, |h| h.count);
+    let latency_ms = match m.mean_latency() {
+        Some(l) if l.is_finite() => format!("{:.3}", l * 1000.0),
+        _ => "null".into(),
+    };
+    let delivery = m.delivery_rate();
+    let drops: Vec<String> = m
+        .drops
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect();
+    let mut s = String::from("{");
+    s.push_str(&format!("\"protocol\":\"{protocol}\","));
+    s.push_str(&format!("\"seed\":{seed},"));
+    s.push_str(&format!("\"nodes\":{},", scenario.nodes));
+    s.push_str(&format!("\"duration_s\":{},", scenario.duration_s));
+    s.push_str(&format!(
+        "\"fault_plan\":{{\"crashes\":{},\"regional_outages\":{},\"link_degradations\":{}}},",
+        scenario.faults.crashes.len(),
+        scenario.faults.regional_outages.len(),
+        scenario.faults.link_degradations.len()
+    ));
+    s.push_str(&format!("\"app_packets\":{},", m.packets.len()));
+    s.push_str(&format!(
+        "\"delivered\":{},",
+        m.packets.iter().filter(|p| p.delivered_at.is_some()).count()
+    ));
+    s.push_str(&format!("\"delivery_rate\":{delivery:.6},"));
+    s.push_str(&format!("\"mean_latency_ms\":{latency_ms},"));
+    s.push_str(&format!("\"node_downs\":{},", counter("node.downs")));
+    s.push_str(&format!("\"node_ups\":{},", counter("node.ups")));
+    s.push_str(&format!("\"link_retries\":{retries},"));
+    s.push_str(&format!("\"drops\":{{{}}}", drops.join(",")));
+    s.push('}');
+    s
+}
+
 fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
     v.and_then(|s| s.parse().ok())
         .unwrap_or_else(|| die(&format!("{flag} needs a numeric value")))
@@ -168,6 +256,7 @@ fn usage() {
     eprintln!("              [--scenario file.json] [--seed N] [--runs N]");
     eprintln!("              [--nodes N] [--pairs N] [--duration SECS]");
     eprintln!("              [--trace trace.jsonl] [--profile profile.json|-]");
+    eprintln!("              [--faults plan.json] [--report report.json|-]");
     eprintln!("       simrun --emit-default-scenario > scenario.json");
 }
 

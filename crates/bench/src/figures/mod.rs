@@ -4,6 +4,7 @@
 pub mod analytic;
 pub mod attacks;
 pub mod claims;
+pub mod faults;
 pub mod participants;
 pub mod performance;
 pub mod zone;

@@ -6,7 +6,8 @@
 use alert_core::{Alert, AlertConfig};
 use alert_protocols::{Alarm, Anodr, Ao2p, Gpsr, Mapcp, Mask, Prism, Zap};
 use alert_sim::{
-    Metrics, NodeId, ProtocolNode, RunProfile, ScenarioConfig, ScenarioError, TraceSink, World,
+    Metrics, NodeId, ProtocolNode, RegistrySnapshot, RunProfile, ScenarioConfig, ScenarioError,
+    TraceSink, World,
 };
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -100,6 +101,9 @@ pub struct RunOutput {
     pub metrics: Metrics,
     /// Engine profile for the same run.
     pub profile: RunProfile,
+    /// Counter/histogram registry at end of run (typed observability:
+    /// `node.downs`, `link.retries`, ...).
+    pub registry: RegistrySnapshot,
 }
 
 /// Builds the world for one protocol choice, applies the observability
@@ -129,6 +133,7 @@ where
     Ok(RunOutput {
         metrics: w.metrics().clone(),
         profile,
+        registry: w.registry_snapshot(),
     })
 }
 

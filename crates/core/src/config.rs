@@ -43,6 +43,12 @@ pub struct AlertConfig {
     pub retransmit_timeout_s: f64,
     /// Maximum retransmissions per packet.
     pub max_retransmits: u32,
+    /// When a neighbor ages out of the table, bring forward the
+    /// retransmit check for every unconfirmed packet instead of waiting
+    /// out the full timeout (failure-recovery aid for churny networks).
+    /// Off by default to match the calibrated figures.
+    #[serde(default)]
+    pub reroute_on_neighbor_loss: bool,
 }
 
 impl Default for AlertConfig {
@@ -65,6 +71,7 @@ impl Default for AlertConfig {
             confirm_and_retransmit: true,
             retransmit_timeout_s: 0.8,
             max_retransmits: 1,
+            reroute_on_neighbor_loss: false,
         }
     }
 }
@@ -99,6 +106,12 @@ impl AlertConfig {
     /// Builder-style notify-and-go toggle.
     pub fn with_notify_and_go(mut self, on: bool) -> Self {
         self.notify_and_go = on;
+        self
+    }
+
+    /// Builder-style neighbor-loss reroute toggle.
+    pub fn with_reroute_on_neighbor_loss(mut self, on: bool) -> Self {
+        self.reroute_on_neighbor_loss = on;
         self
     }
 }

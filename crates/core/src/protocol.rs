@@ -721,6 +721,26 @@ impl ProtocolNode for Alert {
             None => {}
         }
     }
+
+    fn on_neighbor_lost(
+        &mut self,
+        api: &mut Api<'_, Self::Msg>,
+        _neighbor: &alert_sim::NeighborEntry,
+    ) {
+        if !self.cfg.reroute_on_neighbor_loss || !self.cfg.confirm_and_retransmit {
+            return;
+        }
+        // A vanished neighbor may have been carrying one of our
+        // unconfirmed packets; bring the retransmit checks forward so the
+        // source re-routes around the hole instead of waiting out the
+        // full confirmation timeout. The check itself still consults
+        // `pending_confirm`, so already-confirmed packets are unaffected.
+        let mut pending: Vec<PacketId> = self.pending_confirm.keys().copied().collect();
+        pending.sort_by_key(|p| p.0);
+        for id in pending {
+            self.defer(api, 0.0, Delayed::RetransmitCheck(id));
+        }
+    }
 }
 
 /// Factory for [`alert_sim::World::new`] with a shared configuration.

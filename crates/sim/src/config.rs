@@ -1,6 +1,7 @@
 //! Scenario configuration: every knob of the paper's evaluation setup
 //! (Section 5.2) in one serializable struct.
 
+use crate::fault::FaultPlan;
 use alert_crypto::CostModel;
 use alert_geom::Rect;
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,35 @@ pub enum ScenarioError {
         /// Available nodes.
         nodes: usize,
     },
+    /// A periodic interval (`traffic.interval_s`, `hello_interval_s` or
+    /// `mobility_tick_s`) is not positive; a zero traffic interval would
+    /// spin the event loop forever at one instant.
+    NonPositiveInterval {
+        /// Which interval field is degenerate.
+        which: &'static str,
+    },
+    /// `neighbor_staleness_factor` must be a finite factor `>= 1` (entries
+    /// are evicted after `k` missed hello intervals).
+    InvalidStalenessFactor(f64),
+    /// `mac.arq_backoff_base_s` must be finite and non-negative.
+    InvalidArqBackoff(f64),
+    /// A fault-plan crash references a node id outside the population.
+    FaultNodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Available nodes.
+        nodes: usize,
+    },
+    /// A fault-plan time window is inverted, negative or non-finite (also
+    /// covers degenerate outage rectangles).
+    InvalidFaultWindow {
+        /// Window start in seconds.
+        start: f64,
+        /// Window end in seconds.
+        end: f64,
+    },
+    /// A link-degradation factor or additive loss is out of range.
+    InvalidFaultLoss(f64),
 }
 
 impl fmt::Display for ScenarioError {
@@ -58,6 +88,24 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::SessionEndpointOutOfRange { node, nodes } => {
                 write!(f, "session endpoint {node} out of range for {nodes} nodes")
+            }
+            ScenarioError::NonPositiveInterval { which } => {
+                write!(f, "{which} must be positive")
+            }
+            ScenarioError::InvalidStalenessFactor(k) => {
+                write!(f, "neighbor staleness factor must be finite and >= 1, got {k}")
+            }
+            ScenarioError::InvalidArqBackoff(b) => {
+                write!(f, "ARQ backoff base must be finite and non-negative, got {b}")
+            }
+            ScenarioError::FaultNodeOutOfRange { node, nodes } => {
+                write!(f, "fault plan crashes node {node} but only {nodes} nodes exist")
+            }
+            ScenarioError::InvalidFaultWindow { start, end } => {
+                write!(f, "fault window [{start}, {end}] is degenerate")
+            }
+            ScenarioError::InvalidFaultLoss(v) => {
+                write!(f, "link degradation loss value {v} out of range")
             }
         }
     }
@@ -125,6 +173,20 @@ pub struct MacConfig {
     /// overlapping. Off by default to match the calibrated figures; turn
     /// on for MAC-fidelity studies.
     pub serialize_tx: bool,
+    /// Link-layer ARQ retry budget per unicast frame (802.11 DCF retries
+    /// a lost data frame up to `dot11LongRetryLimit` = 4 times). `0`
+    /// disables the ARQ entirely — the default, matching the calibrated
+    /// figures where a lost unicast is simply dropped.
+    #[serde(default)]
+    pub arq_max_retries: u32,
+    /// Base delay before the first ARQ retransmission; attempt `n` waits
+    /// `arq_backoff_base_s * 2^(n-1)` (binary exponential backoff).
+    #[serde(default = "default_arq_backoff")]
+    pub arq_backoff_base_s: f64,
+}
+
+fn default_arq_backoff() -> f64 {
+    0.004
 }
 
 impl Default for MacConfig {
@@ -137,6 +199,8 @@ impl Default for MacConfig {
             contention_per_neighbor_s: 0.000_02,
             loss_probability: 0.0,
             serialize_tx: false,
+            arq_max_retries: 0,
+            arq_backoff_base_s: default_arq_backoff(),
         }
     }
 }
@@ -220,6 +284,20 @@ pub struct ScenarioConfig {
     pub pseudonym_lifetime_s: f64,
     /// Radio/CPU power model for energy accounting.
     pub energy: EnergyConfig,
+    /// Neighbor-table entries are evicted once they are older than
+    /// `neighbor_staleness_factor × hello_interval_s` — i.e. after that
+    /// many missed hello beacons. The default of 1 evicts at the first
+    /// missed hello, which is exactly the wholesale table rebuild the
+    /// simulator always performed.
+    #[serde(default = "default_staleness_factor")]
+    pub neighbor_staleness_factor: f64,
+    /// Deterministic fault schedule; empty by default (no faults).
+    #[serde(default)]
+    pub faults: FaultPlan,
+}
+
+fn default_staleness_factor() -> f64 {
+    1.0
 }
 
 impl Default for ScenarioConfig {
@@ -242,6 +320,8 @@ impl Default for ScenarioConfig {
             mobility_tick_s: 0.5,
             pseudonym_lifetime_s: 30.0,
             energy: EnergyConfig::default(),
+            neighbor_staleness_factor: default_staleness_factor(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -312,6 +392,30 @@ impl ScenarioConfig {
                 self.mac.loss_probability,
             ));
         }
+        if self.traffic.interval_s <= 0.0 {
+            return Err(ScenarioError::NonPositiveInterval {
+                which: "traffic.interval_s",
+            });
+        }
+        if self.hello_interval_s <= 0.0 {
+            return Err(ScenarioError::NonPositiveInterval {
+                which: "hello_interval_s",
+            });
+        }
+        if self.mobility_tick_s <= 0.0 {
+            return Err(ScenarioError::NonPositiveInterval {
+                which: "mobility_tick_s",
+            });
+        }
+        if !self.neighbor_staleness_factor.is_finite() || self.neighbor_staleness_factor < 1.0 {
+            return Err(ScenarioError::InvalidStalenessFactor(
+                self.neighbor_staleness_factor,
+            ));
+        }
+        if !self.mac.arq_backoff_base_s.is_finite() || self.mac.arq_backoff_base_s < 0.0 {
+            return Err(ScenarioError::InvalidArqBackoff(self.mac.arq_backoff_base_s));
+        }
+        self.faults.validate(self.nodes)?;
         Ok(())
     }
 }
@@ -367,6 +471,58 @@ mod tests {
             ..ScenarioConfig::default()
         };
         assert_eq!(c.validate(), Err(ScenarioError::NonPositiveDuration));
+        let mut c = ScenarioConfig::default();
+        c.traffic.interval_s = 0.0;
+        assert_eq!(
+            c.validate(),
+            Err(ScenarioError::NonPositiveInterval {
+                which: "traffic.interval_s"
+            })
+        );
+        let c = ScenarioConfig {
+            hello_interval_s: -1.0,
+            ..ScenarioConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ScenarioError::NonPositiveInterval {
+                which: "hello_interval_s"
+            })
+        );
+        let c = ScenarioConfig {
+            mobility_tick_s: 0.0,
+            ..ScenarioConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ScenarioError::NonPositiveInterval {
+                which: "mobility_tick_s"
+            })
+        );
+        let c = ScenarioConfig {
+            neighbor_staleness_factor: 0.5,
+            ..ScenarioConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ScenarioError::InvalidStalenessFactor(0.5)));
+        let mut c = ScenarioConfig::default();
+        c.mac.arq_backoff_base_s = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidArqBackoff(_))
+        ));
+        let mut c = ScenarioConfig::default();
+        c.faults.crashes.push(crate::fault::NodeCrash {
+            node: 500,
+            at_s: 1.0,
+            recover_s: None,
+        });
+        assert_eq!(
+            c.validate(),
+            Err(ScenarioError::FaultNodeOutOfRange {
+                node: 500,
+                nodes: 200
+            })
+        );
     }
 
     #[test]
@@ -383,6 +539,30 @@ mod tests {
             ScenarioError::NoNodes.to_string(),
             "scenario needs at least one node"
         );
+        assert_eq!(
+            ScenarioError::NonPositiveInterval {
+                which: "traffic.interval_s"
+            }
+            .to_string(),
+            "traffic.interval_s must be positive"
+        );
+        assert_eq!(
+            ScenarioError::InvalidStalenessFactor(0.5).to_string(),
+            "neighbor staleness factor must be finite and >= 1, got 0.5"
+        );
+        assert_eq!(
+            ScenarioError::FaultNodeOutOfRange { node: 7, nodes: 5 }.to_string(),
+            "fault plan crashes node 7 but only 5 nodes exist"
+        );
+    }
+
+    #[test]
+    fn default_faults_and_arq_are_inert() {
+        let c = ScenarioConfig::default();
+        assert!(c.faults.is_empty());
+        assert_eq!(c.mac.arq_max_retries, 0);
+        assert_eq!(c.neighbor_staleness_factor, 1.0);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 mod api;
 mod config;
 mod engine;
+mod fault;
 mod ids;
 mod location;
 mod metrics;
@@ -39,6 +40,7 @@ pub use config::{
     EnergyConfig, LocationPolicy, MacConfig, MobilityKind, ScenarioConfig, ScenarioError,
     TrafficConfig,
 };
+pub use fault::{FaultPlan, LinkDegradation, NodeCrash, RegionOutage};
 pub use engine::EventQueue;
 pub use ids::{NodeId, PacketId, SessionId, TimerToken};
 pub use location::{LocationInfo, LocationService};

@@ -58,12 +58,51 @@ pub trait Observer {
 /// Internal event type.
 #[derive(Debug)]
 pub(crate) enum Event<M> {
-    Deliver { to: NodeId, frame: Frame<M> },
-    Timer { node: NodeId, token: TimerToken },
-    AppSend { session: SessionId, seq: u32 },
+    Deliver {
+        to: NodeId,
+        frame: Frame<M>,
+    },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+        /// The owning node's incarnation when the timer was set; a timer
+        /// from a pre-crash incarnation is swallowed.
+        epoch: u32,
+    },
+    AppSend {
+        session: SessionId,
+        seq: u32,
+    },
     MobilityTick,
     HelloTick,
     LocationTick,
+    /// Fault plan: crash one node.
+    NodeDown {
+        node: NodeId,
+    },
+    /// Fault plan: recover one node.
+    NodeUp {
+        node: NodeId,
+    },
+    /// Fault plan: start regional outage `index` (victims resolved from
+    /// the geometry at dispatch time).
+    RegionOutage {
+        index: usize,
+    },
+    /// Fault plan: end regional outage `index`.
+    RegionRecover {
+        index: usize,
+    },
+    /// Link-layer ARQ retransmission of a failed unicast frame.
+    Retry {
+        from: NodeId,
+        to: Pseudonym,
+        msg: M,
+        bytes: usize,
+        class: TrafficClass,
+        packet: Option<PacketId>,
+        attempt: u32,
+    },
 }
 
 impl<M> Event<M> {
@@ -76,6 +115,11 @@ impl<M> Event<M> {
             Event::MobilityTick => "mobility_tick",
             Event::HelloTick => "hello_tick",
             Event::LocationTick => "location_tick",
+            Event::NodeDown { .. } => "node_down",
+            Event::NodeUp { .. } => "node_up",
+            Event::RegionOutage { .. } => "region_outage",
+            Event::RegionRecover { .. } => "region_recover",
+            Event::Retry { .. } => "retry",
         }
     }
 }
@@ -98,9 +142,12 @@ pub(crate) struct SimStats {
     pub(crate) zone_partitions: CounterHandle,
     pub(crate) random_forwarders: CounterHandle,
     pub(crate) crypto_ops: CounterHandle,
+    pub(crate) node_downs: CounterHandle,
+    pub(crate) node_ups: CounterHandle,
     pub(crate) latency_s: HistogramHandle,
     pub(crate) hops: HistogramHandle,
     pub(crate) mac_backoff_s: HistogramHandle,
+    pub(crate) link_retries: HistogramHandle,
 }
 
 impl SimStats {
@@ -120,9 +167,12 @@ impl SimStats {
         let zone_partitions = registry.counter("zone.partitions");
         let random_forwarders = registry.counter("random.forwarders");
         let crypto_ops = registry.counter("crypto.ops");
+        let node_downs = registry.counter("node.downs");
+        let node_ups = registry.counter("node.ups");
         let latency_s = registry.histogram("latency_s");
         let hops = registry.histogram("hops");
         let mac_backoff_s = registry.histogram("mac_backoff_s");
+        let link_retries = registry.histogram("link.retries");
         SimStats {
             registry,
             tx_frames,
@@ -139,9 +189,12 @@ impl SimStats {
             zone_partitions,
             random_forwarders,
             crypto_ops,
+            node_downs,
+            node_ups,
             latency_s,
             hops,
             mac_backoff_s,
+            link_retries,
         }
     }
 }
@@ -229,11 +282,26 @@ pub(crate) struct WorldCore<M> {
     pub(crate) observers: Vec<Box<dyn Observer>>,
     pub(crate) tracer: Tracer,
     pub(crate) stats: SimStats,
+    /// Per-node crash depth: `> 0` means down. A counter rather than a
+    /// flag so overlapping outages (individual crash inside a regional
+    /// outage) nest correctly.
+    pub(crate) down_depth: Vec<u32>,
+    /// Per-node incarnation counter; bumped on recovery so timers set
+    /// before a crash never fire into the new incarnation.
+    pub(crate) epochs: Vec<u32>,
+    /// Victims of each in-progress regional outage (resolved at outage
+    /// start, recovered together at outage end).
+    pub(crate) region_victims: Vec<Vec<NodeId>>,
 }
 
 impl<M: Clone + std::fmt::Debug> WorldCore<M> {
     pub(crate) fn position(&self, node: NodeId) -> Point {
         self.mobility.position(node.0)
+    }
+
+    /// Whether `node` is currently crashed (fault plan).
+    pub(crate) fn is_down(&self, node: NodeId) -> bool {
+        self.down_depth[node.0] > 0
     }
 
     /// Central drop bookkeeping: legacy `Metrics.drops` string map, the
@@ -255,8 +323,63 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         });
     }
 
+    /// On a failed unicast attempt: schedule an ARQ retransmission while
+    /// the retry budget lasts, otherwise record the drop. With
+    /// `arq_max_retries == 0` (the default) this is exactly the old
+    /// immediate-drop path.
+    #[allow(clippy::too_many_arguments)]
+    fn unicast_failed(
+        &mut self,
+        from: NodeId,
+        to: Pseudonym,
+        msg: M,
+        bytes: usize,
+        class: TrafficClass,
+        packet: Option<PacketId>,
+        attempt: u32,
+        reason: DropReason,
+    ) {
+        let max = self.cfg.mac.arq_max_retries;
+        if attempt < max {
+            let next = attempt + 1;
+            self.stats
+                .registry
+                .observe(self.stats.link_retries, f64::from(next));
+            let now = self.queue.now();
+            self.tracer.emit_with(|| TraceEvent::LinkRetry {
+                time: now,
+                node: from.0 as u64,
+                packet: packet.map(|p| p.0),
+                attempt: u64::from(next),
+            });
+            // Binary exponential backoff, exponent capped well below
+            // anything that could overflow.
+            let delay = self.cfg.mac.arq_backoff_base_s * f64::powi(2.0, attempt.min(16) as i32);
+            self.queue.schedule_in(
+                delay,
+                Event::Retry {
+                    from,
+                    to,
+                    msg,
+                    bytes,
+                    class,
+                    packet,
+                    attempt: next,
+                },
+            );
+        } else {
+            let final_reason = if max > 0 {
+                DropReason::RetryLimitExceeded
+            } else {
+                reason
+            };
+            self.drop_frame(from, final_reason, packet);
+        }
+    }
+
     /// The channel model: computes airtime, resolves receivers, applies
-    /// loss, schedules deliveries and notifies observers.
+    /// loss, schedules deliveries and notifies observers. `attempt` is the
+    /// ARQ retransmission count of this frame (0 for a fresh send).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn transmit(
         &mut self,
@@ -267,6 +390,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         extra_delay: f64,
         class: TrafficClass,
         packet: Option<PacketId>,
+        attempt: u32,
     ) {
         let mac = self.cfg.mac;
         let from_pos = self.position(from);
@@ -330,20 +454,27 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
             }
         }
 
+        // Channel loss in effect right now (base rate unless a fault-plan
+        // degradation window is active).
+        let loss = self.cfg.faults.effective_loss(mac.loss_probability, now);
         let mut receiver = None;
         match dest {
             TxDest::Unicast(p) => {
                 if let Some(&to) = self.pseudonym_map.get(&p) {
                     let in_range =
                         self.position(to).distance(from_pos) <= mac.range_m && to != from;
-                    let lost = mac.loss_probability > 0.0
-                        && self.rng.gen_range(0.0..1.0) < mac.loss_probability;
-                    if !in_range {
-                        self.drop_frame(from, DropReason::UnicastOutOfRange, packet);
-                    } else if lost {
-                        self.drop_frame(from, DropReason::UnicastChannelLoss, packet);
-                    }
-                    if in_range && !lost {
+                    let down = self.is_down(to);
+                    let lost = loss > 0.0 && self.rng.gen_range(0.0..1.0) < loss;
+                    if !in_range || down || lost {
+                        let reason = if !in_range {
+                            DropReason::UnicastOutOfRange
+                        } else if down {
+                            DropReason::ReceiverNodeDown
+                        } else {
+                            DropReason::UnicastChannelLoss
+                        };
+                        self.unicast_failed(from, p, msg, bytes, class, packet, attempt, reason);
+                    } else {
                         receiver = Some(to);
                         self.metrics.energy_rx_j += airtime * self.cfg.energy.rx_watts;
                         self.stats.registry.inc(self.stats.rx_frames);
@@ -381,8 +512,12 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                 // Grid positions are one mobility tick stale; that models
                 // real beacon staleness and keeps the query O(1).
                 for to in targets {
-                    let lost = mac.loss_probability > 0.0
-                        && self.rng.gen_range(0.0..1.0) < mac.loss_probability;
+                    // A crashed receiver hears nothing (and consumes no
+                    // loss draw, so runs differ only where the fault does).
+                    if self.is_down(to) {
+                        continue;
+                    }
+                    let lost = loss > 0.0 && self.rng.gen_range(0.0..1.0) < loss;
                     if !lost {
                         self.metrics.energy_rx_j += airtime * self.cfg.energy.rx_watts;
                         self.stats.registry.inc(self.stats.rx_frames);
@@ -431,11 +566,18 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
     }
 
     /// Hello tick: rotate expired pseudonyms, rebuild every node's
-    /// neighbor table from current geometry, and account beacon overhead.
-    fn hello_tick(&mut self) {
+    /// neighbor table from current geometry, evict stale entries, and
+    /// account beacon overhead. Returns the entries each node lost to
+    /// staleness this round, so the runtime can fire the
+    /// `on_neighbor_lost` protocol hook after the tick.
+    fn hello_tick(&mut self) -> Vec<(NodeId, crate::api::NeighborEntry)> {
         let now = self.queue.now();
-        // Pseudonym rotation first so tables carry fresh pseudonyms.
+        // Pseudonym rotation first so tables carry fresh pseudonyms. A
+        // crashed node's radio is off: it neither rotates nor beacons.
         for i in 0..self.nodes.len() {
+            if self.down_depth[i] > 0 {
+                continue;
+            }
             let maybe_new = self.nodes[i].pseudonyms.maybe_rotate(now, &mut self.rng);
             if let Some(p) = maybe_new {
                 // Drop mapping older than the grace predecessor.
@@ -458,10 +600,21 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         // committing unicasts to edge-of-range neighbors.
         let range = (self.cfg.mac.range_m - 2.0 * self.cfg.speed * self.cfg.hello_interval_s)
             .max(self.cfg.mac.range_m * 0.5);
+        // An entry survives `k` missed hellos (k = neighbor_staleness
+        // factor); the half-interval tolerance keeps the comparison robust
+        // to float accumulation, and with the default k = 1 reproduces the
+        // historical vanish-at-first-missed-hello semantics exactly.
+        let staleness =
+            (self.cfg.neighbor_staleness_factor - 0.5).max(0.0) * self.cfg.hello_interval_s;
+        let mut lost = Vec::new();
         for i in 0..self.nodes.len() {
+            if self.down_depth[i] > 0 {
+                // Crashed: table was wiped at crash time and stays empty.
+                continue;
+            }
             let me = self.mobility.position(i);
-            let mut table = std::mem::take(&mut self.nodes[i].neighbors);
-            table.clear();
+            let mut old = std::mem::take(&mut self.nodes[i].neighbors);
+            let mut table = Vec::with_capacity(old.len());
             let mut ids = Vec::new();
             self.grid.for_each_in_range(me, range, |id, pos| {
                 if id != i {
@@ -469,6 +622,10 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                 }
             });
             for (id, pos) in ids {
+                if self.down_depth[id] > 0 {
+                    // A crashed neighbor sends no beacon to be heard.
+                    continue;
+                }
                 table.push(crate::api::NeighborEntry {
                     pseudonym: self.nodes[id].pseudonyms.current(),
                     position: pos,
@@ -476,18 +633,32 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                     heard_at: now,
                 });
             }
+            // Entries not re-heard this round survive until they age out;
+            // the node's stable public key identifies "the same neighbor"
+            // across pseudonym rotations.
+            for e in old.drain(..) {
+                if table.iter().any(|t| t.public_key == e.public_key) {
+                    continue;
+                }
+                if now - e.heard_at < staleness {
+                    table.push(e);
+                } else {
+                    lost.push((NodeId(i), e));
+                }
+            }
             self.nodes[i].neighbors = table;
         }
-        // Each node broadcast one beacon this interval; charge the beacon
-        // airtime (tx once per node, rx once per neighbor-table entry).
-        self.metrics.control_frames += self.nodes.len() as u64;
-        self.metrics.control_bytes += (self.nodes.len() * HELLO_BYTES) as u64;
+        // Each live node broadcast one beacon this interval; charge the
+        // beacon airtime (tx once per node, rx once per table entry).
+        let alive = self.down_depth.iter().filter(|&&d| d == 0).count();
+        self.metrics.control_frames += alive as u64;
+        self.metrics.control_bytes += (alive * HELLO_BYTES) as u64;
         let beacon_airtime =
             self.cfg.mac.base_overhead_s + HELLO_BYTES as f64 * 8.0 / self.cfg.mac.bitrate_bps;
         let entries: usize = self.nodes.iter().map(|n| n.neighbors.len()).sum();
-        self.metrics.energy_tx_j +=
-            beacon_airtime * self.cfg.energy.tx_watts * self.nodes.len() as f64;
+        self.metrics.energy_tx_j += beacon_airtime * self.cfg.energy.tx_watts * alive as f64;
         self.metrics.energy_rx_j += beacon_airtime * self.cfg.energy.rx_watts * entries as f64;
+        lost
     }
 
     fn location_tick(&mut self) {
@@ -669,10 +840,13 @@ impl<P: ProtocolNode> World<P> {
             observers: Vec::new(),
             tracer: Tracer::disabled(),
             stats: SimStats::new(),
+            down_depth: vec![0; cfg.nodes],
+            epochs: vec![0; cfg.nodes],
+            region_victims: vec![Vec::new(); cfg.faults.regional_outages.len()],
             cfg,
         };
         core.rebuild_grid();
-        core.hello_tick();
+        let _ = core.hello_tick();
         core.location_tick();
 
         // Periodic machinery.
@@ -685,6 +859,28 @@ impl<P: ProtocolNode> World<P> {
             LocationPolicy::SessionStart => 1.0,
         };
         core.queue.schedule(loc_interval, Event::LocationTick);
+        // Fault schedule. Only touched for a non-empty plan, so the
+        // default scenario's event stream is byte-identical to a world
+        // without fault support. These are enqueued before any traffic,
+        // so at equal timestamps the FIFO tie-break dispatches a crash
+        // before a same-time delivery: a down node participates in no
+        // packet between its NodeDown and NodeUp events.
+        if !cfg.faults.is_empty() {
+            for c in &cfg.faults.crashes {
+                core.queue
+                    .schedule(c.at_s, Event::NodeDown { node: NodeId(c.node) });
+                if let Some(up) = c.recover_s {
+                    core.queue
+                        .schedule(up, Event::NodeUp { node: NodeId(c.node) });
+                }
+            }
+            for (i, r) in cfg.faults.regional_outages.iter().enumerate() {
+                core.queue
+                    .schedule(r.start_s, Event::RegionOutage { index: i });
+                core.queue
+                    .schedule(r.end_s, Event::RegionRecover { index: i });
+            }
+        }
         for (s, _) in core.sessions.iter().enumerate() {
             // Small deterministic stagger decorrelates the pairs.
             let start = cfg.traffic.start_s + s as f64 * 0.037;
@@ -740,9 +936,22 @@ impl<P: ProtocolNode> World<P> {
     fn dispatch(&mut self, event: Event<P::Msg>) {
         match event {
             Event::Deliver { to, frame } => {
+                if self.core.is_down(to) {
+                    // Crashed after the frame hit its radio but before the
+                    // propagation delay elapsed.
+                    self.core
+                        .drop_frame(to, DropReason::ReceiverNodeDown, None);
+                    return;
+                }
                 self.with_proto(to, |p, api| p.on_frame(api, frame));
             }
-            Event::Timer { node, token } => {
+            Event::Timer { node, token, epoch } => {
+                if self.core.is_down(node) || self.core.epochs[node.0] != epoch {
+                    // Stale timer from a crashed node or a pre-crash
+                    // incarnation: swallowed silently (no counter, no
+                    // trace) so trace and registry stay in agreement.
+                    return;
+                }
                 self.core.stats.registry.inc(self.core.stats.timer_fired);
                 let now = self.core.queue.now();
                 self.core.tracer.emit_with(|| TraceEvent::TimerFire {
@@ -784,7 +993,15 @@ impl<P: ProtocolNode> World<P> {
                     dst: s.dst,
                     bytes,
                 };
-                self.with_proto(s.src, |p, api| p.on_data_request(api, &req));
+                if self.core.is_down(s.src) {
+                    // The application layer still generates the packet (it
+                    // counts against delivery), but a crashed source can't
+                    // put it on the air.
+                    self.core
+                        .drop_frame(s.src, DropReason::SourceNodeDown, Some(pkt));
+                } else {
+                    self.with_proto(s.src, |p, api| p.on_data_request(api, &req));
+                }
                 let next = now + self.core.cfg.traffic.interval_s;
                 if next < self.core.cfg.duration_s {
                     self.core.queue.schedule(
@@ -807,7 +1024,10 @@ impl<P: ProtocolNode> World<P> {
             }
             Event::HelloTick => {
                 self.emit_tick(TickKind::Hello);
-                self.core.hello_tick();
+                let lost = self.core.hello_tick();
+                for (node, entry) in lost {
+                    self.with_proto(node, |p, api| p.on_neighbor_lost(api, &entry));
+                }
                 let dt = self.core.cfg.hello_interval_s;
                 if self.core.queue.now() + dt <= self.core.cfg.duration_s {
                     self.core.queue.schedule_in(dt, Event::HelloTick);
@@ -824,7 +1044,98 @@ impl<P: ProtocolNode> World<P> {
                     self.core.queue.schedule_in(dt, Event::LocationTick);
                 }
             }
+            Event::NodeDown { node } => {
+                self.apply_node_down(node);
+            }
+            Event::NodeUp { node } => {
+                self.apply_node_up(node);
+            }
+            Event::RegionOutage { index } => {
+                // Resolve victims from the geometry at outage start.
+                let r = self.core.cfg.faults.regional_outages[index];
+                let rect = Rect::new(Point::new(r.x, r.y), Point::new(r.x + r.w, r.y + r.h));
+                let victims: Vec<NodeId> = (0..self.core.cfg.nodes)
+                    .map(NodeId)
+                    .filter(|&n| rect.contains(self.core.position(n)))
+                    .collect();
+                for &n in &victims {
+                    self.apply_node_down(n);
+                }
+                self.core.region_victims[index] = victims;
+            }
+            Event::RegionRecover { index } => {
+                let victims = std::mem::take(&mut self.core.region_victims[index]);
+                for n in victims {
+                    self.apply_node_up(n);
+                }
+            }
+            Event::Retry {
+                from,
+                to,
+                msg,
+                bytes,
+                class,
+                packet,
+                attempt,
+            } => {
+                if self.core.is_down(from) {
+                    // The sender crashed while the frame sat in its
+                    // retransmit queue; the queue died with it.
+                    self.core
+                        .drop_frame(from, DropReason::Protocol("arq_sender_down"), packet);
+                } else {
+                    self.core.transmit(
+                        from,
+                        TxDest::Unicast(to),
+                        msg,
+                        bytes,
+                        0.0,
+                        class,
+                        packet,
+                        attempt,
+                    );
+                }
+            }
         }
+    }
+
+    /// Crashes `node` (or deepens an existing outage). Only the 0→1 depth
+    /// transition is observable: counters, trace, and state wipe.
+    fn apply_node_down(&mut self, node: NodeId) {
+        self.core.down_depth[node.0] += 1;
+        if self.core.down_depth[node.0] != 1 {
+            return;
+        }
+        self.core.stats.registry.inc(self.core.stats.node_downs);
+        let now = self.core.queue.now();
+        self.core.tracer.emit_with(|| TraceEvent::NodeDown {
+            time: now,
+            node: node.0 as u64,
+        });
+        // Volatile runtime state dies with the node.
+        self.core.nodes[node.0].neighbors.clear();
+        self.core.nodes[node.0].tx_busy_until = 0.0;
+    }
+
+    /// Recovers `node` (or shallows an outage). Only the 1→0 transition is
+    /// observable: the node rejoins with a wiped neighbor table, a new
+    /// incarnation (so pre-crash timers stay dead), and a restarted
+    /// protocol (`on_start` re-runs on the retained instance — a warm
+    /// reboot).
+    fn apply_node_up(&mut self, node: NodeId) {
+        let depth = &mut self.core.down_depth[node.0];
+        *depth = depth.saturating_sub(1);
+        if *depth != 0 {
+            return;
+        }
+        self.core.stats.registry.inc(self.core.stats.node_ups);
+        let now = self.core.queue.now();
+        self.core.tracer.emit_with(|| TraceEvent::NodeUp {
+            time: now,
+            node: node.0 as u64,
+        });
+        self.core.epochs[node.0] = self.core.epochs[node.0].wrapping_add(1);
+        self.with_proto(node, |p, api| p.on_start(api));
     }
 
     fn emit_tick(&mut self, kind: TickKind) {

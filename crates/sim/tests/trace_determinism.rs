@@ -4,8 +4,8 @@
 //! simulator's own `Metrics` bookkeeping.
 
 use alert_sim::{
-    Api, DataRequest, Frame, JsonlSink, PacketId, ProtocolNode, ScenarioConfig, SharedBuf,
-    TrafficClass, World,
+    Api, DataRequest, FaultPlan, Frame, JsonlSink, LinkDegradation, NodeCrash, PacketId,
+    ProtocolNode, RegionOutage, ScenarioConfig, SharedBuf, TrafficClass, World,
 };
 use alert_trace::{parse_trace, trace_stats};
 use std::collections::HashSet;
@@ -176,4 +176,71 @@ fn registry_snapshot_is_deterministic() {
     let (a, _) = traced_run(9);
     let (b, _) = traced_run(9);
     assert_eq!(a.registry_snapshot(), b.registry_snapshot());
+}
+
+/// The faulty scenario: crashes, a regional outage, a degradation window,
+/// and link-layer ARQ all active at once.
+fn faulty_scenario() -> ScenarioConfig {
+    let mut cfg = small_scenario();
+    cfg.mac.arq_max_retries = 3;
+    cfg.neighbor_staleness_factor = 2.0;
+    cfg.faults = FaultPlan {
+        crashes: vec![
+            NodeCrash {
+                node: 3,
+                at_s: 4.0,
+                recover_s: Some(12.0),
+            },
+            NodeCrash {
+                node: 17,
+                at_s: 6.0,
+                recover_s: None,
+            },
+        ],
+        regional_outages: vec![RegionOutage {
+            x: 0.0,
+            y: 0.0,
+            w: 250.0,
+            h: 250.0,
+            start_s: 8.0,
+            end_s: 14.0,
+        }],
+        link_degradations: vec![LinkDegradation {
+            start_s: 5.0,
+            end_s: 10.0,
+            factor: 1.0,
+            add: 0.1,
+        }],
+    };
+    cfg
+}
+
+fn faulty_traced_run(seed: u64) -> (World<Flood>, String) {
+    let buf = SharedBuf::new();
+    let mut w = World::new(faulty_scenario(), seed, |_, _| Flood::default());
+    w.set_trace_sink(Box::new(JsonlSink::new(buf.clone())));
+    w.run();
+    w.take_trace_sink();
+    (w, buf.contents())
+}
+
+#[test]
+fn same_seed_with_faults_produces_byte_identical_traces() {
+    let (wa, a) = faulty_traced_run(21);
+    let (wb, b) = faulty_traced_run(21);
+    assert!(!a.is_empty(), "faulty trace must not be empty");
+    assert_eq!(a, b, "same (faulty scenario, seed) must trace identically");
+    assert_eq!(wa.registry_snapshot(), wb.registry_snapshot());
+    // The plan actually fired: both crashes plus some outage victims.
+    assert!(wa.counter("node.downs") >= 2);
+    assert!(wa.counter("node.ups") >= 1);
+}
+
+#[test]
+fn fault_events_round_trip_through_the_codec() {
+    let (_, text) = faulty_traced_run(21);
+    let events = parse_trace(&text).expect("faulty trace parses");
+    let stats = trace_stats(&events);
+    assert!(stats.node_downs >= 2, "NodeDown events present in trace");
+    assert!(stats.node_ups >= 1, "NodeUp events present in trace");
 }

@@ -162,6 +162,12 @@ pub enum DropReason {
     LegTtlExhausted,
     /// The packet exhausted its total TTL.
     PacketTtlExhausted,
+    /// The link-layer ARQ gave up after the configured retry budget.
+    RetryLimitExceeded,
+    /// The resolved unicast receiver was crashed (fault plan).
+    ReceiverNodeDown,
+    /// The application source was crashed when the packet was generated.
+    SourceNodeDown,
     /// Protocol-specific diagnostic (e.g. `"zap_greedy_stuck"`).
     Protocol(&'static str),
 }
@@ -176,6 +182,9 @@ impl DropReason {
             DropReason::LocationLookupFailed => "location_lookup_failed",
             DropReason::LegTtlExhausted => "leg_ttl_exhausted",
             DropReason::PacketTtlExhausted => "packet_ttl_exhausted",
+            DropReason::RetryLimitExceeded => "retry_limit_exceeded",
+            DropReason::ReceiverNodeDown => "receiver_node_down",
+            DropReason::SourceNodeDown => "source_node_down",
             DropReason::Protocol(s) => s,
         }
     }
@@ -192,6 +201,9 @@ impl From<&'static str> for DropReason {
             "location_lookup_failed" => DropReason::LocationLookupFailed,
             "leg_ttl_exhausted" => DropReason::LegTtlExhausted,
             "packet_ttl_exhausted" => DropReason::PacketTtlExhausted,
+            "retry_limit_exceeded" => DropReason::RetryLimitExceeded,
+            "receiver_node_down" => DropReason::ReceiverNodeDown,
+            "source_node_down" => DropReason::SourceNodeDown,
             other => DropReason::Protocol(other),
         }
     }
@@ -374,6 +386,32 @@ pub enum TraceEvent {
         /// End-to-end latency in seconds.
         latency: f64,
     },
+    /// A node crashed (fault plan): it stops transmitting, receiving, and
+    /// beaconing until the matching [`TraceEvent::NodeUp`].
+    NodeDown {
+        /// Simulated time.
+        time: f64,
+        /// Crashed node.
+        node: u64,
+    },
+    /// A crashed node recovered: state wiped, protocol restarted.
+    NodeUp {
+        /// Simulated time.
+        time: f64,
+        /// Recovered node.
+        node: u64,
+    },
+    /// The link-layer ARQ rescheduled a failed unicast frame.
+    LinkRetry {
+        /// Simulated time.
+        time: f64,
+        /// Retrying (transmitting) node.
+        node: u64,
+        /// Application packet id, when data-plane.
+        packet: Option<u64>,
+        /// Retry attempt number (1 = first retransmission).
+        attempt: u64,
+    },
 }
 
 impl TraceEvent {
@@ -393,7 +431,10 @@ impl TraceEvent {
             | TraceEvent::ForwarderSelect { time, .. }
             | TraceEvent::Hop { time, .. }
             | TraceEvent::RandomForwarder { time, .. }
-            | TraceEvent::Delivered { time, .. } => *time,
+            | TraceEvent::Delivered { time, .. }
+            | TraceEvent::NodeDown { time, .. }
+            | TraceEvent::NodeUp { time, .. }
+            | TraceEvent::LinkRetry { time, .. } => *time,
         }
     }
 
@@ -414,6 +455,9 @@ impl TraceEvent {
             TraceEvent::Hop { .. } => "hop",
             TraceEvent::RandomForwarder { .. } => "rf",
             TraceEvent::Delivered { .. } => "delivered",
+            TraceEvent::NodeDown { .. } => "node_down",
+            TraceEvent::NodeUp { .. } => "node_up",
+            TraceEvent::LinkRetry { .. } => "link_retry",
         }
     }
 }
@@ -431,6 +475,9 @@ mod tests {
             DropReason::LocationLookupFailed,
             DropReason::LegTtlExhausted,
             DropReason::PacketTtlExhausted,
+            DropReason::RetryLimitExceeded,
+            DropReason::ReceiverNodeDown,
+            DropReason::SourceNodeDown,
         ] {
             assert_eq!(DropReason::from(r.as_str()), r);
         }

@@ -188,6 +188,19 @@ impl TraceEvent {
                 field_u64(out, "packet", *packet);
                 field_f64(out, "latency", *latency);
             }
+            TraceEvent::NodeDown { node, .. } | TraceEvent::NodeUp { node, .. } => {
+                field_u64(out, "node", *node);
+            }
+            TraceEvent::LinkRetry {
+                node,
+                packet,
+                attempt,
+                ..
+            } => {
+                field_u64(out, "node", *node);
+                field_opt_u64(out, "packet", *packet);
+                field_u64(out, "attempt", *attempt);
+            }
         }
         out.push('}');
     }
@@ -554,6 +567,20 @@ fn parse_line(line: &str, lno: usize) -> Result<TraceEvent, ParseError> {
             packet: f.u64("packet")?,
             latency: f.f64("latency")?,
         },
+        "node_down" => TraceEvent::NodeDown {
+            time,
+            node: f.u64("node")?,
+        },
+        "node_up" => TraceEvent::NodeUp {
+            time,
+            node: f.u64("node")?,
+        },
+        "link_retry" => TraceEvent::LinkRetry {
+            time,
+            node: f.u64("node")?,
+            packet: f.opt_u64("packet")?,
+            attempt: f.u64("attempt")?,
+        },
         other => return Err(err(lno, format!("unknown event kind '{other}'"))),
     };
     Ok(event)
@@ -659,6 +686,20 @@ mod tests {
                 node: 5,
                 packet: 0,
                 latency: 0.4,
+            },
+            TraceEvent::NodeDown { time: 10.0, node: 3 },
+            TraceEvent::NodeUp { time: 20.0, node: 3 },
+            TraceEvent::LinkRetry {
+                time: 1.26,
+                node: 4,
+                packet: Some(0),
+                attempt: 1,
+            },
+            TraceEvent::LinkRetry {
+                time: 1.27,
+                node: 4,
+                packet: None,
+                attempt: 2,
             },
         ]
     }

@@ -37,6 +37,9 @@ pub struct PacketTrace {
     pub latency: Option<f64>,
     /// Drop reasons recorded against this packet.
     pub drops: Vec<String>,
+    /// Link-layer ARQ retransmissions charged to this packet
+    /// (`link_retry` events).
+    pub retries: u64,
 }
 
 impl PacketTrace {
@@ -108,6 +111,12 @@ pub fn reconstruct_packets(events: &[TraceEvent]) -> BTreeMap<u64, PacketTrace> 
                     .drops
                     .push(reason.clone());
             }
+            TraceEvent::LinkRetry {
+                packet: Some(packet),
+                ..
+            } => {
+                packets.entry(*packet).or_default().retries += 1;
+            }
             _ => {}
         }
     }
@@ -134,6 +143,12 @@ pub struct TraceStats {
     pub pseudonym_rotations: u64,
     /// Location-service lookups (hit or miss).
     pub location_lookups: u64,
+    /// Node crashes (`node_down` events).
+    pub node_downs: u64,
+    /// Node recoveries (`node_up` events).
+    pub node_ups: u64,
+    /// Link-layer ARQ retransmissions (`link_retry` events).
+    pub link_retries: u64,
 }
 
 /// Computes [`TraceStats`] over a trace.
@@ -154,11 +169,46 @@ pub fn trace_stats(events: &[TraceEvent]) -> TraceStats {
             TraceEvent::TimerFire { .. } => s.timer_fires += 1,
             TraceEvent::PseudonymRotation { .. } => s.pseudonym_rotations += 1,
             TraceEvent::LocationLookup { .. } => s.location_lookups += 1,
+            TraceEvent::NodeDown { .. } => s.node_downs += 1,
+            TraceEvent::NodeUp { .. } => s.node_ups += 1,
+            TraceEvent::LinkRetry { .. } => s.link_retries += 1,
             _ => {}
         }
     }
     s.delivered_packets = delivered.len() as u64;
     s
+}
+
+/// Per-node outage intervals reconstructed from `node_down`/`node_up`
+/// events, keyed by node id. An interval still open at end-of-trace has
+/// `end == f64::INFINITY`.
+///
+/// Together with [`reconstruct_packets`] this is the oracle for the
+/// fault-injection invariant: a node must not appear in any packet's
+/// participant set (hop/random-forwarder events) at a time inside one of
+/// its outage intervals.
+pub fn down_intervals(events: &[TraceEvent]) -> BTreeMap<u64, Vec<(f64, f64)>> {
+    let mut out: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
+    for ev in events {
+        match ev {
+            TraceEvent::NodeDown { time, node } => {
+                out.entry(*node).or_default().push((*time, f64::INFINITY));
+            }
+            TraceEvent::NodeUp { time, node } => {
+                if let Some(iv) = out
+                    .entry(*node)
+                    .or_default()
+                    .iter_mut()
+                    .rev()
+                    .find(|iv| iv.1.is_infinite())
+                {
+                    iv.1 = *time;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -247,6 +297,15 @@ mod tests {
                 reason: "unicast_channel_loss".to_owned(),
                 packet: None,
             },
+            TraceEvent::LinkRetry {
+                time: 1.65,
+                node: 4,
+                packet: Some(1),
+                attempt: 1,
+            },
+            TraceEvent::NodeDown { time: 5.0, node: 7 },
+            TraceEvent::NodeUp { time: 9.0, node: 7 },
+            TraceEvent::NodeDown { time: 12.0, node: 7 },
         ]
     }
 
@@ -268,6 +327,8 @@ mod tests {
         let p1 = &packets[&1];
         assert_eq!(p1.delivered_at, None);
         assert_eq!(p1.drops, vec!["leg_ttl_exhausted".to_owned()]);
+        assert_eq!(p1.retries, 1);
+        assert_eq!(p0.retries, 0);
     }
 
     #[test]
@@ -279,5 +340,18 @@ mod tests {
         assert_eq!(s.delivered_packets, 1);
         assert_eq!(s.drops_by_reason["leg_ttl_exhausted"], 1);
         assert_eq!(s.drops_by_reason["unicast_channel_loss"], 1);
+        assert_eq!(s.node_downs, 2);
+        assert_eq!(s.node_ups, 1);
+        assert_eq!(s.link_retries, 1);
+    }
+
+    #[test]
+    fn down_intervals_pair_events_per_node() {
+        let ivs = down_intervals(&sample_trace());
+        assert_eq!(ivs.len(), 1);
+        let node7 = &ivs[&7];
+        assert_eq!(node7[0], (5.0, 9.0));
+        assert_eq!(node7[1].0, 12.0);
+        assert!(node7[1].1.is_infinite());
     }
 }

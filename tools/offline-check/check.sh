@@ -115,6 +115,11 @@ check_test runtime_smoke crates/sim/tests/runtime_smoke.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 check_test trace_determinism crates/sim/tests/trace_determinism.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test fault_injection crates/sim/tests/fault_injection.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test dos_resilience crates/adversary/tests/dos_resilience.rs "${E_SERDE[@]}" \
+    $(ex rand parking_lot alert_geom alert_crypto alert_mobility alert_trace alert_sim \
+         alert_core alert_protocols alert_adversary)
 check_test observability tests/observability.rs "${E_ALL[@]}" \
     $(ex alert alert_bench)
 check_test full_pipeline tests/full_pipeline.rs "${E_ALL[@]}" \
