@@ -1,0 +1,131 @@
+//! Perf-regression fences for the allocation-free hot paths: hello-round
+//! ticking (scratch-buffer reuse), spatial-grid queries and incremental
+//! position updates, and the 300-node end-to-end scenario that the
+//! committed `BENCH_PR3.json` baseline tracks. If one of these regresses,
+//! compare against the last recorded `BENCH_*.json` before digging in.
+
+use alert_bench::{run_once, ProtocolChoice};
+use alert_core::AlertConfig;
+use alert_geom::{Point, Rect, SpatialGrid};
+use alert_sim::{Api, DataRequest, Frame, ProtocolNode, ScenarioConfig, World};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A do-nothing protocol: ticking a world of these exercises only the
+/// simulator's own machinery (hello rounds, mobility, grid, rotation),
+/// which is exactly what the scratch-buffer reuse optimizes.
+#[derive(Default)]
+struct Idle;
+
+impl ProtocolNode for Idle {
+    type Msg = ();
+    fn name() -> &'static str {
+        "IDLE"
+    }
+    fn on_data_request(&mut self, _api: &mut Api<'_, Self::Msg>, _req: &DataRequest) {}
+    fn on_frame(&mut self, _api: &mut Api<'_, Self::Msg>, _frame: Frame<Self::Msg>) {}
+}
+
+fn bench_hello_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot/hello_tick");
+    group.sample_size(10);
+    for nodes in [100usize, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter_with_setup(
+                || {
+                    let mut cfg = ScenarioConfig::default()
+                        .with_nodes(nodes)
+                        .with_duration(60.0);
+                    cfg.traffic.pairs = 0;
+                    let mut w = World::new(cfg, 0xA110C, |_, _| Idle);
+                    w.run_until(10.0); // warm every scratch buffer
+                    w
+                },
+                |mut w| {
+                    // 20 hello rounds + mobility on warmed buffers.
+                    w.run_until(30.0);
+                    w
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_incremental(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let field = Rect::with_size(1000.0, 1000.0);
+    let n = 300usize;
+    let pts: Vec<(usize, Point)> = (0..n)
+        .map(|i| {
+            (
+                i,
+                Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+            )
+        })
+        .collect();
+    let moves: Vec<(usize, Point)> = (0..n)
+        .map(|i| {
+            (
+                i,
+                Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+            )
+        })
+        .collect();
+
+    let mut grid = SpatialGrid::new(field, 250.0);
+    grid.rebuild(pts.iter().copied());
+    c.bench_function("hot/grid_update_position_300", |b| {
+        // Each iteration moves every node once: the per-mobility-tick
+        // workload that used to be a full rebuild.
+        b.iter(|| {
+            for &(id, p) in &moves {
+                grid.update_position(black_box(id), black_box(p));
+            }
+            for &(id, p) in &pts {
+                grid.update_position(black_box(id), black_box(p));
+            }
+        })
+    });
+
+    c.bench_function("hot/grid_for_each_in_range_300", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            grid.for_each_in_range(black_box(Point::new(500.0, 500.0)), 250.0, |_, _| acc += 1);
+            acc
+        })
+    });
+}
+
+fn bench_end_to_end_300(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot/end_to_end");
+    group.sample_size(10);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(300)
+        .with_duration(20.0);
+    cfg.traffic.pairs = 5;
+    group.bench_with_input(
+        BenchmarkId::from_parameter("alert_300n_20s"),
+        &cfg,
+        |b, cfg| {
+            b.iter(|| {
+                run_once(
+                    ProtocolChoice::Alert(AlertConfig::default()),
+                    black_box(cfg),
+                    42,
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hello_tick,
+    bench_grid_incremental,
+    bench_end_to_end_300
+);
+criterion_main!(benches);

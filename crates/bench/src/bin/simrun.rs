@@ -17,8 +17,17 @@
 //! scenario; `--report` writes the graceful-degradation report (delivery,
 //! latency, node downs/ups, ARQ retries, drops by reason). All imply a
 //! single instrumented run.
+//!
+//! `--bench-json` switches to the perf-regression sweep mode: it times
+//! end-to-end runs across `--bench-nodes` node counts and writes an
+//! `alert-bench-perf/1` report (see [`alert_bench::perf`]); with
+//! `--bench-baseline OLD.json` the report embeds the previous run and a
+//! per-node-count speedup map.
 
-use alert_bench::{run_instrumented, sweep_point, ProtocolChoice, RunOptions, RunOutput};
+use alert_bench::{
+    perf_sweep, render_perf_json, run_instrumented, set_progress, sweep_point, ProtocolChoice,
+    RunOptions, RunOutput,
+};
 use alert_core::AlertConfig;
 use alert_sim::{FaultPlan, JsonlSink, Metrics, ScenarioConfig};
 
@@ -35,6 +44,11 @@ fn main() {
     let mut nodes: Option<usize> = None;
     let mut pairs: Option<usize> = None;
     let mut duration: Option<f64> = None;
+    let mut bench_json: Option<String> = None;
+    let mut bench_nodes = vec![100usize, 200, 300];
+    let mut bench_runs = 3usize;
+    let mut bench_baseline: Option<String> = None;
+    let mut bench_build = String::from("default");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -78,6 +92,37 @@ fn main() {
             "--nodes" => nodes = Some(parse(it.next(), "--nodes")),
             "--pairs" => pairs = Some(parse(it.next(), "--pairs")),
             "--duration" => duration = Some(parse(it.next(), "--duration")),
+            "--bench-json" => {
+                bench_json = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--bench-json needs a path (or -)"))
+                        .clone(),
+                );
+            }
+            "--bench-nodes" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--bench-nodes needs a comma-separated list"));
+                bench_nodes = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die(&format!("bad --bench-nodes entry '{s}'")))
+                    })
+                    .collect();
+                if bench_nodes.is_empty() {
+                    die("--bench-nodes list is empty");
+                }
+            }
+            "--bench-runs" => bench_runs = parse(it.next(), "--bench-runs"),
+            "--bench-baseline" => bench_baseline = it.next().cloned(),
+            "--bench-build" => {
+                bench_build = it
+                    .next()
+                    .unwrap_or_else(|| die("--bench-build needs a label"))
+                    .clone();
+            }
             "--emit-default-scenario" => {
                 println!(
                     "{}",
@@ -135,6 +180,34 @@ fn main() {
             "unknown protocol '{other}' (alert|gpsr|alarm|ao2p|zap|anodr|prism|mask|mapcp)"
         )),
     };
+
+    if let Some(out_path) = &bench_json {
+        if trace_path.is_some() || profile_path.is_some() || report_path.is_some() {
+            die("--bench-json is a standalone mode; drop --trace/--profile/--report");
+        }
+        let baseline = bench_baseline.as_ref().map(|p| {
+            std::fs::read_to_string(p)
+                .unwrap_or_else(|e| die(&format!("cannot read baseline {p}: {e}")))
+        });
+        set_progress(true);
+        let points = perf_sweep(choice, &scenario, &bench_nodes, bench_runs)
+            .unwrap_or_else(|e| die(&format!("invalid scenario: {e}")));
+        let json = render_perf_json(
+            choice.name(),
+            &scenario,
+            &bench_build,
+            &points,
+            baseline.as_deref(),
+        );
+        if out_path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(out_path, json + "\n")
+                .unwrap_or_else(|e| die(&format!("cannot write bench report {out_path}: {e}")));
+            eprintln!("bench report written to {out_path}");
+        }
+        return;
+    }
 
     println!(
         "# {} on {} nodes, {:.0} s, seed {seed}, {runs} run(s)",
@@ -234,7 +307,10 @@ fn degradation_report(
     s.push_str(&format!("\"app_packets\":{},", m.packets.len()));
     s.push_str(&format!(
         "\"delivered\":{},",
-        m.packets.iter().filter(|p| p.delivered_at.is_some()).count()
+        m.packets
+            .iter()
+            .filter(|p| p.delivered_at.is_some())
+            .count()
     ));
     s.push_str(&format!("\"delivery_rate\":{delivery:.6},"));
     s.push_str(&format!("\"mean_latency_ms\":{latency_ms},"));
@@ -257,6 +333,10 @@ fn usage() {
     eprintln!("              [--nodes N] [--pairs N] [--duration SECS]");
     eprintln!("              [--trace trace.jsonl] [--profile profile.json|-]");
     eprintln!("              [--faults plan.json] [--report report.json|-]");
+    eprintln!("       simrun --bench-json BENCH.json|- [--bench-nodes 100,200,300]");
+    eprintln!("              [--bench-runs N] [--bench-baseline OLD.json]");
+    eprintln!("              [--bench-build LABEL]   (perf-regression sweep mode;");
+    eprintln!("              --duration/--pairs/--protocol set the base scenario)");
     eprintln!("       simrun --emit-default-scenario > scenario.json");
 }
 

@@ -15,9 +15,11 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
 pub mod runner;
 pub mod table;
 
+pub use perf::{baseline_wall_min, perf_sweep, render_perf_json, PerfPoint};
 pub use runner::{
     mean_curve, progress_enabled, run_instrumented, run_once, set_progress, sweep_metrics,
     sweep_point, try_run_once, ProtocolChoice, RunOptions, RunOutput, Stat,

@@ -1,0 +1,268 @@
+//! Perf-regression harness: timed end-to-end sweeps over node counts,
+//! rendered as a stable-schema JSON report (`BENCH_*.json`) so future
+//! PRs have a recorded trajectory to compare against.
+//!
+//! The report is hand-formatted (like the trace codec and the
+//! degradation report) so key order is stable and the file can be both
+//! diffed between commits and scanned without a JSON parser — which is
+//! exactly what [`baseline_wall_min`] does to compute speedups against
+//! an embedded baseline report.
+//!
+//! Schema `alert-bench-perf/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "alert-bench-perf/1",
+//!   "protocol": "ALERT",
+//!   "duration_s": 60,
+//!   "pairs": 10,
+//!   "build": "default",
+//!   "points": [
+//!     {"nodes":100,"runs":3,"wall_s_mean":0.51,"wall_s_min":0.49,
+//!      "events_dispatched":80211,"events_per_sec":163696.1,
+//!      "fel_high_water":412}
+//!   ],
+//!   "speedup_vs_baseline":{"100":1.61},
+//!   "baseline":{...previous report, embedded verbatim...}
+//! }
+//! ```
+//!
+//! `wall_s_min` (best of `runs`) is the comparison metric: the minimum
+//! is the least noisy estimator of the true cost on a shared machine,
+//! while `wall_s_mean` records spread. `events_dispatched` and
+//! `fel_high_water` come from the engine's always-on deterministic
+//! counters, so they double as a cheap cross-build sanity check: two
+//! builds of the same code must agree on them exactly.
+
+use crate::runner::{progress_enabled, run_instrumented, ProtocolChoice, RunOptions};
+use alert_sim::{ScenarioConfig, ScenarioError};
+use std::time::Instant;
+
+/// One timed sweep point of the perf harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfPoint {
+    /// Node count of this sweep point.
+    pub nodes: usize,
+    /// Timed runs taken (after one untimed warm-up).
+    pub runs: usize,
+    /// Mean wall-clock seconds per run.
+    pub wall_s_mean: f64,
+    /// Best (minimum) wall-clock seconds over the runs.
+    pub wall_s_min: f64,
+    /// Events dispatched per run — deterministic, identical across runs.
+    pub events_dispatched: u64,
+    /// `events_dispatched / wall_s_min`.
+    pub events_per_sec: f64,
+    /// Peak future-event-list length — deterministic.
+    pub fel_high_water: u64,
+}
+
+/// Runs the timed sweep: for each node count, one untimed warm-up run
+/// plus `runs` timed runs (sequentially — parallel runs would contend
+/// and corrupt the wall-clock numbers). Seeds follow the
+/// [`crate::sweep_point`] convention so the workload matches the
+/// Monte-Carlo sweeps being optimised.
+pub fn perf_sweep(
+    protocol: ProtocolChoice,
+    base: &ScenarioConfig,
+    nodes: &[usize],
+    runs: usize,
+) -> Result<Vec<PerfPoint>, ScenarioError> {
+    let runs = runs.max(1);
+    let mut points = Vec::with_capacity(nodes.len());
+    for &n in nodes {
+        let cfg = base.clone().with_nodes(n);
+        cfg.validate()?;
+        run_instrumented(protocol, &cfg, 0xA1E7, RunOptions::default())?;
+        let mut walls = Vec::with_capacity(runs);
+        let mut events = 0u64;
+        let mut fel = 0u64;
+        for i in 0..runs as u64 {
+            let seed = 0xA1E7 + i * 7919;
+            let start = Instant::now();
+            let out = run_instrumented(protocol, &cfg, seed, RunOptions::default())?;
+            walls.push(start.elapsed().as_secs_f64());
+            events = events.max(out.profile.events_dispatched);
+            fel = fel.max(out.profile.fel_high_water);
+        }
+        let wall_s_mean = walls.iter().sum::<f64>() / walls.len() as f64;
+        let wall_s_min = walls.iter().copied().fold(f64::INFINITY, f64::min);
+        let point = PerfPoint {
+            nodes: n,
+            runs,
+            wall_s_mean,
+            wall_s_min,
+            events_dispatched: events,
+            events_per_sec: events as f64 / wall_s_min.max(1e-9),
+            fel_high_water: fel,
+        };
+        if progress_enabled() {
+            eprintln!(
+                "[progress] bench {} n={n} runs={runs} wall_min={:.4}s ev/s={:.0}",
+                protocol.name(),
+                point.wall_s_min,
+                point.events_per_sec,
+            );
+        }
+        points.push(point);
+    }
+    Ok(points)
+}
+
+/// Renders the `alert-bench-perf/1` report. When `baseline` holds a
+/// previous report (same schema), it is embedded verbatim under
+/// `"baseline"` and a `"speedup_vs_baseline"` map records
+/// `baseline wall_s_min / current wall_s_min` for every node count
+/// present in both.
+pub fn render_perf_json(
+    protocol: &str,
+    scenario: &ScenarioConfig,
+    build: &str,
+    points: &[PerfPoint],
+    baseline: Option<&str>,
+) -> String {
+    let mut s = String::from("{");
+    s.push_str("\"schema\":\"alert-bench-perf/1\",");
+    s.push_str(&format!("\"protocol\":\"{protocol}\","));
+    s.push_str(&format!("\"duration_s\":{},", scenario.duration_s));
+    s.push_str(&format!("\"pairs\":{},", scenario.traffic.pairs));
+    s.push_str(&format!("\"build\":\"{build}\","));
+    s.push_str("\"points\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"nodes\":{},\"runs\":{},\"wall_s_mean\":{:.6},\"wall_s_min\":{:.6},\
+             \"events_dispatched\":{},\"events_per_sec\":{:.1},\"fel_high_water\":{}}}",
+            p.nodes,
+            p.runs,
+            p.wall_s_mean,
+            p.wall_s_min,
+            p.events_dispatched,
+            p.events_per_sec,
+            p.fel_high_water
+        ));
+    }
+    s.push(']');
+    if let Some(base) = baseline {
+        let speedups: Vec<String> = points
+            .iter()
+            .filter_map(|p| {
+                baseline_wall_min(base, p.nodes)
+                    .map(|old| format!("\"{}\":{:.3}", p.nodes, old / p.wall_s_min.max(1e-9)))
+            })
+            .collect();
+        s.push_str(&format!(
+            ",\"speedup_vs_baseline\":{{{}}}",
+            speedups.join(",")
+        ));
+        s.push_str(&format!(",\"baseline\":{}", base.trim()));
+    }
+    s.push('}');
+    s
+}
+
+/// Extracts `wall_s_min` for the given node count from an
+/// `alert-bench-perf/1` report by scanning the stable schema — no JSON
+/// parser needed (and none is assumed to exist at runtime). Because
+/// `"points"` precedes `"baseline"` in the schema, the first match is
+/// always the report's own point, never a nested baseline's.
+pub fn baseline_wall_min(report: &str, nodes: usize) -> Option<f64> {
+    let key = format!("\"nodes\":{nodes},");
+    let at = report.find(&key)?;
+    let rest = &report[at..];
+    let end = rest.find('}')?;
+    let obj = &rest[..end];
+    let v = obj.split("\"wall_s_min\":").nth(1)?;
+    let num: String = v
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_points() -> Vec<PerfPoint> {
+        vec![
+            PerfPoint {
+                nodes: 100,
+                runs: 3,
+                wall_s_mean: 0.5,
+                wall_s_min: 0.4,
+                events_dispatched: 1000,
+                events_per_sec: 2500.0,
+                fel_high_water: 42,
+            },
+            PerfPoint {
+                nodes: 300,
+                runs: 3,
+                wall_s_mean: 3.0,
+                wall_s_min: 2.0,
+                events_dispatched: 9000,
+                events_per_sec: 4500.0,
+                fel_high_water: 99,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_scanner() {
+        let cfg = ScenarioConfig::default();
+        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), None);
+        assert!(json.starts_with("{\"schema\":\"alert-bench-perf/1\""));
+        assert_eq!(baseline_wall_min(&json, 100), Some(0.4));
+        assert_eq!(baseline_wall_min(&json, 300), Some(2.0));
+        assert_eq!(baseline_wall_min(&json, 200), None);
+    }
+
+    #[test]
+    fn node_count_prefixes_do_not_collide() {
+        // "nodes":30 must not match inside "nodes":300.
+        let cfg = ScenarioConfig::default();
+        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), None);
+        assert_eq!(baseline_wall_min(&json, 30), None);
+        assert_eq!(baseline_wall_min(&json, 10), None);
+    }
+
+    #[test]
+    fn speedup_is_computed_against_the_embedded_baseline() {
+        let cfg = ScenarioConfig::default();
+        let old = render_perf_json("ALERT", &cfg, "test", &fake_points(), None);
+        let mut faster = fake_points();
+        for p in &mut faster {
+            p.wall_s_min /= 2.0;
+            p.wall_s_mean /= 2.0;
+        }
+        let new = render_perf_json("ALERT", &cfg, "test", &faster, Some(&old));
+        assert!(new.contains("\"speedup_vs_baseline\":{\"100\":2.000,\"300\":2.000}"));
+        assert!(new.contains("\"baseline\":{\"schema\":\"alert-bench-perf/1\""));
+        // Scanning the new report still finds the *new* points, not the
+        // embedded baseline's.
+        assert_eq!(baseline_wall_min(&new, 100), Some(0.2));
+    }
+
+    #[test]
+    fn perf_sweep_fills_deterministic_fields() {
+        let mut cfg = ScenarioConfig::default().with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        let pts = perf_sweep(ProtocolChoice::Gpsr, &cfg, &[30], 2).unwrap();
+        assert_eq!(pts.len(), 1);
+        let p = &pts[0];
+        assert_eq!(p.nodes, 30);
+        assert!(p.events_dispatched > 0);
+        assert!(p.fel_high_water > 0);
+        assert!(p.wall_s_min > 0.0 && p.wall_s_min <= p.wall_s_mean + 1e-12);
+        assert!(p.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn perf_sweep_rejects_invalid_scenarios() {
+        let cfg = ScenarioConfig::default();
+        let err = perf_sweep(ProtocolChoice::Gpsr, &cfg, &[0], 1).unwrap_err();
+        assert_eq!(err, ScenarioError::NoNodes);
+    }
+}

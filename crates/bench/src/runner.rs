@@ -10,7 +10,7 @@ use alert_sim::{
     TraceSink, World,
 };
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Global toggle for `repro --progress`-style per-data-point lines on
 /// stderr. Off by default so sweep output stays machine-parsable.
@@ -24,6 +24,18 @@ pub fn set_progress(enabled: bool) {
 /// Whether progress lines are currently enabled.
 pub fn progress_enabled() -> bool {
     PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of non-finite samples discarded by
+/// [`Stat::from_samples`] — the sweep-level `sweep.nan_samples` counter.
+/// A nonzero value after a figure run means some metric fed NaN into a
+/// reduction (e.g. a ratio over zero packets) and silently shrank `n`.
+static SWEEP_NAN_SAMPLES: AtomicU64 = AtomicU64::new(0);
+
+/// Total non-finite samples discarded across all [`Stat::from_samples`]
+/// calls in this process (`sweep.nan_samples`).
+pub fn nan_samples_total() -> u64 {
+    SWEEP_NAN_SAMPLES.load(Ordering::Relaxed)
 }
 
 /// Which routing protocol a sweep point runs.
@@ -185,33 +197,73 @@ pub fn run_once(protocol: ProtocolChoice, cfg: &ScenarioConfig, seed: u64) -> Me
 pub struct Stat {
     /// Sample mean.
     pub mean: f64,
-    /// 95% confidence half-width (`1.96 s / sqrt(n)`).
+    /// 95% confidence half-width (`t_{0.975, n-1} s / sqrt(n)`).
     pub ci95: f64,
-    /// Number of samples.
+    /// Number of (finite) samples the statistics were computed from.
     pub n: usize,
+    /// Non-finite samples dropped before the reduction.
+    pub discarded: usize,
+}
+
+/// Two-sided 95% Student-t critical values for 1..=30 degrees of
+/// freedom. Sweeps run 3–30 seeds, squarely in the regime where the
+/// normal z = 1.96 understates the half-width (t_1 = 12.7, t_4 = 2.78).
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom:
+/// table lookup through df = 30, then the first-order Cornish–Fisher
+/// expansion `z + (z^3 + z) / (4 df)`, which decays to the normal limit
+/// z = 1.96 as `df -> inf`.
+fn t_critical_95(df: usize) -> f64 {
+    const Z: f64 = 1.959_964;
+    match df {
+        0 => f64::NAN,
+        1..=30 => T95[df - 1],
+        _ => Z + (Z * Z * Z + Z) / (4.0 * df as f64),
+    }
 }
 
 impl Stat {
-    /// Reduces raw samples to mean ± CI. NaN samples are discarded.
+    /// Reduces raw samples to mean ± CI. Non-finite samples are
+    /// discarded (and counted in [`Stat::discarded`] plus the global
+    /// [`nan_samples_total`] tally); the half-width uses the Student-t
+    /// critical value for the surviving sample count, not the normal
+    /// z = 1.96 (its n → ∞ limit), so small sweeps aren't reported with
+    /// overconfident intervals.
     pub fn from_samples(samples: &[f64]) -> Stat {
         let clean: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
         let n = clean.len();
+        let discarded = samples.len() - n;
+        if discarded > 0 {
+            SWEEP_NAN_SAMPLES.fetch_add(discarded as u64, Ordering::Relaxed);
+        }
         if n == 0 {
             return Stat {
                 mean: f64::NAN,
                 ci95: f64::NAN,
                 n: 0,
+                discarded,
             };
         }
         let mean = clean.iter().sum::<f64>() / n as f64;
         if n < 2 {
-            return Stat { mean, ci95: 0.0, n };
+            return Stat {
+                mean,
+                ci95: 0.0,
+                n,
+                discarded,
+            };
         }
         let var = clean.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
         Stat {
             mean,
-            ci95: 1.96 * (var / n as f64).sqrt(),
+            ci95: t_critical_95(n - 1) * (var / n as f64).sqrt(),
             n,
+            discarded,
         }
     }
 }
@@ -219,10 +271,14 @@ impl Stat {
 impl std::fmt::Display for Stat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if let Some(prec) = f.precision() {
-            write!(f, "{:.p$} ±{:.p$}", self.mean, self.ci95, p = prec)
+            write!(f, "{:.p$} ±{:.p$}", self.mean, self.ci95, p = prec)?;
         } else {
-            write!(f, "{:.3} ±{:.3}", self.mean, self.ci95)
+            write!(f, "{:.3} ±{:.3}", self.mean, self.ci95)?;
         }
+        if self.discarded > 0 {
+            write!(f, " [{} NaN dropped]", self.discarded)?;
+        }
+        Ok(())
     }
 }
 
@@ -244,14 +300,20 @@ where
         .collect();
     let stat = Stat::from_samples(&samples);
     if progress_enabled() {
+        let dropped = if stat.discarded > 0 {
+            format!(" nan_dropped={}", stat.discarded)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "[progress] {} n={} runs={} wall={:.2}s value={:.4} ±{:.4}",
+            "[progress] {} n={} runs={} wall={:.2}s value={:.4} ±{:.4}{}",
             protocol.name(),
             cfg.nodes,
             runs,
             start.elapsed().as_secs_f64(),
             stat.mean,
             stat.ci95,
+            dropped,
         );
     }
     stat
@@ -278,9 +340,19 @@ pub fn sweep_metrics(protocol: ProtocolChoice, cfg: &ScenarioConfig, runs: usize
 }
 
 /// Element-wise mean of several equally-meaningful curves, truncated to
-/// the shortest.
+/// the shortest. Curves of unequal length are a symptom (e.g. a run
+/// that ended early), so the dropped tail is reported on stderr rather
+/// than silently discarded.
 pub fn mean_curve(curves: &[Vec<f64>]) -> Vec<f64> {
     let n = curves.iter().map(Vec::len).min().unwrap_or(0);
+    let longest = curves.iter().map(Vec::len).max().unwrap_or(0);
+    if longest > n {
+        eprintln!(
+            "[mean_curve] curves disagree on length: truncating to {n} points, \
+             dropping a {}-point tail",
+            longest - n
+        );
+    }
     (0..n)
         .map(|i| curves.iter().map(|c| c[i]).sum::<f64>() / curves.len() as f64)
         .collect()
@@ -300,9 +372,31 @@ mod tests {
 
     #[test]
     fn stat_discards_nan() {
+        let before = nan_samples_total();
         let s = Stat::from_samples(&[1.0, f64::NAN, 3.0]);
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.n, 2);
+        assert_eq!(s.discarded, 1);
+        assert!(nan_samples_total() >= before + 1);
+        assert!(format!("{s}").contains("[1 NaN dropped]"));
+    }
+
+    #[test]
+    fn stat_uses_student_t_not_z() {
+        // n = 2 (df = 1): t = 12.706, half-width = t * s / sqrt(2).
+        let s = Stat::from_samples(&[0.0, 2.0]);
+        let sd = std::f64::consts::SQRT_2; // sample sd of {0, 2}
+        assert!((s.ci95 - 12.706 * sd / std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_critical_decays_to_the_normal_limit() {
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-9);
+        // Above the table: monotone decay towards z = 1.96.
+        assert!(t_critical_95(31) < t_critical_95(30));
+        assert!(t_critical_95(1000) > 1.9599);
+        assert!((t_critical_95(100_000_000) - 1.96).abs() < 1e-4);
     }
 
     #[test]

@@ -122,8 +122,12 @@ impl AlertPacket {
 /// "notify and go" control traffic (Section 2.6).
 #[derive(Debug, Clone)]
 pub enum AlertMsg {
-    /// A routed packet (RREQ data, RREP confirmation, or NAK).
-    Packet(AlertPacket),
+    /// A routed packet (RREQ data, RREP confirmation, or NAK). Boxed so
+    /// the enum stays pointer-sized for the dominant `Cover`/`Notify`
+    /// traffic: every queued frame carries an `AlertMsg` through the
+    /// future event list, and cover frames outnumber data packets by
+    /// orders of magnitude.
+    Packet(Box<AlertPacket>),
     /// "Notify" phase: the sender will transmit shortly; neighbors draw a
     /// back-off from `[t, t + t0]` and emit cover traffic.
     Notify {

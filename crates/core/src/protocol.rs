@@ -228,14 +228,19 @@ impl Alert {
         }
         pkt.total_ttl -= 1;
         pkt.leg_ttl -= 1;
-        let neighbors = api.neighbors();
-        match greedy_next_hop_traced(api, td, &neighbors, Some(pkt.packet)) {
+        match greedy_next_hop_traced(api, td, Some(pkt.packet)) {
             Some(n) => {
                 let wire = pkt.wire_bytes();
                 let class = Self::class_of(pkt.role);
                 let id = pkt.packet;
                 Self::mark_tx(api, &pkt);
-                api.send_unicast(n.pseudonym, AlertMsg::Packet(pkt), wire, class, Some(id));
+                api.send_unicast(
+                    n.pseudonym,
+                    AlertMsg::Packet(Box::new(pkt)),
+                    wire,
+                    class,
+                    Some(id),
+                );
             }
             None => {
                 // We are already the closest node to this TD: act as the
@@ -272,7 +277,7 @@ impl Alert {
             pkt.zd.contains(me) && pkt.zd.max_corner_distance(me) <= api.config().mac.range_m;
         if !covers_zone {
             let center = pkt.zd.center();
-            if greedy_next_hop(me, center, &api.neighbors()).is_some() {
+            if greedy_next_hop(me, center, api.neighbors()).is_some() {
                 pkt.leg_ttl = self.cfg.leg_ttl;
                 pkt.phase = RoutePhase::ToTd {
                     td: center,
@@ -317,7 +322,7 @@ impl Alert {
                 if pkt.pd == api.my_pseudonym() || api.is_true_destination(pkt.packet) {
                     self.absorb(api, &pkt);
                 }
-                api.send_broadcast(AlertMsg::Packet(pkt), wire, class, Some(id));
+                api.send_broadcast(AlertMsg::Packet(Box::new(pkt)), wire, class, Some(id));
                 return;
             }
             // No zone neighbors to hold: fall through to plain broadcast.
@@ -342,7 +347,7 @@ impl Alert {
         if mine {
             self.absorb(api, &pkt);
         }
-        api.send_broadcast(AlertMsg::Packet(pkt), wire, class, Some(id));
+        api.send_broadcast(AlertMsg::Packet(Box::new(pkt)), wire, class, Some(id));
     }
 
     /// Final acceptance at this node: decrypt, record delivery, confirm.
@@ -468,9 +473,9 @@ impl Alert {
                 // is not too far away" (Fig. 16); it costs hops only in
                 // the drift case and reveals nothing beyond the hello
                 // exchange already did.
-                if let Some(d) =
-                    alert_protocols::forwarding::neighbor_by_pseudonym(&api.neighbors(), pkt.pd)
-                {
+                let handover =
+                    alert_protocols::forwarding::neighbor_by_pseudonym(api.neighbors(), pkt.pd);
+                if let Some(d) = handover {
                     if !pkt.zd.contains(d.position) && self.relayed.insert(pkt.packet) {
                         let wire = pkt.wire_bytes();
                         let class = Self::class_of(pkt.role);
@@ -478,7 +483,7 @@ impl Alert {
                         Self::mark_tx(api, &pkt);
                         api.send_unicast(
                             d.pseudonym,
-                            AlertMsg::Packet(pkt.clone()),
+                            AlertMsg::Packet(Box::new(pkt.clone())),
                             wire,
                             class,
                             Some(id),
@@ -499,7 +504,7 @@ impl Alert {
                     let class = Self::class_of(pkt.role);
                     let id = pkt.packet;
                     Self::mark_tx(api, &pkt);
-                    api.send_broadcast(AlertMsg::Packet(pkt), wire, class, Some(id));
+                    api.send_broadcast(AlertMsg::Packet(Box::new(pkt)), wire, class, Some(id));
                 }
             }
             RoutePhase::ZoneHold { holders } => {
@@ -541,8 +546,7 @@ impl Alert {
                     self.zone_delivery(api, pkt);
                     return;
                 }
-                let neighbors = api.neighbors();
-                if greedy_next_hop(me, td, &neighbors).is_none() {
+                if greedy_next_hop(me, td, api.neighbors()).is_none() {
                     // No neighbor closer to the TD: this node is the RF.
                     if pkt.role == PacketRole::Rreq {
                         api.mark_random_forwarder(pkt.packet);
@@ -583,7 +587,7 @@ impl Alert {
             let class = Self::class_of(h.packet.role);
             let id = h.packet.packet;
             Self::mark_tx(api, &h.packet);
-            api.send_broadcast(AlertMsg::Packet(h.packet), wire, class, Some(id));
+            api.send_broadcast(AlertMsg::Packet(Box::new(h.packet)), wire, class, Some(id));
         }
     }
 }
@@ -671,7 +675,7 @@ impl ProtocolNode for Alert {
 
     fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
         match frame.msg {
-            AlertMsg::Packet(pkt) => self.on_packet(api, pkt),
+            AlertMsg::Packet(pkt) => self.on_packet(api, *pkt),
             AlertMsg::Notify { t, t0 } => {
                 // Participate in the camouflage: schedule one cover packet.
                 let backoff = t + api.rng().gen_range(0.0..t0.max(1e-6));

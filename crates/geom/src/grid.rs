@@ -11,10 +11,18 @@ use crate::rect::Rect;
 
 /// A rebuildable spatial index over indexed points.
 ///
-/// Items are identified by their `usize` id (the simulator's node id). The
-/// grid is rebuilt once per mobility step — rebuilds are cheap (one pass)
-/// and keep the structure allocation-free in steady state because cell
-/// vectors retain their capacity.
+/// Items are identified by their `usize` id (the simulator's node id).
+/// Between full rebuilds, [`SpatialGrid::update_position`] moves single
+/// items incrementally, so a mobility step costs one cell transfer per
+/// node that actually crossed a cell boundary instead of a full
+/// clear+reinsert. Both paths keep the structure allocation-free in
+/// steady state because cell vectors retain their capacity.
+///
+/// Each cell keeps its items sorted by id, which makes iteration order —
+/// and therefore every downstream consumer of query results — a pure
+/// function of the item set, not of insertion history. Incremental
+/// updates and full rebuilds are thus observably identical, which the
+/// simulator's byte-identical-trace guarantee depends on.
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     bounds: Rect,
@@ -22,8 +30,14 @@ pub struct SpatialGrid {
     cols: usize,
     rows: usize,
     cells: Vec<Vec<(usize, Point)>>,
+    /// id → index of the cell currently holding that id
+    /// (`usize::MAX` = not indexed). Grows to the highest id seen.
+    locate: Vec<usize>,
     len: usize,
 }
+
+/// Sentinel in `locate` for ids that are not currently indexed.
+const ABSENT: usize = usize::MAX;
 
 impl SpatialGrid {
     /// Creates a grid covering `bounds` with cells of side `cell_size`
@@ -46,6 +60,7 @@ impl SpatialGrid {
             cols,
             rows,
             cells: vec![Vec::new(); cols * rows],
+            locate: Vec::new(),
             len: 0,
         }
     }
@@ -80,13 +95,77 @@ impl SpatialGrid {
         for c in &mut self.cells {
             c.clear();
         }
+        self.locate.fill(ABSENT);
         self.len = 0;
     }
 
-    /// Indexes item `id` at `pos`.
+    /// Indexes item `id` at `pos`. The id must not already be indexed
+    /// (use [`SpatialGrid::update_position`] to move an existing item).
     pub fn insert(&mut self, id: usize, pos: Point) {
+        debug_assert!(
+            self.locate.get(id).copied().unwrap_or(ABSENT) == ABSENT,
+            "id {id} inserted twice"
+        );
         let (cx, cy) = self.cell_of(pos);
-        self.cells[cy * self.cols + cx].push((id, pos));
+        let cell = cy * self.cols + cx;
+        Self::place(&mut self.cells[cell], id, pos);
+        if self.locate.len() <= id {
+            self.locate.resize(id + 1, ABSENT);
+        }
+        self.locate[id] = cell;
+        self.len += 1;
+    }
+
+    /// Inserts `(id, pos)` into a cell vector, keeping it sorted by id.
+    fn place(cell: &mut Vec<(usize, Point)>, id: usize, pos: Point) {
+        let at = cell.partition_point(|&(other, _)| other < id);
+        cell.insert(at, (id, pos));
+    }
+
+    /// Removes item `id`; returns its last indexed position, or `None` if
+    /// the id was not indexed.
+    pub fn remove(&mut self, id: usize) -> Option<Point> {
+        let cell = *self.locate.get(id)?;
+        if cell == ABSENT {
+            return None;
+        }
+        let v = &mut self.cells[cell];
+        let at = v.partition_point(|&(other, _)| other < id);
+        debug_assert!(at < v.len() && v[at].0 == id, "locate out of sync");
+        let (_, pos) = v.remove(at);
+        self.locate[id] = ABSENT;
+        self.len -= 1;
+        Some(pos)
+    }
+
+    /// Moves item `id` to `pos` incrementally: a same-cell move overwrites
+    /// the stored position in place, a cell crossing transfers the item
+    /// between the two cells. Indexes the id if it was absent. Equivalent
+    /// to (but much cheaper than) a full [`SpatialGrid::rebuild`] with the
+    /// updated position.
+    pub fn update_position(&mut self, id: usize, pos: Point) {
+        let (cx, cy) = self.cell_of(pos);
+        let new_cell = cy * self.cols + cx;
+        let old_cell = self.locate.get(id).copied().unwrap_or(ABSENT);
+        if old_cell == new_cell {
+            let v = &mut self.cells[old_cell];
+            let at = v.partition_point(|&(other, _)| other < id);
+            debug_assert!(at < v.len() && v[at].0 == id, "locate out of sync");
+            v[at].1 = pos;
+            return;
+        }
+        if old_cell != ABSENT {
+            let v = &mut self.cells[old_cell];
+            let at = v.partition_point(|&(other, _)| other < id);
+            debug_assert!(at < v.len() && v[at].0 == id, "locate out of sync");
+            v.remove(at);
+            self.len -= 1;
+        }
+        Self::place(&mut self.cells[new_cell], id, pos);
+        if self.locate.len() <= id {
+            self.locate.resize(id + 1, ABSENT);
+        }
+        self.locate[id] = new_cell;
         self.len += 1;
     }
 
@@ -292,6 +371,59 @@ mod tests {
         g.insert(7, Point::new(150.0, -20.0)); // strayed node
         assert_eq!(g.len(), 1);
         assert_eq!(g.nearest(Point::new(99.0, 1.0)).unwrap().0, 7);
+    }
+
+    #[test]
+    fn incremental_updates_match_a_full_rebuild() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut pts: Vec<(usize, Point)> = (0..400)
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+                )
+            })
+            .collect();
+        let mut incremental = grid_with(&pts);
+        for _ in 0..5 {
+            for (id, p) in &mut pts {
+                // Mix of tiny same-cell jitters and long jumps.
+                let step = if rng.gen_bool(0.8) { 5.0 } else { 400.0 };
+                p.x = (p.x + rng.gen_range(-step..step)).clamp(0.0, 1000.0);
+                p.y = (p.y + rng.gen_range(-step..step)).clamp(0.0, 1000.0);
+                incremental.update_position(*id, *p);
+            }
+            let rebuilt = grid_with(&pts);
+            // Not just the same sets — the same *iteration order*, which is
+            // what downstream trace determinism observes.
+            for _ in 0..10 {
+                let c = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+                let r = rng.gen_range(50.0..400.0);
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                incremental.for_each_in_range(c, r, |id, p| a.push((id, p)));
+                rebuilt.for_each_in_range(c, r, |id, p| b.push((id, p)));
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn update_position_indexes_absent_ids() {
+        let mut g = SpatialGrid::new(Rect::with_size(100.0, 100.0), 10.0);
+        g.update_position(3, Point::new(5.0, 5.0));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.query_range(Point::new(5.0, 5.0), 1.0), vec![3]);
+    }
+
+    #[test]
+    fn remove_unindexes_and_reports_the_position() {
+        let mut g = grid_with(&[(0, Point::new(1.0, 1.0)), (5, Point::new(90.0, 90.0))]);
+        assert_eq!(g.remove(5), Some(Point::new(90.0, 90.0)));
+        assert_eq!(g.remove(5), None);
+        assert_eq!(g.remove(99), None);
+        assert_eq!(g.len(), 1);
+        assert!(g.query_range(Point::new(90.0, 90.0), 5.0).is_empty());
     }
 
     #[test]

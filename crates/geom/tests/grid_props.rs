@@ -1,0 +1,125 @@
+//! Property-based tests for the spatial grid: range queries must agree
+//! with an O(n) brute-force scan for arbitrary point sets — including
+//! points on the field boundary and (clamped) out-of-bounds points —
+//! and must keep agreeing after incremental `update_position` moves.
+
+use alert_geom::{Point, Rect, SpatialGrid};
+use proptest::prelude::*;
+
+const FIELD_W: f64 = 1000.0;
+const FIELD_H: f64 = 1000.0;
+const CELL: f64 = 250.0;
+
+fn field() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(FIELD_W, FIELD_H))
+}
+
+/// Points over-covering the field: in-bounds, exactly on the boundary,
+/// and well outside it (the grid clamps those into edge cells).
+fn arb_point() -> impl Strategy<Value = Point> {
+    prop_oneof![
+        4 => (0.0..FIELD_W, 0.0..FIELD_H).prop_map(|(x, y)| Point::new(x, y)),
+        1 => prop_oneof![
+            Just(Point::new(0.0, 0.0)),
+            Just(Point::new(FIELD_W, FIELD_H)),
+            Just(Point::new(0.0, FIELD_H)),
+            Just(Point::new(FIELD_W, 0.0)),
+        ],
+        1 => (-500.0..FIELD_W + 500.0, -500.0..FIELD_H + 500.0)
+            .prop_map(|(x, y)| Point::new(x, y)),
+    ]
+}
+
+/// Brute-force reference: every indexed item within `radius` of
+/// `center`, by true (unclamped) distance, sorted by id.
+fn brute_force(items: &[(usize, Point)], center: Point, radius: f64) -> Vec<(usize, Point)> {
+    let mut hits: Vec<(usize, Point)> = items
+        .iter()
+        .copied()
+        .filter(|(_, p)| p.distance_sq(center) <= radius * radius)
+        .collect();
+    hits.sort_by_key(|&(id, _)| id);
+    hits
+}
+
+fn sorted_query(grid: &SpatialGrid, center: Point, radius: f64) -> Vec<(usize, Point)> {
+    let mut hits = Vec::new();
+    grid.for_each_in_range(center, radius, |id, p| hits.push((id, p)));
+    hits.sort_by_key(|&(id, _)| id);
+    hits
+}
+
+proptest! {
+    /// A freshly built grid answers range queries exactly like the
+    /// brute-force scan, for any mix of interior/boundary/outside points.
+    #[test]
+    fn range_query_matches_brute_force(
+        points in prop::collection::vec(arb_point(), 0..120),
+        center in arb_point(),
+        radius in 0.0..600.0f64,
+    ) {
+        let items: Vec<(usize, Point)> = points.into_iter().enumerate().collect();
+        let mut grid = SpatialGrid::new(field(), CELL);
+        grid.rebuild(items.iter().copied());
+        prop_assert_eq!(sorted_query(&grid, center, radius), brute_force(&items, center, radius));
+    }
+
+    /// After a round of incremental moves the incrementally maintained
+    /// grid still matches brute force — and matches a grid rebuilt from
+    /// scratch item-for-item in iteration order (the byte-identical
+    /// trace guarantee rides on that).
+    #[test]
+    fn incremental_updates_preserve_query_results(
+        points in prop::collection::vec(arb_point(), 1..100),
+        moves in prop::collection::vec((0usize..100, arb_point()), 0..60),
+        center in arb_point(),
+        radius in 0.0..600.0f64,
+    ) {
+        let mut items: Vec<(usize, Point)> = points.into_iter().enumerate().collect();
+        let mut grid = SpatialGrid::new(field(), CELL);
+        grid.rebuild(items.iter().copied());
+
+        for (target, pos) in moves {
+            let id = target % items.len();
+            items[id].1 = pos;
+            grid.update_position(id, pos);
+        }
+
+        prop_assert_eq!(grid.len(), items.len());
+        prop_assert_eq!(sorted_query(&grid, center, radius), brute_force(&items, center, radius));
+
+        // Unsorted iteration order must equal a from-scratch rebuild's.
+        let mut rebuilt = SpatialGrid::new(field(), CELL);
+        rebuilt.rebuild(items.iter().copied());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        grid.for_each_in_range(center, radius, |id, p| a.push((id, p)));
+        rebuilt.for_each_in_range(center, radius, |id, p| b.push((id, p)));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Remove un-indexes exactly the requested id and hands back the
+    /// position the grid last saw for it.
+    #[test]
+    fn remove_is_exact(
+        points in prop::collection::vec(arb_point(), 1..60),
+        victim in 0usize..60,
+    ) {
+        let items: Vec<(usize, Point)> = points.into_iter().enumerate().collect();
+        let victim = victim % items.len();
+        let mut grid = SpatialGrid::new(field(), CELL);
+        grid.rebuild(items.iter().copied());
+
+        prop_assert_eq!(grid.remove(victim), Some(items[victim].1));
+        prop_assert_eq!(grid.remove(victim), None);
+        prop_assert_eq!(grid.len(), items.len() - 1);
+
+        let survivors: Vec<(usize, Point)> = items
+            .iter()
+            .copied()
+            .filter(|&(id, _)| id != victim)
+            .collect();
+        let hits = sorted_query(&grid, Point::new(FIELD_W / 2.0, FIELD_H / 2.0), 2000.0);
+        prop_assert_eq!(hits, survivors);
+    }
+}

@@ -106,7 +106,6 @@ impl Alarm {
         if ttl == 0 {
             return;
         }
-        let neighbors = api.neighbors();
         let me = api.my_pos();
         let wire = bytes + ALARM_HEADER_BYTES;
         // Final handover: the destination may have rotated its pseudonym
@@ -117,7 +116,10 @@ impl Alarm {
         // resolve it (the runtime keeps a one-generation pseudonym grace
         // window, as a real resolver would).
         let range = api.config().mac.range_m;
-        let next = neighbor_by_pseudonym(&neighbors, dst);
+        // Resolve both candidate hops up front: the shared borrow of the
+        // neighbor table must end before the mutable `api` sends below.
+        let next = neighbor_by_pseudonym(api.neighbors(), dst);
+        let fallback = greedy_next_hop(me, target, api.neighbors());
         if next.is_none() && me.distance(target) <= range * 0.9 {
             api.charge_pk_decrypt(1);
             api.mark_hop(packet);
@@ -136,7 +138,7 @@ impl Alarm {
             );
             return;
         }
-        let next = next.or_else(|| greedy_next_hop(me, target, &neighbors));
+        let next = next.or(fallback);
         if let Some(n) = next {
             // Hop-by-hop: sign at the sender (the expensive private-key
             // op); the receiver verifies (cheap public-key op).

@@ -35,13 +35,15 @@ pub fn greedy_next_hop(
 /// neighbor made progress) through the node's [`Api`]. Use this on
 /// data-plane forwarding decisions where "where did greedy get stuck?"
 /// matters for trace analysis; identical routing behavior otherwise.
+/// Reads the caller's own neighbor table via [`Api::neighbors`], so the
+/// shared borrow of the table ends before the trace call needs `api`
+/// mutably.
 pub fn greedy_next_hop_traced<M: Clone + std::fmt::Debug>(
     api: &mut Api<'_, M>,
     target: Point,
-    neighbors: &[NeighborEntry],
     packet: Option<PacketId>,
 ) -> Option<NeighborEntry> {
-    let hop = greedy_next_hop(api.my_pos(), target, neighbors);
+    let hop = greedy_next_hop(api.my_pos(), target, api.neighbors());
     api.trace_forwarder_selection(packet, target, hop.is_some());
     hop
 }

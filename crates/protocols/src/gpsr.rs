@@ -76,11 +76,12 @@ impl Gpsr {
         }
         msg.ttl -= 1;
         let me = api.my_pos();
-        let neighbors = api.neighbors();
         let wire = msg.bytes + GPSR_HEADER_BYTES;
 
-        // Destination in range: hand the packet straight over.
-        if let Some(d) = neighbor_by_pseudonym(&neighbors, msg.dst) {
+        // Destination in range: hand the packet straight over. Each
+        // lookup below re-borrows the table via `api.neighbors()` so no
+        // shared borrow outlives the mutable `api` calls in between.
+        if let Some(d) = neighbor_by_pseudonym(api.neighbors(), msg.dst) {
             api.mark_hop(msg.packet);
             api.send_unicast(
                 d.pseudonym,
@@ -101,7 +102,7 @@ impl Gpsr {
 
         match msg.mode {
             GpsrMode::Greedy => {
-                if let Some(n) = greedy_next_hop(me, msg.target, &neighbors) {
+                if let Some(n) = greedy_next_hop(me, msg.target, api.neighbors()) {
                     api.mark_hop(msg.packet);
                     api.send_unicast(
                         n.pseudonym,
@@ -113,7 +114,7 @@ impl Gpsr {
                 } else {
                     // Local maximum: enter perimeter mode on the planarized
                     // graph, using the target direction as the reference.
-                    let planar = gabriel_neighbors(me, &neighbors);
+                    let planar = gabriel_neighbors(me, api.neighbors());
                     if let Some(n) = right_hand_next(me, msg.target, &planar) {
                         msg.mode = GpsrMode::Perimeter {
                             entry_dist: me.distance(msg.target),
@@ -132,7 +133,7 @@ impl Gpsr {
                 }
             }
             GpsrMode::Perimeter { entry_dist, prev } => {
-                let planar = gabriel_neighbors(me, &neighbors);
+                let planar = gabriel_neighbors(me, api.neighbors());
                 if let Some(n) = right_hand_next(me, prev, &planar) {
                     msg.mode = GpsrMode::Perimeter {
                         entry_dist,

@@ -7,27 +7,33 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A scheduled entry: `(time, seq, payload)`, min-ordered by time then seq.
-struct Scheduled<E> {
+/// A scheduled key: `(time, seq, slot)`, min-ordered by time then seq.
+///
+/// The payload itself lives in the queue's slot arena, not in the heap:
+/// sift operations during push/pop move only this 24-byte key, so the
+/// cost of reordering the heap is independent of the event type's size
+/// (protocol messages riding in `Deliver`/`Retry` events can be hundreds
+/// of bytes). `slot` takes no part in the ordering — `seq` is unique.
+struct Scheduled {
     time: f64,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
+impl Eq for Scheduled {}
 
-impl<E> PartialOrd for Scheduled<E> {
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Scheduled<E> {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need the earliest first.
         other
@@ -52,7 +58,12 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    heap: BinaryHeap<Scheduled>,
+    /// Slot arena holding the payloads of pending events; `free` lists
+    /// vacated slots for reuse, so a steady-state schedule/pop workload
+    /// allocates nothing once the arena has grown to the peak occupancy.
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
     next_seq: u64,
     now: f64,
     high_water: usize,
@@ -69,6 +80,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: 0.0,
             high_water: 0,
@@ -111,7 +124,18 @@ impl<E> EventQueue<E> {
         let time = if time < self.now { self.now } else { time };
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(event);
+                s
+            }
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "event arena full");
+                self.slots.push(Some(event));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(Scheduled { time, seq, slot });
         if self.heap.len() > self.high_water {
             self.high_water = self.heap.len();
         }
@@ -127,7 +151,11 @@ impl<E> EventQueue<E> {
         let s = self.heap.pop()?;
         debug_assert!(s.time >= self.now, "clock went backwards");
         self.now = s.time;
-        Some((s.time, s.event))
+        let event = self.slots[s.slot as usize]
+            .take()
+            .expect("heap key points at an occupied slot");
+        self.free.push(s.slot);
+        Some((s.time, event))
     }
 
     /// Peeks at the time of the next event without popping.

@@ -130,6 +130,12 @@ impl Metrics {
     }
 
     /// Fraction of packets delivered to their true destination.
+    ///
+    /// A zero-traffic run (no application packets) reports `0.0`, never
+    /// NaN — all `f64` ratio helpers on [`Metrics`] share this contract
+    /// so sweep reductions cannot be poisoned by an idle scenario. The
+    /// one exception is [`Metrics::energy_per_delivered_packet_j`],
+    /// whose NaN-on-zero-delivered behaviour is documented there.
     pub fn delivery_rate(&self) -> f64 {
         if self.packets.is_empty() {
             return 0.0;
@@ -153,7 +159,8 @@ impl Metrics {
     }
 
     /// The paper's hops-per-packet: accumulated data-plane hop counts
-    /// divided by the number of packets sent.
+    /// divided by the number of packets sent. `0.0` when no packets were
+    /// sent (see [`Metrics::delivery_rate`] for the shared contract).
     pub fn hops_per_packet(&self) -> f64 {
         if self.packets.is_empty() {
             return 0.0;
@@ -163,7 +170,8 @@ impl Metrics {
     }
 
     /// Hops-per-packet including control-plane hops — the paper's
-    /// "ALARM (include id dissemination hops)" variant (Fig. 15).
+    /// "ALARM (include id dissemination hops)" variant (Fig. 15). `0.0`
+    /// when no packets were sent.
     pub fn hops_per_packet_with_control(&self) -> f64 {
         if self.packets.is_empty() {
             return 0.0;
@@ -172,7 +180,8 @@ impl Metrics {
         (hops + self.control_hops) as f64 / self.packets.len() as f64
     }
 
-    /// Mean number of random forwarders per packet.
+    /// Mean number of random forwarders per packet. `0.0` when no
+    /// packets were sent.
     pub fn mean_random_forwarders(&self) -> f64 {
         if self.packets.is_empty() {
             return 0.0;
@@ -290,6 +299,12 @@ hops/pkt {:.2} | RFs/pkt {:.2} | control frames {} | cover {} | drops {:?}",
     /// transmit + receive + crypto CPU. The paper's summary claim
     /// ("significantly lower energy consumption compared to AO2P and
     /// ALARM") is about this quantity.
+    ///
+    /// Unlike the per-*sent* ratios, this deliberately returns NaN when
+    /// nothing was delivered: energy was spent, so reporting `0.0` would
+    /// read as "free", and there is no packet count to amortize over.
+    /// Sweep reductions handle this — `Stat::from_samples` discards
+    /// non-finite samples and counts them in `Stat::discarded`.
     pub fn energy_per_delivered_packet_j(
         &self,
         cost: &alert_crypto::CostModel,
@@ -445,5 +460,33 @@ mod tests {
         assert_eq!(m.mean_latency(), None);
         assert_eq!(m.hops_per_packet(), 0.0);
         assert!(m.mean_cumulative_participants().is_empty());
+    }
+
+    #[test]
+    fn zero_traffic_ratios_are_zero_not_nan() {
+        // The documented contract: every per-sent ratio reports 0.0 on a
+        // zero-traffic run, so sweeps over idle scenarios stay finite.
+        let m = Metrics::default();
+        assert_eq!(m.delivery_rate(), 0.0);
+        assert_eq!(m.hops_per_packet(), 0.0);
+        assert_eq!(m.hops_per_packet_with_control(), 0.0);
+        assert_eq!(m.mean_random_forwarders(), 0.0);
+        assert_eq!(m.latency_percentile(50.0), None);
+    }
+
+    #[test]
+    fn energy_per_delivered_is_nan_without_deliveries() {
+        // The documented exception: energy cannot be amortized over zero
+        // delivered packets, and 0.0 would misread as "free".
+        let mut m = Metrics::default();
+        m.energy_tx_j = 3.0;
+        assert!(m
+            .energy_per_delivered_packet_j(&alert_crypto::CostModel::PAPER_1_8GHZ, 0.5)
+            .is_nan());
+        // An undelivered packet doesn't change that.
+        pid(&mut m, 0, 0);
+        assert!(m
+            .energy_per_delivered_packet_j(&alert_crypto::CostModel::PAPER_1_8GHZ, 0.5)
+            .is_nan());
     }
 }

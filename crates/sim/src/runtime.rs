@@ -8,7 +8,7 @@ use crate::engine::EventQueue;
 use crate::ids::{NodeId, PacketId, SessionId, TimerToken};
 use crate::location::LocationService;
 use crate::metrics::Metrics;
-use alert_crypto::{KeyPair, MacAddress, Pseudonym, PseudonymGenerator};
+use alert_crypto::{KeyPair, MacAddress, Pseudonym, PseudonymGenerator, PublicKey};
 use alert_geom::{Point, Rect, SpatialGrid};
 use alert_mobility::{
     GroupMobility, GroupMobilityConfig, Mobility, RandomWaypoint, RandomWaypointConfig, StaticField,
@@ -292,6 +292,35 @@ pub(crate) struct WorldCore<M> {
     /// Victims of each in-progress regional outage (resolved at outage
     /// start, recovered together at outage end).
     pub(crate) region_victims: Vec<Vec<NodeId>>,
+    /// Reusable buffers for [`WorldCore::hello_tick`] so the steady-state
+    /// tick allocates nothing (see DESIGN.md § performance).
+    pub(crate) hello_scratch: HelloScratch,
+    /// Reusable receiver list for broadcast transmissions.
+    pub(crate) bcast_targets: Vec<NodeId>,
+    /// Public key → node id. Keys are generated once per run and never
+    /// change, so this map is built at construction and lets
+    /// `hello_tick` resolve "same neighbor, new pseudonym" in O(1)
+    /// instead of scanning the fresh table per retained entry.
+    pub(crate) key_to_node: HashMap<PublicKey, NodeId>,
+}
+
+/// Scratch buffers reused across [`WorldCore::hello_tick`] rounds. All
+/// vectors keep their capacity between ticks; `heard`/`round` implement
+/// a generation-stamped "was node X heard by the current observer this
+/// tick" set without per-tick clearing.
+#[derive(Default)]
+pub(crate) struct HelloScratch {
+    /// The neighbor table being built for the current node; swapped into
+    /// `NodeInfo::neighbors` at the end of each per-node pass.
+    table: Vec<crate::api::NeighborEntry>,
+    /// Entries that aged out this tick, delivered to `on_neighbor_lost`
+    /// by the dispatch loop after the tick completes.
+    pub(crate) lost: Vec<(NodeId, crate::api::NeighborEntry)>,
+    /// `heard[id] == round` ⇔ node `id` was heard by the observer
+    /// currently being processed.
+    heard: Vec<u64>,
+    /// Generation stamp, bumped once per observer per tick.
+    round: u64,
 }
 
 impl<M: Clone + std::fmt::Debug> WorldCore<M> {
@@ -503,7 +532,11 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                 }
             }
             TxDest::Broadcast => {
-                let mut targets = Vec::new();
+                // The receiver list lives in a reusable core buffer; it is
+                // taken out for the duration of the delivery loop (which
+                // needs `&mut self`) and handed back with its capacity.
+                let mut targets = std::mem::take(&mut self.bcast_targets);
+                targets.clear();
                 self.grid.for_each_in_range(from_pos, mac.range_m, |id, _| {
                     if id != from.0 {
                         targets.push(NodeId(id));
@@ -511,7 +544,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                 });
                 // Grid positions are one mobility tick stale; that models
                 // real beacon staleness and keeps the query O(1).
-                for to in targets {
+                for &to in &targets {
                     // A crashed receiver hears nothing (and consumes no
                     // loss draw, so runs differ only where the fault does).
                     if self.is_down(to) {
@@ -542,6 +575,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                         );
                     }
                 }
+                self.bcast_targets = targets;
             }
         }
 
@@ -565,12 +599,23 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         self.grid.rebuild(positions);
     }
 
+    /// Refreshes every node's grid position incrementally after a
+    /// mobility step. Most nodes stay within their 250 m cell between
+    /// ticks, so this is an in-place position overwrite for the common
+    /// case; the grid keeps cells id-sorted, making the result
+    /// indistinguishable from a full [`WorldCore::rebuild_grid`].
+    fn update_grid(&mut self) {
+        for i in 0..self.mobility.len() {
+            self.grid.update_position(i, self.mobility.position(i));
+        }
+    }
+
     /// Hello tick: rotate expired pseudonyms, rebuild every node's
     /// neighbor table from current geometry, evict stale entries, and
-    /// account beacon overhead. Returns the entries each node lost to
-    /// staleness this round, so the runtime can fire the
+    /// account beacon overhead. Entries lost to staleness this round are
+    /// left in `hello_scratch.lost` for the runtime to deliver to the
     /// `on_neighbor_lost` protocol hook after the tick.
-    fn hello_tick(&mut self) -> Vec<(NodeId, crate::api::NeighborEntry)> {
+    fn hello_tick(&mut self) {
         let now = self.queue.now();
         // Pseudonym rotation first so tables carry fresh pseudonyms. A
         // crashed node's radio is off: it neither rotates nor beacons.
@@ -578,12 +623,18 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
             if self.down_depth[i] > 0 {
                 continue;
             }
+            // At any time node i owns at most {current, previous} keys in
+            // the map; capture the key that rotation will age out before
+            // `previous` is overwritten.
+            let aged_out = self.nodes[i].pseudonyms.previous;
             let maybe_new = self.nodes[i].pseudonyms.maybe_rotate(now, &mut self.rng);
             if let Some(p) = maybe_new {
-                // Drop mapping older than the grace predecessor.
-                self.pseudonym_map.retain(|_, v| *v != NodeId(i));
-                if let Some(prev) = self.nodes[i].pseudonyms.previous {
-                    self.pseudonym_map.insert(prev, NodeId(i));
+                // Drop the mapping older than the grace predecessor — a
+                // targeted O(1) removal; the old full-map `retain` scanned
+                // every key of every node per rotation. The pre-rotation
+                // current (now `previous`) is already mapped.
+                if let Some(stale) = aged_out {
+                    self.pseudonym_map.remove(&stale);
                 }
                 self.pseudonym_map.insert(p, NodeId(i));
                 self.stats.registry.inc(self.stats.pseudonym_rotations);
@@ -606,48 +657,67 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         // historical vanish-at-first-missed-hello semantics exactly.
         let staleness =
             (self.cfg.neighbor_staleness_factor - 0.5).max(0.0) * self.cfg.hello_interval_s;
-        let mut lost = Vec::new();
+        // The scratch is taken out for the loop (its buffers and the world
+        // are borrowed simultaneously) and handed back with its capacity,
+        // so the steady-state tick performs no allocation at all.
+        let mut scratch = std::mem::take(&mut self.hello_scratch);
+        scratch.lost.clear();
+        if scratch.heard.len() < self.nodes.len() {
+            scratch.heard.resize(self.nodes.len(), 0);
+        }
         for i in 0..self.nodes.len() {
             if self.down_depth[i] > 0 {
                 // Crashed: table was wiped at crash time and stays empty.
                 continue;
             }
             let me = self.mobility.position(i);
-            let mut old = std::mem::take(&mut self.nodes[i].neighbors);
-            let mut table = Vec::with_capacity(old.len());
-            let mut ids = Vec::new();
-            self.grid.for_each_in_range(me, range, |id, pos| {
-                if id != i {
-                    ids.push((id, pos));
-                }
-            });
-            for (id, pos) in ids {
-                if self.down_depth[id] > 0 {
-                    // A crashed neighbor sends no beacon to be heard.
-                    continue;
-                }
-                table.push(crate::api::NeighborEntry {
-                    pseudonym: self.nodes[id].pseudonyms.current(),
-                    position: pos,
-                    public_key: self.nodes[id].keypair.public,
-                    heard_at: now,
+            scratch.round += 1;
+            let round = scratch.round;
+            scratch.table.clear();
+            {
+                let table = &mut scratch.table;
+                let heard = &mut scratch.heard;
+                let nodes = &self.nodes;
+                let down_depth = &self.down_depth;
+                self.grid.for_each_in_range(me, range, |id, pos| {
+                    if id == i || down_depth[id] > 0 {
+                        // Self, or a crashed neighbor whose radio sends no
+                        // beacon to be heard.
+                        return;
+                    }
+                    heard[id] = round;
+                    table.push(crate::api::NeighborEntry {
+                        pseudonym: nodes[id].pseudonyms.current(),
+                        position: pos,
+                        public_key: nodes[id].keypair.public,
+                        heard_at: now,
+                    });
                 });
             }
             // Entries not re-heard this round survive until they age out;
             // the node's stable public key identifies "the same neighbor"
-            // across pseudonym rotations.
-            for e in old.drain(..) {
-                if table.iter().any(|t| t.public_key == e.public_key) {
+            // across pseudonym rotations (resolved through `key_to_node`
+            // and this round's `heard` stamps, instead of rescanning the
+            // fresh table per retained entry).
+            for e in &self.nodes[i].neighbors {
+                let re_heard = self
+                    .key_to_node
+                    .get(&e.public_key)
+                    .is_some_and(|n| scratch.heard[n.0] == round);
+                if re_heard {
                     continue;
                 }
                 if now - e.heard_at < staleness {
-                    table.push(e);
+                    scratch.table.push(*e);
                 } else {
-                    lost.push((NodeId(i), e));
+                    scratch.lost.push((NodeId(i), *e));
                 }
             }
-            self.nodes[i].neighbors = table;
+            // The freshly built table becomes the node's; the node's old
+            // vector becomes next iteration's build buffer.
+            std::mem::swap(&mut self.nodes[i].neighbors, &mut scratch.table);
         }
+        self.hello_scratch = scratch;
         // Each live node broadcast one beacon this interval; charge the
         // beacon airtime (tx once per node, rx once per table entry).
         let alive = self.down_depth.iter().filter(|&&d| d == 0).count();
@@ -658,7 +728,6 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         let entries: usize = self.nodes.iter().map(|n| n.neighbors.len()).sum();
         self.metrics.energy_tx_j += beacon_airtime * self.cfg.energy.tx_watts * alive as f64;
         self.metrics.energy_rx_j += beacon_airtime * self.cfg.energy.rx_watts * entries as f64;
-        lost
     }
 
     fn location_tick(&mut self) {
@@ -791,6 +860,7 @@ impl<P: ProtocolNode> World<P> {
 
         let mut nodes = Vec::with_capacity(cfg.nodes);
         let mut pseudonym_map = HashMap::with_capacity(cfg.nodes * 2);
+        let mut key_to_node = HashMap::with_capacity(cfg.nodes);
         for i in 0..cfg.nodes {
             let keypair = KeyPair::generate(&mut rng);
             let generator = PseudonymGenerator::new(
@@ -801,6 +871,11 @@ impl<P: ProtocolNode> World<P> {
             );
             let history = PseudonymHistory::new(generator);
             pseudonym_map.insert(history.current(), NodeId(i));
+            let displaced = key_to_node.insert(keypair.public, NodeId(i));
+            debug_assert!(
+                displaced.is_none(),
+                "duplicate public key for node {i} — key-based neighbor identity broken"
+            );
             nodes.push(NodeInfo {
                 keypair,
                 pseudonyms: history,
@@ -843,10 +918,16 @@ impl<P: ProtocolNode> World<P> {
             down_depth: vec![0; cfg.nodes],
             epochs: vec![0; cfg.nodes],
             region_victims: vec![Vec::new(); cfg.faults.regional_outages.len()],
+            hello_scratch: HelloScratch {
+                heard: vec![0; cfg.nodes],
+                ..HelloScratch::default()
+            },
+            bcast_targets: Vec::new(),
+            key_to_node,
             cfg,
         };
         core.rebuild_grid();
-        let _ = core.hello_tick();
+        core.hello_tick();
         core.location_tick();
 
         // Periodic machinery.
@@ -867,11 +948,19 @@ impl<P: ProtocolNode> World<P> {
         // packet between its NodeDown and NodeUp events.
         if !cfg.faults.is_empty() {
             for c in &cfg.faults.crashes {
-                core.queue
-                    .schedule(c.at_s, Event::NodeDown { node: NodeId(c.node) });
+                core.queue.schedule(
+                    c.at_s,
+                    Event::NodeDown {
+                        node: NodeId(c.node),
+                    },
+                );
                 if let Some(up) = c.recover_s {
-                    core.queue
-                        .schedule(up, Event::NodeUp { node: NodeId(c.node) });
+                    core.queue.schedule(
+                        up,
+                        Event::NodeUp {
+                            node: NodeId(c.node),
+                        },
+                    );
                 }
             }
             for (i, r) in cfg.faults.regional_outages.iter().enumerate() {
@@ -939,8 +1028,7 @@ impl<P: ProtocolNode> World<P> {
                 if self.core.is_down(to) {
                     // Crashed after the frame hit its radio but before the
                     // propagation delay elapsed.
-                    self.core
-                        .drop_frame(to, DropReason::ReceiverNodeDown, None);
+                    self.core.drop_frame(to, DropReason::ReceiverNodeDown, None);
                     return;
                 }
                 self.with_proto(to, |p, api| p.on_frame(api, frame));
@@ -1017,17 +1105,22 @@ impl<P: ProtocolNode> World<P> {
                 self.emit_tick(TickKind::Mobility);
                 let dt = self.core.cfg.mobility_tick_s;
                 self.core.mobility.step(dt);
-                self.core.rebuild_grid();
+                self.core.update_grid();
                 if self.core.queue.now() + dt <= self.core.cfg.duration_s {
                     self.core.queue.schedule_in(dt, Event::MobilityTick);
                 }
             }
             Event::HelloTick => {
                 self.emit_tick(TickKind::Hello);
-                let lost = self.core.hello_tick();
-                for (node, entry) in lost {
-                    self.with_proto(node, |p, api| p.on_neighbor_lost(api, &entry));
+                self.core.hello_tick();
+                // Take the lost list out (the hook needs `&mut self`) and
+                // hand the buffer back afterwards, capacity intact.
+                let mut lost = std::mem::take(&mut self.core.hello_scratch.lost);
+                for (node, entry) in &lost {
+                    self.with_proto(*node, |p, api| p.on_neighbor_lost(api, entry));
                 }
+                lost.clear();
+                self.core.hello_scratch.lost = lost;
                 let dt = self.core.cfg.hello_interval_s;
                 if self.core.queue.now() + dt <= self.core.cfg.duration_s {
                     self.core.queue.schedule_in(dt, Event::HelloTick);

@@ -32,8 +32,9 @@ impl ProtocolNode for Chain {
         // range and we address by position match.
         let next = api
             .neighbors()
-            .into_iter()
-            .find(|n| n.position.x > api.my_pos().x + 1.0);
+            .iter()
+            .find(|n| n.position.x > api.my_pos().x + 1.0)
+            .copied();
         if let Some(n) = next {
             api.mark_hop(req.packet);
             api.send_unicast(
@@ -57,8 +58,9 @@ impl ProtocolNode for Chain {
         }
         let next = api
             .neighbors()
-            .into_iter()
-            .find(|n| n.position.x > api.my_pos().x + 1.0);
+            .iter()
+            .find(|n| n.position.x > api.my_pos().x + 1.0)
+            .copied();
         if let Some(n) = next {
             api.mark_hop(m.packet);
             api.send_unicast(

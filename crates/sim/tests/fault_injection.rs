@@ -40,7 +40,7 @@ impl ProtocolNode for Probe {
 
     fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
         api.mark_hop(req.packet);
-        if let Some(n) = api.neighbors().first() {
+        if let Some(n) = api.neighbors().first().copied() {
             api.send_unicast(
                 n.pseudonym,
                 Ping(req.packet),

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Offline *runnable* build of `simrun` with plain `rustc -O`.
+#
+# `check.sh` only type-checks (`--emit=metadata`); this script links real
+# rlibs so air-gapped boxes can actually execute the perf harness
+# (`simrun --bench-json`) and the runtime-heavy regression tests. The
+# external dependencies resolve to the same stubs check.sh uses, except
+# `rand`, which swaps in `runstubs/rand.rs` — a functional deterministic
+# xoshiro256++ generator instead of the type-check-only panicking stub.
+#
+# The resulting binary is NOT bit-compatible with a crates.io build
+# (different RNG stream), but it is deterministic per (scenario, seed),
+# which is all that trace-diff equivalence checks and before/after
+# wall-clock ratios need.
+#
+# Usage: tools/offline-check/bench.sh
+#        target/offline-bench/simrun --protocol alert --nodes 60 ...
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+ROOT="$PWD"
+OUT="$ROOT/target/offline-bench"
+STUBS="$ROOT/tools/offline-check/stubs"
+RUNSTUBS="$ROOT/tools/offline-check/runstubs"
+mkdir -p "$OUT"
+
+RUSTC_FLAGS=(--edition 2021 --out-dir "$OUT" -L "dependency=$OUT"
+    -C opt-level=3 -C debug-assertions=no -Aunused -Awarnings)
+
+ex() { # ex <crate> ... -> "--extern <crate>=<rlib path>" for each crate
+    for c in "$@"; do
+        printf -- "--extern\n%s=%s/lib%s.rlib\n" "$c" "$OUT" "$c"
+    done
+}
+
+stub() { # stub <name> [extra rustc args...]
+    echo "stub  $1"
+    rustc "${RUSTC_FLAGS[@]}" --crate-type rlib --crate-name "$1" \
+        "$STUBS/$1.rs" "${@:2}"
+}
+
+lib() { # lib <crate_name> <src> [extra rustc args...]
+    echo "lib   $1"
+    rustc "${RUSTC_FLAGS[@]}" --crate-type rlib --crate-name "$1" \
+        "$2" "${@:3}"
+}
+
+build_bin() { # build_bin <name> <src> [extra rustc args...]
+    echo "bin   $1"
+    rustc "${RUSTC_FLAGS[@]}" --crate-type bin --crate-name "$1" \
+        "$2" "${@:3}"
+}
+
+build_test() { # build_test <name> <src> [extra rustc args...]
+    echo "test  $1"
+    rustc "${RUSTC_FLAGS[@]}" --test --crate-name "$1" \
+        "$2" "${@:3}"
+}
+
+# --- external-dependency stubs -------------------------------------------
+echo "proc  serde_derive"
+rustc --edition 2021 --crate-type proc-macro --crate-name serde_derive \
+    --out-dir "$OUT" "$STUBS/serde_derive.rs"
+DERIVE=(--extern "serde_derive=$OUT/libserde_derive.so")
+stub serde "${DERIVE[@]}"
+stub serde_json $(ex serde)
+echo "rstub rand"
+rustc "${RUSTC_FLAGS[@]}" --crate-type rlib --crate-name rand \
+    "$RUNSTUBS/rand.rs"
+stub rayon
+stub parking_lot
+
+E_SERDE=($(ex serde) "${DERIVE[@]}")
+
+# --- workspace crates, dependency order ----------------------------------
+lib alert_trace crates/trace/src/lib.rs "${E_SERDE[@]}"
+lib alert_geom crates/geom/src/lib.rs "${E_SERDE[@]}" $(ex rand)
+lib alert_crypto crates/crypto/src/lib.rs "${E_SERDE[@]}" $(ex rand)
+lib alert_mobility crates/mobility/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom)
+lib alert_analysis crates/analysis/src/lib.rs "${E_SERDE[@]}" $(ex alert_geom)
+lib alert_sim crates/sim/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace)
+lib alert_protocols crates/protocols/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_sim)
+lib alert_core crates/core/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_sim alert_protocols)
+lib alert_adversary crates/adversary/src/lib.rs "${E_SERDE[@]}" \
+    $(ex rand parking_lot alert_geom alert_crypto alert_sim alert_core alert_protocols)
+E_ALL=("${E_SERDE[@]}" $(ex rand rayon serde_json alert_geom alert_crypto \
+    alert_mobility alert_trace alert_sim alert_protocols alert_core \
+    alert_adversary alert_analysis))
+lib alert_bench crates/bench/src/lib.rs "${E_ALL[@]}"
+
+# --- runnable artifacts ---------------------------------------------------
+build_bin simrun crates/bench/src/bin/simrun.rs "${E_ALL[@]}" $(ex alert_bench)
+build_test trace_determinism crates/sim/tests/trace_determinism.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+if [ -f crates/sim/tests/alloc_regression.rs ]; then
+    build_test alloc_regression crates/sim/tests/alloc_regression.rs "${E_SERDE[@]}" \
+        $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+fi
+
+echo "offline bench build OK: $OUT/simrun"

@@ -58,6 +58,7 @@ stub serde_json $(ex serde)
 stub rand
 stub rayon
 stub parking_lot
+stub criterion
 
 E_SERDE=($(ex serde) "${DERIVE[@]}")
 
@@ -124,5 +125,13 @@ check_test observability tests/observability.rs "${E_ALL[@]}" \
     $(ex alert alert_bench)
 check_test full_pipeline tests/full_pipeline.rs "${E_ALL[@]}" \
     $(ex alert alert_bench)
+check_test alloc_regression crates/sim/tests/alloc_regression.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+
+# --- bench targets (criterion stub; CI runs the real harness) ------------
+for bf in crates/bench/benches/*.rs; do
+    name="$(basename "$bf" .rs)"
+    check_bin "bench_$name" "$bf" "${E_ALL[@]}" $(ex criterion alert_bench)
+done
 
 echo "offline check OK"

@@ -1,0 +1,216 @@
+//! *Runnable* offline stand-in for `rand` 0.8, used by `bench.sh` to
+//! build an executable `simrun` on air-gapped boxes (the sibling
+//! `stubs/rand.rs` is type-check only and panics at runtime).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! deterministic, and good enough statistically for simulation work. It
+//! is **not** bit-compatible with the real crate's ChaCha-based
+//! `StdRng`, so absolute results differ from a crates.io build; within
+//! one offline build, runs remain a pure function of `(scenario, seed)`
+//! exactly as with the real dependency. That is the property the
+//! offline perf harness needs: baseline and optimized builds use the
+//! identical stream, so wall-clock *ratios* are trustworthy.
+
+/// Byte-level RNG core, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A value type `gen()` can produce uniformly.
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges a value of type `T` can be sampled from, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let unit = f64::draw(rng) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let unit = f64::draw(rng) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// Buffers `fill` can populate, mirroring `rand::Fill`.
+pub trait Fill {
+    /// Fills `self` with random data from `rng`.
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// User-facing sampling surface, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws one uniform value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::draw(self) < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.try_fill(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// xoshiro256++ state.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion of the seed, per the xoshiro authors.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// `rand::rngs` module mirror.
+pub mod rngs {
+    pub use super::StdRng;
+}
