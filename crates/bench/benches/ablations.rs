@@ -3,7 +3,7 @@
 //! anonymity vs overhead — are asserted in `tests/ablation_metrics.rs`;
 //! these benches fence the *time* cost of each variant.)
 
-use alert_bench::{run_once, ProtocolChoice};
+use alert_bench::{try_run_once, ProtocolChoice};
 use alert_core::AlertConfig;
 use alert_sim::ScenarioConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -27,7 +27,12 @@ fn bench_notify_and_go(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(if on { "on" } else { "off" }),
             &acfg,
-            |b, acfg| b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)),
+            |b, acfg| {
+                b.iter(|| {
+                    try_run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)
+                        .expect("bench scenario")
+                })
+            },
         );
     }
     group.finish();
@@ -43,7 +48,12 @@ fn bench_k_tradeoff(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("k{k}")),
             &acfg,
-            |b, acfg| b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)),
+            |b, acfg| {
+                b.iter(|| {
+                    try_run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)
+                        .expect("bench scenario")
+                })
+            },
         );
     }
     group.finish();
@@ -55,14 +65,22 @@ fn bench_intersection_m(c: &mut Criterion) {
     group.sample_size(10);
     let off = AlertConfig::default();
     group.bench_with_input(BenchmarkId::from_parameter("off"), &off, |b, acfg| {
-        b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7))
+        b.iter(|| {
+            try_run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)
+                .expect("bench scenario")
+        })
     });
     for m in [2usize, 4] {
         let acfg = AlertConfig::default().with_intersection_defense(m);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("m{m}")),
             &acfg,
-            |b, acfg| b.iter(|| run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)),
+            |b, acfg| {
+                b.iter(|| {
+                    try_run_once(ProtocolChoice::Alert(*acfg), black_box(&scenario()), 7)
+                        .expect("bench scenario")
+                })
+            },
         );
     }
     group.finish();

@@ -4,7 +4,7 @@
 //! committed `BENCH_PR3.json` baseline tracks. If one of these regresses,
 //! compare against the last recorded `BENCH_*.json` before digging in.
 
-use alert_bench::{run_once, ProtocolChoice};
+use alert_bench::{try_run_once, ProtocolChoice};
 use alert_core::AlertConfig;
 use alert_geom::{Point, Rect, SpatialGrid};
 use alert_sim::{Api, DataRequest, Frame, ProtocolNode, ScenarioConfig, World};
@@ -111,11 +111,12 @@ fn bench_end_to_end_300(c: &mut Criterion) {
         &cfg,
         |b, cfg| {
             b.iter(|| {
-                run_once(
+                try_run_once(
                     ProtocolChoice::Alert(AlertConfig::default()),
                     black_box(cfg),
                     42,
                 )
+                .expect("bench scenario")
             })
         },
     );

@@ -3,7 +3,7 @@
 //! reproduction sweeps, and doubles as a regression fence for the
 //! discrete-event engine.
 
-use alert_bench::{run_once, ProtocolChoice};
+use alert_bench::{try_run_once, ProtocolChoice};
 use alert_core::AlertConfig;
 use alert_sim::ScenarioConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -28,7 +28,7 @@ fn bench_protocols(c: &mut Criterion) {
         ProtocolChoice::Ao2p,
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(proto.name()), &cfg, |b, cfg| {
-            b.iter(|| run_once(black_box(proto), cfg, 42))
+            b.iter(|| try_run_once(black_box(proto), cfg, 42).expect("bench scenario"))
         });
     }
     group.finish();
@@ -41,11 +41,12 @@ fn bench_scaling(c: &mut Criterion) {
         let cfg = small_scenario(nodes);
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &cfg, |b, cfg| {
             b.iter(|| {
-                run_once(
+                try_run_once(
                     ProtocolChoice::Alert(AlertConfig::default()),
                     black_box(cfg),
                     42,
                 )
+                .expect("bench scenario")
             })
         });
     }

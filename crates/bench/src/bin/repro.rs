@@ -1,7 +1,7 @@
 //! `repro` — regenerates the ALERT paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment|all> [--runs N]
+//! repro <experiment...|all> [--runs N] [--csv DIR] [--resume] [--progress]
 //!
 //! experiments:
 //!   table1  fig5c  fig7a  fig7b  fig9a  fig9b
@@ -17,14 +17,42 @@
 //! `--progress` prints one `[progress]` line per data point on stderr
 //! (protocol, run count, wall-clock seconds) so long sweeps are
 //! watchable.
+//!
+//! With `--csv DIR` every table is additionally written to
+//! `DIR/<experiment>.csv` — atomically (temp file + rename), so a
+//! killed campaign never leaves a truncated CSV — and a manifest
+//! journal (`manifest.jsonl`) records each experiment's outcome as it
+//! completes. `--resume` (requires `--csv`) skips experiments the
+//! journal shows as done with a matching config fingerprint, so an
+//! interrupted campaign picks up where it died.
+//!
+//! Failures don't sink the campaign: a panicking or aborted run is
+//! quarantined into `DIR/failures.jsonl` (with a one-line `simrun`
+//! replay command) and its experiment is journaled as `failed` so a
+//! later `--resume` retries it, while the remaining experiments run to
+//! completion.
+//!
+//! Exit codes: `0` clean, `1` runtime failure (I/O error, or any
+//! quarantined run), `2` usage error.
 
 use alert_bench::figures::{analytic, attacks, claims, faults, participants, performance, zone};
+use alert_bench::{
+    drain_failures, fingerprint, sweep_point, write_atomic, EntryStatus, FailureEntry, FailureSink,
+    FigureTable, Journal, ManifestEntry, ProtocolChoice,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut runs = 10usize;
-    let mut csv_dir: Option<String> = None;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut resume = false;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -33,57 +61,155 @@ fn main() {
                 runs = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--runs needs a positive integer"));
+                    .unwrap_or_else(|| die_usage("--runs needs a positive integer"));
             }
             "--csv" => {
-                csv_dir = Some(
+                csv_dir = Some(PathBuf::from(
                     it.next()
-                        .unwrap_or_else(|| die("--csv needs a directory"))
-                        .clone(),
-                );
+                        .unwrap_or_else(|| die_usage("--csv needs a directory")),
+                ));
             }
+            "--resume" => resume = true,
             "--progress" => alert_bench::set_progress(true),
             "--help" | "-h" => {
                 print_usage();
-                return;
+                return 0;
+            }
+            other if other.starts_with('-') => {
+                die_usage(&format!("unknown flag '{other}'"));
             }
             other => targets.push(other.to_string()),
         }
     }
-    if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
-    }
     if targets.is_empty() {
         print_usage();
-        std::process::exit(2);
+        return 2;
+    }
+    if resume && csv_dir.is_none() {
+        die_usage("--resume requires --csv (the journal lives in the CSV directory)");
     }
     if targets.iter().any(|t| t == "all") {
         targets = ALL.iter().map(|s| s.to_string()).collect();
     }
-    println!("# ALERT reproduction — {runs} runs per data point\n");
+    // Validate the whole campaign up front: an unknown experiment is a
+    // usage error and must fail before any work (or journal writes).
     for t in &targets {
-        let start = Instant::now();
-        let out = render(t, runs).unwrap_or_else(|| die(&format!("unknown experiment '{t}'")));
-        match out {
-            Rendered::Text(text) => print!("{text}"),
-            Rendered::Table(table) => {
-                print!("{}", table.render());
-                if let Some(dir) = &csv_dir {
-                    let path = format!("{dir}/{t}.csv");
-                    std::fs::write(&path, table.to_csv())
-                        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        if !is_known(t) {
+            die_usage(&format!("unknown experiment '{t}'"));
+        }
+    }
+
+    let mut journal = match &csv_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                return fail(&format!("cannot create {}: {e}", dir.display()));
+            }
+            match Journal::open(dir) {
+                Ok(j) => Some(j),
+                Err(e) => return fail(&format!("cannot open manifest journal: {e}")),
+            }
+        }
+        None => None,
+    };
+    let mut failure_sink = csv_dir.as_deref().map(FailureSink::new);
+
+    println!("# ALERT reproduction — {runs} runs per data point\n");
+    let mut quarantined = 0usize;
+    drain_failures(); // start the campaign with a clean process-global ledger
+    for t in &targets {
+        let fp = fingerprint(t, runs);
+        if resume {
+            if let Some(j) = &journal {
+                if j.completed(t, fp) {
+                    eprintln!("[resume] {t}: already journaled as done, skipping");
+                    continue;
                 }
             }
         }
-        eprintln!("[{t}] done in {:.1}s", start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let rendered = catch_unwind(AssertUnwindSafe(|| render(t, runs)));
+        let mut failures: Vec<FailureEntry> = drain_failures()
+            .into_iter()
+            .map(|r| FailureEntry::from_record(t, r))
+            .collect();
+        match rendered {
+            Ok(out) => {
+                match out {
+                    Rendered::Text(text) => print!("{text}"),
+                    Rendered::Table(table) => {
+                        print!("{}", table.render());
+                        if let Some(dir) = &csv_dir {
+                            let path = dir.join(format!("{t}.csv"));
+                            if let Err(e) = write_atomic(&path, &table.to_csv()) {
+                                return fail(&format!("cannot write {}: {e}", path.display()));
+                            }
+                        }
+                    }
+                }
+                eprintln!("[{t}] done in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            Err(payload) => {
+                // The experiment itself died (not just one run of a
+                // sweep). Quarantine it and keep the campaign going.
+                let msg = panic_message(payload);
+                failures.push(FailureEntry {
+                    target: t.clone(),
+                    protocol: "-".to_owned(),
+                    nodes: 0,
+                    seed: 0,
+                    error: format!("panicked: {msg}"),
+                    replay: format!("repro {t} --runs {runs}"),
+                });
+                eprintln!(
+                    "[{t}] FAILED after {:.1}s: panicked: {msg}",
+                    start.elapsed().as_secs_f64()
+                );
+            }
+        }
+        let status = if failures.is_empty() {
+            EntryStatus::Done
+        } else {
+            EntryStatus::Failed
+        };
+        quarantined += failures.len();
+        if let Some(sink) = &mut failure_sink {
+            for f in &failures {
+                if let Err(e) = sink.append(f) {
+                    return fail(&format!("cannot write failure report: {e}"));
+                }
+            }
+        }
+        if let Some(j) = &mut journal {
+            let entry = ManifestEntry {
+                target: t.clone(),
+                fingerprint: fp,
+                runs,
+                status,
+                wall_s: start.elapsed().as_secs_f64(),
+            };
+            if let Err(e) = j.record(entry) {
+                return fail(&format!("cannot append to manifest journal: {e}"));
+            }
+        }
     }
+    if quarantined > 0 {
+        eprintln!(
+            "error: {quarantined} failure(s) quarantined{}",
+            match &csv_dir {
+                Some(dir) => format!(" — see {}", dir.join(alert_bench::FAILURES_FILE).display()),
+                None => String::new(),
+            }
+        );
+        return 1;
+    }
+    0
 }
 
 /// A rendered experiment: a pre-formatted text block (Table 1) or a
 /// structured table (everything else, CSV-exportable).
 enum Rendered {
     Text(String),
-    Table(alert_bench::FigureTable),
+    Table(FigureTable),
 }
 
 const ALL: [&str; 25] = [
@@ -114,8 +240,18 @@ const ALL: [&str; 25] = [
     "churn",
 ];
 
-fn render(target: &str, runs: usize) -> Option<Rendered> {
-    Some(match target {
+/// Hidden fault-drill targets (not in `ALL`, so never part of a normal
+/// campaign): deterministic planted failures that the resilience tests
+/// and the CI resume-smoke job use to prove quarantine works end to
+/// end.
+const DRILLS: [&str; 2] = ["__panic-point", "__panic-experiment"];
+
+fn is_known(target: &str) -> bool {
+    ALL.contains(&target) || DRILLS.contains(&target)
+}
+
+fn render(target: &str, runs: usize) -> Rendered {
+    match target {
         "table1" => Rendered::Text(attacks::table1()),
         "fig5c" => Rendered::Table(attacks::fig5c(runs)),
         "fig7a" => Rendered::Table(analytic::fig7a()),
@@ -141,16 +277,58 @@ fn render(target: &str, runs: usize) -> Option<Rendered> {
         "claim-energy" => Rendered::Table(claims::claim_energy(runs)),
         "panorama" => Rendered::Table(claims::panorama(runs)),
         "churn" => Rendered::Table(faults::churn_sweep(runs)),
-        _ => return None,
-    })
+        "__panic-point" => Rendered::Table(panic_point_drill(runs)),
+        "__panic-experiment" => panic!("planted panic: __panic-experiment"),
+        other => unreachable!("target '{other}' passed is_known but has no renderer"),
+    }
+}
+
+/// The `__panic-point` drill: a real (tiny) sweep whose metric
+/// extractor panics on every run, so each point is quarantined through
+/// the production isolation path and the table renders with zero
+/// surviving samples.
+fn panic_point_drill(runs: usize) -> FigureTable {
+    let mut cfg = alert_sim::ScenarioConfig::default()
+        .with_nodes(30)
+        .with_duration(5.0);
+    cfg.traffic.pairs = 2;
+    let stat = sweep_point(ProtocolChoice::Gpsr, &cfg, runs.min(2), |_| {
+        panic!("planted panic: __panic-point")
+    });
+    let mut t = FigureTable::new(
+        "__panic-point — planted per-run failure drill (not a paper figure)",
+        "point",
+        vec!["delivery".into()],
+    );
+    t.row("0".to_owned(), vec![format!("{stat:.3}")]);
+    t
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 fn print_usage() {
-    eprintln!("usage: repro <experiment...|all> [--runs N] [--csv DIR] [--progress]");
+    eprintln!("usage: repro <experiment...|all> [--runs N] [--csv DIR] [--resume] [--progress]");
     eprintln!("experiments: {}", ALL.join(" "));
+    eprintln!("exit codes: 0 ok, 1 runtime failure (see failures.jsonl), 2 usage");
 }
 
-fn die(msg: &str) -> ! {
+/// Usage error: complain and exit 2 before any campaign work.
+fn die_usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// Runtime failure (I/O, quarantined runs): complain and return exit
+/// code 1 so the caller's `real_main` result reaches `process::exit`.
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    1
 }

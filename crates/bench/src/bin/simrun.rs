@@ -23,6 +23,16 @@
 //! `alert-bench-perf/1` report (see [`alert_bench::perf`]); with
 //! `--bench-baseline OLD.json` the report embeds the previous run and a
 //! per-node-count speedup map.
+//!
+//! `--max-events`, `--max-sim-s`, `--max-wall-s` and
+//! `--max-instant-events` set the run guardrails
+//! ([`alert_sim::RunBudget`]); a tripped budget aborts the run with a
+//! structured `run aborted: ...` error (exit 1) and, with `--trace`,
+//! the written trace ends in a `run_aborted` event. All budgets are
+//! off by default.
+//!
+//! Exit codes: `0` ok, `1` runtime failure (I/O, invalid scenario,
+//! aborted or quarantined runs), `2` usage error.
 
 use alert_bench::{
     perf_sweep, render_perf_json, run_instrumented, set_progress, sweep_point, ProtocolChoice,
@@ -44,6 +54,10 @@ fn main() {
     let mut nodes: Option<usize> = None;
     let mut pairs: Option<usize> = None;
     let mut duration: Option<f64> = None;
+    let mut max_events: Option<u64> = None;
+    let mut max_sim_s: Option<f64> = None;
+    let mut max_wall_s: Option<f64> = None;
+    let mut max_instant_events: Option<u64> = None;
     let mut bench_json: Option<String> = None;
     let mut bench_nodes = vec![100usize, 200, 300];
     let mut bench_runs = 3usize;
@@ -92,6 +106,12 @@ fn main() {
             "--nodes" => nodes = Some(parse(it.next(), "--nodes")),
             "--pairs" => pairs = Some(parse(it.next(), "--pairs")),
             "--duration" => duration = Some(parse(it.next(), "--duration")),
+            "--max-events" => max_events = Some(parse(it.next(), "--max-events")),
+            "--max-sim-s" => max_sim_s = Some(parse(it.next(), "--max-sim-s")),
+            "--max-wall-s" => max_wall_s = Some(parse(it.next(), "--max-wall-s")),
+            "--max-instant-events" => {
+                max_instant_events = Some(parse(it.next(), "--max-instant-events"));
+            }
             "--bench-json" => {
                 bench_json = Some(
                     it.next()
@@ -143,8 +163,8 @@ fn main() {
         None => ScenarioConfig::default(),
         Some(p) => {
             let text = std::fs::read_to_string(p)
-                .unwrap_or_else(|e| die(&format!("cannot read {p}: {e}")));
-            serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("bad scenario {p}: {e}")))
+                .unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")));
+            serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("bad scenario {p}: {e}")))
         }
     };
     if let Some(n) = nodes {
@@ -156,15 +176,27 @@ fn main() {
     if let Some(d) = duration {
         scenario = scenario.with_duration(d);
     }
+    if max_events.is_some() {
+        scenario.budget.max_events = max_events;
+    }
+    if max_sim_s.is_some() {
+        scenario.budget.max_sim_seconds = max_sim_s;
+    }
+    if max_wall_s.is_some() {
+        scenario.budget.max_wall_seconds = max_wall_s;
+    }
+    if max_instant_events.is_some() {
+        scenario.budget.max_events_per_instant = max_instant_events;
+    }
     if let Some(p) = &faults_path {
         let text =
-            std::fs::read_to_string(p).unwrap_or_else(|e| die(&format!("cannot read {p}: {e}")));
+            std::fs::read_to_string(p).unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")));
         let plan: FaultPlan = serde_json::from_str(&text)
-            .unwrap_or_else(|e| die(&format!("bad fault plan {p}: {e}")));
+            .unwrap_or_else(|e| fail(&format!("bad fault plan {p}: {e}")));
         scenario.faults = plan;
     }
     if let Err(e) = scenario.validate() {
-        die(&format!("invalid scenario: {e}"));
+        fail(&format!("invalid scenario: {e}"));
     }
     let choice = match protocol.to_lowercase().as_str() {
         "alert" => ProtocolChoice::Alert(AlertConfig::default()),
@@ -187,11 +219,11 @@ fn main() {
         }
         let baseline = bench_baseline.as_ref().map(|p| {
             std::fs::read_to_string(p)
-                .unwrap_or_else(|e| die(&format!("cannot read baseline {p}: {e}")))
+                .unwrap_or_else(|e| fail(&format!("cannot read baseline {p}: {e}")))
         });
         set_progress(true);
         let points = perf_sweep(choice, &scenario, &bench_nodes, bench_runs)
-            .unwrap_or_else(|e| die(&format!("invalid scenario: {e}")));
+            .unwrap_or_else(|e| fail(&e.to_string()));
         let json = render_perf_json(
             choice.name(),
             &scenario,
@@ -203,7 +235,7 @@ fn main() {
             println!("{json}");
         } else {
             std::fs::write(out_path, json + "\n")
-                .unwrap_or_else(|e| die(&format!("cannot write bench report {out_path}: {e}")));
+                .unwrap_or_else(|e| fail(&format!("cannot write bench report {out_path}: {e}")));
             eprintln!("bench report written to {out_path}");
         }
         return;
@@ -223,13 +255,15 @@ fn main() {
         let opts = RunOptions {
             trace: trace_path.as_ref().map(|p| {
                 let sink = JsonlSink::create(p)
-                    .unwrap_or_else(|e| die(&format!("cannot create trace file {p}: {e}")));
+                    .unwrap_or_else(|e| fail(&format!("cannot create trace file {p}: {e}")));
                 Box::new(sink) as _
             }),
             profile: profile_path.is_some(),
         };
+        // An aborted run still streamed its (truncated) trace — the file
+        // ends with the run_aborted event — before this returns Err.
         let out = run_instrumented(choice, &scenario, seed, opts)
-            .unwrap_or_else(|e| die(&format!("invalid scenario: {e}")));
+            .unwrap_or_else(|e| fail(&e.to_string()));
         println!("{}", out.metrics.summary());
         if let Some(p) = &profile_path {
             let json = serde_json::to_string_pretty(&out.profile).expect("run profile serializes");
@@ -237,7 +271,7 @@ fn main() {
                 println!("{json}");
             } else {
                 std::fs::write(p, json + "\n")
-                    .unwrap_or_else(|e| die(&format!("cannot write profile {p}: {e}")));
+                    .unwrap_or_else(|e| fail(&format!("cannot write profile {p}: {e}")));
                 eprintln!("profile written to {p}");
             }
         }
@@ -250,7 +284,7 @@ fn main() {
                 println!("{json}");
             } else {
                 std::fs::write(p, json + "\n")
-                    .unwrap_or_else(|e| die(&format!("cannot write report {p}: {e}")));
+                    .unwrap_or_else(|e| fail(&format!("cannot write report {p}: {e}")));
                 eprintln!("degradation report written to {p}");
             }
         }
@@ -264,6 +298,12 @@ fn main() {
         println!("latency   {latency:.1} ms");
         println!("hops/pkt  {hops:.2}");
         println!("(single-run detail: rerun with --runs 1)");
+        let quarantined = alert_bench::failures_total();
+        if quarantined > 0 {
+            fail(&format!(
+                "{quarantined} run(s) quarantined (aborted or panicked; see [failed] lines above)"
+            ));
+        }
     }
 }
 
@@ -333,6 +373,8 @@ fn usage() {
     eprintln!("              [--nodes N] [--pairs N] [--duration SECS]");
     eprintln!("              [--trace trace.jsonl] [--profile profile.json|-]");
     eprintln!("              [--faults plan.json] [--report report.json|-]");
+    eprintln!("              [--max-events N] [--max-sim-s SECS] [--max-wall-s SECS]");
+    eprintln!("              [--max-instant-events N]   (run guardrails, off by default)");
     eprintln!("       simrun --bench-json BENCH.json|- [--bench-nodes 100,200,300]");
     eprintln!("              [--bench-runs N] [--bench-baseline OLD.json]");
     eprintln!("              [--bench-build LABEL]   (perf-regression sweep mode;");
@@ -340,7 +382,15 @@ fn usage() {
     eprintln!("       simrun --emit-default-scenario > scenario.json");
 }
 
+/// Usage error: complain and exit 2.
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// Runtime failure (I/O, invalid scenario data, aborted runs): complain
+/// and exit 1.
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }

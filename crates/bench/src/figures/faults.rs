@@ -7,7 +7,7 @@
 //! without a simultaneous blackhole compromise (the Section 3.1 active
 //! attack riding on top of the churn).
 
-use crate::runner::Stat;
+use crate::runner::{panic_message, quarantine, FailureRecord, Stat};
 use crate::table::FigureTable;
 use alert_adversary::{choose_compromised, Blackhole};
 use alert_core::{Alert, AlertConfig};
@@ -15,6 +15,7 @@ use alert_protocols::{Alarm, Ao2p, Gpsr};
 use alert_sim::{FaultPlan, Metrics, NodeId, ProtocolNode, ScenarioConfig, World};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Crash fractions swept (0 = the calibrated fault-free baseline).
 pub const CRASH_FRACTIONS: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
@@ -81,11 +82,32 @@ fn run_protocol(name: &str, crash_fraction: f64, blackholes: usize, seed: u64) -
 }
 
 /// `(delivery, latency ms)` for one sweep cell, averaged over `runs`
-/// seeds in parallel.
+/// seeds in parallel. A run that panics (a protocol bug tripped by the
+/// churn schedule) is quarantined into the shared failure ledger and
+/// dropped from the averages instead of sinking the whole figure.
 fn sweep_cell(name: &str, crash_fraction: f64, blackholes: usize, runs: usize) -> (Stat, Stat) {
     let metrics: Vec<Metrics> = (0..runs as u64)
         .into_par_iter()
-        .map(|s| run_protocol(name, crash_fraction, blackholes, 0xA1E7 + s * 7919))
+        .filter_map(|s| {
+            let seed = 0xA1E7 + s * 7919;
+            catch_unwind(AssertUnwindSafe(|| {
+                run_protocol(name, crash_fraction, blackholes, seed)
+            }))
+            .map_err(|payload| {
+                quarantine(FailureRecord {
+                    protocol: name.to_owned(),
+                    nodes: churn_scenario(crash_fraction).nodes,
+                    seed,
+                    error: format!(
+                        "panicked: {} (churn sweep, crash_fraction={crash_fraction}, \
+                         blackholes={blackholes})",
+                        panic_message(payload)
+                    ),
+                    replay: format!("repro churn --runs {runs}"),
+                });
+            })
+            .ok()
+        })
         .collect();
     let delivery: Vec<f64> = metrics.iter().map(Metrics::delivery_rate).collect();
     let latency: Vec<f64> = metrics

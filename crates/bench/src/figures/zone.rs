@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn interpolation_finds_crossing() {
         let pts = [(100.0, 2.0), (200.0, 4.0), (300.0, 6.0)];
-        let x = interpolate_crossing(&pts, 5.0).unwrap();
+        let x = interpolate_crossing(&pts, 5.0).expect("target 5.0 lies between samples");
         assert!((x - 250.0).abs() < 1e-9);
         assert!(interpolate_crossing(&pts, 10.0).is_none());
     }

@@ -15,13 +15,19 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod orchestrate;
 pub mod perf;
 pub mod runner;
 pub mod table;
 
+pub use orchestrate::{
+    fingerprint, write_atomic, EntryStatus, FailureEntry, FailureSink, Journal, ManifestEntry,
+    FAILURES_FILE, MANIFEST_FILE,
+};
 pub use perf::{baseline_wall_min, perf_sweep, render_perf_json, PerfPoint};
 pub use runner::{
-    mean_curve, progress_enabled, run_instrumented, run_once, set_progress, sweep_metrics,
-    sweep_point, try_run_once, ProtocolChoice, RunOptions, RunOutput, Stat,
+    drain_failures, failures_total, guarded_run_once, mean_curve, progress_enabled,
+    run_instrumented, set_progress, sweep_metrics, sweep_point, try_run_once, FailureRecord,
+    ProtocolChoice, RunFailure, RunOptions, RunOutcome, RunOutput, Stat,
 };
 pub use table::FigureTable;

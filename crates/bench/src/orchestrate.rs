@@ -1,0 +1,651 @@
+//! Crash-safe campaign orchestration for the `repro` binary: atomic
+//! artifact writes, a JSONL manifest journal, and a failure report.
+//!
+//! A long `repro all --runs 30` campaign can die halfway — OOM kill,
+//! Ctrl-C, power loss. This module gives it three properties:
+//!
+//! 1. **Atomic artifacts** — [`write_atomic`] stages every CSV/report to
+//!    a temp file in the same directory and `rename`s it into place, so
+//!    a reader (or a resumed campaign) never observes a half-written
+//!    file.
+//! 2. **A journal** — after each experiment completes, one
+//!    [`ManifestEntry`] line is appended to `manifest.jsonl` in the
+//!    `--csv` directory. Appends are line-atomic in practice and a torn
+//!    trailing line (the crash case) is tolerated on re-open; at worst
+//!    one experiment is re-run.
+//! 3. **Resume** — `repro --resume` consults [`Journal::completed`]
+//!    and skips experiments already journaled as done *with a matching
+//!    config fingerprint* ([`fingerprint`] covers the target name, the
+//!    `--runs` count, and the schema version), so changing the campaign
+//!    shape invalidates stale entries instead of silently reusing them.
+//!
+//! Like the trace codec and the perf report, the journal is
+//! hand-formatted JSONL with a stable key order: it must be writable
+//! and parseable without a JSON library at runtime, and diffable by
+//! eye. The schema is `alert-repro-manifest/1`:
+//!
+//! ```json
+//! {"target":"fig9a","fingerprint":1234,"runs":30,"status":"done","wall_s":12.5}
+//! ```
+//!
+//! Failed experiments are quarantined rather than resumed-over: they
+//! are journaled with `"status":"failed"` (never matched by
+//! [`Journal::completed`]) and detailed per-run in `failures.jsonl`
+//! via [`FailureSink`], one [`FailureEntry`] per quarantined run with
+//! its one-line `simrun` replay command.
+
+use crate::runner::FailureRecord;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest journal inside the `--csv` directory.
+pub const MANIFEST_FILE: &str = "manifest.jsonl";
+
+/// File name of the failure report inside the `--csv` directory.
+pub const FAILURES_FILE: &str = "failures.jsonl";
+
+/// Journal schema tag; part of every fingerprint, so bumping it
+/// invalidates all previously journaled points at once.
+const SCHEMA: &str = "alert-repro-manifest/1";
+
+// ---------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Config fingerprint of one campaign point: FNV-1a over the schema
+/// version, the target name, and the runs count (NUL-separated so
+/// field boundaries can't alias). A journaled entry only counts as
+/// completed when its fingerprint matches the current invocation's.
+pub fn fingerprint(target: &str, runs: usize) -> u64 {
+    let mut h = fnv1a(0xcbf2_9ce4_8422_2325, SCHEMA.as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, target.as_bytes());
+    h = fnv1a(h, &[0]);
+    fnv1a(h, &(runs as u64).to_le_bytes())
+}
+
+// ---------------------------------------------------------------------
+// Atomic writes
+// ---------------------------------------------------------------------
+
+/// Writes `contents` to `path` atomically: stage to a sibling temp
+/// file, fsync, then rename into place. A crash mid-write leaves either
+/// the old file or the new one, never a truncated hybrid. (The stale
+/// temp file a crash can leave behind is overwritten by the next
+/// attempt.)
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------
+// Manifest entries
+// ---------------------------------------------------------------------
+
+/// Outcome of one journaled experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// The experiment completed and its artifacts were renamed into
+    /// place; `--resume` may skip it.
+    Done,
+    /// The experiment failed (panic, abort, or I/O error); `--resume`
+    /// re-runs it.
+    Failed,
+}
+
+impl EntryStatus {
+    /// Stable on-disk token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EntryStatus::Done => "done",
+            EntryStatus::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "done" => Some(EntryStatus::Done),
+            "failed" => Some(EntryStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One line of the manifest journal: the outcome of one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Experiment name as given on the `repro` command line.
+    pub target: String,
+    /// [`fingerprint`] of the invocation that produced this entry.
+    pub fingerprint: u64,
+    /// Monte-Carlo runs per point the entry was produced with.
+    pub runs: usize,
+    /// Outcome.
+    pub status: EntryStatus,
+    /// Wall-clock seconds the experiment took.
+    pub wall_s: f64,
+}
+
+impl ManifestEntry {
+    /// Encodes the entry as one JSONL line (no trailing newline),
+    /// stable key order.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::from("{\"target\":");
+        push_str_escaped(&mut s, &self.target);
+        let _ = write!(
+            s,
+            ",\"fingerprint\":{},\"runs\":{},\"status\":\"{}\",\"wall_s\":{:?}}}",
+            self.fingerprint,
+            self.runs,
+            self.status.as_str(),
+            self.wall_s
+        );
+        s
+    }
+
+    /// Decodes one journal line; `None` on any malformation (the
+    /// journal treats such lines as torn and ignores them).
+    pub fn parse_line(line: &str) -> Option<Self> {
+        let fields = parse_flat_object(line)?;
+        let mut target = None;
+        let mut fp = None;
+        let mut runs = None;
+        let mut status = None;
+        let mut wall_s = None;
+        for (key, val) in fields {
+            match (key.as_str(), val) {
+                ("target", Val::Str(s)) => target = Some(s),
+                ("fingerprint", Val::Num(n)) => fp = n.parse::<u64>().ok(),
+                ("runs", Val::Num(n)) => runs = n.parse::<usize>().ok(),
+                ("status", Val::Str(s)) => status = EntryStatus::parse(&s),
+                ("wall_s", Val::Num(n)) => wall_s = n.parse::<f64>().ok(),
+                _ => return None,
+            }
+        }
+        Some(ManifestEntry {
+            target: target?,
+            fingerprint: fp?,
+            runs: runs?,
+            status: status?,
+            wall_s: wall_s?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------
+
+/// The append-only manifest journal backing `repro --resume`.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    entries: Vec<ManifestEntry>,
+}
+
+impl Journal {
+    /// Opens (or implicitly creates) the journal in `dir`. A missing
+    /// file yields an empty journal; unparseable lines — the torn
+    /// trailing line a crash can leave — are skipped, which at worst
+    /// re-runs the experiment that was mid-journal when the process
+    /// died. An unterminated tail is healed with a newline so the next
+    /// [`record`](Journal::record) can't merge into the torn fragment.
+    pub fn open(dir: &Path) -> io::Result<Journal> {
+        let path = dir.join(MANIFEST_FILE);
+        let entries = match fs::read_to_string(&path) {
+            Ok(text) => {
+                if !text.is_empty() && !text.ends_with('\n') {
+                    let mut f = fs::OpenOptions::new().append(true).open(&path)?;
+                    f.write_all(b"\n")?;
+                    f.sync_all()?;
+                }
+                text.lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .filter_map(ManifestEntry::parse_line)
+                    .collect()
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(Journal { path, entries })
+    }
+
+    /// Entries read at open plus those recorded since.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// True when `target` is journaled as [`EntryStatus::Done`] with
+    /// the given fingerprint — the `--resume` skip test. A later
+    /// `failed` entry for the same point does not un-complete it (the
+    /// artifacts of the earlier success are still on disk, atomically).
+    pub fn completed(&self, target: &str, fp: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.status == EntryStatus::Done && e.target == target && e.fingerprint == fp)
+    }
+
+    /// Appends one entry line and flushes it to disk before returning,
+    /// then mirrors it into the in-memory view.
+    pub fn record(&mut self, entry: ManifestEntry) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut line = entry.to_jsonl();
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        f.sync_all()?;
+        self.entries.push(entry);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure report
+// ---------------------------------------------------------------------
+
+/// One quarantined run in the failure report: a
+/// [`FailureRecord`](crate::runner::FailureRecord) plus the experiment
+/// it happened under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureEntry {
+    /// Experiment name the run belonged to.
+    pub target: String,
+    /// Protocol display name of the failed run.
+    pub protocol: String,
+    /// Node count of the failed run.
+    pub nodes: usize,
+    /// Seed of the failed run.
+    pub seed: u64,
+    /// Human-readable error ("panicked: ...", "run aborted: ...").
+    pub error: String,
+    /// One-line `simrun` command reproducing the failing point.
+    pub replay: String,
+}
+
+impl FailureEntry {
+    /// Binds a runner ledger record to the experiment it surfaced in.
+    pub fn from_record(target: &str, r: FailureRecord) -> FailureEntry {
+        FailureEntry {
+            target: target.to_owned(),
+            protocol: r.protocol,
+            nodes: r.nodes,
+            seed: r.seed,
+            error: r.error,
+            replay: r.replay,
+        }
+    }
+
+    /// Encodes the entry as one JSONL line (no trailing newline),
+    /// stable key order.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::from("{\"target\":");
+        push_str_escaped(&mut s, &self.target);
+        s.push_str(",\"protocol\":");
+        push_str_escaped(&mut s, &self.protocol);
+        let _ = write!(
+            s,
+            ",\"nodes\":{},\"seed\":{},\"error\":",
+            self.nodes, self.seed
+        );
+        push_str_escaped(&mut s, &self.error);
+        s.push_str(",\"replay\":");
+        push_str_escaped(&mut s, &self.replay);
+        s.push('}');
+        s
+    }
+
+    /// Decodes one failure line; `None` on malformation.
+    pub fn parse_line(line: &str) -> Option<Self> {
+        let fields = parse_flat_object(line)?;
+        let mut target = None;
+        let mut protocol = None;
+        let mut nodes = None;
+        let mut seed = None;
+        let mut error = None;
+        let mut replay = None;
+        for (key, val) in fields {
+            match (key.as_str(), val) {
+                ("target", Val::Str(s)) => target = Some(s),
+                ("protocol", Val::Str(s)) => protocol = Some(s),
+                ("nodes", Val::Num(n)) => nodes = n.parse::<usize>().ok(),
+                ("seed", Val::Num(n)) => seed = n.parse::<u64>().ok(),
+                ("error", Val::Str(s)) => error = Some(s),
+                ("replay", Val::Str(s)) => replay = Some(s),
+                _ => return None,
+            }
+        }
+        Some(FailureEntry {
+            target: target?,
+            protocol: protocol?,
+            nodes: nodes?,
+            seed: seed?,
+            error: error?,
+            replay: replay?,
+        })
+    }
+}
+
+/// Append-only writer for the campaign failure report. The file is
+/// only created on the first failure, so a clean campaign leaves no
+/// `failures.jsonl` behind.
+#[derive(Debug)]
+pub struct FailureSink {
+    path: PathBuf,
+    count: usize,
+}
+
+impl FailureSink {
+    /// A sink writing to `failures.jsonl` under `dir`.
+    pub fn new(dir: &Path) -> FailureSink {
+        FailureSink {
+            path: dir.join(FAILURES_FILE),
+            count: 0,
+        }
+    }
+
+    /// Appends one failure line, flushed to disk before returning.
+    pub fn append(&mut self, entry: &FailureEntry) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut line = entry.to_jsonl();
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        f.sync_all()?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Failures appended through this sink.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal flat-object JSONL codec (same escape set as the trace codec)
+// ---------------------------------------------------------------------
+
+fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+enum Val {
+    Str(String),
+    Num(String),
+}
+
+/// Parses one flat JSON object of string/number values — exactly the
+/// shape this module writes. Returns `None` on anything else.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, Val)>> {
+    let mut chars = line.trim().chars().peekable();
+
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+        let mut s = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(s),
+                '\\' => match chars.next()? {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'b' => s.push('\u{8}'),
+                    'f' => s.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + chars.next()?.to_digit(16)?;
+                        }
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => s.push(c),
+            }
+        }
+    }
+
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut fields = Vec::new();
+    loop {
+        match chars.next()? {
+            '}' => break,
+            '"' => {}
+            ',' if !fields.is_empty() => {
+                if chars.next()? != '"' {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next()? != ':' {
+            return None;
+        }
+        let val = match *chars.peek()? {
+            '"' => {
+                chars.next();
+                Val::Str(parse_string(&mut chars)?)
+            }
+            _ => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ',' || c == '}' {
+                        break;
+                    }
+                    num.push(c);
+                    chars.next();
+                }
+                if num.is_empty() || !num.chars().all(|c| "0123456789.eE+-".contains(c)) {
+                    return None;
+                }
+                Val::Num(num)
+            }
+        };
+        fields.push((key, val));
+    }
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("alert_orch_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entry(target: &str, status: EntryStatus) -> ManifestEntry {
+        ManifestEntry {
+            target: target.to_owned(),
+            fingerprint: fingerprint(target, 30),
+            runs: 30,
+            status,
+            wall_s: 1.25,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_sensitive() {
+        assert_eq!(fingerprint("fig9a", 30), fingerprint("fig9a", 30));
+        assert_ne!(fingerprint("fig9a", 30), fingerprint("fig9a", 31));
+        assert_ne!(fingerprint("fig9a", 30), fingerprint("fig9b", 30));
+        // Field boundaries don't alias.
+        assert_ne!(fingerprint("ab", 1), fingerprint("a", 1));
+    }
+
+    #[test]
+    fn manifest_entries_round_trip() {
+        let e = entry("fig9a", EntryStatus::Done);
+        assert_eq!(
+            e.to_jsonl(),
+            format!(
+                "{{\"target\":\"fig9a\",\"fingerprint\":{},\"runs\":30,\
+                 \"status\":\"done\",\"wall_s\":1.25}}",
+                e.fingerprint
+            )
+        );
+        assert_eq!(ManifestEntry::parse_line(&e.to_jsonl()), Some(e));
+    }
+
+    #[test]
+    fn hostile_target_names_round_trip() {
+        let mut e = entry("x", EntryStatus::Failed);
+        e.target = "we\"ird\\name\nwith\tescapes".to_owned();
+        assert_eq!(ManifestEntry::parse_line(&e.to_jsonl()), Some(e));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for line in [
+            "",
+            "{",
+            "{}",
+            "not json",
+            "{\"target\":\"x\"}",             // missing fields
+            "{\"target\":\"x\",\"bogus\":1}", // unknown key
+            "{\"target\":7,\"fingerprint\":1,\"runs\":1,\"status\":\"done\",\"wall_s\":1}", // wrong type
+        ] {
+            assert_eq!(ManifestEntry::parse_line(line), None, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn journal_records_and_resumes() {
+        let dir = scratch_dir("journal");
+        let mut j = Journal::open(&dir).unwrap();
+        assert!(j.entries().is_empty());
+        j.record(entry("fig9a", EntryStatus::Done)).unwrap();
+        j.record(entry("fig9b", EntryStatus::Failed)).unwrap();
+
+        let j2 = Journal::open(&dir).unwrap();
+        assert_eq!(j2.entries().len(), 2);
+        assert!(j2.completed("fig9a", fingerprint("fig9a", 30)));
+        // Failed entries never count as completed.
+        assert!(!j2.completed("fig9b", fingerprint("fig9b", 30)));
+        // Fingerprint mismatch (different --runs) never counts.
+        assert!(!j2.completed("fig9a", fingerprint("fig9a", 10)));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_trailing_lines_are_tolerated() {
+        let dir = scratch_dir("torn");
+        let mut j = Journal::open(&dir).unwrap();
+        j.record(entry("fig9a", EntryStatus::Done)).unwrap();
+        // Simulate a crash mid-append: a truncated second line.
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(MANIFEST_FILE))
+            .unwrap();
+        f.write_all(b"{\"target\":\"fig9b\",\"finger").unwrap();
+        drop(f);
+
+        let mut j2 = Journal::open(&dir).unwrap();
+        assert_eq!(j2.entries().len(), 1);
+        assert!(j2.completed("fig9a", fingerprint("fig9a", 30)));
+        assert!(!j2.completed("fig9b", fingerprint("fig9b", 30)));
+        // Open healed the unterminated tail, so the journal stays
+        // appendable: a fresh record lands on its own line.
+        j2.record(entry("fig9c", EntryStatus::Done)).unwrap();
+        let j3 = Journal::open(&dir).unwrap();
+        assert!(j3.completed("fig9c", fingerprint("fig9c", 30)));
+        assert_eq!(j3.entries().len(), 2);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_temp_files() {
+        let dir = scratch_dir("atomic");
+        let path = dir.join("out.csv");
+        write_atomic(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        write_atomic(&path, "a,b\n3,4\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n3,4\n");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n != "out.csv")
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failure_sink_appends_parseable_lines() {
+        let dir = scratch_dir("failures");
+        let mut sink = FailureSink::new(&dir);
+        assert_eq!(sink.count(), 0);
+        // A clean campaign creates no file at all.
+        assert!(!dir.join(FAILURES_FILE).exists());
+
+        let e = FailureEntry {
+            target: "churn".to_owned(),
+            protocol: "ALERT".to_owned(),
+            nodes: 200,
+            seed: 41287,
+            error: "panicked: index out of bounds".to_owned(),
+            replay: "simrun --protocol alert --nodes 200 --pairs 4 --duration 60 --seed 41287"
+                .to_owned(),
+        };
+        sink.append(&e).unwrap();
+        sink.append(&e).unwrap();
+        assert_eq!(sink.count(), 2);
+        let text = fs::read_to_string(dir.join(FAILURES_FILE)).unwrap();
+        let parsed: Vec<_> = text
+            .lines()
+            .map(|l| FailureEntry::parse_line(l).unwrap())
+            .collect();
+        assert_eq!(parsed, vec![e.clone(), e]);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

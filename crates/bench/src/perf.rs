@@ -34,8 +34,8 @@
 //! counters, so they double as a cheap cross-build sanity check: two
 //! builds of the same code must agree on them exactly.
 
-use crate::runner::{progress_enabled, run_instrumented, ProtocolChoice, RunOptions};
-use alert_sim::{ScenarioConfig, ScenarioError};
+use crate::runner::{progress_enabled, run_instrumented, ProtocolChoice, RunFailure, RunOptions};
+use alert_sim::ScenarioConfig;
 use std::time::Instant;
 
 /// One timed sweep point of the perf harness.
@@ -67,7 +67,7 @@ pub fn perf_sweep(
     base: &ScenarioConfig,
     nodes: &[usize],
     runs: usize,
-) -> Result<Vec<PerfPoint>, ScenarioError> {
+) -> Result<Vec<PerfPoint>, RunFailure> {
     let runs = runs.max(1);
     let mut points = Vec::with_capacity(nodes.len());
     for &n in nodes {
@@ -263,6 +263,6 @@ mod tests {
     fn perf_sweep_rejects_invalid_scenarios() {
         let cfg = ScenarioConfig::default();
         let err = perf_sweep(ProtocolChoice::Gpsr, &cfg, &[0], 1).unwrap_err();
-        assert_eq!(err, ScenarioError::NoNodes);
+        assert_eq!(err, RunFailure::Scenario(alert_sim::ScenarioError::NoNodes));
     }
 }

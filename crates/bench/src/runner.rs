@@ -6,11 +6,13 @@
 use alert_core::{Alert, AlertConfig};
 use alert_protocols::{Alarm, Anodr, Ao2p, Gpsr, Mapcp, Mask, Prism, Zap};
 use alert_sim::{
-    Metrics, NodeId, ProtocolNode, RegistrySnapshot, RunProfile, ScenarioConfig, ScenarioError,
-    TraceSink, World,
+    Metrics, NodeId, ProtocolNode, RegistrySnapshot, RunAbort, RunProfile, ScenarioConfig,
+    ScenarioError, TraceSink, World,
 };
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Global toggle for `repro --progress`-style per-data-point lines on
 /// stderr. Off by default so sweep output stays machine-parsable.
@@ -36,6 +38,106 @@ static SWEEP_NAN_SAMPLES: AtomicU64 = AtomicU64::new(0);
 /// calls in this process (`sweep.nan_samples`).
 pub fn nan_samples_total() -> u64 {
     SWEEP_NAN_SAMPLES.load(Ordering::Relaxed)
+}
+
+/// Why a single sweep run produced no metrics.
+///
+/// Every failure class a long campaign meets in practice, as one value:
+/// a scenario that fails validation, a run aborted by its
+/// [`alert_sim::RunBudget`] guardrails, or a panic unwound out of the
+/// simulator (isolated by [`guarded_run_once`] so one poisoned point
+/// cannot sink hours of Monte-Carlo work).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunFailure {
+    /// The scenario failed [`ScenarioConfig::validate`].
+    Scenario(ScenarioError),
+    /// A run guardrail tripped; see [`RunAbort`].
+    Aborted(RunAbort),
+    /// The run panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFailure::Scenario(e) => write!(f, "invalid scenario: {e}"),
+            RunFailure::Aborted(a) => write!(f, "run aborted: {a}"),
+            RunFailure::Panicked(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+impl From<ScenarioError> for RunFailure {
+    fn from(e: ScenarioError) -> Self {
+        RunFailure::Scenario(e)
+    }
+}
+
+impl From<RunAbort> for RunFailure {
+    fn from(a: RunAbort) -> Self {
+        RunFailure::Aborted(a)
+    }
+}
+
+/// Renders a `catch_unwind` payload into a printable message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// One quarantined sweep run, kept in the process-wide failure ledger
+/// for the campaign-level failure report (`repro`'s `failures.jsonl`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// Protocol display name of the failed run.
+    pub protocol: String,
+    /// Node count of the failed run.
+    pub nodes: usize,
+    /// Seed of the failed run.
+    pub seed: u64,
+    /// Human-readable failure description.
+    pub error: String,
+    /// One-line `simrun` command reproducing the failed point.
+    pub replay: String,
+}
+
+/// Process-wide ledger of quarantined sweep runs; drained per experiment
+/// by the orchestrator via [`drain_failures`].
+static FAILURES: Mutex<Vec<FailureRecord>> = Mutex::new(Vec::new());
+
+/// Total failures quarantined in this process (monotonic; survives
+/// [`drain_failures`]).
+static FAILURES_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Removes and returns every failure quarantined since the last drain.
+pub fn drain_failures() -> Vec<FailureRecord> {
+    std::mem::take(&mut *FAILURES.lock().expect("failure ledger poisoned"))
+}
+
+/// Total sweep runs quarantined in this process.
+pub fn failures_total() -> u64 {
+    FAILURES_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Records a quarantined run: ledger entry plus a one-line stderr report
+/// carrying the `simrun` replay command.
+pub(crate) fn quarantine(record: FailureRecord) {
+    eprintln!(
+        "[failed] {} n={} seed={}: {} | replay: {}",
+        record.protocol, record.nodes, record.seed, record.error, record.replay
+    );
+    FAILURES_TOTAL.fetch_add(1, Ordering::Relaxed);
+    FAILURES
+        .lock()
+        .expect("failure ledger poisoned")
+        .push(record);
 }
 
 /// Which routing protocol a sweep point runs.
@@ -126,7 +228,7 @@ fn drive<P, F>(
     seed: u64,
     opts: RunOptions,
     factory: F,
-) -> Result<RunOutput, ScenarioError>
+) -> Result<RunOutput, RunFailure>
 where
     P: ProtocolNode,
     F: FnMut(NodeId, &ScenarioConfig) -> P,
@@ -138,9 +240,11 @@ where
     if opts.profile {
         w.enable_profiling();
     }
-    w.run();
-    // Detach (and thereby flush) the sink before reading results out.
+    let ran = w.try_run();
+    // Detach (and thereby flush) the sink before reading results out —
+    // an aborted run's trace still ends with its `run_aborted` record.
     drop(w.take_trace_sink());
+    ran?;
     let profile = w.run_profile();
     Ok(RunOutput {
         metrics: w.metrics().clone(),
@@ -150,13 +254,14 @@ where
 }
 
 /// Runs one simulation to completion with the given observability
-/// options. Errors on an invalid scenario instead of panicking.
+/// options. Errors on an invalid scenario or a guardrail abort instead
+/// of panicking.
 pub fn run_instrumented(
     protocol: ProtocolChoice,
     cfg: &ScenarioConfig,
     seed: u64,
     opts: RunOptions,
-) -> Result<RunOutput, ScenarioError> {
+) -> Result<RunOutput, RunFailure> {
     match protocol {
         ProtocolChoice::Alert(a) => drive(cfg, seed, opts, move |_, _| Alert::new(a)),
         ProtocolChoice::Gpsr => drive(cfg, seed, opts, |_, _| Gpsr::default()),
@@ -173,23 +278,77 @@ pub fn run_instrumented(
 }
 
 /// Runs one plain (untraced, unprofiled) simulation, reporting scenario
-/// problems as a typed error.
+/// problems and guardrail aborts as a typed error.
 pub fn try_run_once(
     protocol: ProtocolChoice,
     cfg: &ScenarioConfig,
     seed: u64,
-) -> Result<Metrics, ScenarioError> {
+) -> Result<Metrics, RunFailure> {
     run_instrumented(protocol, cfg, seed, RunOptions::default()).map(|out| out.metrics)
 }
 
-/// Runs one simulation to completion and returns its metrics.
-///
-/// # Panics
-///
-/// Panics on an invalid scenario; use [`try_run_once`] to handle that
-/// case gracefully.
-pub fn run_once(protocol: ProtocolChoice, cfg: &ScenarioConfig, seed: u64) -> Metrics {
-    try_run_once(protocol, cfg, seed).unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+/// One sweep run's identity and result — what panic isolation reduces a
+/// run to. Carries enough context ([`RunOutcome::replay_command`]) to
+/// reproduce the exact failing point outside the sweep.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Protocol display name.
+    pub protocol: &'static str,
+    /// Node count of the scenario.
+    pub nodes: usize,
+    /// S–D pair count of the scenario.
+    pub pairs: usize,
+    /// Simulated duration of the scenario, seconds.
+    pub duration_s: f64,
+    /// The run's seed.
+    pub seed: u64,
+    /// Metrics, or why there are none.
+    pub result: Result<Metrics, RunFailure>,
+}
+
+impl RunOutcome {
+    /// A one-line `simrun` command replaying this point (protocol,
+    /// geometry, and seed; protocol-specific tuning like a custom
+    /// `AlertConfig` or ZAP growth factor is not encodable as flags).
+    pub fn replay_command(&self) -> String {
+        format!(
+            "simrun --protocol {} --nodes {} --pairs {} --duration {} --seed {}",
+            self.protocol.to_lowercase(),
+            self.nodes,
+            self.pairs,
+            self.duration_s,
+            self.seed
+        )
+    }
+
+    /// Converts a failed outcome into its ledger record.
+    fn failure_record(&self, error: String) -> FailureRecord {
+        FailureRecord {
+            protocol: self.protocol.to_owned(),
+            nodes: self.nodes,
+            seed: self.seed,
+            error,
+            replay: self.replay_command(),
+        }
+    }
+}
+
+/// Runs one simulation with full panic isolation: validation errors,
+/// guardrail aborts, and panics all come back as a structured
+/// [`RunOutcome`] instead of unwinding into the sweep.
+pub fn guarded_run_once(protocol: ProtocolChoice, cfg: &ScenarioConfig, seed: u64) -> RunOutcome {
+    let result = match catch_unwind(AssertUnwindSafe(|| try_run_once(protocol, cfg, seed))) {
+        Ok(r) => r,
+        Err(payload) => Err(RunFailure::Panicked(panic_message(payload))),
+    };
+    RunOutcome {
+        protocol: protocol.name(),
+        nodes: cfg.nodes,
+        pairs: cfg.traffic.pairs,
+        duration_s: cfg.duration_s,
+        seed,
+        result,
+    }
 }
 
 /// A sample mean with its 95% confidence half-width.
@@ -282,8 +441,36 @@ impl std::fmt::Display for Stat {
     }
 }
 
+/// Reduces one guarded outcome to an `extract` sample: failed runs and
+/// panicking extractors are quarantined into the failure ledger and
+/// contribute a NaN, which [`Stat::from_samples`] counts as discarded —
+/// so a poisoned point shrinks `n` visibly instead of sinking the sweep.
+fn guarded_sample<F>(outcome: RunOutcome, extract: &F) -> f64
+where
+    F: Fn(&Metrics) -> f64 + Sync,
+{
+    match &outcome.result {
+        Ok(metrics) => match catch_unwind(AssertUnwindSafe(|| extract(metrics))) {
+            Ok(v) => v,
+            Err(payload) => {
+                let msg = format!(
+                    "panicked: {} (in metric extraction)",
+                    panic_message(payload)
+                );
+                quarantine(outcome.failure_record(msg));
+                f64::NAN
+            }
+        },
+        Err(failure) => {
+            quarantine(outcome.failure_record(failure.to_string()));
+            f64::NAN
+        }
+    }
+}
+
 /// Runs `runs` seeded simulations in parallel and reduces `extract` over
-/// their metrics.
+/// their metrics. Each run is panic-isolated ([`guarded_run_once`]):
+/// failures surface as quarantined NaN samples, not a sweep-wide panic.
 pub fn sweep_point<F>(
     protocol: ProtocolChoice,
     cfg: &ScenarioConfig,
@@ -296,7 +483,12 @@ where
     let start = std::time::Instant::now();
     let samples: Vec<f64> = (0..runs as u64)
         .into_par_iter()
-        .map(|seed| extract(&run_once(protocol, cfg, 0xA1E7 + seed * 7919)))
+        .map(|seed| {
+            guarded_sample(
+                guarded_run_once(protocol, cfg, 0xA1E7 + seed * 7919),
+                &extract,
+            )
+        })
         .collect();
     let stat = Stat::from_samples(&samples);
     if progress_enabled() {
@@ -320,12 +512,24 @@ where
 }
 
 /// Runs `runs` seeded simulations in parallel and returns the full
-/// metrics of each (for curve-valued reductions).
+/// metrics of each successful run (for curve-valued reductions). Failed
+/// runs are quarantined into the failure ledger and skipped, so the
+/// returned vector may be shorter than `runs`.
 pub fn sweep_metrics(protocol: ProtocolChoice, cfg: &ScenarioConfig, runs: usize) -> Vec<Metrics> {
     let start = std::time::Instant::now();
     let metrics: Vec<Metrics> = (0..runs as u64)
         .into_par_iter()
-        .map(|seed| run_once(protocol, cfg, 0xA1E7 + seed * 7919))
+        .filter_map(|seed| {
+            let outcome = guarded_run_once(protocol, cfg, 0xA1E7 + seed * 7919);
+            match outcome.result {
+                Ok(m) => Some(m),
+                Err(ref failure) => {
+                    let msg = failure.to_string();
+                    quarantine(outcome.failure_record(msg));
+                    None
+                }
+            }
+        })
         .collect();
     if progress_enabled() {
         eprintln!(
@@ -424,7 +628,97 @@ mod tests {
     fn try_run_once_reports_invalid_scenario() {
         let cfg = ScenarioConfig::default().with_nodes(0);
         let err = try_run_once(ProtocolChoice::Gpsr, &cfg, 1).unwrap_err();
-        assert_eq!(err, ScenarioError::NoNodes);
+        assert_eq!(err, RunFailure::Scenario(ScenarioError::NoNodes));
+        assert_eq!(
+            err.to_string(),
+            "invalid scenario: scenario needs at least one node"
+        );
+    }
+
+    #[test]
+    fn try_run_once_reports_guardrail_aborts() {
+        let mut cfg = ScenarioConfig::default().with_nodes(30).with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        cfg.budget.max_events = Some(50);
+        let err = try_run_once(ProtocolChoice::Gpsr, &cfg, 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RunFailure::Aborted(RunAbort::EventBudgetExhausted { budget: 50, .. })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn guarded_run_once_isolates_failures_as_outcomes() {
+        // An invalid scenario comes back as a structured outcome, and the
+        // replay command pins protocol, geometry, and seed.
+        let mut cfg = ScenarioConfig::default()
+            .with_nodes(120)
+            .with_duration(25.0);
+        cfg.traffic.pairs = 4;
+        let outcome = guarded_run_once(ProtocolChoice::Alarm, &cfg.clone().with_nodes(0), 7);
+        assert!(matches!(
+            outcome.result,
+            Err(RunFailure::Scenario(ScenarioError::NoNodes))
+        ));
+        assert_eq!(
+            outcome.replay_command(),
+            "simrun --protocol alarm --nodes 0 --pairs 4 --duration 25 --seed 7"
+        );
+        // A healthy run produces metrics.
+        let ok = guarded_run_once(ProtocolChoice::Gpsr, &cfg.clone().with_duration(5.0), 7);
+        assert!(ok.result.is_ok(), "{:?}", ok.result);
+    }
+
+    /// The failure ledger is process-global; tests that drain it must
+    /// not interleave or they steal each other's records.
+    static LEDGER_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn sweeps_quarantine_failures_instead_of_panicking() {
+        let _guard = LEDGER_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        drop(drain_failures());
+        let mut cfg = ScenarioConfig::default().with_nodes(30).with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        cfg.budget.max_events = Some(10); // every seed aborts
+        let before = failures_total();
+        let stat = sweep_point(ProtocolChoice::Gpsr, &cfg, 3, Metrics::delivery_rate);
+        assert_eq!(stat.n, 0, "all samples quarantined");
+        assert_eq!(stat.discarded, 3);
+        assert!(failures_total() >= before + 3);
+        let drained = drain_failures();
+        let ours: Vec<_> = drained
+            .iter()
+            .filter(|r| r.error.contains("event budget of 10"))
+            .collect();
+        assert_eq!(ours.len(), 3);
+        assert!(ours[0].replay.starts_with("simrun --protocol gpsr"));
+        // The ledger is drained.
+        assert!(!drain_failures()
+            .iter()
+            .any(|r| r.error.contains("event budget of 10")));
+    }
+
+    #[test]
+    fn sweep_point_quarantines_panicking_extractors() {
+        let _guard = LEDGER_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        drop(drain_failures());
+        let mut cfg = ScenarioConfig::default().with_nodes(30).with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        let stat = sweep_point(ProtocolChoice::Gpsr, &cfg, 2, |m| {
+            if m.delivery_rate() >= 0.0 {
+                panic!("planted extractor bug");
+            }
+            0.0
+        });
+        assert_eq!(stat.n, 0);
+        assert_eq!(stat.discarded, 2);
+        let drained = drain_failures();
+        assert!(drained
+            .iter()
+            .any(|r| r.error.contains("planted extractor bug")));
     }
 
     #[test]

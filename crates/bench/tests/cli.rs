@@ -89,6 +89,58 @@ fn simrun_emits_a_valid_default_scenario_and_reruns_it() {
 }
 
 #[test]
+fn simrun_guardrails_abort_with_structured_error_and_trace_marker() {
+    let trace = std::env::temp_dir().join(format!("alert_abort_{}.jsonl", std::process::id()));
+    let out = simrun()
+        .args([
+            "--protocol",
+            "gpsr",
+            "--nodes",
+            "40",
+            "--pairs",
+            "2",
+            "--duration",
+            "10",
+            "--seed",
+            "3",
+            "--max-events",
+            "50",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn simrun");
+    // Aborted runs are runtime failures (exit 1), not usage errors.
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("run aborted: event budget of 50 exhausted"),
+        "stderr: {err}"
+    );
+    // The trace was still flushed and ends with the abort marker.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let _ = std::fs::remove_file(&trace);
+    let last = text.lines().last().expect("trace non-empty");
+    assert!(last.contains("\"ev\":\"run_aborted\""), "last line: {last}");
+    assert!(
+        last.contains("\"reason\":\"event_budget\""),
+        "last line: {last}"
+    );
+}
+
+#[test]
+fn simrun_rejects_degenerate_budgets() {
+    let out = simrun()
+        .args(["--protocol", "gpsr", "--max-events", "0"])
+        .output()
+        .expect("spawn simrun");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("budget.max_events"));
+}
+
+#[test]
 fn simrun_rejects_bad_protocol_and_bad_scenario() {
     let out = simrun().args(["--protocol", "ospf"]).output().unwrap();
     assert!(!out.status.success());

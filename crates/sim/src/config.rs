@@ -2,6 +2,7 @@
 //! (Section 5.2) in one serializable struct.
 
 use crate::fault::FaultPlan;
+use crate::guard::RunBudget;
 use alert_crypto::CostModel;
 use alert_geom::Rect;
 use serde::{Deserialize, Serialize};
@@ -67,6 +68,12 @@ pub enum ScenarioError {
     },
     /// A link-degradation factor or additive loss is out of range.
     InvalidFaultLoss(f64),
+    /// A [`crate::RunBudget`] limit is zero, negative or non-finite —
+    /// omit the field for "no limit" instead.
+    InvalidBudget {
+        /// Which budget field is degenerate.
+        which: &'static str,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -93,19 +100,31 @@ impl fmt::Display for ScenarioError {
                 write!(f, "{which} must be positive")
             }
             ScenarioError::InvalidStalenessFactor(k) => {
-                write!(f, "neighbor staleness factor must be finite and >= 1, got {k}")
+                write!(
+                    f,
+                    "neighbor staleness factor must be finite and >= 1, got {k}"
+                )
             }
             ScenarioError::InvalidArqBackoff(b) => {
-                write!(f, "ARQ backoff base must be finite and non-negative, got {b}")
+                write!(
+                    f,
+                    "ARQ backoff base must be finite and non-negative, got {b}"
+                )
             }
             ScenarioError::FaultNodeOutOfRange { node, nodes } => {
-                write!(f, "fault plan crashes node {node} but only {nodes} nodes exist")
+                write!(
+                    f,
+                    "fault plan crashes node {node} but only {nodes} nodes exist"
+                )
             }
             ScenarioError::InvalidFaultWindow { start, end } => {
                 write!(f, "fault window [{start}, {end}] is degenerate")
             }
             ScenarioError::InvalidFaultLoss(v) => {
                 write!(f, "link degradation loss value {v} out of range")
+            }
+            ScenarioError::InvalidBudget { which } => {
+                write!(f, "{which} must be positive (omit the field for no limit)")
             }
         }
     }
@@ -294,6 +313,10 @@ pub struct ScenarioConfig {
     /// Deterministic fault schedule; empty by default (no faults).
     #[serde(default)]
     pub faults: FaultPlan,
+    /// Per-run guardrail budgets; unlimited by default, so the golden
+    /// same-seed traces are unaffected unless a limit is opted into.
+    #[serde(default)]
+    pub budget: RunBudget,
 }
 
 fn default_staleness_factor() -> f64 {
@@ -322,6 +345,7 @@ impl Default for ScenarioConfig {
             energy: EnergyConfig::default(),
             neighbor_staleness_factor: default_staleness_factor(),
             faults: FaultPlan::default(),
+            budget: RunBudget::default(),
         }
     }
 }
@@ -413,9 +437,12 @@ impl ScenarioConfig {
             ));
         }
         if !self.mac.arq_backoff_base_s.is_finite() || self.mac.arq_backoff_base_s < 0.0 {
-            return Err(ScenarioError::InvalidArqBackoff(self.mac.arq_backoff_base_s));
+            return Err(ScenarioError::InvalidArqBackoff(
+                self.mac.arq_backoff_base_s,
+            ));
         }
         self.faults.validate(self.nodes)?;
+        self.budget.validate()?;
         Ok(())
     }
 }
@@ -503,7 +530,10 @@ mod tests {
             neighbor_staleness_factor: 0.5,
             ..ScenarioConfig::default()
         };
-        assert_eq!(c.validate(), Err(ScenarioError::InvalidStalenessFactor(0.5)));
+        assert_eq!(
+            c.validate(),
+            Err(ScenarioError::InvalidStalenessFactor(0.5))
+        );
         let mut c = ScenarioConfig::default();
         c.mac.arq_backoff_base_s = f64::NAN;
         assert!(matches!(
@@ -562,6 +592,28 @@ mod tests {
         assert!(c.faults.is_empty());
         assert_eq!(c.mac.arq_max_retries, 0);
         assert_eq!(c.neighbor_staleness_factor, 1.0);
+        assert!(c.budget.is_unlimited());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_covers_the_budget() {
+        let mut c = ScenarioConfig::default();
+        c.budget.max_events = Some(0);
+        assert_eq!(
+            c.validate(),
+            Err(ScenarioError::InvalidBudget {
+                which: "budget.max_events"
+            })
+        );
+        assert_eq!(
+            ScenarioError::InvalidBudget {
+                which: "budget.max_events"
+            }
+            .to_string(),
+            "budget.max_events must be positive (omit the field for no limit)"
+        );
+        c.budget.max_events = Some(1_000);
         assert!(c.validate().is_ok());
     }
 

@@ -67,6 +67,10 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: f64,
     high_water: usize,
+    /// Consecutive pops whose timestamp equals the current clock —
+    /// the livelock watchdog's progress signal. Resets to 1 whenever a
+    /// pop advances the clock.
+    pops_at_now: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -85,6 +89,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: 0.0,
             high_water: 0,
+            pops_at_now: 0,
         }
     }
 
@@ -146,10 +151,24 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay.max(0.0), event);
     }
 
+    /// Consecutive pops delivered at the current clock value without the
+    /// clock advancing. A run making progress keeps this near the
+    /// natural same-instant fan-out; a protocol spinning on zero-delay
+    /// self-rescheduling grows it without bound — the signal the
+    /// livelock watchdog (`RunBudget::max_events_per_instant`) trips on.
+    pub fn pops_at_now(&self) -> u64 {
+        self.pops_at_now
+    }
+
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(f64, E)> {
         let s = self.heap.pop()?;
         debug_assert!(s.time >= self.now, "clock went backwards");
+        if s.time == self.now && self.pops_at_now > 0 {
+            self.pops_at_now += 1;
+        } else {
+            self.pops_at_now = 1;
+        }
         self.now = s.time;
         let event = self.slots[s.slot as usize]
             .take()
@@ -249,6 +268,24 @@ mod tests {
     fn infinite_times_are_rejected() {
         let mut q = EventQueue::new();
         q.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    fn pops_at_now_counts_same_instant_streaks() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.pops_at_now(), 0);
+        q.schedule(0.0, "a"); // same instant as the initial clock
+        q.schedule(0.0, "b");
+        q.schedule(1.0, "c");
+        q.schedule(1.0, "d");
+        q.pop();
+        assert_eq!(q.pops_at_now(), 1, "first pop starts a streak of 1");
+        q.pop();
+        assert_eq!(q.pops_at_now(), 2);
+        q.pop();
+        assert_eq!(q.pops_at_now(), 1, "clock advance resets the streak");
+        q.pop();
+        assert_eq!(q.pops_at_now(), 2);
     }
 
     #[test]

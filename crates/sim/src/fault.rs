@@ -166,10 +166,7 @@ impl FaultPlan {
             }
             let end = c.recover_s.unwrap_or(f64::INFINITY);
             if !c.at_s.is_finite() || c.at_s < 0.0 || end <= c.at_s {
-                return Err(ScenarioError::InvalidFaultWindow {
-                    start: c.at_s,
-                    end,
-                });
+                return Err(ScenarioError::InvalidFaultWindow { start: c.at_s, end });
             }
         }
         for r in &self.regional_outages {
@@ -183,7 +180,10 @@ impl FaultPlan {
                     end: r.end_s,
                 });
             }
-            if !r.start_s.is_finite() || r.start_s < 0.0 || !r.end_s.is_finite() || r.end_s <= r.start_s
+            if !r.start_s.is_finite()
+                || r.start_s < 0.0
+                || !r.end_s.is_finite()
+                || r.end_s <= r.start_s
             {
                 return Err(ScenarioError::InvalidFaultWindow {
                     start: r.start_s,
@@ -192,7 +192,10 @@ impl FaultPlan {
             }
         }
         for d in &self.link_degradations {
-            if !d.start_s.is_finite() || d.start_s < 0.0 || !d.end_s.is_finite() || d.end_s <= d.start_s
+            if !d.start_s.is_finite()
+                || d.start_s < 0.0
+                || !d.end_s.is_finite()
+                || d.end_s <= d.start_s
             {
                 return Err(ScenarioError::InvalidFaultWindow {
                     start: d.start_s,
@@ -279,7 +282,10 @@ mod tests {
         };
         assert_eq!(
             p.validate(10),
-            Err(ScenarioError::FaultNodeOutOfRange { node: 10, nodes: 10 })
+            Err(ScenarioError::FaultNodeOutOfRange {
+                node: 10,
+                nodes: 10
+            })
         );
 
         let p = FaultPlan {

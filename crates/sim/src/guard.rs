@@ -1,0 +1,298 @@
+//! Run guardrails: per-run budgets and the livelock watchdog.
+//!
+//! Long Monte-Carlo campaigns die in ugly ways — a protocol bug that
+//! reschedules a zero-delay timer forever, a pathological scenario that
+//! generates events faster than the clock advances, a single run that
+//! eats the whole wall-clock budget of a CI job. [`RunBudget`] bounds a
+//! run along four independent axes and [`RunAbort`] reports which bound
+//! tripped, as a typed error rather than a hung process.
+//!
+//! All limits default to `None` (unlimited): a default-constructed
+//! budget is inert, costs one branch per dispatched event, and leaves
+//! same-seed traces byte-identical to builds that predate it. The
+//! event, sim-time, and per-instant limits are deterministic — they
+//! depend only on `(ScenarioConfig, seed)` — while the wall-clock
+//! deadline is inherently machine-dependent and meant for CI jobs, not
+//! reproducibility contracts (see DESIGN.md § 11).
+
+use crate::config::ScenarioError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-run resource budgets; every limit is optional and `None` means
+/// unlimited. Part of [`crate::ScenarioConfig`] (serde-defaulted, so
+/// existing scenario files parse unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunBudget {
+    /// Abort after this many dispatched events (exactly `max_events`
+    /// events run; the abort fires instead of event `max_events + 1`).
+    #[serde(default)]
+    pub max_events: Option<u64>,
+    /// Abort before dispatching any event whose timestamp exceeds this
+    /// simulated time (seconds). The clock never passes the cap.
+    #[serde(default)]
+    pub max_sim_seconds: Option<f64>,
+    /// Abort once the run has consumed this much wall-clock time
+    /// (seconds), checked every [`WALL_CHECK_INTERVAL`] events.
+    /// Machine-dependent by construction — never set it in scenarios
+    /// whose traces are compared across hosts.
+    #[serde(default)]
+    pub max_wall_seconds: Option<f64>,
+    /// Livelock watchdog: abort when more than this many consecutive
+    /// events are dispatched at one simulated instant without the clock
+    /// advancing (e.g. a timer that reschedules itself with zero delay).
+    #[serde(default)]
+    pub max_events_per_instant: Option<u64>,
+}
+
+/// How many events elapse between wall-clock deadline checks; keeps the
+/// (syscall-backed) `Instant::now` off the per-event hot path.
+pub const WALL_CHECK_INTERVAL: u64 = 128;
+
+impl RunBudget {
+    /// True when no limit is set — the zero-cost default.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none()
+            && self.max_sim_seconds.is_none()
+            && self.max_wall_seconds.is_none()
+            && self.max_events_per_instant.is_none()
+    }
+
+    /// Checks that every configured limit is usable: counts must be
+    /// nonzero, durations positive and finite. (A zero or negative
+    /// budget is always a spec mistake — omit the field for "no
+    /// limit".)
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.max_events == Some(0) {
+            return Err(ScenarioError::InvalidBudget {
+                which: "budget.max_events",
+            });
+        }
+        if let Some(s) = self.max_sim_seconds {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(ScenarioError::InvalidBudget {
+                    which: "budget.max_sim_seconds",
+                });
+            }
+        }
+        if let Some(s) = self.max_wall_seconds {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(ScenarioError::InvalidBudget {
+                    which: "budget.max_wall_seconds",
+                });
+            }
+        }
+        if self.max_events_per_instant == Some(0) {
+            return Err(ScenarioError::InvalidBudget {
+                which: "budget.max_events_per_instant",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a run was aborted by its [`RunBudget`]. Returned by
+/// [`crate::World::try_run`] / [`crate::World::try_run_until`]; also
+/// surfaced in traces as `TraceEvent::RunAborted` and in the registry
+/// as the `run.aborts` counter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunAbort {
+    /// [`RunBudget::max_events`] exhausted.
+    EventBudgetExhausted {
+        /// The configured event budget.
+        budget: u64,
+        /// Simulated time at the abort.
+        time: f64,
+    },
+    /// The next event lies beyond [`RunBudget::max_sim_seconds`].
+    SimTimeBudgetExhausted {
+        /// The configured simulated-seconds budget.
+        budget_s: f64,
+        /// Simulated time at the abort (the clock never passed the cap).
+        time: f64,
+    },
+    /// The wall-clock deadline of [`RunBudget::max_wall_seconds`] passed.
+    WallClockExceeded {
+        /// The configured wall-clock budget in seconds.
+        budget_s: f64,
+        /// Simulated time at the abort.
+        time: f64,
+    },
+    /// The livelock watchdog fired: the clock stopped advancing while
+    /// events kept dispatching at one instant.
+    Livelock {
+        /// Consecutive events observed at the stuck instant.
+        events_at_instant: u64,
+        /// The simulated time the run is stuck at.
+        time: f64,
+    },
+}
+
+impl RunAbort {
+    /// Short machine-readable code for the abort class — the `reason`
+    /// field of `TraceEvent::RunAborted` and of failure reports.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            RunAbort::EventBudgetExhausted { .. } => "event_budget",
+            RunAbort::SimTimeBudgetExhausted { .. } => "sim_time_budget",
+            RunAbort::WallClockExceeded { .. } => "wall_clock",
+            RunAbort::Livelock { .. } => "livelock",
+        }
+    }
+
+    /// Simulated time at which the run aborted.
+    pub fn time(&self) -> f64 {
+        match self {
+            RunAbort::EventBudgetExhausted { time, .. }
+            | RunAbort::SimTimeBudgetExhausted { time, .. }
+            | RunAbort::WallClockExceeded { time, .. }
+            | RunAbort::Livelock { time, .. } => *time,
+        }
+    }
+}
+
+impl fmt::Display for RunAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunAbort::EventBudgetExhausted { budget, time } => {
+                write!(f, "event budget of {budget} exhausted at t={time:.3}s")
+            }
+            RunAbort::SimTimeBudgetExhausted { budget_s, time } => write!(
+                f,
+                "simulated-time budget of {budget_s}s exhausted at t={time:.3}s"
+            ),
+            RunAbort::WallClockExceeded { budget_s, time } => write!(
+                f,
+                "wall-clock deadline of {budget_s}s exceeded at t={time:.3}s"
+            ),
+            RunAbort::Livelock {
+                events_at_instant,
+                time,
+            } => write!(
+                f,
+                "livelock: {events_at_instant} consecutive events at t={time:.3}s \
+                 without the clock advancing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunAbort {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited_and_valid() {
+        let b = RunBudget::default();
+        assert!(b.is_unlimited());
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn any_limit_makes_it_limited() {
+        for b in [
+            RunBudget {
+                max_events: Some(1),
+                ..RunBudget::default()
+            },
+            RunBudget {
+                max_sim_seconds: Some(1.0),
+                ..RunBudget::default()
+            },
+            RunBudget {
+                max_wall_seconds: Some(1.0),
+                ..RunBudget::default()
+            },
+            RunBudget {
+                max_events_per_instant: Some(1),
+                ..RunBudget::default()
+            },
+        ] {
+            assert!(!b.is_unlimited());
+            assert!(b.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn degenerate_limits_are_rejected() {
+        let cases = [
+            (
+                RunBudget {
+                    max_events: Some(0),
+                    ..RunBudget::default()
+                },
+                "budget.max_events",
+            ),
+            (
+                RunBudget {
+                    max_sim_seconds: Some(0.0),
+                    ..RunBudget::default()
+                },
+                "budget.max_sim_seconds",
+            ),
+            (
+                RunBudget {
+                    max_sim_seconds: Some(f64::NAN),
+                    ..RunBudget::default()
+                },
+                "budget.max_sim_seconds",
+            ),
+            (
+                RunBudget {
+                    max_wall_seconds: Some(-1.0),
+                    ..RunBudget::default()
+                },
+                "budget.max_wall_seconds",
+            ),
+            (
+                RunBudget {
+                    max_events_per_instant: Some(0),
+                    ..RunBudget::default()
+                },
+                "budget.max_events_per_instant",
+            ),
+        ];
+        for (b, which) in cases {
+            assert_eq!(
+                b.validate(),
+                Err(ScenarioError::InvalidBudget { which }),
+                "{b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn abort_reasons_and_messages_are_stable() {
+        let a = RunAbort::EventBudgetExhausted {
+            budget: 500,
+            time: 1.25,
+        };
+        assert_eq!(a.reason(), "event_budget");
+        assert_eq!(a.time(), 1.25);
+        assert_eq!(a.to_string(), "event budget of 500 exhausted at t=1.250s");
+        let l = RunAbort::Livelock {
+            events_at_instant: 64,
+            time: 2.0,
+        };
+        assert_eq!(l.reason(), "livelock");
+        assert!(l.to_string().contains("livelock: 64 consecutive events"));
+        assert_eq!(
+            RunAbort::SimTimeBudgetExhausted {
+                budget_s: 3.0,
+                time: 3.0
+            }
+            .reason(),
+            "sim_time_budget"
+        );
+        assert_eq!(
+            RunAbort::WallClockExceeded {
+                budget_s: 1.0,
+                time: 0.5
+            }
+            .reason(),
+            "wall_clock"
+        );
+    }
+}

@@ -30,6 +30,7 @@ mod api;
 mod config;
 mod engine;
 mod fault;
+mod guard;
 mod ids;
 mod location;
 mod metrics;
@@ -40,8 +41,9 @@ pub use config::{
     EnergyConfig, LocationPolicy, MacConfig, MobilityKind, ScenarioConfig, ScenarioError,
     TrafficConfig,
 };
-pub use fault::{FaultPlan, LinkDegradation, NodeCrash, RegionOutage};
 pub use engine::EventQueue;
+pub use fault::{FaultPlan, LinkDegradation, NodeCrash, RegionOutage};
+pub use guard::{RunAbort, RunBudget, WALL_CHECK_INTERVAL};
 pub use ids::{NodeId, PacketId, SessionId, TimerToken};
 pub use location::{LocationInfo, LocationService};
 pub use metrics::{Metrics, PacketRecord};

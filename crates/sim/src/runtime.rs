@@ -5,6 +5,7 @@
 use crate::api::{Api, DataRequest, Frame, FrameKind, ProtocolNode, TrafficClass};
 use crate::config::{LocationPolicy, MobilityKind, ScenarioConfig, ScenarioError};
 use crate::engine::EventQueue;
+use crate::guard::{RunAbort, RunBudget, WALL_CHECK_INTERVAL};
 use crate::ids::{NodeId, PacketId, SessionId, TimerToken};
 use crate::location::LocationService;
 use crate::metrics::Metrics;
@@ -144,6 +145,7 @@ pub(crate) struct SimStats {
     pub(crate) crypto_ops: CounterHandle,
     pub(crate) node_downs: CounterHandle,
     pub(crate) node_ups: CounterHandle,
+    pub(crate) run_aborts: CounterHandle,
     pub(crate) latency_s: HistogramHandle,
     pub(crate) hops: HistogramHandle,
     pub(crate) mac_backoff_s: HistogramHandle,
@@ -169,6 +171,7 @@ impl SimStats {
         let crypto_ops = registry.counter("crypto.ops");
         let node_downs = registry.counter("node.downs");
         let node_ups = registry.counter("node.ups");
+        let run_aborts = registry.counter("run.aborts");
         let latency_s = registry.histogram("latency_s");
         let hops = registry.histogram("hops");
         let mac_backoff_s = registry.histogram("mac_backoff_s");
@@ -191,6 +194,7 @@ impl SimStats {
             crypto_ops,
             node_downs,
             node_ups,
+            run_aborts,
             latency_s,
             hops,
             mac_backoff_s,
@@ -751,6 +755,12 @@ pub struct World<P: ProtocolNode> {
     profile_enabled: bool,
     profile_wall_s: f64,
     profile_callbacks: std::collections::BTreeMap<String, alert_trace::CallbackProfile>,
+    /// Wall-clock anchor for `RunBudget::max_wall_seconds`, captured on
+    /// first entry into the run loop of a budgeted run.
+    wall_start: Option<std::time::Instant>,
+    /// Set once a guardrail has aborted this run; the world refuses no
+    /// further queries, but the dispatch loop will not resume.
+    aborted: Option<RunAbort>,
 }
 
 impl<P: ProtocolNode> World<P> {
@@ -994,6 +1004,8 @@ impl<P: ProtocolNode> World<P> {
             profile_enabled: false,
             profile_wall_s: 0.0,
             profile_callbacks: std::collections::BTreeMap::new(),
+            wall_start: None,
+            aborted: None,
         };
         for i in 0..world.core.cfg.nodes {
             world.with_proto(NodeId(i), |p, api| p.on_start(api));
@@ -1238,16 +1250,102 @@ impl<P: ProtocolNode> World<P> {
             .emit_with(|| TraceEvent::Tick { time, kind });
     }
 
+    /// Checks the event, sim-time, and wall-clock budgets before the next
+    /// event (at time `next`) is popped. Only called on budgeted runs.
+    fn check_budget(&self, budget: &RunBudget, next: f64) -> Result<(), RunAbort> {
+        if let Some(max) = budget.max_events {
+            if self.events_dispatched >= max {
+                return Err(RunAbort::EventBudgetExhausted {
+                    budget: max,
+                    time: self.core.queue.now(),
+                });
+            }
+        }
+        if let Some(cap) = budget.max_sim_seconds {
+            if next > cap {
+                return Err(RunAbort::SimTimeBudgetExhausted {
+                    budget_s: cap,
+                    time: self.core.queue.now(),
+                });
+            }
+        }
+        if let Some(cap) = budget.max_wall_seconds {
+            // Amortized: Instant::now() is syscall-backed, so only probe
+            // every WALL_CHECK_INTERVAL events.
+            if self.events_dispatched % WALL_CHECK_INTERVAL == 0 {
+                if let Some(start) = self.wall_start {
+                    if start.elapsed().as_secs_f64() > cap {
+                        return Err(RunAbort::WallClockExceeded {
+                            budget_s: cap,
+                            time: self.core.queue.now(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records an abort: sticky state, the `run.aborts` counter, and the
+    /// trailing `TraceEvent::RunAborted` (flushed, so a truncated trace
+    /// still carries its own explanation).
+    fn abort_run(&mut self, abort: &RunAbort) {
+        self.aborted = Some(abort.clone());
+        self.core.stats.registry.inc(self.core.stats.run_aborts);
+        let time = self.core.queue.now();
+        let events = self.events_dispatched;
+        let reason = abort.reason();
+        self.core.tracer.emit_with(|| TraceEvent::RunAborted {
+            time,
+            reason: reason.to_owned(),
+            events,
+        });
+        self.core.tracer.flush();
+    }
+
     /// Processes events up to simulated time `t` (capped at the scenario
-    /// duration plus a grace second for in-flight frames). Returns `false`
-    /// when the event queue has drained.
-    pub fn run_until(&mut self, t: f64) -> bool {
+    /// duration plus a grace second for in-flight frames), enforcing the
+    /// scenario's [`RunBudget`]. Returns `Ok(false)` when the event queue
+    /// has drained, `Ok(true)` when `t` was reached first, and
+    /// `Err(RunAbort)` when a guardrail tripped (the abort is also
+    /// recorded in the trace, the `run.aborts` counter, and
+    /// [`World::aborted`]). Budget checks never touch the RNG, so a
+    /// budgeted run's trace is a prefix of the unbudgeted run's trace
+    /// (plus the final `run_aborted` record).
+    pub fn try_run_until(&mut self, t: f64) -> Result<bool, RunAbort> {
+        if let Some(abort) = &self.aborted {
+            return Err(abort.clone());
+        }
         let horizon = t.min(self.core.cfg.duration_s + 1.0);
+        let budget = self.core.cfg.budget;
+        let guarded = !budget.is_unlimited();
+        if guarded && self.wall_start.is_none() {
+            self.wall_start = Some(std::time::Instant::now());
+        }
         while let Some(next) = self.core.queue.peek_time() {
             if next > horizon {
-                return true;
+                return Ok(true);
+            }
+            if guarded {
+                if let Err(abort) = self.check_budget(&budget, next) {
+                    self.abort_run(&abort);
+                    return Err(abort);
+                }
             }
             let (_, ev) = self.core.queue.pop().expect("peeked");
+            if guarded {
+                if let Some(max) = budget.max_events_per_instant {
+                    let streak = self.core.queue.pops_at_now();
+                    if streak > max {
+                        let abort = RunAbort::Livelock {
+                            events_at_instant: streak,
+                            time: self.core.queue.now(),
+                        };
+                        self.abort_run(&abort);
+                        return Err(abort);
+                    }
+                }
+            }
             self.events_dispatched += 1;
             if self.profile_enabled {
                 let kind = ev.kind_name();
@@ -1263,12 +1361,40 @@ impl<P: ProtocolNode> World<P> {
             }
         }
         self.core.tracer.flush();
-        false
+        Ok(false)
+    }
+
+    /// Runs the scenario to completion, enforcing the scenario's
+    /// [`RunBudget`]; see [`World::try_run_until`].
+    pub fn try_run(&mut self) -> Result<(), RunAbort> {
+        self.try_run_until(f64::INFINITY).map(|_| ())
+    }
+
+    /// Processes events up to simulated time `t`; returns `false` when
+    /// the event queue has drained.
+    ///
+    /// # Panics
+    /// Panics when a [`RunBudget`] guardrail aborts the run; use
+    /// [`World::try_run_until`] to handle aborts as values.
+    pub fn run_until(&mut self, t: f64) -> bool {
+        match self.try_run_until(t) {
+            Ok(more) => more,
+            Err(abort) => panic!("run aborted: {abort}"),
+        }
     }
 
     /// Runs the scenario to completion (duration plus in-flight grace).
+    ///
+    /// # Panics
+    /// Panics when a [`RunBudget`] guardrail aborts the run; use
+    /// [`World::try_run`] to handle aborts as values.
     pub fn run(&mut self) {
         self.run_until(f64::INFINITY);
+    }
+
+    /// The guardrail abort that ended this run, if any.
+    pub fn aborted(&self) -> Option<&RunAbort> {
+        self.aborted.as_ref()
     }
 
     /// Current simulated time.

@@ -2,7 +2,7 @@
 //! must survive serialization round-trips bit for bit so experiment specs
 //! can be stored and replayed.
 
-use alert_sim::{LocationPolicy, MobilityKind, ScenarioConfig};
+use alert_sim::{LocationPolicy, MobilityKind, RunBudget, ScenarioConfig};
 
 fn roundtrip(cfg: &ScenarioConfig) -> ScenarioConfig {
     let json = serde_json::to_string(cfg).expect("serialize");
@@ -30,6 +30,38 @@ fn exotic_scenario_roundtrips() {
     cfg.traffic.packet_bytes = 1024;
     cfg.pseudonym_lifetime_s = 12.0;
     assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn budgeted_scenario_roundtrips() {
+    let mut cfg = ScenarioConfig::default();
+    cfg.budget = RunBudget {
+        max_events: Some(1_000_000),
+        max_sim_seconds: Some(300.0),
+        max_wall_seconds: Some(60.0),
+        max_events_per_instant: Some(10_000),
+    };
+    assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn scenarios_without_a_budget_field_parse_as_unlimited() {
+    // Back-compat: every scenario JSON written before guardrails existed
+    // must keep parsing, with all budgets off.
+    let mut json = serde_json::to_string(&ScenarioConfig::default()).unwrap();
+    let mut start = json.find("\"budget\"").expect("budget serialized");
+    // Strip the budget object (it is a flat object, so find its '}'),
+    // plus whichever comma joins it to its neighbors.
+    let mut end = start + json[start..].find('}').unwrap() + 1;
+    if json.as_bytes().get(end) == Some(&b',') {
+        end += 1;
+    } else if start > 0 && json.as_bytes()[start - 1] == b',' {
+        start -= 1;
+    }
+    json.replace_range(start..end, "");
+    let cfg: ScenarioConfig = serde_json::from_str(&json).expect("budget-less scenario parses");
+    assert!(cfg.budget.is_unlimited());
+    assert_eq!(cfg, ScenarioConfig::default());
 }
 
 #[test]

@@ -1,0 +1,253 @@
+//! Run-guardrail guarantees: budgets trip deterministically, livelocks
+//! are caught, aborted traces stay parseable (ending in `run_aborted`),
+//! and generous budgets are perfectly transparent — same-seed traces
+//! stay byte-identical with or without them.
+
+use alert_sim::{
+    Api, DataRequest, Frame, JsonlSink, PacketId, ProtocolNode, RunAbort, RunBudget,
+    ScenarioConfig, SharedBuf, TimerToken, TraceEvent, TrafficClass, World,
+};
+use alert_trace::parse_trace;
+use std::collections::HashSet;
+
+/// Minimal flooding protocol (same shape as `trace_determinism.rs`),
+/// enough to generate a busy, deterministic event stream.
+#[derive(Default)]
+struct Flood {
+    seen: HashSet<PacketId>,
+}
+
+#[derive(Debug, Clone)]
+struct FloodMsg {
+    packet: PacketId,
+    ttl: u32,
+    bytes: usize,
+}
+
+impl ProtocolNode for Flood {
+    type Msg = FloodMsg;
+
+    fn name() -> &'static str {
+        "FLOOD"
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        api.mark_hop(req.packet);
+        api.send_broadcast(
+            FloodMsg {
+                packet: req.packet,
+                ttl: 8,
+                bytes: req.bytes,
+            },
+            req.bytes,
+            TrafficClass::Data,
+            Some(req.packet),
+        );
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        let m = frame.msg;
+        if !self.seen.insert(m.packet) {
+            return;
+        }
+        if api.is_true_destination(m.packet) {
+            api.mark_delivered(m.packet);
+            return;
+        }
+        if m.ttl > 0 {
+            api.mark_hop(m.packet);
+            api.send_broadcast(
+                FloodMsg {
+                    packet: m.packet,
+                    ttl: m.ttl - 1,
+                    bytes: m.bytes,
+                },
+                m.bytes,
+                TrafficClass::Data,
+                Some(m.packet),
+            );
+        }
+    }
+}
+
+fn small_scenario(budget: RunBudget) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default().with_nodes(40).with_duration(15.0);
+    cfg.traffic.pairs = 3;
+    cfg.budget = budget;
+    cfg
+}
+
+/// Runs the flood scenario with a JSONL sink attached; returns the world
+/// and the raw trace text. The run may abort — that's the point.
+fn traced_run(budget: RunBudget, seed: u64) -> (World<Flood>, String, Result<(), RunAbort>) {
+    let buf = SharedBuf::new();
+    let mut w = World::new(small_scenario(budget), seed, |_, _| Flood::default());
+    w.set_trace_sink(Box::new(JsonlSink::new(buf.clone())));
+    let ran = w.try_run();
+    w.take_trace_sink();
+    (w, buf.contents(), ran)
+}
+
+#[test]
+fn event_budget_trips_deterministically() {
+    let budget = RunBudget {
+        max_events: Some(500),
+        ..RunBudget::default()
+    };
+    let (wa, _, ra) = traced_run(budget, 7);
+    let abort = ra.expect_err("a 500-event budget must trip on this scenario");
+    assert_eq!(abort.reason(), "event_budget");
+    // Exactly the budgeted number of events dispatched, never more.
+    assert_eq!(wa.events_dispatched(), 500);
+    assert_eq!(wa.counter("run.aborts"), 1);
+    assert_eq!(wa.aborted(), Some(&abort));
+
+    // Same seed, same budget: the abort is bit-for-bit reproducible.
+    let (wb, _, rb) = traced_run(budget, 7);
+    assert_eq!(rb.expect_err("same budget must trip again"), abort);
+    assert_eq!(wb.events_dispatched(), 500);
+}
+
+#[test]
+fn sim_time_budget_caps_the_clock() {
+    let budget = RunBudget {
+        max_sim_seconds: Some(4.0),
+        ..RunBudget::default()
+    };
+    let (w, _, ran) = traced_run(budget, 7);
+    let abort = ran.expect_err("a 4 s cap on a 15 s scenario must trip");
+    assert_eq!(abort.reason(), "sim_time_budget");
+    assert!(
+        w.now() <= 4.0,
+        "clock {} advanced past the 4 s budget",
+        w.now()
+    );
+}
+
+#[test]
+fn wall_clock_budget_aborts() {
+    let budget = RunBudget {
+        max_wall_seconds: Some(1e-9),
+        ..RunBudget::default()
+    };
+    let (_, _, ran) = traced_run(budget, 7);
+    let abort = ran.expect_err("a 1 ns wall budget must trip");
+    assert_eq!(abort.reason(), "wall_clock");
+}
+
+#[test]
+fn aborted_runs_stay_aborted() {
+    let budget = RunBudget {
+        max_events: Some(200),
+        ..RunBudget::default()
+    };
+    let mut w = World::new(small_scenario(budget), 3, |_, _| Flood::default());
+    let first = w.try_run().expect_err("budget must trip");
+    // The abort is sticky: re-driving the world reports it again rather
+    // than dispatching further events.
+    let again = w.try_run().expect_err("aborted world must stay aborted");
+    assert_eq!(first, again);
+    assert_eq!(w.events_dispatched(), 200);
+}
+
+#[test]
+fn aborted_trace_is_a_prefix_plus_run_aborted() {
+    let (_, full, ran) = traced_run(RunBudget::default(), 7);
+    ran.expect("unbudgeted run completes");
+    let budget = RunBudget {
+        max_events: Some(500),
+        ..RunBudget::default()
+    };
+    let (_, aborted, ran) = traced_run(budget, 7);
+    ran.expect_err("budget must trip");
+
+    // Last event of the aborted trace is the abort marker...
+    let events = parse_trace(&aborted).expect("aborted trace parses");
+    match events.last().expect("aborted trace is non-empty") {
+        TraceEvent::RunAborted { reason, events, .. } => {
+            assert_eq!(reason, "event_budget");
+            assert_eq!(*events, 500);
+        }
+        other => panic!("last event should be run_aborted, got {other:?}"),
+    }
+    // ...and everything before it is a byte-for-byte prefix of the
+    // unbudgeted run: the guardrail observed the run without steering it.
+    let body = &aborted[..aborted
+        .rfind('\n')
+        .map_or(0, |i| aborted[..i].rfind('\n').map_or(0, |j| j + 1))];
+    assert!(
+        !body.is_empty(),
+        "aborted trace has events before the marker"
+    );
+    assert!(
+        full.starts_with(body),
+        "aborted trace must be a prefix of the unbudgeted trace"
+    );
+}
+
+#[test]
+fn generous_budgets_do_not_perturb_traces() {
+    let (_, plain, ran) = traced_run(RunBudget::default(), 11);
+    ran.expect("unbudgeted run completes");
+    let generous = RunBudget {
+        max_events: Some(u64::MAX),
+        max_sim_seconds: Some(1e9),
+        max_events_per_instant: Some(u64::MAX),
+        ..RunBudget::default()
+    };
+    let (_, guarded, ran) = traced_run(generous, 11);
+    ran.expect("generous budgets never trip");
+    assert!(!plain.is_empty());
+    assert_eq!(
+        plain, guarded,
+        "budget checks must not perturb the simulation"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Livelock
+// ---------------------------------------------------------------------
+
+/// A deliberately broken protocol: every timer fire re-arms the timer
+/// with zero delay, so simulated time stops advancing the moment the
+/// first timer fires. Without the watchdog this spins forever.
+struct Spinner;
+
+impl ProtocolNode for Spinner {
+    type Msg = ();
+
+    fn name() -> &'static str {
+        "SPINNER"
+    }
+
+    fn on_start(&mut self, api: &mut Api<'_, Self::Msg>) {
+        api.set_timer(0.0, 0 as TimerToken);
+    }
+
+    fn on_data_request(&mut self, _api: &mut Api<'_, Self::Msg>, _req: &DataRequest) {}
+
+    fn on_frame(&mut self, _api: &mut Api<'_, Self::Msg>, _frame: Frame<Self::Msg>) {}
+
+    fn on_timer(&mut self, api: &mut Api<'_, Self::Msg>, token: TimerToken) {
+        api.set_timer(0.0, token);
+    }
+}
+
+#[test]
+fn livelock_watchdog_catches_zero_delay_timer_loops() {
+    let mut cfg = ScenarioConfig::default().with_nodes(10).with_duration(15.0);
+    cfg.traffic.pairs = 1;
+    cfg.budget.max_events_per_instant = Some(64);
+    let mut w = World::new(cfg, 5, |_, _| Spinner);
+    let abort = w
+        .try_run()
+        .expect_err("the watchdog must catch the zero-delay loop");
+    match abort {
+        RunAbort::Livelock {
+            events_at_instant, ..
+        } => assert!(events_at_instant > 64),
+        other => panic!("expected a livelock abort, got {other:?}"),
+    }
+    assert_eq!(abort.reason(), "livelock");
+    assert_eq!(w.counter("run.aborts"), 1);
+}

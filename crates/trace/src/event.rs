@@ -412,6 +412,19 @@ pub enum TraceEvent {
         /// Retry attempt number (1 = first retransmission).
         attempt: u64,
     },
+    /// The run was aborted by a guardrail (event/sim-time/wall-clock
+    /// budget or the livelock watchdog) — always the final event of an
+    /// aborted run's trace, so truncated campaigns are distinguishable
+    /// from completed ones.
+    RunAborted {
+        /// Simulated time at the abort.
+        time: f64,
+        /// Machine-readable abort class (`event_budget`,
+        /// `sim_time_budget`, `wall_clock`, `livelock`).
+        reason: String,
+        /// Events dispatched before the abort.
+        events: u64,
+    },
 }
 
 impl TraceEvent {
@@ -434,7 +447,8 @@ impl TraceEvent {
             | TraceEvent::Delivered { time, .. }
             | TraceEvent::NodeDown { time, .. }
             | TraceEvent::NodeUp { time, .. }
-            | TraceEvent::LinkRetry { time, .. } => *time,
+            | TraceEvent::LinkRetry { time, .. }
+            | TraceEvent::RunAborted { time, .. } => *time,
         }
     }
 
@@ -458,6 +472,7 @@ impl TraceEvent {
             TraceEvent::NodeDown { .. } => "node_down",
             TraceEvent::NodeUp { .. } => "node_up",
             TraceEvent::LinkRetry { .. } => "link_retry",
+            TraceEvent::RunAborted { .. } => "run_aborted",
         }
     }
 }

@@ -201,6 +201,10 @@ impl TraceEvent {
                 field_opt_u64(out, "packet", *packet);
                 field_u64(out, "attempt", *attempt);
             }
+            TraceEvent::RunAborted { reason, events, .. } => {
+                field_str(out, "reason", reason);
+                field_u64(out, "events", *events);
+            }
         }
         out.push('}');
     }
@@ -581,6 +585,11 @@ fn parse_line(line: &str, lno: usize) -> Result<TraceEvent, ParseError> {
             packet: f.opt_u64("packet")?,
             attempt: f.u64("attempt")?,
         },
+        "run_aborted" => TraceEvent::RunAborted {
+            time,
+            reason: f.str("reason")?.to_owned(),
+            events: f.u64("events")?,
+        },
         other => return Err(err(lno, format!("unknown event kind '{other}'"))),
     };
     Ok(event)
@@ -687,8 +696,14 @@ mod tests {
                 packet: 0,
                 latency: 0.4,
             },
-            TraceEvent::NodeDown { time: 10.0, node: 3 },
-            TraceEvent::NodeUp { time: 20.0, node: 3 },
+            TraceEvent::NodeDown {
+                time: 10.0,
+                node: 3,
+            },
+            TraceEvent::NodeUp {
+                time: 20.0,
+                node: 3,
+            },
             TraceEvent::LinkRetry {
                 time: 1.26,
                 node: 4,
@@ -700,6 +715,11 @@ mod tests {
                 node: 4,
                 packet: None,
                 attempt: 2,
+            },
+            TraceEvent::RunAborted {
+                time: 5.5,
+                reason: "livelock".to_owned(),
+                events: 123_456,
             },
         ]
     }

@@ -305,7 +305,10 @@ mod tests {
             },
             TraceEvent::NodeDown { time: 5.0, node: 7 },
             TraceEvent::NodeUp { time: 9.0, node: 7 },
-            TraceEvent::NodeDown { time: 12.0, node: 7 },
+            TraceEvent::NodeDown {
+                time: 12.0,
+                node: 7,
+            },
         ]
     }
 

@@ -94,11 +94,19 @@ lib alert_bench crates/bench/src/lib.rs "${E_ALL[@]}"
 
 # --- runnable artifacts ---------------------------------------------------
 build_bin simrun crates/bench/src/bin/simrun.rs "${E_ALL[@]}" $(ex alert_bench)
+build_bin repro crates/bench/src/bin/repro.rs "${E_ALL[@]}" $(ex alert_bench)
 build_test trace_determinism crates/sim/tests/trace_determinism.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 if [ -f crates/sim/tests/alloc_regression.rs ]; then
     build_test alloc_regression crates/sim/tests/alloc_regression.rs "${E_SERDE[@]}" \
         $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 fi
+build_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+# The resume test drives the repro binary built above (REPRO_BIN; there
+# is no cargo here to set CARGO_BIN_EXE_repro).
+build_test resume crates/bench/tests/resume.rs "${E_ALL[@]}" $(ex alert_bench)
 
 echo "offline bench build OK: $OUT/simrun"
+echo "run the resilience tests with:"
+echo "  $OUT/guardrails && REPRO_BIN=$OUT/repro $OUT/resume"

@@ -127,6 +127,11 @@ check_test full_pipeline tests/full_pipeline.rs "${E_ALL[@]}" \
     $(ex alert alert_bench)
 check_test alloc_regression crates/sim/tests/alloc_regression.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test config_serde crates/sim/tests/config_serde.rs "${E_SERDE[@]}" \
+    $(ex serde_json rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test resume crates/bench/tests/resume.rs "${E_ALL[@]}" $(ex alert_bench)
 
 # --- bench targets (criterion stub; CI runs the real harness) ------------
 for bf in crates/bench/benches/*.rs; do
