@@ -1,0 +1,244 @@
+//! Property tests for the paper's closed forms (Eqs. 1–15 plus the §2
+//! prose models): probabilities stay in [0, 1], distributions normalize,
+//! expectations are monotone in the right arguments, and the documented
+//! limits hold.
+//!
+//! The sweeps are deterministic grids rather than random sampling: the
+//! functions are pure closed forms, so dense grids over the argument
+//! ranges the paper uses (and well past them) give repeatable, complete
+//! coverage with no shrinking machinery needed.
+
+use alert_analysis::{
+    beta, expected_participants, expected_participants_given_sigma, expected_random_forwarders,
+    expected_random_forwarders_given_sigma, minimal_t0_for_collision_target, notify_added_delay_s,
+    notify_collision_probability, p_rf_count, pseudonym_bruteforce_hashes, remaining_nodes,
+    required_density, residence_probability, separation_probability,
+};
+
+const FIELDS: [(f64, f64); 4] = [
+    (1000.0, 1000.0),
+    (500.0, 2000.0),
+    (200.0, 200.0),
+    (3000.0, 1500.0),
+];
+const DENSITIES: [f64; 3] = [50e-6, 200e-6, 1000e-6];
+const SPEEDS: [f64; 4] = [0.5, 2.0, 10.0, 30.0];
+const TIMES: [f64; 5] = [0.0, 1.0, 20.0, 100.0, 1000.0];
+
+// --- Eqs. 5–7: participation ---------------------------------------------
+
+#[test]
+fn separation_probabilities_are_a_subnormalized_distribution() {
+    for h in 1..=20u32 {
+        let mut total = 0.0;
+        for sigma in 1..=h {
+            let p = separation_probability(sigma);
+            assert!((0.0..=1.0).contains(&p), "p_s({sigma}) = {p}");
+            // Eq. (5) halves with every extra partition.
+            if sigma > 1 {
+                assert!(p < separation_probability(sigma - 1));
+            }
+            total += p;
+        }
+        // The tail (> h partitions) carries the missing 2^-h mass.
+        assert!(total <= 1.0 + 1e-12, "h={h}: sum {total}");
+        assert!((total - (1.0 - 2f64.powi(-(h as i32)))).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn participants_shrink_with_closeness_and_scale_with_density() {
+    for &(l_a, l_b) in &FIELDS {
+        for &rho in &DENSITIES {
+            for sigma in 1..=12u32 {
+                let n = expected_participants_given_sigma(sigma, l_a, l_b, rho);
+                assert!(n >= 0.0);
+                // Each partition halves the zone population (Eq. 6).
+                if sigma > 1 {
+                    let prev = expected_participants_given_sigma(sigma - 1, l_a, l_b, rho);
+                    assert!(n <= prev + 1e-9, "sigma={sigma}: {n} > {prev}");
+                }
+                // Linear in density.
+                let doubled = expected_participants_given_sigma(sigma, l_a, l_b, 2.0 * rho);
+                assert!((doubled - 2.0 * n).abs() < 1e-9 * (1.0 + n));
+            }
+        }
+    }
+}
+
+#[test]
+fn expected_participants_grow_with_h_and_stay_below_the_population() {
+    for &(l_a, l_b) in &FIELDS {
+        for &rho in &DENSITIES {
+            let population = l_a * l_b * rho;
+            let mut prev = 0.0;
+            for h in 1..=12u32 {
+                let n = expected_participants(h, l_a, l_b, rho);
+                assert!(n >= prev - 1e-9, "h={h}: {n} < {prev}");
+                assert!(n <= population, "h={h}: {n} exceeds population {population}");
+                prev = n;
+            }
+        }
+    }
+}
+
+// --- Eqs. 8–10: random forwarders ----------------------------------------
+
+#[test]
+fn rf_count_distribution_is_normalized_and_in_unit_range() {
+    for h in 1..=16u32 {
+        for sigma in 1..=h {
+            let mut total = 0.0;
+            for i in 0..=(h - sigma) {
+                let p = p_rf_count(h, sigma, i);
+                assert!((0.0..=1.0).contains(&p), "p({h},{sigma},{i}) = {p}");
+                total += p;
+            }
+            assert!((total - 1.0).abs() < 1e-9, "h={h} sigma={sigma}: {total}");
+            // Impossible counts carry no mass.
+            assert_eq!(p_rf_count(h, sigma, h - sigma + 1), 0.0);
+        }
+    }
+}
+
+#[test]
+fn expected_rfs_are_monotone_in_h_and_bounded() {
+    let mut prev = 0.0;
+    for h in 1..=16u32 {
+        let n = expected_random_forwarders(h);
+        // More partitions, more RF opportunities (Fig. 7b's rising line).
+        assert!(n >= prev - 1e-12, "h={h}: {n} < {prev}");
+        // Never more than the per-sigma ceiling (h - 1)/2.
+        assert!(n <= f64::from(h) / 2.0);
+        assert!(n >= 0.0);
+        prev = n;
+        for sigma in 1..=h {
+            let given = expected_random_forwarders_given_sigma(h, sigma);
+            assert!((0.0..=f64::from(h - sigma)).contains(&given));
+        }
+    }
+}
+
+// --- Eqs. 11–15: destination-zone residence ------------------------------
+
+#[test]
+fn residence_probability_is_a_probability_with_the_documented_limits() {
+    for side in [50.0, 125.0, 500.0, 2000.0] {
+        // Static nodes never leave.
+        assert_eq!(residence_probability(side, 0.0, 1e6), 1.0);
+        assert_eq!(beta(side, 0.0), f64::INFINITY);
+        for &v in &SPEEDS {
+            // At t = 0 everyone is still inside.
+            assert!((residence_probability(side, v, 0.0) - 1.0).abs() < 1e-12);
+            let mut prev = 1.0;
+            for &t in &TIMES {
+                let p = residence_probability(side, v, t);
+                assert!((0.0..=1.0).contains(&p), "p_r({side},{v},{t}) = {p}");
+                // Monotone nonincreasing in time.
+                assert!(p <= prev + 1e-12);
+                prev = p;
+            }
+            // Everyone eventually leaves a finite zone.
+            assert!(residence_probability(side, v, 1e9) < 1e-6);
+            // Bigger zones hold nodes longer.
+            assert!(beta(2.0 * side, v) > beta(side, v));
+            // Faster nodes leave sooner.
+            assert!(beta(side, 2.0 * v) < beta(side, v));
+        }
+    }
+}
+
+#[test]
+fn remaining_nodes_decay_from_the_zone_population_to_zero() {
+    for &(l_a, l_b) in &FIELDS {
+        for &rho in &DENSITIES {
+            for h in 1..=10u32 {
+                for &v in &SPEEDS {
+                    let initial = remaining_nodes(h, l_a, l_b, rho, v, 0.0);
+                    assert!(initial <= l_a * l_b * rho + 1e-9);
+                    let mut prev = f64::INFINITY;
+                    for &t in &TIMES {
+                        let n = remaining_nodes(h, l_a, l_b, rho, v, t);
+                        assert!(n >= 0.0);
+                        assert!(n <= prev + 1e-9, "t={t}: {n} > {prev}");
+                        prev = n;
+                    }
+                    assert!(remaining_nodes(h, l_a, l_b, rho, v, 1e9) < 1e-6);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn required_density_inverts_remaining_nodes() {
+    for &(l_a, l_b) in &FIELDS {
+        for h in [2u32, 5, 8] {
+            for &v in &SPEEDS {
+                for target in [1.0, 5.0, 25.0] {
+                    let rho = required_density(h, l_a, l_b, v, 20.0, target);
+                    assert!(rho > 0.0);
+                    let achieved = remaining_nodes(h, l_a, l_b, rho, v, 20.0);
+                    assert!(
+                        (achieved - target).abs() < 1e-6 * target,
+                        "round trip: wanted {target}, got {achieved}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// --- §2.2 / §2.6 prose models --------------------------------------------
+
+#[test]
+fn bruteforce_cost_scales_with_candidates_and_resolution() {
+    for candidates in [1u64, 100, 10_000] {
+        let base = pseudonym_bruteforce_hashes(candidates, 1.0, 1e-5);
+        // Half the space on average, never less than half the candidates.
+        assert!(base >= candidates as f64 / 2.0);
+        // Linear in the candidate count.
+        let doubled = pseudonym_bruteforce_hashes(2 * candidates, 1.0, 1e-5);
+        assert!((doubled - 2.0 * base).abs() < 1e-9 * base);
+        // Finer randomization strictly raises the cost.
+        assert!(pseudonym_bruteforce_hashes(candidates, 1.0, 1e-6) > base);
+    }
+}
+
+#[test]
+fn notify_collision_probability_is_monotone_and_in_unit_range() {
+    for eta in [0usize, 1, 3, 10] {
+        for airtime in [1e-4, 1e-3, 1e-2] {
+            let mut prev = 1.0;
+            for t0 in [1e-3, 1e-2, 0.1, 1.0, 10.0] {
+                let p = notify_collision_probability(eta, t0, airtime);
+                assert!((0.0..=1.0).contains(&p), "P({eta},{t0},{airtime}) = {p}");
+                // A wider window can only reduce collisions.
+                assert!(p <= prev + 1e-12);
+                prev = p;
+                // More cover traffic can only add collisions.
+                assert!(p <= notify_collision_probability(eta + 1, t0, airtime) + 1e-12);
+            }
+        }
+    }
+    // Degenerate window: any competing transmission collides surely.
+    assert_eq!(notify_collision_probability(1, 0.0, 1e-3), 1.0);
+    assert_eq!(notify_collision_probability(0, 0.0, 1e-3), 0.0);
+}
+
+#[test]
+fn minimal_t0_meets_its_collision_target() {
+    for eta in [1usize, 3, 10] {
+        for target in [0.5, 0.1, 0.01] {
+            let t0 = minimal_t0_for_collision_target(eta, 1e-3, target, 3600.0)
+                .expect("an hour-long window must suffice");
+            assert!(t0 >= 0.0);
+            let p = notify_collision_probability(eta, t0, 1e-3);
+            assert!(p <= target + 1e-9, "eta={eta}: P({t0}) = {p} > {target}");
+        }
+    }
+    // An impossible target over a tiny window reports None.
+    assert!(minimal_t0_for_collision_target(10, 1.0, 0.01, 1.0).is_none());
+    // The added latency model is linear in both knobs.
+    assert!((notify_added_delay_s(0.5, 2.0) - 1.5).abs() < 1e-12);
+}

@@ -208,6 +208,10 @@ fn main() {
         "prism" => ProtocolChoice::Prism,
         "mask" => ProtocolChoice::Mask,
         "mapcp" => ProtocolChoice::Mapcp,
+        // Hidden: the planted NodeId-leaking protocol, so `simcheck`'s
+        // minimized failing cases replay here (mirrors repro's hidden
+        // `__panic-point`). Deliberately absent from usage/error text.
+        "__leaky-node-id" => ProtocolChoice::LeakyNodeId,
         other => die(&format!(
             "unknown protocol '{other}' (alert|gpsr|alarm|ao2p|zap|anodr|prism|mask|mapcp)"
         )),

@@ -17,6 +17,8 @@
 pub mod figures;
 pub mod orchestrate;
 pub mod perf;
+#[doc(hidden)]
+pub mod planted;
 pub mod runner;
 pub mod table;
 

@@ -1,0 +1,119 @@
+//! Planted-defect protocols: deliberately broken variants used to prove
+//! the `simcheck` oracle suite can actually catch the bug classes it
+//! claims to (the acceptance test for an oracle is a caught plant, not a
+//! green run). Hidden from normal sweeps — `repro` never schedules them —
+//! but reachable through the hidden `simrun --protocol __leaky-node-id`
+//! name so a minimized failing case replays outside the fuzzer.
+
+use alert_crypto::Pseudonym;
+use alert_geom::Point;
+use alert_protocols::forwarding::{greedy_next_hop, neighbor_by_pseudonym};
+use alert_sim::{Api, DataRequest, Frame, NodeId, PacketId, ProtocolNode, TrafficClass};
+
+/// Header bytes charged on top of the payload (mirrors GPSR's 40, plus
+/// the 8-byte leaked identifier).
+const LEAKY_HEADER_BYTES: usize = 48;
+
+/// A greedy geographic data packet that commits the cardinal anonymity
+/// sin: it carries the **ground-truth source `NodeId`** in the clear.
+///
+/// Everything else is a plain greedy-forwarding header; the leak is the
+/// one deliberate defect, so the `no-node-id-on-wire` oracle is the only
+/// invariant this protocol should trip.
+#[derive(Debug, Clone)]
+pub struct LeakyMsg {
+    /// Instrumentation id.
+    pub packet: PacketId,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Destination position in the clear.
+    pub target: Point,
+    /// Destination pseudonym for final-hop handover.
+    pub dst: Pseudonym,
+    /// Remaining hop budget.
+    pub ttl: u32,
+    /// THE PLANT: the real source `NodeId`, leaked in every frame.
+    pub src_node: u64,
+}
+
+/// Greedy-only geographic routing that stamps its own real [`NodeId`]
+/// into every packet it originates — the identity leak that anonymity
+/// oracles exist to catch.
+#[derive(Debug, Clone)]
+pub struct LeakyGeo {
+    /// This node's ground-truth identity (captured at construction; a
+    /// real protocol never sees it, which is the point of the plant).
+    me: NodeId,
+    /// Initial hop budget for each packet.
+    ttl: u32,
+}
+
+impl LeakyGeo {
+    /// A leaky node that knows (and will broadcast) its own identity.
+    pub fn new(me: NodeId) -> LeakyGeo {
+        LeakyGeo { me, ttl: 10 }
+    }
+
+    /// Greedy forwarding only — no perimeter recovery; undeliverable
+    /// packets die at the local maximum like GPSR's silent TTL drop.
+    fn forward(&self, api: &mut Api<'_, LeakyMsg>, mut msg: LeakyMsg) {
+        if msg.ttl == 0 {
+            return;
+        }
+        msg.ttl -= 1;
+        let wire = msg.bytes + LEAKY_HEADER_BYTES;
+        if let Some(d) = neighbor_by_pseudonym(api.neighbors(), msg.dst) {
+            api.mark_hop(msg.packet);
+            api.send_unicast(
+                d.pseudonym,
+                msg.clone(),
+                wire,
+                TrafficClass::Data,
+                Some(msg.packet),
+            );
+            return;
+        }
+        if let Some(n) = greedy_next_hop(api.my_pos(), msg.target, api.neighbors()) {
+            api.mark_hop(msg.packet);
+            api.send_unicast(
+                n.pseudonym,
+                msg.clone(),
+                wire,
+                TrafficClass::Data,
+                Some(msg.packet),
+            );
+        }
+    }
+}
+
+impl ProtocolNode for LeakyGeo {
+    type Msg = LeakyMsg;
+
+    fn name() -> &'static str {
+        "__LEAKY-NODE-ID"
+    }
+
+    fn on_data_request(&mut self, api: &mut Api<'_, Self::Msg>, req: &DataRequest) {
+        let Some(info) = api.lookup(req.dst) else {
+            return;
+        };
+        let msg = LeakyMsg {
+            packet: req.packet,
+            bytes: req.bytes,
+            target: info.position,
+            dst: info.pseudonym,
+            ttl: self.ttl,
+            src_node: self.me.0 as u64,
+        };
+        self.forward(api, msg);
+    }
+
+    fn on_frame(&mut self, api: &mut Api<'_, Self::Msg>, frame: Frame<Self::Msg>) {
+        let msg = frame.msg;
+        if msg.dst == api.my_pseudonym() || api.is_true_destination(msg.packet) {
+            api.mark_delivered(msg.packet);
+            return;
+        }
+        self.forward(api, msg);
+    }
+}

@@ -165,6 +165,12 @@ pub enum ProtocolChoice {
     Mask,
     /// The MAPCP gossip middleware.
     Mapcp,
+    /// Planted-defect protocol that leaks the real source `NodeId` on the
+    /// wire ([`crate::planted::LeakyGeo`]). Test-only: exercised by
+    /// `simcheck --plant leak` and the hidden `simrun` protocol name
+    /// `__leaky-node-id`; never scheduled by `repro` sweeps.
+    #[doc(hidden)]
+    LeakyNodeId,
 }
 
 impl ProtocolChoice {
@@ -180,6 +186,7 @@ impl ProtocolChoice {
             ProtocolChoice::Prism => "PRISM",
             ProtocolChoice::Mask => "MASK",
             ProtocolChoice::Mapcp => "MAPCP",
+            ProtocolChoice::LeakyNodeId => "__LEAKY-NODE-ID",
         }
     }
 }
@@ -274,6 +281,9 @@ pub fn run_instrumented(
         ProtocolChoice::Prism => drive(cfg, seed, opts, |_, _| Prism::default()),
         ProtocolChoice::Mask => drive(cfg, seed, opts, |_, _| Mask::default()),
         ProtocolChoice::Mapcp => drive(cfg, seed, opts, |_, _| Mapcp::default()),
+        ProtocolChoice::LeakyNodeId => {
+            drive(cfg, seed, opts, |id, _| crate::planted::LeakyGeo::new(id))
+        }
     }
 }
 

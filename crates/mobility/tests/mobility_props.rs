@@ -76,6 +76,54 @@ proptest! {
         }
     }
 
+    /// Group mobility never leaves the field either, for arbitrary group
+    /// geometry, speeds, and tick sizes.
+    #[test]
+    fn group_stays_in_bounds(
+        nodes in 1usize..48,
+        groups in 1usize..6,
+        range in 20.0f64..400.0,
+        speed in 0.0f64..15.0,
+        dt in 0.05f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let field = Rect::with_size(900.0, 700.0);
+        let groups = groups.min(nodes);
+        let cfg = GroupMobilityConfig::paper(nodes, groups, range, speed);
+        let mut m = GroupMobility::new(field, cfg, seed);
+        for _ in 0..150 {
+            m.step(dt);
+        }
+        for i in 0..m.len() {
+            prop_assert!(field.contains(m.position(i)), "node {i} escaped");
+        }
+    }
+
+    /// Group membership is a stable partition: every node belongs to a
+    /// valid group, membership never changes as the model steps, and
+    /// every group's centre stays inside the (unclamped) plane near the
+    /// field.
+    #[test]
+    fn group_membership_is_a_stable_partition(
+        nodes in 1usize..40,
+        groups in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let field = Rect::with_size(1000.0, 1000.0);
+        let groups = groups.min(nodes);
+        let cfg = GroupMobilityConfig::paper(nodes, groups, 150.0, 3.0);
+        let mut m = GroupMobility::new(field, cfg, seed);
+        let before: Vec<usize> = (0..m.len()).map(|i| m.group_of(i)).collect();
+        for g in &before {
+            prop_assert!(*g < groups, "group id {g} out of range");
+        }
+        for _ in 0..60 {
+            m.step(0.5);
+        }
+        let after: Vec<usize> = (0..m.len()).map(|i| m.group_of(i)).collect();
+        prop_assert_eq!(before, after, "membership churned while stepping");
+    }
+
     /// Mobility is a pure function of the seed: same seed, same orbit.
     #[test]
     fn rwp_determinism(seed in any::<u64>(), steps in 1usize..50) {

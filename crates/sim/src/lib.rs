@@ -47,7 +47,7 @@ pub use guard::{RunAbort, RunBudget, WALL_CHECK_INTERVAL};
 pub use ids::{NodeId, PacketId, SessionId, TimerToken};
 pub use location::{LocationInfo, LocationService};
 pub use metrics::{Metrics, PacketRecord};
-pub use runtime::{Observer, Session, TxEvent, World};
+pub use runtime::{FrameAudit, Observer, Session, TxEvent, World};
 
 // Re-export the observability vocabulary so downstream crates (bench,
 // examples, tests) can speak it without a separate alert-trace dependency.

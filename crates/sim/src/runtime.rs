@@ -56,6 +56,14 @@ pub trait Observer {
     fn on_delivery(&mut self, _time: f64, _node: NodeId, _packet: PacketId) {}
 }
 
+/// A frame-audit hook ([`World::set_frame_audit`]): called once per frame
+/// put on the air with `(send time, ground-truth sender, on-wire sender
+/// pseudonym, message)`, before receiver resolution — so failed unicasts
+/// and ARQ retransmissions are audited too. Unlike [`Observer`], the hook
+/// sees the typed protocol message, which is what invariant checkers need
+/// to audit on-wire contents (e.g. "no real `NodeId` ever leaves a node").
+pub type FrameAudit<M> = Box<dyn FnMut(f64, NodeId, Pseudonym, &M)>;
+
 /// Internal event type.
 #[derive(Debug)]
 pub(crate) enum Event<M> {
@@ -284,6 +292,11 @@ pub(crate) struct WorldCore<M> {
     pub(crate) metrics: Metrics,
     pub(crate) rng: StdRng,
     pub(crate) observers: Vec<Box<dyn Observer>>,
+    /// Test-harness hook: sees every frame put on the air (including ARQ
+    /// retransmissions) with its ground-truth sender, before receiver
+    /// resolution. `None` (the default) costs nothing and draws no RNG,
+    /// so audited and unaudited runs are byte-identical.
+    pub(crate) frame_audit: Option<FrameAudit<M>>,
     pub(crate) tracer: Tracer,
     pub(crate) stats: SimStats,
     /// Per-node crash depth: `> 0` means down. A counter rather than a
@@ -469,6 +482,9 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
             bytes: bytes as u64,
             packet: packet.map(|p| p.0),
         });
+        if let Some(audit) = self.frame_audit.as_mut() {
+            audit(now, from, from_pseudonym, &msg);
+        }
 
         // Overhead accounting by class.
         match class {
@@ -755,6 +771,13 @@ pub struct World<P: ProtocolNode> {
     profile_enabled: bool,
     profile_wall_s: f64,
     profile_callbacks: std::collections::BTreeMap<String, alert_trace::CallbackProfile>,
+    /// Whether the deferred `on_start` sweep has run. Startup hooks fire
+    /// on first entry into the run loop — not at construction — so frames
+    /// a protocol transmits in `on_start` are visible to trace sinks,
+    /// observers, and frame audits attached between `try_new` and the
+    /// first run call (otherwise the registry counts frames no trace ever
+    /// sees, breaking registry == trace accounting).
+    started: bool,
     /// Wall-clock anchor for `RunBudget::max_wall_seconds`, captured on
     /// first entry into the run loop of a budgeted run.
     wall_start: Option<std::time::Instant>,
@@ -923,6 +946,7 @@ impl<P: ProtocolNode> World<P> {
             metrics: Metrics::default(),
             rng,
             observers: Vec::new(),
+            frame_audit: None,
             tracer: Tracer::disabled(),
             stats: SimStats::new(),
             down_depth: vec![0; cfg.nodes],
@@ -996,7 +1020,7 @@ impl<P: ProtocolNode> World<P> {
             .map(|i| Some(factory(NodeId(i), &core.cfg)))
             .collect();
         let started_sessions = vec![false; core.sessions.len()];
-        let mut world = World {
+        let world = World {
             core,
             protos,
             started_sessions,
@@ -1004,12 +1028,10 @@ impl<P: ProtocolNode> World<P> {
             profile_enabled: false,
             profile_wall_s: 0.0,
             profile_callbacks: std::collections::BTreeMap::new(),
+            started: false,
             wall_start: None,
             aborted: None,
         };
-        for i in 0..world.core.cfg.nodes {
-            world.with_proto(NodeId(i), |p, api| p.on_start(api));
-        }
         Ok(world)
     }
 
@@ -1021,6 +1043,18 @@ impl<P: ProtocolNode> World<P> {
     /// Removes and returns all observers (to inspect after a run).
     pub fn take_observers(&mut self) -> Vec<Box<dyn Observer>> {
         std::mem::take(&mut self.core.observers)
+    }
+
+    /// Installs the frame-audit hook (see [`FrameAudit`]). Auditing draws
+    /// no randomness and emits no trace events, so an audited run stays
+    /// byte-identical to an unaudited one.
+    pub fn set_frame_audit(&mut self, audit: FrameAudit<P::Msg>) {
+        self.core.frame_audit = Some(audit);
+    }
+
+    /// Removes the frame-audit hook, returning it if one was installed.
+    pub fn take_frame_audit(&mut self) -> Option<FrameAudit<P::Msg>> {
+        self.core.frame_audit.take()
     }
 
     fn with_proto(&mut self, node: NodeId, f: impl FnOnce(&mut P, &mut Api<'_, P::Msg>)) {
@@ -1315,6 +1349,16 @@ impl<P: ProtocolNode> World<P> {
     pub fn try_run_until(&mut self, t: f64) -> Result<bool, RunAbort> {
         if let Some(abort) = &self.aborted {
             return Err(abort.clone());
+        }
+        if !self.started {
+            // Deferred startup sweep: runs before the first event is
+            // dispatched (so the RNG stream matches a construction-time
+            // sweep) but after the caller had a chance to attach sinks,
+            // observers, and audits — startup-frame traffic is traced.
+            self.started = true;
+            for i in 0..self.core.cfg.nodes {
+                self.with_proto(NodeId(i), |p, api| p.on_start(api));
+            }
         }
         let horizon = t.min(self.core.cfg.duration_s + 1.0);
         let budget = self.core.cfg.budget;

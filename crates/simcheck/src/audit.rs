@@ -1,0 +1,93 @@
+//! On-wire content auditing: what invariant checkers may learn from a
+//! typed protocol message as it crosses the frame-audit hook
+//! ([`alert_sim::World::set_frame_audit`]).
+//!
+//! The central anonymity contract of the whole codebase is *structural*:
+//! no message type carries a ground-truth [`alert_sim::NodeId`], so no
+//! frame can leak one. [`WireAudit`] turns that from a convention into a
+//! checkable declaration — every fuzzable message type states which of
+//! its fields are real node identities, and the `no-node-id-on-wire`
+//! oracle flags any frame whose message reports one. Honest protocols
+//! have nothing to declare (the vacuous default); the planted
+//! [`alert_bench::planted::LeakyMsg`] declares its leak, which is
+//! exactly how the oracle suite proves it can catch this bug class.
+
+use alert_bench::planted::LeakyMsg;
+use alert_core::AlertMsg;
+use alert_protocols::{
+    AlarmMsg, AnodrMsg, Ao2pMsg, GpsrMsg, MapcpMsg, MaskMsg, PrismMsg, ZapMsg,
+};
+
+/// Declares which parts of a wire message are ground-truth node
+/// identities, for the `no-node-id-on-wire` oracle.
+///
+/// The default implementation reports nothing — correct for every honest
+/// message type, whose anonymity is structural (no `NodeId`-typed field
+/// exists to leak). A type that *does* smuggle a real identity must
+/// report it here, which is what makes a planted leak observable.
+pub trait WireAudit {
+    /// Calls `visit` once per ground-truth node id embedded in the
+    /// message. The default visits nothing.
+    fn visit_node_ids(&self, visit: &mut dyn FnMut(u64)) {
+        let _ = visit;
+    }
+}
+
+// The nine real protocols: all structurally anonymous at this level.
+// ALERT's header (paper Fig. 5) is pseudonyms + zone coordinates only;
+// the baselines likewise address by pseudonym and position. None of
+// these message types has a `NodeId` field, so the vacuous default *is*
+// the audit.
+impl WireAudit for AlertMsg {}
+impl WireAudit for GpsrMsg {}
+impl WireAudit for AlarmMsg {}
+impl WireAudit for Ao2pMsg {}
+impl WireAudit for ZapMsg {}
+impl WireAudit for AnodrMsg {}
+impl WireAudit for PrismMsg {}
+impl WireAudit for MaskMsg {}
+impl WireAudit for MapcpMsg {}
+
+impl WireAudit for LeakyMsg {
+    fn visit_node_ids(&self, visit: &mut dyn FnMut(u64)) {
+        visit(self.src_node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alert_crypto::Pseudonym;
+    use alert_geom::Point;
+    use alert_sim::PacketId;
+
+    #[test]
+    fn honest_messages_report_no_node_ids() {
+        let msg = GpsrMsg {
+            packet: PacketId(0),
+            bytes: 512,
+            target: Point { x: 0.0, y: 0.0 },
+            dst: Pseudonym(42),
+            ttl: 10,
+            mode: alert_protocols::GpsrMode::Greedy,
+        };
+        let mut seen = Vec::new();
+        msg.visit_node_ids(&mut |id| seen.push(id));
+        assert!(seen.is_empty());
+    }
+
+    #[test]
+    fn leaky_message_reports_its_planted_leak() {
+        let msg = LeakyMsg {
+            packet: PacketId(0),
+            bytes: 512,
+            target: Point { x: 0.0, y: 0.0 },
+            dst: Pseudonym(42),
+            ttl: 10,
+            src_node: 7,
+        };
+        let mut seen = Vec::new();
+        msg.visit_node_ids(&mut |id| seen.push(id));
+        assert_eq!(seen, vec![7]);
+    }
+}

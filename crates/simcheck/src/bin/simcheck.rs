@@ -1,0 +1,111 @@
+//! `simcheck` — deterministic scenario fuzzing with invariant oracles
+//! and failing-case shrinking for the whole simulator stack.
+//!
+//! ```text
+//! simcheck --cases 200 --seed 0
+//! simcheck --cases 200 --seed 0 --artifact-dir out/simcheck
+//! simcheck --list-invariants
+//! ```
+//!
+//! Enumerates `--cases` fuzzed `(protocol, scenario, seed)` cases from
+//! `--seed`, runs each fully instrumented, and checks every invariant
+//! oracle (see `--list-invariants`). A violated case is shrunk along its
+//! config axes and reported with a one-line `simrun` replay command;
+//! with `--artifact-dir` the exact scenario JSON and replay line are
+//! also written as files (the CI artifact).
+//!
+//! The report on stdout is a pure function of
+//! `(--cases, --seed, --plant)`: same flags, byte-identical bytes.
+//! `--max-wall-s` opts into a wall-clock budget for bounded CI slots
+//! (an early stop is reported in the summary). The hidden
+//! `--plant leak` interleaves a deliberately NodeId-leaking protocol
+//! every fourth case to prove the harness end to end.
+//!
+//! Exit codes: `0` all cases clean, `1` invariant violation (or harness
+//! failure), `2` usage error.
+
+use alert_simcheck::{Plant, SuiteOptions, INVARIANTS};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = SuiteOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cases" => opts.cases = parse(it.next(), "--cases"),
+            "--seed" => opts.seed = parse(it.next(), "--seed"),
+            "--shrink-runs" => opts.shrink_runs = parse(it.next(), "--shrink-runs"),
+            "--max-wall-s" => {
+                opts.max_wall = Some(Duration::from_secs_f64(parse(it.next(), "--max-wall-s")))
+            }
+            "--artifact-dir" => {
+                opts.artifact_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--artifact-dir needs a path"))
+                        .into(),
+                )
+            }
+            // Hidden: planted-defect mode, used by the harness's own
+            // self-test and docs/TESTING.md to demonstrate a catch.
+            "--plant" => {
+                opts.plant = match it.next().map(String::as_str) {
+                    Some("leak") => Plant::Leak,
+                    Some("none") => Plant::None,
+                    _ => die("--plant needs one of: none, leak"),
+                }
+            }
+            "--list-invariants" => {
+                for (name, what) in INVARIANTS {
+                    println!("{name}: {what}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => die(&format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if opts.cases == 0 {
+        die("--cases must be at least 1");
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match alert_simcheck::run_suite(&opts, &mut out) {
+        Err(e) => fail(&format!("report I/O failed: {e}")),
+        Ok(summary) if summary.violated > 0 || summary.harness_errors > 0 => {
+            std::process::exit(1)
+        }
+        Ok(_) => {}
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a numeric value")))
+}
+
+fn usage() {
+    eprintln!("usage: simcheck [--cases N] [--seed N] [--shrink-runs N]");
+    eprintln!("                [--max-wall-s SECS] [--artifact-dir DIR]");
+    eprintln!("                [--list-invariants]");
+    eprintln!();
+    eprintln!("Fuzzes N deterministic scenarios across every protocol, checks");
+    eprintln!("the invariant oracles, shrinks failures, and prints a simrun");
+    eprintln!("replay command per finding. Exit 0 clean, 1 violation, 2 usage.");
+}
+
+/// Usage error: complain and exit 2.
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Runtime failure (report I/O): complain and exit 1.
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

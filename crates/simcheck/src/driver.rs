@@ -1,0 +1,270 @@
+//! Instrumented case execution: run one `(protocol, scenario, seed)`
+//! point with every observation channel the oracles need wide open —
+//! the full structured trace, the eavesdropper's [`TxEvent`] stream,
+//! the frame-audit view of typed on-wire messages, and periodic
+//! ground-truth position samples.
+//!
+//! This mirrors `alert-bench`'s single-choke-point `drive` (one generic
+//! body, one match over [`ProtocolChoice`]) so instrumentation cannot
+//! drift between protocol arms.
+
+use crate::audit::WireAudit;
+use alert_bench::planted::LeakyGeo;
+use alert_bench::{ProtocolChoice, RunFailure};
+use alert_core::Alert;
+use alert_geom::Point;
+use alert_protocols::{Alarm, Anodr, Ao2p, Gpsr, Mapcp, Mask, Prism, Zap};
+use alert_sim::{
+    Metrics, NodeId, Observer, ProtocolNode, RegistrySnapshot, RunAbort, ScenarioConfig,
+    TraceEvent, TraceSink, TxEvent, World,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One frame as the audit hook saw it: when it was put on the air, who
+/// really sent it, what sender pseudonym it carried, and any ground-truth
+/// node ids its typed message declared via [`WireAudit`].
+#[derive(Debug, Clone)]
+pub struct FrameRecord {
+    /// Transmission start time.
+    pub time: f64,
+    /// Ground-truth transmitting node.
+    pub sender: u64,
+    /// On-wire sender pseudonym.
+    pub pseudonym: u64,
+    /// Ground-truth node ids found in the message (empty for every
+    /// honest protocol).
+    pub leaked: Vec<u64>,
+}
+
+/// A ground-truth position sample taken between event slices.
+#[derive(Debug, Clone, Copy)]
+pub struct PosSample {
+    /// Sample time.
+    pub time: f64,
+    /// Sampled node.
+    pub node: u64,
+    /// Ground-truth position at `time`.
+    pub pos: Point,
+}
+
+/// Everything one instrumented case run produced, for the oracles.
+#[derive(Debug)]
+pub struct CaseRun {
+    /// The scenario that ran (the oracles need its geometry and MAC
+    /// parameters to compute bounds).
+    pub cfg: ScenarioConfig,
+    /// Full structured trace, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Frame-audit records, in transmission order.
+    pub frames: Vec<FrameRecord>,
+    /// Eavesdropper view of every transmission (exact sender positions
+    /// and resolved unicast receivers), 1:1 with the trace's `tx` events.
+    pub txs: Vec<TxEvent>,
+    /// Ground-truth positions sampled once per node per event slice.
+    pub positions: Vec<PosSample>,
+    /// End-of-run metrics (ground truth).
+    pub metrics: Metrics,
+    /// End-of-run counter/histogram registry.
+    pub registry: RegistrySnapshot,
+    /// The guardrail abort that truncated the run, if any. An aborted
+    /// run is still a legal object of study — physics and accounting
+    /// must hold on the prefix — but completion-shaped invariants
+    /// (conservation) are skipped.
+    pub aborted: Option<RunAbort>,
+}
+
+/// The trace sink used for checking: buffers every event in memory.
+struct VecSink(Rc<RefCell<Vec<TraceEvent>>>);
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.0.borrow_mut().push(event.clone());
+    }
+}
+
+/// The observer used for checking: buffers every [`TxEvent`].
+struct TxCollector(Rc<RefCell<Vec<TxEvent>>>);
+
+impl Observer for TxCollector {
+    fn on_transmission(&mut self, ev: &TxEvent) {
+        self.0.borrow_mut().push(*ev);
+    }
+}
+
+/// Runs one case fully instrumented. Generic choke point; use
+/// [`run_case`] for the `ProtocolChoice` front door.
+fn drive_checked<P, F>(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    factory: F,
+) -> Result<CaseRun, RunFailure>
+where
+    P: ProtocolNode,
+    P::Msg: WireAudit,
+    F: FnMut(NodeId, &ScenarioConfig) -> P,
+{
+    let mut w = World::try_new(cfg.clone(), seed, factory)?;
+
+    let events: Rc<RefCell<Vec<TraceEvent>>> = Rc::default();
+    w.set_trace_sink(Box::new(VecSink(events.clone())));
+
+    let txs: Rc<RefCell<Vec<TxEvent>>> = Rc::default();
+    w.add_observer(Box::new(TxCollector(txs.clone())));
+
+    let frames: Rc<RefCell<Vec<FrameRecord>>> = Rc::default();
+    let sink = frames.clone();
+    w.set_frame_audit(Box::new(move |time, from, pseudonym, msg: &P::Msg| {
+        let mut leaked = Vec::new();
+        msg.visit_node_ids(&mut |id| leaked.push(id));
+        sink.borrow_mut().push(FrameRecord {
+            time,
+            sender: from.0 as u64,
+            pseudonym: pseudonym.0,
+            leaked,
+        });
+    }));
+
+    // Step the run in short slices, sampling every node's ground-truth
+    // position between slices. The slice pitch bounds how far a node can
+    // drift between a transmission and its nearest position sample,
+    // which sets the tolerance of the physics oracles.
+    let slice = sample_slice(cfg);
+    let horizon = cfg.duration_s + 1.0; // the runtime's delivery grace
+    let mut positions = Vec::new();
+    let mut aborted = None;
+    let sample = |w: &World<P>, out: &mut Vec<PosSample>| {
+        let now = w.now();
+        for i in 0..cfg.nodes {
+            out.push(PosSample {
+                time: now,
+                node: i as u64,
+                pos: w.position(NodeId(i)),
+            });
+        }
+    };
+    sample(&w, &mut positions);
+    let mut t = 0.0;
+    while t < horizon && aborted.is_none() {
+        t = (t + slice).min(horizon);
+        match w.try_run_until(t) {
+            Ok(more) => {
+                sample(&w, &mut positions);
+                if !more {
+                    break; // event queue drained early
+                }
+            }
+            Err(a) => aborted = Some(a),
+        }
+    }
+    if aborted.is_none() {
+        // Drain the remainder (periodic ticks self-schedule past any
+        // finite `t`, so the slice loop alone never sees the queue end).
+        if let Err(a) = w.try_run() {
+            aborted = Some(a);
+        }
+        sample(&w, &mut positions);
+    }
+
+    drop(w.take_trace_sink());
+    drop(w.take_frame_audit());
+    drop(w.take_observers());
+    Ok(CaseRun {
+        cfg: cfg.clone(),
+        events: Rc::try_unwrap(events).expect("sink detached").into_inner(),
+        frames: Rc::try_unwrap(frames).expect("audit detached").into_inner(),
+        txs: Rc::try_unwrap(txs).expect("observer detached").into_inner(),
+        positions,
+        metrics: w.metrics().clone(),
+        registry: w.registry_snapshot(),
+        aborted,
+    })
+}
+
+/// The position-sampling pitch for a scenario: at most half a second,
+/// never coarser than the mobility tick.
+pub fn sample_slice(cfg: &ScenarioConfig) -> f64 {
+    cfg.mobility_tick_s.min(0.5)
+}
+
+/// How far sampled geometry may legitimately disagree with the exact
+/// positions the simulator used: nodes move up to `speed` m/s between a
+/// sample and the event it is matched against (one slice each side, plus
+/// one mobility tick of spatial-grid staleness for broadcast receiver
+/// resolution), plus a small absolute pad for group-mobility wander
+/// within a tick.
+pub fn position_tolerance_m(cfg: &ScenarioConfig) -> f64 {
+    3.0 * cfg.speed * (sample_slice(cfg) + cfg.mobility_tick_s) + 8.0
+}
+
+/// Runs one fuzz case fully instrumented under the given protocol.
+pub fn run_case(
+    protocol: ProtocolChoice,
+    cfg: &ScenarioConfig,
+    seed: u64,
+) -> Result<CaseRun, RunFailure> {
+    match protocol {
+        ProtocolChoice::Alert(a) => drive_checked(cfg, seed, move |_, _| Alert::new(a)),
+        ProtocolChoice::Gpsr => drive_checked(cfg, seed, |_, _| Gpsr::default()),
+        ProtocolChoice::Alarm => drive_checked(cfg, seed, |_, _| Alarm::default()),
+        ProtocolChoice::Ao2p => drive_checked(cfg, seed, |_, _| Ao2p::default()),
+        ProtocolChoice::Zap { growth } => {
+            drive_checked(cfg, seed, move |_, _| Zap::with_growth(growth))
+        }
+        ProtocolChoice::Anodr => drive_checked(cfg, seed, |_, _| Anodr::default()),
+        ProtocolChoice::Prism => drive_checked(cfg, seed, |_, _| Prism::default()),
+        ProtocolChoice::Mask => drive_checked(cfg, seed, |_, _| Mask::default()),
+        ProtocolChoice::Mapcp => drive_checked(cfg, seed, |_, _| Mapcp::default()),
+        ProtocolChoice::LeakyNodeId => drive_checked(cfg, seed, |id, _| LeakyGeo::new(id)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::default().with_nodes(30).with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        cfg
+    }
+
+    #[test]
+    fn run_case_collects_all_observation_channels() {
+        let run = run_case(ProtocolChoice::Gpsr, &small(), 1).unwrap();
+        assert!(!run.events.is_empty());
+        assert!(!run.frames.is_empty());
+        assert!(!run.positions.is_empty());
+        assert!(run.aborted.is_none());
+        // The observer and the trace agree on the number of transmissions.
+        let tx_events = run
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Tx { .. }))
+            .count();
+        assert_eq!(run.txs.len(), tx_events);
+        // Honest protocols leak nothing.
+        assert!(run.frames.iter().all(|f| f.leaked.is_empty()));
+    }
+
+    #[test]
+    fn instrumentation_does_not_perturb_the_run() {
+        // Same (scenario, seed) with and without the checking harness
+        // must produce identical ground-truth metrics: the audit hook
+        // and observers draw no randomness.
+        let cfg = small();
+        let run = run_case(ProtocolChoice::Gpsr, &cfg, 7).unwrap();
+        let plain = alert_bench::try_run_once(ProtocolChoice::Gpsr, &cfg, 7).unwrap();
+        assert_eq!(run.metrics.delivery_rate(), plain.delivery_rate());
+        assert_eq!(run.metrics.hops_per_packet(), plain.hops_per_packet());
+    }
+
+    #[test]
+    fn leaky_plant_is_visible_in_frame_records() {
+        let run = run_case(ProtocolChoice::LeakyNodeId, &small(), 1).unwrap();
+        assert!(
+            run.frames.iter().any(|f| !f.leaked.is_empty()),
+            "planted protocol produced no leaked frames"
+        );
+    }
+}

@@ -1,0 +1,622 @@
+//! The invariant oracle library: composable checkers over one
+//! instrumented run ([`CaseRun`]), each returning the violations it
+//! found. [`check_all`] runs the whole suite.
+//!
+//! Three families, mirroring the layering of the stack:
+//!
+//! * **physics** — timestamps monotone, no reception outside radio
+//!   range, no activity attributed to a crashed node;
+//! * **protocol contracts** — no ground-truth `NodeId` on the wire,
+//!   pseudonyms never straddle non-adjacent rotation epochs or two
+//!   senders, TTL-bounded forwarding (GPSR perimeter mode exits or
+//!   drops), delivered hop counts at or above the geometric lower
+//!   bound;
+//! * **accounting identities** — registry counters, trace-derived
+//!   totals, and ground-truth metrics all tell the same story, and
+//!   packet bookkeeping is conserved (no ghost deliveries or drops).
+//!
+//! Geometry checks compare against positions *sampled* between event
+//! slices, so each carries an explicit tolerance
+//! ([`crate::driver::position_tolerance_m`]) derived from node speed and
+//! the sampling pitch — the oracles are sound (no false alarms on an
+//! honest simulator) rather than maximally tight.
+
+use crate::driver::{position_tolerance_m, CaseRun};
+use alert_bench::ProtocolChoice;
+use alert_geom::Point;
+use alert_trace::{trace_stats, DownNodeAudit, TraceEvent};
+use std::collections::BTreeMap;
+
+/// One invariant violation: which oracle fired and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Stable oracle name (the shrinker reproduces against this).
+    pub invariant: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, detail: String) -> Violation {
+        Violation { invariant, detail }
+    }
+}
+
+/// Every oracle in the suite, with a one-line contract each (the
+/// `--list-invariants` output).
+pub const INVARIANTS: &[(&str, &str)] = &[
+    (
+        "monotone-timestamps",
+        "trace events are emitted in nondecreasing simulated-time order",
+    ),
+    (
+        "down-node-activity",
+        "a crashed node records no activity inside its down interval",
+    ),
+    (
+        "radio-range",
+        "no frame is received by a node outside the sender's radio range (+ sampling tolerance)",
+    ),
+    (
+        "hop-lower-bound",
+        "a delivered packet's hop count covers the src-dst distance: hops*range + speed*latency >= distance",
+    ),
+    (
+        "pseudonym-epochs",
+        "an on-wire pseudonym belongs to one sender and never reappears in a non-adjacent rotation epoch",
+    ),
+    (
+        "no-node-id-on-wire",
+        "no frame's typed message carries a ground-truth NodeId",
+    ),
+    (
+        "frame-budget",
+        "TTL-bounded protocols transmit at most ttl*(1+arq_retries) data frames per packet (perimeter mode exits or drops)",
+    ),
+    (
+        "accounting-identities",
+        "registry counters == trace-derived totals == ground-truth metrics, per channel and drop reason",
+    ),
+    (
+        "packet-conservation",
+        "every delivery/drop/hop references a registered packet, delivery follows send, trace and metrics agree on the delivered set",
+    ),
+    (
+        "no-panic",
+        "no case panics the simulator (enforced by the fuzz loop's catch_unwind)",
+    ),
+];
+
+/// Runs the full oracle suite over one instrumented run.
+///
+/// `protocol` selects protocol-specific contracts (the TTL frame budget
+/// only binds the bounded-forwarding protocols). Aborted runs skip the
+/// completion-shaped conservation check but keep physics and accounting.
+pub fn check_all(protocol: ProtocolChoice, run: &CaseRun) -> Vec<Violation> {
+    let mut v = Vec::new();
+    v.extend(monotone_timestamps(run));
+    v.extend(down_node_activity(run));
+    v.extend(radio_range(run));
+    v.extend(hop_lower_bound(run));
+    v.extend(pseudonym_epochs(run));
+    v.extend(no_node_id_on_wire(run));
+    v.extend(frame_budget(protocol, run));
+    v.extend(accounting_identities(run));
+    if run.aborted.is_none() {
+        v.extend(packet_conservation(run));
+    }
+    v
+}
+
+/// Caps per-oracle violation lists so a systemically broken run reports
+/// evidence, not megabytes.
+const MAX_DETAILS: usize = 5;
+
+fn push_capped(out: &mut Vec<Violation>, invariant: &'static str, detail: String) {
+    if out.iter().filter(|v| v.invariant == invariant).count() < MAX_DETAILS {
+        out.push(Violation::new(invariant, detail));
+    }
+}
+
+/// Physics: the trace is emitted in nondecreasing simulated-time order.
+pub fn monotone_timestamps(run: &CaseRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut last = f64::NEG_INFINITY;
+    for ev in &run.events {
+        let t = ev.time();
+        if !t.is_finite() {
+            push_capped(
+                &mut out,
+                "monotone-timestamps",
+                format!("`{}` event carries non-finite time {t}", ev.kind()),
+            );
+            continue;
+        }
+        if t < last {
+            push_capped(
+                &mut out,
+                "monotone-timestamps",
+                format!(
+                    "`{}` event at t={t} emitted after an event at t={last}",
+                    ev.kind()
+                ),
+            );
+        }
+        last = last.max(t);
+    }
+    out
+}
+
+/// Physics: no activity attributed to a node inside its down interval
+/// (shared executable form of the invariant documented on
+/// [`alert_trace::down_intervals`]).
+pub fn down_node_activity(run: &CaseRun) -> Vec<Violation> {
+    let mut audit = DownNodeAudit::new();
+    for ev in &run.events {
+        audit.observe(ev);
+    }
+    audit
+        .into_violations()
+        .into_iter()
+        .take(MAX_DETAILS)
+        .map(|detail| Violation::new("down-node-activity", detail))
+        .collect()
+}
+
+/// Per-node position samples, time-sorted, for nearest-sample lookup.
+struct PositionIndex {
+    by_node: BTreeMap<u64, Vec<(f64, Point)>>,
+}
+
+impl PositionIndex {
+    fn build(run: &CaseRun) -> PositionIndex {
+        let mut by_node: BTreeMap<u64, Vec<(f64, Point)>> = BTreeMap::new();
+        for s in &run.positions {
+            by_node.entry(s.node).or_default().push((s.time, s.pos));
+        }
+        PositionIndex { by_node }
+    }
+
+    /// Position of `node` at the sample nearest to `t`, if the node was
+    /// ever sampled.
+    fn nearest(&self, node: u64, t: f64) -> Option<Point> {
+        let samples = self.by_node.get(&node)?;
+        let i = samples.partition_point(|(st, _)| *st < t);
+        let after = samples.get(i);
+        let before = i.checked_sub(1).and_then(|j| samples.get(j));
+        match (before, after) {
+            (Some(&(tb, pb)), Some(&(ta, pa))) => {
+                Some(if (t - tb) <= (ta - t) { pb } else { pa })
+            }
+            (Some(&(_, p)), None) | (None, Some(&(_, p))) => Some(p),
+            (None, None) => None,
+        }
+    }
+}
+
+/// Physics: every resolved reception happened within radio range of the
+/// transmitter (unit-disk channel), up to the position-sampling
+/// tolerance. Receptions are matched to their transmission through the
+/// trace's emission-order contract: each `rx` follows its `tx`, and the
+/// observer's [`alert_sim::TxEvent`] stream is 1:1 with `tx` events, so
+/// the *exact* transmitter position is known; only the receiver's is
+/// sampled.
+pub fn radio_range(run: &CaseRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let index = PositionIndex::build(run);
+    let range = run.cfg.mac.range_m;
+    let tol = position_tolerance_m(&run.cfg);
+    let mut tx_seen = 0usize;
+    for ev in &run.events {
+        match ev {
+            TraceEvent::Tx { .. } => tx_seen += 1,
+            TraceEvent::Rx { node, time, .. } => {
+                let Some(tx) = tx_seen.checked_sub(1).and_then(|i| run.txs.get(i)) else {
+                    push_capped(
+                        &mut out,
+                        "radio-range",
+                        format!("rx event at t={time} precedes any tx event"),
+                    );
+                    continue;
+                };
+                let Some(rx_pos) = index.nearest(*node, *time) else {
+                    push_capped(
+                        &mut out,
+                        "radio-range",
+                        format!("rx by unsampled node {node} at t={time}"),
+                    );
+                    continue;
+                };
+                let d = tx.sender_pos.distance(rx_pos);
+                if d > range + tol {
+                    push_capped(
+                        &mut out,
+                        "radio-range",
+                        format!(
+                            "node {node} received a frame at t={time} from node {} at \
+                             distance {d:.1} m > range {range} m + tolerance {tol:.1} m",
+                            tx.sender.0
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Protocol contract: a delivered packet's accumulated hop count must be
+/// geometrically sufficient — `hops * range_m` plus the distance its
+/// holders could drift during flight covers the sampled src→dst
+/// distance. Catches under-counted hops and teleporting packets alike.
+pub fn hop_lower_bound(run: &CaseRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let index = PositionIndex::build(run);
+    let range = run.cfg.mac.range_m;
+    let tol = position_tolerance_m(&run.cfg);
+    for (id, rec) in run.metrics.packets.iter().enumerate() {
+        let Some(delivered_at) = rec.delivered_at else {
+            continue;
+        };
+        let (Some(src_pos), Some(dst_pos)) = (
+            index.nearest(rec.src.0 as u64, rec.sent_at),
+            index.nearest(rec.dst.0 as u64, delivered_at),
+        ) else {
+            continue;
+        };
+        let d = src_pos.distance(dst_pos);
+        let latency = (delivered_at - rec.sent_at).max(0.0);
+        let reach = f64::from(rec.hops) * range + run.cfg.speed * latency + 2.0 * tol + 1.0;
+        if d > reach {
+            push_capped(
+                &mut out,
+                "hop-lower-bound",
+                format!(
+                    "packet {id} delivered over {d:.1} m in {} hop(s): max reach {reach:.1} m",
+                    rec.hops
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Protocol contract: each on-wire sender pseudonym belongs to exactly
+/// one node and never spans non-adjacent rotation epochs (pseudonyms are
+/// rotated, not reused — Section 2.2). Epochs are delimited by the
+/// node's `pseudonym_rotation` trace events; same-instant boundary races
+/// make *adjacent* epochs legal.
+pub fn pseudonym_epochs(run: &CaseRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Per-node rotation times, in order.
+    let mut rotations: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    for ev in &run.events {
+        if let TraceEvent::PseudonymRotation { time, node } = ev {
+            rotations.entry(*node).or_default().push(*time);
+        }
+    }
+    struct Usage {
+        senders: Vec<u64>,
+        min_epoch: usize,
+        max_epoch: usize,
+    }
+    let mut usage: BTreeMap<u64, Usage> = BTreeMap::new();
+    for f in &run.frames {
+        let epoch = rotations
+            .get(&f.sender)
+            .map_or(0, |r| r.partition_point(|&t| t <= f.time));
+        let u = usage.entry(f.pseudonym).or_insert(Usage {
+            senders: Vec::new(),
+            min_epoch: epoch,
+            max_epoch: epoch,
+        });
+        if !u.senders.contains(&f.sender) {
+            u.senders.push(f.sender);
+        }
+        u.min_epoch = u.min_epoch.min(epoch);
+        u.max_epoch = u.max_epoch.max(epoch);
+    }
+    for (p, u) in &usage {
+        if u.senders.len() > 1 {
+            push_capped(
+                &mut out,
+                "pseudonym-epochs",
+                format!("pseudonym {p:#x} transmitted by {} distinct nodes", u.senders.len()),
+            );
+        }
+        if u.max_epoch - u.min_epoch > 1 {
+            push_capped(
+                &mut out,
+                "pseudonym-epochs",
+                format!(
+                    "pseudonym {p:#x} of node {} reappeared across epochs {}..{}",
+                    u.senders.first().copied().unwrap_or(0),
+                    u.min_epoch,
+                    u.max_epoch
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Protocol contract: no frame's typed message carries a ground-truth
+/// [`alert_sim::NodeId`] (the anonymity sine qua non; see
+/// [`crate::audit::WireAudit`]).
+pub fn no_node_id_on_wire(run: &CaseRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &run.frames {
+        if !f.leaked.is_empty() {
+            push_capped(
+                &mut out,
+                "no-node-id-on-wire",
+                format!(
+                    "frame from node {} at t={:.3} carries ground-truth node id(s) {:?}",
+                    f.sender, f.time, f.leaked
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Protocol contract, for the TTL-bounded forwarders (GPSR and the
+/// planted variant, both hop budget 10): no packet incurs more data
+/// frames than its TTL allows, counting link-layer retransmissions —
+/// operationally, "perimeter mode always exits or drops". Protocols
+/// that legitimately flood or retry at the routing layer are exempt.
+pub fn frame_budget(protocol: ProtocolChoice, run: &CaseRun) -> Vec<Violation> {
+    let ttl = match protocol {
+        ProtocolChoice::Gpsr | ProtocolChoice::LeakyNodeId => 10u64,
+        _ => return Vec::new(),
+    };
+    let budget = ttl * (1 + u64::from(run.cfg.mac.arq_max_retries)) + 2;
+    let mut frames_per_packet: BTreeMap<u64, u64> = BTreeMap::new();
+    for ev in &run.events {
+        if let TraceEvent::Tx {
+            packet: Some(p), ..
+        } = ev
+        {
+            *frames_per_packet.entry(*p).or_insert(0) += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for (p, n) in &frames_per_packet {
+        if *n > budget {
+            push_capped(
+                &mut out,
+                "frame-budget",
+                format!("packet {p} incurred {n} data frames > TTL budget {budget}"),
+            );
+        }
+    }
+    out
+}
+
+/// Accounting: the three observability planes — registry counters,
+/// trace-derived totals, ground-truth metrics — agree on every shared
+/// channel, including per-reason drop counts. Holds on aborted runs
+/// too: increments and trace emissions are co-located at every site.
+pub fn accounting_identities(run: &CaseRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let stats = trace_stats(&run.events);
+    let counter = |name: &str| run.registry.counters.get(name).copied().unwrap_or(0);
+    let mut check = |name: &'static str, registry: u64, trace: u64| {
+        if registry != trace {
+            push_capped(
+                &mut out,
+                "accounting-identities",
+                format!("registry {name}={registry} but trace says {trace}"),
+            );
+        }
+    };
+    check("tx.frames", counter("tx.frames"), stats.tx_frames);
+    check("rx.frames", counter("rx.frames"), stats.rx_frames);
+    check("app.packets", counter("app.packets"), stats.app_packets);
+    check("delivered", counter("delivered"), stats.delivered_packets);
+    check("timer.fired", counter("timer.fired"), stats.timer_fires);
+    check(
+        "pseudonym.rotations",
+        counter("pseudonym.rotations"),
+        stats.pseudonym_rotations,
+    );
+    check(
+        "location.lookups",
+        counter("location.lookups"),
+        stats.location_lookups,
+    );
+    check("node.downs", counter("node.downs"), stats.node_downs);
+    check("node.ups", counter("node.ups"), stats.node_ups);
+    check(
+        "drops",
+        counter("drops"),
+        stats.drops_by_reason.values().sum(),
+    );
+    let retries = run
+        .registry
+        .histograms
+        .get("link.retries")
+        .map_or(0, |h| h.count);
+    check("link.retries", retries, stats.link_retries);
+
+    // Trace vs ground-truth metrics.
+    if stats.app_packets != run.metrics.packets.len() as u64 {
+        push_capped(
+            &mut out,
+            "accounting-identities",
+            format!(
+                "trace saw {} app_send events but metrics registered {} packets",
+                stats.app_packets,
+                run.metrics.packets.len()
+            ),
+        );
+    }
+    let delivered_truth = run
+        .metrics
+        .packets
+        .iter()
+        .filter(|p| p.delivered_at.is_some())
+        .count() as u64;
+    if stats.delivered_packets != delivered_truth {
+        push_capped(
+            &mut out,
+            "accounting-identities",
+            format!(
+                "trace saw {} delivered packets but metrics say {delivered_truth}",
+                stats.delivered_packets
+            ),
+        );
+    }
+    if run.metrics.drops != stats.drops_by_reason {
+        push_capped(
+            &mut out,
+            "accounting-identities",
+            format!(
+                "metrics drop map {:?} != trace drop map {:?}",
+                run.metrics.drops, stats.drops_by_reason
+            ),
+        );
+    }
+    out
+}
+
+/// Accounting: packet bookkeeping is conserved. Strict flow conservation
+/// ("sent = delivered + dropped") is deliberately *not* asserted — GPSR
+/// drops TTL-exhausted and unroutable packets silently by design — but
+/// every event must reference a registered packet, nothing is delivered
+/// before it is sent, and the trace's delivered set matches ground
+/// truth packet for packet.
+pub fn packet_conservation(run: &CaseRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let registered = run.metrics.packets.len() as u64;
+    let mut sent_at: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut delivered_trace: BTreeMap<u64, f64> = BTreeMap::new();
+    for ev in &run.events {
+        let (packet, label): (Option<u64>, &str) = match ev {
+            TraceEvent::AppSend { time, packet, .. } => {
+                sent_at.insert(*packet, *time);
+                (Some(*packet), "app_send")
+            }
+            TraceEvent::Hop { packet, .. } => (Some(*packet), "hop"),
+            TraceEvent::RandomForwarder { packet, .. } => (Some(*packet), "rf"),
+            TraceEvent::Delivered { time, packet, .. } => {
+                delivered_trace.entry(*packet).or_insert(*time);
+                (Some(*packet), "delivered")
+            }
+            TraceEvent::Drop { packet, .. } => (*packet, "drop"),
+            TraceEvent::Tx { packet, .. } => (*packet, "tx"),
+            _ => (None, ""),
+        };
+        if let Some(p) = packet {
+            if p >= registered {
+                push_capped(
+                    &mut out,
+                    "packet-conservation",
+                    format!("`{label}` event references unregistered packet {p}"),
+                );
+            }
+        }
+    }
+    for (p, t) in &delivered_trace {
+        match sent_at.get(p) {
+            None => push_capped(
+                &mut out,
+                "packet-conservation",
+                format!("packet {p} delivered without an app_send"),
+            ),
+            Some(s) if t < s => push_capped(
+                &mut out,
+                "packet-conservation",
+                format!("packet {p} delivered at t={t} before its send at t={s}"),
+            ),
+            _ => {}
+        }
+    }
+    // The trace's delivered set and ground truth agree exactly.
+    for (id, rec) in run.metrics.packets.iter().enumerate() {
+        let in_trace = delivered_trace.contains_key(&(id as u64));
+        if rec.delivered_at.is_some() != in_trace {
+            push_capped(
+                &mut out,
+                "packet-conservation",
+                format!(
+                    "packet {id}: metrics delivered={} but trace delivered={}",
+                    rec.delivered_at.is_some(),
+                    in_trace
+                ),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_case;
+    use alert_sim::ScenarioConfig;
+
+    fn small() -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::default().with_nodes(30).with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        cfg
+    }
+
+    #[test]
+    fn honest_run_passes_every_oracle() {
+        let cfg = small();
+        let run = run_case(ProtocolChoice::Gpsr, &cfg, 11).unwrap();
+        let v = check_all(ProtocolChoice::Gpsr, &run);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn leaky_plant_trips_exactly_the_node_id_oracle() {
+        let cfg = small();
+        let run = run_case(ProtocolChoice::LeakyNodeId, &cfg, 11).unwrap();
+        let v = check_all(ProtocolChoice::LeakyNodeId, &run);
+        assert!(!v.is_empty(), "plant went uncaught");
+        assert!(
+            v.iter().all(|x| x.invariant == "no-node-id-on-wire"),
+            "plant tripped unrelated oracles: {v:?}"
+        );
+    }
+
+    #[test]
+    fn planted_trace_corruption_is_caught() {
+        let cfg = small();
+        let mut run = run_case(ProtocolChoice::Gpsr, &cfg, 3).unwrap();
+        // Corrupt the trace: rewind one event's timestamp and point a
+        // hop at a ghost packet.
+        run.events.push(alert_trace::TraceEvent::Hop {
+            time: 0.0,
+            node: 1,
+            packet: 9_999_999,
+        });
+        let v = check_all(ProtocolChoice::Gpsr, &run);
+        let names: Vec<_> = v.iter().map(|x| x.invariant).collect();
+        assert!(names.contains(&"monotone-timestamps"), "{names:?}");
+        assert!(names.contains(&"packet-conservation"), "{names:?}");
+    }
+
+    #[test]
+    fn invariant_list_is_consistent() {
+        // Every name the oracles can emit is documented in INVARIANTS.
+        let documented: Vec<_> = INVARIANTS.iter().map(|(n, _)| *n).collect();
+        for name in [
+            "monotone-timestamps",
+            "down-node-activity",
+            "radio-range",
+            "hop-lower-bound",
+            "pseudonym-epochs",
+            "no-node-id-on-wire",
+            "frame-budget",
+            "accounting-identities",
+            "packet-conservation",
+            "no-panic",
+        ] {
+            assert!(documented.contains(&name), "{name} undocumented");
+        }
+    }
+}

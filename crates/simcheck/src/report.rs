@@ -1,0 +1,293 @@
+//! The suite runner: enumerate cases, run each under the full oracle
+//! suite, shrink failures, and render the deterministic report.
+//!
+//! Everything written to the report stream is a pure function of the
+//! suite options — same `(cases, seed, plant)` means byte-identical
+//! output, which is what lets CI diff two simcheck runs and what the
+//! exit-code contract test pins. Wall-clock chatter goes to stderr
+//! only; the opt-in `--max-wall-s` budget trades determinism for a
+//! bounded CI slot (its early stop is reported in the summary).
+
+use crate::driver::run_case;
+use crate::fuzz::{flag_encodable, gen_case, Case, Plant};
+use crate::oracle::{check_all, Violation};
+use crate::shrink::shrink;
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Suite configuration (the `simcheck` CLI surface).
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Number of cases to enumerate.
+    pub cases: usize,
+    /// Master seed of the enumeration.
+    pub seed: u64,
+    /// Planted-defect interleaving.
+    pub plant: Plant,
+    /// Simulator re-runs the shrinker may spend per failing case.
+    pub shrink_runs: usize,
+    /// Optional wall-clock budget; checked between cases.
+    pub max_wall: Option<Duration>,
+    /// Where to write scenario JSON + replay artifacts for failures.
+    pub artifact_dir: Option<PathBuf>,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> SuiteOptions {
+        SuiteOptions {
+            cases: 100,
+            seed: 0,
+            plant: Plant::None,
+            shrink_runs: 40,
+            max_wall: None,
+            artifact_dir: None,
+        }
+    }
+}
+
+/// What a whole suite run amounted to (drives the exit code).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteSummary {
+    /// Cases actually run (fewer than requested iff the wall budget
+    /// tripped).
+    pub cases_run: usize,
+    /// Cases with at least one invariant violation.
+    pub violated: usize,
+    /// Cases the harness itself failed to run (generator produced an
+    /// invalid scenario — a simcheck bug, not a simulator bug).
+    pub harness_errors: usize,
+}
+
+/// How one case fared.
+enum CaseResult {
+    /// All oracles passed; the trace had this many events.
+    Ok { events: usize, aborted: Option<String> },
+    /// At least one oracle fired.
+    Violated {
+        violations: Vec<Violation>,
+        aborted: Option<String>,
+    },
+    /// The harness could not run the case at all.
+    HarnessError(String),
+}
+
+/// Runs one case under the suite, converting panics into `no-panic`
+/// violations (the FoundationDB posture: a crashing simulator is a
+/// finding, not a harness failure).
+fn run_one(case: &Case) -> CaseResult {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_case(case.protocol, &case.cfg, case.seed)
+    }));
+    match outcome {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            CaseResult::Violated {
+                violations: vec![Violation {
+                    invariant: "no-panic",
+                    detail: format!("simulator panicked: {msg}"),
+                }],
+                aborted: None,
+            }
+        }
+        Ok(Err(failure)) => CaseResult::HarnessError(failure.to_string()),
+        Ok(Ok(run)) => {
+            let aborted = run.aborted.as_ref().map(|a| a.to_string());
+            let violations = check_all(case.protocol, &run);
+            if violations.is_empty() {
+                CaseResult::Ok {
+                    events: run.events.len(),
+                    aborted,
+                }
+            } else {
+                CaseResult::Violated {
+                    violations,
+                    aborted,
+                }
+            }
+        }
+    }
+}
+
+/// Writes the scenario JSON and replay command for a shrunk failure;
+/// returns the replay line to print. Only called on the failure path,
+/// so a read-only CI run writes nothing.
+fn emit_artifacts(opts: &SuiteOptions, case: &Case) -> io::Result<String> {
+    let exact = flag_encodable(&case.cfg);
+    let Some(dir) = &opts.artifact_dir else {
+        return Ok(if exact {
+            case.replay_command()
+        } else {
+            format!(
+                "{} (scenario has non-default knobs; rerun simcheck with --artifact-dir for an exact --scenario replay)",
+                case.replay_command()
+            )
+        });
+    };
+    std::fs::create_dir_all(dir)?;
+    let scenario_path = dir.join(format!("case-{:04}.scenario.json", case.index));
+    let json = serde_json::to_string_pretty(&case.cfg)
+        .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+    std::fs::write(&scenario_path, json + "\n")?;
+    let replay = if exact {
+        case.replay_command()
+    } else {
+        format!(
+            "simrun --protocol {} --scenario {} --seed {}",
+            case.protocol.name().to_lowercase(),
+            scenario_path.display(),
+            case.seed
+        )
+    };
+    std::fs::write(
+        dir.join(format!("case-{:04}.replay", case.index)),
+        format!("{replay}\n"),
+    )?;
+    Ok(replay)
+}
+
+/// Runs the whole suite, streaming the deterministic report to `out`.
+pub fn run_suite(opts: &SuiteOptions, out: &mut dyn Write) -> io::Result<SuiteSummary> {
+    let start = Instant::now();
+    writeln!(
+        out,
+        "# simcheck: cases={} seed={} plant={}",
+        opts.cases,
+        opts.seed,
+        match opts.plant {
+            Plant::None => "none",
+            Plant::Leak => "leak",
+        }
+    )?;
+    let mut summary = SuiteSummary {
+        cases_run: 0,
+        violated: 0,
+        harness_errors: 0,
+    };
+    let mut wall_tripped = false;
+    for index in 0..opts.cases {
+        if let Some(budget) = opts.max_wall {
+            if start.elapsed() > budget {
+                wall_tripped = true;
+                break;
+            }
+        }
+        let case = gen_case(opts.seed, index, opts.plant);
+        summary.cases_run += 1;
+        match run_one(&case) {
+            CaseResult::Ok { events, aborted } => {
+                let note = aborted
+                    .map(|a| format!(" [aborted: {a}]"))
+                    .unwrap_or_default();
+                writeln!(
+                    out,
+                    "case {index:04} ok        {} (events={events}){note}",
+                    case.describe()
+                )?;
+            }
+            CaseResult::Violated {
+                violations,
+                aborted,
+            } => {
+                summary.violated += 1;
+                let note = aborted
+                    .map(|a| format!(" [aborted: {a}]"))
+                    .unwrap_or_default();
+                writeln!(
+                    out,
+                    "case {index:04} VIOLATION {}{note}",
+                    case.describe()
+                )?;
+                for v in &violations {
+                    writeln!(out, "  {}: {}", v.invariant, v.detail)?;
+                }
+                let lead = violations[0].invariant;
+                let shrunk = shrink(&case, lead, opts.shrink_runs);
+                writeln!(
+                    out,
+                    "  shrunk ({} runs): {}",
+                    shrunk.runs_used,
+                    shrunk.case.describe()
+                )?;
+                writeln!(out, "  replay: {}", emit_artifacts(opts, &shrunk.case)?)?;
+            }
+            CaseResult::HarnessError(msg) => {
+                summary.harness_errors += 1;
+                writeln!(
+                    out,
+                    "case {index:04} HARNESS-ERROR {}: {msg}",
+                    case.describe()
+                )?;
+            }
+        }
+    }
+    if wall_tripped {
+        writeln!(
+            out,
+            "# wall budget exhausted after {} of {} cases",
+            summary.cases_run, opts.cases
+        )?;
+    }
+    writeln!(
+        out,
+        "# summary: cases={} violations={} harness-errors={}",
+        summary.cases_run, summary.violated, summary.harness_errors
+    )?;
+    eprintln!(
+        "[simcheck] {} cases in {:.2}s",
+        summary.cases_run,
+        start.elapsed().as_secs_f64()
+    );
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(opts: &SuiteOptions) -> (SuiteSummary, String) {
+        let mut buf = Vec::new();
+        let summary = run_suite(opts, &mut buf).unwrap();
+        (summary, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn small_suite_passes_and_is_byte_identical() {
+        let opts = SuiteOptions {
+            cases: 6,
+            seed: 0,
+            ..SuiteOptions::default()
+        };
+        let (a_sum, a) = run_to_string(&opts);
+        let (b_sum, b) = run_to_string(&opts);
+        assert_eq!(a, b, "same seed must render a byte-identical report");
+        assert_eq!(a_sum, b_sum);
+        assert_eq!(a_sum.violated, 0, "report:\n{a}");
+        assert_eq!(a_sum.harness_errors, 0, "report:\n{a}");
+        assert!(a.contains("# summary: cases=6 violations=0"));
+    }
+
+    #[test]
+    fn planted_suite_reports_catches_and_replays() {
+        let opts = SuiteOptions {
+            cases: 8,
+            seed: 0,
+            plant: Plant::Leak,
+            shrink_runs: 25,
+            ..SuiteOptions::default()
+        };
+        let (summary, report) = run_to_string(&opts);
+        assert!(summary.violated > 0, "plant went uncaught:\n{report}");
+        assert!(report.contains("no-node-id-on-wire"), "{report}");
+        assert!(report.contains("shrunk ("), "{report}");
+        assert!(
+            report.contains("replay: simrun --protocol __leaky-node-id"),
+            "{report}"
+        );
+    }
+}

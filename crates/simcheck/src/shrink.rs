@@ -1,0 +1,194 @@
+//! The failing-case shrinker: given a case that trips an invariant,
+//! minimize it along the config axes (scenario canonicalization, node
+//! count, pair count, duration, fault entries) while the *same*
+//! invariant keeps firing, within a bounded re-run budget.
+//!
+//! The first move is the most valuable: try replacing the whole fuzzed
+//! scenario with the default one (keeping only geometry and seed). When
+//! that reproduces — always, for config-independent bugs like an
+//! identity leak — the minimized case is fully expressible as `simrun`
+//! flags and the emitted replay command is exact.
+
+use crate::driver::run_case;
+use crate::fuzz::Case;
+use crate::oracle::check_all;
+use alert_sim::ScenarioConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of shrinking one failing case.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized case (still failing with the original invariant).
+    pub case: Case,
+    /// Simulator re-runs spent.
+    pub runs_used: usize,
+}
+
+/// Does `case` still violate `invariant`? Panics count only for the
+/// `no-panic` pseudo-invariant; an invalid scenario (impossible from the
+/// generator, possible mid-shrink) counts as not reproducing.
+pub fn reproduces(case: &Case, invariant: &str) -> bool {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_case(case.protocol, &case.cfg, case.seed)
+    }));
+    match result {
+        Err(_) => invariant == "no-panic",
+        Ok(Err(_)) => false,
+        Ok(Ok(run)) => check_all(case.protocol, &run)
+            .iter()
+            .any(|v| v.invariant == invariant),
+    }
+}
+
+/// Minimizes `case` while `invariant` reproduces, spending at most
+/// `max_runs` simulator re-runs.
+pub fn shrink(case: &Case, invariant: &'static str, max_runs: usize) -> Shrunk {
+    let mut best = case.clone();
+    let mut runs_used = 0usize;
+    let mut try_adopt = |best: &mut Case, candidate: Case, runs_used: &mut usize| -> bool {
+        if *runs_used >= max_runs || candidate.cfg.validate().is_err() {
+            return false;
+        }
+        *runs_used += 1;
+        if reproduces(&candidate, invariant) {
+            *best = candidate;
+            true
+        } else {
+            false
+        }
+    };
+
+    // Pass 1: canonicalize — default scenario, fuzzed geometry.
+    let mut canon = best.clone();
+    canon.cfg = canonical_geometry(&best.cfg);
+    if canon.cfg != best.cfg {
+        try_adopt(&mut best, canon, &mut runs_used);
+    }
+
+    // Pass 2: greedy halving to a fixpoint across the remaining axes.
+    let mut progressed = true;
+    while progressed && runs_used < max_runs {
+        progressed = false;
+
+        if best.cfg.duration_s > 1.0 {
+            let mut c = best.clone();
+            c.cfg.duration_s = (c.cfg.duration_s / 2.0).max(1.0).round().max(1.0);
+            c.cfg.faults = clamp_faults(&c.cfg);
+            if c.cfg.duration_s < best.cfg.duration_s
+                && try_adopt(&mut best, c, &mut runs_used)
+            {
+                progressed = true;
+            }
+        }
+
+        if best.cfg.traffic.pairs > 0 {
+            let mut c = best.clone();
+            c.cfg.traffic.pairs /= 2;
+            if try_adopt(&mut best, c, &mut runs_used) {
+                progressed = true;
+            }
+        }
+
+        let floor = (2 * best.cfg.traffic.pairs).max(1);
+        if best.cfg.nodes > floor {
+            let mut c = best.clone();
+            c.cfg.nodes = (c.cfg.nodes / 2).max(floor);
+            c.cfg.faults = clamp_faults(&c.cfg);
+            if try_adopt(&mut best, c, &mut runs_used) {
+                progressed = true;
+            }
+        }
+
+        if !best.cfg.faults.is_empty() {
+            let mut c = best.clone();
+            let n = c.cfg.faults.crashes.len();
+            if n > 0 {
+                c.cfg.faults.crashes.truncate(n / 2);
+            } else if !c.cfg.faults.regional_outages.is_empty() {
+                c.cfg.faults.regional_outages.clear();
+            } else {
+                c.cfg.faults.link_degradations.clear();
+            }
+            if try_adopt(&mut best, c, &mut runs_used) {
+                progressed = true;
+            }
+        }
+    }
+
+    Shrunk {
+        case: best,
+        runs_used,
+    }
+}
+
+/// The default scenario carrying only `cfg`'s geometry (nodes, pairs,
+/// duration) — the flag-encodable canonical form.
+fn canonical_geometry(cfg: &ScenarioConfig) -> ScenarioConfig {
+    let mut canon = ScenarioConfig::default()
+        .with_nodes(cfg.nodes)
+        .with_duration(cfg.duration_s);
+    canon.traffic.pairs = cfg.traffic.pairs;
+    canon
+}
+
+/// Drops fault entries a smaller geometry has made invalid (crashes of
+/// nodes past the new population; windows past the new duration stay —
+/// they are legal, just inert).
+fn clamp_faults(cfg: &ScenarioConfig) -> alert_sim::FaultPlan {
+    let mut faults = cfg.faults.clone();
+    faults.crashes.retain(|c| c.node < cfg.nodes);
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::{flag_encodable, gen_case, Plant};
+    use alert_bench::ProtocolChoice;
+
+    #[test]
+    fn leak_shrinks_to_a_flag_encodable_minimum() {
+        // Every fourth case in plant mode is the leaky protocol under a
+        // fuzzed scenario. The leak needs at least one data frame to
+        // become observable, so find the first planted case that
+        // actually reproduces it (a zero-pair or disconnected corner
+        // may legitimately stay silent), then shrink that. The leak is
+        // config-independent, so shrinking must reach the canonical
+        // default scenario at small geometry.
+        let case = (0..40)
+            .step_by(4)
+            .map(|i| gen_case(0, i, Plant::Leak))
+            .inspect(|c| assert_eq!(c.protocol, ProtocolChoice::LeakyNodeId))
+            .find(|c| reproduces(c, "no-node-id-on-wire"))
+            .expect("no planted case leaked in 10 tries");
+        let shrunk = shrink(&case, "no-node-id-on-wire", 40);
+        assert!(reproduces(&shrunk.case, "no-node-id-on-wire"));
+        assert!(
+            flag_encodable(&shrunk.case.cfg),
+            "shrunk case not flag-encodable: {:?}",
+            shrunk.case.cfg
+        );
+        assert!(shrunk.case.cfg.nodes <= case.cfg.nodes);
+        assert!(shrunk.case.cfg.duration_s <= case.cfg.duration_s);
+        assert!(shrunk.case.cfg.faults.is_empty());
+        let replay = shrunk.case.replay_command();
+        assert!(
+            replay.starts_with("simrun --protocol __leaky-node-id --nodes"),
+            "{replay}"
+        );
+    }
+
+    #[test]
+    fn shrink_respects_its_run_budget() {
+        let case = gen_case(0, 0, Plant::Leak);
+        let shrunk = shrink(&case, "no-node-id-on-wire", 3);
+        assert!(shrunk.runs_used <= 3);
+    }
+
+    #[test]
+    fn non_reproducing_invariant_shrinks_nothing() {
+        let case = gen_case(0, 1, Plant::None);
+        let shrunk = shrink(&case, "no-node-id-on-wire", 10);
+        assert_eq!(shrunk.case.cfg, case.cfg);
+    }
+}

@@ -1,0 +1,165 @@
+//! The `simcheck` / `simrun` exit-code contract and the end-to-end
+//! planted-defect acceptance path: `0` clean, `1` violation, `2` usage;
+//! same seed, byte-identical report; a planted NodeId leak is caught,
+//! shrunk, and reported with a `simrun` replay command that actually
+//! runs.
+//!
+//! Runs the binaries as real subprocesses. Under `cargo test` the paths
+//! come from `CARGO_BIN_EXE_*`; standalone harnesses (the offline check
+//! scripts) can point `SIMCHECK_BIN` / `SIMRUN_BIN` at prebuilt
+//! binaries instead.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn simcheck_bin() -> Option<PathBuf> {
+    if let Some(p) = option_env!("CARGO_BIN_EXE_simcheck") {
+        return Some(PathBuf::from(p));
+    }
+    std::env::var_os("SIMCHECK_BIN").map(PathBuf::from)
+}
+
+fn simrun_bin() -> Option<PathBuf> {
+    // Another package's binary: cargo exposes no CARGO_BIN_EXE for it,
+    // so derive it from simcheck's target dir, or take SIMRUN_BIN.
+    if let Some(p) = std::env::var_os("SIMRUN_BIN") {
+        return Some(PathBuf::from(p));
+    }
+    let simcheck = simcheck_bin()?;
+    let sibling = simcheck.with_file_name(format!(
+        "simrun{}",
+        std::env::consts::EXE_SUFFIX
+    ));
+    sibling.exists().then_some(sibling)
+}
+
+fn run(bin: &PathBuf, args: &[&str]) -> Output {
+    Command::new(bin).args(args).output().expect("spawn binary")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_suite_exits_zero_and_is_byte_identical() {
+    let Some(bin) = simcheck_bin() else { return };
+    let args = ["--cases", "8", "--seed", "0"];
+    let a = run(&bin, &args);
+    assert!(
+        a.status.success(),
+        "clean suite must exit 0\nstdout:\n{}\nstderr:\n{}",
+        stdout_of(&a),
+        String::from_utf8_lossy(&a.stderr)
+    );
+    let b = run(&bin, &args);
+    assert_eq!(
+        a.stdout, b.stdout,
+        "same seed must produce a byte-identical report"
+    );
+    assert!(stdout_of(&a).contains("# summary: cases=8 violations=0"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let Some(bin) = simcheck_bin() else { return };
+    for args in [
+        &["--no-such-flag"][..],
+        &["--cases"][..],
+        &["--cases", "not-a-number"][..],
+        &["--cases", "0"][..],
+        &["--plant", "weeds"][..],
+    ] {
+        let out = run(&bin, args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "usage error {args:?} must exit 2, got {:?}",
+            out.status.code()
+        );
+    }
+}
+
+#[test]
+fn list_invariants_exits_zero_and_names_the_oracles() {
+    let Some(bin) = simcheck_bin() else { return };
+    let out = run(&bin, &["--list-invariants"]);
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    for name in [
+        "radio-range",
+        "no-node-id-on-wire",
+        "accounting-identities",
+        "no-panic",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn planted_leak_is_caught_shrunk_and_replayable() {
+    let Some(bin) = simcheck_bin() else { return };
+    let out = run(
+        &bin,
+        &["--cases", "8", "--seed", "0", "--plant", "leak", "--shrink-runs", "25"],
+    );
+    let text = stdout_of(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "planted violation must exit 1\n{text}"
+    );
+    assert!(text.contains("no-node-id-on-wire"), "{text}");
+    assert!(text.contains("shrunk ("), "{text}");
+
+    // The report must contain a one-line replay command...
+    let replay = text
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("replay: "))
+        .unwrap_or_else(|| panic!("no replay line in:\n{text}"));
+    let mut words = replay.split_whitespace();
+    assert_eq!(words.next(), Some("simrun"), "{replay}");
+    let args: Vec<&str> = words.collect();
+    assert!(args.contains(&"--protocol"), "{replay}");
+    assert!(args.contains(&"__leaky-node-id"), "{replay}");
+
+    // ...and that command must actually run (exit 0 under simrun).
+    let Some(simrun) = simrun_bin() else { return };
+    let rerun = run(&simrun, &args);
+    assert!(
+        rerun.status.success(),
+        "replay command failed: simrun {}\nstderr:\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&rerun.stderr)
+    );
+}
+
+#[test]
+fn simrun_honours_the_same_exit_code_contract() {
+    let Some(simrun) = simrun_bin() else { return };
+    // 0: a small clean run.
+    let ok = run(
+        &simrun,
+        &[
+            "--protocol", "gpsr", "--nodes", "20", "--pairs", "1", "--duration", "3",
+            "--seed", "1",
+        ],
+    );
+    assert!(
+        ok.status.success(),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    // 1: runtime failure (guardrail abort).
+    let aborted = run(
+        &simrun,
+        &[
+            "--protocol", "gpsr", "--nodes", "20", "--pairs", "1", "--duration", "3",
+            "--seed", "1", "--max-events", "10",
+        ],
+    );
+    assert_eq!(aborted.status.code(), Some(1));
+    // 2: usage error.
+    let usage = run(&simrun, &["--protocol", "no-such-protocol"]);
+    assert_eq!(usage.status.code(), Some(2));
+}

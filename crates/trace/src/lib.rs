@@ -46,7 +46,10 @@ pub use registry::{
     CounterHandle, HistogramBucket, HistogramHandle, HistogramSnapshot, LogHistogram, Registry,
     RegistrySnapshot,
 };
-pub use replay::{down_intervals, reconstruct_packets, trace_stats, PacketTrace, TraceStats};
+pub use replay::{
+    down_intervals, down_node_activity, reconstruct_packets, trace_stats, DownNodeAudit,
+    PacketTrace, TraceStats,
+};
 pub use sink::{
     JsonlSink, NullSink, RingBufferHandle, RingBufferSink, SharedBuf, TraceSink, Tracer,
 };

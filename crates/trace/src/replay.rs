@@ -211,6 +211,91 @@ pub fn down_intervals(events: &[TraceEvent]) -> BTreeMap<u64, Vec<(f64, f64)>> {
     out
 }
 
+/// Streaming checker for the fault-injection invariant documented on
+/// [`down_intervals`]: between its `node_down` and the matching `node_up`
+/// a crashed node's radio and CPU are off, so no trace event may attribute
+/// *activity* to it — no transmission, reception, hop, random-forwarder
+/// selection, delivery, timer fire, pseudonym rotation, location lookup,
+/// crypto charge, zone partition, or forwarder selection.
+///
+/// `drop` events are exempt (the simulator legitimately records e.g.
+/// `receiver_node_down` *against* the crashed node), as is `app_send`
+/// (the application layer generates packets for a crashed source; the
+/// packet then surfaces as a `source_node_down` drop).
+///
+/// Boundary semantics follow stream order, which is dispatch order: fault
+/// events are scheduled before any traffic, so at equal timestamps a crash
+/// precedes a same-time delivery, and activity at exactly the recovery
+/// time is legal because the `node_up` record streams first.
+#[derive(Debug, Default)]
+pub struct DownNodeAudit {
+    down: std::collections::BTreeSet<u64>,
+    violations: Vec<String>,
+}
+
+impl DownNodeAudit {
+    /// A fresh audit with no nodes down.
+    pub fn new() -> DownNodeAudit {
+        DownNodeAudit::default()
+    }
+
+    /// Feeds one event, in trace order.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        let activity: Option<(f64, u64)> = match ev {
+            TraceEvent::NodeDown { node, .. } => {
+                self.down.insert(*node);
+                None
+            }
+            TraceEvent::NodeUp { node, .. } => {
+                self.down.remove(node);
+                None
+            }
+            TraceEvent::Tx { time, node, .. }
+            | TraceEvent::Rx { time, node, .. }
+            | TraceEvent::Hop { time, node, .. }
+            | TraceEvent::RandomForwarder { time, node, .. }
+            | TraceEvent::Delivered { time, node, .. }
+            | TraceEvent::TimerFire { time, node, .. }
+            | TraceEvent::PseudonymRotation { time, node }
+            | TraceEvent::LocationLookup { time, node, .. }
+            | TraceEvent::CryptoCharge { time, node, .. }
+            | TraceEvent::ZonePartition { time, node, .. }
+            | TraceEvent::ForwarderSelect { time, node, .. } => Some((*time, *node)),
+            _ => None,
+        };
+        if let Some((time, node)) = activity {
+            if self.down.contains(&node) {
+                self.violations.push(format!(
+                    "node {node} recorded `{}` activity at t={time} inside a down interval",
+                    ev.kind()
+                ));
+            }
+        }
+    }
+
+    /// The violations collected so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Consumes the audit, returning every violation.
+    pub fn into_violations(self) -> Vec<String> {
+        self.violations
+    }
+}
+
+/// Folds [`DownNodeAudit`] over a complete trace: every event that
+/// attributes activity to a node inside one of its down intervals, as
+/// human-readable violation strings. An empty result means the trace
+/// honors the fault-injection invariant.
+pub fn down_node_activity(events: &[TraceEvent]) -> Vec<String> {
+    let mut audit = DownNodeAudit::new();
+    for ev in events {
+        audit.observe(ev);
+    }
+    audit.into_violations()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,5 +441,117 @@ mod tests {
         assert_eq!(node7[0], (5.0, 9.0));
         assert_eq!(node7[1].0, 12.0);
         assert!(node7[1].1.is_infinite());
+    }
+
+    #[test]
+    fn down_node_activity_accepts_clean_traces() {
+        // The sample trace never attributes activity to node 7 while it
+        // is down, so the executable form of the invariant holds.
+        assert!(down_node_activity(&sample_trace()).is_empty());
+    }
+
+    #[test]
+    fn down_node_activity_flags_planted_violations() {
+        let mut events = vec![
+            TraceEvent::NodeDown { time: 5.0, node: 7 },
+            // Activity by a *different* node while 7 is down: fine.
+            TraceEvent::Hop {
+                time: 6.0,
+                node: 3,
+                packet: 0,
+            },
+            // Planted bug: the crashed node forwards a packet.
+            TraceEvent::Hop {
+                time: 7.0,
+                node: 7,
+                packet: 0,
+            },
+            TraceEvent::NodeUp { time: 9.0, node: 7 },
+            // After recovery the node may act again.
+            TraceEvent::Hop {
+                time: 9.5,
+                node: 7,
+                packet: 1,
+            },
+        ];
+        let violations = down_node_activity(&events);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("node 7"), "{violations:?}");
+        assert!(violations[0].contains("hop"), "{violations:?}");
+        assert!(violations[0].contains("t=7"), "{violations:?}");
+
+        // A planted Tx while down is caught too.
+        events.push(TraceEvent::NodeDown { time: 12.0, node: 7 });
+        events.push(TraceEvent::Tx {
+            time: 13.0,
+            node: 7,
+            kind: TxKind::Broadcast,
+            class: TrafficKind::Data,
+            bytes: 64,
+            packet: None,
+        });
+        assert_eq!(down_node_activity(&events).len(), 2);
+    }
+
+    #[test]
+    fn down_node_activity_boundary_follows_stream_order() {
+        // Equal timestamps resolve by stream order, mirroring the
+        // simulator's FIFO dispatch: a crash streamed before a same-time
+        // hop makes the hop a violation; activity streamed at exactly the
+        // recovery time (after `node_up`) is legal.
+        let crash_then_hop = vec![
+            TraceEvent::NodeDown { time: 5.0, node: 1 },
+            TraceEvent::Hop {
+                time: 5.0,
+                node: 1,
+                packet: 0,
+            },
+        ];
+        assert_eq!(down_node_activity(&crash_then_hop).len(), 1);
+
+        let recover_then_hop = vec![
+            TraceEvent::NodeDown { time: 5.0, node: 1 },
+            TraceEvent::NodeUp { time: 9.0, node: 1 },
+            TraceEvent::Hop {
+                time: 9.0,
+                node: 1,
+                packet: 0,
+            },
+        ];
+        assert!(down_node_activity(&recover_then_hop).is_empty());
+    }
+
+    #[test]
+    fn down_node_activity_agrees_with_down_intervals() {
+        // The streaming audit and the interval reconstruction are two
+        // views of the same invariant: an activity event at a time
+        // strictly inside a `down_intervals` interval must be flagged,
+        // and one strictly outside every interval must not be.
+        let events = vec![
+            TraceEvent::NodeDown { time: 2.0, node: 4 },
+            TraceEvent::Hop {
+                time: 3.0,
+                node: 4,
+                packet: 0,
+            }, // inside (2, 6)
+            TraceEvent::NodeUp { time: 6.0, node: 4 },
+            TraceEvent::Hop {
+                time: 7.0,
+                node: 4,
+                packet: 0,
+            }, // outside
+            TraceEvent::NodeDown { time: 8.0, node: 4 },
+            TraceEvent::RandomForwarder {
+                time: 9.0,
+                node: 4,
+                packet: 1,
+            }, // inside the open-ended (8, inf)
+        ];
+        let ivs = down_intervals(&events);
+        let flagged = down_node_activity(&events);
+        assert_eq!(ivs[&4], vec![(2.0, 6.0), (8.0, f64::INFINITY)]);
+        assert_eq!(flagged.len(), 2);
+        let inside = |t: f64| ivs[&4].iter().any(|&(a, b)| t > a && t < b);
+        assert!(inside(3.0) && inside(9.0) && !inside(7.0));
     }
 }

@@ -91,10 +91,13 @@ E_ALL=("${E_SERDE[@]}" $(ex rand rayon serde_json alert_geom alert_crypto \
     alert_mobility alert_trace alert_sim alert_protocols alert_core \
     alert_adversary alert_analysis))
 lib alert_bench crates/bench/src/lib.rs "${E_ALL[@]}"
+lib alert_simcheck crates/simcheck/src/lib.rs "${E_ALL[@]}" $(ex alert_bench)
 
 # --- runnable artifacts ---------------------------------------------------
 build_bin simrun crates/bench/src/bin/simrun.rs "${E_ALL[@]}" $(ex alert_bench)
 build_bin repro crates/bench/src/bin/repro.rs "${E_ALL[@]}" $(ex alert_bench)
+build_bin simcheck crates/simcheck/src/bin/simcheck.rs "${E_ALL[@]}" \
+    $(ex alert_bench alert_simcheck)
 build_test trace_determinism crates/sim/tests/trace_determinism.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 if [ -f crates/sim/tests/alloc_regression.rs ]; then
@@ -106,7 +109,16 @@ build_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
 # The resume test drives the repro binary built above (REPRO_BIN; there
 # is no cargo here to set CARGO_BIN_EXE_repro).
 build_test resume crates/bench/tests/resume.rs "${E_ALL[@]}" $(ex alert_bench)
+# The simcheck unit tests exercise the oracle suite in-process; the CLI
+# test drives the simcheck/simrun binaries built above (SIMCHECK_BIN /
+# SIMRUN_BIN; there is no cargo here to set CARGO_BIN_EXE_*).
+build_test alert_simcheck_unit crates/simcheck/src/lib.rs "${E_ALL[@]}" \
+    $(ex alert_bench)
+build_test simcheck_cli crates/simcheck/tests/cli.rs "${E_ALL[@]}" \
+    $(ex alert_bench alert_simcheck)
 
 echo "offline bench build OK: $OUT/simrun"
 echo "run the resilience tests with:"
 echo "  $OUT/guardrails && REPRO_BIN=$OUT/repro $OUT/resume"
+echo "run the simcheck suite with:"
+echo "  $OUT/alert_simcheck_unit && SIMCHECK_BIN=$OUT/simcheck SIMRUN_BIN=$OUT/simrun $OUT/simcheck_cli"

@@ -81,11 +81,14 @@ E_ALL=("${E_SERDE[@]}" $(ex rand rayon serde_json alert_geom alert_crypto \
     alert_mobility alert_trace alert_sim alert_protocols alert_core \
     alert_adversary alert_analysis))
 lib alert_bench crates/bench/src/lib.rs "${E_ALL[@]}"
+lib alert_simcheck crates/simcheck/src/lib.rs "${E_ALL[@]}" $(ex alert_bench)
 lib alert src/lib.rs "${E_ALL[@]}"
 
 # --- binaries ------------------------------------------------------------
 check_bin repro crates/bench/src/bin/repro.rs "${E_ALL[@]}" $(ex alert_bench)
 check_bin simrun crates/bench/src/bin/simrun.rs "${E_ALL[@]}" $(ex alert_bench)
+check_bin simcheck crates/simcheck/src/bin/simcheck.rs "${E_ALL[@]}" \
+    $(ex alert_bench alert_simcheck)
 
 # --- examples ------------------------------------------------------------
 for exf in examples/*.rs; do
@@ -110,8 +113,12 @@ check_test alert_core_unit crates/core/src/lib.rs "${E_SERDE[@]}" \
 check_test alert_adversary_unit crates/adversary/src/lib.rs "${E_SERDE[@]}" \
     $(ex rand parking_lot alert_geom alert_crypto alert_sim alert_core alert_protocols)
 check_test alert_bench_unit crates/bench/src/lib.rs "${E_ALL[@]}"
+check_test alert_simcheck_unit crates/simcheck/src/lib.rs "${E_ALL[@]}" \
+    $(ex alert_bench)
 
 # --- integration tests that need no proptest -----------------------------
+check_test analysis_props crates/analysis/tests/analysis_props.rs "${E_SERDE[@]}" \
+    $(ex alert_geom alert_analysis)
 check_test runtime_smoke crates/sim/tests/runtime_smoke.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 check_test trace_determinism crates/sim/tests/trace_determinism.rs "${E_SERDE[@]}" \
@@ -125,6 +132,8 @@ check_test observability tests/observability.rs "${E_ALL[@]}" \
     $(ex alert alert_bench)
 check_test full_pipeline tests/full_pipeline.rs "${E_ALL[@]}" \
     $(ex alert alert_bench)
+check_test theory_vs_simulation tests/theory_vs_simulation.rs "${E_ALL[@]}" \
+    $(ex alert alert_bench)
 check_test alloc_regression crates/sim/tests/alloc_regression.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 check_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
@@ -132,6 +141,8 @@ check_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
 check_test config_serde crates/sim/tests/config_serde.rs "${E_SERDE[@]}" \
     $(ex serde_json rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 check_test resume crates/bench/tests/resume.rs "${E_ALL[@]}" $(ex alert_bench)
+check_test simcheck_cli crates/simcheck/tests/cli.rs "${E_ALL[@]}" \
+    $(ex alert_bench alert_simcheck)
 
 # --- bench targets (criterion stub; CI runs the real harness) ------------
 for bf in crates/bench/benches/*.rs; do
