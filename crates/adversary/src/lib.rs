@@ -9,7 +9,10 @@
 //!   ALERT's countermeasure (Section 3.3, Fig. 5);
 //! * [`compromise`] — active node compromise: blackhole relays and
 //!   interception analysis (Sections 2.1, 3.1);
-//! * [`anonymity`] — k-anonymity / entropy / route-diversity metrics.
+//! * [`anonymity`] — k-anonymity / entropy / route-diversity metrics;
+//! * [`telemetry`] — trace-derived anonymity-set timeseries: the same
+//!   intersection attacker replayed over a stored JSONL trace, windowed
+//!   like `alert-timeseries/1` (feeds `tracequery anonymity`).
 
 //! ## Example: eavesdrop on a run and correlate timings
 //!
@@ -40,6 +43,7 @@ pub mod anonymity;
 pub mod compromise;
 pub mod eavesdrop;
 pub mod intersection;
+pub mod telemetry;
 pub mod timing;
 
 pub use anonymity::{
@@ -49,4 +53,5 @@ pub use anonymity::{
 pub use compromise::{choose_compromised, interception_fraction, Blackhole, DosOutcome};
 pub use eavesdrop::{CaptureHandle, DeliveryEvent, TrafficCapture, TrafficLog};
 pub use intersection::{IntersectionAttack, IntersectionOutcome, RecipientSet};
+pub use telemetry::{anonymity_timeseries, AnonymitySample, FlowAnonymity};
 pub use timing::{correlate, links_pair, TimingCorrelation};

@@ -1,0 +1,343 @@
+//! Anonymity telemetry: trace-derived, per-flow anonymity-set series.
+//!
+//! Everything in this module is computed from a stored [`TraceEvent`]
+//! sequence alone — no live simulator access — so the same telemetry can
+//! be derived offline from any `--trace` JSONL file. The attacker model
+//! matches [`crate::intersection`]: a passive observer who, once per
+//! sampling window, notes which nodes participated in forwarding a
+//! session's packets (data-plane `hop`, `rf`, and `delivered` events)
+//! and intersects those rounds to hunt the destination.
+//!
+//! Per window and per session this yields:
+//!
+//! * the **recipient-set size** `k` (the window's k-anonymity degree);
+//! * its **entropy** `log2 k` bits (uniform belief over the set, via
+//!   [`crate::anonymity::belief_entropy`]);
+//! * the attacker's **candidate count** after intersecting this window
+//!   (empty windows are *not* fed to the attacker — no packets observed
+//!   means no observation round, not an empty recipient set);
+//! * whether the destination is already **excluded** — absent from some
+//!   observed round, so intersection can never pin it.
+//!
+//! Windows use the `alert-timeseries/1` convention: window `k` covers
+//! `(k·every_s, (k+1)·every_s]` simulated seconds, window 0 additionally
+//! includes `t = 0`.
+
+use crate::anonymity::{belief_entropy, uniform_belief};
+use crate::intersection::{IntersectionAttack, RecipientSet};
+use alert_sim::{NodeId, TraceEvent};
+use std::collections::BTreeMap;
+
+/// One sampling window of one session's anonymity telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymitySample {
+    /// Window start (exclusive, except 0.0 which is inclusive).
+    pub t_start: f64,
+    /// Window end (inclusive).
+    pub t_end: f64,
+    /// Nodes observed forwarding or receiving this session's packets in
+    /// the window — the window's k-anonymity degree.
+    pub recipients: usize,
+    /// Entropy (bits) of a uniform belief over the window's recipient
+    /// set: `log2 recipients` (0 for empty windows).
+    pub entropy_bits: f64,
+    /// Intersection-attack candidate count after this window. Carries
+    /// the previous value through empty (unobserved) windows;
+    /// `usize::MAX` until the first observation.
+    pub candidates: usize,
+    /// Whether the true destination is excluded from the candidate set.
+    pub destination_excluded: bool,
+}
+
+/// Whole-run anonymity telemetry for one S–D session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowAnonymity {
+    /// S–D pair index (from the trace's `app_send` events).
+    pub session: u64,
+    /// True source node.
+    pub src: u64,
+    /// True destination node.
+    pub dst: u64,
+    /// One sample per window, covering the whole run.
+    pub samples: Vec<AnonymitySample>,
+    /// Whether the attacker pinned the destination (candidates collapsed
+    /// to exactly `{dst}`).
+    pub identified: bool,
+    /// Whether the destination was excluded from some observed round.
+    pub destination_excluded: bool,
+    /// Final candidate-set size (`usize::MAX` if never observed).
+    pub final_candidates: usize,
+}
+
+/// Window index under the `alert-timeseries/1` convention: events at
+/// exactly `k·every_s` belong to the window they end.
+fn window_index(t: f64, every_s: f64) -> usize {
+    let idx = (t / every_s).ceil() - 1.0;
+    if idx <= 0.0 {
+        0
+    } else {
+        idx as usize
+    }
+}
+
+/// Derives the per-flow anonymity timeseries from a stored trace.
+///
+/// `every_s` must be finite and positive (panics otherwise, matching
+/// `MetricsTimeseries::new`). Sessions are discovered from `app_send`
+/// events; a trace without them yields an empty vector. Flows come back
+/// sorted by session id, each covering every window from 0 to the last
+/// event in the trace, so same-trace calls are fully deterministic.
+pub fn anonymity_timeseries(events: &[TraceEvent], every_s: f64) -> Vec<FlowAnonymity> {
+    assert!(
+        every_s.is_finite() && every_s > 0.0,
+        "anonymity window must be finite and positive, got {every_s}"
+    );
+    // Pass 1: session ground truth and the packet -> session map.
+    let mut flows: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut packet_session: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut t_max = 0.0f64;
+    for e in events {
+        t_max = t_max.max(e.time());
+        if let TraceEvent::AppSend {
+            packet,
+            session,
+            src,
+            dst,
+            ..
+        } = e
+        {
+            flows.entry(*session).or_insert((*src, *dst));
+            packet_session.insert(*packet, *session);
+        }
+    }
+    if flows.is_empty() {
+        return Vec::new();
+    }
+    let windows = window_index(t_max, every_s) + 1;
+
+    // Pass 2: per (session, window) recipient sets from forwarding
+    // activity. Only events that place a node on a packet's path count;
+    // `app_send` itself does not (the attacker watches the network, not
+    // the application layer).
+    let mut recipients: BTreeMap<(u64, usize), RecipientSet> = BTreeMap::new();
+    for e in events {
+        let observed = matches!(
+            e,
+            TraceEvent::Hop { .. } | TraceEvent::RandomForwarder { .. } | TraceEvent::Delivered { .. }
+        );
+        if !observed {
+            continue;
+        }
+        let (Some(node), Some(packet)) = (e.node(), e.packet_id()) else {
+            continue;
+        };
+        let Some(session) = packet_session.get(&packet) else {
+            continue;
+        };
+        let w = window_index(e.time(), every_s);
+        recipients
+            .entry((*session, w))
+            .or_default()
+            .insert(NodeId(node as usize));
+    }
+
+    // Pass 3: run the intersection attacker over each flow's windows.
+    flows
+        .iter()
+        .map(|(&session, &(src, dst))| {
+            let dst_id = NodeId(dst as usize);
+            let mut attack = IntersectionAttack::new();
+            let mut samples = Vec::with_capacity(windows);
+            for w in 0..windows {
+                let set = recipients.get(&(session, w));
+                let k = set.map_or(0, RecipientSet::len);
+                if let Some(set) = set {
+                    attack.observe(set);
+                }
+                let members: Vec<NodeId> = set
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                samples.push(AnonymitySample {
+                    t_start: w as f64 * every_s,
+                    t_end: (w + 1) as f64 * every_s,
+                    recipients: k,
+                    // `+ 0.0` normalizes the `-0.0` a single-member
+                    // belief produces, so k = 0 and k = 1 both render
+                    // as plain `0.0` in the CSV.
+                    entropy_bits: if k == 0 {
+                        0.0
+                    } else {
+                        belief_entropy(&uniform_belief(&members)) + 0.0
+                    },
+                    candidates: attack.anonymity_degree(),
+                    destination_excluded: attack.destination_excluded(dst_id),
+                });
+            }
+            FlowAnonymity {
+                session,
+                src,
+                dst,
+                samples,
+                identified: attack.identified(dst_id),
+                destination_excluded: attack.destination_excluded(dst_id),
+                final_candidates: attack.anonymity_degree(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app_send(time: f64, packet: u64, session: u64, src: u64, dst: u64) -> TraceEvent {
+        TraceEvent::AppSend {
+            time,
+            packet,
+            session,
+            seq: 0,
+            src,
+            dst,
+        }
+    }
+
+    fn hop(time: f64, node: u64, packet: u64) -> TraceEvent {
+        TraceEvent::Hop { time, node, packet }
+    }
+
+    fn delivered(time: f64, node: u64, packet: u64) -> TraceEvent {
+        TraceEvent::Delivered {
+            time,
+            node,
+            packet,
+            latency: 0.1,
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_no_flows() {
+        assert!(anonymity_timeseries(&[], 5.0).is_empty());
+        assert!(anonymity_timeseries(&[hop(1.0, 2, 3)], 5.0).is_empty());
+    }
+
+    #[test]
+    fn windows_follow_the_timeseries_convention() {
+        let events = vec![
+            app_send(0.0, 1, 0, 10, 20),
+            hop(0.0, 10, 1),   // window 0 (t = 0 inclusive)
+            hop(5.0, 11, 1),   // window 0 (boundary belongs to window it ends)
+            hop(5.1, 12, 1),   // window 1
+            delivered(10.0, 20, 1), // window 1
+        ];
+        let flows = anonymity_timeseries(&events, 5.0);
+        assert_eq!(flows.len(), 1);
+        let f = &flows[0];
+        assert_eq!((f.session, f.src, f.dst), (0, 10, 20));
+        assert_eq!(f.samples.len(), 2);
+        assert_eq!(f.samples[0].recipients, 2); // {10, 11}
+        assert_eq!(f.samples[1].recipients, 2); // {12, 20}
+        assert_eq!(f.samples[0].t_start, 0.0);
+        assert_eq!(f.samples[0].t_end, 5.0);
+        assert_eq!(f.samples[1].t_start, 5.0);
+        assert_eq!(f.samples[1].t_end, 10.0);
+    }
+
+    #[test]
+    fn entropy_is_log2_of_recipient_count() {
+        let events = vec![
+            app_send(0.0, 1, 0, 1, 2),
+            hop(1.0, 1, 1),
+            hop(1.5, 3, 1),
+            hop(2.0, 4, 1),
+            delivered(3.0, 2, 1),
+        ];
+        let flows = anonymity_timeseries(&events, 5.0);
+        let s = &flows[0].samples[0];
+        assert_eq!(s.recipients, 4);
+        assert!((s.entropy_bits - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_converges_on_persistent_destination() {
+        // dst 9 receives in every window; other forwarders churn.
+        let events = vec![
+            app_send(0.0, 1, 0, 1, 9),
+            app_send(6.0, 2, 0, 1, 9),
+            app_send(11.0, 3, 0, 1, 9),
+            hop(1.0, 2, 1),
+            delivered(2.0, 9, 1),
+            hop(7.0, 3, 2),
+            delivered(8.0, 9, 2),
+            hop(12.0, 4, 3),
+            delivered(13.0, 9, 3),
+        ];
+        let flows = anonymity_timeseries(&events, 5.0);
+        let f = &flows[0];
+        assert!(f.identified, "intersection pins the always-present dst");
+        assert_eq!(f.final_candidates, 1);
+        // Candidate count is monotone non-increasing across windows.
+        for w in f.samples.windows(2) {
+            assert!(w[1].candidates <= w[0].candidates);
+        }
+    }
+
+    #[test]
+    fn countermeasure_windows_exclude_destination() {
+        // Window 1 has forwarding activity but the dst is absent (packet
+        // held over) — intersection empties and can never recover.
+        let events = vec![
+            app_send(0.0, 1, 0, 1, 9),
+            app_send(6.0, 2, 0, 1, 9),
+            hop(1.0, 2, 1),
+            delivered(2.0, 9, 1),
+            hop(7.0, 2, 2), // dst never appears in window 1
+            delivered(11.0, 9, 2), // arrives a window late
+        ];
+        let flows = anonymity_timeseries(&events, 5.0);
+        let f = &flows[0];
+        assert!(!f.identified);
+        assert!(f.destination_excluded);
+        assert!(f.samples[1].destination_excluded);
+    }
+
+    #[test]
+    fn empty_windows_do_not_feed_the_attacker() {
+        let events = vec![
+            app_send(0.0, 1, 0, 1, 9),
+            delivered(2.0, 9, 1),
+            // windows 1..3 silent, then activity again
+            app_send(16.0, 2, 0, 1, 9),
+            delivered(17.0, 9, 2),
+        ];
+        let flows = anonymity_timeseries(&events, 5.0);
+        let f = &flows[0];
+        assert_eq!(f.samples.len(), 4);
+        assert_eq!(f.samples[1].recipients, 0);
+        // The empty windows carry the previous candidate count through.
+        assert_eq!(f.samples[1].candidates, f.samples[0].candidates);
+        assert!(!f.destination_excluded, "silence is not an observation");
+        assert!(f.identified);
+    }
+
+    #[test]
+    fn flows_are_separated_and_sorted() {
+        let events = vec![
+            app_send(0.0, 2, 1, 3, 4),
+            app_send(0.0, 1, 0, 1, 2),
+            hop(1.0, 5, 1),
+            hop(1.0, 6, 2),
+        ];
+        let flows = anonymity_timeseries(&events, 5.0);
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].session, 0);
+        assert_eq!(flows[1].session, 1);
+        assert_eq!(flows[0].samples[0].recipients, 1);
+        assert_eq!(flows[1].samples[0].recipients, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_window_panics() {
+        anonymity_timeseries(&[], 0.0);
+    }
+}

@@ -4,7 +4,7 @@
 //! repro <experiment...|all> [--runs N] [--csv DIR] [--resume] [--progress]
 //!
 //! experiments:
-//!   table1  fig5c  fig7a  fig7b  fig9a  fig9b
+//!   table1  fig5c  anonymity-vs-time  fig7a  fig7b  fig9a  fig9b
 //!   fig10a  fig10b fig11  fig12  fig13a fig13b
 //!   fig14a  fig14b fig15a fig15b fig16a fig16b fig17
 //!   claim-dos claim-interception claim-defense-cost claim-energy
@@ -35,7 +35,9 @@
 //! Exit codes: `0` clean, `1` runtime failure (I/O error, or any
 //! quarantined run), `2` usage error.
 
-use alert_bench::figures::{analytic, attacks, claims, faults, participants, performance, zone};
+use alert_bench::figures::{
+    analytic, anonymity, attacks, claims, faults, participants, performance, zone,
+};
 use alert_bench::{
     drain_failures, fingerprint, sweep_point, write_atomic, EntryStatus, FailureEntry, FailureSink,
     FigureTable, Journal, ManifestEntry, ProtocolChoice,
@@ -212,9 +214,10 @@ enum Rendered {
     Table(FigureTable),
 }
 
-const ALL: [&str; 25] = [
+const ALL: [&str; 26] = [
     "table1",
     "fig5c",
+    "anonymity-vs-time",
     "fig7a",
     "fig7b",
     "fig9a",
@@ -254,6 +257,7 @@ fn render(target: &str, runs: usize) -> Rendered {
     match target {
         "table1" => Rendered::Text(attacks::table1()),
         "fig5c" => Rendered::Table(attacks::fig5c(runs)),
+        "anonymity-vs-time" => Rendered::Table(anonymity::anonymity_vs_time(runs)),
         "fig7a" => Rendered::Table(analytic::fig7a()),
         "fig7b" => Rendered::Table(analytic::fig7b()),
         "fig9a" => Rendered::Table(analytic::fig9a()),

@@ -15,12 +15,19 @@
 //! `--profile` writes the [`alert_sim::RunProfile`] JSON (pass `-` for
 //! stdout). `--faults` loads an [`alert_sim::FaultPlan`] JSON into the
 //! scenario; `--report` writes the graceful-degradation report (delivery,
-//! latency, node downs/ups, ARQ retries, drops by reason). All imply a
-//! single instrumented run.
+//! latency with p50/p95/p99, node downs/ups, ARQ retries, drops by
+//! reason). `--timeseries` samples the counter/histogram registry every
+//! `--metrics-every` simulated seconds (default 5) into the
+//! byte-deterministic `alert-timeseries/1` JSONL format — the input to
+//! `tracequery rates`. `--postmortem` keeps a ring of the trailing trace
+//! events and dumps them to the given path if the run aborts or panics.
+//! All imply a single instrumented run.
 //!
 //! `--bench-json` switches to the perf-regression sweep mode: it times
 //! end-to-end runs across `--bench-nodes` node counts and writes an
-//! `alert-bench-perf/1` report (see [`alert_bench::perf`]); with
+//! `alert-bench-perf/1` report (see [`alert_bench::perf`]) including a
+//! `tracing_overhead` comparison (tracing disabled vs in-memory JSONL
+//! sink vs registry sampling) on the smallest node count; with
 //! `--bench-baseline OLD.json` the report embeds the previous run and a
 //! per-node-count speedup map.
 //!
@@ -35,8 +42,8 @@
 //! aborted or quarantined runs), `2` usage error.
 
 use alert_bench::{
-    perf_sweep, render_perf_json, run_instrumented, set_progress, sweep_point, ProtocolChoice,
-    RunOptions, RunOutput,
+    perf_sweep, render_perf_json, run_instrumented, set_progress, sweep_point, tracing_overhead,
+    PostmortemDump, ProtocolChoice, RunOptions, RunOutput,
 };
 use alert_core::AlertConfig;
 use alert_sim::{FaultPlan, JsonlSink, Metrics, ScenarioConfig};
@@ -51,6 +58,9 @@ fn main() {
     let mut profile_path: Option<String> = None;
     let mut faults_path: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut timeseries_path: Option<String> = None;
+    let mut metrics_every: Option<f64> = None;
+    let mut postmortem_path: Option<String> = None;
     let mut nodes: Option<usize> = None;
     let mut pairs: Option<usize> = None;
     let mut duration: Option<f64> = None;
@@ -100,6 +110,21 @@ fn main() {
                 report_path = Some(
                     it.next()
                         .unwrap_or_else(|| die("--report needs a path (or -)"))
+                        .clone(),
+                );
+            }
+            "--timeseries" => {
+                timeseries_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--timeseries needs a path (or -)"))
+                        .clone(),
+                );
+            }
+            "--metrics-every" => metrics_every = Some(parse(it.next(), "--metrics-every")),
+            "--postmortem" => {
+                postmortem_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--postmortem needs a path"))
                         .clone(),
                 );
             }
@@ -217,9 +242,23 @@ fn main() {
         )),
     };
 
+    if metrics_every.is_some() && timeseries_path.is_none() {
+        die("--metrics-every needs --timeseries PATH|- for the output");
+    }
+    if let Some(e) = metrics_every {
+        if !e.is_finite() || e <= 0.0 {
+            die("--metrics-every must be a positive number of simulated seconds");
+        }
+    }
+
     if let Some(out_path) = &bench_json {
-        if trace_path.is_some() || profile_path.is_some() || report_path.is_some() {
-            die("--bench-json is a standalone mode; drop --trace/--profile/--report");
+        if trace_path.is_some()
+            || profile_path.is_some()
+            || report_path.is_some()
+            || timeseries_path.is_some()
+            || postmortem_path.is_some()
+        {
+            die("--bench-json is a standalone mode; drop --trace/--profile/--report/--timeseries/--postmortem");
         }
         let baseline = bench_baseline.as_ref().map(|p| {
             std::fs::read_to_string(p)
@@ -228,11 +267,18 @@ fn main() {
         set_progress(true);
         let points = perf_sweep(choice, &scenario, &bench_nodes, bench_runs)
             .unwrap_or_else(|e| fail(&e.to_string()));
+        // The tracing-overhead datum rides on the smallest node count:
+        // it compares three modes per run, and the guard it encodes (a
+        // disabled hot path costs nothing) is node-count independent.
+        let overhead_nodes = bench_nodes.iter().copied().min().expect("list not empty");
+        let overhead = tracing_overhead(choice, &scenario, overhead_nodes, bench_runs)
+            .unwrap_or_else(|e| fail(&e.to_string()));
         let json = render_perf_json(
             choice.name(),
             &scenario,
             &bench_build,
             &points,
+            Some(&overhead),
             baseline.as_deref(),
         );
         if out_path == "-" {
@@ -251,9 +297,13 @@ fn main() {
         scenario.nodes,
         scenario.duration_s
     );
-    let instrumented = trace_path.is_some() || profile_path.is_some() || report_path.is_some();
+    let instrumented = trace_path.is_some()
+        || profile_path.is_some()
+        || report_path.is_some()
+        || timeseries_path.is_some()
+        || postmortem_path.is_some();
     if instrumented && runs != 1 {
-        die("--trace/--profile/--report instrument a single run; drop --runs or set it to 1");
+        die("--trace/--profile/--report/--timeseries/--postmortem instrument a single run; drop --runs or set it to 1");
     }
     if runs == 1 {
         let opts = RunOptions {
@@ -263,6 +313,8 @@ fn main() {
                 Box::new(sink) as _
             }),
             profile: profile_path.is_some(),
+            metrics_every: timeseries_path.as_ref().map(|_| metrics_every.unwrap_or(5.0)),
+            postmortem: postmortem_path.as_ref().map(PostmortemDump::new),
         };
         // An aborted run still streamed its (truncated) trace — the file
         // ends with the run_aborted event — before this returns Err.
@@ -281,6 +333,20 @@ fn main() {
         }
         if let Some(p) = &trace_path {
             eprintln!("trace written to {p}");
+        }
+        if let Some(p) = &timeseries_path {
+            let series = out
+                .timeseries
+                .as_ref()
+                .expect("timeseries requested but not collected");
+            let doc = series.to_jsonl();
+            if p == "-" {
+                print!("{doc}");
+            } else {
+                std::fs::write(p, doc)
+                    .unwrap_or_else(|e| fail(&format!("cannot write timeseries {p}: {e}")));
+                eprintln!("timeseries written to {p}");
+            }
         }
         if let Some(p) = &report_path {
             let json = degradation_report(choice.name(), seed, &scenario, &out);
@@ -331,6 +397,24 @@ fn degradation_report(
         Some(l) if l.is_finite() => format!("{:.3}", l * 1000.0),
         _ => "null".into(),
     };
+    // Quantiles come from the log-bucketed registry histogram: ranks are
+    // exact, values are bucket midpoints within a factor of √2 (see
+    // `LogHistogram::quantile`). Null when no packet was delivered.
+    let latency_q = |q: f64| -> String {
+        match out.registry.histograms.get("latency_s") {
+            Some(h) if h.count > 0 => {
+                let v = if q <= 0.50 {
+                    h.p50
+                } else if q <= 0.95 {
+                    h.p95
+                } else {
+                    h.p99
+                };
+                format!("{:.3}", v * 1000.0)
+            }
+            _ => "null".into(),
+        }
+    };
     let delivery = m.delivery_rate();
     let drops: Vec<String> = m
         .drops
@@ -358,6 +442,9 @@ fn degradation_report(
     ));
     s.push_str(&format!("\"delivery_rate\":{delivery:.6},"));
     s.push_str(&format!("\"mean_latency_ms\":{latency_ms},"));
+    s.push_str(&format!("\"latency_p50_ms\":{},", latency_q(0.50)));
+    s.push_str(&format!("\"latency_p95_ms\":{},", latency_q(0.95)));
+    s.push_str(&format!("\"latency_p99_ms\":{},", latency_q(0.99)));
     s.push_str(&format!("\"node_downs\":{},", counter("node.downs")));
     s.push_str(&format!("\"node_ups\":{},", counter("node.ups")));
     s.push_str(&format!("\"link_retries\":{retries},"));
@@ -377,6 +464,8 @@ fn usage() {
     eprintln!("              [--nodes N] [--pairs N] [--duration SECS]");
     eprintln!("              [--trace trace.jsonl] [--profile profile.json|-]");
     eprintln!("              [--faults plan.json] [--report report.json|-]");
+    eprintln!("              [--timeseries series.jsonl|-] [--metrics-every SIM-SECS]");
+    eprintln!("              [--postmortem postmortem.jsonl]");
     eprintln!("              [--max-events N] [--max-sim-s SECS] [--max-wall-s SECS]");
     eprintln!("              [--max-instant-events N]   (run guardrails, off by default)");
     eprintln!("       simrun --bench-json BENCH.json|- [--bench-nodes 100,200,300]");

@@ -2,6 +2,7 @@
 //! rendered-ready [`crate::table::FigureTable`].
 
 pub mod analytic;
+pub mod anonymity;
 pub mod attacks;
 pub mod claims;
 pub mod faults;

@@ -26,10 +26,13 @@ pub use orchestrate::{
     fingerprint, write_atomic, EntryStatus, FailureEntry, FailureSink, Journal, ManifestEntry,
     FAILURES_FILE, MANIFEST_FILE,
 };
-pub use perf::{baseline_wall_min, perf_sweep, render_perf_json, PerfPoint};
+pub use perf::{
+    baseline_wall_min, perf_sweep, render_perf_json, tracing_overhead, PerfPoint, TracingOverhead,
+};
 pub use runner::{
     drain_failures, failures_total, guarded_run_once, mean_curve, progress_enabled,
     run_instrumented, set_progress, sweep_metrics, sweep_point, try_run_once, FailureRecord,
-    ProtocolChoice, RunFailure, RunOptions, RunOutcome, RunOutput, Stat,
+    PostmortemDump, ProtocolChoice, RunFailure, RunOptions, RunOutcome, RunOutput, Stat,
+    POSTMORTEM_RING_CAPACITY,
 };
 pub use table::FigureTable;

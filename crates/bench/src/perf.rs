@@ -22,10 +22,20 @@
 //!      "events_dispatched":80211,"events_per_sec":163696.1,
 //!      "fel_high_water":412}
 //!   ],
+//!   "tracing_overhead":{"nodes":100,"runs":3,"wall_s_disabled":0.49,
+//!     "wall_s_jsonl":0.58,"wall_s_timeseries":0.50,
+//!     "jsonl_ratio":1.184,"timeseries_ratio":1.020},
 //!   "speedup_vs_baseline":{"100":1.61},
 //!   "baseline":{...previous report, embedded verbatim...}
 //! }
 //! ```
+//!
+//! `tracing_overhead` (optional) records the cost of the observability
+//! layers on one node count: the same seeds re-run with tracing at its
+//! disabled default, streaming JSONL to an in-memory sink, and with
+//! registry sampling on. The ratios are `wall_s_<mode> /
+//! wall_s_disabled` — the disabled path is the guard: it must stay
+//! indistinguishable from a build without tracing at all.
 //!
 //! `wall_s_min` (best of `runs`) is the comparison metric: the minimum
 //! is the least noisy estimator of the true cost on a shared machine,
@@ -35,7 +45,7 @@
 //! builds of the same code must agree on them exactly.
 
 use crate::runner::{progress_enabled, run_instrumented, ProtocolChoice, RunFailure, RunOptions};
-use alert_sim::ScenarioConfig;
+use alert_sim::{JsonlSink, ScenarioConfig, SharedBuf};
 use std::time::Instant;
 
 /// One timed sweep point of the perf harness.
@@ -109,7 +119,79 @@ pub fn perf_sweep(
     Ok(points)
 }
 
-/// Renders the `alert-bench-perf/1` report. When `baseline` holds a
+/// Wall-clock comparison of the observability paths on one node count:
+/// the same seeds run with tracing at its zero-cost disabled default,
+/// streaming JSONL to an in-memory sink, and with registry sampling
+/// (`metrics_every`) enabled — the `--bench-json` tracing-overhead
+/// datum. Minimum over `runs` for each mode, like [`PerfPoint`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracingOverhead {
+    /// Node count the comparison ran at.
+    pub nodes: usize,
+    /// Timed runs per mode (after one untimed warm-up).
+    pub runs: usize,
+    /// Best wall-clock seconds with no sink and no sampling.
+    pub wall_s_disabled: f64,
+    /// Best wall-clock seconds streaming JSONL to an in-memory buffer.
+    pub wall_s_jsonl: f64,
+    /// Best wall-clock seconds with 5 s registry sampling (no sink).
+    pub wall_s_timeseries: f64,
+}
+
+/// Measures [`TracingOverhead`] for `protocol` at `nodes`. The three
+/// modes are interleaved within each iteration so machine drift hits
+/// them equally; the JSONL sink writes to memory so disk noise does not
+/// masquerade as tracing cost.
+pub fn tracing_overhead(
+    protocol: ProtocolChoice,
+    base: &ScenarioConfig,
+    nodes: usize,
+    runs: usize,
+) -> Result<TracingOverhead, RunFailure> {
+    let runs = runs.max(1);
+    let cfg = base.clone().with_nodes(nodes);
+    cfg.validate()?;
+    run_instrumented(protocol, &cfg, 0xA1E7, RunOptions::default())?;
+    let (mut disabled, mut jsonl, mut timeseries) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for i in 0..runs as u64 {
+        let seed = 0xA1E7 + i * 7919;
+        let start = Instant::now();
+        run_instrumented(protocol, &cfg, seed, RunOptions::default())?;
+        disabled = disabled.min(start.elapsed().as_secs_f64());
+
+        let buf = SharedBuf::new();
+        let opts = RunOptions::with_trace(Box::new(JsonlSink::new(buf)));
+        let start = Instant::now();
+        run_instrumented(protocol, &cfg, seed, opts)?;
+        jsonl = jsonl.min(start.elapsed().as_secs_f64());
+
+        let opts = RunOptions {
+            metrics_every: Some(5.0),
+            ..RunOptions::default()
+        };
+        let start = Instant::now();
+        run_instrumented(protocol, &cfg, seed, opts)?;
+        timeseries = timeseries.min(start.elapsed().as_secs_f64());
+    }
+    let overhead = TracingOverhead {
+        nodes,
+        runs,
+        wall_s_disabled: disabled,
+        wall_s_jsonl: jsonl,
+        wall_s_timeseries: timeseries,
+    };
+    if progress_enabled() {
+        eprintln!(
+            "[progress] tracing overhead {} n={nodes} disabled={disabled:.4}s jsonl={jsonl:.4}s timeseries={timeseries:.4}s",
+            protocol.name(),
+        );
+    }
+    Ok(overhead)
+}
+
+/// Renders the `alert-bench-perf/1` report. When `overhead` is present
+/// it is emitted as the additive `"tracing_overhead"` object (with
+/// derived `jsonl_ratio`/`timeseries_ratio`). When `baseline` holds a
 /// previous report (same schema), it is embedded verbatim under
 /// `"baseline"` and a `"speedup_vs_baseline"` map records
 /// `baseline wall_s_min / current wall_s_min` for every node count
@@ -119,6 +201,7 @@ pub fn render_perf_json(
     scenario: &ScenarioConfig,
     build: &str,
     points: &[PerfPoint],
+    overhead: Option<&TracingOverhead>,
     baseline: Option<&str>,
 ) -> String {
     let mut s = String::from("{");
@@ -145,6 +228,21 @@ pub fn render_perf_json(
         ));
     }
     s.push(']');
+    if let Some(o) = overhead {
+        let floor = o.wall_s_disabled.max(1e-9);
+        s.push_str(&format!(
+            ",\"tracing_overhead\":{{\"nodes\":{},\"runs\":{},\"wall_s_disabled\":{:.6},\
+             \"wall_s_jsonl\":{:.6},\"wall_s_timeseries\":{:.6},\
+             \"jsonl_ratio\":{:.3},\"timeseries_ratio\":{:.3}}}",
+            o.nodes,
+            o.runs,
+            o.wall_s_disabled,
+            o.wall_s_jsonl,
+            o.wall_s_timeseries,
+            o.wall_s_jsonl / floor,
+            o.wall_s_timeseries / floor,
+        ));
+    }
     if let Some(base) = baseline {
         let speedups: Vec<String> = points
             .iter()
@@ -212,7 +310,7 @@ mod tests {
     #[test]
     fn report_roundtrips_through_the_scanner() {
         let cfg = ScenarioConfig::default();
-        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), None);
+        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), None, None);
         assert!(json.starts_with("{\"schema\":\"alert-bench-perf/1\""));
         assert_eq!(baseline_wall_min(&json, 100), Some(0.4));
         assert_eq!(baseline_wall_min(&json, 300), Some(2.0));
@@ -223,7 +321,7 @@ mod tests {
     fn node_count_prefixes_do_not_collide() {
         // "nodes":30 must not match inside "nodes":300.
         let cfg = ScenarioConfig::default();
-        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), None);
+        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), None, None);
         assert_eq!(baseline_wall_min(&json, 30), None);
         assert_eq!(baseline_wall_min(&json, 10), None);
     }
@@ -231,18 +329,50 @@ mod tests {
     #[test]
     fn speedup_is_computed_against_the_embedded_baseline() {
         let cfg = ScenarioConfig::default();
-        let old = render_perf_json("ALERT", &cfg, "test", &fake_points(), None);
+        let old = render_perf_json("ALERT", &cfg, "test", &fake_points(), None, None);
         let mut faster = fake_points();
         for p in &mut faster {
             p.wall_s_min /= 2.0;
             p.wall_s_mean /= 2.0;
         }
-        let new = render_perf_json("ALERT", &cfg, "test", &faster, Some(&old));
+        let new = render_perf_json("ALERT", &cfg, "test", &faster, None, Some(&old));
         assert!(new.contains("\"speedup_vs_baseline\":{\"100\":2.000,\"300\":2.000}"));
         assert!(new.contains("\"baseline\":{\"schema\":\"alert-bench-perf/1\""));
         // Scanning the new report still finds the *new* points, not the
         // embedded baseline's.
         assert_eq!(baseline_wall_min(&new, 100), Some(0.2));
+    }
+
+    #[test]
+    fn tracing_overhead_renders_with_ratios() {
+        let cfg = ScenarioConfig::default();
+        let o = TracingOverhead {
+            nodes: 100,
+            runs: 3,
+            wall_s_disabled: 0.4,
+            wall_s_jsonl: 0.5,
+            wall_s_timeseries: 0.44,
+        };
+        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), Some(&o), None);
+        assert!(json.contains(
+            "\"tracing_overhead\":{\"nodes\":100,\"runs\":3,\"wall_s_disabled\":0.400000,\
+             \"wall_s_jsonl\":0.500000,\"wall_s_timeseries\":0.440000,\
+             \"jsonl_ratio\":1.250,\"timeseries_ratio\":1.100}"
+        ));
+        // The overhead object must not confuse the baseline scanner.
+        assert_eq!(baseline_wall_min(&json, 100), Some(0.4));
+    }
+
+    #[test]
+    fn tracing_overhead_measures_all_three_modes() {
+        let mut cfg = ScenarioConfig::default().with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        let o = tracing_overhead(ProtocolChoice::Gpsr, &cfg, 30, 1).unwrap();
+        assert_eq!(o.nodes, 30);
+        assert_eq!(o.runs, 1);
+        assert!(o.wall_s_disabled > 0.0);
+        assert!(o.wall_s_jsonl > 0.0);
+        assert!(o.wall_s_timeseries > 0.0);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 use alert_core::{Alert, AlertConfig};
 use alert_protocols::{Alarm, Anodr, Ao2p, Gpsr, Mapcp, Mask, Prism, Zap};
 use alert_sim::{
-    Metrics, NodeId, ProtocolNode, RegistrySnapshot, RunAbort, RunProfile, ScenarioConfig,
-    ScenarioError, TraceSink, World,
+    Metrics, MetricsTimeseries, NodeId, ProtocolNode, RegistrySnapshot, RingBufferHandle,
+    RingBufferSink, RunAbort, RunProfile, ScenarioConfig, ScenarioError, TeeSink, TraceSink, World,
 };
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -191,8 +191,39 @@ impl ProtocolChoice {
     }
 }
 
+/// Default ring capacity for [`PostmortemDump`]: enough tail to see the
+/// livelock/budget blow-up leading into an abort without holding a whole
+/// trace in memory.
+pub const POSTMORTEM_RING_CAPACITY: usize = 4096;
+
+/// Post-mortem dump request: keep the last [`PostmortemDump::capacity`]
+/// trace events in a ring buffer and, if the run aborts (guardrail trip)
+/// or panics, write them as JSONL to [`PostmortemDump::path`].
+///
+/// The dump is best-effort: an I/O failure while writing it is reported
+/// on stderr but never masks the abort or panic it documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostmortemDump {
+    /// Where to write the JSONL tail (convention: `<out>/postmortem.jsonl`).
+    pub path: std::path::PathBuf,
+    /// How many trailing events to keep (min 1).
+    pub capacity: usize,
+}
+
+impl PostmortemDump {
+    /// A dump request at `path` with the default ring capacity.
+    pub fn new(path: impl Into<std::path::PathBuf>) -> PostmortemDump {
+        PostmortemDump {
+            path: path.into(),
+            capacity: POSTMORTEM_RING_CAPACITY,
+        }
+    }
+}
+
 /// Observability knobs for [`run_instrumented`]: where (if anywhere) to
-/// stream the structured trace, and whether to time the dispatch loop.
+/// stream the structured trace, whether to time the dispatch loop,
+/// whether to sample the metrics registry into a timeseries, and whether
+/// to keep a post-mortem ring of trailing events.
 #[derive(Default)]
 pub struct RunOptions {
     /// Trace sink to attach before the run; `None` keeps tracing at its
@@ -200,6 +231,11 @@ pub struct RunOptions {
     pub trace: Option<Box<dyn TraceSink>>,
     /// Collect wall-clock dispatch statistics into the [`RunProfile`].
     pub profile: bool,
+    /// Sample the counter/histogram registry every this many simulated
+    /// seconds into [`RunOutput::timeseries`] (`alert-timeseries/1`).
+    pub metrics_every: Option<f64>,
+    /// Keep a ring of trailing trace events and dump them on abort/panic.
+    pub postmortem: Option<PostmortemDump>,
 }
 
 impl RunOptions {
@@ -207,7 +243,7 @@ impl RunOptions {
     pub fn with_trace(sink: Box<dyn TraceSink>) -> RunOptions {
         RunOptions {
             trace: Some(sink),
-            profile: false,
+            ..RunOptions::default()
         }
     }
 }
@@ -225,6 +261,18 @@ pub struct RunOutput {
     /// Counter/histogram registry at end of run (typed observability:
     /// `node.downs`, `link.retries`, ...).
     pub registry: RegistrySnapshot,
+    /// Registry samples taken every [`RunOptions::metrics_every`]
+    /// simulated seconds; `None` unless sampling was requested.
+    pub timeseries: Option<MetricsTimeseries>,
+}
+
+/// Writes the post-mortem ring tail to its path. Best-effort: failures
+/// go to stderr so they never mask the abort/panic being documented.
+fn dump_postmortem(pm: &PostmortemDump, ring: Option<&RingBufferHandle>) {
+    let Some(handle) = ring else { return };
+    if let Err(e) = std::fs::write(&pm.path, handle.to_jsonl()) {
+        eprintln!("postmortem: failed to write {}: {e}", pm.path.display());
+    }
 }
 
 /// Builds the world for one protocol choice, applies the observability
@@ -240,23 +288,67 @@ where
     P: ProtocolNode,
     F: FnMut(NodeId, &ScenarioConfig) -> P,
 {
+    let RunOptions {
+        trace,
+        profile,
+        metrics_every,
+        postmortem,
+    } = opts;
     let mut w = World::try_new(cfg.clone(), seed, factory)?;
-    if let Some(sink) = opts.trace {
-        w.set_trace_sink(sink);
+    // With a post-mortem request the ring sink is installed even when no
+    // user sink was given — the dump must work for otherwise-untraced
+    // runs. A user sink tees with the ring so neither knows the other.
+    let mut ring: Option<RingBufferHandle> = None;
+    match (trace, postmortem.as_ref()) {
+        (Some(sink), None) => {
+            w.set_trace_sink(sink);
+        }
+        (Some(sink), Some(pm)) => {
+            let rb = RingBufferSink::new(pm.capacity);
+            ring = Some(rb.handle());
+            w.set_trace_sink(Box::new(TeeSink::new(sink, Box::new(rb))));
+        }
+        (None, Some(pm)) => {
+            let rb = RingBufferSink::new(pm.capacity);
+            ring = Some(rb.handle());
+            w.set_trace_sink(Box::new(rb));
+        }
+        (None, None) => {}
     }
-    if opts.profile {
+    if profile {
         w.enable_profiling();
     }
-    let ran = w.try_run();
+    if let Some(every) = metrics_every {
+        w.enable_metrics_timeseries(every);
+    }
+    let ran = if postmortem.is_some() {
+        // Catch a panic only long enough to flush the ring tail, then
+        // let it keep unwinding: the caller's panic policy is unchanged.
+        match catch_unwind(AssertUnwindSafe(|| w.try_run())) {
+            Ok(r) => r,
+            Err(payload) => {
+                dump_postmortem(postmortem.as_ref().expect("postmortem set"), ring.as_ref());
+                std::panic::resume_unwind(payload);
+            }
+        }
+    } else {
+        w.try_run()
+    };
     // Detach (and thereby flush) the sink before reading results out —
     // an aborted run's trace still ends with its `run_aborted` record.
     drop(w.take_trace_sink());
+    if ran.is_err() {
+        if let Some(pm) = postmortem.as_ref() {
+            dump_postmortem(pm, ring.as_ref());
+        }
+    }
     ran?;
     let profile = w.run_profile();
     Ok(RunOutput {
         metrics: w.metrics().clone(),
         profile,
         registry: w.registry_snapshot(),
+        timeseries: w.take_metrics_timeseries(),
     })
 }
 
@@ -740,15 +832,87 @@ mod tests {
         let opts = RunOptions {
             trace: Some(Box::new(JsonlSink::new(buf.clone()))),
             profile: true,
+            ..RunOptions::default()
         };
         let out = run_instrumented(ProtocolChoice::Gpsr, &cfg, 9, opts).unwrap();
         assert!(out.profile.events_dispatched > 0);
         assert!(out.profile.wall_clock_s > 0.0);
         assert!(out.profile.fel_high_water > 0);
+        assert!(out.timeseries.is_none(), "sampling is opt-in");
+        assert!(!out.profile.spans.is_empty(), "span attribution collected");
         assert!(!buf.contents().is_empty(), "trace sink received events");
         // The untraced path returns the same metrics for the same seed.
         let plain = try_run_once(ProtocolChoice::Gpsr, &cfg, 9).unwrap();
         assert_eq!(out.metrics.delivery_rate(), plain.delivery_rate());
+    }
+
+    #[test]
+    fn run_instrumented_collects_timeseries() {
+        let mut cfg = ScenarioConfig::default().with_nodes(40).with_duration(10.0);
+        cfg.traffic.pairs = 2;
+        let opts = RunOptions {
+            metrics_every: Some(2.0),
+            ..RunOptions::default()
+        };
+        let out = run_instrumented(ProtocolChoice::Gpsr, &cfg, 11, opts).unwrap();
+        let series = out.timeseries.expect("sampling was requested");
+        assert_eq!(series.every_s, 2.0);
+        assert!(series.samples.len() >= 5, "10 s run at 2 s cadence");
+        // The final cumulative row equals the whole-run registry totals.
+        let last = series.samples.last().unwrap();
+        for (name, value) in &out.registry.counters {
+            assert_eq!(last.counters.get(name), Some(value), "counter {name}");
+        }
+        // Sampling does not perturb the simulation itself.
+        let plain = try_run_once(ProtocolChoice::Gpsr, &cfg, 11).unwrap();
+        assert_eq!(out.metrics.delivery_rate(), plain.delivery_rate());
+    }
+
+    #[test]
+    fn postmortem_dump_written_on_abort() {
+        let path = std::env::temp_dir().join(format!(
+            "alert_postmortem_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = ScenarioConfig::default().with_nodes(30).with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        cfg.budget.max_events = Some(200);
+        let opts = RunOptions {
+            postmortem: Some(PostmortemDump {
+                path: path.clone(),
+                capacity: 64,
+            }),
+            ..RunOptions::default()
+        };
+        let err = run_instrumented(ProtocolChoice::Gpsr, &cfg, 5, opts).unwrap_err();
+        assert!(matches!(err, RunFailure::Aborted(_)), "got {err}");
+        let dump = std::fs::read_to_string(&path).expect("postmortem file written");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(!lines.is_empty() && lines.len() <= 64);
+        assert!(
+            lines.last().unwrap().contains("\"ev\":\"run_aborted\""),
+            "ring tail ends with the abort record: {}",
+            lines.last().unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn postmortem_untriggered_on_clean_run() {
+        let path = std::env::temp_dir().join(format!(
+            "alert_postmortem_clean_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = ScenarioConfig::default().with_nodes(30).with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        let opts = RunOptions {
+            postmortem: Some(PostmortemDump::new(path.clone())),
+            ..RunOptions::default()
+        };
+        run_instrumented(ProtocolChoice::Gpsr, &cfg, 5, opts).unwrap();
+        assert!(!path.exists(), "clean runs leave no postmortem dump");
     }
 
     #[test]

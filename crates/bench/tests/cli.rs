@@ -11,6 +11,17 @@ fn simrun() -> Command {
     Command::new(env!("CARGO_BIN_EXE_simrun"))
 }
 
+fn tracequery() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tracequery"))
+}
+
+fn fixture(name: &str) -> String {
+    format!(
+        "{}/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
 #[test]
 fn repro_renders_an_analytic_figure() {
     let out = repro().args(["fig7b"]).output().expect("spawn repro");
@@ -126,6 +137,83 @@ fn simrun_guardrails_abort_with_structured_error_and_trace_marker() {
         last.contains("\"reason\":\"event_budget\""),
         "last line: {last}"
     );
+}
+
+/// Every tracequery subcommand over the committed fixtures must emit
+/// exactly the committed golden bytes — the binary's own CSV assembly
+/// (anonymity, rates) included, not just the library renderers.
+#[test]
+fn tracequery_output_matches_committed_goldens() {
+    let trace = fixture("trace.jsonl");
+    let series = fixture("series.jsonl");
+    let cases: [(&[&str], &str); 9] = [
+        (
+            &["filter", &trace, "--node", "3", "--format", "csv"],
+            "golden/filter_node3.csv",
+        ),
+        (
+            &["filter", &trace, "--kind", "drop", "--format", "csv"],
+            "golden/filter_drops.csv",
+        ),
+        (
+            &["follow", &trace, "--packet", "0"],
+            "golden/follow_packet0.jsonl",
+        ),
+        (&["windows", &trace, "--every", "5"], "golden/windows.csv"),
+        (
+            &["windows", &trace, "--every", "5", "--format", "json"],
+            "golden/windows.json",
+        ),
+        (
+            &["anonymity", &trace, "--every", "5"],
+            "golden/anonymity.csv",
+        ),
+        (
+            &["anonymity", &trace, "--every", "5", "--summary"],
+            "golden/anonymity_summary.csv",
+        ),
+        (&["rates", &series], "golden/rates.csv"),
+        (
+            &["rates", &series, "--counter", "tx.frames"],
+            "golden/rates_tx_frames.csv",
+        ),
+    ];
+    for (args, golden) in cases {
+        let out = tracequery().args(args).output().expect("spawn tracequery");
+        assert!(
+            out.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let want = std::fs::read_to_string(fixture(golden)).expect("golden readable");
+        assert_eq!(
+            String::from_utf8(out.stdout).unwrap(),
+            want,
+            "{args:?} diverged from {golden}"
+        );
+    }
+}
+
+#[test]
+fn tracequery_rejects_bad_input_and_unknown_flags() {
+    let out = tracequery()
+        .args(["filter", "/nonexistent/trace.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    let out = tracequery()
+        .args(["windows", &fixture("trace.jsonl"), "--bogus", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown flag"));
+
+    let out = tracequery()
+        .args(["rates", &fixture("trace.jsonl")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "a trace is not a timeseries");
 }
 
 #[test]

@@ -1,0 +1,102 @@
+//! Property-based conservation laws tying the three observability
+//! layers together: for any run, the per-window aggregates computed
+//! from the event trace and the per-window deltas of the sampled
+//! metrics timeseries must both sum to the whole-run registry totals.
+//! Cases are few (each is a full simulation) but the seeds, scale, and
+//! window size vary freely.
+
+use alert_bench::{run_instrumented, ProtocolChoice, RunOptions};
+use alert_sim::{parse_trace, window_aggregates, JsonlSink, ScenarioConfig, SharedBuf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn window_aggregates_and_timeseries_sum_to_registry_totals(
+        seed in any::<u64>(),
+        nodes in 30usize..50,
+        pairs in 1usize..4,
+        every in 1u32..6,
+    ) {
+        let every = f64::from(every);
+        let mut cfg = ScenarioConfig::default().with_nodes(nodes).with_duration(8.0);
+        cfg.traffic.pairs = pairs;
+        let buf = SharedBuf::new();
+        let opts = RunOptions {
+            trace: Some(Box::new(JsonlSink::new(buf.clone()))),
+            metrics_every: Some(every),
+            ..RunOptions::default()
+        };
+        let out = run_instrumented(ProtocolChoice::Gpsr, &cfg, seed, opts)
+            .expect("valid scenario");
+        let counter = |name: &str| out.registry.counters.get(name).copied().unwrap_or(0);
+
+        // Layer 1 → whole run: the trace's window aggregates are a
+        // partition of the run, so every column sums to the registry's
+        // matching total.
+        let events = parse_trace(&buf.contents()).expect("own trace parses");
+        let windows = window_aggregates(&events, every);
+        let kind_sum = |kind: &str| -> u64 {
+            windows
+                .iter()
+                .map(|w| w.by_kind.get(kind).copied().unwrap_or(0))
+                .sum()
+        };
+        prop_assert_eq!(kind_sum("tx"), counter("tx.frames"));
+        prop_assert_eq!(kind_sum("rx"), counter("rx.frames"));
+        prop_assert_eq!(
+            windows.iter().map(|w| w.tx_bytes).sum::<u64>(),
+            counter("tx.bytes")
+        );
+        prop_assert_eq!(
+            windows.iter().flat_map(|w| w.drops.values()).sum::<u64>(),
+            counter("drops")
+        );
+        prop_assert_eq!(
+            windows.iter().map(|w| w.delivered).sum::<u64>(),
+            counter("delivered")
+        );
+        let latency_total: f64 = windows.iter().map(|w| w.latency_sum).sum();
+        let hist_total = out.registry.histograms.get("latency_s").map_or(0.0, |h| h.sum);
+        prop_assert!((latency_total - hist_total).abs() < 1e-6,
+            "latency sums diverged: windows {latency_total} vs registry {hist_total}");
+
+        // Layer 2 → whole run: the timeseries' final cumulative row and
+        // the sum of its per-window deltas both equal the registry.
+        let series = out.timeseries.as_ref().expect("sampling was enabled");
+        prop_assert!(!series.samples.is_empty());
+        let last = series.samples.last().unwrap();
+        for (name, &total) in &out.registry.counters {
+            prop_assert_eq!(last.counters.get(name).copied(), Some(total),
+                "final cumulative row disagrees for '{}'", name);
+            let delta_sum: u64 = series.samples.iter()
+                .map(|s| s.deltas.get(name).copied().unwrap_or(0))
+                .sum();
+            prop_assert_eq!(delta_sum, total, "deltas do not telescope for '{}'", name);
+        }
+        for pair in series.samples.windows(2) {
+            prop_assert!(pair[0].t < pair[1].t, "sample times must increase");
+        }
+    }
+
+    /// Encode → parse → encode is the identity for any recorded series
+    /// shape (the stored bytes are canonical).
+    #[test]
+    fn timeseries_codec_round_trips(
+        seed in any::<u64>(),
+        every in 1u32..6,
+    ) {
+        let every = f64::from(every);
+        let mut cfg = ScenarioConfig::default().with_nodes(30).with_duration(6.0);
+        cfg.traffic.pairs = 1;
+        let opts = RunOptions { metrics_every: Some(every), ..RunOptions::default() };
+        let out = run_instrumented(ProtocolChoice::Gpsr, &cfg, seed, opts)
+            .expect("valid scenario");
+        let series = out.timeseries.expect("sampling was enabled");
+        let doc = series.to_jsonl();
+        let back = alert_sim::MetricsTimeseries::parse(&doc).expect("own encoding parses");
+        prop_assert_eq!(&back, &series);
+        prop_assert_eq!(back.to_jsonl(), doc);
+    }
+}

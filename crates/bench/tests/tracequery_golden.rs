@@ -1,0 +1,133 @@
+//! Golden-file determinism tests for the trace query engine and the
+//! timeseries codec, over the hand-crafted (RNG-independent) fixture
+//! trace in `tests/fixtures/`. The committed goldens are the same files
+//! the CI `tracequery-smoke` job diffs the binary's output against, so
+//! these tests and the smoke job pin the exact same bytes.
+//!
+//! The query pipeline consumes only the stored trace — no simulation,
+//! no RNG — so its output must be byte-identical across machines,
+//! builds, and repeated runs.
+
+use alert_adversary::anonymity_timeseries;
+use alert_sim::{
+    filter_events, follow_packet, parse_trace, render_events_csv, render_events_jsonl,
+    render_windows_csv, render_windows_json, window_aggregates, EventFilter, MetricsTimeseries,
+};
+
+const TRACE: &str = include_str!("fixtures/trace.jsonl");
+const SERIES: &str = include_str!("fixtures/series.jsonl");
+
+#[test]
+fn fixture_trace_is_canonical() {
+    // The fixture is written in the codec's canonical form, so parsing
+    // and re-rendering it is the identity — the same guarantee live
+    // traces carry.
+    let events = parse_trace(TRACE).expect("fixture parses");
+    let all: Vec<_> = events.iter().collect();
+    assert_eq!(render_events_jsonl(&all), TRACE);
+}
+
+#[test]
+fn filter_matches_goldens() {
+    let events = parse_trace(TRACE).unwrap();
+    let node3 = EventFilter {
+        node: Some(3),
+        ..EventFilter::default()
+    };
+    assert_eq!(
+        render_events_csv(&filter_events(&events, &node3)),
+        include_str!("fixtures/golden/filter_node3.csv")
+    );
+    let drops = EventFilter {
+        kind: Some("drop".to_owned()),
+        ..EventFilter::default()
+    };
+    assert_eq!(
+        render_events_csv(&filter_events(&events, &drops)),
+        include_str!("fixtures/golden/filter_drops.csv")
+    );
+}
+
+#[test]
+fn follow_matches_golden() {
+    let events = parse_trace(TRACE).unwrap();
+    assert_eq!(
+        render_events_jsonl(&follow_packet(&events, 0)),
+        include_str!("fixtures/golden/follow_packet0.jsonl")
+    );
+}
+
+#[test]
+fn window_aggregates_match_goldens() {
+    let events = parse_trace(TRACE).unwrap();
+    let windows = window_aggregates(&events, 5.0);
+    assert_eq!(
+        render_windows_csv(&windows),
+        include_str!("fixtures/golden/windows.csv")
+    );
+    assert_eq!(
+        render_windows_json(5.0, &windows),
+        include_str!("fixtures/golden/windows.json")
+    );
+}
+
+#[test]
+fn query_output_is_byte_deterministic() {
+    // Same trace, two independent passes → byte-identical output for
+    // every query type.
+    let run = || {
+        let events = parse_trace(TRACE).unwrap();
+        let windows = window_aggregates(&events, 5.0);
+        let mut out = render_windows_csv(&windows);
+        out.push_str(&render_windows_json(5.0, &windows));
+        out.push_str(&render_events_jsonl(&follow_packet(&events, 2)));
+        out.push_str(&format!("{:?}", anonymity_timeseries(&events, 5.0)));
+        out
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn anonymity_telemetry_matches_the_committed_golden_story() {
+    // The numbers behind fixtures/golden/anonymity*.csv: session 0's
+    // intersection shrinks {3,4,5} ∩ {3,5,7} = {3,5} (destination 5
+    // still hidden among 2 candidates); session 1's single observation
+    // {6} excludes its destination 8 outright.
+    let events = parse_trace(TRACE).unwrap();
+    let flows = anonymity_timeseries(&events, 5.0);
+    assert_eq!(flows.len(), 2);
+
+    let s0 = &flows[0];
+    assert_eq!((s0.session, s0.src, s0.dst), (0, 1, 5));
+    let cands: Vec<usize> = s0.samples.iter().map(|s| s.candidates).collect();
+    assert_eq!(cands, [3, 2, 2]);
+    assert!(!s0.identified && !s0.destination_excluded);
+    assert_eq!(s0.final_candidates, 2);
+
+    let s1 = &flows[1];
+    assert_eq!((s1.session, s1.src, s1.dst), (1, 2, 8));
+    assert!(s1.destination_excluded && !s1.identified);
+    assert_eq!(s1.final_candidates, 1);
+    // A lone candidate carries no uncertainty — and renders as plain
+    // 0.0, not -0.0.
+    assert_eq!(s1.samples[0].entropy_bits.to_bits(), 0.0f64.to_bits());
+}
+
+#[test]
+fn timeseries_fixture_is_canonical_and_rates_derive() {
+    let series = MetricsTimeseries::parse(SERIES).expect("fixture parses");
+    // Canonical round-trip: the committed fixture is exactly what the
+    // encoder would write.
+    assert_eq!(series.to_jsonl(), SERIES);
+    assert_eq!(series.samples.len(), 3);
+    // Derived rates behind fixtures/golden/rates*.csv.
+    assert_eq!(series.samples[0].rate("tx.frames", series.every_s), 2.0);
+    assert_eq!(series.samples[1].rate("tx.frames", series.every_s), 1.2);
+    assert_eq!(series.samples[2].rate("app.packets", series.every_s), 0.0);
+    // The final cumulative row equals the sum of all deltas.
+    let total: u64 = series.samples.iter().map(|s| s.deltas["tx.frames"]).sum();
+    assert_eq!(
+        total,
+        series.samples.last().unwrap().counters["tx.frames"]
+    );
+}

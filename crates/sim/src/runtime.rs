@@ -15,8 +15,8 @@ use alert_mobility::{
     GroupMobility, GroupMobilityConfig, Mobility, RandomWaypoint, RandomWaypointConfig, StaticField,
 };
 use alert_trace::{
-    CounterHandle, DropReason, HistogramHandle, Registry, RegistrySnapshot, RunProfile, TickKind,
-    TraceEvent, TraceSink, Tracer, TrafficKind, TxKind,
+    CounterHandle, DropReason, HistogramHandle, MetricsTimeseries, Registry, RegistrySnapshot,
+    RunProfile, TickKind, TraceEvent, TraceSink, Tracer, TrafficKind, TxKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -762,6 +762,15 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
     }
 }
 
+/// Periodic registry sampling state ([`World::enable_metrics_timeseries`]).
+/// Lives outside [`WorldCore`] so the dispatch loop's disabled-path cost
+/// is a single `Option` branch: no allocation, no RNG draw, no snapshot.
+struct TimeseriesSampler {
+    /// Next window boundary to sample, simulated seconds.
+    next_t: f64,
+    series: MetricsTimeseries,
+}
+
 /// The simulation world, generic over the routing protocol.
 pub struct World<P: ProtocolNode> {
     core: WorldCore<P::Msg>,
@@ -771,6 +780,12 @@ pub struct World<P: ProtocolNode> {
     profile_enabled: bool,
     profile_wall_s: f64,
     profile_callbacks: std::collections::BTreeMap<String, alert_trace::CallbackProfile>,
+    /// Per-protocol-callback span accounting ([`RunProfile::spans`]),
+    /// populated only when profiling is enabled.
+    profile_spans: std::collections::BTreeMap<String, alert_trace::CallbackProfile>,
+    /// Periodic registry sampler; `None` (the default) costs one branch
+    /// per dispatched event and nothing else.
+    sampler: Option<TimeseriesSampler>,
     /// Whether the deferred `on_start` sweep has run. Startup hooks fire
     /// on first entry into the run loop — not at construction — so frames
     /// a protocol transmits in `on_start` are visible to trace sinks,
@@ -1028,6 +1043,8 @@ impl<P: ProtocolNode> World<P> {
             profile_enabled: false,
             profile_wall_s: 0.0,
             profile_callbacks: std::collections::BTreeMap::new(),
+            profile_spans: std::collections::BTreeMap::new(),
+            sampler: None,
             started: false,
             wall_start: None,
             aborted: None,
@@ -1057,14 +1074,32 @@ impl<P: ProtocolNode> World<P> {
         self.core.frame_audit.take()
     }
 
-    fn with_proto(&mut self, node: NodeId, f: impl FnOnce(&mut P, &mut Api<'_, P::Msg>)) {
+    /// Runs a protocol callback with the world borrowed through [`Api`].
+    /// `span` is the callback's name for [`RunProfile::spans`] attribution;
+    /// timing happens only when profiling is enabled, so unprofiled runs
+    /// pay nothing for it.
+    fn with_proto(
+        &mut self,
+        node: NodeId,
+        span: &'static str,
+        f: impl FnOnce(&mut P, &mut Api<'_, P::Msg>),
+    ) {
         let mut proto = self.protos[node.0].take().expect("protocol re-entered");
         let mut api = Api {
             core: &mut self.core,
             node,
             pending_delay: 0.0,
         };
-        f(&mut proto, &mut api);
+        if self.profile_enabled {
+            let start = std::time::Instant::now();
+            f(&mut proto, &mut api);
+            let dt = start.elapsed().as_secs_f64();
+            let entry = self.profile_spans.entry(span.to_owned()).or_default();
+            entry.count += 1;
+            entry.seconds += dt;
+        } else {
+            f(&mut proto, &mut api);
+        }
         self.protos[node.0] = Some(proto);
     }
 
@@ -1077,7 +1112,7 @@ impl<P: ProtocolNode> World<P> {
                     self.core.drop_frame(to, DropReason::ReceiverNodeDown, None);
                     return;
                 }
-                self.with_proto(to, |p, api| p.on_frame(api, frame));
+                self.with_proto(to, "on_frame", |p, api| p.on_frame(api, frame));
             }
             Event::Timer { node, token, epoch } => {
                 if self.core.is_down(node) || self.core.epochs[node.0] != epoch {
@@ -1093,7 +1128,7 @@ impl<P: ProtocolNode> World<P> {
                     node: node.0 as u64,
                     token,
                 });
-                self.with_proto(node, |p, api| p.on_timer(api, token));
+                self.with_proto(node, "on_timer", |p, api| p.on_timer(api, token));
             }
             Event::AppSend { session, seq } => {
                 let s = self.core.sessions[session.0 as usize];
@@ -1134,7 +1169,9 @@ impl<P: ProtocolNode> World<P> {
                     self.core
                         .drop_frame(s.src, DropReason::SourceNodeDown, Some(pkt));
                 } else {
-                    self.with_proto(s.src, |p, api| p.on_data_request(api, &req));
+                    self.with_proto(s.src, "on_data_request", |p, api| {
+                        p.on_data_request(api, &req)
+                    });
                 }
                 let next = now + self.core.cfg.traffic.interval_s;
                 if next < self.core.cfg.duration_s {
@@ -1163,7 +1200,9 @@ impl<P: ProtocolNode> World<P> {
                 // hand the buffer back afterwards, capacity intact.
                 let mut lost = std::mem::take(&mut self.core.hello_scratch.lost);
                 for (node, entry) in &lost {
-                    self.with_proto(*node, |p, api| p.on_neighbor_lost(api, entry));
+                    self.with_proto(*node, "on_neighbor_lost", |p, api| {
+                        p.on_neighbor_lost(api, entry)
+                    });
                 }
                 lost.clear();
                 self.core.hello_scratch.lost = lost;
@@ -1274,7 +1313,7 @@ impl<P: ProtocolNode> World<P> {
             node: node.0 as u64,
         });
         self.core.epochs[node.0] = self.core.epochs[node.0].wrapping_add(1);
-        self.with_proto(node, |p, api| p.on_start(api));
+        self.with_proto(node, "on_start", |p, api| p.on_start(api));
     }
 
     fn emit_tick(&mut self, kind: TickKind) {
@@ -1357,7 +1396,7 @@ impl<P: ProtocolNode> World<P> {
             // observers, and audits — startup-frame traffic is traced.
             self.started = true;
             for i in 0..self.core.cfg.nodes {
-                self.with_proto(NodeId(i), |p, api| p.on_start(api));
+                self.with_proto(NodeId(i), "on_start", |p, api| p.on_start(api));
             }
         }
         let horizon = t.min(self.core.cfg.duration_s + 1.0);
@@ -1369,6 +1408,20 @@ impl<P: ProtocolNode> World<P> {
         while let Some(next) = self.core.queue.peek_time() {
             if next > horizon {
                 return Ok(true);
+            }
+            // Metrics sampling: once the clock is about to move past a
+            // window boundary, every event in that window has been
+            // dispatched, so the registry snapshot at the boundary is
+            // final. Events at exactly `k·every_s` belong to the window
+            // they end. Disabled (`None`) this is one branch — no
+            // allocation, no RNG draw — so sampled and unsampled runs
+            // stay byte-identical in trace and RNG stream.
+            if let Some(s) = self.sampler.as_mut() {
+                while next > s.next_t {
+                    s.series
+                        .record(s.next_t, &self.core.stats.registry.snapshot());
+                    s.next_t += s.series.every_s;
+                }
             }
             if guarded {
                 if let Err(abort) = self.check_budget(&budget, next) {
@@ -1526,6 +1579,41 @@ impl<P: ProtocolNode> World<P> {
         self.profile_enabled = true;
     }
 
+    /// Turns on periodic registry sampling into an `alert-timeseries/1`
+    /// series: a [`alert_trace::RegistrySnapshot`] is taken every
+    /// `every_s` simulated seconds (sample `t = k·every_s` covers the
+    /// window `((k-1)·every_s, k·every_s]`). Sampling draws no randomness
+    /// and emits no trace events, so a sampled run's trace is
+    /// byte-identical to an unsampled one. Replaces any previous sampler.
+    ///
+    /// # Panics
+    /// If `every_s` is not finite and positive.
+    pub fn enable_metrics_timeseries(&mut self, every_s: f64) {
+        self.sampler = Some(TimeseriesSampler {
+            next_t: every_s,
+            series: MetricsTimeseries::new(every_s),
+        });
+    }
+
+    /// Stops sampling and returns the collected series, appending a final
+    /// partial sample at the current simulated time when the run ended
+    /// past the last window boundary (so the series' last cumulative row
+    /// always equals the whole-run registry totals). Returns `None` when
+    /// [`World::enable_metrics_timeseries`] was never called.
+    pub fn take_metrics_timeseries(&mut self) -> Option<MetricsTimeseries> {
+        let mut s = self.sampler.take()?;
+        let now = self.core.queue.now();
+        if s.series.samples.last().map_or(now > 0.0, |last| now > last.t) {
+            s.series.record(now, &self.core.stats.registry.snapshot());
+        }
+        Some(s.series)
+    }
+
+    /// Whether periodic metrics sampling is currently enabled.
+    pub fn metrics_timeseries_enabled(&self) -> bool {
+        self.sampler.is_some()
+    }
+
     /// Total events popped from the future event list so far.
     pub fn events_dispatched(&self) -> u64 {
         self.events_dispatched
@@ -1558,6 +1646,7 @@ impl<P: ProtocolNode> World<P> {
             events_per_sec: 0.0,
             fel_high_water: self.core.queue.high_water() as u64,
             callbacks: self.profile_callbacks.clone(),
+            spans: self.profile_spans.clone(),
             registry: self.core.stats.registry.snapshot(),
         };
         p.finalize();

@@ -80,6 +80,38 @@ fn steady_state_ticks_are_allocation_free() {
 }
 
 #[test]
+fn disabled_metrics_sampling_adds_no_allocations() {
+    // The `--metrics-every` registry-sampling hook sits on the event
+    // dispatch path. When sampling was never enabled it must cost one
+    // `Option` branch — no snapshots, no buffers — so a warmed world
+    // stays inside the same budget as before the hook existed. (With
+    // sampling *on*, snapshot clones allocate by design; that cost is
+    // tracked by the `tracing_overhead` bench datum instead.)
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(120)
+        .with_duration(100.0);
+    cfg.traffic.pairs = 0;
+    let mut w = World::new(cfg, 0xA110C, |_, _| Idle);
+    assert!(
+        !w.metrics_timeseries_enabled(),
+        "sampling must default to off"
+    );
+
+    w.run_until(40.0);
+    let before = allocs();
+    w.run_until(90.0);
+    let during = allocs() - before;
+
+    assert!(
+        during < 500,
+        "steady-state ticks with sampling disabled allocated {during} \
+         times over 50 simulated seconds; the sampling hook is no longer \
+         free when off"
+    );
+    assert!(w.take_metrics_timeseries().is_none());
+}
+
+#[test]
 fn hello_rounds_allocate_far_less_than_once_per_node_per_round() {
     // A per-tick-allocating implementation costs at least one allocation
     // per node per hello round (nodes x rounds: >= 12000 here). Buffer

@@ -178,6 +178,42 @@ fn registry_snapshot_is_deterministic() {
     assert_eq!(a.registry_snapshot(), b.registry_snapshot());
 }
 
+/// The flood scenario traced with metrics sampling also enabled;
+/// returns the trace text and the encoded timeseries.
+fn sampled_run(seed: u64, every: f64) -> (String, String) {
+    let buf = SharedBuf::new();
+    let mut w = World::new(small_scenario(), seed, |_, _| Flood::default());
+    w.set_trace_sink(Box::new(JsonlSink::new(buf.clone())));
+    w.enable_metrics_timeseries(every);
+    w.run();
+    w.take_trace_sink();
+    let series = w.take_metrics_timeseries().expect("sampling was enabled");
+    (buf.contents(), series.to_jsonl())
+}
+
+#[test]
+fn metrics_sampling_does_not_perturb_the_trace() {
+    let (_, plain) = traced_run(7);
+    let (sampled, _) = sampled_run(7, 5.0);
+    assert_eq!(
+        plain, sampled,
+        "enabling the timeseries sampler must leave the event trace byte-identical"
+    );
+}
+
+#[test]
+fn timeseries_encoding_is_byte_deterministic() {
+    let (_, a) = sampled_run(13, 5.0);
+    let (_, b) = sampled_run(13, 5.0);
+    assert!(
+        a.lines().count() > 2,
+        "a 20 s run at 5 s sampling must yield several samples"
+    );
+    assert_eq!(a, b, "same (scenario, seed) must sample identically");
+    let parsed = alert_trace::MetricsTimeseries::parse(&a).expect("own encoding parses");
+    assert_eq!(parsed.to_jsonl(), a, "encode → parse → encode is identity");
+}
+
 /// The faulty scenario: crashes, a regional outage, a degradation window,
 /// and link-layer ARQ all active at once.
 fn faulty_scenario() -> ScenarioConfig {

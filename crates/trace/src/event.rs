@@ -452,6 +452,56 @@ impl TraceEvent {
         }
     }
 
+    /// The node the event is attributed to, when it has one (global
+    /// events — ticks, app-layer sends, run aborts — have none).
+    pub fn node(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Tx { node, .. }
+            | TraceEvent::Rx { node, .. }
+            | TraceEvent::Drop { node, .. }
+            | TraceEvent::TimerFire { node, .. }
+            | TraceEvent::LocationLookup { node, .. }
+            | TraceEvent::CryptoCharge { node, .. }
+            | TraceEvent::PseudonymRotation { node, .. }
+            | TraceEvent::ZonePartition { node, .. }
+            | TraceEvent::ForwarderSelect { node, .. }
+            | TraceEvent::Hop { node, .. }
+            | TraceEvent::RandomForwarder { node, .. }
+            | TraceEvent::Delivered { node, .. }
+            | TraceEvent::NodeDown { node, .. }
+            | TraceEvent::NodeUp { node, .. }
+            | TraceEvent::LinkRetry { node, .. } => Some(*node),
+            TraceEvent::Tick { .. }
+            | TraceEvent::AppSend { .. }
+            | TraceEvent::RunAborted { .. } => None,
+        }
+    }
+
+    /// The application packet id the event references, when known
+    /// (control-plane transmissions and non-packet events have none).
+    pub fn packet_id(&self) -> Option<u64> {
+        match self {
+            TraceEvent::AppSend { packet, .. }
+            | TraceEvent::ZonePartition { packet, .. }
+            | TraceEvent::Hop { packet, .. }
+            | TraceEvent::RandomForwarder { packet, .. }
+            | TraceEvent::Delivered { packet, .. } => Some(*packet),
+            TraceEvent::Tx { packet, .. }
+            | TraceEvent::Drop { packet, .. }
+            | TraceEvent::ForwarderSelect { packet, .. }
+            | TraceEvent::LinkRetry { packet, .. } => *packet,
+            TraceEvent::Tick { .. }
+            | TraceEvent::Rx { .. }
+            | TraceEvent::TimerFire { .. }
+            | TraceEvent::LocationLookup { .. }
+            | TraceEvent::CryptoCharge { .. }
+            | TraceEvent::PseudonymRotation { .. }
+            | TraceEvent::NodeDown { .. }
+            | TraceEvent::NodeUp { .. }
+            | TraceEvent::RunAborted { .. } => None,
+        }
+    }
+
     /// Canonical event-kind name (the JSONL `ev` field).
     pub fn kind(&self) -> &'static str {
         match self {
@@ -540,5 +590,37 @@ mod tests {
         };
         assert_eq!(e.time(), 1.5);
         assert_eq!(e.kind(), "hop");
+        assert_eq!(e.node(), Some(3));
+        assert_eq!(e.packet_id(), Some(9));
+    }
+
+    #[test]
+    fn node_and_packet_accessors_handle_global_and_optional_fields() {
+        let app = TraceEvent::AppSend {
+            time: 0.0,
+            packet: 7,
+            session: 0,
+            seq: 0,
+            src: 1,
+            dst: 2,
+        };
+        assert_eq!(app.node(), None);
+        assert_eq!(app.packet_id(), Some(7));
+        let tx = TraceEvent::Tx {
+            time: 0.0,
+            node: 4,
+            kind: TxKind::Broadcast,
+            class: TrafficKind::Control,
+            bytes: 24,
+            packet: None,
+        };
+        assert_eq!(tx.node(), Some(4));
+        assert_eq!(tx.packet_id(), None);
+        let tick = TraceEvent::Tick {
+            time: 0.0,
+            kind: TickKind::Hello,
+        };
+        assert_eq!(tick.node(), None);
+        assert_eq!(tick.packet_id(), None);
     }
 }

@@ -15,14 +15,14 @@ use std::fmt::Write as _;
 // Encoding
 // ---------------------------------------------------------------------
 
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     // `{:?}` is Rust's shortest representation that round-trips; finite
     // values are always valid JSON numbers.
     debug_assert!(v.is_finite(), "trace times/values must be finite");
     let _ = write!(out, "{v:?}");
 }
 
-fn push_str_escaped(out: &mut String, s: &str) {
+pub(crate) fn push_str_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -40,16 +40,16 @@ fn push_str_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn field_u64(out: &mut String, key: &str, v: u64) {
+pub(crate) fn field_u64(out: &mut String, key: &str, v: u64) {
     let _ = write!(out, ",\"{key}\":{v}");
 }
 
-fn field_f64(out: &mut String, key: &str, v: f64) {
+pub(crate) fn field_f64(out: &mut String, key: &str, v: f64) {
     let _ = write!(out, ",\"{key}\":");
     push_f64(out, v);
 }
 
-fn field_str(out: &mut String, key: &str, v: &str) {
+pub(crate) fn field_str(out: &mut String, key: &str, v: &str) {
     let _ = write!(out, ",\"{key}\":");
     push_str_escaped(out, v);
 }
@@ -262,14 +262,14 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
 
 /// A parsed flat-JSON value. Numbers keep their raw text so integer
 /// fields survive beyond f64's 53-bit mantissa.
-enum Val {
+pub(crate) enum Val {
     Num(String),
     Str(String),
     Bool(bool),
     Null,
 }
 
-fn err(line: usize, msg: impl Into<String>) -> ParseError {
+pub(crate) fn err(line: usize, msg: impl Into<String>) -> ParseError {
     ParseError {
         line,
         msg: msg.into(),
@@ -277,7 +277,7 @@ fn err(line: usize, msg: impl Into<String>) -> ParseError {
 }
 
 /// Tokenizes one flat JSON object (`{"k":v,...}`, no nesting) into pairs.
-fn parse_object(line: &str, lno: usize) -> Result<Vec<(String, Val)>, ParseError> {
+pub(crate) fn parse_object(line: &str, lno: usize) -> Result<Vec<(String, Val)>, ParseError> {
     let mut chars = line.char_indices().peekable();
     let mut fields = Vec::new();
 

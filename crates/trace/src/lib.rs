@@ -17,8 +17,17 @@
 //!   [`RegistrySnapshot`].
 //! * **Run profiling** — [`RunProfile`] captures wall-clock events/sec,
 //!   total events dispatched, the future-event-list high-water mark, and
-//!   per-callback CPU time, establishing the performance trajectory for
-//!   optimisation work.
+//!   per-callback CPU time (with per-protocol-callback span attribution),
+//!   establishing the performance trajectory for optimisation work.
+//! * **Metrics timeseries** — [`MetricsTimeseries`] samples the registry
+//!   every *k* simulated seconds into the append-only, byte-deterministic
+//!   `alert-timeseries/1` JSONL format (cumulative counters plus
+//!   per-window deltas; rates are derived, not stored).
+//! * **Trace queries** — [`EventFilter`], [`follow_packet`], and
+//!   [`window_aggregates`] interrogate a stored trace (by node, time
+//!   window, event kind, drop reason, packet id) with deterministic
+//!   CSV/JSON renderers — the engine behind the `tracequery` CLI and a
+//!   future `alertd` query endpoint.
 //!
 //! The [`replay`](crate::reconstruct_packets) API folds a trace back into
 //! per-packet hop paths, which the simulator's tests compare against the
@@ -35,13 +44,19 @@
 mod event;
 mod jsonl;
 mod profile;
+mod query;
 mod registry;
 mod replay;
 mod sink;
+mod timeseries;
 
 pub use event::{CryptoOp, DropReason, TickKind, TraceEvent, TrafficKind, TxKind};
 pub use jsonl::{parse_trace, ParseError};
 pub use profile::{CallbackProfile, RunProfile};
+pub use query::{
+    filter_events, follow_packet, render_events_csv, render_events_jsonl, render_windows_csv,
+    render_windows_json, window_aggregates, EventFilter, WindowAggregate,
+};
 pub use registry::{
     CounterHandle, HistogramBucket, HistogramHandle, HistogramSnapshot, LogHistogram, Registry,
     RegistrySnapshot,
@@ -51,5 +66,6 @@ pub use replay::{
     PacketTrace, TraceStats,
 };
 pub use sink::{
-    JsonlSink, NullSink, RingBufferHandle, RingBufferSink, SharedBuf, TraceSink, Tracer,
+    JsonlSink, NullSink, RingBufferHandle, RingBufferSink, SharedBuf, TeeSink, TraceSink, Tracer,
 };
+pub use timeseries::{MetricsTimeseries, TimeseriesSample, TIMESERIES_SCHEMA};

@@ -34,6 +34,12 @@ pub struct RunProfile {
     pub fel_high_water: u64,
     /// Wall-clock accounting per event class ("deliver", "timer", …).
     pub callbacks: BTreeMap<String, CallbackProfile>,
+    /// Wall-clock accounting per protocol callback ("on_frame",
+    /// "on_timer", "on_data_request", "on_start", "on_neighbor_lost") —
+    /// the slice of each event class spent inside protocol code rather
+    /// than in the engine itself.
+    #[serde(default)]
+    pub spans: BTreeMap<String, CallbackProfile>,
     /// Snapshot of the run's counter/histogram registry.
     pub registry: RegistrySnapshot,
 }
@@ -51,6 +57,13 @@ impl RunProfile {
     /// Adds one dispatched event of class `kind` taking `seconds`.
     pub fn record_callback(&mut self, kind: &str, seconds: f64) {
         let entry = self.callbacks.entry(kind.to_owned()).or_default();
+        entry.count += 1;
+        entry.seconds += seconds;
+    }
+
+    /// Adds one protocol-callback span named `span` taking `seconds`.
+    pub fn record_span(&mut self, span: &str, seconds: f64) {
+        let entry = self.spans.entry(span.to_owned()).or_default();
         entry.count += 1;
         entry.seconds += seconds;
     }
@@ -83,5 +96,17 @@ mod tests {
         assert_eq!(p.callbacks["deliver"].count, 2);
         assert_eq!(p.callbacks["deliver"].seconds, 1.0);
         assert_eq!(p.callbacks["timer"].count, 1);
+    }
+
+    #[test]
+    fn spans_accumulate_independently_of_callbacks() {
+        let mut p = RunProfile::default();
+        p.record_span("on_frame", 0.25);
+        p.record_span("on_frame", 0.25);
+        p.record_span("on_timer", 0.1);
+        assert_eq!(p.spans["on_frame"].count, 2);
+        assert_eq!(p.spans["on_frame"].seconds, 0.5);
+        assert_eq!(p.spans["on_timer"].count, 1);
+        assert!(p.callbacks.is_empty());
     }
 }

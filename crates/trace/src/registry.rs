@@ -101,6 +101,12 @@ impl LogHistogram {
     /// Approximate `q`-quantile (`q` in `[0, 1]`) via nearest-rank over
     /// the buckets, using each bucket's geometric midpoint, clamped to
     /// the exact observed min/max. Returns 0 if empty.
+    ///
+    /// **Error bound:** buckets are one octave wide (`[2^e, 2^(e+1))`),
+    /// so the geometric midpoint `2^e·√2` is within a factor of `√2`
+    /// (≈ 1.41×, i.e. ±41%/−29%) of any sample in the bucket; the
+    /// min/max clamp tightens the extreme quantiles further. The rank
+    /// itself is exact — only the within-bucket position is estimated.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -152,6 +158,7 @@ impl LogHistogram {
             max: if self.max.is_finite() { self.max } else { 0.0 },
             mean: self.mean(),
             p50: self.quantile(0.5),
+            p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             buckets,
         }
@@ -180,8 +187,12 @@ pub struct HistogramSnapshot {
     pub max: f64,
     /// Exact mean (0 if empty).
     pub mean: f64,
-    /// Approximate median.
+    /// Approximate median (see [`LogHistogram::quantile`] for the
+    /// within-a-factor-of-√2 error bound).
     pub p50: f64,
+    /// Approximate 95th percentile.
+    #[serde(default)]
+    pub p95: f64,
     /// Approximate 99th percentile.
     pub p99: f64,
     /// Non-empty buckets, ascending.
@@ -337,6 +348,27 @@ mod tests {
         let p99 = h.quantile(0.995);
         assert!(p99 > 100.0, "p99 = {p99}");
         assert!(p99 <= 1024.0, "p99 = {p99}");
+        let snap = h.snapshot();
+        assert!(snap.p50 <= snap.p95 && snap.p95 <= snap.p99);
+        assert!((0.5..=2.0).contains(&snap.p95), "p95 = {}", snap.p95);
+    }
+
+    #[test]
+    fn quantile_midpoint_stays_within_sqrt2_of_samples() {
+        // Every sample in one octave bucket: the documented error bound
+        // says the estimate is within a factor of sqrt(2) of the truth.
+        for v in [0.003, 0.7, 5.0, 300.0] {
+            let mut h = LogHistogram::new();
+            for _ in 0..10 {
+                h.record(v);
+            }
+            let est = h.quantile(0.5);
+            assert!(
+                est <= v * std::f64::consts::SQRT_2 + 1e-12
+                    && est >= v / std::f64::consts::SQRT_2 - 1e-12,
+                "quantile {est} not within sqrt(2) of {v}"
+            );
+        }
     }
 
     #[test]

@@ -140,6 +140,35 @@ impl TraceSink for RingBufferSink {
     }
 }
 
+/// Fans every event out to two sinks, in order.
+///
+/// Lets a post-mortem [`RingBufferSink`] ride alongside a user-provided
+/// sink (e.g. a [`JsonlSink`] streaming the full trace to disk) without
+/// either knowing about the other.
+pub struct TeeSink {
+    first: Box<dyn TraceSink>,
+    second: Box<dyn TraceSink>,
+}
+
+impl TeeSink {
+    /// A sink delivering each event to `first` then `second`.
+    pub fn new(first: Box<dyn TraceSink>, second: Box<dyn TraceSink>) -> Self {
+        Self { first, second }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.first.emit(event);
+        self.second.emit(event);
+    }
+
+    fn flush(&mut self) {
+        self.first.flush();
+        self.second.flush();
+    }
+}
+
 /// Read side of a [`RingBufferSink`].
 #[derive(Clone)]
 pub struct RingBufferHandle {
@@ -303,6 +332,21 @@ mod tests {
         assert_eq!(events[0].time(), 3.0);
         assert_eq!(events[1].time(), 4.0);
         assert_eq!(handle.to_jsonl().lines().count(), 2);
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_sinks() {
+        let buf = SharedBuf::new();
+        let ring = RingBufferSink::new(8);
+        let handle = ring.handle();
+        let mut t = Tracer::new(Box::new(TeeSink::new(
+            Box::new(JsonlSink::new(buf.clone())),
+            Box::new(ring),
+        )));
+        t.emit_with(|| hop(1.0, 2));
+        t.flush();
+        assert_eq!(buf.contents().lines().count(), 1);
+        assert_eq!(handle.events().len(), 1);
     }
 
     #[test]

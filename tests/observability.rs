@@ -87,6 +87,7 @@ fn instrumented_run_produces_a_profile() {
     let opts = RunOptions {
         trace: None,
         profile: true,
+        ..RunOptions::default()
     };
     let out = run_instrumented(
         ProtocolChoice::Alert(AlertConfig::default()),

@@ -95,6 +95,7 @@ lib alert_simcheck crates/simcheck/src/lib.rs "${E_ALL[@]}" $(ex alert_bench)
 
 # --- runnable artifacts ---------------------------------------------------
 build_bin simrun crates/bench/src/bin/simrun.rs "${E_ALL[@]}" $(ex alert_bench)
+build_bin tracequery crates/bench/src/bin/tracequery.rs "${E_ALL[@]}" $(ex alert_bench)
 build_bin repro crates/bench/src/bin/repro.rs "${E_ALL[@]}" $(ex alert_bench)
 build_bin simcheck crates/simcheck/src/bin/simcheck.rs "${E_ALL[@]}" \
     $(ex alert_bench alert_simcheck)
@@ -109,6 +110,8 @@ build_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
 # The resume test drives the repro binary built above (REPRO_BIN; there
 # is no cargo here to set CARGO_BIN_EXE_repro).
 build_test resume crates/bench/tests/resume.rs "${E_ALL[@]}" $(ex alert_bench)
+build_test tracequery_golden crates/bench/tests/tracequery_golden.rs "${E_ALL[@]}" \
+    $(ex alert_bench)
 # The simcheck unit tests exercise the oracle suite in-process; the CLI
 # test drives the simcheck/simrun binaries built above (SIMCHECK_BIN /
 # SIMRUN_BIN; there is no cargo here to set CARGO_BIN_EXE_*).

@@ -87,6 +87,7 @@ lib alert src/lib.rs "${E_ALL[@]}"
 # --- binaries ------------------------------------------------------------
 check_bin repro crates/bench/src/bin/repro.rs "${E_ALL[@]}" $(ex alert_bench)
 check_bin simrun crates/bench/src/bin/simrun.rs "${E_ALL[@]}" $(ex alert_bench)
+check_bin tracequery crates/bench/src/bin/tracequery.rs "${E_ALL[@]}" $(ex alert_bench)
 check_bin simcheck crates/simcheck/src/bin/simcheck.rs "${E_ALL[@]}" \
     $(ex alert_bench alert_simcheck)
 
@@ -141,6 +142,8 @@ check_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
 check_test config_serde crates/sim/tests/config_serde.rs "${E_SERDE[@]}" \
     $(ex serde_json rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 check_test resume crates/bench/tests/resume.rs "${E_ALL[@]}" $(ex alert_bench)
+check_test tracequery_golden crates/bench/tests/tracequery_golden.rs "${E_ALL[@]}" \
+    $(ex alert_bench)
 check_test simcheck_cli crates/simcheck/tests/cli.rs "${E_ALL[@]}" \
     $(ex alert_bench alert_simcheck)
 
