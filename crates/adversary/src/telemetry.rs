@@ -123,7 +123,9 @@ pub fn anonymity_timeseries(events: &[TraceEvent], every_s: f64) -> Vec<FlowAnon
     for e in events {
         let observed = matches!(
             e,
-            TraceEvent::Hop { .. } | TraceEvent::RandomForwarder { .. } | TraceEvent::Delivered { .. }
+            TraceEvent::Hop { .. }
+                | TraceEvent::RandomForwarder { .. }
+                | TraceEvent::Delivered { .. }
         );
         if !observed {
             continue;
@@ -154,9 +156,8 @@ pub fn anonymity_timeseries(events: &[TraceEvent], every_s: f64) -> Vec<FlowAnon
                 if let Some(set) = set {
                     attack.observe(set);
                 }
-                let members: Vec<NodeId> = set
-                    .map(|s| s.iter().copied().collect())
-                    .unwrap_or_default();
+                let members: Vec<NodeId> =
+                    set.map(|s| s.iter().copied().collect()).unwrap_or_default();
                 samples.push(AnonymitySample {
                     t_start: w as f64 * every_s,
                     t_end: (w + 1) as f64 * every_s,
@@ -224,9 +225,9 @@ mod tests {
     fn windows_follow_the_timeseries_convention() {
         let events = vec![
             app_send(0.0, 1, 0, 10, 20),
-            hop(0.0, 10, 1),   // window 0 (t = 0 inclusive)
-            hop(5.0, 11, 1),   // window 0 (boundary belongs to window it ends)
-            hop(5.1, 12, 1),   // window 1
+            hop(0.0, 10, 1),        // window 0 (t = 0 inclusive)
+            hop(5.0, 11, 1),        // window 0 (boundary belongs to window it ends)
+            hop(5.1, 12, 1),        // window 1
             delivered(10.0, 20, 1), // window 1
         ];
         let flows = anonymity_timeseries(&events, 5.0);
@@ -290,7 +291,7 @@ mod tests {
             app_send(6.0, 2, 0, 1, 9),
             hop(1.0, 2, 1),
             delivered(2.0, 9, 1),
-            hop(7.0, 2, 2), // dst never appears in window 1
+            hop(7.0, 2, 2),        // dst never appears in window 1
             delivered(11.0, 9, 2), // arrives a window late
         ];
         let flows = anonymity_timeseries(&events, 5.0);

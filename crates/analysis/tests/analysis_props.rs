@@ -75,7 +75,10 @@ fn expected_participants_grow_with_h_and_stay_below_the_population() {
             for h in 1..=12u32 {
                 let n = expected_participants(h, l_a, l_b, rho);
                 assert!(n >= prev - 1e-9, "h={h}: {n} < {prev}");
-                assert!(n <= population, "h={h}: {n} exceeds population {population}");
+                assert!(
+                    n <= population,
+                    "h={h}: {n} exceeds population {population}"
+                );
                 prev = n;
             }
         }

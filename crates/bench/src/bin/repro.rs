@@ -1,7 +1,7 @@
 //! `repro` — regenerates the ALERT paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment...|all> [--runs N] [--csv DIR] [--resume] [--progress]
+//! repro <experiment...|all> [--runs N] [--jobs N] [--csv DIR] [--resume] [--progress]
 //!
 //! experiments:
 //!   table1  fig5c  anonymity-vs-time  fig7a  fig7b  fig9a  fig9b
@@ -18,13 +18,28 @@
 //! (protocol, run count, wall-clock seconds) so long sweeps are
 //! watchable.
 //!
+//! `--jobs N` fans the campaign across a fixed-size worker pool with
+//! leased work units, capped retry + exponential backoff, and a single
+//! committer that merges results in campaign order — stdout, CSVs, the
+//! journal, and the failure report are byte-identical to `--jobs 1`
+//! regardless of scheduling, and a crashed worker loses only its
+//! in-flight experiment (see DESIGN.md § 12).
+//!
 //! With `--csv DIR` every table is additionally written to
 //! `DIR/<experiment>.csv` — atomically (temp file + rename), so a
 //! killed campaign never leaves a truncated CSV — and a manifest
-//! journal (`manifest.jsonl`) records each experiment's outcome as it
-//! completes. `--resume` (requires `--csv`) skips experiments the
-//! journal shows as done with a matching config fingerprint, so an
-//! interrupted campaign picks up where it died.
+//! journal (`manifest.jsonl`, schema `alert-repro-manifest/2` with
+//! lease + done/failed records) records each experiment's claim and
+//! outcome as it happens. `--resume` (requires `--csv`) skips
+//! experiments the journal shows as done with a matching config
+//! fingerprint and reclaims leases a dead run orphaned, so an
+//! interrupted campaign picks up where it died. An advisory
+//! `.orchestrator.lock` asserts single-orchestrator ownership of the
+//! directory; a second orchestrator exits 2 with a diagnostic instead
+//! of corrupting the journal. Pool health counters (`pool.leases`,
+//! `pool.lease_expired`, `pool.retries`, ...) are sampled into
+//! `DIR/pool-timeseries.jsonl` (`alert-timeseries/1`, readable by
+//! `tracequery rates`).
 //!
 //! Failures don't sink the campaign: a panicking or aborted run is
 //! quarantined into `DIR/failures.jsonl` (with a one-line `simrun`
@@ -39,12 +54,13 @@ use alert_bench::figures::{
     analytic, anonymity, attacks, claims, faults, participants, performance, zone,
 };
 use alert_bench::{
-    drain_failures, fingerprint, sweep_point, write_atomic, EntryStatus, FailureEntry, FailureSink,
-    FigureTable, Journal, ManifestEntry, ProtocolChoice,
+    drain_failures, fingerprint, run_pool, set_failure_scope, sweep_point, write_atomic, DirLock,
+    EntryStatus, FailureEntry, FailureSink, FigureTable, Journal, LeaseEntry, LockError,
+    ManifestEntry, PoolOptions, ProtocolChoice, UnitOutcome, WorkUnit,
 };
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 fn main() {
     std::process::exit(real_main());
@@ -53,6 +69,9 @@ fn main() {
 fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut runs = 10usize;
+    let mut jobs = 1usize;
+    let mut lease_s = 600.0f64;
+    let mut max_attempts = 3u32;
     let mut csv_dir: Option<PathBuf> = None;
     let mut resume = false;
     let mut targets: Vec<String> = Vec::new();
@@ -64,6 +83,29 @@ fn real_main() -> i32 {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die_usage("--runs needs a positive integer"));
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die_usage("--jobs needs a positive integer"));
+            }
+            // Hidden pool tuning knobs (the integration tests shrink the
+            // lease to exercise expiry; defaults are production values).
+            "--lease-s" => {
+                lease_s = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &f64| s.is_finite() && s > 0.0)
+                    .unwrap_or_else(|| die_usage("--lease-s needs a positive number"));
+            }
+            "--max-attempts" => {
+                max_attempts = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die_usage("--max-attempts needs a positive integer"));
             }
             "--csv" => {
                 csv_dir = Some(PathBuf::from(
@@ -101,23 +143,48 @@ fn real_main() -> i32 {
         }
     }
 
-    let mut journal = match &csv_dir {
-        Some(dir) => {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                return fail(&format!("cannot create {}: {e}", dir.display()));
-            }
-            match Journal::open(dir) {
-                Ok(j) => Some(j),
-                Err(e) => return fail(&format!("cannot open manifest journal: {e}")),
-            }
+    // Single-orchestrator ownership of the output directory: the
+    // journal's torn-tail healing and the staged merge both assume one
+    // committer, so a concurrent orchestrator is a usage error.
+    let mut _lock: Option<DirLock> = None;
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return fail(&format!("cannot create {}: {e}", dir.display()));
         }
+        match DirLock::acquire(dir) {
+            Ok(l) => _lock = Some(l),
+            Err(e @ LockError::Busy { .. }) => {
+                eprintln!(
+                    "error: {e} ({}); wait for it to finish or remove the stale lock file",
+                    dir.join(alert_bench::LOCK_FILE).display()
+                );
+                return 2;
+            }
+            Err(LockError::Io(e)) => return fail(&format!("cannot lock output directory: {e}")),
+        }
+    }
+
+    let journal = match &csv_dir {
+        Some(dir) => match Journal::open(dir) {
+            Ok(j) => Some(j),
+            Err(e) => return fail(&format!("cannot open manifest journal: {e}")),
+        },
         None => None,
     };
+    if resume {
+        if let Some(j) = &journal {
+            let orphans = j.orphaned_leases().len();
+            if orphans > 0 {
+                eprintln!("[resume] reclaiming {orphans} orphaned lease(s) from a previous run");
+            }
+        }
+    }
     let mut failure_sink = csv_dir.as_deref().map(FailureSink::new);
 
-    println!("# ALERT reproduction — {runs} runs per data point\n");
-    let mut quarantined = 0usize;
-    drain_failures(); // start the campaign with a clean process-global ledger
+    // The campaign as pool work units, in canonical (command-line)
+    // order; resume skips are decided up front on the main thread so
+    // the `[resume]` lines keep their serial order.
+    let mut units: Vec<WorkUnit<usize>> = Vec::new();
     for t in &targets {
         let fp = fingerprint(t, runs);
         if resume {
@@ -128,71 +195,211 @@ fn real_main() -> i32 {
                 }
             }
         }
+        units.push(WorkUnit {
+            label: t.clone(),
+            fingerprint: fp,
+            input: units.len(),
+        });
+    }
+
+    let stage_dir = csv_dir.as_ref().map(|d| d.join(".stage"));
+    if let Some(sd) = &stage_dir {
+        if let Err(e) = std::fs::create_dir_all(sd) {
+            return fail(&format!("cannot create {}: {e}", sd.display()));
+        }
+    }
+
+    // Each worker gets a private rayon pool whose threads carry the
+    // worker's failure scope, so concurrent sweeps quarantine into
+    // separate ledger partitions (cores are split across workers).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_per = (cores / jobs).max(1);
+    let mut sweep_pools = Vec::with_capacity(jobs);
+    for w in 0..jobs {
+        match rayon::ThreadPoolBuilder::new()
+            .num_threads(threads_per)
+            .start_handler(move |_| set_failure_scope(w + 1))
+            .build()
+        {
+            Ok(p) => sweep_pools.push(p),
+            Err(e) => return fail(&format!("cannot build sweep thread pool: {e}")),
+        }
+    }
+
+    println!("# ALERT reproduction — {runs} runs per data point\n");
+    drain_failures(); // start the campaign with a clean ledger partition
+
+    let journal = Mutex::new(journal);
+    let mut quarantined = 0usize;
+    let mut fatal: Option<String> = None;
+
+    let opts = PoolOptions {
+        jobs,
+        lease: Duration::from_secs_f64(lease_s),
+        max_attempts,
+        sample_every: csv_dir.as_ref().map(|_| Duration::from_secs(5)),
+        ..PoolOptions::default()
+    };
+
+    let exec = |w: usize, unit: &WorkUnit<usize>| -> Result<ExpOutput, String> {
+        let target = &unit.label;
+        set_failure_scope(w + 1);
+        drop(drain_failures()); // leftovers of a previous failed attempt
         let start = Instant::now();
-        let rendered = catch_unwind(AssertUnwindSafe(|| render(t, runs)));
+        // Run the experiment inside this worker's private rayon pool so
+        // every sweep thread shares the worker's failure scope. A panic
+        // propagates out of `install` and is caught by the pool harness,
+        // consuming one attempt.
+        let rendered = sweep_pools[w].install(|| render(target, runs));
         let mut failures: Vec<FailureEntry> = drain_failures()
             .into_iter()
-            .map(|r| FailureEntry::from_record(t, r))
+            .map(|r| FailureEntry::from_record(target, r))
             .collect();
-        match rendered {
-            Ok(out) => {
-                match out {
-                    Rendered::Text(text) => print!("{text}"),
-                    Rendered::Table(table) => {
-                        print!("{}", table.render());
-                        if let Some(dir) = &csv_dir {
-                            let path = dir.join(format!("{t}.csv"));
-                            if let Err(e) = write_atomic(&path, &table.to_csv()) {
-                                return fail(&format!("cannot write {}: {e}", path.display()));
-                            }
-                        }
+        // Rayon completion order is scheduling-dependent even at
+        // --jobs 1; canonicalize so the failure report is deterministic.
+        failures.sort_by(|a, b| {
+            (&a.protocol, a.nodes, a.seed, &a.error).cmp(&(&b.protocol, b.nodes, b.seed, &b.error))
+        });
+        let (text, staged) = match rendered {
+            Rendered::Text(text) => (text, None),
+            Rendered::Table(table) => {
+                let staged = match &stage_dir {
+                    Some(sd) => {
+                        // Keyed by unit index + fingerprint (+ worker, so
+                        // a reclaimed lease's straggler can't collide):
+                        // duplicate targets on the command line stay
+                        // distinct.
+                        let path = sd.join(format!(
+                            "{:03}-w{w}-{:016x}.csv",
+                            unit.input, unit.fingerprint
+                        ));
+                        write_atomic(&path, &table.to_csv())
+                            .map_err(|e| format!("cannot stage {}: {e}", path.display()))?;
+                        Some(path)
+                    }
+                    None => None,
+                };
+                (table.render(), staged)
+            }
+        };
+        Ok(ExpOutput {
+            text,
+            staged,
+            failures,
+            wall_s: start.elapsed().as_secs_f64(),
+        })
+    };
+
+    let on_lease = |unit: &WorkUnit<usize>, worker: usize, attempt: u32, deadline_s: f64| {
+        if let Some(j) = journal.lock().expect("journal lock").as_mut() {
+            let lease = LeaseEntry {
+                target: unit.label.clone(),
+                fingerprint: unit.fingerprint,
+                worker,
+                attempt,
+                deadline_s,
+            };
+            if let Err(e) = j.record_lease(lease) {
+                eprintln!(
+                    "[pool] warning: cannot journal lease for {}: {e}",
+                    unit.label
+                );
+            }
+        }
+    };
+
+    let commit = |unit: &WorkUnit<usize>, outcome: UnitOutcome<ExpOutput>| {
+        if fatal.is_some() {
+            return; // first fatal error wins; drop the rest quietly
+        }
+        let t = &unit.label;
+        let (status, wall_s, failures) = match outcome {
+            UnitOutcome::Completed(out) => {
+                print!("{}", out.text);
+                if let Some(stage) = &out.staged {
+                    let path = csv_dir
+                        .as_ref()
+                        .expect("staged artifact implies --csv")
+                        .join(format!("{t}.csv"));
+                    if let Err(e) = std::fs::rename(stage, &path) {
+                        fatal = Some(format!("cannot write {}: {e}", path.display()));
+                        return;
                     }
                 }
-                eprintln!("[{t}] done in {:.1}s", start.elapsed().as_secs_f64());
+                eprintln!("[{t}] done in {:.1}s", out.wall_s);
+                let status = if out.failures.is_empty() {
+                    EntryStatus::Done
+                } else {
+                    EntryStatus::Failed
+                };
+                (status, out.wall_s, out.failures)
             }
-            Err(payload) => {
-                // The experiment itself died (not just one run of a
-                // sweep). Quarantine it and keep the campaign going.
-                let msg = panic_message(payload);
-                failures.push(FailureEntry {
+            UnitOutcome::Failed { error, attempts } => {
+                // The experiment itself died on every attempt (not just
+                // one run of a sweep). Quarantine it and keep going.
+                eprintln!("[{t}] FAILED after {attempts} attempt(s): {error}");
+                let failure = FailureEntry {
                     target: t.clone(),
                     protocol: "-".to_owned(),
                     nodes: 0,
                     seed: 0,
-                    error: format!("panicked: {msg}"),
+                    error,
                     replay: format!("repro {t} --runs {runs}"),
-                });
-                eprintln!(
-                    "[{t}] FAILED after {:.1}s: panicked: {msg}",
-                    start.elapsed().as_secs_f64()
-                );
+                };
+                (EntryStatus::Failed, 0.0, vec![failure])
             }
-        }
-        let status = if failures.is_empty() {
-            EntryStatus::Done
-        } else {
-            EntryStatus::Failed
         };
         quarantined += failures.len();
         if let Some(sink) = &mut failure_sink {
             for f in &failures {
                 if let Err(e) = sink.append(f) {
-                    return fail(&format!("cannot write failure report: {e}"));
+                    fatal = Some(format!("cannot write failure report: {e}"));
+                    return;
                 }
             }
         }
-        if let Some(j) = &mut journal {
+        if let Some(j) = journal.lock().expect("journal lock").as_mut() {
             let entry = ManifestEntry {
                 target: t.clone(),
-                fingerprint: fp,
+                fingerprint: unit.fingerprint,
                 runs,
                 status,
-                wall_s: start.elapsed().as_secs_f64(),
+                wall_s,
             };
             if let Err(e) = j.record(entry) {
-                return fail(&format!("cannot append to manifest journal: {e}"));
+                fatal = Some(format!("cannot append to manifest journal: {e}"));
             }
         }
+    };
+
+    let stats = run_pool(&units, &opts, exec, on_lease, commit);
+
+    if let Some(dir) = &csv_dir {
+        if let Some(series) = &stats.timeseries {
+            let path = dir.join(POOL_TIMESERIES_FILE);
+            if let Err(e) = write_atomic(&path, &series.to_jsonl()) {
+                return fail(&format!("cannot write {}: {e}", path.display()));
+            }
+        }
+        // Staged artifacts are renamed away on commit; anything left is
+        // debris from failed attempts.
+        if let Some(sd) = &stage_dir {
+            let _ = std::fs::remove_dir_all(sd);
+        }
+    }
+    eprintln!(
+        "[pool] jobs={jobs} committed={} failed={} leases={} lease_expired={} \
+         retries={} duplicates={}",
+        stats.completed,
+        stats.failed,
+        stats.leases,
+        stats.lease_expired,
+        stats.retries,
+        stats.duplicates
+    );
+
+    if let Some(msg) = fatal {
+        return fail(&msg);
     }
     if quarantined > 0 {
         eprintln!(
@@ -205,6 +412,19 @@ fn real_main() -> i32 {
         return 1;
     }
     0
+}
+
+/// File name of the pool health timeseries inside the `--csv` dir.
+const POOL_TIMESERIES_FILE: &str = "pool-timeseries.jsonl";
+
+/// What one executed experiment hands the committer: the stdout block,
+/// the staged CSV (if any), the quarantined failures of its sweeps, and
+/// its wall time.
+struct ExpOutput {
+    text: String,
+    staged: Option<PathBuf>,
+    failures: Vec<FailureEntry>,
+    wall_s: f64,
 }
 
 /// A rendered experiment: a pre-formatted text block (Table 1) or a
@@ -245,8 +465,8 @@ const ALL: [&str; 26] = [
 
 /// Hidden fault-drill targets (not in `ALL`, so never part of a normal
 /// campaign): deterministic planted failures that the resilience tests
-/// and the CI resume-smoke job use to prove quarantine works end to
-/// end.
+/// and the CI resume-smoke/pool-smoke jobs use to prove quarantine and
+/// crash recovery work end to end.
 const DRILLS: [&str; 2] = ["__panic-point", "__panic-experiment"];
 
 fn is_known(target: &str) -> bool {
@@ -308,18 +528,10 @@ fn panic_point_drill(runs: usize) -> FigureTable {
     t
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
-}
-
 fn print_usage() {
-    eprintln!("usage: repro <experiment...|all> [--runs N] [--csv DIR] [--resume] [--progress]");
+    eprintln!(
+        "usage: repro <experiment...|all> [--runs N] [--jobs N] [--csv DIR] [--resume] [--progress]"
+    );
     eprintln!("experiments: {}", ALL.join(" "));
     eprintln!("exit codes: 0 ok, 1 runtime failure (see failures.jsonl), 2 usage");
 }

@@ -313,7 +313,9 @@ fn main() {
                 Box::new(sink) as _
             }),
             profile: profile_path.is_some(),
-            metrics_every: timeseries_path.as_ref().map(|_| metrics_every.unwrap_or(5.0)),
+            metrics_every: timeseries_path
+                .as_ref()
+                .map(|_| metrics_every.unwrap_or(5.0)),
             postmortem: postmortem_path.as_ref().map(PostmortemDump::new),
         };
         // An aborted run still streamed its (truncated) trace — the file

@@ -19,7 +19,9 @@ const EVERY_S: f64 = 5.0;
 
 /// All flows derived from traced runs of `choice` across `runs` seeds.
 fn traced_flows(choice: ProtocolChoice, runs: usize) -> Vec<FlowAnonymity> {
-    let mut cfg = ScenarioConfig::default().with_nodes(100).with_duration(30.0);
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(100)
+        .with_duration(30.0);
     cfg.traffic.pairs = 2;
     (0..runs as u64)
         .into_par_iter()
@@ -79,11 +81,7 @@ pub fn anonymity_vs_time(runs: usize) -> FigureTable {
         let a = window_mean(&alert, w);
         let g = window_mean(&gpsr, w);
         t.row(
-            format!(
-                "{:.0}-{:.0}",
-                w as f64 * EVERY_S,
-                (w + 1) as f64 * EVERY_S
-            ),
+            format!("{:.0}-{:.0}", w as f64 * EVERY_S, (w + 1) as f64 * EVERY_S),
             vec![
                 cell(a.map(|x| x.0)),
                 cell(a.map(|x| x.1)),

@@ -19,20 +19,25 @@ pub mod orchestrate;
 pub mod perf;
 #[doc(hidden)]
 pub mod planted;
+pub mod pool;
 pub mod runner;
 pub mod table;
 
 pub use orchestrate::{
-    fingerprint, write_atomic, EntryStatus, FailureEntry, FailureSink, Journal, ManifestEntry,
-    FAILURES_FILE, MANIFEST_FILE,
+    fingerprint, fingerprint_with, write_atomic, DirLock, EntryStatus, FailureEntry, FailureSink,
+    Journal, LeaseEntry, LockError, ManifestEntry, FAILURES_FILE, LOCK_FILE, MANIFEST_FILE,
 };
 pub use perf::{
     baseline_wall_min, perf_sweep, render_perf_json, tracing_overhead, PerfPoint, TracingOverhead,
 };
+pub use pool::{
+    run_pool, Claim, Completion, FailDisposition, LeaseQueue, PoolOptions, PoolStats, UnitOutcome,
+    WorkUnit,
+};
 pub use runner::{
-    drain_failures, failures_total, guarded_run_once, mean_curve, progress_enabled,
-    run_instrumented, set_progress, sweep_metrics, sweep_point, try_run_once, FailureRecord,
-    PostmortemDump, ProtocolChoice, RunFailure, RunOptions, RunOutcome, RunOutput, Stat,
-    POSTMORTEM_RING_CAPACITY,
+    drain_failures, drain_failures_scoped, failure_scope, failures_total, guarded_run_once,
+    mean_curve, progress_enabled, run_instrumented, set_failure_scope, set_progress, sweep_metrics,
+    sweep_point, try_run_once, FailureRecord, PostmortemDump, ProtocolChoice, RunFailure,
+    RunOptions, RunOutcome, RunOutput, Stat, POSTMORTEM_RING_CAPACITY,
 };
 pub use table::FigureTable;

@@ -22,17 +22,35 @@
 //! Like the trace codec and the perf report, the journal is
 //! hand-formatted JSONL with a stable key order: it must be writable
 //! and parseable without a JSON library at runtime, and diffable by
-//! eye. The schema is `alert-repro-manifest/1`:
+//! eye. The schema is `alert-repro-manifest/2`:
 //!
 //! ```json
 //! {"target":"fig9a","fingerprint":1234,"runs":30,"status":"done","wall_s":12.5}
+//! {"rec":"lease","target":"fig9b","fingerprint":99,"worker":1,"attempt":1,"deadline_s":612.5}
 //! ```
+//!
+//! Version 2 adds [`LeaseEntry`] lines for the parallel executor (see
+//! [`crate::pool`]): a worker journals a lease when it claims a unit,
+//! and the committer journals the terminal `done`/`failed` line after
+//! the artifacts are renamed into place. A lease with no later terminal
+//! line is an *orphan* — the worker died mid-unit — and `--resume`
+//! simply re-runs that point. v1 journals remain readable (they just
+//! contain no lease lines); v1 *parsers* skip the new lease lines
+//! because they reject objects with unknown keys. The schema string is
+//! part of every fingerprint, so the 1→2 bump deliberately invalidates
+//! v1 completion entries: resumed campaigns re-run them instead of
+//! trusting records written under the old discipline.
 //!
 //! Failed experiments are quarantined rather than resumed-over: they
 //! are journaled with `"status":"failed"` (never matched by
 //! [`Journal::completed`]) and detailed per-run in `failures.jsonl`
 //! via [`FailureSink`], one [`FailureEntry`] per quarantined run with
 //! its one-line `simrun` replay command.
+//!
+//! Torn-tail healing assumes a **single writer** per output directory;
+//! [`DirLock`] enforces that with an advisory `.orchestrator.lock`
+//! file, so two orchestrators racing on one `--csv` dir fail fast with
+//! a usage error instead of silently interleaving journal lines.
 
 use crate::runner::FailureRecord;
 use std::fmt::Write as _;
@@ -46,9 +64,13 @@ pub const MANIFEST_FILE: &str = "manifest.jsonl";
 /// File name of the failure report inside the `--csv` directory.
 pub const FAILURES_FILE: &str = "failures.jsonl";
 
+/// File name of the advisory single-orchestrator lock inside the
+/// output directory.
+pub const LOCK_FILE: &str = ".orchestrator.lock";
+
 /// Journal schema tag; part of every fingerprint, so bumping it
 /// invalidates all previously journaled points at once.
-const SCHEMA: &str = "alert-repro-manifest/1";
+const SCHEMA: &str = "alert-repro-manifest/2";
 
 // ---------------------------------------------------------------------
 // Fingerprint
@@ -67,11 +89,21 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 /// field boundaries can't alias). A journaled entry only counts as
 /// completed when its fingerprint matches the current invocation's.
 pub fn fingerprint(target: &str, runs: usize) -> u64 {
+    fingerprint_with(&[target.as_bytes(), &(runs as u64).to_le_bytes()])
+}
+
+/// Generalized config fingerprint: FNV-1a over the schema version and
+/// the given byte fields, NUL-separated so field boundaries can't
+/// alias. [`fingerprint`] is the two-field special case; `simcheck`
+/// uses this directly to key fuzz cases by `(master seed, case index,
+/// plant)`.
+pub fn fingerprint_with(parts: &[&[u8]]) -> u64 {
     let mut h = fnv1a(0xcbf2_9ce4_8422_2325, SCHEMA.as_bytes());
-    h = fnv1a(h, &[0]);
-    h = fnv1a(h, target.as_bytes());
-    h = fnv1a(h, &[0]);
-    fnv1a(h, &(runs as u64).to_le_bytes())
+    for part in parts {
+        h = fnv1a(h, &[0]);
+        h = fnv1a(h, part);
+    }
+    h
 }
 
 // ---------------------------------------------------------------------
@@ -194,6 +226,81 @@ impl ManifestEntry {
 }
 
 // ---------------------------------------------------------------------
+// Lease entries (schema v2)
+// ---------------------------------------------------------------------
+
+/// One lease line in the manifest journal: worker `worker` claimed the
+/// unit `fingerprint` (attempt `attempt`) and promised to finish it by
+/// `deadline_s` on the claiming orchestrator's monotonic clock.
+///
+/// Lease lines are provenance, not authority: in-process the live
+/// [`LeaseQueue`](crate::pool::LeaseQueue) arbitrates claims, and on
+/// `--resume` a lease with no later terminal entry simply marks a unit
+/// the dead run never finished — it is reclaimed by re-running.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseEntry {
+    /// Experiment target / case label the lease covers.
+    pub target: String,
+    /// Unit fingerprint (same keying as [`ManifestEntry`]).
+    pub fingerprint: u64,
+    /// Worker id that claimed the unit.
+    pub worker: usize,
+    /// 1-based attempt number this lease runs.
+    pub attempt: u32,
+    /// Lease deadline, seconds on the claiming pool's monotonic clock.
+    pub deadline_s: f64,
+}
+
+impl LeaseEntry {
+    /// Encodes the lease as one JSONL line (no trailing newline),
+    /// stable key order. The `"rec":"lease"` discriminator comes first
+    /// so v1 parsers (which reject unknown keys) skip the line whole.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::from("{\"rec\":\"lease\",\"target\":");
+        push_str_escaped(&mut s, &self.target);
+        let _ = write!(
+            s,
+            ",\"fingerprint\":{},\"worker\":{},\"attempt\":{},\"deadline_s\":{:?}}}",
+            self.fingerprint, self.worker, self.attempt, self.deadline_s
+        );
+        s
+    }
+
+    /// Decodes one lease line; `None` on malformation or when the line
+    /// is not a lease record.
+    pub fn parse_line(line: &str) -> Option<Self> {
+        let fields = parse_flat_object(line)?;
+        let mut is_lease = false;
+        let mut target = None;
+        let mut fp = None;
+        let mut worker = None;
+        let mut attempt = None;
+        let mut deadline_s = None;
+        for (key, val) in fields {
+            match (key.as_str(), val) {
+                ("rec", Val::Str(s)) => is_lease = s == "lease",
+                ("target", Val::Str(s)) => target = Some(s),
+                ("fingerprint", Val::Num(n)) => fp = n.parse::<u64>().ok(),
+                ("worker", Val::Num(n)) => worker = n.parse::<usize>().ok(),
+                ("attempt", Val::Num(n)) => attempt = n.parse::<u32>().ok(),
+                ("deadline_s", Val::Num(n)) => deadline_s = n.parse::<f64>().ok(),
+                _ => return None,
+            }
+        }
+        if !is_lease {
+            return None;
+        }
+        Some(LeaseEntry {
+            target: target?,
+            fingerprint: fp?,
+            worker: worker?,
+            attempt: attempt?,
+            deadline_s: deadline_s?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
 // Journal
 // ---------------------------------------------------------------------
 
@@ -202,6 +309,7 @@ impl ManifestEntry {
 pub struct Journal {
     path: PathBuf,
     entries: Vec<ManifestEntry>,
+    leases: Vec<LeaseEntry>,
 }
 
 impl Journal {
@@ -213,27 +321,55 @@ impl Journal {
     /// [`record`](Journal::record) can't merge into the torn fragment.
     pub fn open(dir: &Path) -> io::Result<Journal> {
         let path = dir.join(MANIFEST_FILE);
-        let entries = match fs::read_to_string(&path) {
+        let mut entries = Vec::new();
+        let mut leases = Vec::new();
+        match fs::read_to_string(&path) {
             Ok(text) => {
                 if !text.is_empty() && !text.ends_with('\n') {
                     let mut f = fs::OpenOptions::new().append(true).open(&path)?;
                     f.write_all(b"\n")?;
                     f.sync_all()?;
                 }
-                text.lines()
-                    .filter(|l| !l.trim().is_empty())
-                    .filter_map(ManifestEntry::parse_line)
-                    .collect()
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    if let Some(e) = ManifestEntry::parse_line(line) {
+                        entries.push(e);
+                    } else if let Some(l) = LeaseEntry::parse_line(line) {
+                        leases.push(l);
+                    }
+                }
             }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
-        };
-        Ok(Journal { path, entries })
+        }
+        Ok(Journal {
+            path,
+            entries,
+            leases,
+        })
     }
 
     /// Entries read at open plus those recorded since.
     pub fn entries(&self) -> &[ManifestEntry] {
         &self.entries
+    }
+
+    /// Lease lines read at open plus those recorded since.
+    pub fn leases(&self) -> &[LeaseEntry] {
+        &self.leases
+    }
+
+    /// Fingerprints with a journaled lease but no terminal
+    /// `done`/`failed` entry — the in-flight units a dead orchestrator
+    /// orphaned. `--resume` reports these and re-runs them.
+    pub fn orphaned_leases(&self) -> Vec<&LeaseEntry> {
+        let mut seen = std::collections::BTreeSet::new();
+        self.leases
+            .iter()
+            .filter(|l| {
+                self.entries.iter().all(|e| e.fingerprint != l.fingerprint)
+                    && seen.insert(l.fingerprint)
+            })
+            .collect()
     }
 
     /// True when `target` is journaled as [`EntryStatus::Done`] with
@@ -259,6 +395,125 @@ impl Journal {
         f.sync_all()?;
         self.entries.push(entry);
         Ok(())
+    }
+
+    /// Appends one lease line and flushes it to disk before returning,
+    /// then mirrors it into the in-memory view.
+    pub fn record_lease(&mut self, lease: LeaseEntry) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut line = lease.to_jsonl();
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        f.sync_all()?;
+        self.leases.push(lease);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Advisory single-orchestrator lock
+// ---------------------------------------------------------------------
+
+/// Why [`DirLock::acquire`] failed.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another live orchestrator (with the given PID, when readable)
+    /// holds the directory.
+    Busy {
+        /// PID read from the lock file, if it parsed.
+        pid: Option<u32>,
+    },
+    /// Filesystem error creating or inspecting the lock.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Busy { pid: Some(pid) } => write!(
+                f,
+                "another orchestrator (pid {pid}) holds this output directory"
+            ),
+            LockError::Busy { pid: None } => {
+                write!(f, "another orchestrator holds this output directory")
+            }
+            LockError::Io(e) => write!(f, "lock file error: {e}"),
+        }
+    }
+}
+
+/// Advisory lock asserting single-committer ownership of an output
+/// directory: journal torn-tail healing and the staged-merge discipline
+/// both assume exactly one orchestrator writes `manifest.jsonl` at a
+/// time. The lock is a `.orchestrator.lock` file created with
+/// `O_EXCL` and holding the owner's PID; a stale lock (owner no longer
+/// alive) is stolen, a live one is a hard [`LockError::Busy`] the
+/// binaries turn into an exit-2 usage diagnostic. Dropped on scope
+/// exit; a SIGKILL'd owner leaves a stale file the next run reclaims.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Claims the advisory lock in `dir`, stealing it when the recorded
+    /// owner is dead.
+    pub fn acquire(dir: &Path) -> Result<DirLock, LockError> {
+        let path = dir.join(LOCK_FILE);
+        // Two tries: one against a possibly-stale existing file, one
+        // after removing it. A third failure means a live race.
+        for _ in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    let _ = f.sync_all();
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let pid = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match pid {
+                        Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                            return Err(LockError::Busy { pid: Some(pid) });
+                        }
+                        Some(_) => {
+                            // Stale (owner dead) or our own leftover:
+                            // remove and retry the exclusive create.
+                            let _ = fs::remove_file(&path);
+                        }
+                        None => return Err(LockError::Busy { pid: None }),
+                    }
+                }
+                Err(e) => return Err(LockError::Io(e)),
+            }
+        }
+        Err(LockError::Busy { pid: None })
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Best-effort liveness probe for a PID. On Linux `/proc/<pid>` is
+/// authoritative; elsewhere we conservatively report alive, so stale
+/// locks there need manual removal rather than risking a steal from a
+/// live process.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
     }
 }
 
@@ -646,6 +901,95 @@ mod tests {
             .map(|l| FailureEntry::parse_line(l).unwrap())
             .collect();
         assert_eq!(parsed, vec![e.clone(), e]);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    fn lease(target: &str, worker: usize, attempt: u32) -> LeaseEntry {
+        LeaseEntry {
+            target: target.to_owned(),
+            fingerprint: fingerprint(target, 30),
+            worker,
+            attempt,
+            deadline_s: 612.5,
+        }
+    }
+
+    #[test]
+    fn lease_entries_round_trip_and_stay_invisible_to_v1() {
+        let l = lease("fig9a", 2, 1);
+        assert_eq!(
+            l.to_jsonl(),
+            format!(
+                "{{\"rec\":\"lease\",\"target\":\"fig9a\",\"fingerprint\":{},\
+                 \"worker\":2,\"attempt\":1,\"deadline_s\":612.5}}",
+                l.fingerprint
+            )
+        );
+        assert_eq!(LeaseEntry::parse_line(&l.to_jsonl()), Some(l.clone()));
+        // A v1-style strict parser (ManifestEntry) rejects lease lines
+        // whole instead of misreading them.
+        assert_eq!(ManifestEntry::parse_line(&l.to_jsonl()), None);
+        // And the lease parser rejects terminal entries.
+        let e = entry("fig9a", EntryStatus::Done);
+        assert_eq!(LeaseEntry::parse_line(&e.to_jsonl()), None);
+    }
+
+    #[test]
+    fn journal_tracks_orphaned_leases() {
+        let dir = scratch_dir("leases");
+        let mut j = Journal::open(&dir).unwrap();
+        // fig9a: leased then finished. fig9b: leased twice (retry),
+        // never finished — one orphan, deduped by fingerprint.
+        j.record_lease(lease("fig9a", 0, 1)).unwrap();
+        j.record(entry("fig9a", EntryStatus::Done)).unwrap();
+        j.record_lease(lease("fig9b", 1, 1)).unwrap();
+        j.record_lease(lease("fig9b", 0, 2)).unwrap();
+
+        let j2 = Journal::open(&dir).unwrap();
+        assert_eq!(j2.entries().len(), 1);
+        assert_eq!(j2.leases().len(), 3);
+        let orphans = j2.orphaned_leases();
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(orphans[0].target, "fig9b");
+        // Completion logic is untouched by lease lines.
+        assert!(j2.completed("fig9a", fingerprint("fig9a", 30)));
+        assert!(!j2.completed("fig9b", fingerprint("fig9b", 30)));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fingerprint_with_separates_fields() {
+        assert_eq!(
+            fingerprint("fig9a", 30),
+            fingerprint_with(&[b"fig9a", &30u64.to_le_bytes()])
+        );
+        assert_ne!(
+            fingerprint_with(&[b"ab", b"c"]),
+            fingerprint_with(&[b"a", b"bc"])
+        );
+        assert_ne!(fingerprint_with(&[b"a"]), fingerprint_with(&[b"a", b""]));
+    }
+
+    #[test]
+    fn dir_lock_excludes_live_owner_and_steals_stale() {
+        let dir = scratch_dir("lock");
+        let lock = DirLock::acquire(&dir).expect("first acquire");
+        // Same-process second acquire: the recorded owner (us) is
+        // alive, but pid == ours means a leftover from this process —
+        // realistic only across runs, so simulate a *foreign* live
+        // owner with PID 1 (init, always alive on Linux).
+        drop(lock);
+        fs::write(dir.join(LOCK_FILE), "1\n").unwrap();
+        match DirLock::acquire(&dir) {
+            Err(LockError::Busy { pid: Some(1) }) => {}
+            other => panic!("expected Busy{{pid:1}}, got {other:?}"),
+        }
+        // A dead owner is stolen.
+        fs::write(dir.join(LOCK_FILE), "999999999\n").unwrap();
+        let lock = DirLock::acquire(&dir).expect("steal stale lock");
+        assert!(dir.join(LOCK_FILE).exists());
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop releases the lock");
         let _ = fs::remove_dir_all(dir);
     }
 }

@@ -1,0 +1,874 @@
+//! Fault-tolerant parallel campaign execution: a leased work queue, a
+//! fixed-size worker pool, and a single committer that merges results in
+//! canonical order.
+//!
+//! This is the robustness layer the `repro` and `simcheck` binaries
+//! share for `--jobs N`. The design splits into two halves:
+//!
+//! * [`LeaseQueue`] — a **pure** state machine over work-unit states
+//!   (pending → leased → done/failed) with an injected clock. Workers
+//!   claim units via time-bounded leases; an expired lease is re-queued
+//!   with capped retry and exponential backoff, so a stuck or dead
+//!   worker loses only its in-flight unit. Completion is idempotent:
+//!   duplicate completions (a reclaimed unit finishing twice) are
+//!   deduped, so at-least-once execution never double-counts. Being
+//!   pure, every interleaving of claim/expire/complete/fail events is
+//!   directly testable (see the proptest in `tests/pool_props.rs`).
+//! * [`run_pool`] — the threaded harness around it: `jobs` worker
+//!   threads execute units (each unit panic-isolated), and the **caller
+//!   thread is the single committer**, receiving finished units over a
+//!   channel and committing them strictly in canonical (submission)
+//!   order. Scheduling therefore never reorders output: a parallel run
+//!   commits byte-identical artifacts to `--jobs 1`.
+//!
+//! # Determinism contract
+//!
+//! Work units must be **pure functions of their fingerprint** — seeded
+//! from config, never from claim order, wall clock, or worker identity.
+//! Under that contract the pool guarantees:
+//!
+//! 1. `commit` is called at most once per unit, in submission order.
+//! 2. The committed outcome of a unit is independent of `jobs`, lease
+//!    expiries, retries, and thread scheduling.
+//! 3. A unit that fails deterministically is retried up to
+//!    `max_attempts` times (backoff between attempts) and then committed
+//!    as failed — one terminal outcome either way.
+//!
+//! Wall-clock-dependent observability (the optional health timeseries,
+//! stderr chatter) is deliberately outside the contract.
+
+use crate::runner::panic_message;
+use alert_sim::{MetricsTimeseries, RegistrySnapshot};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Work units and pool options
+// ---------------------------------------------------------------------
+
+/// One unit of campaign work. Canonical order is the submission order
+/// of the `units` slice given to [`run_pool`]; the fingerprint is the
+/// unit's stable identity in journals and staged artifacts.
+#[derive(Debug, Clone)]
+pub struct WorkUnit<I> {
+    /// Human-readable name (experiment target, `case-0042`, ...).
+    pub label: String,
+    /// Stable identity: the FNV-1a config fingerprint the unit is
+    /// keyed — and seeded — by.
+    pub fingerprint: u64,
+    /// Task payload handed to the executor.
+    pub input: I,
+}
+
+/// Tuning knobs for [`run_pool`].
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Fixed worker-thread count (min 1).
+    pub jobs: usize,
+    /// Lease duration: a claim not completed within this window may be
+    /// reclaimed by another worker. Generous by default — in-process it
+    /// only matters when a worker thread dies or wedges.
+    pub lease: Duration,
+    /// Maximum execution attempts per unit (min 1); a unit failing this
+    /// many times (errors, panics, or lease expiries) is committed as
+    /// failed.
+    pub max_attempts: u32,
+    /// Backoff before retry attempt `a` runs: `base * 2^(a-1)`, capped
+    /// at [`PoolOptions::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Cooperative cancellation deadline (e.g. a `--max-wall-s`
+    /// budget): workers stop claiming once it passes; already-running
+    /// units finish and commit.
+    pub deadline: Option<Instant>,
+    /// Sample pool health counters (`pool.*`) into an
+    /// `alert-timeseries/1` series at this wall-clock cadence.
+    pub sample_every: Option<Duration>,
+}
+
+impl Default for PoolOptions {
+    fn default() -> PoolOptions {
+        PoolOptions {
+            jobs: 1,
+            lease: Duration::from_secs(600),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            deadline: None,
+            sample_every: None,
+        }
+    }
+}
+
+/// Terminal outcome of one unit, as handed to the commit callback.
+#[derive(Debug)]
+pub enum UnitOutcome<O> {
+    /// The unit executed to completion; here is its output.
+    Completed(O),
+    /// Every attempt failed (error, panic, or lease expiry).
+    Failed {
+        /// Last failure message.
+        error: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// What a whole pool run amounted to.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Units committed as completed.
+    pub completed: usize,
+    /// Units committed as failed (attempts exhausted).
+    pub failed: usize,
+    /// Leases granted (≥ unit count when retries happened).
+    pub leases: u64,
+    /// Leases that expired and were reclaimed.
+    pub lease_expired: u64,
+    /// Failed attempts that were re-queued for retry.
+    pub retries: u64,
+    /// Duplicate completions discarded by fingerprint dedupe.
+    pub duplicates: u64,
+    /// True when the deadline cancelled the run before all units got a
+    /// terminal outcome.
+    pub cancelled: bool,
+    /// Health samples, when [`PoolOptions::sample_every`] was set.
+    pub timeseries: Option<MetricsTimeseries>,
+}
+
+// ---------------------------------------------------------------------
+// LeaseQueue: the pure state machine
+// ---------------------------------------------------------------------
+
+/// Per-unit lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum UnitState {
+    /// Eligible to be claimed once `not_before` passes. `attempt` counts
+    /// attempts already consumed.
+    Pending { attempt: u32, not_before: f64 },
+    /// Claimed by `worker` as attempt `attempt`; reclaimable after
+    /// `deadline`.
+    Leased {
+        worker: usize,
+        attempt: u32,
+        deadline: f64,
+    },
+    /// Terminal: completed exactly once.
+    Done,
+    /// Terminal: attempts exhausted.
+    Failed,
+}
+
+/// What a claim attempt yielded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Claim {
+    /// A unit was leased to the claiming worker.
+    Unit {
+        /// Canonical index of the unit.
+        index: usize,
+        /// 1-based attempt number this lease runs.
+        attempt: u32,
+    },
+    /// Nothing is runnable right now; nothing can become runnable
+    /// before `until` (backoff hold-downs, outstanding lease deadlines).
+    Wait {
+        /// Earliest time (queue clock) worth re-checking at.
+        until: f64,
+    },
+    /// Every unit is terminal.
+    Drained,
+}
+
+/// Result of reporting a completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Completion {
+    /// First completion of this unit — the caller must forward it.
+    First,
+    /// The unit was already terminal (a reclaimed lease finished
+    /// elsewhere); the result must be discarded.
+    Duplicate,
+}
+
+/// Result of reporting a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailDisposition {
+    /// Re-queued; eligible again at `not_before`.
+    Retry {
+        /// Earliest re-claim time (queue clock).
+        not_before: f64,
+    },
+    /// Attempts exhausted — the caller must forward the terminal
+    /// failure.
+    Exhausted,
+    /// The unit was already terminal (raced with an expiry); discard.
+    Stale,
+}
+
+/// The leased work queue: a pure, clock-injected state machine over
+/// unit lifecycles. All times are seconds on an arbitrary monotonic
+/// clock supplied by the caller.
+#[derive(Debug)]
+pub struct LeaseQueue {
+    states: Vec<UnitState>,
+    lease_s: f64,
+    backoff_base_s: f64,
+    backoff_cap_s: f64,
+    max_attempts: u32,
+    terminal: usize,
+    leases: u64,
+    lease_expired: u64,
+    retries: u64,
+    duplicates: u64,
+}
+
+impl LeaseQueue {
+    /// A queue of `units` pending units.
+    pub fn new(units: usize, opts: &PoolOptions) -> LeaseQueue {
+        LeaseQueue {
+            states: vec![
+                UnitState::Pending {
+                    attempt: 0,
+                    not_before: 0.0,
+                };
+                units
+            ],
+            lease_s: opts.lease.as_secs_f64(),
+            backoff_base_s: opts.backoff_base.as_secs_f64(),
+            backoff_cap_s: opts.backoff_cap.as_secs_f64(),
+            max_attempts: opts.max_attempts.max(1),
+            terminal: 0,
+            leases: 0,
+            lease_expired: 0,
+            retries: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Attempt cap the queue enforces.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Backoff before re-running attempt `attempt + 1` (attempts
+    /// consumed so far): `base * 2^(attempt-1)`, capped.
+    fn backoff_s(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        (self.backoff_base_s * f64::from(1u32 << exp)).min(self.backoff_cap_s)
+    }
+
+    /// Re-queues (or terminally fails) every lease whose deadline has
+    /// passed, returning the indices that just became terminal failures
+    /// — the caller must forward those to the committer.
+    pub fn expire(&mut self, now: f64) -> Vec<usize> {
+        let mut exhausted = Vec::new();
+        for i in 0..self.states.len() {
+            if let UnitState::Leased {
+                attempt, deadline, ..
+            } = self.states[i]
+            {
+                if deadline <= now {
+                    self.lease_expired += 1;
+                    if attempt >= self.max_attempts {
+                        self.states[i] = UnitState::Failed;
+                        self.terminal += 1;
+                        exhausted.push(i);
+                    } else {
+                        self.states[i] = UnitState::Pending {
+                            attempt,
+                            not_before: now + self.backoff_s(attempt),
+                        };
+                    }
+                }
+            }
+        }
+        exhausted
+    }
+
+    /// Claims the lowest-index runnable unit for `worker`. Run
+    /// [`LeaseQueue::expire`] first so reclaimable leases are visible.
+    pub fn claim(&mut self, worker: usize, now: f64) -> Claim {
+        let mut wake = f64::INFINITY;
+        for (i, s) in self.states.iter_mut().enumerate() {
+            match *s {
+                UnitState::Pending {
+                    attempt,
+                    not_before,
+                } => {
+                    if not_before <= now {
+                        let attempt = attempt + 1;
+                        *s = UnitState::Leased {
+                            worker,
+                            attempt,
+                            deadline: now + self.lease_s,
+                        };
+                        self.leases += 1;
+                        return Claim::Unit { index: i, attempt };
+                    }
+                    wake = wake.min(not_before);
+                }
+                UnitState::Leased { deadline, .. } => {
+                    wake = wake.min(deadline);
+                }
+                UnitState::Done | UnitState::Failed => {}
+            }
+        }
+        if self.terminal == self.states.len() {
+            Claim::Drained
+        } else {
+            Claim::Wait { until: wake }
+        }
+    }
+
+    /// Reports unit `index` completed. Only the first completion per
+    /// unit counts; late completions from reclaimed leases are deduped.
+    pub fn complete(&mut self, index: usize) -> Completion {
+        match self.states[index] {
+            UnitState::Done | UnitState::Failed => {
+                self.duplicates += 1;
+                Completion::Duplicate
+            }
+            _ => {
+                self.states[index] = UnitState::Done;
+                self.terminal += 1;
+                Completion::First
+            }
+        }
+    }
+
+    /// Reports a failed attempt on unit `index`.
+    pub fn fail(&mut self, index: usize, now: f64) -> FailDisposition {
+        match self.states[index] {
+            UnitState::Done | UnitState::Failed => FailDisposition::Stale,
+            UnitState::Leased { attempt, .. } | UnitState::Pending { attempt, .. } => {
+                if attempt >= self.max_attempts {
+                    self.states[index] = UnitState::Failed;
+                    self.terminal += 1;
+                    FailDisposition::Exhausted
+                } else {
+                    let not_before = now + self.backoff_s(attempt);
+                    self.states[index] = UnitState::Pending {
+                        attempt,
+                        not_before,
+                    };
+                    self.retries += 1;
+                    FailDisposition::Retry { not_before }
+                }
+            }
+        }
+    }
+
+    /// True when every unit is terminal.
+    pub fn is_drained(&self) -> bool {
+        self.terminal == self.states.len()
+    }
+
+    /// `(leases, lease_expired, retries, duplicates)` so far.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.leases,
+            self.lease_expired,
+            self.retries,
+            self.duplicates,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// run_pool: workers + single committer
+// ---------------------------------------------------------------------
+
+/// Snapshot of pool health as an `alert-trace` registry snapshot, so
+/// the existing timeseries/`tracequery rates` tooling applies as-is.
+fn health_snapshot(q: &LeaseQueue, committed: usize, failed: usize) -> RegistrySnapshot {
+    let (leases, expired, retries, duplicates) = q.counters();
+    let mut counters = BTreeMap::new();
+    counters.insert("pool.leases".to_owned(), leases);
+    counters.insert("pool.lease_expired".to_owned(), expired);
+    counters.insert("pool.retries".to_owned(), retries);
+    counters.insert("pool.duplicates".to_owned(), duplicates);
+    counters.insert("pool.committed".to_owned(), committed as u64);
+    counters.insert("pool.failed".to_owned(), failed as u64);
+    RegistrySnapshot {
+        counters,
+        histograms: BTreeMap::new(),
+    }
+}
+
+/// Runs `units` across [`PoolOptions::jobs`] worker threads and commits
+/// terminal outcomes **in canonical (slice) order** on the calling
+/// thread.
+///
+/// * `exec(worker, unit)` runs on a worker thread, panic-isolated; an
+///   `Err` (or panic) consumes one attempt and is retried with backoff
+///   until [`PoolOptions::max_attempts`].
+/// * `on_lease(unit, worker, attempt, deadline_s)` fires on every claim
+///   (the journal hook); `deadline_s` is on the pool's monotonic clock
+///   (seconds since pool start).
+/// * `commit(unit, outcome)` runs on the calling thread only, strictly
+///   in unit order, exactly once per unit that reached a terminal
+///   outcome before cancellation.
+pub fn run_pool<I, O, E, L, C>(
+    units: &[WorkUnit<I>],
+    opts: &PoolOptions,
+    exec: E,
+    on_lease: L,
+    mut commit: C,
+) -> PoolStats
+where
+    I: Sync,
+    O: Send,
+    E: Fn(usize, &WorkUnit<I>) -> Result<O, String> + Sync,
+    L: Fn(&WorkUnit<I>, usize, u32, f64) + Sync,
+    C: FnMut(&WorkUnit<I>, UnitOutcome<O>),
+{
+    let started = Instant::now();
+    let jobs = opts.jobs.max(1);
+    let queue = Mutex::new(LeaseQueue::new(units.len(), opts));
+    let cond = Condvar::new();
+    let (tx, rx) = mpsc::channel::<(usize, UnitOutcome<O>)>();
+
+    let mut stats = PoolStats {
+        completed: 0,
+        failed: 0,
+        leases: 0,
+        lease_expired: 0,
+        retries: 0,
+        duplicates: 0,
+        cancelled: false,
+        timeseries: opts
+            .sample_every
+            .map(|d| MetricsTimeseries::new(d.as_secs_f64().max(1e-3))),
+    };
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let tx = tx.clone();
+            let queue = &queue;
+            let cond = &cond;
+            let exec = &exec;
+            let on_lease = &on_lease;
+            scope.spawn(move || {
+                worker_loop(w, units, opts, queue, cond, exec, on_lease, started, tx)
+            });
+        }
+        drop(tx);
+
+        // The calling thread is the single committer: buffer terminal
+        // outcomes and commit the contiguous prefix in canonical order.
+        let mut buffer: BTreeMap<usize, UnitOutcome<O>> = BTreeMap::new();
+        let mut next = 0usize;
+        let mut next_sample = opts.sample_every.map(|d| d.as_secs_f64().max(1e-3));
+        let mut disconnected = false;
+        while !disconnected {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok((index, outcome)) => {
+                    buffer.insert(index, outcome);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+            while let Some(outcome) = buffer.remove(&next) {
+                match &outcome {
+                    UnitOutcome::Completed(_) => stats.completed += 1,
+                    UnitOutcome::Failed { .. } => stats.failed += 1,
+                }
+                commit(&units[next], outcome);
+                next += 1;
+            }
+            if let (Some(series), Some(at)) = (stats.timeseries.as_mut(), next_sample) {
+                let elapsed = started.elapsed().as_secs_f64();
+                if elapsed >= at {
+                    let q = queue.lock().expect("pool queue poisoned");
+                    series.record(elapsed, &health_snapshot(&q, stats.completed, stats.failed));
+                    drop(q);
+                    let every = opts.sample_every.expect("sampling on").as_secs_f64();
+                    next_sample = Some(elapsed + every.max(1e-3));
+                }
+            }
+        }
+    });
+
+    let q = queue.into_inner().expect("pool queue poisoned");
+    (
+        stats.leases,
+        stats.lease_expired,
+        stats.retries,
+        stats.duplicates,
+    ) = q.counters();
+    stats.cancelled = stats.completed + stats.failed < units.len();
+    if let Some(series) = stats.timeseries.as_mut() {
+        // Always end with a final sample so even sub-cadence runs leave
+        // a usable (header + ≥1 sample) series behind.
+        let t = started.elapsed().as_secs_f64();
+        let t = match series.samples.last() {
+            Some(last) if t <= last.t => last.t + 1e-3,
+            _ => t,
+        };
+        series.record(t, &health_snapshot(&q, stats.completed, stats.failed));
+    }
+    stats
+}
+
+/// One worker: claim, execute (panic-isolated), report. Exits when the
+/// queue drains or the deadline cancels the run.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<I, O, E, L>(
+    w: usize,
+    units: &[WorkUnit<I>],
+    opts: &PoolOptions,
+    queue: &Mutex<LeaseQueue>,
+    cond: &Condvar,
+    exec: &E,
+    on_lease: &L,
+    started: Instant,
+    tx: mpsc::Sender<(usize, UnitOutcome<O>)>,
+) where
+    I: Sync,
+    O: Send,
+    E: Fn(usize, &WorkUnit<I>) -> Result<O, String> + Sync,
+    L: Fn(&WorkUnit<I>, usize, u32, f64) + Sync,
+{
+    loop {
+        if opts.deadline.is_some_and(|d| Instant::now() >= d) {
+            cond.notify_all();
+            return;
+        }
+        let mut q = queue.lock().expect("pool queue poisoned");
+        let now = started.elapsed().as_secs_f64();
+        let max_attempts = q.max_attempts();
+        for index in q.expire(now) {
+            let _ = tx.send((
+                index,
+                UnitOutcome::Failed {
+                    error: format!("lease expired after {max_attempts} attempts"),
+                    attempts: max_attempts,
+                },
+            ));
+        }
+        match q.claim(w, now) {
+            Claim::Unit { index, attempt } => {
+                drop(q);
+                let unit = &units[index];
+                on_lease(unit, w, attempt, now + opts.lease.as_secs_f64());
+                let result = match catch_unwind(AssertUnwindSafe(|| exec(w, unit))) {
+                    Ok(r) => r,
+                    Err(payload) => Err(format!("panicked: {}", panic_message(payload))),
+                };
+                let mut q = queue.lock().expect("pool queue poisoned");
+                match result {
+                    Ok(output) => {
+                        if q.complete(index) == Completion::First {
+                            let _ = tx.send((index, UnitOutcome::Completed(output)));
+                        }
+                    }
+                    Err(error) => {
+                        let now = started.elapsed().as_secs_f64();
+                        match q.fail(index, now) {
+                            FailDisposition::Retry { .. } => {
+                                eprintln!(
+                                    "[pool] worker {w}: {} attempt {attempt} failed \
+                                     ({error}); re-queued with backoff",
+                                    unit.label
+                                );
+                            }
+                            FailDisposition::Exhausted => {
+                                let _ = tx.send((
+                                    index,
+                                    UnitOutcome::Failed {
+                                        error,
+                                        attempts: attempt,
+                                    },
+                                ));
+                            }
+                            FailDisposition::Stale => {}
+                        }
+                    }
+                }
+                drop(q);
+                cond.notify_all();
+            }
+            Claim::Drained => {
+                cond.notify_all();
+                return;
+            }
+            Claim::Wait { until } => {
+                // Cap the sleep so deadlines and late expiries are
+                // polled even without a notification.
+                let sleep = Duration::from_secs_f64((until - now).clamp(0.001, 0.2));
+                let _ = cond.wait_timeout(q, sleep).expect("pool queue poisoned");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn units(n: usize) -> Vec<WorkUnit<usize>> {
+        (0..n)
+            .map(|i| WorkUnit {
+                label: format!("u{i}"),
+                fingerprint: 0x1000 + i as u64,
+                input: i,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn commits_in_canonical_order_across_workers() {
+        let us = units(24);
+        let opts = PoolOptions {
+            jobs: 4,
+            ..PoolOptions::default()
+        };
+        let mut seen = Vec::new();
+        let stats = run_pool(
+            &us,
+            &opts,
+            |_, u| {
+                // Reverse-staggered sleeps so completion order is wildly
+                // different from canonical order.
+                std::thread::sleep(Duration::from_millis(((24 - u.input) % 7) as u64));
+                Ok(u.input * 10)
+            },
+            |_, _, _, _| {},
+            |u, out| match out {
+                UnitOutcome::Completed(v) => {
+                    assert_eq!(v, u.input * 10);
+                    seen.push(u.input);
+                }
+                UnitOutcome::Failed { error, .. } => panic!("unexpected failure: {error}"),
+            },
+        );
+        assert_eq!(seen, (0..24).collect::<Vec<_>>());
+        assert_eq!(stats.completed, 24);
+        assert_eq!(stats.failed, 0);
+        assert!(!stats.cancelled);
+        assert!(stats.leases >= 24);
+    }
+
+    #[test]
+    fn failing_unit_retries_then_commits_failed() {
+        let us = units(3);
+        let attempts = AtomicU32::new(0);
+        let opts = PoolOptions {
+            jobs: 2,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            ..PoolOptions::default()
+        };
+        let mut outcomes = Vec::new();
+        let stats = run_pool(
+            &us,
+            &opts,
+            |_, u| {
+                if u.input == 1 {
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    Err("planted failure".to_owned())
+                } else {
+                    Ok(())
+                }
+            },
+            |_, _, _, _| {},
+            |u, out| outcomes.push((u.input, matches!(out, UnitOutcome::Completed(_)))),
+        );
+        assert_eq!(attempts.load(Ordering::Relaxed), 3, "retried to the cap");
+        assert_eq!(outcomes, vec![(0, true), (1, false), (2, true)]);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn transient_failure_recovers_on_retry() {
+        let us = units(1);
+        let attempts = AtomicU32::new(0);
+        let opts = PoolOptions {
+            jobs: 1,
+            backoff_base: Duration::from_millis(1),
+            ..PoolOptions::default()
+        };
+        let mut ok = false;
+        run_pool(
+            &us,
+            &opts,
+            |_, _| {
+                if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                    Err("transient".to_owned())
+                } else {
+                    Ok(())
+                }
+            },
+            |_, _, _, _| {},
+            |_, out| ok = matches!(out, UnitOutcome::Completed(())),
+        );
+        assert!(ok, "second attempt must succeed and commit as completed");
+    }
+
+    #[test]
+    fn panicking_unit_is_isolated_and_retried() {
+        let us = units(2);
+        let opts = PoolOptions {
+            jobs: 2,
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            ..PoolOptions::default()
+        };
+        let mut failed_error = String::new();
+        let stats = run_pool(
+            &us,
+            &opts,
+            |_, u| {
+                if u.input == 0 {
+                    panic!("planted pool panic");
+                }
+                Ok(())
+            },
+            |_, _, _, _| {},
+            |u, out| {
+                if let UnitOutcome::Failed { error, attempts } = out {
+                    assert_eq!(u.input, 0);
+                    assert_eq!(attempts, 2);
+                    failed_error = error;
+                }
+            },
+        );
+        assert!(
+            failed_error.contains("planted pool panic"),
+            "{failed_error}"
+        );
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn expired_lease_is_reclaimed_and_deduped() {
+        // Worker holding unit 0 sleeps past the lease; the other worker
+        // reclaims and finishes it. Exactly one commit happens, and the
+        // duplicate completion is counted.
+        let us = units(1);
+        let opts = PoolOptions {
+            jobs: 2,
+            lease: Duration::from_millis(30),
+            backoff_base: Duration::from_millis(1),
+            max_attempts: 5,
+            ..PoolOptions::default()
+        };
+        let calls = AtomicU32::new(0);
+        let mut commits = 0;
+        let stats = run_pool(
+            &us,
+            &opts,
+            |_, _| {
+                if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                    // First claimant outlives its lease.
+                    std::thread::sleep(Duration::from_millis(120));
+                }
+                Ok(())
+            },
+            |_, _, _, _| {},
+            |_, out| {
+                assert!(matches!(out, UnitOutcome::Completed(())));
+                commits += 1;
+            },
+        );
+        assert_eq!(commits, 1, "exactly-once commit despite reclaim");
+        assert!(stats.lease_expired >= 1, "{stats:?}");
+        assert!(calls.load(Ordering::Relaxed) >= 2, "unit really ran twice");
+        assert_eq!(stats.completed, 1);
+        // One of the two completions was discarded as a duplicate.
+        assert!(stats.duplicates >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn deadline_cancels_without_committing_garbage() {
+        let us = units(64);
+        let opts = PoolOptions {
+            jobs: 2,
+            deadline: Some(Instant::now() + Duration::from_millis(40)),
+            ..PoolOptions::default()
+        };
+        let mut committed = Vec::new();
+        let stats = run_pool(
+            &us,
+            &opts,
+            |_, u| {
+                std::thread::sleep(Duration::from_millis(5));
+                Ok(u.input)
+            },
+            |_, _, _, _| {},
+            |u, out| {
+                assert!(matches!(out, UnitOutcome::Completed(_)));
+                committed.push(u.input);
+            },
+        );
+        assert!(stats.cancelled, "{stats:?}");
+        assert!(committed.len() < 64);
+        // The committed set is a contiguous canonical prefix.
+        assert_eq!(committed, (0..committed.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lease_records_fire_per_claim() {
+        let us = units(4);
+        let opts = PoolOptions {
+            jobs: 2,
+            ..PoolOptions::default()
+        };
+        let leases = Mutex::new(Vec::new());
+        run_pool(
+            &us,
+            &opts,
+            |_, _| Ok(()),
+            |u, worker, attempt, deadline| {
+                assert!(attempt >= 1 && deadline > 0.0);
+                assert!(worker < 2);
+                leases.lock().unwrap().push(u.fingerprint);
+            },
+            |_, _| {},
+        );
+        let mut got = leases.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, us.iter().map(|u| u.fingerprint).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn health_timeseries_has_final_sample() {
+        let us = units(3);
+        let opts = PoolOptions {
+            jobs: 2,
+            sample_every: Some(Duration::from_secs(1)),
+            ..PoolOptions::default()
+        };
+        let stats = run_pool(&us, &opts, |_, _| Ok(()), |_, _, _, _| {}, |_, _| {});
+        let series = stats.timeseries.expect("sampling requested");
+        assert_eq!(series.every_s, 1.0);
+        let last = series.samples.last().expect("final sample always taken");
+        assert_eq!(last.counters.get("pool.committed"), Some(&3));
+        assert_eq!(last.counters.get("pool.failed"), Some(&0));
+        assert!(last.counters.contains_key("pool.lease_expired"));
+        assert!(last.counters.contains_key("pool.retries"));
+        // The series round-trips through the alert-timeseries/1 codec.
+        let parsed = MetricsTimeseries::parse(&series.to_jsonl()).expect("codec round-trip");
+        assert_eq!(parsed.samples.len(), series.samples.len());
+    }
+
+    #[test]
+    fn empty_unit_list_is_a_no_op() {
+        let us: Vec<WorkUnit<usize>> = Vec::new();
+        let stats = run_pool(
+            &us,
+            &PoolOptions::default(),
+            |_, _| Ok(()),
+            |_, _, _, _| {},
+            |_, _: UnitOutcome<()>| panic!("nothing to commit"),
+        );
+        assert_eq!(stats.completed, 0);
+        assert!(!stats.cancelled);
+    }
+}

@@ -108,17 +108,52 @@ pub struct FailureRecord {
     pub replay: String,
 }
 
-/// Process-wide ledger of quarantined sweep runs; drained per experiment
-/// by the orchestrator via [`drain_failures`].
-static FAILURES: Mutex<Vec<FailureRecord>> = Mutex::new(Vec::new());
+/// Process-wide ledger of quarantined sweep runs, partitioned by
+/// *failure scope* so concurrent pool workers (see [`crate::pool`])
+/// never steal each other's records. Scope 0 is the serial default;
+/// workers claim a scope with [`set_failure_scope`] (propagated to
+/// their private rayon pool threads via a `start_handler`) and drain
+/// only their own partition at commit time.
+static FAILURES: Mutex<std::collections::BTreeMap<usize, Vec<FailureRecord>>> =
+    Mutex::new(std::collections::BTreeMap::new());
 
 /// Total failures quarantined in this process (monotonic; survives
 /// [`drain_failures`]).
 static FAILURES_TOTAL: AtomicU64 = AtomicU64::new(0);
 
-/// Removes and returns every failure quarantined since the last drain.
+thread_local! {
+    /// Which ledger partition [`quarantine`] on this thread writes to.
+    static FAILURE_SCOPE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Binds this thread (and, via rayon `start_handler`, a worker's
+/// private pool threads) to a ledger partition. Scope 0 — the default
+/// on every thread — preserves the old process-global behavior for
+/// serial runs.
+pub fn set_failure_scope(scope: usize) {
+    FAILURE_SCOPE.with(|s| s.set(scope));
+}
+
+/// The ledger partition this thread currently quarantines into.
+pub fn failure_scope() -> usize {
+    FAILURE_SCOPE.with(|s| s.get())
+}
+
+/// Removes and returns every failure quarantined in the calling
+/// thread's scope since the last drain.
 pub fn drain_failures() -> Vec<FailureRecord> {
-    std::mem::take(&mut *FAILURES.lock().expect("failure ledger poisoned"))
+    drain_failures_scoped(failure_scope())
+}
+
+/// Removes and returns every failure quarantined in the given scope
+/// since the last drain. Pool committers use this to collect a
+/// worker's records regardless of which thread commits.
+pub fn drain_failures_scoped(scope: usize) -> Vec<FailureRecord> {
+    FAILURES
+        .lock()
+        .expect("failure ledger poisoned")
+        .remove(&scope)
+        .unwrap_or_default()
 }
 
 /// Total sweep runs quarantined in this process.
@@ -137,6 +172,8 @@ pub(crate) fn quarantine(record: FailureRecord) {
     FAILURES
         .lock()
         .expect("failure ledger poisoned")
+        .entry(failure_scope())
+        .or_default()
         .push(record);
 }
 
@@ -821,6 +858,62 @@ mod tests {
         assert!(drained
             .iter()
             .any(|r| r.error.contains("planted extractor bug")));
+    }
+
+    #[test]
+    fn failure_scopes_partition_the_ledger() {
+        let _guard = LEDGER_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = |tag: &str| FailureRecord {
+            protocol: tag.to_owned(),
+            nodes: 1,
+            seed: 0,
+            error: "planted".to_owned(),
+            replay: String::new(),
+        };
+        // Two scopes quarantine interleaved; each drain sees only its own.
+        set_failure_scope(101);
+        drop(drain_failures());
+        quarantine(rec("scope-a"));
+        set_failure_scope(102);
+        drop(drain_failures());
+        quarantine(rec("scope-b"));
+        quarantine(rec("scope-b2"));
+
+        let b = drain_failures(); // current scope: 102
+        assert_eq!(b.len(), 2);
+        assert!(b.iter().all(|r| r.protocol.starts_with("scope-b")));
+        let a = drain_failures_scoped(101); // cross-thread committer path
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].protocol, "scope-a");
+        // Both partitions are now empty; scope 0 is untouched.
+        assert!(drain_failures_scoped(101).is_empty());
+        assert!(drain_failures_scoped(102).is_empty());
+        set_failure_scope(0);
+    }
+
+    #[test]
+    fn failure_scope_propagates_to_private_rayon_pools() {
+        let _guard = LEDGER_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        drop(drain_failures_scoped(201));
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .start_handler(|_| set_failure_scope(201))
+            .build()
+            .expect("build scoped rayon pool");
+        let mut cfg = ScenarioConfig::default().with_nodes(30).with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        cfg.budget.max_events = Some(10); // every seed aborts
+        pool.install(|| {
+            set_failure_scope(201); // the installing closure's thread too
+            let stat = sweep_point(ProtocolChoice::Gpsr, &cfg, 3, Metrics::delivery_rate);
+            assert_eq!(stat.n, 0);
+            set_failure_scope(0);
+        });
+        let ours = drain_failures_scoped(201);
+        assert_eq!(ours.len(), 3, "all quarantines landed in the pool's scope");
+        assert!(drain_failures_scoped(0)
+            .iter()
+            .all(|r| !r.error.contains("event budget of 10")));
     }
 
     #[test]

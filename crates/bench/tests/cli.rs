@@ -16,10 +16,7 @@ fn tracequery() -> Command {
 }
 
 fn fixture(name: &str) -> String {
-    format!(
-        "{}/tests/fixtures/{name}",
-        env!("CARGO_MANIFEST_DIR")
-    )
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
 }
 
 #[test]
@@ -207,7 +204,9 @@ fn tracequery_rejects_bad_input_and_unknown_flags() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown flag"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown flag"));
 
     let out = tracequery()
         .args(["rates", &fixture("trace.jsonl")])

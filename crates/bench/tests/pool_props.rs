@@ -1,0 +1,227 @@
+//! Property tests for the leased work queue: under ANY interleaving of
+//! claims, lease expiries, failures, retries, and duplicate
+//! completions, every unit reaches exactly one effective terminal
+//! outcome (one `Completion::First` or one exhausted failure), attempt
+//! numbers never exceed the cap, and a cooperative drain always
+//! converges.
+//!
+//! These are the at-least-once-execution / exactly-once-effect
+//! guarantees the parallel campaign executor leans on; the interleaving
+//! space here is far larger than what the threaded `run_pool` smoke
+//! tests can reach.
+
+use alert_bench::{Claim, Completion, FailDisposition, LeaseQueue, PoolOptions};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One step of an adversarial schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// A worker asks for work.
+    Claim(usize),
+    /// Wall clock advances by `n * 0.05` seconds.
+    Advance(u16),
+    /// Expired leases are reclaimed.
+    Expire,
+    /// The n-th (mod len) outstanding claim finishes successfully.
+    CompleteNth(u8),
+    /// The n-th (mod len) outstanding claim reports failure.
+    FailNth(u8),
+    /// A straggler re-reports completion of a unit it once held —
+    /// must be deduplicated if the unit is already terminal.
+    StraggleNth(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4usize).prop_map(Op::Claim),
+        (0..40u16).prop_map(Op::Advance),
+        Just(Op::Expire),
+        any::<u8>().prop_map(Op::CompleteNth),
+        any::<u8>().prop_map(Op::FailNth),
+        any::<u8>().prop_map(Op::StraggleNth),
+    ]
+}
+
+/// Ledger of terminal effects observed per unit.
+#[derive(Default)]
+struct Effects {
+    first_completions: BTreeMap<usize, u32>,
+    exhausted_failures: BTreeMap<usize, u32>,
+}
+
+impl Effects {
+    fn complete(&mut self, index: usize) {
+        *self.first_completions.entry(index).or_insert(0) += 1;
+    }
+    fn exhaust(&mut self, index: usize) {
+        *self.exhausted_failures.entry(index).or_insert(0) += 1;
+    }
+    fn total(&self, index: usize) -> u32 {
+        self.first_completions.get(&index).copied().unwrap_or(0)
+            + self.exhausted_failures.get(&index).copied().unwrap_or(0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_interleaving_yields_exactly_once_effects(
+        units in 1..12usize,
+        max_attempts in 1..4u32,
+        ops in prop::collection::vec(op_strategy(), 0..200),
+    ) {
+        let opts = PoolOptions {
+            lease: Duration::from_millis(200),
+            max_attempts,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_millis(300),
+            ..PoolOptions::default()
+        };
+        let mut q = LeaseQueue::new(units, &opts);
+        let mut now = 0.0f64;
+        let mut in_flight: Vec<usize> = Vec::new();
+        let mut ever_claimed: Vec<usize> = Vec::new();
+        let mut effects = Effects::default();
+
+        for op in ops {
+            match op {
+                Op::Claim(worker) => {
+                    for i in q.expire(now) {
+                        effects.exhaust(i);
+                    }
+                    match q.claim(worker, now) {
+                        Claim::Unit { index, attempt } => {
+                            prop_assert!(attempt >= 1);
+                            prop_assert!(
+                                attempt <= q.max_attempts(),
+                                "attempt {attempt} exceeds cap {}",
+                                q.max_attempts()
+                            );
+                            in_flight.push(index);
+                            ever_claimed.push(index);
+                        }
+                        Claim::Wait { until } => {
+                            prop_assert!(until.is_finite() || q.is_drained());
+                        }
+                        Claim::Drained => prop_assert!(q.is_drained()),
+                    }
+                }
+                Op::Advance(n) => now += f64::from(n) * 0.05,
+                Op::Expire => {
+                    for i in q.expire(now) {
+                        effects.exhaust(i);
+                    }
+                }
+                Op::CompleteNth(n) => {
+                    if !in_flight.is_empty() {
+                        let index = in_flight.remove(usize::from(n) % in_flight.len());
+                        if q.complete(index) == Completion::First {
+                            effects.complete(index);
+                        }
+                    }
+                }
+                Op::FailNth(n) => {
+                    if !in_flight.is_empty() {
+                        let index = in_flight.remove(usize::from(n) % in_flight.len());
+                        if q.fail(index, now) == FailDisposition::Exhausted {
+                            effects.exhaust(index);
+                        }
+                    }
+                }
+                Op::StraggleNth(n) => {
+                    if !ever_claimed.is_empty() {
+                        let index = ever_claimed[usize::from(n) % ever_claimed.len()];
+                        if q.complete(index) == Completion::First {
+                            // A straggler can legitimately be first if
+                            // its lease expired but the unit was
+                            // re-queued and not yet reclaimed.
+                            effects.complete(index);
+                        }
+                    }
+                }
+            }
+            // Exactly-once is an invariant at every step, not just at
+            // the end: a unit never accumulates two terminal effects.
+            for index in 0..units {
+                prop_assert!(
+                    effects.total(index) <= 1,
+                    "unit {index} got {} terminal effects mid-run",
+                    effects.total(index)
+                );
+            }
+        }
+
+        // Cooperative drain: a single diligent worker finishes whatever
+        // the adversarial schedule left behind, in bounded steps.
+        let mut steps = 0u32;
+        while !q.is_drained() {
+            steps += 1;
+            prop_assert!(steps < 50_000, "drain did not converge");
+            for i in q.expire(now) {
+                effects.exhaust(i);
+            }
+            match q.claim(0, now) {
+                Claim::Unit { index, .. } => {
+                    if q.complete(index) == Completion::First {
+                        effects.complete(index);
+                    }
+                }
+                Claim::Wait { until } => {
+                    prop_assert!(until.is_finite(), "wait with nothing outstanding");
+                    now = now.max(until) + 1e-6;
+                }
+                Claim::Drained => break,
+            }
+        }
+
+        // Exactly one effective terminal outcome per unit, no unit lost.
+        for index in 0..units {
+            prop_assert_eq!(
+                effects.total(index),
+                1,
+                "unit {} finished with {} terminal effects",
+                index,
+                effects.total(index)
+            );
+        }
+        // Every terminal unit was leased at least once (no unit can
+        // complete or exhaust without a claim somewhere in its history).
+        let (leases, _expired, _retries, _dups) = q.counters();
+        prop_assert!(leases >= units as u64);
+    }
+
+    #[test]
+    fn drain_from_scratch_completes_every_unit(
+        units in 1..24usize,
+        jobs in 1..5usize,
+    ) {
+        let opts = PoolOptions {
+            lease: Duration::from_millis(100),
+            ..PoolOptions::default()
+        };
+        let mut q = LeaseQueue::new(units, &opts);
+        let mut now = 0.0;
+        let mut firsts = 0usize;
+        let mut steps = 0u32;
+        while !q.is_drained() {
+            steps += 1;
+            prop_assert!(steps < 50_000);
+            q.expire(now);
+            for worker in 0..jobs {
+                match q.claim(worker, now) {
+                    Claim::Unit { index, .. } => {
+                        if q.complete(index) == Completion::First {
+                            firsts += 1;
+                        }
+                    }
+                    Claim::Wait { until } if until.is_finite() => now = now.max(until) + 1e-6,
+                    _ => {}
+                }
+            }
+        }
+        prop_assert_eq!(firsts, units);
+    }
+}

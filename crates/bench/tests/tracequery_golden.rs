@@ -126,8 +126,5 @@ fn timeseries_fixture_is_canonical_and_rates_derive() {
     assert_eq!(series.samples[2].rate("app.packets", series.every_s), 0.0);
     // The final cumulative row equals the sum of all deltas.
     let total: u64 = series.samples.iter().map(|s| s.deltas["tx.frames"]).sum();
-    assert_eq!(
-        total,
-        series.samples.last().unwrap().counters["tx.frames"]
-    );
+    assert_eq!(total, series.samples.last().unwrap().counters["tx.frames"]);
 }

@@ -1603,7 +1603,11 @@ impl<P: ProtocolNode> World<P> {
     pub fn take_metrics_timeseries(&mut self) -> Option<MetricsTimeseries> {
         let mut s = self.sampler.take()?;
         let now = self.core.queue.now();
-        if s.series.samples.last().map_or(now > 0.0, |last| now > last.t) {
+        if s.series
+            .samples
+            .last()
+            .map_or(now > 0.0, |last| now > last.t)
+        {
             s.series.record(now, &self.core.stats.registry.snapshot());
         }
         Some(s.series)

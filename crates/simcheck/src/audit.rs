@@ -14,9 +14,7 @@
 
 use alert_bench::planted::LeakyMsg;
 use alert_core::AlertMsg;
-use alert_protocols::{
-    AlarmMsg, AnodrMsg, Ao2pMsg, GpsrMsg, MapcpMsg, MaskMsg, PrismMsg, ZapMsg,
-};
+use alert_protocols::{AlarmMsg, AnodrMsg, Ao2pMsg, GpsrMsg, MapcpMsg, MaskMsg, PrismMsg, ZapMsg};
 
 /// Declares which parts of a wire message are ground-truth node
 /// identities, for the `no-node-id-on-wire` oracle.

@@ -94,11 +94,7 @@ impl Observer for TxCollector {
 
 /// Runs one case fully instrumented. Generic choke point; use
 /// [`run_case`] for the `ProtocolChoice` front door.
-fn drive_checked<P, F>(
-    cfg: &ScenarioConfig,
-    seed: u64,
-    factory: F,
-) -> Result<CaseRun, RunFailure>
+fn drive_checked<P, F>(cfg: &ScenarioConfig, seed: u64, factory: F) -> Result<CaseRun, RunFailure>
 where
     P: ProtocolNode,
     P::Msg: WireAudit,

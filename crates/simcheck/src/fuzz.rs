@@ -258,13 +258,18 @@ mod tests {
     fn corners_are_reachable() {
         let cases: Vec<Case> = (0..300).map(|i| gen_case(1, i, Plant::None)).collect();
         assert!(cases.iter().any(|c| c.cfg.nodes == 1), "no 1-node world");
-        assert!(cases.iter().any(|c| c.cfg.traffic.pairs == 0), "no zero-pair case");
+        assert!(
+            cases.iter().any(|c| c.cfg.traffic.pairs == 0),
+            "no zero-pair case"
+        );
         assert!(
             cases.iter().any(|c| c.cfg.budget.max_events.is_some()),
             "no budget-truncated case"
         );
         assert!(
-            cases.iter().any(|c| !c.cfg.faults.regional_outages.is_empty()),
+            cases
+                .iter()
+                .any(|c| !c.cfg.faults.regional_outages.is_empty()),
             "no partition-heavy plan"
         );
         assert!(

@@ -185,9 +185,7 @@ impl PositionIndex {
         let after = samples.get(i);
         let before = i.checked_sub(1).and_then(|j| samples.get(j));
         match (before, after) {
-            (Some(&(tb, pb)), Some(&(ta, pa))) => {
-                Some(if (t - tb) <= (ta - t) { pb } else { pa })
-            }
+            (Some(&(tb, pb)), Some(&(ta, pa))) => Some(if (t - tb) <= (ta - t) { pb } else { pa }),
             (Some(&(_, p)), None) | (None, Some(&(_, p))) => Some(p),
             (None, None) => None,
         }
@@ -322,7 +320,10 @@ pub fn pseudonym_epochs(run: &CaseRun) -> Vec<Violation> {
             push_capped(
                 &mut out,
                 "pseudonym-epochs",
-                format!("pseudonym {p:#x} transmitted by {} distinct nodes", u.senders.len()),
+                format!(
+                    "pseudonym {p:#x} transmitted by {} distinct nodes",
+                    u.senders.len()
+                ),
             );
         }
         if u.max_epoch - u.min_epoch > 1 {

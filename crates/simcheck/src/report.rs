@@ -11,7 +11,8 @@
 use crate::driver::run_case;
 use crate::fuzz::{flag_encodable, gen_case, Case, Plant};
 use crate::oracle::{check_all, Violation};
-use crate::shrink::shrink;
+use crate::shrink::{shrink, Shrunk};
+use alert_bench::{fingerprint_with, run_pool, PoolOptions, UnitOutcome, WorkUnit};
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -32,6 +33,10 @@ pub struct SuiteOptions {
     pub max_wall: Option<Duration>,
     /// Where to write scenario JSON + replay artifacts for failures.
     pub artifact_dir: Option<PathBuf>,
+    /// Worker threads executing cases (min 1). Cases are fanned across
+    /// the leased pool and the report assembled in case order by a
+    /// single committer, so the bytes are identical at any jobs count.
+    pub jobs: usize,
 }
 
 impl Default for SuiteOptions {
@@ -43,6 +48,7 @@ impl Default for SuiteOptions {
             shrink_runs: 40,
             max_wall: None,
             artifact_dir: None,
+            jobs: 1,
         }
     }
 }
@@ -63,7 +69,10 @@ pub struct SuiteSummary {
 /// How one case fared.
 enum CaseResult {
     /// All oracles passed; the trace had this many events.
-    Ok { events: usize, aborted: Option<String> },
+    Ok {
+        events: usize,
+        aborted: Option<String>,
+    },
     /// At least one oracle fired.
     Violated {
         violations: Vec<Violation>,
@@ -151,7 +160,21 @@ fn emit_artifacts(opts: &SuiteOptions, case: &Case) -> io::Result<String> {
     Ok(replay)
 }
 
+/// Everything one executed case hands the committer: the generated
+/// case, how it fared, and (for violations) the shrunk reproduction.
+struct CaseWork {
+    case: Case,
+    result: CaseResult,
+    shrunk: Option<Shrunk>,
+}
+
 /// Runs the whole suite, streaming the deterministic report to `out`.
+///
+/// Cases are fanned across [`SuiteOptions::jobs`] leased pool workers
+/// (each case keyed by an FNV-1a fingerprint of `(seed, index, plant)`
+/// and generated purely from those values, never from claim order); the
+/// calling thread commits results strictly in case order, so the report
+/// bytes are independent of the jobs count and of scheduling.
 pub fn run_suite(opts: &SuiteOptions, out: &mut dyn Write) -> io::Result<SuiteSummary> {
     let start = Instant::now();
     writeln!(
@@ -169,64 +192,128 @@ pub fn run_suite(opts: &SuiteOptions, out: &mut dyn Write) -> io::Result<SuiteSu
         violated: 0,
         harness_errors: 0,
     };
-    let mut wall_tripped = false;
-    for index in 0..opts.cases {
-        if let Some(budget) = opts.max_wall {
-            if start.elapsed() > budget {
-                wall_tripped = true;
-                break;
+
+    let plant_tag: &[u8] = match opts.plant {
+        Plant::None => b"none",
+        Plant::Leak => b"leak",
+    };
+    let units: Vec<WorkUnit<usize>> = (0..opts.cases)
+        .map(|index| WorkUnit {
+            label: format!("case-{index:04}"),
+            fingerprint: fingerprint_with(&[
+                b"simcheck-case",
+                &opts.seed.to_le_bytes(),
+                &(index as u64).to_le_bytes(),
+                plant_tag,
+            ]),
+            input: index,
+        })
+        .collect();
+    let pool_opts = PoolOptions {
+        jobs: opts.jobs.max(1),
+        deadline: opts.max_wall.map(|budget| start + budget),
+        ..PoolOptions::default()
+    };
+
+    let exec = |_w: usize, unit: &WorkUnit<usize>| -> Result<CaseWork, String> {
+        let case = gen_case(opts.seed, unit.input, opts.plant);
+        let result = run_one(&case);
+        let shrunk = match &result {
+            CaseResult::Violated { violations, .. } => {
+                Some(shrink(&case, violations[0].invariant, opts.shrink_runs))
             }
+            _ => None,
+        };
+        Ok(CaseWork {
+            case,
+            result,
+            shrunk,
+        })
+    };
+
+    // The committer writes report lines on the calling thread only;
+    // I/O errors are stashed and re-raised after the pool drains.
+    let mut io_err: Option<io::Error> = None;
+    let commit = |unit: &WorkUnit<usize>, outcome: UnitOutcome<CaseWork>| {
+        if io_err.is_some() {
+            return;
         }
-        let case = gen_case(opts.seed, index, opts.plant);
-        summary.cases_run += 1;
-        match run_one(&case) {
-            CaseResult::Ok { events, aborted } => {
-                let note = aborted
-                    .map(|a| format!(" [aborted: {a}]"))
-                    .unwrap_or_default();
-                writeln!(
-                    out,
-                    "case {index:04} ok        {} (events={events}){note}",
-                    case.describe()
-                )?;
-            }
-            CaseResult::Violated {
-                violations,
-                aborted,
-            } => {
-                summary.violated += 1;
-                let note = aborted
-                    .map(|a| format!(" [aborted: {a}]"))
-                    .unwrap_or_default();
-                writeln!(
-                    out,
-                    "case {index:04} VIOLATION {}{note}",
-                    case.describe()
-                )?;
-                for v in &violations {
-                    writeln!(out, "  {}: {}", v.invariant, v.detail)?;
+        let index = unit.input;
+        let res = (|| -> io::Result<()> {
+            let work = match outcome {
+                UnitOutcome::Completed(work) => work,
+                UnitOutcome::Failed { error, attempts } => {
+                    // The harness itself died on every attempt (e.g. a
+                    // panicking generator) — a simcheck bug, not a
+                    // simulator bug.
+                    summary.cases_run += 1;
+                    summary.harness_errors += 1;
+                    writeln!(
+                        out,
+                        "case {index:04} HARNESS-ERROR worker failed after \
+                         {attempts} attempt(s): {error}"
+                    )?;
+                    return Ok(());
                 }
-                let lead = violations[0].invariant;
-                let shrunk = shrink(&case, lead, opts.shrink_runs);
-                writeln!(
-                    out,
-                    "  shrunk ({} runs): {}",
-                    shrunk.runs_used,
-                    shrunk.case.describe()
-                )?;
-                writeln!(out, "  replay: {}", emit_artifacts(opts, &shrunk.case)?)?;
+            };
+            summary.cases_run += 1;
+            match work.result {
+                CaseResult::Ok { events, aborted } => {
+                    let note = aborted
+                        .map(|a| format!(" [aborted: {a}]"))
+                        .unwrap_or_default();
+                    writeln!(
+                        out,
+                        "case {index:04} ok        {} (events={events}){note}",
+                        work.case.describe()
+                    )?;
+                }
+                CaseResult::Violated {
+                    violations,
+                    aborted,
+                } => {
+                    summary.violated += 1;
+                    let note = aborted
+                        .map(|a| format!(" [aborted: {a}]"))
+                        .unwrap_or_default();
+                    writeln!(
+                        out,
+                        "case {index:04} VIOLATION {}{note}",
+                        work.case.describe()
+                    )?;
+                    for v in &violations {
+                        writeln!(out, "  {}: {}", v.invariant, v.detail)?;
+                    }
+                    let shrunk = work.shrunk.as_ref().expect("violated cases are shrunk");
+                    writeln!(
+                        out,
+                        "  shrunk ({} runs): {}",
+                        shrunk.runs_used,
+                        shrunk.case.describe()
+                    )?;
+                    writeln!(out, "  replay: {}", emit_artifacts(opts, &shrunk.case)?)?;
+                }
+                CaseResult::HarnessError(msg) => {
+                    summary.harness_errors += 1;
+                    writeln!(
+                        out,
+                        "case {index:04} HARNESS-ERROR {}: {msg}",
+                        work.case.describe()
+                    )?;
+                }
             }
-            CaseResult::HarnessError(msg) => {
-                summary.harness_errors += 1;
-                writeln!(
-                    out,
-                    "case {index:04} HARNESS-ERROR {}: {msg}",
-                    case.describe()
-                )?;
-            }
+            Ok(())
+        })();
+        if let Err(e) = res {
+            io_err = Some(e);
         }
+    };
+
+    let stats = run_pool(&units, &pool_opts, exec, |_, _, _, _| {}, commit);
+    if let Some(e) = io_err {
+        return Err(e);
     }
-    if wall_tripped {
+    if stats.cancelled {
         writeln!(
             out,
             "# wall budget exhausted after {} of {} cases",
@@ -270,6 +357,25 @@ mod tests {
         assert_eq!(a_sum.violated, 0, "report:\n{a}");
         assert_eq!(a_sum.harness_errors, 0, "report:\n{a}");
         assert!(a.contains("# summary: cases=6 violations=0"));
+    }
+
+    #[test]
+    fn parallel_suite_is_byte_identical_to_serial() {
+        let serial = SuiteOptions {
+            cases: 10,
+            seed: 7,
+            plant: Plant::Leak,
+            shrink_runs: 25,
+            ..SuiteOptions::default()
+        };
+        let parallel = SuiteOptions {
+            jobs: 4,
+            ..serial.clone()
+        };
+        let (s_sum, s) = run_to_string(&serial);
+        let (p_sum, p) = run_to_string(&parallel);
+        assert_eq!(s, p, "jobs=4 report must match jobs=1 byte for byte");
+        assert_eq!(s_sum, p_sum);
     }
 
     #[test]

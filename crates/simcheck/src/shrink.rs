@@ -74,9 +74,7 @@ pub fn shrink(case: &Case, invariant: &'static str, max_runs: usize) -> Shrunk {
             let mut c = best.clone();
             c.cfg.duration_s = (c.cfg.duration_s / 2.0).max(1.0).round().max(1.0);
             c.cfg.faults = clamp_faults(&c.cfg);
-            if c.cfg.duration_s < best.cfg.duration_s
-                && try_adopt(&mut best, c, &mut runs_used)
-            {
+            if c.cfg.duration_s < best.cfg.duration_s && try_adopt(&mut best, c, &mut runs_used) {
                 progressed = true;
             }
         }

@@ -26,10 +26,7 @@ fn simrun_bin() -> Option<PathBuf> {
         return Some(PathBuf::from(p));
     }
     let simcheck = simcheck_bin()?;
-    let sibling = simcheck.with_file_name(format!(
-        "simrun{}",
-        std::env::consts::EXE_SUFFIX
-    ));
+    let sibling = simcheck.with_file_name(format!("simrun{}", std::env::consts::EXE_SUFFIX));
     sibling.exists().then_some(sibling)
 }
 
@@ -101,7 +98,16 @@ fn planted_leak_is_caught_shrunk_and_replayable() {
     let Some(bin) = simcheck_bin() else { return };
     let out = run(
         &bin,
-        &["--cases", "8", "--seed", "0", "--plant", "leak", "--shrink-runs", "25"],
+        &[
+            "--cases",
+            "8",
+            "--seed",
+            "0",
+            "--plant",
+            "leak",
+            "--shrink-runs",
+            "25",
+        ],
     );
     let text = stdout_of(&out);
     assert_eq!(
@@ -141,8 +147,16 @@ fn simrun_honours_the_same_exit_code_contract() {
     let ok = run(
         &simrun,
         &[
-            "--protocol", "gpsr", "--nodes", "20", "--pairs", "1", "--duration", "3",
-            "--seed", "1",
+            "--protocol",
+            "gpsr",
+            "--nodes",
+            "20",
+            "--pairs",
+            "1",
+            "--duration",
+            "3",
+            "--seed",
+            "1",
         ],
     );
     assert!(
@@ -154,8 +168,18 @@ fn simrun_honours_the_same_exit_code_contract() {
     let aborted = run(
         &simrun,
         &[
-            "--protocol", "gpsr", "--nodes", "20", "--pairs", "1", "--duration", "3",
-            "--seed", "1", "--max-events", "10",
+            "--protocol",
+            "gpsr",
+            "--nodes",
+            "20",
+            "--pairs",
+            "1",
+            "--duration",
+            "3",
+            "--seed",
+            "1",
+            "--max-events",
+            "10",
         ],
     );
     assert_eq!(aborted.status.code(), Some(1));

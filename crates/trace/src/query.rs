@@ -409,7 +409,10 @@ mod tests {
             wcsv.lines().next().unwrap(),
             "t_start,t_end,events,tx,rx,drops,delivered,tx_bytes,rx_bytes,latency_sum"
         );
-        assert_eq!(wcsv.lines().nth(1).unwrap(), "0.0,5.0,4,1,1,0,0,512,512,0.0");
+        assert_eq!(
+            wcsv.lines().nth(1).unwrap(),
+            "0.0,5.0,4,1,1,0,0,512,512,0.0"
+        );
         let wjson = render_windows_json(5.0, &w);
         assert!(wjson.starts_with("{\"schema\":\"alert-windows/1\",\"every_s\":5.0,"));
         assert!(wjson.contains("\"drops\":{\"unicast_channel_loss\":1}"));

@@ -481,7 +481,10 @@ mod tests {
         assert!(violations[0].contains("t=7"), "{violations:?}");
 
         // A planted Tx while down is caught too.
-        events.push(TraceEvent::NodeDown { time: 12.0, node: 7 });
+        events.push(TraceEvent::NodeDown {
+            time: 12.0,
+            node: 7,
+        });
         events.push(TraceEvent::Tx {
             time: 13.0,
             node: 7,

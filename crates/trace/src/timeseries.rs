@@ -85,7 +85,9 @@ impl TimeseriesSample {
         if every_s <= 0.0 {
             return 0.0;
         }
-        self.deltas.get(counter).map_or(0.0, |&d| d as f64 / every_s)
+        self.deltas
+            .get(counter)
+            .map_or(0.0, |&d| d as f64 / every_s)
     }
 }
 
@@ -212,9 +214,7 @@ impl MetricsTimeseries {
                 if key == "t" {
                     match &val {
                         Val::Num(raw) => {
-                            s.t = raw
-                                .parse()
-                                .map_err(|_| err(lno, "'t' is not a number"))?;
+                            s.t = raw.parse().map_err(|_| err(lno, "'t' is not a number"))?;
                             have_t = true;
                         }
                         _ => return Err(err(lno, "'t' is not a number")),

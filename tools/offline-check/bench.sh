@@ -107,9 +107,12 @@ if [ -f crates/sim/tests/alloc_regression.rs ]; then
 fi
 build_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
-# The resume test drives the repro binary built above (REPRO_BIN; there
-# is no cargo here to set CARGO_BIN_EXE_repro).
+# The bench unit tests cover the leased pool, journal, and failure
+# ledger in-process; resume and pool_smoke drive the repro binary built
+# above (REPRO_BIN; there is no cargo here to set CARGO_BIN_EXE_repro).
+build_test alert_bench_unit crates/bench/src/lib.rs "${E_ALL[@]}"
 build_test resume crates/bench/tests/resume.rs "${E_ALL[@]}" $(ex alert_bench)
+build_test pool_smoke crates/bench/tests/pool_smoke.rs "${E_ALL[@]}" $(ex alert_bench)
 build_test tracequery_golden crates/bench/tests/tracequery_golden.rs "${E_ALL[@]}" \
     $(ex alert_bench)
 # The simcheck unit tests exercise the oracle suite in-process; the CLI
@@ -123,5 +126,6 @@ build_test simcheck_cli crates/simcheck/tests/cli.rs "${E_ALL[@]}" \
 echo "offline bench build OK: $OUT/simrun"
 echo "run the resilience tests with:"
 echo "  $OUT/guardrails && REPRO_BIN=$OUT/repro $OUT/resume"
+echo "  REPRO_BIN=$OUT/repro $OUT/pool_smoke"
 echo "run the simcheck suite with:"
 echo "  $OUT/alert_simcheck_unit && SIMCHECK_BIN=$OUT/simcheck SIMRUN_BIN=$OUT/simrun $OUT/simcheck_cli"

@@ -24,3 +24,67 @@ impl<I: IntoIterator> IntoParallelIterator for I {
 pub mod prelude {
     pub use super::IntoParallelIterator;
 }
+
+/// Stand-in for `rayon::ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("stub thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Stand-in for `rayon::ThreadPool`: `install` runs the closure on the
+/// current thread, which matches the sequential `into_par_iter`
+/// fallback above — "pool" work never leaves the calling thread, so
+/// thread-local state (e.g. the bench failure scope) set by the caller
+/// is visible exactly as a `start_handler` would make it on real pool
+/// threads.
+#[derive(Debug)]
+pub struct ThreadPool(());
+
+impl ThreadPool {
+    /// Runs `op` on the current thread (sequential stub).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        op()
+    }
+}
+
+/// Stand-in for `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder(());
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder(())
+    }
+
+    /// Accepted and ignored (the stub has no threads to count).
+    pub fn num_threads(self, _n: usize) -> ThreadPoolBuilder {
+        self
+    }
+
+    /// Accepted and dropped: the stub spawns no threads, and `install`
+    /// closures run on the calling thread, which sets its own
+    /// thread-local state directly (the workspace's only use of a
+    /// start handler is mirrored by an explicit call in the closure).
+    pub fn start_handler<H>(self, _handler: H) -> ThreadPoolBuilder
+    where
+        H: Fn(usize) + Send + Sync + 'static,
+    {
+        self
+    }
+
+    /// Builds the (threadless) stub pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool(()))
+    }
+}
