@@ -29,7 +29,10 @@
 //! `tracing_overhead` comparison (tracing disabled vs in-memory JSONL
 //! sink vs registry sampling) on the smallest node count; with
 //! `--bench-baseline OLD.json` the report embeds the previous run and a
-//! per-node-count speedup map.
+//! per-node-count speedup map. `--bench-scaled N,N,...` adds the
+//! density-constant large-population tier (`scaled_points`): each node
+//! count rescales the field to hold nodes-per-m² at the base scenario's
+//! value, measuring engine scaling rather than neighbor density.
 //!
 //! `--max-events`, `--max-sim-s`, `--max-wall-s` and
 //! `--max-instant-events` set the run guardrails
@@ -42,8 +45,8 @@
 //! aborted or quarantined runs), `2` usage error.
 
 use alert_bench::{
-    perf_sweep, render_perf_json, run_instrumented, set_progress, sweep_point, tracing_overhead,
-    PostmortemDump, ProtocolChoice, RunOptions, RunOutput,
+    perf_sweep, perf_sweep_scaled, render_perf_json, run_instrumented, set_progress, sweep_point,
+    tracing_overhead, PostmortemDump, ProtocolChoice, RunOptions, RunOutput,
 };
 use alert_core::AlertConfig;
 use alert_sim::{FaultPlan, JsonlSink, Metrics, ScenarioConfig};
@@ -71,6 +74,8 @@ fn main() {
     let mut bench_json: Option<String> = None;
     let mut bench_nodes = vec![100usize, 200, 300];
     let mut bench_runs = 3usize;
+    let mut bench_scaled: Vec<usize> = Vec::new();
+    let mut bench_scaled_runs = 1usize;
     let mut bench_baseline: Option<String> = None;
     let mut bench_build = String::from("default");
     let mut it = args.iter();
@@ -161,6 +166,20 @@ fn main() {
                 }
             }
             "--bench-runs" => bench_runs = parse(it.next(), "--bench-runs"),
+            "--bench-scaled" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--bench-scaled needs a comma-separated list"));
+                bench_scaled = raw
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| die(&format!("bad --bench-scaled entry '{s}'")))
+                    })
+                    .collect();
+            }
+            "--bench-scaled-runs" => bench_scaled_runs = parse(it.next(), "--bench-scaled-runs"),
             "--bench-baseline" => bench_baseline = it.next().cloned(),
             "--bench-build" => {
                 bench_build = it
@@ -267,6 +286,15 @@ fn main() {
         set_progress(true);
         let points = perf_sweep(choice, &scenario, &bench_nodes, bench_runs)
             .unwrap_or_else(|e| fail(&e.to_string()));
+        // The density-constant tier is expensive (a 100k-node point is
+        // ~1e9 events), so it defaults to a single timed run; the
+        // deterministic counters make even one run comparable.
+        let scaled = if bench_scaled.is_empty() {
+            Vec::new()
+        } else {
+            perf_sweep_scaled(choice, &scenario, &bench_scaled, bench_scaled_runs)
+                .unwrap_or_else(|e| fail(&e.to_string()))
+        };
         // The tracing-overhead datum rides on the smallest node count:
         // it compares three modes per run, and the guard it encodes (a
         // disabled hot path costs nothing) is node-count independent.
@@ -278,6 +306,7 @@ fn main() {
             &scenario,
             &bench_build,
             &points,
+            &scaled,
             Some(&overhead),
             baseline.as_deref(),
         );
@@ -472,6 +501,7 @@ fn usage() {
     eprintln!("              [--max-instant-events N]   (run guardrails, off by default)");
     eprintln!("       simrun --bench-json BENCH.json|- [--bench-nodes 100,200,300]");
     eprintln!("              [--bench-runs N] [--bench-baseline OLD.json]");
+    eprintln!("              [--bench-scaled 1000,10000,100000] [--bench-scaled-runs N]");
     eprintln!("              [--bench-build LABEL]   (perf-regression sweep mode;");
     eprintln!("              --duration/--pairs/--protocol set the base scenario)");
     eprintln!("       simrun --emit-default-scenario > scenario.json");

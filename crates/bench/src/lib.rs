@@ -28,7 +28,8 @@ pub use orchestrate::{
     Journal, LeaseEntry, LockError, ManifestEntry, FAILURES_FILE, LOCK_FILE, MANIFEST_FILE,
 };
 pub use perf::{
-    baseline_wall_min, perf_sweep, render_perf_json, tracing_overhead, PerfPoint, TracingOverhead,
+    baseline_wall_min, perf_sweep, perf_sweep_scaled, render_perf_json, tracing_overhead,
+    PerfPoint, TracingOverhead,
 };
 pub use pool::{
     run_pool, Claim, Completion, FailDisposition, LeaseQueue, PoolOptions, PoolStats, UnitOutcome,

@@ -22,6 +22,9 @@
 //!      "events_dispatched":80211,"events_per_sec":163696.1,
 //!      "fel_high_water":412}
 //!   ],
+//!   "scaled_points": [
+//!     {"nodes":10000,"runs":1,...same keys...}
+//!   ],
 //!   "tracing_overhead":{"nodes":100,"runs":3,"wall_s_disabled":0.49,
 //!     "wall_s_jsonl":0.58,"wall_s_timeseries":0.50,
 //!     "jsonl_ratio":1.184,"timeseries_ratio":1.020},
@@ -43,6 +46,17 @@
 //! `fel_high_water` come from the engine's always-on deterministic
 //! counters, so they double as a cheap cross-build sanity check: two
 //! builds of the same code must agree on them exactly.
+//!
+//! `scaled_points` (optional) is the large-population tier: the same
+//! measurements, but each node count rescales the field to hold node
+//! density at the base scenario's value
+//! ([`ScenarioConfig::with_nodes_scaled_field`]). Growing the population
+//! on the paper's fixed 1 km² field mostly measures neighbor-list
+//! churn (at 100k nodes every node hears ~20k others); the
+//! density-constant tier instead measures what a big deployment costs —
+//! event-loop, calendar-queue and spatial-grid scaling. The
+//! `speedup_vs_baseline` map only covers `points`, so old baselines
+//! without a scaled tier stay comparable.
 
 use crate::runner::{progress_enabled, run_instrumented, ProtocolChoice, RunFailure, RunOptions};
 use alert_sim::{JsonlSink, ScenarioConfig, SharedBuf};
@@ -78,10 +92,35 @@ pub fn perf_sweep(
     nodes: &[usize],
     runs: usize,
 ) -> Result<Vec<PerfPoint>, RunFailure> {
+    sweep_with(protocol, nodes, runs, |n| base.clone().with_nodes(n))
+}
+
+/// The density-constant large-population sweep: like [`perf_sweep`],
+/// but every node count also rescales the field via
+/// [`ScenarioConfig::with_nodes_scaled_field`], so a 100k-node point
+/// keeps the base scenario's nodes-per-m² instead of packing the
+/// population onto the paper's fixed 1 km² field.
+pub fn perf_sweep_scaled(
+    protocol: ProtocolChoice,
+    base: &ScenarioConfig,
+    nodes: &[usize],
+    runs: usize,
+) -> Result<Vec<PerfPoint>, RunFailure> {
+    sweep_with(protocol, nodes, runs, |n| {
+        base.clone().with_nodes_scaled_field(n)
+    })
+}
+
+fn sweep_with(
+    protocol: ProtocolChoice,
+    nodes: &[usize],
+    runs: usize,
+    mk_cfg: impl Fn(usize) -> ScenarioConfig,
+) -> Result<Vec<PerfPoint>, RunFailure> {
     let runs = runs.max(1);
     let mut points = Vec::with_capacity(nodes.len());
     for &n in nodes {
-        let cfg = base.clone().with_nodes(n);
+        let cfg = mk_cfg(n);
         cfg.validate()?;
         run_instrumented(protocol, &cfg, 0xA1E7, RunOptions::default())?;
         let mut walls = Vec::with_capacity(runs);
@@ -195,15 +234,39 @@ pub fn tracing_overhead(
 /// previous report (same schema), it is embedded verbatim under
 /// `"baseline"` and a `"speedup_vs_baseline"` map records
 /// `baseline wall_s_min / current wall_s_min` for every node count
-/// present in both.
+/// present in both. A non-empty `scaled` slice (from
+/// [`perf_sweep_scaled`]) is emitted as the additive `"scaled_points"`
+/// array right after `"points"`; it never participates in the speedup
+/// map, so reports remain comparable to baselines that predate the
+/// scaled tier.
 pub fn render_perf_json(
     protocol: &str,
     scenario: &ScenarioConfig,
     build: &str,
     points: &[PerfPoint],
+    scaled: &[PerfPoint],
     overhead: Option<&TracingOverhead>,
     baseline: Option<&str>,
 ) -> String {
+    fn push_points(s: &mut String, points: &[PerfPoint]) {
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"nodes\":{},\"runs\":{},\"wall_s_mean\":{:.6},\"wall_s_min\":{:.6},\
+                 \"events_dispatched\":{},\"events_per_sec\":{:.1},\"fel_high_water\":{}}}",
+                p.nodes,
+                p.runs,
+                p.wall_s_mean,
+                p.wall_s_min,
+                p.events_dispatched,
+                p.events_per_sec,
+                p.fel_high_water
+            ));
+        }
+    }
+
     let mut s = String::from("{");
     s.push_str("\"schema\":\"alert-bench-perf/1\",");
     s.push_str(&format!("\"protocol\":\"{protocol}\","));
@@ -211,23 +274,13 @@ pub fn render_perf_json(
     s.push_str(&format!("\"pairs\":{},", scenario.traffic.pairs));
     s.push_str(&format!("\"build\":\"{build}\","));
     s.push_str("\"points\":[");
-    for (i, p) in points.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str(&format!(
-            "{{\"nodes\":{},\"runs\":{},\"wall_s_mean\":{:.6},\"wall_s_min\":{:.6},\
-             \"events_dispatched\":{},\"events_per_sec\":{:.1},\"fel_high_water\":{}}}",
-            p.nodes,
-            p.runs,
-            p.wall_s_mean,
-            p.wall_s_min,
-            p.events_dispatched,
-            p.events_per_sec,
-            p.fel_high_water
-        ));
-    }
+    push_points(&mut s, points);
     s.push(']');
+    if !scaled.is_empty() {
+        s.push_str(",\"scaled_points\":[");
+        push_points(&mut s, scaled);
+        s.push(']');
+    }
     if let Some(o) = overhead {
         let floor = o.wall_s_disabled.max(1e-9);
         s.push_str(&format!(
@@ -310,7 +363,7 @@ mod tests {
     #[test]
     fn report_roundtrips_through_the_scanner() {
         let cfg = ScenarioConfig::default();
-        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), None, None);
+        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), &[], None, None);
         assert!(json.starts_with("{\"schema\":\"alert-bench-perf/1\""));
         assert_eq!(baseline_wall_min(&json, 100), Some(0.4));
         assert_eq!(baseline_wall_min(&json, 300), Some(2.0));
@@ -321,7 +374,7 @@ mod tests {
     fn node_count_prefixes_do_not_collide() {
         // "nodes":30 must not match inside "nodes":300.
         let cfg = ScenarioConfig::default();
-        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), None, None);
+        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), &[], None, None);
         assert_eq!(baseline_wall_min(&json, 30), None);
         assert_eq!(baseline_wall_min(&json, 10), None);
     }
@@ -329,18 +382,80 @@ mod tests {
     #[test]
     fn speedup_is_computed_against_the_embedded_baseline() {
         let cfg = ScenarioConfig::default();
-        let old = render_perf_json("ALERT", &cfg, "test", &fake_points(), None, None);
+        let old = render_perf_json("ALERT", &cfg, "test", &fake_points(), &[], None, None);
         let mut faster = fake_points();
         for p in &mut faster {
             p.wall_s_min /= 2.0;
             p.wall_s_mean /= 2.0;
         }
-        let new = render_perf_json("ALERT", &cfg, "test", &faster, None, Some(&old));
+        let new = render_perf_json("ALERT", &cfg, "test", &faster, &[], None, Some(&old));
         assert!(new.contains("\"speedup_vs_baseline\":{\"100\":2.000,\"300\":2.000}"));
         assert!(new.contains("\"baseline\":{\"schema\":\"alert-bench-perf/1\""));
         // Scanning the new report still finds the *new* points, not the
         // embedded baseline's.
         assert_eq!(baseline_wall_min(&new, 100), Some(0.2));
+    }
+
+    #[test]
+    fn scaled_points_render_after_points_and_stay_out_of_the_speedup_map() {
+        let cfg = ScenarioConfig::default();
+        let scaled = vec![PerfPoint {
+            nodes: 10_000,
+            runs: 1,
+            wall_s_mean: 8.0,
+            wall_s_min: 7.5,
+            events_dispatched: 5_000_000,
+            events_per_sec: 650_000.0,
+            fel_high_water: 12_345,
+        }];
+        let old = render_perf_json("ALERT", &cfg, "test", &fake_points(), &[], None, None);
+        let json = render_perf_json(
+            "ALERT",
+            &cfg,
+            "test",
+            &fake_points(),
+            &scaled,
+            None,
+            Some(&old),
+        );
+        let points_at = json.find("\"points\":[").unwrap();
+        let scaled_at = json.find("\"scaled_points\":[").unwrap();
+        assert!(scaled_at > points_at);
+        assert!(json.contains(
+            "\"scaled_points\":[{\"nodes\":10000,\"runs\":1,\"wall_s_mean\":8.000000,\
+             \"wall_s_min\":7.500000,\"events_dispatched\":5000000,\
+             \"events_per_sec\":650000.0,\"fel_high_water\":12345}]"
+        ));
+        // The speedup map is keyed only by the standard tier.
+        assert!(json.contains("\"speedup_vs_baseline\":{\"100\":1.000,\"300\":1.000}"));
+        // The scanner can still pull scaled points out of a report (the
+        // trailing comma in the key keeps "nodes":100 from matching
+        // inside "nodes":10000).
+        assert_eq!(baseline_wall_min(&json, 10_000), Some(7.5));
+        assert_eq!(baseline_wall_min(&json, 100), Some(0.4));
+    }
+
+    #[test]
+    fn empty_scaled_tier_is_omitted() {
+        let cfg = ScenarioConfig::default();
+        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), &[], None, None);
+        assert!(!json.contains("scaled_points"));
+    }
+
+    #[test]
+    fn perf_sweep_scaled_holds_density_constant() {
+        let mut cfg = ScenarioConfig::default().with_duration(5.0);
+        cfg.traffic.pairs = 2;
+        let pts = perf_sweep_scaled(ProtocolChoice::Gpsr, &cfg, &[cfg.nodes * 4], 1).unwrap();
+        assert_eq!(pts.len(), 1);
+        let p = &pts[0];
+        assert_eq!(p.nodes, cfg.nodes * 4);
+        assert!(p.events_dispatched > 0);
+        // Quadrupling the population at constant density must not
+        // quadruple per-node work: total events grow roughly linearly,
+        // staying far below the dense-field quadratic blow-up.
+        let base = perf_sweep(ProtocolChoice::Gpsr, &cfg, &[cfg.nodes], 1).unwrap();
+        assert!(p.events_dispatched < base[0].events_dispatched * 8);
     }
 
     #[test]
@@ -353,7 +468,7 @@ mod tests {
             wall_s_jsonl: 0.5,
             wall_s_timeseries: 0.44,
         };
-        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), Some(&o), None);
+        let json = render_perf_json("ALERT", &cfg, "test", &fake_points(), &[], Some(&o), None);
         assert!(json.contains(
             "\"tracing_overhead\":{\"nodes\":100,\"runs\":3,\"wall_s_disabled\":0.400000,\
              \"wall_s_jsonl\":0.500000,\"wall_s_timeseries\":0.440000,\

@@ -5,9 +5,19 @@
 //! makes the whole simulation `O(N^2)`; bucketing positions into cells of
 //! the query radius reduces each query to the 3x3 cell neighborhood. This
 //! is the standard cell-list technique from particle simulation.
+//!
+//! On top of the fine cells sits a coarse occupancy level: cells are
+//! grouped into [`BLOCK`]`x`[`BLOCK`] blocks, each tracking how many
+//! items its cells hold. Queries consult the block counters to hop over
+//! empty regions a block at a time, which matters once the field is
+//! scaled up for large node counts and most cells are empty.
 
 use crate::point::Point;
 use crate::rect::Rect;
+
+/// Side length of a coarse block, in cells. A block's counter is the sum
+/// of the item counts of its `BLOCK * BLOCK` cells.
+const BLOCK: usize = 8;
 
 /// A rebuildable spatial index over indexed points.
 ///
@@ -22,7 +32,9 @@ use crate::rect::Rect;
 /// and therefore every downstream consumer of query results — a pure
 /// function of the item set, not of insertion history. Incremental
 /// updates and full rebuilds are thus observably identical, which the
-/// simulator's byte-identical-trace guarantee depends on.
+/// simulator's byte-identical-trace guarantee depends on. The coarse
+/// block level only skips cells that hold nothing, so it cannot change
+/// which items a query visits or in which order.
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     bounds: Rect,
@@ -30,6 +42,9 @@ pub struct SpatialGrid {
     cols: usize,
     rows: usize,
     cells: Vec<Vec<(usize, Point)>>,
+    /// Coarse level: item count per `BLOCK x BLOCK` block of cells.
+    blocks: Vec<u32>,
+    bcols: usize,
     /// id → index of the cell currently holding that id
     /// (`usize::MAX` = not indexed). Grows to the highest id seen.
     locate: Vec<usize>,
@@ -54,12 +69,16 @@ impl SpatialGrid {
         );
         let cols = (bounds.width() / cell_size).ceil().max(1.0) as usize;
         let rows = (bounds.height() / cell_size).ceil().max(1.0) as usize;
+        let bcols = cols.div_ceil(BLOCK);
+        let brows = rows.div_ceil(BLOCK);
         SpatialGrid {
             bounds,
             cell: cell_size,
             cols,
             rows,
             cells: vec![Vec::new(); cols * rows],
+            blocks: vec![0; bcols * brows],
+            bcols,
             locate: Vec::new(),
             len: 0,
         }
@@ -90,11 +109,19 @@ impl SpatialGrid {
         (cx as usize, cy as usize)
     }
 
+    /// The coarse block holding flat cell index `cell`.
+    fn block_of(&self, cell: usize) -> usize {
+        let cy = cell / self.cols;
+        let cx = cell % self.cols;
+        (cy / BLOCK) * self.bcols + cx / BLOCK
+    }
+
     /// Removes every item, keeping cell capacity.
     pub fn clear(&mut self) {
         for c in &mut self.cells {
             c.clear();
         }
+        self.blocks.fill(0);
         self.locate.fill(ABSENT);
         self.len = 0;
     }
@@ -108,7 +135,9 @@ impl SpatialGrid {
         );
         let (cx, cy) = self.cell_of(pos);
         let cell = cy * self.cols + cx;
+        let block = self.block_of(cell);
         Self::place(&mut self.cells[cell], id, pos);
+        self.blocks[block] += 1;
         if self.locate.len() <= id {
             self.locate.resize(id + 1, ABSENT);
         }
@@ -129,10 +158,12 @@ impl SpatialGrid {
         if cell == ABSENT {
             return None;
         }
+        let block = self.block_of(cell);
         let v = &mut self.cells[cell];
         let at = v.partition_point(|&(other, _)| other < id);
         debug_assert!(at < v.len() && v[at].0 == id, "locate out of sync");
         let (_, pos) = v.remove(at);
+        self.blocks[block] -= 1;
         self.locate[id] = ABSENT;
         self.len -= 1;
         Some(pos)
@@ -155,13 +186,17 @@ impl SpatialGrid {
             return;
         }
         if old_cell != ABSENT {
+            let old_block = self.block_of(old_cell);
             let v = &mut self.cells[old_cell];
             let at = v.partition_point(|&(other, _)| other < id);
             debug_assert!(at < v.len() && v[at].0 == id, "locate out of sync");
             v.remove(at);
+            self.blocks[old_block] -= 1;
             self.len -= 1;
         }
+        let new_block = self.block_of(new_cell);
         Self::place(&mut self.cells[new_cell], id, pos);
+        self.blocks[new_block] += 1;
         if self.locate.len() <= id {
             self.locate.resize(id + 1, ABSENT);
         }
@@ -177,6 +212,23 @@ impl SpatialGrid {
         }
     }
 
+    /// Visits the cells of row `cy` with `cx` in `[x0, x1]`, hopping over
+    /// empty coarse blocks, in increasing-`cx` order. The hop only skips
+    /// cells that hold nothing, so the visit order of items is untouched.
+    fn scan_row<F: FnMut(&[(usize, Point)])>(&self, cy: usize, x0: usize, x1: usize, f: &mut F) {
+        let brow = (cy / BLOCK) * self.bcols;
+        let mut cx = x0;
+        while cx <= x1 {
+            if self.blocks[brow + cx / BLOCK] == 0 {
+                // Nothing anywhere in this block: jump past it.
+                cx = (cx / BLOCK + 1) * BLOCK;
+                continue;
+            }
+            f(&self.cells[cy * self.cols + cx]);
+            cx += 1;
+        }
+    }
+
     /// Calls `f(id, position)` for every item within `radius` of `center`
     /// (inclusive), including an item exactly at `center`.
     pub fn for_each_in_range<F: FnMut(usize, Point)>(&self, center: Point, radius: f64, mut f: F) {
@@ -184,14 +236,16 @@ impl SpatialGrid {
         let span = (radius / self.cell).ceil() as isize;
         let (ccx, ccy) = self.cell_of(center);
         let (ccx, ccy) = (ccx as isize, ccy as isize);
+        let x0 = (ccx - span).max(0) as usize;
+        let x1 = ((ccx + span).min(self.cols as isize - 1)) as usize;
         for cy in (ccy - span).max(0)..=(ccy + span).min(self.rows as isize - 1) {
-            for cx in (ccx - span).max(0)..=(ccx + span).min(self.cols as isize - 1) {
-                for &(id, p) in &self.cells[cy as usize * self.cols + cx as usize] {
+            self.scan_row(cy as usize, x0, x1, &mut |cell| {
+                for &(id, p) in cell {
                     if p.distance_sq(center) <= r2 {
                         f(id, p);
                     }
                 }
-            }
+            });
         }
     }
 
@@ -208,13 +262,13 @@ impl SpatialGrid {
         let (minx, miny) = self.cell_of(rect.min);
         let (maxx, maxy) = self.cell_of(rect.max);
         for cy in miny..=maxy {
-            for cx in minx..=maxx {
-                for &(id, p) in &self.cells[cy * self.cols + cx] {
+            self.scan_row(cy, minx, maxx, &mut |cell| {
+                for &(id, p) in cell {
                     if rect.contains(p) {
                         out.push(id);
                     }
                 }
-            }
+            });
         }
         out
     }
@@ -223,48 +277,92 @@ impl SpatialGrid {
     /// or `None` when the grid is empty. Ties break towards the lower id so
     /// results are deterministic across runs.
     pub fn nearest(&self, target: Point) -> Option<(usize, Point)> {
-        // Expanding ring search: check the cells at Chebyshev distance `ring`
-        // from the target cell; once a candidate is found, one further ring
-        // suffices to rule out closer points in diagonal cells.
+        if self.len == 0 {
+            return None;
+        }
+        // Expanding ring search over cells at Chebyshev distance `ring`
+        // from the target's cell. A cell on ring `r` can hold a point as
+        // close as `(r - 1) * cell` of the target (which may sit on its
+        // own cell's edge), so after finishing ring `r` every unexplored
+        // cell is at least `r * cell` away: the search may only stop once
+        // `ring * cell > sqrt(best_d2)`. Stopping any earlier — say one
+        // ring after the first hit — can miss a closer point sitting two
+        // rings further out when the first hit was near a diagonal.
         let (tcx, tcy) = self.cell_of(target);
         let (tcx, tcy) = (tcx as isize, tcy as isize);
         let max_ring = self.cols.max(self.rows) as isize;
         let mut best: Option<(usize, Point, f64)> = None;
-        let mut found_ring: Option<isize> = None;
         for ring in 0..=max_ring {
-            if let Some(fr) = found_ring {
-                if ring > fr + 1 {
+            self.scan_ring(target, tcx, tcy, ring, &mut best);
+            if let Some((_, _, bd)) = best {
+                if ring as f64 * self.cell > bd.sqrt() {
                     break;
                 }
             }
-            let mut any_cell = false;
-            for cy in (tcy - ring).max(0)..=(tcy + ring).min(self.rows as isize - 1) {
-                for cx in (tcx - ring).max(0)..=(tcx + ring).min(self.cols as isize - 1) {
-                    // Only the ring perimeter; the interior was already seen.
-                    if (cy - tcy).abs() != ring && (cx - tcx).abs() != ring {
-                        continue;
-                    }
-                    any_cell = true;
-                    for &(id, p) in &self.cells[cy as usize * self.cols + cx as usize] {
-                        let d = p.distance_sq(target);
-                        let better = match best {
-                            None => true,
-                            Some((bid, _, bd)) => d < bd || (d == bd && id < bid),
-                        };
-                        if better {
-                            best = Some((id, p, d));
-                        }
-                    }
-                }
-            }
-            if best.is_some() && found_ring.is_none() {
-                found_ring = Some(ring);
-            }
-            if !any_cell && ring > 0 && found_ring.is_some() {
-                break;
-            }
         }
         best.map(|(id, p, _)| (id, p))
+    }
+
+    /// Scans the perimeter cells of the given ring, folding every item
+    /// into `best` by `(distance, id)`.
+    fn scan_ring(
+        &self,
+        target: Point,
+        tcx: isize,
+        tcy: isize,
+        ring: isize,
+        best: &mut Option<(usize, Point, f64)>,
+    ) {
+        let mut fold = |cell: &[(usize, Point)]| {
+            for &(id, p) in cell {
+                let d = p.distance_sq(target);
+                let better = match *best {
+                    None => true,
+                    Some((bid, _, bd)) => d < bd || (d == bd && id < bid),
+                };
+                if better {
+                    *best = Some((id, p, d));
+                }
+            }
+        };
+        // Top and bottom rows of the ring (full horizontal extent).
+        let x0 = (tcx - ring).max(0) as usize;
+        let x1 = ((tcx + ring).min(self.cols as isize - 1)) as usize;
+        let rows_in_grid = tcx + ring >= 0 && tcx - ring < self.cols as isize;
+        for cy in [tcy - ring, tcy + ring] {
+            if rows_in_grid && (0..self.rows as isize).contains(&cy) {
+                self.scan_row(cy as usize, x0, x1, &mut fold);
+            }
+            if ring == 0 {
+                break; // the two rows coincide
+            }
+        }
+        // Left and right columns, excluding the corners already visited.
+        for cx in [tcx - ring, tcx + ring] {
+            if ring == 0 || !(0..self.cols as isize).contains(&cx) {
+                continue;
+            }
+            let y1 = (tcy + ring - 1).min(self.rows as isize - 1);
+            let mut cy = (tcy - ring + 1).max(0);
+            while cy <= y1 {
+                // Hop over vertically empty block spans.
+                let bidx = (cy as usize / BLOCK) * self.bcols + cx as usize / BLOCK;
+                if self.blocks[bidx] == 0 {
+                    cy = (cy / BLOCK as isize + 1) * BLOCK as isize;
+                    continue;
+                }
+                fold(&self.cells[cy as usize * self.cols + cx as usize]);
+                cy += 1;
+            }
+        }
+    }
+
+    /// The sum of the coarse per-block counters; equals
+    /// [`SpatialGrid::len`] whenever the two levels are consistent
+    /// (exercised by the grid's tests).
+    #[doc(hidden)]
+    pub fn coarse_len(&self) -> usize {
+        self.blocks.iter().map(|&c| c as usize).sum()
     }
 }
 
@@ -359,6 +457,28 @@ mod tests {
         }
     }
 
+    /// Regression for the old ring cutoff, which stopped one ring after
+    /// the first hit. With the target on its cell's top edge, a hit in
+    /// the far corner of the ring-1 diagonal cell sits ~2.15 cell-widths
+    /// away, while the true nearest waits on ring 3 — a ring the old
+    /// bound never scanned.
+    #[test]
+    fn nearest_is_not_fooled_by_a_diagonal_first_hit() {
+        let target = Point::new(0.5, 9.5); // top edge of cell (0,0)
+
+        let mut g = SpatialGrid::new(Rect::with_size(100.0, 100.0), 10.0);
+        g.insert(0, Point::new(19.5, 19.5)); // ring 1, cell (1,1), d ≈ 21.47
+        g.insert(1, Point::new(0.5, 30.5)); // ring 3, cell (0,3), d = 21 — nearest
+        assert_eq!(g.nearest(target).unwrap().0, 1);
+
+        // Same trap one ring out: decoy on ring 2, winner on ring 4 —
+        // beyond even a "first hit + 2" heuristic.
+        let mut g = SpatialGrid::new(Rect::with_size(100.0, 100.0), 10.0);
+        g.insert(0, Point::new(29.5, 29.5)); // ring 2, cell (2,2), d ≈ 35.23
+        g.insert(1, Point::new(0.5, 40.5)); // ring 4, cell (0,4), d = 31
+        assert_eq!(g.nearest(target).unwrap().0, 1);
+    }
+
     #[test]
     fn nearest_on_empty_grid_is_none() {
         let g = SpatialGrid::new(Rect::with_size(100.0, 100.0), 10.0);
@@ -388,7 +508,7 @@ mod tests {
         for _ in 0..5 {
             for (id, p) in &mut pts {
                 // Mix of tiny same-cell jitters and long jumps.
-                let step = if rng.gen_bool(0.8) { 5.0 } else { 400.0 };
+                let step: f64 = if rng.gen_bool(0.8) { 5.0 } else { 400.0 };
                 p.x = (p.x + rng.gen_range(-step..step)).clamp(0.0, 1000.0);
                 p.y = (p.y + rng.gen_range(-step..step)).clamp(0.0, 1000.0);
                 incremental.update_position(*id, *p);
@@ -405,6 +525,7 @@ mod tests {
                 rebuilt.for_each_in_range(c, r, |id, p| b.push((id, p)));
                 assert_eq!(a, b);
             }
+            assert_eq!(incremental.coarse_len(), incremental.len());
         }
     }
 
@@ -433,5 +554,59 @@ mod tests {
         g.clear();
         assert!(g.is_empty());
         assert!(g.query_range(Point::new(1.0, 1.0), 50.0).is_empty());
+        assert_eq!(g.coarse_len(), 0);
+    }
+
+    /// The coarse counters stay in lockstep with the fine cells across a
+    /// sparse, large field — the regime the block level exists for.
+    #[test]
+    fn coarse_level_tracks_a_sparse_large_field() {
+        let mut rng = StdRng::seed_from_u64(46);
+        // 40x40 cells (5x5 blocks), only 25 items: most blocks empty.
+        let side = 10_000.0;
+        let mut g = SpatialGrid::new(Rect::with_size(side, side), 250.0);
+        let mut pts: Vec<(usize, Point)> = (0..25)
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
+                )
+            })
+            .collect();
+        g.rebuild(pts.iter().copied());
+        for round in 0..20 {
+            for (id, p) in &mut pts {
+                p.x = rng.gen_range(0.0..side);
+                p.y = rng.gen_range(0.0..side);
+                g.update_position(*id, *p);
+            }
+            assert_eq!(g.coarse_len(), g.len(), "round {round}");
+            // Range queries that must hop across many empty blocks.
+            let c = Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            let r = rng.gen_range(500.0..6000.0);
+            let mut got = g.query_range(c, r);
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .filter(|(_, p)| p.distance(c) <= r)
+                .map(|(i, _)| *i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "round {round}");
+            // Nearest across mostly empty space.
+            let t = Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            let got = g.nearest(t).unwrap().0;
+            let want = pts
+                .iter()
+                .min_by(|(ia, a), (ib, b)| {
+                    a.distance_sq(t)
+                        .partial_cmp(&b.distance_sq(t))
+                        .unwrap()
+                        .then(ia.cmp(ib))
+                })
+                .unwrap()
+                .0;
+            assert_eq!(got, want, "round {round}");
+        }
     }
 }

@@ -98,6 +98,40 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// `nearest` agrees with the O(n) scan under the `(distance, id)`
+    /// tie-break. Sparse point sets over a fine-celled grid make the
+    /// ring search walk far past its first hit; the old cutoff (stop one
+    /// ring after the first candidate) fails this property whenever the
+    /// first hit lands near a diagonal while the true nearest hides two
+    /// or more rings further out.
+    #[test]
+    fn nearest_matches_brute_force_on_sparse_grids(
+        points in prop::collection::vec(
+            (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point::new(x, y)),
+            1..8,
+        ),
+        target in (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point::new(x, y)),
+    ) {
+        let items: Vec<(usize, Point)> = points.into_iter().enumerate().collect();
+        let mut grid = SpatialGrid::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
+            10.0, // fine cells: nearest must often search many rings
+        );
+        grid.rebuild(items.iter().copied());
+
+        let got = grid.nearest(target).map(|(id, _)| id);
+        let want = items
+            .iter()
+            .min_by(|(ia, a), (ib, b)| {
+                a.distance_sq(target)
+                    .partial_cmp(&b.distance_sq(target))
+                    .unwrap()
+                    .then(ia.cmp(ib))
+            })
+            .map(|&(id, _)| id);
+        prop_assert_eq!(got, want);
+    }
+
     /// Remove un-indexes exactly the requested id and hands back the
     /// position the grid last saw for it.
     #[test]

@@ -36,21 +36,25 @@ impl RandomWaypointConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct NodeState {
-    pos: Point,
-    waypoint: Point,
-    speed: f64,
-    /// Remaining pause time; the node moves only when this is zero.
-    pause_left: f64,
-}
-
 /// Random waypoint mobility over a rectangular field.
+///
+/// Node state is struct-of-arrays: the per-tick `step` sweep touches
+/// every node's position, waypoint, speed, and pause budget, and the
+/// simulator's position refresh streams `pos` alone — parallel flat
+/// vectors keep both passes sequential in memory instead of striding
+/// over interleaved records. Indexing is by node id across all four
+/// vectors; RNG draws happen in node-id order exactly as they did with
+/// the array-of-structs layout, so per-seed trajectories are unchanged.
 #[derive(Debug, Clone)]
 pub struct RandomWaypoint {
     bounds: Rect,
     config: RandomWaypointConfig,
-    nodes: Vec<NodeState>,
+    pos: Vec<Point>,
+    waypoint: Vec<Point>,
+    speed: Vec<f64>,
+    /// Remaining pause time per node; a node moves only when its entry
+    /// is zero.
+    pause_left: Vec<f64>,
     rng: StdRng,
 }
 
@@ -59,23 +63,23 @@ impl RandomWaypoint {
     /// waypoints. Deterministic in `seed`.
     pub fn new(bounds: Rect, config: RandomWaypointConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let nodes = (0..config.nodes)
-            .map(|_| {
-                let pos = bounds.random_point(&mut rng);
-                let waypoint = bounds.random_point(&mut rng);
-                let speed = random_speed(&mut rng, config.speed_min, config.speed_max);
-                NodeState {
-                    pos,
-                    waypoint,
-                    speed,
-                    pause_left: 0.0,
-                }
-            })
-            .collect();
+        let mut pos = Vec::with_capacity(config.nodes);
+        let mut waypoint = Vec::with_capacity(config.nodes);
+        let mut speed = Vec::with_capacity(config.nodes);
+        for _ in 0..config.nodes {
+            // Draw order per node (position, waypoint, speed) matches the
+            // historical layout — same seed, same initial placement.
+            pos.push(bounds.random_point(&mut rng));
+            waypoint.push(bounds.random_point(&mut rng));
+            speed.push(random_speed(&mut rng, config.speed_min, config.speed_max));
+        }
         RandomWaypoint {
             bounds,
             config,
-            nodes,
+            pos,
+            waypoint,
+            speed,
+            pause_left: vec![0.0; config.nodes],
             rng,
         }
     }
@@ -88,11 +92,11 @@ impl RandomWaypoint {
 
 impl Mobility for RandomWaypoint {
     fn len(&self) -> usize {
-        self.nodes.len()
+        self.pos.len()
     }
 
     fn position(&self, id: usize) -> Point {
-        self.nodes[id].pos
+        self.pos[id]
     }
 
     fn bounds(&self) -> Rect {
@@ -101,36 +105,36 @@ impl Mobility for RandomWaypoint {
 
     fn step(&mut self, dt: f64) {
         debug_assert!(dt >= 0.0);
-        for node in &mut self.nodes {
+        for i in 0..self.pos.len() {
             let mut budget = dt;
             // A node may pause, arrive, and re-depart within one tick; loop
             // until the time budget for this tick is exhausted.
             while budget > 0.0 {
-                if node.pause_left > 0.0 {
-                    let wait = node.pause_left.min(budget);
-                    node.pause_left -= wait;
+                if self.pause_left[i] > 0.0 {
+                    let wait = self.pause_left[i].min(budget);
+                    self.pause_left[i] -= wait;
                     budget -= wait;
                     continue;
                 }
-                if node.speed <= 0.0 {
+                if self.speed[i] <= 0.0 {
                     break;
                 }
-                let to_waypoint = node.pos.distance(node.waypoint);
-                let travel = node.speed * budget;
+                let to_waypoint = self.pos[i].distance(self.waypoint[i]);
+                let travel = self.speed[i] * budget;
                 if travel < to_waypoint {
-                    node.pos = node.pos.advance_towards(node.waypoint, travel);
+                    self.pos[i] = self.pos[i].advance_towards(self.waypoint[i], travel);
                     budget = 0.0;
                 } else {
                     // Arrive, pause, then pick the next leg.
-                    node.pos = node.waypoint;
-                    budget -= if node.speed > 0.0 {
-                        to_waypoint / node.speed
+                    self.pos[i] = self.waypoint[i];
+                    budget -= if self.speed[i] > 0.0 {
+                        to_waypoint / self.speed[i]
                     } else {
                         budget
                     };
-                    node.pause_left = self.config.pause_s;
-                    node.waypoint = self.bounds.random_point(&mut self.rng);
-                    node.speed =
+                    self.pause_left[i] = self.config.pause_s;
+                    self.waypoint[i] = self.bounds.random_point(&mut self.rng);
+                    self.speed[i] =
                         random_speed(&mut self.rng, self.config.speed_min, self.config.speed_max);
                 }
             }

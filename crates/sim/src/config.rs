@@ -373,6 +373,25 @@ impl ScenarioConfig {
         self
     }
 
+    /// Builder-style override of the field dimensions.
+    pub fn with_field(mut self, field_w: f64, field_h: f64) -> Self {
+        self.field_w = field_w;
+        self.field_h = field_h;
+        self
+    }
+
+    /// Builder-style override of the node count that also rescales the
+    /// field to keep density at the current `nodes / area` value: both
+    /// sides grow by `sqrt(nodes / old_nodes)`. This is the shape large
+    /// benchmark tiers need — a 100k-node run on the paper's fixed
+    /// 1 km² field would mean ~20k neighbors per node, which measures
+    /// neighbor-list churn, not event-loop throughput.
+    pub fn with_nodes_scaled_field(self, nodes: usize) -> Self {
+        let factor = (nodes as f64 / self.nodes.max(1) as f64).sqrt();
+        let (w, h) = (self.field_w * factor, self.field_h * factor);
+        self.with_nodes(nodes).with_field(w, h)
+    }
+
     /// Builder-style override of the simulated duration.
     pub fn with_duration(mut self, duration_s: f64) -> Self {
         self.duration_s = duration_s;
@@ -624,11 +643,26 @@ mod tests {
             .with_speed(8.0)
             .with_duration(50.0)
             .with_location(LocationPolicy::SessionStart)
-            .with_mobility(MobilityKind::Static);
+            .with_mobility(MobilityKind::Static)
+            .with_field(2000.0, 1500.0);
         assert_eq!(c.nodes, 100);
         assert_eq!(c.speed, 8.0);
         assert_eq!(c.duration_s, 50.0);
         assert_eq!(c.location, LocationPolicy::SessionStart);
         assert_eq!(c.mobility, MobilityKind::Static);
+        assert_eq!(c.field_w, 2000.0);
+        assert_eq!(c.field_h, 1500.0);
+    }
+
+    #[test]
+    fn scaled_field_preserves_density() {
+        let base = ScenarioConfig::default();
+        let scaled = base.clone().with_nodes_scaled_field(20_000);
+        assert_eq!(scaled.nodes, 20_000);
+        // 100x the population → 10x each side, same nodes per m².
+        assert!((scaled.field_w - 10_000.0).abs() < 1e-9);
+        assert!((scaled.field_h - 10_000.0).abs() < 1e-9);
+        assert!((scaled.density() - base.density()).abs() < 1e-12);
+        assert!(scaled.validate().is_ok());
     }
 }

@@ -41,7 +41,7 @@ pub use config::{
     EnergyConfig, LocationPolicy, MacConfig, MobilityKind, ScenarioConfig, ScenarioError,
     TrafficConfig,
 };
-pub use engine::EventQueue;
+pub use engine::{EventId, EventQueue};
 pub use fault::{FaultPlan, LinkDegradation, NodeCrash, RegionOutage};
 pub use guard::{RunAbort, RunBudget, WALL_CHECK_INTERVAL};
 pub use ids::{NodeId, PacketId, SessionId, TimerToken};

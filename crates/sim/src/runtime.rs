@@ -231,9 +231,6 @@ pub(crate) struct NodeInfo {
     pub(crate) keypair: KeyPair,
     pub(crate) pseudonyms: PseudonymHistory,
     pub(crate) neighbors: Vec<crate::api::NeighborEntry>,
-    /// End time of this node's in-flight transmission (used only under
-    /// `MacConfig::serialize_tx`).
-    pub(crate) tx_busy_until: f64,
 }
 
 /// A node's current pseudonym plus one predecessor, kept so in-flight
@@ -319,6 +316,22 @@ pub(crate) struct WorldCore<M> {
     /// `hello_tick` resolve "same neighbor, new pseudonym" in O(1)
     /// instead of scanning the fresh table per retained entry.
     pub(crate) key_to_node: HashMap<PublicKey, NodeId>,
+    /// Struct-of-arrays mirrors of the per-node hot state. The hello and
+    /// mobility sweeps touch every node every tick; streaming these flat
+    /// vectors instead of hopping through `NodeInfo` (whose neighbor
+    /// tables and keypairs pad each record past a cache line) keeps those
+    /// sweeps linear in memory. Each is an exact mirror of its source of
+    /// truth: `positions` of the mobility model (refreshed after every
+    /// step), `cur_pseudonyms` of `NodeInfo::pseudonyms` (updated at
+    /// rotation), `public_keys` of `NodeInfo::keypair` (immutable per
+    /// run). `tx_busy_until` lives here outright — the transmit path is
+    /// its only reader and writer.
+    pub(crate) positions: Vec<Point>,
+    /// End time of each node's in-flight transmission (used only under
+    /// `MacConfig::serialize_tx`).
+    pub(crate) tx_busy_until: Vec<f64>,
+    pub(crate) cur_pseudonyms: Vec<Pseudonym>,
+    pub(crate) public_keys: Vec<PublicKey>,
 }
 
 /// Scratch buffers reused across [`WorldCore::hello_tick`] rounds. All
@@ -342,7 +355,16 @@ pub(crate) struct HelloScratch {
 
 impl<M: Clone + std::fmt::Debug> WorldCore<M> {
     pub(crate) fn position(&self, node: NodeId) -> Point {
-        self.mobility.position(node.0)
+        self.positions[node.0]
+    }
+
+    /// Refreshes the flat position cache from the mobility model; called
+    /// after every `step` (and at construction) so `positions[i]` always
+    /// equals `mobility.position(i)` without the virtual call per read.
+    pub(crate) fn refresh_positions(&mut self) {
+        for i in 0..self.positions.len() {
+            self.positions[i] = self.mobility.position(i);
+        }
     }
 
     /// Whether `node` is currently crashed (fault plan).
@@ -453,11 +475,11 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         let mut start = self.queue.now() + extra_delay;
         if mac.serialize_tx {
             // Half-duplex transmitter: wait out our own previous frame.
-            start = start.max(self.nodes[from.0].tx_busy_until);
-            self.nodes[from.0].tx_busy_until = start + airtime;
+            start = start.max(self.tx_busy_until[from.0]);
+            self.tx_busy_until[from.0] = start + airtime;
         }
         let at = start + airtime;
-        let from_pseudonym = self.nodes[from.0].pseudonyms.current();
+        let from_pseudonym = self.cur_pseudonyms[from.0];
         self.metrics.energy_tx_j += airtime * self.cfg.energy.tx_watts;
 
         let tx_kind = match dest {
@@ -614,8 +636,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
     }
 
     fn rebuild_grid(&mut self) {
-        let n = self.mobility.len();
-        let positions = (0..n).map(|i| (i, self.mobility.position(i)));
+        let positions = self.positions.iter().copied().enumerate();
         self.grid.rebuild(positions);
     }
 
@@ -625,8 +646,8 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
     /// case; the grid keeps cells id-sorted, making the result
     /// indistinguishable from a full [`WorldCore::rebuild_grid`].
     fn update_grid(&mut self) {
-        for i in 0..self.mobility.len() {
-            self.grid.update_position(i, self.mobility.position(i));
+        for i in 0..self.positions.len() {
+            self.grid.update_position(i, self.positions[i]);
         }
     }
 
@@ -649,6 +670,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
             let aged_out = self.nodes[i].pseudonyms.previous;
             let maybe_new = self.nodes[i].pseudonyms.maybe_rotate(now, &mut self.rng);
             if let Some(p) = maybe_new {
+                self.cur_pseudonyms[i] = p;
                 // Drop the mapping older than the grace predecessor — a
                 // targeted O(1) removal; the old full-map `retain` scanned
                 // every key of every node per rotation. The pre-rotation
@@ -690,14 +712,15 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                 // Crashed: table was wiped at crash time and stays empty.
                 continue;
             }
-            let me = self.mobility.position(i);
+            let me = self.positions[i];
             scratch.round += 1;
             let round = scratch.round;
             scratch.table.clear();
             {
                 let table = &mut scratch.table;
                 let heard = &mut scratch.heard;
-                let nodes = &self.nodes;
+                let pseudonyms = &self.cur_pseudonyms;
+                let public_keys = &self.public_keys;
                 let down_depth = &self.down_depth;
                 self.grid.for_each_in_range(me, range, |id, pos| {
                     if id == i || down_depth[id] > 0 {
@@ -707,9 +730,9 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                     }
                     heard[id] = round;
                     table.push(crate::api::NeighborEntry {
-                        pseudonym: nodes[id].pseudonyms.current(),
+                        pseudonym: pseudonyms[id],
                         position: pos,
-                        public_key: nodes[id].keypair.public,
+                        public_key: public_keys[id],
                         heard_at: now,
                     });
                 });
@@ -753,9 +776,9 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
     fn location_tick(&mut self) {
         let now = self.queue.now();
         for i in 0..self.nodes.len() {
-            let pos = self.mobility.position(i);
-            let key = self.nodes[i].keypair.public;
-            let pseudo = self.nodes[i].pseudonyms.current();
+            let pos = self.positions[i];
+            let key = self.public_keys[i];
+            let pseudo = self.cur_pseudonyms[i];
             self.location.update(NodeId(i), pos, key, pseudo, now);
         }
         self.metrics.location_messages = self.location.messages;
@@ -909,6 +932,8 @@ impl<P: ProtocolNode> World<P> {
         let mut nodes = Vec::with_capacity(cfg.nodes);
         let mut pseudonym_map = HashMap::with_capacity(cfg.nodes * 2);
         let mut key_to_node = HashMap::with_capacity(cfg.nodes);
+        let mut cur_pseudonyms = Vec::with_capacity(cfg.nodes);
+        let mut public_keys = Vec::with_capacity(cfg.nodes);
         for i in 0..cfg.nodes {
             let keypair = KeyPair::generate(&mut rng);
             let generator = PseudonymGenerator::new(
@@ -924,11 +949,12 @@ impl<P: ProtocolNode> World<P> {
                 displaced.is_none(),
                 "duplicate public key for node {i} — key-based neighbor identity broken"
             );
+            cur_pseudonyms.push(history.current());
+            public_keys.push(keypair.public);
             nodes.push(NodeInfo {
                 keypair,
                 pseudonyms: history,
                 neighbors: Vec::new(),
-                tx_busy_until: 0.0,
             });
         }
 
@@ -973,8 +999,13 @@ impl<P: ProtocolNode> World<P> {
             },
             bcast_targets: Vec::new(),
             key_to_node,
+            positions: vec![Point::default(); cfg.nodes],
+            tx_busy_until: vec![0.0; cfg.nodes],
+            cur_pseudonyms,
+            public_keys,
             cfg,
         };
+        core.refresh_positions();
         core.rebuild_grid();
         core.hello_tick();
         core.location_tick();
@@ -1188,6 +1219,7 @@ impl<P: ProtocolNode> World<P> {
                 self.emit_tick(TickKind::Mobility);
                 let dt = self.core.cfg.mobility_tick_s;
                 self.core.mobility.step(dt);
+                self.core.refresh_positions();
                 self.core.update_grid();
                 if self.core.queue.now() + dt <= self.core.cfg.duration_s {
                     self.core.queue.schedule_in(dt, Event::MobilityTick);
@@ -1292,7 +1324,7 @@ impl<P: ProtocolNode> World<P> {
         });
         // Volatile runtime state dies with the node.
         self.core.nodes[node.0].neighbors.clear();
-        self.core.nodes[node.0].tx_busy_until = 0.0;
+        self.core.tx_busy_until[node.0] = 0.0;
     }
 
     /// Recovers `node` (or shallows an outage). Only the 1→0 transition is
@@ -1518,7 +1550,7 @@ impl<P: ProtocolNode> World<P> {
     /// (e.g. the physical recipients of a broadcast from that point).
     pub fn nodes_within(&self, center: Point, radius: f64) -> Vec<NodeId> {
         (0..self.core.cfg.nodes)
-            .filter(|&i| self.core.mobility.position(i).distance(center) <= radius)
+            .filter(|&i| self.core.positions[i].distance(center) <= radius)
             .map(NodeId)
             .collect()
     }
@@ -1526,7 +1558,7 @@ impl<P: ProtocolNode> World<P> {
     /// Ground-truth ids of all nodes currently inside `zone`.
     pub fn nodes_in_zone(&self, zone: &Rect) -> Vec<NodeId> {
         (0..self.core.cfg.nodes)
-            .filter(|&i| zone.contains(self.core.mobility.position(i)))
+            .filter(|&i| zone.contains(self.core.positions[i]))
             .map(NodeId)
             .collect()
     }
@@ -1548,7 +1580,7 @@ impl<P: ProtocolNode> World<P> {
 
     /// A node's current pseudonym (experimenter access).
     pub fn node_pseudonym(&self, node: NodeId) -> Pseudonym {
-        self.core.nodes[node.0].pseudonyms.current()
+        self.core.cur_pseudonyms[node.0]
     }
 
     /// Resolves a pseudonym (current or grace predecessor) to its owner.

@@ -1,0 +1,183 @@
+//! Model-based equivalence tests for the calendar event queue.
+//!
+//! A trivially-correct reference FEL — a flat `Vec` popped by linear
+//! scan for the minimum `(total_cmp(time), seq)` key — is driven through
+//! the same interleaved schedule/pop/cancel sequences as the real
+//! [`EventQueue`]. Both must agree on every pop and every cancel. This
+//! pins the calendar's moving parts (day buckets, year rolls, overflow
+//! ladder migration, geometric retunes, slot recycling) to the simple
+//! FIFO-per-instant contract the simulator's byte-identical traces
+//! depend on.
+
+use alert_sim::{EventId, EventQueue};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// One step of an interleaving. `Cancel` indexes into the set of
+/// still-live handles at the moment it executes.
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule(f64),
+    Pop,
+    Cancel(usize),
+}
+
+/// Times covering every calendar regime: ordinary near-future values
+/// (day buckets), repeated constants (same-instant FIFO bursts),
+/// sub-bucket-width clusters, and far-future values that must ride the
+/// overflow ladder until a year roll migrates them.
+fn arb_time() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => 0.0..100.0f64,
+        2 => Just(1.0),
+        2 => Just(2.5),
+        1 => 0.0..1.0e-3f64,
+        1 => 1.0e6..1.0e9f64,
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => arb_time().prop_map(Op::Schedule),
+        3 => Just(Op::Pop),
+        2 => (0usize..64).prop_map(Op::Cancel),
+    ]
+}
+
+/// The reference model: linear-scan extraction over a flat vector,
+/// mirroring the queue's admission rules (finite times only, past times
+/// clamped to `now`, `-0.0` normalized to `+0.0`).
+struct Reference {
+    live: Vec<(f64, u64)>,
+    now: f64,
+}
+
+impl Reference {
+    fn new() -> Self {
+        Reference {
+            live: Vec::new(),
+            now: 0.0,
+        }
+    }
+
+    fn schedule(&mut self, time: f64, seq: u64) {
+        let time = if time == 0.0 { 0.0 } else { time };
+        let time = if time < self.now { self.now } else { time };
+        self.live.push((time, seq));
+    }
+
+    fn pop(&mut self) -> Option<(f64, u64)> {
+        let at = self
+            .live
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(i, _)| i)?;
+        let (t, s) = self.live.remove(at);
+        self.now = t;
+        Some((t, s))
+    }
+
+    fn cancel(&mut self, seq: u64) -> Option<u64> {
+        let at = self.live.iter().position(|&(_, s)| s == seq)?;
+        Some(self.live.remove(at).1)
+    }
+}
+
+/// Runs one interleaving through both implementations, comparing every
+/// observable step, then drains both and compares the full tail.
+fn check_equivalence(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut model = Reference::new();
+    let mut handles: Vec<(EventId, u64)> = Vec::new();
+    let mut seq = 0u64;
+    for op in ops {
+        match *op {
+            Op::Schedule(t) => {
+                let id = q.schedule(t, seq);
+                model.schedule(t, seq);
+                handles.push((id, seq));
+                seq += 1;
+            }
+            Op::Pop => {
+                let got = q.pop();
+                let want = model.pop().map(|(t, s)| (t, s));
+                prop_assert_eq!(got, want, "pop diverged");
+                if let Some((_, s)) = got {
+                    handles.retain(|&(_, h)| h != s);
+                }
+            }
+            Op::Cancel(pick) => {
+                if handles.is_empty() {
+                    continue;
+                }
+                let (id, s) = handles.remove(pick % handles.len());
+                let got = q.cancel(id);
+                let want = model.cancel(s);
+                prop_assert_eq!(got, want, "cancel diverged for seq {}", s);
+            }
+        }
+        prop_assert_eq!(q.len(), model.live.len(), "len diverged");
+    }
+    loop {
+        let got = q.pop();
+        let want = model.pop().map(|(t, s)| (t, s));
+        prop_assert_eq!(got, want, "drain diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Arbitrary schedule/pop/cancel interleavings: the calendar agrees
+    /// with the reference on every step.
+    #[test]
+    fn interleavings_match_the_reference(
+        ops in proptest::collection::vec(arb_op(), 1..250),
+    ) {
+        check_equivalence(&ops)?;
+    }
+
+    /// Bursts of events at a handful of shared timestamps, with pops
+    /// mixed in: FIFO within each instant must match the model exactly,
+    /// across the retunes such bursts trigger.
+    #[test]
+    fn same_instant_bursts_stay_fifo(
+        bursts in proptest::collection::vec(
+            ((0usize..4), (1usize..30), any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let instants = [0.0, 1.0, 2.5, 60.0];
+        let mut ops = Vec::new();
+        for (which, n, pop_after) in bursts {
+            for _ in 0..n {
+                ops.push(Op::Schedule(instants[which]));
+            }
+            if pop_after {
+                ops.push(Op::Pop);
+            }
+        }
+        check_equivalence(&ops)?;
+    }
+
+    /// Mixes dominated by far-future times force events through the
+    /// overflow ladder and across year rolls; cancels reach into the
+    /// ladder as well as the day buckets.
+    #[test]
+    fn overflow_ladder_migration_matches(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                3 => (1.0e5..1.0e9f64).prop_map(Op::Schedule),
+                2 => (0.0..10.0f64).prop_map(Op::Schedule),
+                3 => Just(Op::Pop),
+                2 => (0usize..64).prop_map(Op::Cancel),
+            ],
+            1..200,
+        ),
+    ) {
+        check_equivalence(&ops)?;
+    }
+}

@@ -59,6 +59,7 @@ stub rand
 stub rayon
 stub parking_lot
 stub criterion
+stub proptest
 
 E_SERDE=($(ex serde) "${DERIVE[@]}")
 
@@ -147,6 +148,18 @@ check_test tracequery_golden crates/bench/tests/tracequery_golden.rs "${E_ALL[@]
     $(ex alert_bench)
 check_test simcheck_cli crates/simcheck/tests/cli.rs "${E_ALL[@]}" \
     $(ex alert_bench alert_simcheck)
+
+# --- property-test suites (type-check against the proptest stub) ---------
+check_test fel_props crates/sim/tests/fel_props.rs "${E_SERDE[@]}" \
+    $(ex proptest rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test engine_props crates/sim/tests/engine_props.rs "${E_SERDE[@]}" \
+    $(ex proptest rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test grid_props crates/geom/tests/grid_props.rs "${E_SERDE[@]}" \
+    $(ex proptest alert_geom)
+check_test partition_props crates/geom/tests/partition_props.rs "${E_SERDE[@]}" \
+    $(ex proptest alert_geom)
+check_test mobility_props crates/mobility/tests/mobility_props.rs "${E_SERDE[@]}" \
+    $(ex proptest rand alert_geom alert_mobility)
 
 # --- bench targets (criterion stub; CI runs the real harness) ------------
 for bf in crates/bench/benches/*.rs; do

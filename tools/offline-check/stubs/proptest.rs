@@ -1,0 +1,250 @@
+//! Type-check-only stub for the `proptest` crate.
+//!
+//! CI compiles the real proptest from crates.io; this stub exists so the
+//! air-gapped offline check can still type-check the property-test
+//! suites. Strategies carry their `Value` type through `prop_map`,
+//! tuples, ranges, `Just`, `any`, `prop_oneof!` and `collection::vec`,
+//! and the `proptest!` macro expands each test body into a type-checked
+//! (but never executed) closure. Running a stub-built test binary
+//! aborts immediately with a pointer at the real harness.
+
+pub mod strategy {
+    use core::marker::PhantomData;
+
+    pub trait Strategy {
+        type Value;
+
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F, U>
+        where
+            Self: Sized,
+        {
+            let _ = f;
+            Map(self, PhantomData)
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            BoxedStrategy(PhantomData)
+        }
+
+        #[doc(hidden)]
+        fn __stub_value(&self) -> Self::Value {
+            unimplemented!("proptest stub: strategies cannot produce values")
+        }
+    }
+
+    pub struct Map<S, F, U>(#[allow(dead_code)] S, PhantomData<(F, U)>);
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F, U> {
+        type Value = U;
+    }
+
+    pub struct BoxedStrategy<V>(PhantomData<V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+    }
+
+    #[doc(hidden)]
+    pub fn __union<V>(arms: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V> {
+        let _ = arms;
+        BoxedStrategy(PhantomData)
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+    }
+
+    impl<T: Clone> Strategy for core::ops::Range<T> {
+        type Value = T;
+    }
+
+    impl<T: Clone> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+    }
+}
+
+pub mod arbitrary {
+    use core::marker::PhantomData;
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> crate::strategy::Strategy for AnyStrategy<T> {
+        type Value = T;
+    }
+
+    pub fn any<T>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use core::marker::PhantomData;
+
+    pub struct VecStrategy<S>(#[allow(dead_code)] S);
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+    }
+
+    pub fn vec<S: Strategy, R>(element: S, size: R) -> VecStrategy<S> {
+        let _ = size;
+        VecStrategy(element)
+    }
+
+    pub struct HashSetStrategy<S>(#[allow(dead_code)] S);
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: core::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+    }
+
+    pub fn hash_set<S: Strategy, R>(element: S, size: R) -> HashSetStrategy<S>
+    where
+        S::Value: core::hash::Hash + Eq,
+    {
+        let _ = size;
+        HashSetStrategy(element)
+    }
+}
+
+pub mod test_runner {
+    /// Stand-in for proptest's test-case failure payload.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError;
+
+    impl TestCaseError {
+        pub fn fail(reason: String) -> Self {
+            let _ = reason;
+            TestCaseError
+        }
+    }
+
+    /// Stand-in for proptest's runner configuration.
+    #[derive(Debug, Clone, Default)]
+    pub struct Config;
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            let _ = cases;
+            Config
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        const _: () = {
+            #[allow(dead_code)]
+            fn __proptest_config() {
+                let _ = $cfg;
+            }
+        };
+        $crate::proptest! { $($rest)* }
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_variables, unreachable_code, unused_mut)]
+            let _typecheck = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                $(let $pat = $crate::strategy::Strategy::__stub_value(&($strat));)*
+                $body
+                ::core::result::Result::Ok(())
+            };
+            ::core::unimplemented!(
+                "proptest stub: run this suite with cargo against the real proptest"
+            )
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::new(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {{
+        let _ = ::std::format!($($fmt)*);
+        $crate::prop_assert!($cond)
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right)
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let _ = ::std::format!($($fmt)*);
+        $crate::prop_assert_eq!($left, $right)
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right)
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let _ = ::std::format!($($fmt)*);
+        $crate::prop_assert_ne!($left, $right)
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::__union(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::__union(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
