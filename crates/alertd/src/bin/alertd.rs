@@ -1,0 +1,358 @@
+//! `alertd` — the crash-only sim-as-a-service daemon.
+//!
+//! ```text
+//! alertd serve --dir state/                   # blocks until drained
+//! alertd serve --dir state/ --tcp 127.0.0.1:7007 --jobs 4
+//! alertd serve --dir state/ --socket state/alertd.sock
+//! alertd bench --out BENCH.json --levels 1,2,4
+//! ```
+//!
+//! Exit codes follow the repo convention: 0 clean (drained), 1 runtime
+//! failure, 2 usage error or directory busy (another live daemon).
+
+use alertd::{serve, BindAddr, JobSpec, Request, Response, ServeError, ServerConfig};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("alertd: unknown command '{other}'");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  \
+         alertd serve --dir DIR [--tcp HOST:PORT | --socket PATH] [--jobs N]\n              \
+         [--queue N] [--idle-timeout-s S] [--max-attempts N]\n              \
+         [--cap-max-events N] [--cap-max-sim-s S] [--cap-max-instant-events N]\n  \
+         alertd bench --out PATH [--levels 1,2,4] [--jobs-per-level N]\n              \
+         [--nodes N] [--duration S] [--dir DIR]"
+    );
+}
+
+// ---------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("alertd: {name} needs a value");
+            }
+            v
+        };
+        match flag.as_str() {
+            "--dir" => dir = val("--dir").map(PathBuf::from),
+            "--tcp" => match val("--tcp") {
+                Some(v) => config.bind = BindAddr::Tcp(v),
+                None => return ExitCode::from(2),
+            },
+            "--socket" => match val("--socket") {
+                Some(v) => config.bind = BindAddr::Unix(PathBuf::from(v)),
+                None => return ExitCode::from(2),
+            },
+            "--jobs" => match val("--jobs").and_then(|v| v.parse().ok()) {
+                Some(v) => config.jobs = v,
+                None => return ExitCode::from(2),
+            },
+            "--queue" => match val("--queue").and_then(|v| v.parse().ok()) {
+                Some(v) => config.queue_cap = v,
+                None => return ExitCode::from(2),
+            },
+            "--idle-timeout-s" => match val("--idle-timeout-s").and_then(|v| v.parse::<f64>().ok())
+            {
+                Some(v) if v > 0.0 => config.idle_timeout = Duration::from_secs_f64(v),
+                _ => return ExitCode::from(2),
+            },
+            "--max-attempts" => match val("--max-attempts").and_then(|v| v.parse().ok()) {
+                Some(v) => config.max_attempts = v,
+                None => return ExitCode::from(2),
+            },
+            "--cap-max-events" => match val("--cap-max-events").and_then(|v| v.parse().ok()) {
+                Some(v) => config.cap.max_events = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--cap-max-sim-s" => match val("--cap-max-sim-s").and_then(|v| v.parse().ok()) {
+                Some(v) => config.cap.max_sim_seconds = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--cap-max-instant-events" => {
+                match val("--cap-max-instant-events").and_then(|v| v.parse().ok()) {
+                    Some(v) => config.cap.max_events_per_instant = Some(v),
+                    None => return ExitCode::from(2),
+                }
+            }
+            other => {
+                eprintln!("alertd: unknown flag '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("alertd: serve requires --dir");
+        return ExitCode::from(2);
+    };
+    config.dir = dir;
+    match serve(config) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(ServeError::Busy { pid }) => {
+            match pid {
+                Some(pid) => eprintln!("alertd: directory busy: live daemon pid {pid}"),
+                None => eprintln!("alertd: directory busy: another live daemon owns it"),
+            }
+            ExitCode::from(2)
+        }
+        Err(ServeError::Io(e)) => {
+            eprintln!("alertd: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// bench: submission-to-result latency through the daemon path
+// ---------------------------------------------------------------------
+
+struct BenchPoint {
+    jobs: usize,
+    submitted: usize,
+    latency_p50_s: f64,
+    latency_p95_s: f64,
+    jobs_per_s: f64,
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut levels = vec![1usize, 2, 4];
+    let mut jobs_per_level = 8usize;
+    let mut nodes = 30usize;
+    let mut duration_s = 5.0f64;
+    let mut base_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(v) = it.next() else {
+            eprintln!("alertd: {flag} needs a value");
+            return ExitCode::from(2);
+        };
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(v)),
+            "--levels" => {
+                match v
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                {
+                    Ok(l) if !l.is_empty() && l.iter().all(|&j| j > 0) => levels = l,
+                    _ => {
+                        eprintln!("alertd: --levels wants e.g. 1,2,4");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--jobs-per-level" => match v.parse() {
+                Ok(n) if n > 0 => jobs_per_level = n,
+                _ => return ExitCode::from(2),
+            },
+            "--nodes" => match v.parse() {
+                Ok(n) if n > 0 => nodes = n,
+                _ => return ExitCode::from(2),
+            },
+            "--duration" => match v.parse() {
+                Ok(d) if d > 0.0 => duration_s = d,
+                _ => return ExitCode::from(2),
+            },
+            "--dir" => base_dir = Some(PathBuf::from(v)),
+            other => {
+                eprintln!("alertd: unknown flag '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("alertd: bench requires --out");
+        return ExitCode::from(2);
+    };
+    let base_dir = base_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("alertd-bench-{}", std::process::id()))
+    });
+
+    let mut points = Vec::new();
+    for &level in &levels {
+        match bench_level(&base_dir, level, jobs_per_level, nodes, duration_s) {
+            Ok(p) => {
+                println!(
+                    "[bench] jobs={level}: p50 {:.3}s p95 {:.3}s, {:.2} jobs/s",
+                    p.latency_p50_s, p.latency_p95_s, p.jobs_per_s
+                );
+                points.push(p);
+            }
+            Err(e) => {
+                eprintln!("alertd: bench level {level}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+
+    let doc = render_bench_json(jobs_per_level, nodes, duration_s, &points);
+    if let Err(e) = std::fs::write(&out, doc) {
+        eprintln!("alertd: writing {}: {e}", out.display());
+        return ExitCode::from(1);
+    }
+    println!("[bench] wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+/// One daemon lifetime at a fixed worker count: submit the whole batch,
+/// poll each job to `done`, drain. Latency is submission-ack to
+/// observed-done per job.
+fn bench_level(
+    base_dir: &std::path::Path,
+    level: usize,
+    jobs: usize,
+    nodes: usize,
+    duration_s: f64,
+) -> Result<BenchPoint, String> {
+    let dir = base_dir.join(format!("level-{level}"));
+    let config = ServerConfig {
+        dir: dir.clone(),
+        jobs: level,
+        queue_cap: jobs + 8,
+        ..ServerConfig::default()
+    };
+    let server = std::thread::spawn(move || serve(config));
+    let endpoint = dir.join("alertd.endpoint");
+    for _ in 0..400 {
+        if endpoint.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let text = std::fs::read_to_string(&endpoint).map_err(|e| format!("no endpoint: {e}"))?;
+    let addr = text
+        .trim()
+        .strip_prefix("tcp ")
+        .ok_or("endpoint is not tcp")?
+        .to_owned();
+    let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut roundtrip = |req: &Request| -> Result<Response, String> {
+        let mut line = req.to_jsonl();
+        line.push('\n');
+        writer.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut resp = String::new();
+        reader.read_line(&mut resp).map_err(|e| e.to_string())?;
+        Response::parse_line(&resp).ok_or_else(|| format!("bad response: {resp}"))
+    };
+
+    let started = Instant::now();
+    let mut submitted_at = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let spec = JobSpec {
+            nodes,
+            duration_s,
+            seed: 1000 + i as u64,
+            ..JobSpec::default()
+        };
+        let t0 = Instant::now();
+        let resp = roundtrip(&Request::Submit {
+            spec: spec.clone(),
+            force: false,
+        })?;
+        if resp.str_field("state").is_none() {
+            return Err(format!("submit refused: {resp:?}"));
+        }
+        submitted_at.push((spec.fingerprint(), t0));
+    }
+
+    let mut latencies = vec![None::<f64>; jobs];
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while latencies.iter().any(Option::is_none) {
+        if Instant::now() > deadline {
+            return Err("bench jobs did not settle within 600s".to_owned());
+        }
+        for (i, (fp, t0)) in submitted_at.iter().enumerate() {
+            if latencies[i].is_some() {
+                continue;
+            }
+            let resp = roundtrip(&Request::Status { job: *fp })?;
+            match resp.str_field("state") {
+                Some("done") => latencies[i] = Some(t0.elapsed().as_secs_f64()),
+                Some("failed") | Some("quarantined") | Some("cancelled") => {
+                    return Err(format!("bench job {fp:016x} ended {resp:?}"));
+                }
+                _ => {}
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let total_s = started.elapsed().as_secs_f64();
+    roundtrip(&Request::Drain)?;
+    server
+        .join()
+        .map_err(|_| "server thread panicked".to_owned())?
+        .map_err(|e| e.to_string())?;
+
+    let mut sorted: Vec<f64> = latencies.into_iter().flatten().collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Ok(BenchPoint {
+        jobs: level,
+        submitted: jobs,
+        latency_p50_s: percentile(&sorted, 0.50),
+        latency_p95_s: percentile(&sorted, 0.95),
+        jobs_per_s: jobs as f64 / total_s.max(1e-9),
+    })
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn render_bench_json(jobs: usize, nodes: usize, duration_s: f64, points: &[BenchPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\"schema\":\"alert-bench-perf/1\",\"kind\":\"alertd-daemon\",");
+    let _ = write!(
+        s,
+        "\"jobs_per_level\":{jobs},\"nodes\":{nodes},\"duration_s\":{duration_s:?},\
+         \"daemon_points\":["
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"jobs\":{},\"submitted\":{},\"latency_p50_s\":{:.6},\
+             \"latency_p95_s\":{:.6},\"jobs_per_s\":{:.6}}}",
+            p.jobs, p.submitted, p.latency_p50_s, p.latency_p95_s, p.jobs_per_s
+        );
+    }
+    s.push_str("]}\n");
+    s
+}

@@ -1,0 +1,531 @@
+//! The durable job journal: every admission decision and terminal
+//! outcome, fsync'd before it is acknowledged.
+//!
+//! The journal is the daemon's only source of truth across crashes. It
+//! is append-only flat JSONL (`alertd-jobs/1`), written and parsed with
+//! the same hand-rolled codec as the repro manifest, with a `"rec"`
+//! discriminator per line:
+//!
+//! ```json
+//! {"rec":"submit","fp":"00ab…","force":0,"protocol":"gpsr","nodes":60,…}
+//! {"rec":"lease","fp":"00ab…","worker":0,"attempt":1}
+//! {"rec":"done","fp":"00ab…","version":1}
+//! {"rec":"failed","fp":"00ab…","error":"run aborted: …"}
+//! {"rec":"cancelled","fp":"00ab…"}
+//! {"rec":"quarantined","fp":"00ab…","error":"killed the dispatcher twice"}
+//! {"rec":"rollback","fp":"00ab…","version":1}
+//! ```
+//!
+//! Recovery is a fold over the lines in order ([`JobJournal::replay`]):
+//! the last record wins, a `submit` with no later terminal record is
+//! pending work, and a `lease` with no later terminal record marks an
+//! orphan the dead process never finished (reported, then simply
+//! re-run). The torn trailing line a `kill -9` can leave is skipped and
+//! healed with a newline on re-open, exactly like the repro manifest —
+//! at worst one acknowledgment is lost, and the client's retry dedupes
+//! by fingerprint.
+
+use crate::spec::JobSpec;
+use alert_bench::{parse_flat_object, push_str_escaped, Val};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// File name of the job journal inside the daemon directory.
+pub const JOURNAL_FILE: &str = "alertd-jobs.jsonl";
+
+/// One journal line, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobRecord {
+    /// A job was admitted (fsync'd before the ack). `force` re-runs an
+    /// already-completed fingerprint into a new result version.
+    Submit {
+        /// Job fingerprint.
+        fp: u64,
+        /// Whether this submission forces a re-run.
+        force: bool,
+        /// The submitted spec.
+        spec: JobSpec,
+    },
+    /// A worker claimed the job (attempt `attempt`).
+    Lease {
+        /// Job fingerprint.
+        fp: u64,
+        /// Claiming worker id.
+        worker: usize,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// The job's artifacts were promoted as `results/<fp>/v<version>`.
+    Done {
+        /// Job fingerprint.
+        fp: u64,
+        /// Promoted result version.
+        version: u32,
+    },
+    /// Every attempt failed; the error is terminal.
+    Failed {
+        /// Job fingerprint.
+        fp: u64,
+        /// Last failure message.
+        error: String,
+    },
+    /// The client cancelled the job before it ran.
+    Cancelled {
+        /// Job fingerprint.
+        fp: u64,
+    },
+    /// The job killed the dispatcher twice and is barred from running.
+    Quarantined {
+        /// Job fingerprint.
+        fp: u64,
+        /// Why it was quarantined.
+        error: String,
+    },
+    /// `CURRENT` was switched back to an older result version.
+    Rollback {
+        /// Job fingerprint.
+        fp: u64,
+        /// Version `CURRENT` now points at.
+        version: u32,
+    },
+}
+
+impl JobRecord {
+    /// The fingerprint the record is about.
+    pub fn fp(&self) -> u64 {
+        match self {
+            JobRecord::Submit { fp, .. }
+            | JobRecord::Lease { fp, .. }
+            | JobRecord::Done { fp, .. }
+            | JobRecord::Failed { fp, .. }
+            | JobRecord::Cancelled { fp }
+            | JobRecord::Quarantined { fp, .. }
+            | JobRecord::Rollback { fp, .. } => *fp,
+        }
+    }
+
+    /// Encodes the record as one JSONL line (no trailing newline),
+    /// stable key order.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::from("{\"rec\":");
+        let (rec, fp) = match self {
+            JobRecord::Submit { fp, .. } => ("submit", fp),
+            JobRecord::Lease { fp, .. } => ("lease", fp),
+            JobRecord::Done { fp, .. } => ("done", fp),
+            JobRecord::Failed { fp, .. } => ("failed", fp),
+            JobRecord::Cancelled { fp } => ("cancelled", fp),
+            JobRecord::Quarantined { fp, .. } => ("quarantined", fp),
+            JobRecord::Rollback { fp, .. } => ("rollback", fp),
+        };
+        let _ = write!(s, "\"{rec}\",\"fp\":\"{fp:016x}\"");
+        match self {
+            JobRecord::Submit { force, spec, .. } => {
+                let _ = write!(s, ",\"force\":{},", u8::from(*force));
+                spec.push_fields(&mut s);
+            }
+            JobRecord::Lease {
+                worker, attempt, ..
+            } => {
+                let _ = write!(s, ",\"worker\":{worker},\"attempt\":{attempt}");
+            }
+            JobRecord::Done { version, .. } | JobRecord::Rollback { version, .. } => {
+                let _ = write!(s, ",\"version\":{version}");
+            }
+            JobRecord::Failed { error, .. } | JobRecord::Quarantined { error, .. } => {
+                s.push_str(",\"error\":");
+                push_str_escaped(&mut s, error);
+            }
+            JobRecord::Cancelled { .. } => {}
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes one journal line; `None` on malformation (torn tail) or
+    /// an unknown record kind (written by a newer build — skipped, not
+    /// fatal).
+    pub fn parse_line(line: &str) -> Option<JobRecord> {
+        let fields = parse_flat_object(line)?;
+        let mut rec = None;
+        let mut fp = None;
+        let mut force = false;
+        let mut worker = None;
+        let mut attempt = None;
+        let mut version = None;
+        let mut error = None;
+        for (key, val) in &fields {
+            match (key.as_str(), val) {
+                ("rec", Val::Str(s)) => rec = Some(s.clone()),
+                ("fp", Val::Str(s)) => fp = crate::spec::parse_fp_hex(s),
+                ("force", Val::Num(n)) => force = n.parse::<u8>().ok()? != 0,
+                ("worker", Val::Num(n)) => worker = n.parse::<usize>().ok(),
+                ("attempt", Val::Num(n)) => attempt = n.parse::<u32>().ok(),
+                ("version", Val::Num(n)) => version = n.parse::<u32>().ok(),
+                ("error", Val::Str(s)) => error = Some(s.clone()),
+                _ => {}
+            }
+        }
+        let fp = fp?;
+        Some(match rec?.as_str() {
+            "submit" => JobRecord::Submit {
+                fp,
+                force,
+                spec: JobSpec::from_fields(&fields)?,
+            },
+            "lease" => JobRecord::Lease {
+                fp,
+                worker: worker?,
+                attempt: attempt?,
+            },
+            "done" => JobRecord::Done {
+                fp,
+                version: version?,
+            },
+            "failed" => JobRecord::Failed { fp, error: error? },
+            "cancelled" => JobRecord::Cancelled { fp },
+            "quarantined" => JobRecord::Quarantined { fp, error: error? },
+            "rollback" => JobRecord::Rollback {
+                fp,
+                version: version?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// A job's state as reconstructed by replay (and maintained live by the
+/// server, which journals the same transitions it applies in memory).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Submitted (or orphaned mid-run) and awaiting execution.
+    Pending,
+    /// Claimed by a worker in this process. Never survives a replay:
+    /// a crashed run's leases fold back to [`JobState::Pending`].
+    Running,
+    /// Artifacts promoted; `CURRENT` points at `version`.
+    Done {
+        /// Result version `CURRENT` points at.
+        version: u32,
+    },
+    /// Attempts exhausted.
+    Failed {
+        /// Last failure message.
+        error: String,
+    },
+    /// Cancelled before it ran.
+    Cancelled,
+    /// Barred from running after repeatedly killing the dispatcher.
+    Quarantined {
+        /// Why it was quarantined.
+        error: String,
+    },
+}
+
+impl JobState {
+    /// Stable wire token for status responses.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Pending => "pending",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Quarantined { .. } => "quarantined",
+        }
+    }
+
+    /// True for states that need no further work.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Pending | JobState::Running)
+    }
+}
+
+/// One job after replay: its last submitted spec and folded state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedJob {
+    /// The job's (latest) spec.
+    pub spec: JobSpec,
+    /// Folded state; leases with no terminal record leave the job
+    /// [`JobState::Pending`].
+    pub state: JobState,
+    /// Whether the latest submission was a force re-run.
+    pub force: bool,
+    /// True when the job has a lease record newer than any terminal
+    /// record — the dead process was executing it when it died.
+    pub orphaned: bool,
+}
+
+/// The append-only job journal. Every append is fsync'd before it
+/// returns — the caller may acknowledge a client only after.
+#[derive(Debug)]
+pub struct JobJournal {
+    path: PathBuf,
+    records: usize,
+}
+
+impl JobJournal {
+    /// Opens (or implicitly creates) the journal in `dir`, healing an
+    /// unterminated tail so the next append starts on a fresh line.
+    /// Returns the journal and the replayed job table.
+    pub fn open(dir: &Path) -> io::Result<(JobJournal, BTreeMap<u64, ReplayedJob>)> {
+        let path = dir.join(JOURNAL_FILE);
+        let mut jobs: BTreeMap<u64, ReplayedJob> = BTreeMap::new();
+        let mut records = 0usize;
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                if !text.is_empty() && !text.ends_with('\n') {
+                    let mut f = fs::OpenOptions::new().append(true).open(&path)?;
+                    f.write_all(b"\n")?;
+                    f.sync_all()?;
+                }
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    let Some(rec) = JobRecord::parse_line(line) else {
+                        continue; // torn tail or a newer build's record
+                    };
+                    records += 1;
+                    Self::fold(&mut jobs, rec);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok((JobJournal { path, records }, jobs))
+    }
+
+    /// Applies one record to the replay table. Shared by replay and (in
+    /// spirit) the live server, so recovery cannot disagree with the
+    /// process it recovers.
+    fn fold(jobs: &mut BTreeMap<u64, ReplayedJob>, rec: JobRecord) {
+        match rec {
+            JobRecord::Submit { fp, force, spec } => {
+                jobs.insert(
+                    fp,
+                    ReplayedJob {
+                        spec,
+                        state: JobState::Pending,
+                        force,
+                        orphaned: false,
+                    },
+                );
+            }
+            JobRecord::Lease { fp, .. } => {
+                if let Some(job) = jobs.get_mut(&fp) {
+                    if !job.state.is_terminal() {
+                        job.orphaned = true;
+                    }
+                }
+            }
+            JobRecord::Done { fp, version } => {
+                if let Some(job) = jobs.get_mut(&fp) {
+                    job.state = JobState::Done { version };
+                    job.orphaned = false;
+                }
+            }
+            JobRecord::Failed { fp, error } => {
+                if let Some(job) = jobs.get_mut(&fp) {
+                    job.state = JobState::Failed { error };
+                    job.orphaned = false;
+                }
+            }
+            JobRecord::Cancelled { fp } => {
+                if let Some(job) = jobs.get_mut(&fp) {
+                    job.state = JobState::Cancelled;
+                    job.orphaned = false;
+                }
+            }
+            JobRecord::Quarantined { fp, error } => {
+                if let Some(job) = jobs.get_mut(&fp) {
+                    job.state = JobState::Quarantined { error };
+                    job.orphaned = false;
+                }
+            }
+            JobRecord::Rollback { fp, version } => {
+                if let Some(job) = jobs.get_mut(&fp) {
+                    if matches!(job.state, JobState::Done { .. }) {
+                        job.state = JobState::Done { version };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends one record and fsyncs before returning. Only after this
+    /// returns may the transition it records be acknowledged or acted
+    /// on — journal-before-ack is the crash-only invariant.
+    pub fn append(&mut self, rec: &JobRecord) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut line = rec.to_jsonl();
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        f.sync_all()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended plus records replayed at open.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("alertd_journal_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn submit(spec: &JobSpec) -> JobRecord {
+        JobRecord::Submit {
+            fp: spec.fingerprint(),
+            force: false,
+            spec: spec.clone(),
+        }
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        let spec = JobSpec::default();
+        let fp = spec.fingerprint();
+        let records = [
+            submit(&spec),
+            JobRecord::Lease {
+                fp,
+                worker: 1,
+                attempt: 2,
+            },
+            JobRecord::Done { fp, version: 3 },
+            JobRecord::Failed {
+                fp,
+                error: "run aborted: \"weird\"\nmessage".to_owned(),
+            },
+            JobRecord::Cancelled { fp },
+            JobRecord::Quarantined {
+                fp,
+                error: "killed the dispatcher twice".to_owned(),
+            },
+            JobRecord::Rollback { fp, version: 1 },
+        ];
+        for rec in records {
+            assert_eq!(JobRecord::parse_line(&rec.to_jsonl()), Some(rec.clone()));
+        }
+        assert_eq!(JobRecord::parse_line("{\"rec\":\"submit\"}"), None);
+        assert_eq!(JobRecord::parse_line("not json"), None);
+    }
+
+    #[test]
+    fn replay_folds_lifecycles() {
+        let dir = scratch_dir("fold");
+        let a = JobSpec::default();
+        let b = JobSpec {
+            seed: 7,
+            ..JobSpec::default()
+        };
+        let c = JobSpec {
+            seed: 8,
+            ..JobSpec::default()
+        };
+        let (mut j, jobs) = JobJournal::open(&dir).unwrap();
+        assert!(jobs.is_empty());
+        // a: submitted, leased, done. b: submitted, leased, never
+        // finished (orphan). c: submitted, untouched (pending).
+        j.append(&submit(&a)).unwrap();
+        j.append(&JobRecord::Lease {
+            fp: a.fingerprint(),
+            worker: 0,
+            attempt: 1,
+        })
+        .unwrap();
+        j.append(&JobRecord::Done {
+            fp: a.fingerprint(),
+            version: 1,
+        })
+        .unwrap();
+        j.append(&submit(&b)).unwrap();
+        j.append(&JobRecord::Lease {
+            fp: b.fingerprint(),
+            worker: 1,
+            attempt: 1,
+        })
+        .unwrap();
+        j.append(&submit(&c)).unwrap();
+
+        let (j2, jobs) = JobJournal::open(&dir).unwrap();
+        assert_eq!(j2.records(), 6);
+        assert_eq!(
+            jobs[&a.fingerprint()].state,
+            JobState::Done { version: 1 }
+        );
+        assert!(!jobs[&a.fingerprint()].orphaned);
+        assert_eq!(jobs[&b.fingerprint()].state, JobState::Pending);
+        assert!(jobs[&b.fingerprint()].orphaned, "lease with no terminal");
+        assert_eq!(jobs[&c.fingerprint()].state, JobState::Pending);
+        assert!(!jobs[&c.fingerprint()].orphaned);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_healed() {
+        let dir = scratch_dir("torn");
+        let spec = JobSpec::default();
+        let (mut j, _) = JobJournal::open(&dir).unwrap();
+        j.append(&submit(&spec)).unwrap();
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap();
+        f.write_all(b"{\"rec\":\"done\",\"fp\":\"00").unwrap();
+        drop(f);
+
+        let (mut j2, jobs) = JobJournal::open(&dir).unwrap();
+        assert_eq!(jobs[&spec.fingerprint()].state, JobState::Pending);
+        // Healed: the next append lands on its own line.
+        j2.append(&JobRecord::Done {
+            fp: spec.fingerprint(),
+            version: 1,
+        })
+        .unwrap();
+        let (_, jobs) = JobJournal::open(&dir).unwrap();
+        assert_eq!(
+            jobs[&spec.fingerprint()].state,
+            JobState::Done { version: 1 }
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resubmit_and_rollback_transition_correctly() {
+        let dir = scratch_dir("resubmit");
+        let spec = JobSpec::default();
+        let fp = spec.fingerprint();
+        let (mut j, _) = JobJournal::open(&dir).unwrap();
+        j.append(&submit(&spec)).unwrap();
+        j.append(&JobRecord::Done { fp, version: 1 }).unwrap();
+        // Force re-run: pending again, then done as v2, then rolled back.
+        j.append(&JobRecord::Submit {
+            fp,
+            force: true,
+            spec: spec.clone(),
+        })
+        .unwrap();
+        let (_, jobs) = JobJournal::open(&dir).unwrap();
+        assert_eq!(jobs[&fp].state, JobState::Pending);
+        assert!(jobs[&fp].force);
+
+        j.append(&JobRecord::Done { fp, version: 2 }).unwrap();
+        j.append(&JobRecord::Rollback { fp, version: 1 }).unwrap();
+        let (_, jobs) = JobJournal::open(&dir).unwrap();
+        assert_eq!(jobs[&fp].state, JobState::Done { version: 1 });
+        let _ = fs::remove_dir_all(dir);
+    }
+}

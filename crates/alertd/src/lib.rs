@@ -1,0 +1,45 @@
+//! # alertd
+//!
+//! The sim-as-a-service control plane: a long-lived, **crash-only**
+//! daemon that accepts simulation jobs over a newline-delimited JSON
+//! protocol (TCP or Unix socket), executes them through the
+//! fault-tolerant pool machinery of `alert-bench`, and publishes result
+//! artifacts by atomic rename into a versioned `results/` directory.
+//!
+//! Crash-only means the recovery path *is* the startup path (see
+//! DESIGN.md § 14 and `docs/OPERATIONS.md`):
+//!
+//! * every submission is appended to a durable fsync'd job journal
+//!   **before** it is acknowledged ([`journal`]);
+//! * artifacts are staged per fingerprint and promoted by `rename`, so
+//!   readers never observe a half-written result ([`store`]);
+//! * a `kill -9` at any instant loses at most in-flight leases — on
+//!   restart the daemon replays the journal, sweeps orphaned staging
+//!   entries, adopts results that were promoted but not yet journaled,
+//!   and re-runs the rest (exactly-once-*effective* by fingerprint
+//!   dedupe);
+//! * admission control bounds the queue with typed `busy` / `shutdown`
+//!   rejections instead of unbounded memory growth ([`server`]);
+//! * a supervisor restarts a panicked dispatcher with capped backoff
+//!   and quarantines any job that kills it twice ([`supervisor`]).
+//!
+//! The wire protocol ([`protocol`]) reuses the flat-object JSONL codec
+//! of `alert_bench::orchestrate`, so the daemon adds no JSON library
+//! dependency and every message is diffable by eye.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+pub mod store;
+pub mod supervisor;
+
+pub use journal::{JobJournal, JobRecord, JobState, ReplayedJob};
+pub use protocol::{ErrorKind, QueryRequest, Request, Response};
+pub use server::{serve, BindAddr, ServeError, ServerConfig, ServerStats};
+pub use spec::{parse_fp_hex, run_job, Artifacts, JobSpec};
+pub use store::ResultStore;
+pub use supervisor::{backoff_delay, supervise, SupervisorOptions};

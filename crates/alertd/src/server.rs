@@ -1,0 +1,1151 @@
+//! The daemon itself: recovery-as-startup, admission control, the
+//! supervised dispatcher, and thread-per-connection protocol serving.
+//!
+//! [`serve`] owns the whole lifecycle:
+//!
+//! 1. **Recover.** Acquire the directory lock (a second live daemon
+//!    exits with a `busy` diagnostic), replay the job journal, sweep
+//!    dead staging entries, adopt results that were promoted but never
+//!    journaled, and re-queue everything still pending — including
+//!    leases orphaned by a `kill -9`.
+//! 2. **Listen.** Bind TCP (default, ephemeral port) or a Unix socket,
+//!    and advertise the endpoint in `<dir>/alertd.endpoint` so
+//!    `alertctl` needs only `--dir`.
+//! 3. **Execute.** A supervised dispatcher drains admitted jobs in
+//!    batches through [`alert_bench::run_pool`] — leases, retries and
+//!    panic isolation included — and commits each outcome by atomic
+//!    store promotion plus a journal record, in that order.
+//! 4. **Drain.** `alertctl drain` stops admission, waits for every job
+//!    to reach a terminal state, flushes the health timeseries, removes
+//!    the endpoint, and [`serve`] returns cleanly.
+//!
+//! There is deliberately no other shutdown path: anything short of a
+//! drain is a crash, and crashes are handled by step 1.
+
+use crate::journal::{JobJournal, JobRecord, JobState, ReplayedJob};
+use crate::protocol::{ErrorKind, QueryRequest, Request, Response};
+use crate::spec::{run_job, JobSpec};
+use crate::store::ResultStore;
+use crate::supervisor::{supervise, SupervisorOptions};
+use alert_bench::{run_pool, write_atomic, DirLock, LockError, PoolOptions, WorkUnit};
+use alert_bench::UnitOutcome;
+use alert_sim::{
+    filter_events, follow_packet, parse_trace, render_events_csv, render_events_jsonl,
+    render_windows_csv, render_windows_json, window_aggregates, EventFilter, MetricsTimeseries,
+    RegistrySnapshot, RunBudget,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindAddr {
+    /// `host:port`; port `0` picks an ephemeral port.
+    Tcp(String),
+    /// Filesystem socket path (Unix only).
+    Unix(PathBuf),
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The daemon directory: journal, results, lock, endpoint file.
+    pub dir: PathBuf,
+    /// Listen address.
+    pub bind: BindAddr,
+    /// Worker threads in the execution pool.
+    pub jobs: usize,
+    /// Admission bound: maximum non-terminal jobs before `busy`.
+    pub queue_cap: usize,
+    /// Per-connection read timeout; an idle client is disconnected.
+    pub idle_timeout: Duration,
+    /// Execution attempts per job before it commits as failed.
+    pub max_attempts: u32,
+    /// Budget cap applied to every job (tightened per-field against the
+    /// job's own budget) so one submission cannot wedge a worker.
+    pub cap: RunBudget,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            dir: PathBuf::from("alertd-state"),
+            bind: BindAddr::Tcp("127.0.0.1:0".to_owned()),
+            jobs: 2,
+            queue_cap: 64,
+            idle_timeout: Duration::from_secs(30),
+            max_attempts: 2,
+            cap: RunBudget::default(),
+        }
+    }
+}
+
+/// Why [`serve`] refused to start or died.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Another live daemon holds the directory.
+    Busy {
+        /// Its PID, when the lock file was readable.
+        pid: Option<u32>,
+    },
+    /// Filesystem or socket error.
+    Io(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy { pid: Some(pid) } => {
+                write!(f, "directory is owned by a live alertd (pid {pid})")
+            }
+            ServeError::Busy { pid: None } => write!(f, "directory is owned by a live alertd"),
+            ServeError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+/// What a completed (drained) daemon run amounted to.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Jobs that reached `done` during this process lifetime.
+    pub completed: usize,
+    /// Jobs that reached `failed`.
+    pub failed: usize,
+    /// Dispatcher restarts forced by panics.
+    pub worker_restarts: u32,
+    /// Protocol requests served.
+    pub requests: u64,
+}
+
+/// Accumulated execution-pool health counters across batches.
+#[derive(Debug, Clone, Copy, Default)]
+struct PoolCounters {
+    leases: u64,
+    lease_expired: u64,
+    retries: u64,
+    duplicates: u64,
+    completed: u64,
+    failed: u64,
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+}
+
+struct Inner {
+    jobs: BTreeMap<u64, JobEntry>,
+    pending: VecDeque<u64>,
+    in_flight: Vec<u64>,
+    crash_counts: BTreeMap<u64, u32>,
+    journal: JobJournal,
+    draining: bool,
+    shutdown: bool,
+    worker_restarts: u32,
+    requests: u64,
+    pool: PoolCounters,
+    series: MetricsTimeseries,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    store: ResultStore,
+    config: ServerConfig,
+    started: Instant,
+}
+
+impl Shared {
+    fn outstanding(inner: &Inner) -> usize {
+        inner
+            .jobs
+            .values()
+            .filter(|j| !j.state.is_terminal())
+            .count()
+    }
+}
+
+/// Runs the daemon until it is drained. Blocking; returns the run's
+/// stats on a clean drain, [`ServeError::Busy`] when another live
+/// daemon owns the directory.
+pub fn serve(config: ServerConfig) -> Result<ServerStats, ServeError> {
+    std::fs::create_dir_all(&config.dir)?;
+    let _lock = match DirLock::acquire(&config.dir) {
+        Ok(lock) => lock,
+        Err(LockError::Busy { pid }) => return Err(ServeError::Busy { pid }),
+        Err(LockError::Io(e)) => return Err(ServeError::Io(e)),
+    };
+
+    // --- Recovery: replay, sweep, adopt, re-queue. -------------------
+    // A crashed daemon leaves its endpoint advertisement behind; it is
+    // stale by definition once we hold the lock.
+    let _ = std::fs::remove_file(config.dir.join("alertd.endpoint"));
+    let (journal, replayed) = JobJournal::open(&config.dir)?;
+    let store = ResultStore::open(&config.dir)?;
+    let swept = store.sweep_stage()?;
+    if swept > 0 {
+        println!("[alertd] swept {swept} dead staging entr{}", plural_y(swept));
+    }
+    let mut inner = Inner {
+        jobs: BTreeMap::new(),
+        pending: VecDeque::new(),
+        in_flight: Vec::new(),
+        crash_counts: BTreeMap::new(),
+        journal,
+        draining: false,
+        shutdown: false,
+        worker_restarts: 0,
+        requests: 0,
+        pool: PoolCounters::default(),
+        series: MetricsTimeseries::new(1.0),
+    };
+    let mut orphans = 0usize;
+    let mut adopted = 0usize;
+    for (fp, job) in replayed {
+        let state = recover_job(fp, &job, &store, &mut inner, &mut orphans, &mut adopted)?;
+        inner.jobs.insert(
+            fp,
+            JobEntry {
+                spec: job.spec,
+                state,
+            },
+        );
+    }
+    if orphans > 0 {
+        println!("[alertd] re-queued {orphans} lease(s) orphaned by a dead process");
+    }
+    if adopted > 0 {
+        println!("[alertd] adopted {adopted} promoted-but-unjournaled result(s)");
+    }
+
+    // --- Listen and advertise the endpoint. --------------------------
+    let listener = Listener::bind(&config.bind)?;
+    let endpoint = config.dir.join("alertd.endpoint");
+    write_atomic(&endpoint, &format!("{}\n", listener.advertisement()))?;
+    println!("[alertd] listening: {}", listener.advertisement());
+
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(inner),
+        cond: Condvar::new(),
+        store,
+        config: config.clone(),
+        started: Instant::now(),
+    });
+
+    // --- Supervised dispatcher. --------------------------------------
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || {
+            let opts = SupervisorOptions::default();
+            let restarts = {
+                let body_shared = Arc::clone(&shared);
+                let panic_shared = Arc::clone(&shared);
+                supervise(
+                    &opts,
+                    move || dispatch_once(&body_shared),
+                    move |msg| on_dispatcher_panic(&panic_shared, msg),
+                )
+            };
+            shared.inner.lock().unwrap().worker_restarts = restarts;
+        })
+    };
+
+    // --- Accept loop. ------------------------------------------------
+    listener.set_nonblocking(true)?;
+    loop {
+        if shared.inner.lock().unwrap().shutdown {
+            break;
+        }
+        match listener.accept() {
+            Ok(stream) => {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                println!("[alertd] accept error: {e}");
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    dispatcher.join().ok();
+
+    // --- Flush and retire. -------------------------------------------
+    let inner = shared.inner.lock().unwrap();
+    if !inner.series.samples.is_empty() {
+        let _ = write_atomic(
+            &config.dir.join("daemon-timeseries.jsonl"),
+            &inner.series.to_jsonl(),
+        );
+    }
+    let _ = std::fs::remove_file(&endpoint);
+    let stats = ServerStats {
+        completed: inner.pool.completed as usize,
+        failed: inner.pool.failed as usize,
+        worker_restarts: inner.worker_restarts,
+        requests: inner.requests,
+    };
+    println!(
+        "[alertd] drained: {} completed, {} failed, {} request(s)",
+        stats.completed, stats.failed, stats.requests
+    );
+    Ok(stats)
+}
+
+/// Folds one replayed job into its startup state, counting orphans and
+/// adoptions.
+fn recover_job(
+    fp: u64,
+    job: &ReplayedJob,
+    store: &ResultStore,
+    inner: &mut Inner,
+    orphans: &mut usize,
+    adopted: &mut usize,
+) -> io::Result<JobState> {
+    match &job.state {
+        JobState::Pending => {
+            if job.orphaned {
+                *orphans += 1;
+            }
+            // Promotion happened but the `done` record (or CURRENT)
+            // never landed: adopt instead of re-running. A force re-run
+            // must actually run, so it is never adopted.
+            if !job.force {
+                if let Some(version) = store.adopt(fp)? {
+                    inner.journal.append(&JobRecord::Done { fp, version })?;
+                    *adopted += 1;
+                    return Ok(JobState::Done { version });
+                }
+            }
+            inner.pending.push_back(fp);
+            Ok(JobState::Pending)
+        }
+        JobState::Done { version } => {
+            // CURRENT may have been lost between rename and cutover.
+            if store.current_version(fp).is_none() {
+                store.adopt(fp)?;
+            }
+            Ok(JobState::Done { version: *version })
+        }
+        other => Ok(other.clone()),
+    }
+}
+
+/// One dispatcher iteration: wait for admitted work (or drain), run the
+/// whole batch through the pool, commit outcomes. Returns `true` when
+/// the daemon is drained and the dispatcher should exit.
+fn dispatch_once(shared: &Shared) -> bool {
+    let batch: Vec<WorkUnit<JobSpec>> = {
+        let mut inner = shared.inner.lock().unwrap();
+        loop {
+            if !inner.pending.is_empty() {
+                break;
+            }
+            if inner.draining {
+                return true; // nothing pending, nothing will be: drained
+            }
+            inner = shared.cond.wait(inner).unwrap();
+        }
+        let fps: Vec<u64> = inner.pending.drain(..).collect();
+        inner.in_flight = fps.clone();
+        fps.iter()
+            .map(|&fp| WorkUnit {
+                label: format!("{fp:016x}"),
+                fingerprint: fp,
+                input: inner.jobs[&fp].spec.clone(),
+            })
+            .collect()
+    };
+
+    let opts = PoolOptions {
+        jobs: shared.config.jobs,
+        max_attempts: shared.config.max_attempts,
+        ..PoolOptions::default()
+    };
+    let cap = shared.config.cap;
+    let stats = run_pool(
+        &batch,
+        &opts,
+        |_worker, unit| run_job(&unit.input, &cap),
+        |unit, worker, attempt, _t| {
+            // Journal the lease before the attempt runs: a crash now
+            // replays as an orphaned lease, which is what it is.
+            let mut inner = shared.inner.lock().unwrap();
+            let _ = inner.journal.append(&JobRecord::Lease {
+                fp: unit.fingerprint,
+                worker,
+                attempt,
+            });
+            if let Some(job) = inner.jobs.get_mut(&unit.fingerprint) {
+                job.state = JobState::Running;
+            }
+        },
+        |unit, outcome| commit_outcome(shared, unit.fingerprint, outcome),
+    );
+
+    let mut inner = shared.inner.lock().unwrap();
+    inner.pool.leases += stats.leases;
+    inner.pool.lease_expired += stats.lease_expired;
+    inner.pool.retries += stats.retries;
+    inner.pool.duplicates += stats.duplicates;
+    inner.in_flight.clear();
+    shared.cond.notify_all();
+    false
+}
+
+/// Commits one pool outcome: store promotion first (idempotent by
+/// content), then the journal record, then the in-memory state. All
+/// errors fold into a `failed` state instead of panicking — the
+/// supervisor is for bugs, not for `io::Error`.
+fn commit_outcome(shared: &Shared, fp: u64, outcome: UnitOutcome<crate::spec::Artifacts>) {
+    let mut inner = shared.inner.lock().unwrap();
+    let state = match outcome {
+        UnitOutcome::Completed(artifacts) => match shared.store.promote(fp, &artifacts) {
+            Ok(version) => {
+                inner.pool.completed += 1;
+                let _ = inner.journal.append(&JobRecord::Done { fp, version });
+                JobState::Done { version }
+            }
+            Err(e) => {
+                inner.pool.failed += 1;
+                let error = format!("result promotion failed: {e}");
+                let _ = inner.journal.append(&JobRecord::Failed {
+                    fp,
+                    error: error.clone(),
+                });
+                JobState::Failed { error }
+            }
+        },
+        UnitOutcome::Failed { error, attempts } => {
+            inner.pool.failed += 1;
+            let error = format!("{error} (after {attempts} attempt(s))");
+            let _ = inner.journal.append(&JobRecord::Failed {
+                fp,
+                error: error.clone(),
+            });
+            JobState::Failed { error }
+        }
+    };
+    if let Some(job) = inner.jobs.get_mut(&fp) {
+        job.state = state;
+    }
+    inner.crash_counts.remove(&fp);
+    inner.in_flight.retain(|&f| f != fp);
+    shared.cond.notify_all();
+}
+
+/// Supervisor callback: blame the panic on whatever was in flight.
+/// First offence re-queues the job; a second kills-the-dispatcher
+/// offence quarantines it.
+fn on_dispatcher_panic(shared: &Shared, msg: &str) {
+    let mut inner = shared.inner.lock().unwrap();
+    inner.worker_restarts += 1;
+    let blamed: Vec<u64> = std::mem::take(&mut inner.in_flight);
+    for fp in blamed {
+        let strikes = inner.crash_counts.entry(fp).or_insert(0);
+        *strikes += 1;
+        let state = if *strikes >= 2 {
+            let error = format!("quarantined: killed the dispatcher twice (last: {msg})");
+            let _ = inner.journal.append(&JobRecord::Quarantined {
+                fp,
+                error: error.clone(),
+            });
+            JobState::Quarantined { error }
+        } else {
+            inner.pending.push_back(fp);
+            JobState::Pending
+        };
+        if let Some(job) = inner.jobs.get_mut(&fp) {
+            job.state = state;
+        }
+    }
+    println!("[alertd] dispatcher panicked ({msg}); restarting");
+    shared.cond.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+fn handle_connection(stream: Stream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,          // EOF
+            Ok(_) => {}
+            Err(_) => return,         // idle timeout or broken pipe
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse_line(&line) {
+            Some(req) => handle_request(shared, req),
+            None => Response::error(ErrorKind::BadRequest, "unparseable request line"),
+        };
+        let mut out = response.to_jsonl();
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, req: Request) -> Response {
+    shared.inner.lock().unwrap().requests += 1;
+    match req {
+        Request::Submit { spec, force } => handle_submit(shared, spec, force),
+        Request::Status { job } => handle_status(shared, job),
+        Request::Result { job, artifact } => handle_result(shared, job, &artifact),
+        Request::Cancel { job } => handle_cancel(shared, job),
+        Request::Query { job, query } => handle_query(shared, job, &query),
+        Request::Health => handle_health(shared),
+        Request::Drain => handle_drain(shared),
+        Request::Rollback { job } => handle_rollback(shared, job),
+    }
+}
+
+fn handle_submit(shared: &Shared, spec: JobSpec, force: bool) -> Response {
+    if let Err(e) = spec.validate() {
+        return Response::error(ErrorKind::BadRequest, e);
+    }
+    let fp = spec.fingerprint();
+    let mut inner = shared.inner.lock().unwrap();
+    if inner.draining {
+        return Response::error(ErrorKind::Shutdown, "daemon is draining");
+    }
+    // Idempotence by fingerprint: an equivalent submission returns the
+    // job's existing trajectory instead of a duplicate run.
+    if let Some(job) = inner.jobs.get(&fp) {
+        match &job.state {
+            JobState::Done { version } if !force => {
+                return Response::ok()
+                    .with_str("job", format!("{fp:016x}"))
+                    .with_str("state", "done")
+                    .with_num("version", version)
+                    .with_num("cached", 1);
+            }
+            JobState::Pending | JobState::Running => {
+                return Response::ok()
+                    .with_str("job", format!("{fp:016x}"))
+                    .with_str("state", job.state.as_str())
+                    .with_num("cached", 1);
+            }
+            JobState::Quarantined { error } if !force => {
+                return Response::error(ErrorKind::Failed, error.clone());
+            }
+            _ => {} // failed / cancelled / forced: admit a re-run
+        }
+    }
+    if Shared::outstanding(&inner) >= shared.config.queue_cap {
+        return Response::error(
+            ErrorKind::Busy,
+            format!("queue full ({} outstanding)", shared.config.queue_cap),
+        );
+    }
+    // Journal before ack: once the client sees this response, the job
+    // survives any crash.
+    let rec = JobRecord::Submit {
+        fp,
+        force,
+        spec: spec.clone(),
+    };
+    if let Err(e) = inner.journal.append(&rec) {
+        return Response::error(ErrorKind::Failed, format!("journal append failed: {e}"));
+    }
+    inner.jobs.insert(
+        fp,
+        JobEntry {
+            spec,
+            state: JobState::Pending,
+        },
+    );
+    inner.pending.push_back(fp);
+    shared.cond.notify_all();
+    Response::ok()
+        .with_str("job", format!("{fp:016x}"))
+        .with_str("state", "pending")
+        .with_num("cached", 0)
+}
+
+fn handle_status(shared: &Shared, fp: u64) -> Response {
+    let inner = shared.inner.lock().unwrap();
+    let Some(job) = inner.jobs.get(&fp) else {
+        return Response::error(ErrorKind::NotFound, format!("no job {fp:016x}"));
+    };
+    let mut resp = Response::ok()
+        .with_str("job", format!("{fp:016x}"))
+        .with_str("state", job.state.as_str());
+    match &job.state {
+        JobState::Done { version } => resp = resp.with_num("version", version),
+        JobState::Failed { error } | JobState::Quarantined { error } => {
+            resp = resp.with_str("error", error.clone());
+        }
+        _ => {}
+    }
+    resp
+}
+
+fn handle_result(shared: &Shared, fp: u64, artifact: &str) -> Response {
+    {
+        let inner = shared.inner.lock().unwrap();
+        match inner.jobs.get(&fp) {
+            None => return Response::error(ErrorKind::NotFound, format!("no job {fp:016x}")),
+            Some(job) if !matches!(job.state, JobState::Done { .. }) => {
+                return Response::error(
+                    ErrorKind::NotFound,
+                    format!("job {fp:016x} is {}, not done", job.state.as_str()),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    match shared.store.read_current_artifact(fp, artifact) {
+        Some(body) => {
+            let version = shared.store.current_version(fp).unwrap_or(0);
+            Response::ok()
+                .with_num("version", version)
+                .with_str("artifact", artifact)
+                .with_str("payload", body)
+        }
+        None => Response::error(
+            ErrorKind::NotFound,
+            format!(
+                "no artifact '{artifact}' (have: {})",
+                shared.store.current_artifact_names(fp).join(", ")
+            ),
+        ),
+    }
+}
+
+fn handle_cancel(shared: &Shared, fp: u64) -> Response {
+    let mut inner = shared.inner.lock().unwrap();
+    let Some(job) = inner.jobs.get(&fp) else {
+        return Response::error(ErrorKind::NotFound, format!("no job {fp:016x}"));
+    };
+    match &job.state {
+        JobState::Pending if inner.pending.contains(&fp) => {
+            if let Err(e) = inner.journal.append(&JobRecord::Cancelled { fp }) {
+                return Response::error(ErrorKind::Failed, format!("journal append failed: {e}"));
+            }
+            inner.pending.retain(|&f| f != fp);
+            inner.jobs.get_mut(&fp).unwrap().state = JobState::Cancelled;
+            shared.cond.notify_all();
+            Response::ok()
+                .with_str("job", format!("{fp:016x}"))
+                .with_str("state", "cancelled")
+        }
+        state => Response::error(
+            ErrorKind::Failed,
+            format!("cannot cancel a {} job", state.as_str()),
+        ),
+    }
+}
+
+fn handle_query(shared: &Shared, fp: u64, query: &QueryRequest) -> Response {
+    let Some(text) = shared.store.read_current_artifact(fp, "trace.jsonl") else {
+        return Response::error(
+            ErrorKind::NotFound,
+            format!("job {fp:016x} has no stored trace (submit with trace enabled)"),
+        );
+    };
+    let events = match parse_trace(&text) {
+        Ok(ev) => ev,
+        Err(e) => return Response::error(ErrorKind::Failed, format!("stored trace: {e}")),
+    };
+    let filter = EventFilter {
+        node: query.node,
+        t_min: query.after,
+        t_max: query.before,
+        kind: query.kind.clone(),
+        drop_reason: query.reason.clone(),
+        packet: query.packet,
+    };
+    let (payload, matched) = match query.verb.as_str() {
+        "filter" => {
+            let selected = filter_events(&events, &filter);
+            let body = if query.format == "csv" {
+                render_events_csv(&selected)
+            } else {
+                render_events_jsonl(&selected)
+            };
+            (body, selected.len())
+        }
+        "follow" => {
+            let Some(packet) = query.packet else {
+                return Response::error(ErrorKind::BadRequest, "follow requires a packet id");
+            };
+            let selected = follow_packet(&events, packet);
+            let body = if query.format == "csv" {
+                render_events_csv(&selected)
+            } else {
+                render_events_jsonl(&selected)
+            };
+            (body, selected.len())
+        }
+        "windows" => {
+            let Some(every) = query.every_s else {
+                return Response::error(ErrorKind::BadRequest, "windows requires an interval");
+            };
+            if !every.is_finite() || every <= 0.0 {
+                return Response::error(ErrorKind::BadRequest, "interval must be positive");
+            }
+            let selected: Vec<_> = filter_events(&events, &filter)
+                .into_iter()
+                .cloned()
+                .collect();
+            let windows = window_aggregates(&selected, every);
+            let body = if query.format == "csv" {
+                render_windows_csv(&windows)
+            } else {
+                render_windows_json(every, &windows)
+            };
+            (body, selected.len())
+        }
+        other => {
+            return Response::error(
+                ErrorKind::BadRequest,
+                format!("unknown query verb '{other}' (filter|follow|windows)"),
+            );
+        }
+    };
+    Response::ok()
+        .with_num("events", matched)
+        .with_str("payload", payload)
+}
+
+fn handle_health(shared: &Shared) -> Response {
+    let mut inner = shared.inner.lock().unwrap();
+    let mut by_state: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for job in inner.jobs.values() {
+        *by_state.entry(job.state.as_str()).or_insert(0) += 1;
+    }
+    let lag = Shared::outstanding(&inner) as u64;
+    let uptime = shared.started.elapsed().as_secs_f64();
+
+    // Feed the same counters into the daemon's own alert-timeseries/1
+    // series, flushed as daemon-timeseries.jsonl on drain.
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    for (state, n) in &by_state {
+        counters.insert(format!("daemon.jobs_{state}"), *n);
+    }
+    counters.insert("daemon.journal_lag".into(), lag);
+    counters.insert("daemon.requests".into(), inner.requests);
+    counters.insert("daemon.worker_restarts".into(), u64::from(inner.worker_restarts));
+    counters.insert("pool.leases".into(), inner.pool.leases);
+    counters.insert("pool.lease_expired".into(), inner.pool.lease_expired);
+    counters.insert("pool.retries".into(), inner.pool.retries);
+    counters.insert("pool.duplicates".into(), inner.pool.duplicates);
+    counters.insert("pool.committed".into(), inner.pool.completed);
+    counters.insert("pool.failed".into(), inner.pool.failed);
+    if inner.series.samples.last().map_or(true, |s| uptime > s.t) {
+        let snap = RegistrySnapshot {
+            counters: counters.clone(),
+            histograms: BTreeMap::new(),
+        };
+        inner.series.record(uptime, &snap);
+    }
+
+    let mut resp = Response::ok()
+        .with_num("uptime_s", format!("{:.3}", uptime))
+        .with_num("jobs", inner.jobs.len())
+        .with_num("journal_records", inner.journal.records())
+        .with_num("journal_lag", lag)
+        .with_num("queue_cap", shared.config.queue_cap)
+        .with_num("workers", shared.config.jobs)
+        .with_num("draining", u8::from(inner.draining));
+    for state in ["pending", "running", "done", "failed", "cancelled", "quarantined"] {
+        resp = resp.with_num(
+            &format!("jobs_{state}"),
+            by_state.get(state).copied().unwrap_or(0),
+        );
+    }
+    resp.with_num("worker_restarts", inner.worker_restarts)
+        .with_num("requests", inner.requests)
+        .with_num("pool_leases", inner.pool.leases)
+        .with_num("pool_lease_expired", inner.pool.lease_expired)
+        .with_num("pool_retries", inner.pool.retries)
+        .with_num("pool_duplicates", inner.pool.duplicates)
+        .with_num("pool_committed", inner.pool.completed)
+        .with_num("pool_failed", inner.pool.failed)
+}
+
+fn handle_drain(shared: &Shared) -> Response {
+    let mut inner = shared.inner.lock().unwrap();
+    inner.draining = true;
+    shared.cond.notify_all();
+    // Admission is closed; wait for every admitted job to settle. The
+    // dispatcher sees `draining` and exits once the queue is empty.
+    while Shared::outstanding(&inner) > 0 {
+        inner = shared.cond.wait(inner).unwrap();
+    }
+    let completed = inner.pool.completed;
+    let failed = inner.pool.failed;
+    inner.shutdown = true;
+    shared.cond.notify_all();
+    Response::ok()
+        .with_num("drained", 1u8)
+        .with_num("completed", completed)
+        .with_num("failed", failed)
+}
+
+fn handle_rollback(shared: &Shared, fp: u64) -> Response {
+    let mut inner = shared.inner.lock().unwrap();
+    match inner.jobs.get(&fp).map(|j| &j.state) {
+        None => return Response::error(ErrorKind::NotFound, format!("no job {fp:016x}")),
+        Some(JobState::Done { .. }) => {}
+        Some(state) => {
+            return Response::error(
+                ErrorKind::Failed,
+                format!("cannot roll back a {} job", state.as_str()),
+            );
+        }
+    }
+    match shared.store.rollback(fp) {
+        Ok(version) => {
+            if let Err(e) = inner.journal.append(&JobRecord::Rollback { fp, version }) {
+                return Response::error(ErrorKind::Failed, format!("journal append failed: {e}"));
+            }
+            inner.jobs.get_mut(&fp).unwrap().state = JobState::Done { version };
+            Response::ok()
+                .with_str("job", format!("{fp:016x}"))
+                .with_num("version", version)
+        }
+        Err(e) => Response::error(ErrorKind::Failed, e.to_string()),
+    }
+}
+
+fn plural_y(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Listener abstraction (TCP everywhere, Unix sockets where they exist)
+// ---------------------------------------------------------------------
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener, PathBuf),
+}
+
+/// One accepted connection.
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Listener {
+    fn bind(addr: &BindAddr) -> io::Result<Listener> {
+        match addr {
+            BindAddr::Tcp(hostport) => Ok(Listener::Tcp(TcpListener::bind(hostport)?)),
+            #[cfg(unix)]
+            BindAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(
+                    std::os::unix::net::UnixListener::bind(path)?,
+                    path.clone(),
+                ))
+            }
+            #[cfg(not(unix))]
+            BindAddr::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            )),
+        }
+    }
+
+    /// The `alertd.endpoint` line clients resolve: `tcp HOST:PORT` or
+    /// `unix PATH`.
+    fn advertisement(&self) -> String {
+        match self {
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp {a}"),
+                Err(_) => "tcp unknown".to_owned(),
+            },
+            #[cfg(unix)]
+            Listener::Unix(_, path) => format!("unix {}", path.display()),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+impl Stream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(d),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+    use std::io::{BufRead as _, Write as _};
+    use std::net::TcpStream;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("alertd_server_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn quick_spec(seed: u64) -> JobSpec {
+        JobSpec {
+            nodes: 20,
+            pairs: 1,
+            duration_s: 2.0,
+            seed,
+            trace: true,
+            ..JobSpec::default()
+        }
+    }
+
+    struct Client {
+        reader: std::io::BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(dir: &std::path::Path) -> Client {
+            let text = std::fs::read_to_string(dir.join("alertd.endpoint")).unwrap();
+            let addr = text.trim().strip_prefix("tcp ").unwrap().to_owned();
+            let stream = TcpStream::connect(addr).unwrap();
+            Client {
+                reader: std::io::BufReader::new(stream.try_clone().unwrap()),
+                writer: stream,
+            }
+        }
+
+        fn roundtrip(&mut self, req: &Request) -> Response {
+            let mut line = req.to_jsonl();
+            line.push('\n');
+            self.writer.write_all(line.as_bytes()).unwrap();
+            self.writer.flush().unwrap();
+            let mut resp = String::new();
+            self.reader.read_line(&mut resp).unwrap();
+            Response::parse_line(&resp).expect("valid response line")
+        }
+    }
+
+    fn wait_done(client: &mut Client, fp: u64) -> Response {
+        for _ in 0..600 {
+            let resp = client.roundtrip(&Request::Status { job: fp });
+            match resp.str_field("state") {
+                Some("pending") | Some("running") => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                _ => return resp,
+            }
+        }
+        panic!("job {fp:016x} never settled");
+    }
+
+    /// End-to-end in one process: submit → run → result → query →
+    /// idempotent resubmit → drain. Exercises the full admission /
+    /// execution / promotion / protocol path without subprocesses
+    /// (the kill -9 drill lives in tests/daemon_smoke.rs).
+    #[test]
+    fn submit_runs_to_done_and_drain_exits() {
+        let dir = scratch("e2e");
+        let config = ServerConfig {
+            dir: dir.clone(),
+            jobs: 2,
+            ..ServerConfig::default()
+        };
+        let server = thread::spawn(move || serve(config).unwrap());
+        let endpoint = dir.join("alertd.endpoint");
+        for _ in 0..200 {
+            if endpoint.exists() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(25));
+        }
+        let mut client = Client::connect(&dir);
+        let spec = quick_spec(1);
+        let fp = spec.fingerprint();
+
+        let resp = client.roundtrip(&Request::Submit {
+            spec: spec.clone(),
+            force: false,
+        });
+        assert_eq!(resp.str_field("state"), Some("pending"));
+        assert_eq!(resp.num_field("cached"), Some("0"));
+
+        let done = wait_done(&mut client, fp);
+        assert_eq!(done.str_field("state"), Some("done"), "{done:?}");
+        assert_eq!(done.num_field("version"), Some("1"));
+
+        // Idempotent resubmit: served from the store, no second run.
+        let resp = client.roundtrip(&Request::Submit { spec, force: false });
+        assert_eq!(resp.num_field("cached"), Some("1"));
+
+        let resp = client.roundtrip(&Request::Result {
+            job: fp,
+            artifact: "metrics.json".to_owned(),
+        });
+        let payload = resp.str_field("payload").expect("payload");
+        assert!(payload.starts_with("{\"schema\":\"alertd-result/1\""));
+
+        let resp = client.roundtrip(&Request::Query {
+            job: fp,
+            query: QueryRequest {
+                verb: "filter".to_owned(),
+                kind: Some("app_send".to_owned()),
+                ..QueryRequest::default()
+            },
+        });
+        assert!(resp.num_field("events").is_some(), "{resp:?}");
+
+        let health = client.roundtrip(&Request::Health);
+        assert_eq!(health.num_field("jobs_done"), Some("1"));
+
+        let resp = client.roundtrip(&Request::Drain);
+        assert_eq!(resp.num_field("drained"), Some("1"));
+        server.join().unwrap();
+        assert!(!endpoint.exists(), "endpoint removed on drain");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Admission control: with capacity 1 the second distinct job is
+    /// refused `busy`; a bad spec is refused `bad_request`.
+    #[test]
+    fn admission_is_bounded_and_typed() {
+        // `queue_cap: 0` closes admission outright, which pins the busy
+        // path without racing a real job against it — in optimised
+        // builds even large scenarios can finish between two in-process
+        // round trips, so "fill the queue then submit" is inherently
+        // timing-dependent.
+        let dir = scratch("busy");
+        let config = ServerConfig {
+            dir: dir.clone(),
+            jobs: 1,
+            queue_cap: 0,
+            ..ServerConfig::default()
+        };
+        let server = thread::spawn(move || serve(config).unwrap());
+        let endpoint = dir.join("alertd.endpoint");
+        for _ in 0..200 {
+            if endpoint.exists() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(25));
+        }
+        let mut client = Client::connect(&dir);
+        let resp = client.roundtrip(&Request::Submit {
+            spec: quick_spec(12),
+            force: false,
+        });
+        match resp {
+            Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::Busy),
+            other => panic!("expected busy, got {other:?}"),
+        }
+
+        // Validation precedes admission: a malformed spec is refused
+        // bad_request even while the queue is closed.
+        let resp = client.roundtrip(&Request::Submit {
+            spec: JobSpec {
+                protocol: "ospf".to_owned(),
+                ..JobSpec::default()
+            },
+            force: false,
+        });
+        match resp {
+            Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+            other => panic!("expected bad_request, got {other:?}"),
+        }
+
+        let resp = client.roundtrip(&Request::Drain);
+        assert_eq!(resp.num_field("drained"), Some("1"));
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

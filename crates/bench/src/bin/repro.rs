@@ -207,6 +207,18 @@ fn real_main() -> i32 {
         if let Err(e) = std::fs::create_dir_all(sd) {
             return fail(&format!("cannot create {}: {e}", sd.display()));
         }
+        // A kill -9 mid-campaign leaves staged CSVs behind (the end-of-
+        // run cleanup never happened). Entries whose fingerprint is
+        // already journaled terminal will never be renamed into place —
+        // sweep them so staging debris doesn't accumulate across
+        // crashes. In-flight fingerprints are left alone: this run
+        // re-stages (and atomically overwrites) them anyway.
+        if let Some(j) = &journal {
+            let swept = sweep_stale_stage(sd, j);
+            if swept > 0 {
+                eprintln!("[resume] swept {swept} stale staged artifact(s) from a previous run");
+            }
+        }
     }
 
     // Each worker gets a private rayon pool whose threads carry the
@@ -416,6 +428,35 @@ fn real_main() -> i32 {
 
 /// File name of the pool health timeseries inside the `--csv` dir.
 const POOL_TIMESERIES_FILE: &str = "pool-timeseries.jsonl";
+
+/// Removes staged `NNN-wW-FFFFFFFFFFFFFFFF.csv` files whose fingerprint
+/// already has a terminal journal entry — debris a crashed campaign can
+/// never promote. Returns how many entries were removed; unreadable or
+/// foreign file names are left untouched.
+fn sweep_stale_stage(stage_dir: &std::path::Path, journal: &Journal) -> usize {
+    let Ok(entries) = std::fs::read_dir(stage_dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(hex) = name
+            .strip_suffix(".csv")
+            .and_then(|stem| stem.rsplit('-').next())
+        else {
+            continue;
+        };
+        let Ok(fp) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
+        let terminal = journal.entries().iter().any(|e| e.fingerprint == fp);
+        if terminal && std::fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
+}
 
 /// What one executed experiment hands the committer: the stdout block,
 /// the staged CSV (if any), the quarantined failures of its sweeps, and

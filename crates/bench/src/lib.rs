@@ -24,8 +24,9 @@ pub mod runner;
 pub mod table;
 
 pub use orchestrate::{
-    fingerprint, fingerprint_with, write_atomic, DirLock, EntryStatus, FailureEntry, FailureSink,
-    Journal, LeaseEntry, LockError, ManifestEntry, FAILURES_FILE, LOCK_FILE, MANIFEST_FILE,
+    fingerprint, fingerprint_with, parse_flat_object, push_str_escaped, write_atomic, DirLock,
+    EntryStatus, FailureEntry, FailureSink, Journal, LeaseEntry, LockError, ManifestEntry, Val,
+    FAILURES_FILE, LOCK_FILE, MANIFEST_FILE,
 };
 pub use perf::{
     baseline_wall_min, perf_sweep, perf_sweep_scaled, render_perf_json, tracing_overhead,

@@ -89,6 +89,31 @@ impl RunBudget {
         }
         Ok(())
     }
+
+    /// The per-field minimum of this budget and `cap`: every limit set
+    /// in either applies, and where both set one the tighter wins. This
+    /// is how a multi-tenant host (the `alertd` daemon) enforces a
+    /// ceiling over whatever budget a submitted scenario asked for —
+    /// admission control at the budget layer rather than trusting the
+    /// client.
+    pub fn tightened(&self, cap: &RunBudget) -> RunBudget {
+        fn min_opt<T: PartialOrd + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(if x < y { x } else { y }),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        RunBudget {
+            max_events: min_opt(self.max_events, cap.max_events),
+            max_sim_seconds: min_opt(self.max_sim_seconds, cap.max_sim_seconds),
+            max_wall_seconds: min_opt(self.max_wall_seconds, cap.max_wall_seconds),
+            max_events_per_instant: min_opt(
+                self.max_events_per_instant,
+                cap.max_events_per_instant,
+            ),
+        }
+    }
 }
 
 /// Why a run was aborted by its [`RunBudget`]. Returned by
@@ -294,5 +319,30 @@ mod tests {
             .reason(),
             "wall_clock"
         );
+    }
+
+    #[test]
+    fn tightened_takes_the_per_field_minimum() {
+        let spec = RunBudget {
+            max_events: Some(1_000_000),
+            max_sim_seconds: None,
+            max_wall_seconds: Some(120.0),
+            max_events_per_instant: Some(64),
+        };
+        let cap = RunBudget {
+            max_events: Some(500),
+            max_sim_seconds: Some(30.0),
+            max_wall_seconds: Some(300.0),
+            max_events_per_instant: None,
+        };
+        let t = spec.tightened(&cap);
+        assert_eq!(t.max_events, Some(500), "cap wins when tighter");
+        assert_eq!(t.max_sim_seconds, Some(30.0), "cap fills an unset field");
+        assert_eq!(t.max_wall_seconds, Some(120.0), "spec wins when tighter");
+        assert_eq!(t.max_events_per_instant, Some(64), "spec-only field kept");
+        // Tightening by an unlimited cap is the identity.
+        assert_eq!(spec.tightened(&RunBudget::default()), spec);
+        // An unlimited spec inherits the cap wholesale.
+        assert_eq!(RunBudget::default().tightened(&cap), cap);
     }
 }

@@ -92,6 +92,7 @@ E_ALL=("${E_SERDE[@]}" $(ex rand rayon serde_json alert_geom alert_crypto \
     alert_adversary alert_analysis))
 lib alert_bench crates/bench/src/lib.rs "${E_ALL[@]}"
 lib alert_simcheck crates/simcheck/src/lib.rs "${E_ALL[@]}" $(ex alert_bench)
+lib alertd crates/alertd/src/lib.rs "${E_ALL[@]}" $(ex alert_bench)
 
 # --- runnable artifacts ---------------------------------------------------
 build_bin simrun crates/bench/src/bin/simrun.rs "${E_ALL[@]}" $(ex alert_bench)
@@ -99,6 +100,9 @@ build_bin tracequery crates/bench/src/bin/tracequery.rs "${E_ALL[@]}" $(ex alert
 build_bin repro crates/bench/src/bin/repro.rs "${E_ALL[@]}" $(ex alert_bench)
 build_bin simcheck crates/simcheck/src/bin/simcheck.rs "${E_ALL[@]}" \
     $(ex alert_bench alert_simcheck)
+build_bin alertd crates/alertd/src/bin/alertd.rs "${E_ALL[@]}" $(ex alert_bench alertd)
+build_bin alertctl crates/alertd/src/bin/alertctl.rs "${E_ALL[@]}" \
+    $(ex alert_bench alertd)
 build_test trace_determinism crates/sim/tests/trace_determinism.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 if [ -f crates/sim/tests/alloc_regression.rs ]; then
@@ -122,6 +126,12 @@ build_test alert_simcheck_unit crates/simcheck/src/lib.rs "${E_ALL[@]}" \
     $(ex alert_bench)
 build_test simcheck_cli crates/simcheck/tests/cli.rs "${E_ALL[@]}" \
     $(ex alert_bench alert_simcheck)
+# The alertd unit tests cover the journal, store, protocol, supervisor,
+# and an in-process daemon round trip; daemon_smoke drives the alertd /
+# alertctl binaries built above (ALERTD_BIN / ALERTCTL_BIN).
+build_test alertd_unit crates/alertd/src/lib.rs "${E_ALL[@]}" $(ex alert_bench)
+build_test daemon_smoke crates/alertd/tests/daemon_smoke.rs "${E_ALL[@]}" \
+    $(ex alert_bench alertd)
 
 echo "offline bench build OK: $OUT/simrun"
 echo "run the resilience tests with:"
@@ -129,3 +139,5 @@ echo "  $OUT/guardrails && REPRO_BIN=$OUT/repro $OUT/resume"
 echo "  REPRO_BIN=$OUT/repro $OUT/pool_smoke"
 echo "run the simcheck suite with:"
 echo "  $OUT/alert_simcheck_unit && SIMCHECK_BIN=$OUT/simcheck SIMRUN_BIN=$OUT/simrun $OUT/simcheck_cli"
+echo "run the daemon suite with:"
+echo "  $OUT/alertd_unit && ALERTD_BIN=$OUT/alertd ALERTCTL_BIN=$OUT/alertctl $OUT/daemon_smoke"

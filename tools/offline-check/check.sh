@@ -83,6 +83,7 @@ E_ALL=("${E_SERDE[@]}" $(ex rand rayon serde_json alert_geom alert_crypto \
     alert_adversary alert_analysis))
 lib alert_bench crates/bench/src/lib.rs "${E_ALL[@]}"
 lib alert_simcheck crates/simcheck/src/lib.rs "${E_ALL[@]}" $(ex alert_bench)
+lib alertd crates/alertd/src/lib.rs "${E_ALL[@]}" $(ex alert_bench)
 lib alert src/lib.rs "${E_ALL[@]}"
 
 # --- binaries ------------------------------------------------------------
@@ -91,6 +92,10 @@ check_bin simrun crates/bench/src/bin/simrun.rs "${E_ALL[@]}" $(ex alert_bench)
 check_bin tracequery crates/bench/src/bin/tracequery.rs "${E_ALL[@]}" $(ex alert_bench)
 check_bin simcheck crates/simcheck/src/bin/simcheck.rs "${E_ALL[@]}" \
     $(ex alert_bench alert_simcheck)
+check_bin alertd_main crates/alertd/src/bin/alertd.rs "${E_ALL[@]}" \
+    $(ex alert_bench alertd)
+check_bin alertctl_main crates/alertd/src/bin/alertctl.rs "${E_ALL[@]}" \
+    $(ex alert_bench alertd)
 
 # --- examples ------------------------------------------------------------
 for exf in examples/*.rs; do
@@ -117,6 +122,7 @@ check_test alert_adversary_unit crates/adversary/src/lib.rs "${E_SERDE[@]}" \
 check_test alert_bench_unit crates/bench/src/lib.rs "${E_ALL[@]}"
 check_test alert_simcheck_unit crates/simcheck/src/lib.rs "${E_ALL[@]}" \
     $(ex alert_bench)
+check_test alertd_unit crates/alertd/src/lib.rs "${E_ALL[@]}" $(ex alert_bench)
 
 # --- integration tests that need no proptest -----------------------------
 check_test analysis_props crates/analysis/tests/analysis_props.rs "${E_SERDE[@]}" \
@@ -148,6 +154,8 @@ check_test tracequery_golden crates/bench/tests/tracequery_golden.rs "${E_ALL[@]
     $(ex alert_bench)
 check_test simcheck_cli crates/simcheck/tests/cli.rs "${E_ALL[@]}" \
     $(ex alert_bench alert_simcheck)
+check_test daemon_smoke crates/alertd/tests/daemon_smoke.rs "${E_ALL[@]}" \
+    $(ex alert_bench alertd)
 
 # --- property-test suites (type-check against the proptest stub) ---------
 check_test fel_props crates/sim/tests/fel_props.rs "${E_SERDE[@]}" \
