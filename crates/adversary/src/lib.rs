@@ -9,6 +9,9 @@
 //!   ALERT's countermeasure (Section 3.3, Fig. 5);
 //! * [`compromise`] — active node compromise: blackhole relays and
 //!   interception analysis (Sections 2.1, 3.1);
+//! * [`insider`] — compromised relays that log, drop, or modify the
+//!   frames they forward while staying in the protocol (Section 2.1),
+//!   scored against the intersection attacker;
 //! * [`anonymity`] — k-anonymity / entropy / route-diversity metrics;
 //! * [`telemetry`] — trace-derived anonymity-set timeseries: the same
 //!   intersection attacker replayed over a stored JSONL trace, windowed
@@ -42,6 +45,7 @@
 pub mod anonymity;
 pub mod compromise;
 pub mod eavesdrop;
+pub mod insider;
 pub mod intersection;
 pub mod telemetry;
 pub mod timing;
@@ -52,6 +56,7 @@ pub use anonymity::{
 };
 pub use compromise::{choose_compromised, interception_fraction, Blackhole, DosOutcome};
 pub use eavesdrop::{CaptureHandle, DeliveryEvent, TrafficCapture, TrafficLog};
+pub use insider::{tamper_log, Insider, TamperHandle, TamperLog};
 pub use intersection::{IntersectionAttack, IntersectionOutcome, RecipientSet};
 pub use telemetry::{anonymity_timeseries, AnonymitySample, FlowAnonymity};
 pub use timing::{correlate, links_pair, TimingCorrelation};

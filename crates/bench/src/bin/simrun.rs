@@ -11,7 +11,11 @@
 //! Scenario files use the serde form of [`alert_sim::ScenarioConfig`]; see
 //! `--emit-default-scenario` for a template. `--nodes/--pairs/--duration`
 //! override the (file or default) scenario, so small smoke scenarios need
-//! no file. `--trace` streams the structured JSONL event trace;
+//! no file; `--mobility`, `--placement`, `--energy`/`--idle-watts`/
+//! `--cluster-heads` and `--insiders` override the workload-family knobs
+//! the same way (fine-grained parameters stay JSON-only). A metered run's
+//! `--report` gains an `energy` block (per-cause drain, deaths,
+//! cluster-head elections). `--trace` streams the structured JSONL event trace;
 //! `--profile` writes the [`alert_sim::RunProfile`] JSON (pass `-` for
 //! stdout). `--faults` loads an [`alert_sim::FaultPlan`] JSON into the
 //! scenario; `--report` writes the graceful-degradation report (delivery,
@@ -49,7 +53,10 @@ use alert_bench::{
     tracing_overhead, PostmortemDump, ProtocolChoice, RunOptions, RunOutput,
 };
 use alert_core::AlertConfig;
-use alert_sim::{FaultPlan, JsonlSink, Metrics, ScenarioConfig};
+use alert_sim::{
+    FaultPlan, InsiderConfig, InsiderMode, JsonlSink, Metrics, MobilityKind, Placement,
+    ScenarioConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +74,12 @@ fn main() {
     let mut nodes: Option<usize> = None;
     let mut pairs: Option<usize> = None;
     let mut duration: Option<f64> = None;
+    let mut mobility_flag: Option<String> = None;
+    let mut placement_flag: Option<String> = None;
+    let mut energy_j: Option<f64> = None;
+    let mut idle_watts: Option<f64> = None;
+    let mut cluster_heads: Option<f64> = None;
+    let mut insiders_flag: Option<String> = None;
     let mut max_events: Option<u64> = None;
     let mut max_sim_s: Option<f64> = None;
     let mut max_wall_s: Option<f64> = None;
@@ -136,6 +149,30 @@ fn main() {
             "--nodes" => nodes = Some(parse(it.next(), "--nodes")),
             "--pairs" => pairs = Some(parse(it.next(), "--pairs")),
             "--duration" => duration = Some(parse(it.next(), "--duration")),
+            "--mobility" => {
+                mobility_flag = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--mobility needs static|rwp|group:N|manhattan:HxV"))
+                        .clone(),
+                );
+            }
+            "--placement" => {
+                placement_flag = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--placement needs uniform|convoy|teams:SIZE[:SPREAD]"))
+                        .clone(),
+                );
+            }
+            "--energy" => energy_j = Some(parse(it.next(), "--energy")),
+            "--idle-watts" => idle_watts = Some(parse(it.next(), "--idle-watts")),
+            "--cluster-heads" => cluster_heads = Some(parse(it.next(), "--cluster-heads")),
+            "--insiders" => {
+                insiders_flag = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--insiders needs FRACTION:log|drop|modify"))
+                        .clone(),
+                );
+            }
             "--max-events" => max_events = Some(parse(it.next(), "--max-events")),
             "--max-sim-s" => max_sim_s = Some(parse(it.next(), "--max-sim-s")),
             "--max-wall-s" => max_wall_s = Some(parse(it.next(), "--max-wall-s")),
@@ -219,6 +256,24 @@ fn main() {
     }
     if let Some(d) = duration {
         scenario = scenario.with_duration(d);
+    }
+    if let Some(spec) = &mobility_flag {
+        scenario.mobility = parse_mobility(spec);
+    }
+    if let Some(spec) = &placement_flag {
+        scenario.placement = parse_placement(spec);
+    }
+    if let Some(j) = energy_j {
+        scenario.energy.initial_j = Some(j);
+    }
+    if let Some(w) = idle_watts {
+        scenario.energy.idle_watts = w;
+    }
+    if let Some(f) = cluster_heads {
+        scenario.energy.cluster_head_fraction = f;
+    }
+    if let Some(spec) = &insiders_flag {
+        scenario.insiders = parse_insiders(spec);
     }
     if max_events.is_some() {
         scenario.budget.max_events = max_events;
@@ -479,6 +534,25 @@ fn degradation_report(
     s.push_str(&format!("\"node_downs\":{},", counter("node.downs")));
     s.push_str(&format!("\"node_ups\":{},", counter("node.ups")));
     s.push_str(&format!("\"link_retries\":{retries},"));
+    // The energy block quantifies battery-driven degradation: how much
+    // was drained per cause, how many nodes died empty, and how many
+    // cluster-head elections the run saw. Metered runs only, so legacy
+    // report consumers see an unchanged document.
+    if scenario.energy.metered() {
+        let e = &m.node_energy;
+        s.push_str(&format!(
+            "\"energy\":{{\"initial_j\":{},\"drained_j\":{:.6},\"tx_j\":{:.6},\"rx_j\":{:.6},\
+             \"idle_j\":{:.6},\"beacon_j\":{:.6},\"deaths\":{},\"cluster_heads\":{}}},",
+            scenario.energy.initial_j.unwrap_or(0.0),
+            e.drained_j,
+            e.tx_j,
+            e.rx_j,
+            e.idle_j,
+            e.beacon_j,
+            e.deaths,
+            counter("energy.cluster_heads"),
+        ));
+    }
     s.push_str(&format!("\"drops\":{{{}}}", drops.join(",")));
     s.push('}');
     s
@@ -489,10 +563,104 @@ fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
         .unwrap_or_else(|| die(&format!("{flag} needs a numeric value")))
 }
 
+/// `--mobility static|rwp|group:GROUPS|manhattan:HxV`. Fine-grained knobs
+/// (group range, turn probability, speed classes) keep their scenario
+/// defaults; use `--scenario` JSON to set them.
+fn parse_mobility(spec: &str) -> MobilityKind {
+    match spec {
+        "static" => MobilityKind::Static,
+        "rwp" => MobilityKind::RandomWaypoint,
+        _ => {
+            if let Some(n) = spec.strip_prefix("group:") {
+                MobilityKind::Group {
+                    groups: n
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("bad --mobility group count '{n}'"))),
+                    range: 100.0,
+                }
+            } else if let Some(dims) = spec.strip_prefix("manhattan:") {
+                let (h, v) = dims
+                    .split_once('x')
+                    .unwrap_or_else(|| die(&format!("bad --mobility grid '{dims}' (want HxV)")));
+                MobilityKind::ManhattanGrid {
+                    h_streets: h
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("bad --mobility street count '{h}'"))),
+                    v_streets: v
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("bad --mobility street count '{v}'"))),
+                    turn_prob: 0.5,
+                    speed_classes: 1,
+                }
+            } else {
+                die(&format!(
+                    "unknown --mobility '{spec}' (static|rwp|group:N|manhattan:HxV)"
+                ))
+            }
+        }
+    }
+}
+
+/// `--placement uniform|convoy|teams:SIZE[:SPREAD]` (spread in metres,
+/// default 50).
+fn parse_placement(spec: &str) -> Placement {
+    match spec {
+        "uniform" => Placement::Uniform,
+        "convoy" => Placement::Convoy,
+        _ => {
+            let Some(rest) = spec.strip_prefix("teams:") else {
+                die(&format!(
+                    "unknown --placement '{spec}' (uniform|convoy|teams:SIZE[:SPREAD])"
+                ))
+            };
+            let (size, spread) = match rest.split_once(':') {
+                Some((s, m)) => (
+                    s,
+                    m.parse()
+                        .unwrap_or_else(|_| die(&format!("bad --placement spread '{m}'"))),
+                ),
+                None => (rest, 50.0),
+            };
+            Placement::SmallTeams {
+                team_size: size
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad --placement team size '{size}'"))),
+                spread_m: spread,
+            }
+        }
+    }
+}
+
+/// `--insiders FRACTION:MODE` with mode `log|drop|modify` (plus the
+/// hidden `modify-stealth` used by the oracle drill's replay commands).
+fn parse_insiders(spec: &str) -> InsiderConfig {
+    let Some((frac, mode)) = spec.split_once(':') else {
+        die(&format!(
+            "bad --insiders '{spec}' (want FRACTION:log|drop|modify)"
+        ))
+    };
+    InsiderConfig {
+        fraction: frac
+            .parse()
+            .unwrap_or_else(|_| die(&format!("bad --insiders fraction '{frac}'"))),
+        mode: match mode {
+            "log" => InsiderMode::Log,
+            "drop" => InsiderMode::Drop,
+            "modify" => InsiderMode::Modify,
+            "modify-stealth" => InsiderMode::ModifyStealth,
+            other => die(&format!("unknown --insiders mode '{other}'")),
+        },
+    }
+}
+
 fn usage() {
     eprintln!("usage: simrun [--protocol alert|gpsr|alarm|ao2p|zap|anodr|prism|mask|mapcp]");
     eprintln!("              [--scenario file.json] [--seed N] [--runs N]");
     eprintln!("              [--nodes N] [--pairs N] [--duration SECS]");
+    eprintln!("              [--mobility static|rwp|group:N|manhattan:HxV]");
+    eprintln!("              [--placement uniform|convoy|teams:SIZE[:SPREAD]]");
+    eprintln!("              [--energy JOULES] [--idle-watts W] [--cluster-heads FRAC]");
+    eprintln!("              [--insiders FRACTION:log|drop|modify]");
     eprintln!("              [--trace trace.jsonl] [--profile profile.json|-]");
     eprintln!("              [--faults plan.json] [--report report.json|-]");
     eprintln!("              [--timeseries series.jsonl|-] [--metrics-every SIM-SECS]");

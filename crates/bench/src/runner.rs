@@ -315,7 +315,45 @@ fn dump_postmortem(pm: &PostmortemDump, ring: Option<&RingBufferHandle>) {
 /// Builds the world for one protocol choice, applies the observability
 /// options, and runs to completion. Single choke point for all nine
 /// protocol arms so instrumentation cannot drift between them.
+///
+/// An active insider plan wraps every node in the adversary crate's
+/// [`Insider`](alert_adversary::Insider), with the compromised set
+/// chosen purely from `(cfg.insiders, nodes, seed)` — the identical
+/// wrapping simcheck's driver applies, so a simcheck replay through
+/// `simrun` reproduces the same run. The bench side extracts no packet
+/// ids (scoring lives in simcheck); insider behavior never depends on
+/// the extractor, so the runs agree event for event.
 fn drive<P, F>(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    opts: RunOptions,
+    factory: F,
+) -> Result<RunOutput, RunFailure>
+where
+    P: ProtocolNode,
+    F: FnMut(NodeId, &ScenarioConfig) -> P,
+{
+    if cfg.insiders.is_active() {
+        let plan = cfg.insiders;
+        let chosen = plan.choose(cfg.nodes, seed);
+        let log = alert_adversary::tamper_log();
+        let mut factory = factory;
+        return drive_world(cfg, seed, opts, move |id: NodeId, c: &ScenarioConfig| {
+            alert_adversary::Insider::new(
+                factory(id, c),
+                id.0 as u64,
+                plan.mode,
+                chosen[id.0],
+                log.clone(),
+                |_: &P::Msg| None::<u64>,
+            )
+        });
+    }
+    drive_world(cfg, seed, opts, factory)
+}
+
+/// The insider-agnostic inner body of [`drive`].
+fn drive_world<P, F>(
     cfg: &ScenarioConfig,
     seed: u64,
     opts: RunOptions,

@@ -176,6 +176,27 @@ impl Mobility for GroupMobility {
         self.bounds
     }
 
+    fn place(&mut self, positions: &[Point]) {
+        // A member's position is derived (centre + ref_offset + wander), so
+        // placement adjusts the reference offset. The offset norm stays
+        // clamped to the RPGM reference radius, so the group-range invariant
+        // holds even when the requested point lies outside the group's disc;
+        // placement is then honored as closely as the model allows.
+        let ref_radius = self.config.group_range * (1.0 - self.config.wander_fraction);
+        for (i, &p) in positions.iter().enumerate().take(self.members.len()) {
+            let p = self.bounds.clamp(p);
+            let center = self.groups[self.members[i].group].center;
+            let mut offset = p - center;
+            let norm = offset.distance(Point::ORIGIN);
+            if norm > ref_radius && norm > 0.0 {
+                let scale = ref_radius / norm;
+                offset = Point::new(offset.x * scale, offset.y * scale);
+            }
+            self.members[i].ref_offset = offset;
+            self.members[i].wander = Point::ORIGIN;
+        }
+    }
+
     fn step(&mut self, dt: f64) {
         debug_assert!(dt >= 0.0);
         let inner = inset(&self.bounds, 0.0);

@@ -1,9 +1,10 @@
 //! # alert-mobility
 //!
-//! Node mobility models for the MANET simulator, matching the two models
-//! the paper evaluates (Section 5.1): the **random waypoint** model \[17\]
-//! and the **reference-point group mobility** model \[18\], plus a static
-//! model for controlled experiments.
+//! Node mobility models for the MANET simulator: the two models the
+//! paper evaluates (Section 5.1) — the **random waypoint** model \[17\]
+//! and the **reference-point group mobility** model \[18\] — plus a
+//! street-constrained **Manhattan-grid** model (urban scenarios) and a
+//! static model for controlled experiments.
 //!
 //! Models are deterministic given their construction seed: the simulator
 //! steps them on a fixed tick and reads back positions, so a whole run is
@@ -25,14 +26,20 @@
 #![warn(missing_docs)]
 
 mod group;
+mod manhattan;
 mod waypoint;
 
 pub use group::{GroupMobility, GroupMobilityConfig};
+pub use manhattan::{ManhattanConfig, ManhattanGrid};
 pub use waypoint::{RandomWaypoint, RandomWaypointConfig};
 
 use alert_geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Position/coordinate comparison epsilon shared by the street-constrained
+/// models.
+pub(crate) const EPS: f64 = 1e-9;
 
 /// A mobility model: owns every node's kinematic state and advances it in
 /// discrete time steps.
@@ -59,6 +66,14 @@ pub trait Mobility {
     fn positions(&self) -> Vec<Point> {
         (0..self.len()).map(|i| self.position(i)).collect()
     }
+
+    /// Overrides initial node positions with a placement strategy (convoy,
+    /// small teams, …). Called once, right after construction, before any
+    /// `step`. Positions outside the field are clamped; street-constrained
+    /// models snap to the nearest legal point. Implementations must not
+    /// draw from the model RNG, so placement never perturbs the movement
+    /// draw stream.
+    fn place(&mut self, positions: &[Point]);
 }
 
 /// Nodes that never move. Used for controlled anonymity experiments
@@ -101,6 +116,12 @@ impl Mobility for StaticField {
 
     fn bounds(&self) -> Rect {
         self.bounds
+    }
+
+    fn place(&mut self, positions: &[Point]) {
+        for (i, &p) in positions.iter().enumerate().take(self.positions.len()) {
+            self.positions[i] = self.bounds.clamp(p);
+        }
     }
 }
 

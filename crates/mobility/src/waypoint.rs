@@ -103,6 +103,13 @@ impl Mobility for RandomWaypoint {
         self.bounds
     }
 
+    fn place(&mut self, positions: &[Point]) {
+        // Keep each node's waypoint and speed; only the starting point moves.
+        for (i, &p) in positions.iter().enumerate().take(self.pos.len()) {
+            self.pos[i] = self.bounds.clamp(p);
+        }
+    }
+
     fn step(&mut self, dt: f64) {
         debug_assert!(dt >= 0.0);
         for i in 0..self.pos.len() {

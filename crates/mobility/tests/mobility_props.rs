@@ -2,9 +2,18 @@
 
 use alert_geom::Rect;
 use alert_mobility::{
-    GroupMobility, GroupMobilityConfig, Mobility, RandomWaypoint, RandomWaypointConfig,
+    GroupMobility, GroupMobilityConfig, ManhattanConfig, ManhattanGrid, Mobility, RandomWaypoint,
+    RandomWaypointConfig,
 };
 use proptest::prelude::*;
+
+/// A node is "on the grid" when its y sits on a horizontal lane or its x
+/// sits on a vertical lane (floating-point tolerance for the lane snap).
+fn on_some_lane(m: &ManhattanGrid, i: usize) -> bool {
+    let p = m.position(i);
+    m.horizontal_lanes().iter().any(|&y| (p.y - y).abs() <= 1e-6)
+        || m.vertical_lanes().iter().any(|&x| (p.x - x).abs() <= 1e-6)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -122,6 +131,80 @@ proptest! {
         }
         let after: Vec<usize> = (0..m.len()).map(|i| m.group_of(i)).collect();
         prop_assert_eq!(before, after, "membership churned while stepping");
+    }
+
+    /// Manhattan-grid nodes never leave their streets or the field, for
+    /// arbitrary grid shapes (including degenerate 1x1 grids), speeds,
+    /// tick sizes, turn probabilities, and seeds.
+    #[test]
+    fn manhattan_stays_on_lanes_and_in_bounds(
+        nodes in 1usize..48,
+        h in 1usize..7,
+        v in 1usize..7,
+        turn_prob in 0.0f64..=1.0,
+        speed in 0.0f64..25.0,
+        dt in 0.05f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let field = Rect::with_size(800.0, 600.0);
+        let mut cfg = ManhattanConfig::fixed_speed(nodes, h, v, speed);
+        cfg.turn_prob = turn_prob;
+        let mut m = ManhattanGrid::new(field, cfg, seed);
+        for i in 0..m.len() {
+            prop_assert!(on_some_lane(&m, i), "node {i} placed off-street");
+        }
+        for _ in 0..150 {
+            m.step(dt);
+        }
+        for i in 0..m.len() {
+            prop_assert!(field.contains(m.position(i)), "node {i} escaped");
+            prop_assert!(on_some_lane(&m, i), "node {i} wandered off-street");
+        }
+    }
+
+    /// Per-step displacement never exceeds speed x dt, even across turns
+    /// and edge U-turns: a street path is at least as long as the chord.
+    #[test]
+    fn manhattan_speed_bound(
+        speed in 0.1f64..20.0,
+        dt in 0.1f64..1.5,
+        classes in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let field = Rect::with_size(1000.0, 1000.0);
+        let mut cfg = ManhattanConfig::fixed_speed(10, 3, 3, speed);
+        cfg.speed_classes = classes;
+        let mut m = ManhattanGrid::new(field, cfg, seed);
+        for _ in 0..50 {
+            let before: Vec<_> = m.positions();
+            m.step(dt);
+            for (i, after) in m.positions().iter().enumerate() {
+                prop_assert!(
+                    before[i].distance(*after) <= speed * dt + 1e-9,
+                    "node {i} teleported"
+                );
+            }
+        }
+    }
+
+    /// Turn draws come from the model's own seeded stream: same seed,
+    /// same trajectories, for arbitrary grid geometry and step counts.
+    #[test]
+    fn manhattan_determinism(
+        h in 1usize..6,
+        v in 1usize..6,
+        steps in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let field = Rect::with_size(500.0, 500.0);
+        let run = |s| {
+            let mut m = ManhattanGrid::new(field, ManhattanConfig::fixed_speed(7, h, v, 6.0), s);
+            for _ in 0..steps {
+                m.step(0.4);
+            }
+            m.positions()
+        };
+        prop_assert_eq!(run(seed), run(seed));
     }
 
     /// Mobility is a pure function of the seed: same seed, same orbit.

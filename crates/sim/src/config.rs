@@ -4,7 +4,9 @@
 use crate::fault::FaultPlan;
 use crate::guard::RunBudget;
 use alert_crypto::CostModel;
-use alert_geom::Rect;
+use alert_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -74,6 +76,31 @@ pub enum ScenarioError {
         /// Which budget field is degenerate.
         which: &'static str,
     },
+    /// A Manhattan grid needs at least one street on each axis.
+    InvalidStreets {
+        /// Requested horizontal street count.
+        h: usize,
+        /// Requested vertical street count.
+        v: usize,
+    },
+    /// A Manhattan intersection turn probability is outside `[0, 1]` or
+    /// non-finite.
+    InvalidTurnProbability(f64),
+    /// A Manhattan grid needs at least one speed class.
+    InvalidSpeedClasses(usize),
+    /// Small-teams placement with an empty team.
+    InvalidTeamSize(usize),
+    /// Small-teams spread is negative or non-finite.
+    InvalidTeamSpread(f64),
+    /// An [`EnergyConfig`] field is out of range.
+    InvalidEnergy {
+        /// Which energy field is degenerate.
+        which: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The insider compromise fraction is outside `[0, 1]` or non-finite.
+    InvalidInsiderFraction(f64),
 }
 
 impl fmt::Display for ScenarioError {
@@ -126,6 +153,33 @@ impl fmt::Display for ScenarioError {
             ScenarioError::InvalidBudget { which } => {
                 write!(f, "{which} must be positive (omit the field for no limit)")
             }
+            ScenarioError::InvalidStreets { h, v } => {
+                write!(
+                    f,
+                    "manhattan grid needs at least one street on each axis, got {h}x{v}"
+                )
+            }
+            ScenarioError::InvalidTurnProbability(p) => {
+                write!(f, "manhattan turn probability must be in [0, 1], got {p}")
+            }
+            ScenarioError::InvalidSpeedClasses(n) => {
+                write!(f, "manhattan grid needs at least one speed class, got {n}")
+            }
+            ScenarioError::InvalidTeamSize(n) => {
+                write!(f, "small-teams placement needs team_size >= 1, got {n}")
+            }
+            ScenarioError::InvalidTeamSpread(v) => {
+                write!(
+                    f,
+                    "small-teams spread must be finite and non-negative, got {v}"
+                )
+            }
+            ScenarioError::InvalidEnergy { which, value } => {
+                write!(f, "energy.{which} is out of range, got {value}")
+            }
+            ScenarioError::InvalidInsiderFraction(v) => {
+                write!(f, "insider fraction must be in [0, 1], got {v}")
+            }
         }
     }
 }
@@ -148,6 +202,186 @@ pub enum MobilityKind {
     },
     /// No movement (controlled experiments, `v = 0` series).
     Static,
+    /// Street-constrained Manhattan-grid mobility: nodes travel along a
+    /// lattice of `h_streets` × `v_streets` lanes, turning at intersections
+    /// with probability `turn_prob` and moving at one of `speed_classes`
+    /// discrete speed tiers (class `c` moves at
+    /// `speed * (c + 1) / speed_classes`).
+    ManhattanGrid {
+        /// Horizontal street count (≥ 1).
+        #[serde(default = "default_streets")]
+        h_streets: usize,
+        /// Vertical street count (≥ 1).
+        #[serde(default = "default_streets")]
+        v_streets: usize,
+        /// Turn probability at intersections, in `[0, 1]`.
+        #[serde(default = "default_turn_prob")]
+        turn_prob: f64,
+        /// Number of discrete speed classes (≥ 1).
+        #[serde(default = "default_speed_classes")]
+        speed_classes: usize,
+    },
+}
+
+fn default_streets() -> usize {
+    4
+}
+
+fn default_turn_prob() -> f64 {
+    0.5
+}
+
+fn default_speed_classes() -> usize {
+    1
+}
+
+/// Initial node placement, orthogonal to the mobility model (SNIPPETS.md
+/// snippet 3): the placement computes starting positions, the mobility model
+/// then moves nodes as usual. Street-constrained models snap placements to
+/// the nearest lane point.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Placement {
+    /// Uniformly random over the field — the legacy behavior, and the
+    /// serde default, so pre-existing scenarios are byte-identical.
+    #[default]
+    Uniform,
+    /// A convoy line: node `i` of `n` starts at
+    /// `(field_w * i / n, field_h / 2)`.
+    Convoy,
+    /// Small teams: consecutive node ids form teams of `team_size`; each
+    /// team gets a random center, members scatter within `spread_m` of it.
+    SmallTeams {
+        /// Nodes per team (≥ 1; the last team may be smaller).
+        team_size: usize,
+        /// Maximum member offset from the team center, metres.
+        spread_m: f64,
+    },
+}
+
+impl Placement {
+    /// Starting positions for `nodes` nodes, or `None` for
+    /// [`Placement::Uniform`] (the mobility model's own initial scatter
+    /// stands, keeping legacy runs byte-identical).
+    ///
+    /// Draws come from a dedicated salted RNG in node-id order, so placement
+    /// never perturbs the mobility or world draw streams.
+    pub fn positions(&self, field: Rect, nodes: usize, seed: u64) -> Option<Vec<Point>> {
+        match *self {
+            Placement::Uniform => None,
+            Placement::Convoy => {
+                let y = field.min.y + field.height() / 2.0;
+                Some(
+                    (0..nodes)
+                        .map(|i| {
+                            let x =
+                                field.min.x + field.width() * i as f64 / nodes.max(1) as f64;
+                            Point::new(x, y)
+                        })
+                        .collect(),
+                )
+            }
+            Placement::SmallTeams { team_size, spread_m } => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x7EA3_5EED);
+                let team_size = team_size.max(1);
+                let mut center = Point::ORIGIN;
+                Some(
+                    (0..nodes)
+                        .map(|i| {
+                            if i % team_size == 0 {
+                                center = field.random_point(&mut rng);
+                            }
+                            let offset = if spread_m > 0.0 {
+                                Point::new(
+                                    rng.gen_range(-spread_m..spread_m),
+                                    rng.gen_range(-spread_m..spread_m),
+                                )
+                            } else {
+                                Point::ORIGIN
+                            };
+                            field.clamp(center + offset)
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+/// What a compromised relay does with frames it is asked to forward
+/// (PAPERS.md: AODVSEC insider-attack taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum InsiderMode {
+    /// Passive: forward faithfully but log every observed frame for the
+    /// §3.3 intersection attacker.
+    #[default]
+    Log,
+    /// Active denial: swallow every forwarded frame.
+    Drop,
+    /// Active tampering: modify the payload. The next hop's integrity check
+    /// rejects the frame, so an honest stack converts each tamper into an
+    /// `insider_modified` drop.
+    Modify,
+    /// Tampering with the integrity check suppressed — the planted defect
+    /// for the insider-containment oracle drill. Never generated for honest
+    /// fuzz cases.
+    #[doc(hidden)]
+    ModifyStealth,
+}
+
+impl fmt::Display for InsiderMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsiderMode::Log => write!(f, "log"),
+            InsiderMode::Drop => write!(f, "drop"),
+            InsiderMode::Modify => write!(f, "modify"),
+            InsiderMode::ModifyStealth => write!(f, "modify-stealth"),
+        }
+    }
+}
+
+/// Insider-adversary plan: a fraction of nodes are compromised relays.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct InsiderConfig {
+    /// Fraction of the population that is compromised, in `[0, 1]`.
+    /// `0` (the serde default) disables insiders entirely.
+    #[serde(default)]
+    pub fraction: f64,
+    /// Behavior of each compromised relay.
+    #[serde(default)]
+    pub mode: InsiderMode,
+}
+
+impl InsiderConfig {
+    /// True when any node is compromised.
+    pub fn is_active(&self) -> bool {
+        self.fraction > 0.0
+    }
+
+    /// Deterministically selects which nodes are compromised: a seeded
+    /// Fisher–Yates shuffle (same LCG family as the adversary crate's
+    /// compromise chooser) marks `round(fraction * nodes)` of them, at
+    /// least one when active. Pure in `(self, nodes, seed)` so the bench
+    /// runner and simcheck agree on the compromised set.
+    pub fn choose(&self, nodes: usize, seed: u64) -> Vec<bool> {
+        let mut out = vec![false; nodes];
+        if !self.is_active() || nodes == 0 {
+            return out;
+        }
+        let count = ((self.fraction * nodes as f64).round() as usize).clamp(1, nodes);
+        let mut ids: Vec<usize> = (0..nodes).collect();
+        let mut state = seed ^ 0x1D51_DE2A_D5A7_10E5;
+        for i in (1..nodes).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = ((state >> 33) % (i as u64 + 1)) as usize;
+            ids.swap(i, j);
+        }
+        for &id in ids.iter().take(count) {
+            out[id] = true;
+        }
+        out
+    }
 }
 
 /// How the location service reports a destination's position during a
@@ -234,6 +468,43 @@ pub struct EnergyConfig {
     pub rx_watts: f64,
     /// CPU power drawn during cryptographic processing, watts.
     pub cpu_watts: f64,
+    /// Per-node energy budget in joules. `None` (the serde default) keeps
+    /// the legacy unlimited-battery behavior: aggregate joule counters
+    /// accrue but nodes never die. `Some(j)` arms the per-node meter —
+    /// a node whose meter reaches zero goes down permanently through the
+    /// crash machinery (SNIPPETS.md snippet 1, C-MANET reliability
+    /// assessment). `Some(0.0)` is the dead-on-arrival degenerate corner.
+    #[serde(default)]
+    pub initial_j: Option<f64>,
+    /// Baseline power drawn by every live node, watts, charged once per
+    /// hello interval. Only meaningful with `initial_j` set.
+    #[serde(default)]
+    pub idle_watts: f64,
+    /// Expected fraction of live nodes elected cluster head each hello
+    /// round (snippet 1 uses 0.12). Election probability scales with the
+    /// node's remaining-energy fraction, so depleted nodes rarely lead.
+    /// `0` (the default) disables election. Only meaningful with
+    /// `initial_j` set.
+    #[serde(default)]
+    pub cluster_head_fraction: f64,
+    /// Radio-range multiplier a cluster head enjoys for its own
+    /// transmissions (≥ 1).
+    #[serde(default = "default_head_range_boost")]
+    pub cluster_head_range_boost: f64,
+    /// Energy-aware forwarding threshold: a node whose remaining-energy
+    /// fraction falls below this stops beaconing, withdrawing from relay
+    /// duty while still able to originate and receive. In `[0, 1]`;
+    /// only meaningful with `initial_j` set.
+    #[serde(default = "default_relay_threshold")]
+    pub relay_threshold_fraction: f64,
+}
+
+fn default_head_range_boost() -> f64 {
+    1.5
+}
+
+fn default_relay_threshold() -> f64 {
+    0.2
 }
 
 impl Default for EnergyConfig {
@@ -242,6 +513,30 @@ impl Default for EnergyConfig {
             tx_watts: 1.65,
             rx_watts: 1.40,
             cpu_watts: 1.0,
+            initial_j: None,
+            idle_watts: 0.0,
+            cluster_head_fraction: 0.0,
+            cluster_head_range_boost: default_head_range_boost(),
+            relay_threshold_fraction: default_relay_threshold(),
+        }
+    }
+}
+
+impl EnergyConfig {
+    /// True when the per-node meter (and everything downstream of it:
+    /// death-on-empty, cluster heads, beacon withdrawal) is armed.
+    pub fn metered(&self) -> bool {
+        self.initial_j.is_some()
+    }
+
+    /// Largest radio-range multiplier any node can have under this config:
+    /// the cluster-head boost when election is armed, else exactly 1. The
+    /// radio-range oracle uses this as its bound.
+    pub fn max_range_boost(&self) -> f64 {
+        if self.metered() && self.cluster_head_fraction > 0.0 {
+            self.cluster_head_range_boost
+        } else {
+            1.0
         }
     }
 }
@@ -317,6 +612,13 @@ pub struct ScenarioConfig {
     /// same-seed traces are unaffected unless a limit is opted into.
     #[serde(default)]
     pub budget: RunBudget,
+    /// Initial node placement; uniform by default (the mobility model's
+    /// own scatter, byte-identical to pre-placement builds).
+    #[serde(default)]
+    pub placement: Placement,
+    /// Insider-adversary plan; inactive by default.
+    #[serde(default)]
+    pub insiders: InsiderConfig,
 }
 
 fn default_staleness_factor() -> f64 {
@@ -346,6 +648,8 @@ impl Default for ScenarioConfig {
             neighbor_staleness_factor: default_staleness_factor(),
             faults: FaultPlan::default(),
             budget: RunBudget::default(),
+            placement: Placement::default(),
+            insiders: InsiderConfig::default(),
         }
     }
 }
@@ -410,6 +714,24 @@ impl ScenarioConfig {
         self
     }
 
+    /// Builder-style override of the initial placement.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Builder-style arming of the per-node energy meter.
+    pub fn with_energy_budget(mut self, initial_j: f64) -> Self {
+        self.energy.initial_j = Some(initial_j);
+        self
+    }
+
+    /// Builder-style override of the insider plan.
+    pub fn with_insiders(mut self, fraction: f64, mode: InsiderMode) -> Self {
+        self.insiders = InsiderConfig { fraction, mode };
+        self
+    }
+
     /// Basic sanity checks; call before running.
     pub fn validate(&self) -> Result<(), ScenarioError> {
         if self.nodes == 0 {
@@ -459,6 +781,75 @@ impl ScenarioConfig {
             return Err(ScenarioError::InvalidArqBackoff(
                 self.mac.arq_backoff_base_s,
             ));
+        }
+        if let MobilityKind::ManhattanGrid {
+            h_streets,
+            v_streets,
+            turn_prob,
+            speed_classes,
+        } = self.mobility
+        {
+            if h_streets == 0 || v_streets == 0 {
+                return Err(ScenarioError::InvalidStreets {
+                    h: h_streets,
+                    v: v_streets,
+                });
+            }
+            if !turn_prob.is_finite() || !(0.0..=1.0).contains(&turn_prob) {
+                return Err(ScenarioError::InvalidTurnProbability(turn_prob));
+            }
+            if speed_classes == 0 {
+                return Err(ScenarioError::InvalidSpeedClasses(speed_classes));
+            }
+        }
+        if let Placement::SmallTeams { team_size, spread_m } = self.placement {
+            if team_size == 0 {
+                return Err(ScenarioError::InvalidTeamSize(team_size));
+            }
+            if !spread_m.is_finite() || spread_m < 0.0 {
+                return Err(ScenarioError::InvalidTeamSpread(spread_m));
+            }
+        }
+        if let Some(initial) = self.energy.initial_j {
+            if !initial.is_finite() || initial < 0.0 {
+                return Err(ScenarioError::InvalidEnergy {
+                    which: "initial_j",
+                    value: initial,
+                });
+            }
+        }
+        if !self.energy.idle_watts.is_finite() || self.energy.idle_watts < 0.0 {
+            return Err(ScenarioError::InvalidEnergy {
+                which: "idle_watts",
+                value: self.energy.idle_watts,
+            });
+        }
+        if !self.energy.cluster_head_fraction.is_finite()
+            || !(0.0..=1.0).contains(&self.energy.cluster_head_fraction)
+        {
+            return Err(ScenarioError::InvalidEnergy {
+                which: "cluster_head_fraction",
+                value: self.energy.cluster_head_fraction,
+            });
+        }
+        if !self.energy.cluster_head_range_boost.is_finite()
+            || self.energy.cluster_head_range_boost < 1.0
+        {
+            return Err(ScenarioError::InvalidEnergy {
+                which: "cluster_head_range_boost",
+                value: self.energy.cluster_head_range_boost,
+            });
+        }
+        if !self.energy.relay_threshold_fraction.is_finite()
+            || !(0.0..=1.0).contains(&self.energy.relay_threshold_fraction)
+        {
+            return Err(ScenarioError::InvalidEnergy {
+                which: "relay_threshold_fraction",
+                value: self.energy.relay_threshold_fraction,
+            });
+        }
+        if !self.insiders.fraction.is_finite() || !(0.0..=1.0).contains(&self.insiders.fraction) {
+            return Err(ScenarioError::InvalidInsiderFraction(self.insiders.fraction));
         }
         self.faults.validate(self.nodes)?;
         self.budget.validate()?;
@@ -613,6 +1004,189 @@ mod tests {
         assert_eq!(c.neighbor_staleness_factor, 1.0);
         assert!(c.budget.is_unlimited());
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn default_scenario_knobs_are_inert() {
+        let c = ScenarioConfig::default();
+        assert_eq!(c.placement, Placement::Uniform);
+        assert!(!c.insiders.is_active());
+        assert!(!c.energy.metered());
+        assert_eq!(c.energy.max_range_boost(), 1.0);
+        assert_eq!(c.energy.idle_watts, 0.0);
+        assert_eq!(c.energy.cluster_head_fraction, 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_scenario_knobs() {
+        let c = ScenarioConfig::default().with_mobility(MobilityKind::ManhattanGrid {
+            h_streets: 0,
+            v_streets: 3,
+            turn_prob: 0.5,
+            speed_classes: 1,
+        });
+        assert_eq!(c.validate(), Err(ScenarioError::InvalidStreets { h: 0, v: 3 }));
+        let c = ScenarioConfig::default().with_mobility(MobilityKind::ManhattanGrid {
+            h_streets: 2,
+            v_streets: 2,
+            turn_prob: 1.5,
+            speed_classes: 1,
+        });
+        assert_eq!(c.validate(), Err(ScenarioError::InvalidTurnProbability(1.5)));
+        let c = ScenarioConfig::default().with_mobility(MobilityKind::ManhattanGrid {
+            h_streets: 2,
+            v_streets: 2,
+            turn_prob: 0.5,
+            speed_classes: 0,
+        });
+        assert_eq!(c.validate(), Err(ScenarioError::InvalidSpeedClasses(0)));
+        let c = ScenarioConfig::default().with_placement(Placement::SmallTeams {
+            team_size: 0,
+            spread_m: 50.0,
+        });
+        assert_eq!(c.validate(), Err(ScenarioError::InvalidTeamSize(0)));
+        let c = ScenarioConfig::default().with_placement(Placement::SmallTeams {
+            team_size: 3,
+            spread_m: -1.0,
+        });
+        assert_eq!(c.validate(), Err(ScenarioError::InvalidTeamSpread(-1.0)));
+        let c = ScenarioConfig::default().with_energy_budget(f64::NAN);
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidEnergy {
+                which: "initial_j",
+                ..
+            })
+        ));
+        let mut c = ScenarioConfig::default().with_energy_budget(50.0);
+        c.energy.cluster_head_fraction = 1.2;
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidEnergy {
+                which: "cluster_head_fraction",
+                ..
+            })
+        ));
+        let mut c = ScenarioConfig::default();
+        c.energy.cluster_head_range_boost = 0.5;
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidEnergy {
+                which: "cluster_head_range_boost",
+                ..
+            })
+        ));
+        let c = ScenarioConfig::default().with_insiders(2.0, InsiderMode::Drop);
+        assert_eq!(c.validate(), Err(ScenarioError::InvalidInsiderFraction(2.0)));
+        // Zero-energy start is legal: the dead-on-arrival corner.
+        assert!(ScenarioConfig::default()
+            .with_energy_budget(0.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn new_scenario_error_messages_are_stable() {
+        assert_eq!(
+            ScenarioError::InvalidStreets { h: 0, v: 3 }.to_string(),
+            "manhattan grid needs at least one street on each axis, got 0x3"
+        );
+        assert_eq!(
+            ScenarioError::InvalidTurnProbability(1.5).to_string(),
+            "manhattan turn probability must be in [0, 1], got 1.5"
+        );
+        assert_eq!(
+            ScenarioError::InvalidSpeedClasses(0).to_string(),
+            "manhattan grid needs at least one speed class, got 0"
+        );
+        assert_eq!(
+            ScenarioError::InvalidTeamSize(0).to_string(),
+            "small-teams placement needs team_size >= 1, got 0"
+        );
+        assert_eq!(
+            ScenarioError::InvalidTeamSpread(-1.0).to_string(),
+            "small-teams spread must be finite and non-negative, got -1"
+        );
+        assert_eq!(
+            ScenarioError::InvalidEnergy {
+                which: "initial_j",
+                value: -2.0
+            }
+            .to_string(),
+            "energy.initial_j is out of range, got -2"
+        );
+        assert_eq!(
+            ScenarioError::InvalidInsiderFraction(2.0).to_string(),
+            "insider fraction must be in [0, 1], got 2"
+        );
+    }
+
+    #[test]
+    fn convoy_placement_is_a_centre_line() {
+        let field = Rect::with_size(1000.0, 800.0);
+        let pos = Placement::Convoy.positions(field, 4, 99).unwrap();
+        assert_eq!(pos.len(), 4);
+        for (i, p) in pos.iter().enumerate() {
+            assert_eq!(p.y, 400.0);
+            assert_eq!(p.x, 1000.0 * i as f64 / 4.0);
+        }
+        // Placement draws no RNG for convoys, so the seed is irrelevant.
+        assert_eq!(pos, Placement::Convoy.positions(field, 4, 7).unwrap());
+    }
+
+    #[test]
+    fn small_teams_cluster_within_spread() {
+        let field = Rect::with_size(1000.0, 1000.0);
+        let placement = Placement::SmallTeams {
+            team_size: 3,
+            spread_m: 50.0,
+        };
+        let pos = placement.positions(field, 9, 5).unwrap();
+        assert_eq!(pos.len(), 9);
+        for team in pos.chunks(3) {
+            for pair in team.windows(2) {
+                // Members sit within a 2*spread*sqrt(2) diameter box
+                // (before clamping, which only shrinks distances).
+                assert!(pair[0].distance(pair[1]) <= 2.0 * 50.0 * std::f64::consts::SQRT_2 + 1e-9);
+            }
+        }
+        assert_eq!(pos, placement.positions(field, 9, 5).unwrap());
+        assert_ne!(pos, placement.positions(field, 9, 6).unwrap());
+        // One-node teams with zero spread: every node exactly at its own
+        // team center — the degenerate corner must not panic.
+        let degenerate = Placement::SmallTeams {
+            team_size: 1,
+            spread_m: 0.0,
+        };
+        assert_eq!(degenerate.positions(field, 5, 1).unwrap().len(), 5);
+        assert!(Placement::Uniform.positions(field, 5, 1).is_none());
+    }
+
+    #[test]
+    fn insider_choose_is_deterministic_and_sized() {
+        let plan = InsiderConfig {
+            fraction: 0.25,
+            mode: InsiderMode::Drop,
+        };
+        let a = plan.choose(40, 9);
+        let b = plan.choose(40, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|&&c| c).count(), 10);
+        assert_ne!(a, plan.choose(40, 10));
+        // Active plans compromise at least one node even when rounding
+        // would say zero; inactive plans compromise none.
+        let tiny = InsiderConfig {
+            fraction: 0.001,
+            mode: InsiderMode::Log,
+        };
+        assert_eq!(tiny.choose(10, 3).iter().filter(|&&c| c).count(), 1);
+        let off = InsiderConfig::default();
+        assert!(off.choose(10, 3).iter().all(|&c| !c));
+        let all = InsiderConfig {
+            fraction: 1.0,
+            mode: InsiderMode::ModifyStealth,
+        };
+        assert!(all.choose(10, 3).iter().all(|&c| c));
     }
 
     #[test]

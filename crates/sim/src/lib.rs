@@ -38,15 +38,15 @@ mod runtime;
 
 pub use api::{Api, DataRequest, Frame, FrameKind, NeighborEntry, ProtocolNode, TrafficClass};
 pub use config::{
-    EnergyConfig, LocationPolicy, MacConfig, MobilityKind, ScenarioConfig, ScenarioError,
-    TrafficConfig,
+    EnergyConfig, InsiderConfig, InsiderMode, LocationPolicy, MacConfig, MobilityKind, Placement,
+    ScenarioConfig, ScenarioError, TrafficConfig,
 };
 pub use engine::{EventId, EventQueue};
 pub use fault::{FaultPlan, LinkDegradation, NodeCrash, RegionOutage};
 pub use guard::{RunAbort, RunBudget, WALL_CHECK_INTERVAL};
 pub use ids::{NodeId, PacketId, SessionId, TimerToken};
 pub use location::{LocationInfo, LocationService};
-pub use metrics::{Metrics, PacketRecord};
+pub use metrics::{Metrics, NodeEnergyAccounting, PacketRecord};
 pub use runtime::{FrameAudit, Observer, Session, TxEvent, World};
 
 // Re-export the observability vocabulary so downstream crates (bench,

@@ -71,6 +71,29 @@ pub struct Metrics {
     /// Radio energy spent receiving, joules (one receive per resolved
     /// frame delivery).
     pub energy_rx_j: f64,
+    /// Per-node energy-meter accounting; all-zero unless the scenario arms
+    /// `energy.initial_j` (the serde default keeps old snapshots loading).
+    #[serde(default)]
+    pub node_energy: NodeEnergyAccounting,
+}
+
+/// Drain accounting for the per-node energy meter, split by cause. The
+/// energy-conservation oracle checks `drained_j == tx + rx + idle + beacon`
+/// and that drained energy equals the sum of what every meter lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeEnergyAccounting {
+    /// Total joules drained from all meters, all causes.
+    pub drained_j: f64,
+    /// Joules drained by data-plane transmissions.
+    pub tx_j: f64,
+    /// Joules drained by data-plane receptions.
+    pub rx_j: f64,
+    /// Joules drained by idle baseline draw.
+    pub idle_j: f64,
+    /// Joules drained by hello beaconing (tx and rx sides).
+    pub beacon_j: f64,
+    /// Nodes that ran their meter to zero and died.
+    pub deaths: u64,
 }
 
 impl Metrics {

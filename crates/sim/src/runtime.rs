@@ -12,7 +12,8 @@ use crate::metrics::Metrics;
 use alert_crypto::{KeyPair, MacAddress, Pseudonym, PseudonymGenerator, PublicKey};
 use alert_geom::{Point, Rect, SpatialGrid};
 use alert_mobility::{
-    GroupMobility, GroupMobilityConfig, Mobility, RandomWaypoint, RandomWaypointConfig, StaticField,
+    GroupMobility, GroupMobilityConfig, ManhattanConfig, ManhattanGrid, Mobility, RandomWaypoint,
+    RandomWaypointConfig, StaticField,
 };
 use alert_trace::{
     CounterHandle, DropReason, HistogramHandle, MetricsTimeseries, Registry, RegistrySnapshot,
@@ -102,6 +103,11 @@ pub(crate) enum Event<M> {
     RegionRecover {
         index: usize,
     },
+    /// Energy model: a node's battery hit zero; it goes down permanently
+    /// (no matching recovery is ever scheduled).
+    EnergyDeplete {
+        node: NodeId,
+    },
     /// Link-layer ARQ retransmission of a failed unicast frame.
     Retry {
         from: NodeId,
@@ -128,6 +134,7 @@ impl<M> Event<M> {
             Event::NodeUp { .. } => "node_up",
             Event::RegionOutage { .. } => "region_outage",
             Event::RegionRecover { .. } => "region_recover",
+            Event::EnergyDeplete { .. } => "energy_deplete",
             Event::Retry { .. } => "retry",
         }
     }
@@ -154,6 +161,8 @@ pub(crate) struct SimStats {
     pub(crate) node_downs: CounterHandle,
     pub(crate) node_ups: CounterHandle,
     pub(crate) run_aborts: CounterHandle,
+    pub(crate) energy_deaths: CounterHandle,
+    pub(crate) cluster_heads: CounterHandle,
     pub(crate) latency_s: HistogramHandle,
     pub(crate) hops: HistogramHandle,
     pub(crate) mac_backoff_s: HistogramHandle,
@@ -180,6 +189,8 @@ impl SimStats {
         let node_downs = registry.counter("node.downs");
         let node_ups = registry.counter("node.ups");
         let run_aborts = registry.counter("run.aborts");
+        let energy_deaths = registry.counter("energy.deaths");
+        let cluster_heads = registry.counter("energy.cluster_heads");
         let latency_s = registry.histogram("latency_s");
         let hops = registry.histogram("hops");
         let mac_backoff_s = registry.histogram("mac_backoff_s");
@@ -203,6 +214,8 @@ impl SimStats {
             node_downs,
             node_ups,
             run_aborts,
+            energy_deaths,
+            cluster_heads,
             latency_s,
             hops,
             mac_backoff_s,
@@ -332,6 +345,30 @@ pub(crate) struct WorldCore<M> {
     pub(crate) tx_busy_until: Vec<f64>,
     pub(crate) cur_pseudonyms: Vec<Pseudonym>,
     pub(crate) public_keys: Vec<PublicKey>,
+    /// Remaining battery per node in joules. Empty when the scenario has
+    /// no energy budget (`EnergyConfig::initial_j` unset), so the legacy
+    /// unmetered path pays a single is-empty branch and nothing else.
+    pub(crate) energy_j: Vec<f64>,
+    /// Whether a node's battery has already hit zero (its depletion event
+    /// is scheduled exactly once). Same length as `energy_j`.
+    pub(crate) energy_dead: Vec<bool>,
+    /// Cluster-head flags from the most recent hello-round election; a
+    /// head transmits with a boosted radio range.
+    pub(crate) cluster_head: Vec<bool>,
+    /// Nodes below the relay-energy threshold this hello round: they
+    /// withhold beacons, steering forwarding away from drained relays.
+    pub(crate) low_energy: Vec<bool>,
+}
+
+/// What a battery drain is charged against (per-cause accounting in
+/// [`Metrics::node_energy`], which the energy-conservation oracle checks
+/// against the total).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EnergyCause {
+    Tx,
+    Rx,
+    Idle,
+    Beacon,
 }
 
 /// Scratch buffers reused across [`WorldCore::hello_tick`] rounds. All
@@ -370,6 +407,48 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
     /// Whether `node` is currently crashed (fault plan).
     pub(crate) fn is_down(&self, node: NodeId) -> bool {
         self.down_depth[node.0] > 0
+    }
+
+    /// Whether the per-node energy meter is active for this run.
+    pub(crate) fn energy_metered(&self) -> bool {
+        !self.energy_j.is_empty()
+    }
+
+    /// Drains `joules` from `node`'s battery — clamped to the remaining
+    /// charge, so the per-cause drain counters sum exactly to the total
+    /// drained and the meter never goes negative — and schedules the
+    /// depletion event when the meter hits zero. No-op for unmetered runs.
+    pub(crate) fn charge_energy(&mut self, node: NodeId, joules: f64, cause: EnergyCause) {
+        if self.energy_j.is_empty() {
+            return;
+        }
+        let take = joules.max(0.0).min(self.energy_j[node.0]);
+        self.energy_j[node.0] -= take;
+        let acct = &mut self.metrics.node_energy;
+        acct.drained_j += take;
+        match cause {
+            EnergyCause::Tx => acct.tx_j += take,
+            EnergyCause::Rx => acct.rx_j += take,
+            EnergyCause::Idle => acct.idle_j += take,
+            EnergyCause::Beacon => acct.beacon_j += take,
+        }
+        self.check_energy_death(node);
+    }
+
+    /// Schedules the permanent shutdown of `node` if its battery is empty
+    /// and its depletion event hasn't been scheduled yet. Depletion is a
+    /// crash with no recovery: the `down_depth`/epoch machinery wipes the
+    /// node's volatile state, and because no matching up event ever
+    /// enters the queue the nesting counter keeps the node silent for the
+    /// rest of the run even when a fault-plan outage overlaps.
+    pub(crate) fn check_energy_death(&mut self, node: NodeId) {
+        if self.energy_j.is_empty() || self.energy_dead[node.0] || self.energy_j[node.0] > 0.0 {
+            return;
+        }
+        self.energy_dead[node.0] = true;
+        self.metrics.node_energy.deaths += 1;
+        self.stats.registry.inc(self.stats.energy_deaths);
+        self.queue.schedule_in(0.0, Event::EnergyDeplete { node });
     }
 
     /// Central drop bookkeeping: legacy `Metrics.drops` string map, the
@@ -481,6 +560,15 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
         let at = start + airtime;
         let from_pseudonym = self.cur_pseudonyms[from.0];
         self.metrics.energy_tx_j += airtime * self.cfg.energy.tx_watts;
+        self.charge_energy(from, airtime * self.cfg.energy.tx_watts, EnergyCause::Tx);
+        // A cluster head transmits at boosted power, extending its own
+        // range; plain members (and every node of an unmetered run) use
+        // the configured radio range unchanged.
+        let range_m = if !self.cluster_head.is_empty() && self.cluster_head[from.0] {
+            mac.range_m * self.cfg.energy.cluster_head_range_boost
+        } else {
+            mac.range_m
+        };
 
         let tx_kind = match dest {
             TxDest::Unicast(_) => TxKind::Unicast,
@@ -533,7 +621,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
             TxDest::Unicast(p) => {
                 if let Some(&to) = self.pseudonym_map.get(&p) {
                     let in_range =
-                        self.position(to).distance(from_pos) <= mac.range_m && to != from;
+                        self.position(to).distance(from_pos) <= range_m && to != from;
                     let down = self.is_down(to);
                     let lost = loss > 0.0 && self.rng.gen_range(0.0..1.0) < loss;
                     if !in_range || down || lost {
@@ -548,6 +636,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                     } else {
                         receiver = Some(to);
                         self.metrics.energy_rx_j += airtime * self.cfg.energy.rx_watts;
+                        self.charge_energy(to, airtime * self.cfg.energy.rx_watts, EnergyCause::Rx);
                         self.stats.registry.inc(self.stats.rx_frames);
                         self.tracer.emit_with(|| TraceEvent::Rx {
                             time: now,
@@ -579,7 +668,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                 // needs `&mut self`) and handed back with its capacity.
                 let mut targets = std::mem::take(&mut self.bcast_targets);
                 targets.clear();
-                self.grid.for_each_in_range(from_pos, mac.range_m, |id, _| {
+                self.grid.for_each_in_range(from_pos, range_m, |id, _| {
                     if id != from.0 {
                         targets.push(NodeId(id));
                     }
@@ -595,6 +684,7 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                     let lost = loss > 0.0 && self.rng.gen_range(0.0..1.0) < loss;
                     if !lost {
                         self.metrics.energy_rx_j += airtime * self.cfg.energy.rx_watts;
+                        self.charge_energy(to, airtime * self.cfg.energy.rx_watts, EnergyCause::Rx);
                         self.stats.registry.inc(self.stats.rx_frames);
                         self.tracer.emit_with(|| TraceEvent::Rx {
                             time: now,
@@ -686,6 +776,42 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                 });
             }
         }
+        // Energy-aware round setup (metered scenarios only; an unmetered
+        // run takes none of these branches and draws no extra RNG, so its
+        // event stream is byte-identical to the pre-energy runtime).
+        let metered = self.energy_metered();
+        if metered {
+            let initial = self.cfg.energy.initial_j.unwrap_or(0.0);
+            // Nodes below the relay threshold withhold their beacon this
+            // round: neighbors stop learning about them, which steers
+            // forwarding away from nearly-drained relays.
+            let floor = self.cfg.energy.relay_threshold_fraction * initial;
+            for i in 0..self.nodes.len() {
+                self.low_energy[i] = self.energy_j[i] < floor;
+            }
+            // Cluster-head election: each live node volunteers with
+            // probability `cluster_head_fraction` scaled by its remaining
+            // energy fraction, so headship rotates towards well-charged
+            // nodes. One RNG draw per live node, in id order.
+            if self.cfg.energy.cluster_head_fraction > 0.0 {
+                let mut heads = 0u64;
+                for i in 0..self.nodes.len() {
+                    let mut head = false;
+                    if self.down_depth[i] == 0 {
+                        let ratio = if initial > 0.0 {
+                            (self.energy_j[i] / initial).clamp(0.0, 1.0)
+                        } else {
+                            0.0
+                        };
+                        let p = self.cfg.energy.cluster_head_fraction * ratio;
+                        head = self.rng.gen_range(0.0..1.0) < p;
+                    }
+                    self.cluster_head[i] = head;
+                    heads += u64::from(head);
+                }
+                self.stats.registry.add(self.stats.cluster_heads, heads);
+            }
+        }
         // Neighbor-table eligibility margin: a link is only advertised if
         // it stays within radio range until the next hello even when both
         // endpoints move apart at full speed. This models the link-quality
@@ -722,10 +848,12 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
                 let pseudonyms = &self.cur_pseudonyms;
                 let public_keys = &self.public_keys;
                 let down_depth = &self.down_depth;
+                let low_energy = &self.low_energy;
                 self.grid.for_each_in_range(me, range, |id, pos| {
-                    if id == i || down_depth[id] > 0 {
-                        // Self, or a crashed neighbor whose radio sends no
-                        // beacon to be heard.
+                    if id == i || down_depth[id] > 0 || (metered && low_energy[id]) {
+                        // Self, a crashed neighbor whose radio sends no
+                        // beacon to be heard, or an energy-saving node
+                        // that withheld its beacon this round.
                         return;
                     }
                     heard[id] = round;
@@ -761,16 +889,45 @@ impl<M: Clone + std::fmt::Debug> WorldCore<M> {
             std::mem::swap(&mut self.nodes[i].neighbors, &mut scratch.table);
         }
         self.hello_scratch = scratch;
-        // Each live node broadcast one beacon this interval; charge the
-        // beacon airtime (tx once per node, rx once per table entry).
-        let alive = self.down_depth.iter().filter(|&&d| d == 0).count();
-        self.metrics.control_frames += alive as u64;
-        self.metrics.control_bytes += (alive * HELLO_BYTES) as u64;
+        // Each beaconing node broadcast one beacon this interval; charge
+        // the beacon airtime (tx once per node, rx once per table entry).
+        // Under the meter, a node below the relay threshold withheld its
+        // beacon and is excluded from the beacon accounting.
+        let low_energy = &self.low_energy;
+        let beaconing = self
+            .down_depth
+            .iter()
+            .enumerate()
+            .filter(|&(i, &d)| d == 0 && !(metered && low_energy[i]))
+            .count();
+        self.metrics.control_frames += beaconing as u64;
+        self.metrics.control_bytes += (beaconing * HELLO_BYTES) as u64;
         let beacon_airtime =
             self.cfg.mac.base_overhead_s + HELLO_BYTES as f64 * 8.0 / self.cfg.mac.bitrate_bps;
         let entries: usize = self.nodes.iter().map(|n| n.neighbors.len()).sum();
-        self.metrics.energy_tx_j += beacon_airtime * self.cfg.energy.tx_watts * alive as f64;
+        self.metrics.energy_tx_j += beacon_airtime * self.cfg.energy.tx_watts * beaconing as f64;
         self.metrics.energy_rx_j += beacon_airtime * self.cfg.energy.rx_watts * entries as f64;
+        if metered {
+            // Per-node meter: beacon tx for nodes that beaconed, beacon rx
+            // per heard table entry, and the idle floor over the interval.
+            // These drains can empty a battery and schedule its depletion.
+            let idle_j = self.cfg.energy.idle_watts * self.cfg.hello_interval_s;
+            let tx_j = beacon_airtime * self.cfg.energy.tx_watts;
+            let rx_unit = beacon_airtime * self.cfg.energy.rx_watts;
+            for i in 0..self.nodes.len() {
+                if self.down_depth[i] > 0 {
+                    continue;
+                }
+                if !self.low_energy[i] {
+                    self.charge_energy(NodeId(i), tx_j, EnergyCause::Beacon);
+                }
+                let heard = self.nodes[i].neighbors.len() as f64;
+                self.charge_energy(NodeId(i), rx_unit * heard, EnergyCause::Beacon);
+                if idle_j > 0.0 {
+                    self.charge_energy(NodeId(i), idle_j, EnergyCause::Idle);
+                }
+            }
+        }
     }
 
     fn location_tick(&mut self) {
@@ -849,7 +1006,7 @@ impl<P: ProtocolNode> World<P> {
     ) -> Result<Self, ScenarioError> {
         cfg.validate()?;
         let field = cfg.field();
-        let mobility: Box<dyn Mobility> = match cfg.mobility {
+        let mut mobility: Box<dyn Mobility> = match cfg.mobility {
             MobilityKind::RandomWaypoint => Box::new(RandomWaypoint::new(
                 field,
                 RandomWaypointConfig::fixed_speed(cfg.nodes, cfg.speed),
@@ -860,10 +1017,34 @@ impl<P: ProtocolNode> World<P> {
                 GroupMobilityConfig::paper(cfg.nodes, groups, range, cfg.speed),
                 seed ^ 0x0B0B_5EED,
             )),
+            MobilityKind::ManhattanGrid {
+                h_streets,
+                v_streets,
+                turn_prob,
+                speed_classes,
+            } => Box::new(ManhattanGrid::new(
+                field,
+                ManhattanConfig {
+                    nodes: cfg.nodes,
+                    h_streets,
+                    v_streets,
+                    turn_prob,
+                    speed: cfg.speed,
+                    speed_classes,
+                },
+                seed ^ 0x0B0B_5EED,
+            )),
             MobilityKind::Static => {
                 Box::new(StaticField::uniform(field, cfg.nodes, seed ^ 0x0B0B_5EED))
             }
         };
+        // Placement strategies (convoy, small teams) override the model's
+        // random initial positions. `place` draws nothing from the model
+        // RNG, so the movement draw stream is unchanged; street-bound
+        // models snap the requested points to their nearest legal spot.
+        if let Some(points) = cfg.placement.positions(field, cfg.nodes, seed) {
+            mobility.place(&points);
+        }
         Self::with_mobility(cfg, seed, mobility, None, factory)
     }
 
@@ -976,6 +1157,9 @@ impl<P: ProtocolNode> World<P> {
             }
         };
 
+        // Energy vectors are sized only for metered scenarios; an empty
+        // `energy_j` is the runtime's "no meter" signal.
+        let metered_nodes = if cfg.energy.metered() { cfg.nodes } else { 0 };
         let mut core = WorldCore {
             grid: SpatialGrid::new(field, cfg.mac.range_m),
             location: LocationService::new(cfg.nodes, cfg.location),
@@ -1003,12 +1187,25 @@ impl<P: ProtocolNode> World<P> {
             tx_busy_until: vec![0.0; cfg.nodes],
             cur_pseudonyms,
             public_keys,
+            energy_j: vec![cfg.energy.initial_j.unwrap_or(0.0); metered_nodes],
+            energy_dead: vec![false; metered_nodes],
+            cluster_head: vec![false; metered_nodes],
+            low_energy: vec![false; metered_nodes],
             cfg,
         };
         core.refresh_positions();
         core.rebuild_grid();
         core.hello_tick();
         core.location_tick();
+        // Nodes that start with an empty battery (or drained it on the
+        // construction beacon round) die at t = 0. Their depletion events
+        // enter the queue here — before the fault schedule and any traffic
+        // — so the FIFO tie-break dispatches energy deaths first at t = 0.
+        if core.energy_metered() {
+            for i in 0..core.cfg.nodes {
+                core.check_energy_death(NodeId(i));
+            }
+        }
 
         // Periodic machinery.
         let cfg = &core.cfg;
@@ -1278,6 +1475,13 @@ impl<P: ProtocolNode> World<P> {
                 for n in victims {
                     self.apply_node_up(n);
                 }
+            }
+            Event::EnergyDeplete { node } => {
+                // Battery exhausted: a crash with no recovery. Nesting
+                // through `down_depth` keeps overlap with fault-plan
+                // outages correct — a later fault recovery shallows the
+                // outage but cannot revive a drained node.
+                self.apply_node_down(node);
             }
             Event::Retry {
                 from,
@@ -1571,6 +1775,22 @@ impl<P: ProtocolNode> World<P> {
     /// The location service (message accounting, policy).
     pub fn location(&self) -> &LocationService {
         &self.core.location
+    }
+
+    /// Remaining battery per node in joules, or `None` when the scenario
+    /// has no energy budget ([`crate::EnergyConfig`] `initial_j` unset).
+    pub fn energy_remaining(&self) -> Option<&[f64]> {
+        if self.core.energy_j.is_empty() {
+            None
+        } else {
+            Some(&self.core.energy_j)
+        }
+    }
+
+    /// Whether `node` was elected a cluster head in the most recent hello
+    /// round. Always `false` for unmetered scenarios.
+    pub fn is_cluster_head(&self, node: NodeId) -> bool {
+        self.core.cluster_head.get(node.0).copied().unwrap_or(false)
     }
 
     /// Read access to a node's protocol instance (experiment analysis).

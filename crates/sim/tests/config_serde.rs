@@ -2,7 +2,9 @@
 //! must survive serialization round-trips bit for bit so experiment specs
 //! can be stored and replayed.
 
-use alert_sim::{LocationPolicy, MobilityKind, RunBudget, ScenarioConfig};
+use alert_sim::{
+    InsiderConfig, InsiderMode, LocationPolicy, MobilityKind, Placement, RunBudget, ScenarioConfig,
+};
 
 fn roundtrip(cfg: &ScenarioConfig) -> ScenarioConfig {
     let json = serde_json::to_string(cfg).expect("serialize");
@@ -61,6 +63,67 @@ fn scenarios_without_a_budget_field_parse_as_unlimited() {
     json.replace_range(start..end, "");
     let cfg: ScenarioConfig = serde_json::from_str(&json).expect("budget-less scenario parses");
     assert!(cfg.budget.is_unlimited());
+    assert_eq!(cfg, ScenarioConfig::default());
+}
+
+#[test]
+fn scenario_diversity_knobs_roundtrip() {
+    let mut cfg = ScenarioConfig::default()
+        .with_nodes(80)
+        .with_duration(30.0)
+        .with_mobility(MobilityKind::ManhattanGrid {
+            h_streets: 5,
+            v_streets: 3,
+            turn_prob: 0.25,
+            speed_classes: 3,
+        });
+    cfg.placement = Placement::SmallTeams {
+        team_size: 4,
+        spread_m: 35.0,
+    };
+    cfg.energy.initial_j = Some(750.0);
+    cfg.energy.idle_watts = 0.05;
+    cfg.energy.cluster_head_fraction = 0.12;
+    cfg.energy.cluster_head_range_boost = 1.4;
+    cfg.energy.relay_threshold_fraction = 0.1;
+    cfg.insiders = InsiderConfig {
+        fraction: 0.2,
+        mode: InsiderMode::Drop,
+    };
+    cfg.validate().expect("a diverse scenario must validate");
+    assert_eq!(roundtrip(&cfg), cfg);
+}
+
+#[test]
+fn legacy_scenarios_parse_with_the_new_knobs_defaulted() {
+    // Back-compat: scenario JSON written before placement, insiders, the
+    // per-node energy meter, or Manhattan mobility existed must keep
+    // parsing — and must mean exactly what it meant then: uniform
+    // placement, no insiders, unlimited batteries.
+    let mut v: serde_json::Value =
+        serde_json::to_value(ScenarioConfig::default()).expect("serialize");
+    let top = v.as_object_mut().expect("scenario is an object");
+    assert!(top.remove("placement").is_some(), "placement serialized");
+    assert!(top.remove("insiders").is_some(), "insiders serialized");
+    // The energy block predates the meter but not the aggregate watts
+    // fields, so strip only the meter-era keys inside it.
+    let energy = top
+        .get_mut("energy")
+        .and_then(|e| e.as_object_mut())
+        .expect("energy block");
+    for field in [
+        "initial_j",
+        "idle_watts",
+        "cluster_head_fraction",
+        "cluster_head_range_boost",
+        "relay_threshold_fraction",
+    ] {
+        assert!(energy.remove(field).is_some(), "{field} serialized");
+    }
+    let cfg: ScenarioConfig = serde_json::from_value(v).expect("legacy scenario parses");
+    assert_eq!(cfg.placement, Placement::Uniform);
+    assert!(!cfg.insiders.is_active());
+    assert!(!cfg.energy.metered());
     assert_eq!(cfg, ScenarioConfig::default());
 }
 

@@ -29,6 +29,15 @@ pub trait WireAudit {
     fn visit_node_ids(&self, visit: &mut dyn FnMut(u64)) {
         let _ = visit;
     }
+
+    /// The application packet this message carries, when the wire format
+    /// exposes one. Feeds the insider adversary's tamper log so the
+    /// `insider-containment` oracle can correlate tampered frames with
+    /// the delivered set; `None` (the default) merely coarsens that
+    /// correlation — it never changes simulator behavior.
+    fn packet_id(&self) -> Option<u64> {
+        None
+    }
 }
 
 // The nine real protocols: all structurally anonymous at this level.
@@ -37,7 +46,11 @@ pub trait WireAudit {
 // these message types has a `NodeId` field, so the vacuous default *is*
 // the audit.
 impl WireAudit for AlertMsg {}
-impl WireAudit for GpsrMsg {}
+impl WireAudit for GpsrMsg {
+    fn packet_id(&self) -> Option<u64> {
+        Some(self.packet.0)
+    }
+}
 impl WireAudit for AlarmMsg {}
 impl WireAudit for Ao2pMsg {}
 impl WireAudit for ZapMsg {}
@@ -49,6 +62,10 @@ impl WireAudit for MapcpMsg {}
 impl WireAudit for LeakyMsg {
     fn visit_node_ids(&self, visit: &mut dyn FnMut(u64)) {
         visit(self.src_node);
+    }
+
+    fn packet_id(&self) -> Option<u64> {
+        Some(self.packet.0)
     }
 }
 
@@ -87,5 +104,18 @@ mod tests {
         let mut seen = Vec::new();
         msg.visit_node_ids(&mut |id| seen.push(id));
         assert_eq!(seen, vec![7]);
+    }
+
+    #[test]
+    fn packet_ids_are_exposed_where_the_wire_format_has_one() {
+        let msg = GpsrMsg {
+            packet: PacketId(9),
+            bytes: 512,
+            target: Point { x: 0.0, y: 0.0 },
+            dst: Pseudonym(42),
+            ttl: 10,
+            mode: alert_protocols::GpsrMode::Greedy,
+        };
+        assert_eq!(msg.packet_id(), Some(9));
     }
 }

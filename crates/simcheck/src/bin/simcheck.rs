@@ -69,8 +69,9 @@ fn main() {
             "--plant" => {
                 opts.plant = match it.next().map(String::as_str) {
                     Some("leak") => Plant::Leak,
+                    Some("insider") => Plant::Insider,
                     Some("none") => Plant::None,
-                    _ => die("--plant needs one of: none, leak"),
+                    _ => die("--plant needs one of: none, leak, insider"),
                 }
             }
             "--list-invariants" => {

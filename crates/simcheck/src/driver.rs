@@ -9,6 +9,7 @@
 //! drift between protocol arms.
 
 use crate::audit::WireAudit;
+use alert_adversary::{tamper_log, Insider};
 use alert_bench::planted::LeakyGeo;
 use alert_bench::{ProtocolChoice, RunFailure};
 use alert_core::Alert;
@@ -19,6 +20,7 @@ use alert_sim::{
     TraceEvent, TraceSink, TxEvent, World,
 };
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 /// One frame as the audit hook saw it: when it was put on the air, who
@@ -48,6 +50,23 @@ pub struct PosSample {
     pub pos: Point,
 }
 
+/// What the insider cohort saw and did during a run with active
+/// [`alert_sim::InsiderConfig`] — the evidence the `insider-containment`
+/// oracle correlates with the delivered set.
+#[derive(Debug, Clone, Default)]
+pub struct InsiderOutcome {
+    /// Ground-truth ids of the compromised nodes.
+    pub compromised: Vec<u64>,
+    /// Frames received by compromised relays.
+    pub observed: u64,
+    /// Frames swallowed by `Drop` insiders.
+    pub dropped: u64,
+    /// Frames whose payload an insider corrupted.
+    pub modified: u64,
+    /// Packet ids of tampered frames (where the wire format exposes one).
+    pub tampered_packets: BTreeSet<u64>,
+}
+
 /// Everything one instrumented case run produced, for the oracles.
 #[derive(Debug)]
 pub struct CaseRun {
@@ -72,6 +91,9 @@ pub struct CaseRun {
     /// must hold on the prefix — but completion-shaped invariants
     /// (conservation) are skipped.
     pub aborted: Option<RunAbort>,
+    /// Insider-cohort evidence, present iff the scenario's
+    /// [`alert_sim::InsiderConfig`] is active.
+    pub insider: Option<InsiderOutcome>,
 }
 
 /// The trace sink used for checking: buffers every event in memory.
@@ -94,7 +116,54 @@ impl Observer for TxCollector {
 
 /// Runs one case fully instrumented. Generic choke point; use
 /// [`run_case`] for the `ProtocolChoice` front door.
+///
+/// When the scenario's insider plan is active, every node's protocol is
+/// wrapped in the adversary crate's [`Insider`] (the compromised set
+/// chosen purely from `(cfg.insiders, nodes, seed)`, so the bench runner
+/// agrees), and the shared tamper log is drained into
+/// [`CaseRun::insider`] after the run.
 fn drive_checked<P, F>(cfg: &ScenarioConfig, seed: u64, factory: F) -> Result<CaseRun, RunFailure>
+where
+    P: ProtocolNode,
+    P::Msg: WireAudit,
+    F: FnMut(NodeId, &ScenarioConfig) -> P,
+{
+    if !cfg.insiders.is_active() {
+        return drive_world(cfg, seed, factory);
+    }
+    let plan = cfg.insiders;
+    let chosen = plan.choose(cfg.nodes, seed);
+    let compromised: Vec<u64> = chosen
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &c)| c.then_some(i as u64))
+        .collect();
+    let log = tamper_log();
+    let factory_log = log.clone();
+    let mut factory = factory;
+    let mut run = drive_world(cfg, seed, move |id: NodeId, c: &ScenarioConfig| {
+        Insider::new(
+            factory(id, c),
+            id.0 as u64,
+            plan.mode,
+            chosen[id.0],
+            factory_log.clone(),
+            |m: &P::Msg| m.packet_id(),
+        )
+    })?;
+    let tampered = log.lock();
+    run.insider = Some(InsiderOutcome {
+        compromised,
+        observed: tampered.observed,
+        dropped: tampered.dropped,
+        modified: tampered.modified,
+        tampered_packets: tampered.tampered_packets.clone(),
+    });
+    Ok(run)
+}
+
+/// The uninstrumented-protocol inner body of [`drive_checked`].
+fn drive_world<P, F>(cfg: &ScenarioConfig, seed: u64, factory: F) -> Result<CaseRun, RunFailure>
 where
     P: ProtocolNode,
     P::Msg: WireAudit,
@@ -174,6 +243,7 @@ where
         metrics: w.metrics().clone(),
         registry: w.registry_snapshot(),
         aborted,
+        insider: None,
     })
 }
 
@@ -253,6 +323,27 @@ mod tests {
         let plain = alert_bench::try_run_once(ProtocolChoice::Gpsr, &cfg, 7).unwrap();
         assert_eq!(run.metrics.delivery_rate(), plain.delivery_rate());
         assert_eq!(run.metrics.hops_per_packet(), plain.hops_per_packet());
+    }
+
+    #[test]
+    fn log_mode_insiders_collect_evidence_without_perturbing_the_run() {
+        use alert_sim::{InsiderConfig, InsiderMode};
+        let mut cfg = small();
+        cfg.insiders = InsiderConfig {
+            fraction: 0.25,
+            mode: InsiderMode::Log,
+        };
+        let run = run_case(ProtocolChoice::Gpsr, &cfg, 7).unwrap();
+        let ins = run.insider.as_ref().expect("active plan collects evidence");
+        assert!(!ins.compromised.is_empty());
+        // Log-mode insiders forward faithfully: the run is event-for-event
+        // the run without them.
+        let mut honest = cfg.clone();
+        honest.insiders = InsiderConfig::default();
+        let base = run_case(ProtocolChoice::Gpsr, &honest, 7).unwrap();
+        assert!(base.insider.is_none());
+        assert_eq!(run.metrics.delivery_rate(), base.metrics.delivery_rate());
+        assert_eq!(run.events.len(), base.events.len());
     }
 
     #[test]

@@ -13,7 +13,10 @@
 
 use alert_bench::ProtocolChoice;
 use alert_core::AlertConfig;
-use alert_sim::{FaultPlan, LinkDegradation, MobilityKind, RegionOutage, ScenarioConfig};
+use alert_sim::{
+    FaultPlan, InsiderConfig, InsiderMode, LinkDegradation, MobilityKind, Placement, RegionOutage,
+    ScenarioConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -39,6 +42,11 @@ pub enum Plant {
     /// Every fourth case (including case 0) runs the NodeId-leaking
     /// plant, proving the oracle suite catches it.
     Leak,
+    /// Every fourth case (including case 0) runs the insider drill: a
+    /// fixed well-connected GPSR scenario in which *every* relay is a
+    /// stealth-tampering insider, proving the `insider-containment`
+    /// oracle catches undetected modification.
+    Insider,
 }
 
 /// SplitMix64 — the standard seed mixer; decorrelates adjacent case
@@ -88,13 +96,50 @@ pub fn gen_case(master_seed: u64, index: usize, plant: Plant) -> Case {
     };
     cfg.duration_s = rng.gen_range(2..=15) as f64;
     cfg.speed = rng.gen_range(0.5..10.0);
-    cfg.mobility = match rng.gen_range(0u32..4) {
+    cfg.mobility = match rng.gen_range(0u32..6) {
         0 => MobilityKind::Static,
         1 => MobilityKind::Group {
             groups: rng.gen_range(1..=cfg.nodes.min(4)),
             range: rng.gen_range(50.0..200.0),
         },
+        2 | 3 => {
+            // Manhattan grid, biased toward the degenerate single-street
+            // city and the never-turn / always-turn corners.
+            let (h_streets, v_streets) = if rng.gen_bool(0.2) {
+                (1, 1)
+            } else {
+                (rng.gen_range(2..=6), rng.gen_range(2..=6))
+            };
+            let turn_prob = match rng.gen_range(0u32..6) {
+                0 => 0.0,
+                1 => 1.0,
+                _ => rng.gen_range(0.0..1.0),
+            };
+            MobilityKind::ManhattanGrid {
+                h_streets,
+                v_streets,
+                turn_prob,
+                speed_classes: rng.gen_range(1..=3),
+            }
+        }
         _ => MobilityKind::RandomWaypoint,
+    };
+
+    // Initial placement, orthogonal to mobility: mostly uniform, with a
+    // convoy line or small-teams clusters a quarter of the time. The
+    // team-size draw reaches both the 1-node-team corner and the
+    // everyone-in-one-team corner; spread 0 stacks a team on one point.
+    cfg.placement = match rng.gen_range(0u32..8) {
+        0 => Placement::Convoy,
+        1 => Placement::SmallTeams {
+            team_size: rng.gen_range(1..=cfg.nodes),
+            spread_m: if rng.gen_bool(0.2) {
+                0.0
+            } else {
+                rng.gen_range(5.0..60.0)
+            },
+        },
+        _ => Placement::Uniform,
     };
 
     // Channel: half the cases run lossless; the rest sample moderate
@@ -147,6 +192,42 @@ pub fn gen_case(master_seed: u64, index: usize, plant: Plant) -> Case {
         },
     };
 
+    // Energy metering: a quarter of the cases run on a battery, with a
+    // zero-energy-start corner (everyone dead at t=0) and occasional
+    // cluster-head election / idle drain.
+    if rng.gen_bool(0.25) {
+        cfg.energy.initial_j = Some(if rng.gen_bool(0.10) {
+            0.0
+        } else {
+            rng.gen_range(20.0..2_000.0)
+        });
+        if rng.gen_bool(0.3) {
+            cfg.energy.idle_watts = rng.gen_range(0.0..0.2);
+        }
+        if rng.gen_bool(0.3) {
+            cfg.energy.cluster_head_fraction = 0.12;
+        }
+    }
+
+    // Insider adversaries: a fifth of the cases compromise some relays.
+    // Honest fuzzing never draws ModifyStealth — tampering that evades
+    // the integrity check is exactly the defect the containment oracle
+    // exists to catch, so it is reserved for the planted drill.
+    if rng.gen_bool(0.2) {
+        cfg.insiders = InsiderConfig {
+            fraction: if rng.gen_bool(0.1) {
+                1.0 // all-relays-compromised corner
+            } else {
+                rng.gen_range(0.05..0.5)
+            },
+            mode: match rng.gen_range(0u32..3) {
+                0 => InsiderMode::Log,
+                1 => InsiderMode::Drop,
+                _ => InsiderMode::Modify,
+            },
+        };
+    }
+
     // Budget-truncation corner: the run aborts mid-flight and the
     // oracles must still hold on the prefix.
     if rng.gen_bool(0.1) {
@@ -155,6 +236,10 @@ pub fn gen_case(master_seed: u64, index: usize, plant: Plant) -> Case {
 
     let protocol = match plant {
         Plant::Leak if index % 4 == 0 => ProtocolChoice::LeakyNodeId,
+        Plant::Insider if index % 4 == 0 => {
+            cfg = insider_drill_scenario();
+            ProtocolChoice::Gpsr
+        }
         _ => honest_protocol(&mut rng),
     };
     Case {
@@ -165,6 +250,22 @@ pub fn gen_case(master_seed: u64, index: usize, plant: Plant) -> Case {
     }
 }
 
+/// The insider-drill scenario: a fixed, well-connected, static GPSR
+/// world with every relay compromised in stealth-tamper mode. Traffic
+/// gets delivered, every forwarded frame is modified undetected, and the
+/// `insider-containment` oracle must fire — and nothing else.
+pub fn insider_drill_scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default().with_nodes(40).with_duration(8.0);
+    cfg.traffic.pairs = 3;
+    cfg.mobility = MobilityKind::Static;
+    cfg.mac.loss_probability = 0.0;
+    cfg.insiders = InsiderConfig {
+        fraction: 1.0,
+        mode: InsiderMode::ModifyStealth,
+    };
+    cfg
+}
+
 impl Case {
     /// One deterministic line describing the case (the report row).
     pub fn describe(&self) -> String {
@@ -172,6 +273,28 @@ impl Case {
             MobilityKind::RandomWaypoint => "rwp".to_string(),
             MobilityKind::Static => "static".to_string(),
             MobilityKind::Group { groups, .. } => format!("group{groups}"),
+            MobilityKind::ManhattanGrid {
+                h_streets,
+                v_streets,
+                ..
+            } => format!("manhattan{h_streets}x{v_streets}"),
+        };
+        let place = match self.cfg.placement {
+            Placement::Uniform => String::new(),
+            Placement::Convoy => " place=convoy".to_string(),
+            Placement::SmallTeams { team_size, .. } => format!(" place=teams{team_size}"),
+        };
+        let energy = match self.cfg.energy.initial_j {
+            Some(j) => format!(" energy={j:.0}J"),
+            None => String::new(),
+        };
+        let insiders = if self.cfg.insiders.is_active() {
+            format!(
+                " insiders={:.2}/{}",
+                self.cfg.insiders.fraction, self.cfg.insiders.mode
+            )
+        } else {
+            String::new()
         };
         let faults = if self.cfg.faults.is_empty() {
             "none".to_string()
@@ -188,7 +311,7 @@ impl Case {
             None => String::new(),
         };
         format!(
-            "{} nodes={} pairs={} dur={} mob={mob} loss={:.2} arq={} faults={faults}{budget} seed={}",
+            "{} nodes={} pairs={} dur={} mob={mob} loss={:.2} arq={} faults={faults}{place}{energy}{insiders}{budget} seed={}",
             self.protocol.name(),
             self.cfg.nodes,
             self.cfg.traffic.pairs,
@@ -243,14 +366,16 @@ mod tests {
 
     #[test]
     fn every_generated_scenario_validates() {
-        for i in 0..300 {
-            let c = gen_case(0xDEAD_BEEF, i, Plant::Leak);
-            assert!(
-                c.cfg.validate().is_ok(),
-                "case {i} invalid: {:?} / {:?}",
-                c.cfg.validate(),
-                c.cfg
-            );
+        for plant in [Plant::Leak, Plant::Insider] {
+            for i in 0..300 {
+                let c = gen_case(0xDEAD_BEEF, i, plant);
+                assert!(
+                    c.cfg.validate().is_ok(),
+                    "case {i} invalid: {:?} / {:?}",
+                    c.cfg.validate(),
+                    c.cfg
+                );
+            }
         }
     }
 
@@ -276,6 +401,80 @@ mod tests {
             cases.iter().any(|c| c.cfg.mac.loss_probability > 0.8),
             "no near-blackout channel"
         );
+    }
+
+    #[test]
+    fn new_scenario_knobs_and_their_corners_are_reachable() {
+        let cases: Vec<Case> = (0..400).map(|i| gen_case(2, i, Plant::None)).collect();
+        assert!(
+            cases.iter().any(|c| matches!(
+                c.cfg.mobility,
+                MobilityKind::ManhattanGrid {
+                    h_streets: 1,
+                    v_streets: 1,
+                    ..
+                }
+            )),
+            "no single-street city"
+        );
+        assert!(
+            cases.iter().any(|c| matches!(
+                c.cfg.mobility,
+                MobilityKind::ManhattanGrid { turn_prob, .. } if turn_prob == 0.0
+            )),
+            "no never-turn corner"
+        );
+        assert!(
+            cases.iter().any(|c| matches!(
+                c.cfg.mobility,
+                MobilityKind::ManhattanGrid { turn_prob, .. } if turn_prob == 1.0
+            )),
+            "no always-turn corner"
+        );
+        assert!(
+            cases.iter().any(|c| c.cfg.placement == Placement::Convoy),
+            "no convoy placement"
+        );
+        assert!(
+            cases
+                .iter()
+                .any(|c| matches!(c.cfg.placement, Placement::SmallTeams { team_size: 1, .. })),
+            "no 1-node-team corner"
+        );
+        assert!(
+            cases.iter().any(|c| c.cfg.energy.initial_j == Some(0.0)),
+            "no zero-energy start"
+        );
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.cfg.energy.metered() && c.cfg.energy.cluster_head_fraction > 0.0),
+            "no cluster-head election"
+        );
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.cfg.insiders.is_active() && c.cfg.insiders.fraction == 1.0),
+            "no all-relays-compromised corner"
+        );
+        assert!(
+            cases
+                .iter()
+                .all(|c| c.cfg.insiders.mode != InsiderMode::ModifyStealth),
+            "honest fuzzing must never draw the stealth plant"
+        );
+    }
+
+    #[test]
+    fn insider_plant_interleaves_the_drill() {
+        let c0 = gen_case(0, 0, Plant::Insider);
+        assert_eq!(c0.protocol, ProtocolChoice::Gpsr);
+        assert_eq!(c0.cfg, insider_drill_scenario());
+        assert_eq!(c0.cfg.insiders.mode, InsiderMode::ModifyStealth);
+        assert!(c0.cfg.validate().is_ok());
+        // Non-planted cases are untouched by the plant choice.
+        let honest = gen_case(0, 1, Plant::Insider);
+        assert_eq!(honest.cfg, gen_case(0, 1, Plant::None).cfg);
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub mod report;
 pub mod shrink;
 
 pub use audit::WireAudit;
-pub use driver::{run_case, CaseRun, FrameRecord, PosSample};
-pub use fuzz::{flag_encodable, gen_case, Case, Plant};
+pub use driver::{run_case, CaseRun, FrameRecord, InsiderOutcome, PosSample};
+pub use fuzz::{flag_encodable, gen_case, insider_drill_scenario, Case, Plant};
 pub use oracle::{check_all, Violation, INVARIANTS};
-pub use report::{run_suite, SuiteOptions, SuiteSummary};
+pub use report::{coverage_lines, run_suite, SuiteOptions, SuiteSummary};
 pub use shrink::{reproduces, shrink, Shrunk};

@@ -25,7 +25,7 @@ use crate::driver::{position_tolerance_m, CaseRun};
 use alert_bench::ProtocolChoice;
 use alert_geom::Point;
 use alert_trace::{trace_stats, DownNodeAudit, TraceEvent};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One invariant violation: which oracle fired and why.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +82,14 @@ pub const INVARIANTS: &[(&str, &str)] = &[
         "every delivery/drop/hop references a registered packet, delivery follows send, trace and metrics agree on the delivered set",
     ),
     (
+        "energy-conservation",
+        "metered runs drain exactly what the per-cause meters account for, never more than the fleet carried, and death counts agree across planes",
+    ),
+    (
+        "insider-containment",
+        "a packet tampered by an insider is never delivered unless the tampering was detected (per-hop integrity)",
+    ),
+    (
         "no-panic",
         "no case panics the simulator (enforced by the fuzz loop's catch_unwind)",
     ),
@@ -102,6 +110,8 @@ pub fn check_all(protocol: ProtocolChoice, run: &CaseRun) -> Vec<Violation> {
     v.extend(no_node_id_on_wire(run));
     v.extend(frame_budget(protocol, run));
     v.extend(accounting_identities(run));
+    v.extend(energy_conservation(run));
+    v.extend(insider_containment(run));
     if run.aborted.is_none() {
         v.extend(packet_conservation(run));
     }
@@ -202,7 +212,9 @@ impl PositionIndex {
 pub fn radio_range(run: &CaseRun) -> Vec<Violation> {
     let mut out = Vec::new();
     let index = PositionIndex::build(run);
-    let range = run.cfg.mac.range_m;
+    // Cluster heads under the energy model transmit at a boosted range;
+    // the unit-disk bound must cover the strongest legal transmitter.
+    let range = run.cfg.mac.range_m * run.cfg.energy.max_range_boost();
     let tol = position_tolerance_m(&run.cfg);
     let mut tx_seen = 0usize;
     for ev in &run.events {
@@ -251,7 +263,7 @@ pub fn radio_range(run: &CaseRun) -> Vec<Violation> {
 pub fn hop_lower_bound(run: &CaseRun) -> Vec<Violation> {
     let mut out = Vec::new();
     let index = PositionIndex::build(run);
-    let range = run.cfg.mac.range_m;
+    let range = run.cfg.mac.range_m * run.cfg.energy.max_range_boost();
     let tol = position_tolerance_m(&run.cfg);
     for (id, rec) in run.metrics.packets.iter().enumerate() {
         let Some(delivered_at) = rec.delivered_at else {
@@ -482,6 +494,105 @@ pub fn accounting_identities(run: &CaseRun) -> Vec<Violation> {
     out
 }
 
+/// Accounting: on a metered run, the total energy drained equals the sum
+/// of the per-cause meters (tx, rx, idle, beacon — each charge site
+/// accrues into exactly one bucket), never exceeds what the fleet
+/// carried at t=0, and the death count agrees between the registry
+/// counter and the ground-truth metrics. Holds on aborted runs too:
+/// every charge updates both planes at the same site.
+pub fn energy_conservation(run: &CaseRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(initial) = run.cfg.energy.initial_j else {
+        return out;
+    };
+    let e = &run.metrics.node_energy;
+    let parts = e.tx_j + e.rx_j + e.idle_j + e.beacon_j;
+    // Float tolerance: the buckets and the total accumulate in different
+    // orders, so exact equality is not owed — proportional slack only.
+    let tol = 1e-9 * (1.0 + parts.abs());
+    if (e.drained_j - parts).abs() > tol {
+        push_capped(
+            &mut out,
+            "energy-conservation",
+            format!(
+                "drained {:.9} J but per-cause meters sum to {parts:.9} J \
+                 (tx={:.9} rx={:.9} idle={:.9} beacon={:.9})",
+                e.drained_j, e.tx_j, e.rx_j, e.idle_j, e.beacon_j
+            ),
+        );
+    }
+    let capacity = initial * run.cfg.nodes as f64;
+    if e.drained_j > capacity + tol {
+        push_capped(
+            &mut out,
+            "energy-conservation",
+            format!(
+                "drained {:.9} J from a fleet that carried only {capacity:.9} J",
+                e.drained_j
+            ),
+        );
+    }
+    let registry_deaths = run
+        .registry
+        .counters
+        .get("energy.deaths")
+        .copied()
+        .unwrap_or(0);
+    if registry_deaths != e.deaths {
+        push_capped(
+            &mut out,
+            "energy-conservation",
+            format!(
+                "registry energy.deaths={registry_deaths} but metrics say {}",
+                e.deaths
+            ),
+        );
+    }
+    out
+}
+
+/// Adversary contract: tampering never goes unnoticed. Every frame an
+/// insider modifies must either be caught by per-hop integrity (an
+/// `insider_modified` drop) or, failing that, the tampered packet must
+/// never reach its destination. A tampered *and delivered* packet with
+/// uncaught modifications is exactly the defect the `--plant insider`
+/// drill plants.
+pub fn insider_containment(run: &CaseRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(ins) = &run.insider else {
+        return out;
+    };
+    let caught = run
+        .metrics
+        .drops
+        .get("insider_modified")
+        .copied()
+        .unwrap_or(0);
+    if ins.modified <= caught {
+        return out; // every modification was detected and attributed
+    }
+    let delivered: BTreeSet<u64> = run
+        .metrics
+        .packets
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.delivered_at.is_some())
+        .map(|(i, _)| i as u64)
+        .collect();
+    for p in ins.tampered_packets.intersection(&delivered) {
+        push_capped(
+            &mut out,
+            "insider-containment",
+            format!(
+                "packet {p} was tampered by an insider ({} modifications, only {caught} \
+                 caught) yet delivered",
+                ins.modified
+            ),
+        );
+    }
+    out
+}
+
 /// Accounting: packet bookkeeping is conserved. Strict flow conservation
 /// ("sent = delivered + dropped") is deliberately *not* asserted — GPSR
 /// drops TTL-exhausted and unroutable packets silently by design — but
@@ -614,10 +725,54 @@ mod tests {
             "no-node-id-on-wire",
             "frame-budget",
             "accounting-identities",
+            "energy-conservation",
+            "insider-containment",
             "packet-conservation",
             "no-panic",
         ] {
             assert!(documented.contains(&name), "{name} undocumented");
         }
+    }
+
+    #[test]
+    fn metered_run_passes_energy_conservation() {
+        let mut cfg = small();
+        cfg.energy.initial_j = Some(200.0);
+        cfg.energy.idle_watts = 0.05;
+        cfg.energy.cluster_head_fraction = 0.12;
+        let run = run_case(ProtocolChoice::Gpsr, &cfg, 11).unwrap();
+        let v = check_all(ProtocolChoice::Gpsr, &run);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+        assert!(run.metrics.node_energy.drained_j > 0.0, "meter never ran");
+    }
+
+    #[test]
+    fn honest_insiders_pass_containment() {
+        use alert_sim::{InsiderConfig, InsiderMode};
+        for mode in [InsiderMode::Log, InsiderMode::Drop, InsiderMode::Modify] {
+            let mut cfg = small();
+            cfg.insiders = InsiderConfig {
+                fraction: 0.3,
+                mode,
+            };
+            let run = run_case(ProtocolChoice::Gpsr, &cfg, 11).unwrap();
+            let v = check_all(ProtocolChoice::Gpsr, &run);
+            assert!(v.is_empty(), "mode {mode}: unexpected violations: {v:?}");
+            assert!(run.insider.is_some(), "no insider evidence collected");
+        }
+    }
+
+    #[test]
+    fn stealth_tampering_trips_exactly_the_containment_oracle() {
+        let cfg = crate::fuzz::insider_drill_scenario();
+        let run = run_case(ProtocolChoice::Gpsr, &cfg, 11).unwrap();
+        let ins = run.insider.as_ref().expect("drill collects evidence");
+        assert!(ins.modified > 0, "drill produced no tampering");
+        let v = check_all(ProtocolChoice::Gpsr, &run);
+        assert!(!v.is_empty(), "stealth tampering went uncaught");
+        assert!(
+            v.iter().all(|x| x.invariant == "insider-containment"),
+            "drill tripped unrelated oracles: {v:?}"
+        );
     }
 }

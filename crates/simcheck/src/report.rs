@@ -160,6 +160,80 @@ fn emit_artifacts(opts: &SuiteOptions, case: &Case) -> io::Result<String> {
     Ok(replay)
 }
 
+/// The per-knob coverage counters over the first `cases` generated
+/// cases — the dead-knob guard. A knob whose counter sticks at zero is
+/// declared in `ScenarioConfig` but unreachable from the generator; the
+/// counters go into the report so a CI diff surfaces distribution
+/// drift, and a regression test pins them at a fixed master seed.
+/// Generation-only (no simulation), so recomputing is cheap.
+pub fn coverage_lines(seed: u64, cases: usize, plant: Plant) -> Vec<String> {
+    use alert_sim::{InsiderMode, MobilityKind, Placement};
+    let (mut m_static, mut m_group, mut m_manhattan, mut m_rwp) = (0, 0, 0, 0);
+    let (mut p_uniform, mut p_convoy, mut p_teams) = (0, 0, 0);
+    let (mut e_metered, mut e_zero, mut e_heads) = (0, 0, 0);
+    let (mut i_log, mut i_drop, mut i_modify, mut i_stealth) = (0, 0, 0, 0);
+    let (mut f_any, mut b_capped, mut t_zero_pairs, mut t_tiny) = (0, 0, 0, 0);
+    for index in 0..cases {
+        let cfg = gen_case(seed, index, plant).cfg;
+        match cfg.mobility {
+            MobilityKind::Static => m_static += 1,
+            MobilityKind::Group { .. } => m_group += 1,
+            MobilityKind::ManhattanGrid { .. } => m_manhattan += 1,
+            MobilityKind::RandomWaypoint => m_rwp += 1,
+        }
+        match cfg.placement {
+            Placement::Uniform => p_uniform += 1,
+            Placement::Convoy => p_convoy += 1,
+            Placement::SmallTeams { .. } => p_teams += 1,
+        }
+        if cfg.energy.metered() {
+            e_metered += 1;
+            if cfg.energy.initial_j == Some(0.0) {
+                e_zero += 1;
+            }
+            if cfg.energy.cluster_head_fraction > 0.0 {
+                e_heads += 1;
+            }
+        }
+        if cfg.insiders.is_active() {
+            match cfg.insiders.mode {
+                InsiderMode::Log => i_log += 1,
+                InsiderMode::Drop => i_drop += 1,
+                InsiderMode::Modify => i_modify += 1,
+                InsiderMode::ModifyStealth => i_stealth += 1,
+            }
+        }
+        if !cfg.faults.is_empty() {
+            f_any += 1;
+        }
+        if cfg.budget.max_events.is_some() {
+            b_capped += 1;
+        }
+        if cfg.traffic.pairs == 0 {
+            t_zero_pairs += 1;
+        }
+        if cfg.nodes <= 3 {
+            t_tiny += 1;
+        }
+    }
+    vec![
+        format!(
+            "# coverage: mobility static={m_static} group={m_group} \
+             manhattan={m_manhattan} rwp={m_rwp}"
+        ),
+        format!("# coverage: placement uniform={p_uniform} convoy={p_convoy} teams={p_teams}"),
+        format!("# coverage: energy metered={e_metered} zero-start={e_zero} cluster-heads={e_heads}"),
+        format!(
+            "# coverage: insiders log={i_log} drop={i_drop} modify={i_modify} \
+             stealth={i_stealth}"
+        ),
+        format!(
+            "# coverage: faults any={f_any} budget-capped={b_capped} \
+             zero-pairs={t_zero_pairs} tiny-world={t_tiny}"
+        ),
+    ]
+}
+
 /// Everything one executed case hands the committer: the generated
 /// case, how it fared, and (for violations) the shrunk reproduction.
 struct CaseWork {
@@ -185,6 +259,7 @@ pub fn run_suite(opts: &SuiteOptions, out: &mut dyn Write) -> io::Result<SuiteSu
         match opts.plant {
             Plant::None => "none",
             Plant::Leak => "leak",
+            Plant::Insider => "insider",
         }
     )?;
     let mut summary = SuiteSummary {
@@ -196,6 +271,7 @@ pub fn run_suite(opts: &SuiteOptions, out: &mut dyn Write) -> io::Result<SuiteSu
     let plant_tag: &[u8] = match opts.plant {
         Plant::None => b"none",
         Plant::Leak => b"leak",
+        Plant::Insider => b"insider",
     };
     let units: Vec<WorkUnit<usize>> = (0..opts.cases)
         .map(|index| WorkUnit {
@@ -320,6 +396,9 @@ pub fn run_suite(opts: &SuiteOptions, out: &mut dyn Write) -> io::Result<SuiteSu
             summary.cases_run, opts.cases
         )?;
     }
+    for line in coverage_lines(opts.seed, summary.cases_run, opts.plant) {
+        writeln!(out, "{line}")?;
+    }
     writeln!(
         out,
         "# summary: cases={} violations={} harness-errors={}",
@@ -376,6 +455,72 @@ mod tests {
         let (p_sum, p) = run_to_string(&parallel);
         assert_eq!(s, p, "jobs=4 report must match jobs=1 byte for byte");
         assert_eq!(s_sum, p_sum);
+    }
+
+    #[test]
+    fn coverage_counters_are_deterministic_and_guard_every_knob() {
+        let lines = coverage_lines(0, 300, Plant::None);
+        assert_eq!(lines, coverage_lines(0, 300, Plant::None));
+        let joined = lines.join("\n");
+        // Every counter except the reserved stealth plant must be
+        // exercised — a zero here means a declared knob became
+        // unreachable from the generator (a dead knob).
+        for dead in [
+            "static=0",
+            "group=0",
+            "manhattan=0",
+            "rwp=0",
+            "uniform=0",
+            "convoy=0",
+            "teams=0",
+            "metered=0",
+            "zero-start=0",
+            "cluster-heads=0",
+            "log=0",
+            "drop=0",
+            "modify=0",
+            "any=0",
+            "budget-capped=0",
+            "zero-pairs=0",
+            "tiny-world=0",
+        ] {
+            assert!(!joined.contains(dead), "dead knob: {dead}\n{joined}");
+        }
+        assert!(joined.contains("stealth=0"), "{joined}");
+    }
+
+    #[test]
+    fn coverage_distribution_is_pinned_at_the_fixed_master_seed() {
+        // The exact distribution at master seed 0 over 300 honest cases
+        // (under the deterministic offline `rand` stream, the same one the
+        // committed trace goldens use). A diff here means the generator's
+        // draw order changed, which invalidates every recorded replay
+        // command — bump deliberately.
+        assert_eq!(
+            coverage_lines(0, 300, Plant::None),
+            vec![
+                "# coverage: mobility static=55 group=46 manhattan=101 rwp=98".to_string(),
+                "# coverage: placement uniform=223 convoy=43 teams=34".to_string(),
+                "# coverage: energy metered=81 zero-start=7 cluster-heads=21".to_string(),
+                "# coverage: insiders log=20 drop=20 modify=24 stealth=0".to_string(),
+                "# coverage: faults any=174 budget-capped=32 zero-pairs=45 tiny-world=43"
+                    .to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn insider_plant_suite_is_caught_by_the_containment_oracle() {
+        let opts = SuiteOptions {
+            cases: 4,
+            seed: 0,
+            plant: Plant::Insider,
+            shrink_runs: 5,
+            ..SuiteOptions::default()
+        };
+        let (summary, report) = run_to_string(&opts);
+        assert!(summary.violated > 0, "insider drill went uncaught:\n{report}");
+        assert!(report.contains("insider-containment"), "{report}");
     }
 
     #[test]

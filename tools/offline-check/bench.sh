@@ -111,6 +111,8 @@ if [ -f crates/sim/tests/alloc_regression.rs ]; then
 fi
 build_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+build_test energy_model crates/sim/tests/energy_model.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 # The bench unit tests cover the leased pool, journal, and failure
 # ledger in-process; resume and pool_smoke drive the repro binary built
 # above (REPRO_BIN; there is no cargo here to set CARGO_BIN_EXE_repro).

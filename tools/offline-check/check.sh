@@ -148,6 +148,8 @@ check_test guardrails crates/sim/tests/guardrails.rs "${E_SERDE[@]}" \
     $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 check_test config_serde crates/sim/tests/config_serde.rs "${E_SERDE[@]}" \
     $(ex serde_json rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
+check_test energy_model crates/sim/tests/energy_model.rs "${E_SERDE[@]}" \
+    $(ex rand alert_geom alert_crypto alert_mobility alert_trace alert_sim)
 check_test resume crates/bench/tests/resume.rs "${E_ALL[@]}" $(ex alert_bench)
 check_test pool_smoke crates/bench/tests/pool_smoke.rs "${E_ALL[@]}" $(ex alert_bench)
 check_test tracequery_golden crates/bench/tests/tracequery_golden.rs "${E_ALL[@]}" \

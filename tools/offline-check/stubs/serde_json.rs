@@ -29,3 +29,38 @@ pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
 pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
     unimplemented!("serde_json stub")
 }
+
+/// Stand-in for `serde_json::Map` (generic like the real thing, which the
+/// workspace only ever instantiates as `Map<String, Value>`).
+pub type Map<K, V> = std::collections::BTreeMap<K, V>;
+
+/// Structural stand-in for `serde_json::Value` — just enough shape for
+/// tree-surgery code (`as_object_mut`, `remove`) to type-check.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// A JSON object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Stand-in for `Value::as_object_mut`.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            Value::Null => None,
+        }
+    }
+}
+
+/// Signature-compatible stand-in for `serde_json::to_value`.
+pub fn to_value<T: serde::Serialize>(_value: T) -> Result<Value> {
+    unimplemented!("serde_json stub")
+}
+
+/// Signature-compatible stand-in for `serde_json::from_value`.
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(_value: Value) -> Result<T> {
+    unimplemented!("serde_json stub")
+}
